@@ -1,0 +1,528 @@
+//! The HRD baseline: hierarchical reuse distance (Maeda et al., HPCA 2017).
+//!
+//! HRD models temporal locality with a reuse-distance histogram at the
+//! 64 B block granularity; a cold miss (infinite reuse distance) falls back
+//! to a second histogram at the 4 KiB granularity, which recovers spatial
+//! locality across blocks. Operations use a multi-state model with explicit
+//! clean/dirty states. Matching the original paper (and the Mocktails §V
+//! setup), HRD is *global*: no temporal phases, one model per trace.
+//!
+//! Reuse distances are computed exactly with a Fenwick-tree algorithm
+//! (O(n log n)); synthesis replays distances against a synthetic LRU stack
+//! with strict-convergence sampling of the histograms.
+
+use std::collections::HashMap;
+
+use mocktails_trace::{Op, Request, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fine (block) granularity: 64 B, as in the original HRD evaluation.
+pub const FINE_BYTES: u64 = 64;
+/// Coarse granularity: 4 KiB.
+pub const COARSE_BYTES: u64 = 4096;
+
+/// A reuse-distance histogram with log-bucketed tails.
+///
+/// Distances below 256 are stored exactly; larger ones share power-of-two
+/// buckets, keeping the model compact without hurting cache simulation
+/// (what matters is which side of each cache capacity a distance falls).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    /// `bucket -> count` for finite distances.
+    finite: HashMap<u64, u64>,
+    /// Cold accesses (infinite distance).
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseHistogram {
+    fn bucket_of(distance: u64) -> u64 {
+        if distance < 256 {
+            distance
+        } else {
+            // 2^k bucket marker: 256, 512, 1024, ...
+            1u64 << (63 - distance.leading_zeros())
+        }
+    }
+
+    /// Records one observed reuse distance (`None` = cold).
+    pub fn record(&mut self, distance: Option<u64>) {
+        match distance {
+            Some(d) => *self.finite.entry(Self::bucket_of(d)).or_insert(0) += 1,
+            None => self.cold += 1,
+        }
+        self.total += 1;
+    }
+
+    /// Total recorded accesses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of cold (infinite-distance) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Creates a strict-convergence sampler over this histogram.
+    fn sampler(&self) -> ReuseSampler {
+        let mut finite: Vec<(u64, u64)> = self.finite.iter().map(|(&b, &c)| (b, c)).collect();
+        finite.sort_unstable();
+        ReuseSampler {
+            finite,
+            cold: self.cold,
+            original: self.clone(),
+        }
+    }
+}
+
+/// Strict-convergence sampler over a [`ReuseHistogram`].
+#[derive(Debug, Clone)]
+struct ReuseSampler {
+    finite: Vec<(u64, u64)>,
+    cold: u64,
+    original: ReuseHistogram,
+}
+
+impl ReuseSampler {
+    /// Draws a distance (`None` = cold), consuming histogram mass. When the
+    /// mass is exhausted, falls back to the original distribution.
+    fn sample(&mut self, rng: &mut StdRng) -> Option<u64> {
+        let finite_total: u64 = self.finite.iter().map(|&(_, c)| c).sum();
+        let total = finite_total + self.cold;
+        if total == 0 {
+            // Exhausted: sample the immutable original proportionally.
+            let finite_total: u64 = self.original.finite.values().sum();
+            let total = finite_total + self.original.cold;
+            if total == 0 {
+                return None;
+            }
+            let mut target = rng.gen_range(0..total);
+            let mut buckets: Vec<(u64, u64)> =
+                self.original.finite.iter().map(|(&b, &c)| (b, c)).collect();
+            buckets.sort_unstable();
+            for (b, c) in buckets {
+                if target < c {
+                    return Some(b);
+                }
+                target -= c;
+            }
+            return None;
+        }
+        let mut target = rng.gen_range(0..total);
+        for entry in self.finite.iter_mut() {
+            if target < entry.1 {
+                entry.1 -= 1;
+                return Some(entry.0);
+            }
+            target -= entry.1;
+        }
+        self.cold -= 1;
+        None
+    }
+}
+
+/// Fenwick tree for exact reuse-distance measurement.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Measures exact LRU reuse distances over a sequence of unit ids.
+#[derive(Debug)]
+struct ReuseTracker {
+    fenwick: Fenwick,
+    last_seen: HashMap<u64, usize>,
+    step: usize,
+}
+
+impl ReuseTracker {
+    fn new(n: usize) -> Self {
+        Self {
+            fenwick: Fenwick::new(n),
+            last_seen: HashMap::new(),
+            step: 0,
+        }
+    }
+
+    /// Returns the reuse distance of this access (`None` if first touch).
+    fn access(&mut self, unit: u64) -> Option<u64> {
+        let distance = self.last_seen.get(&unit).map(|&prev| {
+            // Distinct units touched strictly between prev and now.
+            let upto_now = self.fenwick.prefix(self.step.saturating_sub(1));
+            let upto_prev = self.fenwick.prefix(prev);
+            upto_now - upto_prev
+        });
+        if let Some(&prev) = self.last_seen.get(&unit) {
+            self.fenwick.add(prev, -1);
+        }
+        self.fenwick.add(self.step, 1);
+        self.last_seen.insert(unit, self.step);
+        self.step += 1;
+        distance
+    }
+}
+
+/// The clean/dirty multi-state operation model of HRD.
+///
+/// Counts `P(write | block clean)` and `P(write | block dirty)` from the
+/// trace; synthesis tracks synthetic dirty bits and samples accordingly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStateModel {
+    clean_reads: u64,
+    clean_writes: u64,
+    dirty_reads: u64,
+    dirty_writes: u64,
+}
+
+impl OpStateModel {
+    fn record(&mut self, dirty: bool, op: Op) {
+        match (dirty, op) {
+            (false, Op::Read) => self.clean_reads += 1,
+            (false, Op::Write) => self.clean_writes += 1,
+            (true, Op::Read) => self.dirty_reads += 1,
+            (true, Op::Write) => self.dirty_writes += 1,
+        }
+    }
+
+    fn sample(&self, dirty: bool, rng: &mut StdRng) -> Op {
+        let (r, w) = if dirty {
+            (self.dirty_reads, self.dirty_writes)
+        } else {
+            (self.clean_reads, self.clean_writes)
+        };
+        let total = r + w;
+        if total == 0 {
+            return Op::Read;
+        }
+        if rng.gen_range(0..total) < r {
+            Op::Read
+        } else {
+            Op::Write
+        }
+    }
+}
+
+/// A fitted HRD model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HrdModel {
+    fine: ReuseHistogram,
+    coarse: ReuseHistogram,
+    ops: OpStateModel,
+    count: u64,
+    common_size: u32,
+}
+
+impl HrdModel {
+    /// Fits HRD to a trace: exact 64 B reuse distances, 4 KiB distances for
+    /// cold fine accesses, and the clean/dirty operation counts.
+    pub fn fit(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut fine_tracker = ReuseTracker::new(n);
+        let mut coarse_tracker = ReuseTracker::new(n);
+        let mut fine = ReuseHistogram::default();
+        let mut coarse = ReuseHistogram::default();
+        let mut ops = OpStateModel::default();
+        let mut dirty: HashMap<u64, bool> = HashMap::new();
+        let mut sizes: HashMap<u32, u64> = HashMap::new();
+        for r in trace.iter() {
+            let block = r.address / FINE_BYTES;
+            let region = r.address / COARSE_BYTES;
+            let fd = fine_tracker.access(block);
+            fine.record(fd);
+            if fd.is_none() {
+                coarse.record(coarse_tracker.access(region));
+            } else {
+                // Keep the coarse tracker's clock in sync.
+                coarse_tracker.access(region);
+            }
+            let was_dirty = dirty.get(&block).copied().unwrap_or(false);
+            ops.record(was_dirty, r.op);
+            dirty.insert(block, was_dirty || r.op.is_write());
+            *sizes.entry(r.size).or_insert(0) += 1;
+        }
+        let common_size = sizes
+            .into_iter()
+            .max_by_key(|&(size, c)| (c, size))
+            .map(|(s, _)| s)
+            .unwrap_or(64);
+        Self {
+            fine,
+            coarse,
+            ops,
+            count: n as u64,
+            common_size,
+        }
+    }
+
+    /// The fine (64 B) histogram.
+    pub fn fine_histogram(&self) -> &ReuseHistogram {
+        &self.fine
+    }
+
+    /// The coarse (4 KiB) histogram.
+    pub fn coarse_histogram(&self) -> &ReuseHistogram {
+        &self.coarse
+    }
+
+    /// Number of requests the model synthesizes.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Synthesizes a trace: reuse distances are drawn (strictly) from the
+    /// histograms and replayed against a synthetic LRU stack of blocks;
+    /// fine cold misses pick a region via the coarse histogram and open a
+    /// fresh block inside it.
+    pub fn synthesize(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fine_sampler = self.fine.sampler();
+        let mut coarse_sampler = self.coarse.sampler();
+        // LRU stacks: most recently used at the back.
+        let mut block_stack: Vec<u64> = Vec::new();
+        let mut region_stack: Vec<u64> = Vec::new();
+        let mut next_block_in_region: HashMap<u64, u64> = HashMap::new();
+        let mut next_region = 0u64;
+        let mut dirty: HashMap<u64, bool> = HashMap::new();
+        let mut out = Vec::with_capacity(self.count as usize);
+        for i in 0..self.count {
+            let block = match fine_sampler.sample(&mut rng) {
+                Some(d) if !block_stack.is_empty() => {
+                    // Reuse the block at LRU depth d (0 = most recent),
+                    // clamped to the deepest available entry so that only
+                    // cold draws allocate new blocks (preserving the
+                    // footprint exactly).
+                    let depth = (d as usize).min(block_stack.len() - 1);
+                    let idx = block_stack.len() - 1 - depth;
+                    block_stack.remove(idx)
+                }
+                _ => {
+                    // Cold at 64 B: choose the region via the coarse model.
+                    let blocks_per_region = COARSE_BYTES / FINE_BYTES;
+                    let mut region = match coarse_sampler.sample(&mut rng) {
+                        Some(d) if (d as usize) < region_stack.len() => {
+                            let idx = region_stack.len() - 1 - d as usize;
+                            region_stack.remove(idx)
+                        }
+                        _ => {
+                            let r = next_region;
+                            next_region += 1;
+                            r
+                        }
+                    };
+                    // A cold access must open a genuinely new block: if the
+                    // chosen region is already fully allocated, spill into a
+                    // fresh region so the synthetic footprint matches the
+                    // cold count exactly.
+                    if next_block_in_region.get(&region).copied().unwrap_or(0)
+                        >= blocks_per_region
+                    {
+                        if let Some(pos) = region_stack.iter().rposition(|&r| r == region) {
+                            region_stack.remove(pos);
+                            region_stack.push(region);
+                        }
+                        region = next_region;
+                        next_region += 1;
+                    }
+                    region_stack.push(region);
+                    let offset = next_block_in_region.entry(region).or_insert(0);
+                    let block = region * blocks_per_region + *offset;
+                    *offset += 1;
+                    block
+                }
+            };
+            // Touch the region stack for reuses too (keep recency sane).
+            let region = block / (COARSE_BYTES / FINE_BYTES);
+            if let Some(pos) = region_stack.iter().rposition(|&r| r == region) {
+                let r = region_stack.remove(pos);
+                region_stack.push(r);
+            } else {
+                region_stack.push(region);
+            }
+            block_stack.push(block);
+
+            let was_dirty = dirty.get(&block).copied().unwrap_or(false);
+            let op = self.ops.sample(was_dirty, &mut rng);
+            dirty.insert(block, was_dirty || op.is_write());
+            out.push(Request::new(i, block * FINE_BYTES, op, self.common_size));
+        }
+        Trace::from_sorted_requests(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fenwick_prefix_sums() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 1);
+        f.add(7, 1);
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(2), 1);
+        assert_eq!(f.prefix(3), 2);
+        assert_eq!(f.prefix(7), 3);
+        f.add(3, -1);
+        assert_eq!(f.prefix(7), 2);
+    }
+
+    #[test]
+    fn reuse_tracker_exact_distances() {
+        let mut t = ReuseTracker::new(16);
+        assert_eq!(t.access(10), None); // A
+        assert_eq!(t.access(20), None); // B
+        assert_eq!(t.access(10), Some(1)); // A again: 1 distinct (B) between
+        assert_eq!(t.access(30), None); // C
+        assert_eq!(t.access(20), Some(2)); // B: A and C since
+        assert_eq!(t.access(20), Some(0)); // immediate reuse
+    }
+
+    #[test]
+    fn histogram_buckets_large_distances() {
+        assert_eq!(ReuseHistogram::bucket_of(5), 5);
+        assert_eq!(ReuseHistogram::bucket_of(255), 255);
+        assert_eq!(ReuseHistogram::bucket_of(256), 256);
+        assert_eq!(ReuseHistogram::bucket_of(700), 512);
+        assert_eq!(ReuseHistogram::bucket_of(5000), 4096);
+    }
+
+    fn looping_trace(blocks: u64, rounds: u64) -> Trace {
+        let mut reqs = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..rounds {
+            for b in 0..blocks {
+                reqs.push(Request::read(t, b * 64, 8));
+                t += 1;
+            }
+        }
+        Trace::from_requests(reqs)
+    }
+
+    #[test]
+    fn fit_captures_loop_reuse() {
+        // Looping over 8 blocks: after the cold pass every access has
+        // distance 7.
+        let model = HrdModel::fit(&looping_trace(8, 10));
+        assert_eq!(model.fine_histogram().cold(), 8);
+        assert_eq!(model.fine_histogram().total(), 80);
+        assert_eq!(model.count(), 80);
+    }
+
+    #[test]
+    fn synthesis_preserves_count_and_footprint_scale() {
+        let trace = looping_trace(32, 8);
+        let model = HrdModel::fit(&trace);
+        let synth = model.synthesize(1);
+        assert_eq!(synth.len(), trace.len());
+        // Cold count == distinct blocks: footprint matches.
+        let distinct = |t: &Trace| {
+            t.iter()
+                .map(|r| r.address / 64)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert_eq!(distinct(&synth), distinct(&trace));
+    }
+
+    #[test]
+    fn synthesis_reproduces_loop_hit_behaviour() {
+        use mocktails_cacheless_check::miss_rate_fully_assoc;
+        // Looping working set of 16 blocks fits an LRU stack of 16: the
+        // synthetic trace must also hit after its cold pass.
+        let trace = looping_trace(16, 10);
+        let model = HrdModel::fit(&trace);
+        let synth = model.synthesize(3);
+        let base = miss_rate_fully_assoc(&trace, 32);
+        let got = miss_rate_fully_assoc(&synth, 32);
+        assert!((base - got).abs() < 0.05, "base {base} vs synth {got}");
+    }
+
+    /// A tiny fully-associative LRU used only by tests in this module.
+    mod mocktails_cacheless_check {
+        use mocktails_trace::Trace;
+
+        pub fn miss_rate_fully_assoc(trace: &Trace, capacity_blocks: usize) -> f64 {
+            let mut stack: Vec<u64> = Vec::new();
+            let mut misses = 0usize;
+            for r in trace.iter() {
+                let b = r.address / 64;
+                if let Some(pos) = stack.iter().rposition(|&x| x == b) {
+                    stack.remove(pos);
+                } else {
+                    misses += 1;
+                    if stack.len() >= capacity_blocks {
+                        stack.remove(0);
+                    }
+                }
+                stack.push(b);
+            }
+            misses as f64 / trace.len() as f64
+        }
+    }
+
+    #[test]
+    fn op_model_distinguishes_clean_dirty() {
+        // Blocks are written once then only read: P(write|clean) high,
+        // P(write|dirty) ~0.
+        let mut reqs = Vec::new();
+        let mut t = 0;
+        for b in 0..50u64 {
+            reqs.push(Request::write(t, b * 64, 8));
+            t += 1;
+            for _ in 0..3 {
+                reqs.push(Request::read(t, b * 64, 8));
+                t += 1;
+            }
+        }
+        let model = HrdModel::fit(&Trace::from_requests(reqs));
+        let synth = model.synthesize(2);
+        // Write fraction preserved within a few percent.
+        let frac = synth.writes() as f64 / synth.len() as f64;
+        assert!((frac - 0.25).abs() < 0.08, "write fraction {frac}");
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let model = HrdModel::fit(&looping_trace(16, 4));
+        assert_eq!(model.synthesize(9), model.synthesize(9));
+    }
+
+    #[test]
+    fn common_size_is_propagated() {
+        let mut reqs: Vec<Request> = (0..10u64).map(|i| Request::read(i, i * 64, 8)).collect();
+        reqs.push(Request::read(100, 0, 4));
+        let model = HrdModel::fit(&Trace::from_requests(reqs));
+        let synth = model.synthesize(0);
+        assert!(synth.iter().all(|r| r.size == 8));
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline statistical models the paper compares Mocktails against.
+//!
+//! * [`stm`] — **STM** (Awad & Solihin, HPCA 2014): within the same 2L-TS
+//!   hierarchy, the address feature is modeled with a stride-history
+//!   pattern table (up to the last 8 strides, backing off to shorter
+//!   histories) and the operation feature with a *single read probability*
+//!   — the paper's `2L-TS (STM)` configuration (§IV-A). Delta times and
+//!   sizes still use McC, exactly as the paper describes.
+//! * [`hrd`] — **HRD** (Maeda et al., HPCA 2017): a global (phase-less)
+//!   hierarchical reuse-distance model at 64 B and 4 KiB granularities with
+//!   a clean/dirty multi-state operation model, used by the §V cache
+//!   validation.
+//!
+//! Both models honour strict convergence for operation counts, matching
+//! the paper's setup ("strict convergence ensures that both McC and STM
+//! models produce the exact number of reads and writes").
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hrd;
+pub mod stm;
+
+pub use hrd::HrdModel;
+pub use stm::StmProfile;

@@ -1,0 +1,101 @@
+//! Property-based tests of the STM and HRD baseline models.
+
+use proptest::prelude::*;
+
+use mocktails_baselines::{HrdModel, StmProfile};
+use mocktails_core::HierarchyConfig;
+use mocktails_trace::{Op, Request, Trace};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..300_000,
+        0u64..0x4_0000,
+        any::<bool>(),
+        prop_oneof![Just(8u32), Just(64), Just(128)],
+    )
+        .prop_map(|(t, slot, write, size)| {
+            let op = if write { Op::Write } else { Op::Read };
+            Request::new(t, slot * 8, op, size)
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_request(), 1..150).prop_map(Trace::from_requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stm_strict_counts_hold(trace in arb_trace(), seed in 0u64..50) {
+        let profile = StmProfile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
+        let synth = profile.synthesize(seed);
+        prop_assert_eq!(synth.len(), trace.len());
+        prop_assert_eq!(synth.reads(), trace.reads());
+        prop_assert_eq!(synth.writes(), trace.writes());
+        prop_assert!(synth
+            .requests()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn stm_addresses_stay_in_footprint(trace in arb_trace(), seed in 0u64..20) {
+        let profile = StmProfile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
+        let synth = profile.synthesize(seed);
+        let fp = trace.footprint_range().unwrap();
+        for r in synth.iter() {
+            prop_assert!(fp.contains(r.address));
+        }
+    }
+
+    #[test]
+    fn hrd_preserves_count_and_footprint(trace in arb_trace(), seed in 0u64..20) {
+        let model = HrdModel::fit(&trace);
+        let synth = model.synthesize(seed);
+        prop_assert_eq!(synth.len(), trace.len());
+        let distinct = |t: &Trace| {
+            t.iter()
+                .map(|r| r.address / 64)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        prop_assert_eq!(distinct(&synth), distinct(&trace));
+    }
+
+    #[test]
+    fn hrd_histograms_account_for_every_request(trace in arb_trace()) {
+        let model = HrdModel::fit(&trace);
+        prop_assert_eq!(model.fine_histogram().total(), trace.len() as u64);
+        // Cold fine accesses equal the number of distinct 64 B blocks.
+        let distinct = trace
+            .iter()
+            .map(|r| r.address / 64)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        prop_assert_eq!(model.fine_histogram().cold(), distinct);
+        // The coarse histogram records exactly the fine cold accesses.
+        prop_assert_eq!(model.coarse_histogram().total(), distinct);
+    }
+
+    #[test]
+    fn hrd_synthesis_is_deterministic_and_ordered(trace in arb_trace(), seed in 0u64..10) {
+        let model = HrdModel::fit(&trace);
+        let a = model.synthesize(seed);
+        let b = model.synthesize(seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a
+            .requests()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        // Every op is drawn from the clean- or dirty-state distribution,
+        // so when the trace is all-reads or all-writes the synthetic mix
+        // is exact.
+        if trace.writes() == 0 {
+            prop_assert_eq!(a.writes(), 0);
+        }
+        if trace.reads() == 0 {
+            prop_assert_eq!(a.reads(), 0);
+        }
+    }
+}

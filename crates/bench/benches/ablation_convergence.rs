@@ -1,0 +1,10 @@
+//! Ablation: strict convergence vs stationary Markov sampling.
+
+use mocktails_sim::experiments::ablation;
+
+fn main() {
+    mocktails_bench::run_experiment("Ablation: convergence", || {
+        let rows = ablation::convergence(&mocktails_bench::eval_options());
+        ablation::report("Strict convergence on/off", &rows)
+    });
+}

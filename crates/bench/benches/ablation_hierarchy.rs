@@ -1,0 +1,10 @@
+//! Ablation: hierarchy shapes (1L-T, 1L-S, 2L-TS, 2L-ST).
+
+use mocktails_sim::experiments::ablation;
+
+fn main() {
+    mocktails_bench::run_experiment("Ablation: hierarchy", || {
+        let rows = ablation::hierarchy(&mocktails_bench::eval_options());
+        ablation::report("Hierarchy shape", &rows)
+    });
+}

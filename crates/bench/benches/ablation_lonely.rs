@@ -1,0 +1,10 @@
+//! Ablation: lonely-request merging on/off.
+
+use mocktails_sim::experiments::ablation;
+
+fn main() {
+    mocktails_bench::run_experiment("Ablation: lonely requests", || {
+        let rows = ablation::lonely(&mocktails_bench::eval_options());
+        ablation::report("Lonely-request merging", &rows)
+    });
+}

@@ -1,0 +1,10 @@
+//! Ablation: HALO-style similar-region merging on/off.
+
+use mocktails_sim::experiments::ablation;
+
+fn main() {
+    mocktails_bench::run_experiment("Ablation: similar-region merging", || {
+        let rows = ablation::similar(&mocktails_bench::eval_options());
+        ablation::report("HALO-style similar-region merging", &rows)
+    });
+}

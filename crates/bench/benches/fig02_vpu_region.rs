@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2: requests in the busiest 4 KiB region of the HEVC1
+//! workload, grouped by dynamic spatial partition.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 2", || {
+        mocktails_sim::experiments::meta::fig02_report()
+    });
+}

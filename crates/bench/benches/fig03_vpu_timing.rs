@@ -1,0 +1,7 @@
+//! Regenerates Fig. 3: the burst/idle injection timing of HEVC1.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 3", || {
+        mocktails_sim::experiments::meta::fig03_report()
+    });
+}

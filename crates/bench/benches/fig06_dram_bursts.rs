@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6: geometric-mean error of read/write DRAM bursts per
+//! device, 2L-TS (McC) vs 2L-TS (STM).
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 6", || {
+        mocktails_sim::experiments::dram::fig06_report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 7: average read/write queue lengths per device.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 7", || {
+        mocktails_sim::experiments::dram::fig07_report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: per-channel write-queue-length distributions seen
+//! by arriving requests, T-Rex1.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 8", || {
+        mocktails_sim::experiments::dram::fig08_report(&mocktails_bench::eval_options())
+    });
+}

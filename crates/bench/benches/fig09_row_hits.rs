@@ -1,0 +1,8 @@
+//! Regenerates Fig. 9: geometric-mean error of read/write row hits per
+//! device.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 9", || {
+        mocktails_sim::experiments::dram::fig09_report(&mocktails_bench::eval_options())
+    });
+}

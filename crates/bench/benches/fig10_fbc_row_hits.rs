@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10: absolute row-hit counts for FBC-Linear1 vs
+//! FBC-Tiled1.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 10", || {
+        mocktails_sim::experiments::dram::fig10_report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 11: average reads per read→write turnaround per
+//! channel for the DPU frame-buffer traces.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 11", || {
+        mocktails_sim::experiments::dram::fig11_report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 12: read/write bursts per bank per channel,
+//! FBC-Linear1.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 12", || {
+        mocktails_sim::experiments::dram::fig12_report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 13: memory access latency error vs temporal partition
+//! size (100 k – 1 M cycles).
+
+use mocktails_sim::experiments::dram;
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 13", || {
+        let intervals = if mocktails_bench::quick_mode() {
+            vec![100_000, 500_000, 1_000_000]
+        } else {
+            dram::fig13_intervals()
+        };
+        dram::fig13_report(&intervals, &mocktails_bench::eval_options())
+    });
+}

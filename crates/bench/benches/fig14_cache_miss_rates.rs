@@ -1,0 +1,8 @@
+//! Regenerates Fig. 14: geometric-mean L1/L2 miss rates over the SPEC-like
+//! suite for two cache configurations.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 14", || {
+        mocktails_sim::experiments::cache::fig14_report(&mocktails_bench::cache_options())
+    });
+}

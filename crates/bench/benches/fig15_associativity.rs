@@ -1,0 +1,7 @@
+//! Regenerates Fig. 15: L1 miss rate vs associativity for six benchmarks.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 15", || {
+        mocktails_sim::experiments::cache::fig15_report(&mocktails_bench::cache_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 16: L1 write-backs vs associativity for six
+//! benchmarks.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 16", || {
+        mocktails_sim::experiments::cache::fig16_report(&mocktails_bench::cache_options())
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 17: encoded trace sizes vs Mocktails profile sizes.
+
+fn main() {
+    mocktails_bench::run_experiment("Fig. 17", || {
+        mocktails_sim::experiments::meta::fig17_report(&mocktails_bench::cache_options())
+    });
+}

@@ -1,0 +1,7 @@
+//! Obfuscation study: distributional fidelity vs sequence leakage.
+
+fn main() {
+    mocktails_bench::run_experiment("Obfuscation study", || {
+        mocktails_sim::experiments::meta::obfuscation_report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! §VI design-space study: controller page/scheduling policies explored
+//! through Mocktails profiles, with conclusion-preservation checking.
+
+fn main() {
+    mocktails_bench::run_experiment("Policy study", || {
+        mocktails_sim::experiments::policy::report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! SoC composition study: VPU + DPU + CPU profiles sharing one memory
+//! system, with per-device attribution.
+
+fn main() {
+    mocktails_bench::run_experiment("SoC composition study", || {
+        mocktails_sim::experiments::soc::report(&mocktails_bench::eval_options())
+    });
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table I: partition F's stride/size sequences under one vs.
+//! two temporal partitions.
+
+fn main() {
+    mocktails_bench::run_experiment("Table I", || {
+        mocktails_sim::experiments::meta::table1_report()
+    });
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table II: the trace catalog.
+
+fn main() {
+    mocktails_bench::run_experiment("Table II", || {
+        format!(
+            "{}\n{}",
+            mocktails_sim::experiments::meta::table2_report(),
+            mocktails_sim::experiments::meta::table3_report()
+        )
+    });
+}

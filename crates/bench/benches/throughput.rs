@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the Mocktails pipeline stages:
+//! partitioning, model fitting, synthesis and DRAM simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mocktails_core::partition::spatial;
+use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_dram::{DramConfig, MemorySystem};
+use mocktails_workloads::catalog;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let trace = catalog::by_name("FBC-Linear1")
+        .expect("catalog trace")
+        .generate()
+        .truncate_to(20_000);
+    let config = HierarchyConfig::two_level_ts(500_000);
+    let profile = Profile::fit(&trace, &config);
+
+    c.bench_function("dynamic_spatial_partitioning_20k", |b| {
+        b.iter(|| spatial::dynamic(trace.requests(), true))
+    });
+
+    c.bench_function("profile_fit_20k", |b| {
+        b.iter(|| Profile::fit(&trace, &config))
+    });
+
+    c.bench_function("synthesize_20k", |b| b.iter(|| profile.synthesize(1)));
+
+    c.bench_function("dram_replay_20k", |b| {
+        b.iter_batched(
+            || MemorySystem::new(DramConfig::default()),
+            |mut system| system.run_trace(&trace),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut buf = Vec::new();
+    profile.write(&mut buf).expect("profile encodes");
+    c.bench_function("profile_decode", |b| {
+        b.iter(|| Profile::read(&mut buf.as_slice()).expect("round trip"))
+    });
+}
+
+criterion_group!(benches, pipeline_benches);
+criterion_main!(benches);

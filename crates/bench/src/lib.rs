@@ -1,0 +1,43 @@
+//! Shared plumbing for the experiment benches.
+//!
+//! Every `benches/figNN_*.rs` target regenerates one table or figure of
+//! the paper. Set `MOCKTAILS_QUICK=1` to run on truncated traces (a smoke
+//! run); the default regenerates the full-size experiment recorded in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use mocktails_sim::harness::{CacheEvalOptions, EvalOptions};
+
+/// Returns `true` when `MOCKTAILS_QUICK` requests a reduced-size run.
+pub fn quick_mode() -> bool {
+    std::env::var("MOCKTAILS_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// DRAM evaluation options honouring [`quick_mode`].
+pub fn eval_options() -> EvalOptions {
+    if quick_mode() {
+        EvalOptions::quick()
+    } else {
+        EvalOptions::default()
+    }
+}
+
+/// Cache evaluation options honouring [`quick_mode`].
+pub fn cache_options() -> CacheEvalOptions {
+    if quick_mode() {
+        CacheEvalOptions::quick()
+    } else {
+        CacheEvalOptions::default()
+    }
+}
+
+/// Prints an experiment header with timing, runs it, prints the report.
+pub fn run_experiment(name: &str, f: impl FnOnce() -> String) {
+    let mode = if quick_mode() { "quick" } else { "full" };
+    eprintln!("== {name} ({mode} mode) ==");
+    let start = std::time::Instant::now();
+    let report = f();
+    println!("{report}");
+    eprintln!("== {name} done in {:.1?} ==", start.elapsed());
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the cache simulator's invariants.
+
+use proptest::prelude::*;
+
+use mocktails_cache::{Cache, CacheConfig, CacheHierarchy, Replacement};
+use mocktails_trace::{Op, Request, Trace};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..100_000,
+        0u64..0x4_0000,
+        any::<bool>(),
+        prop_oneof![Just(4u32), Just(8), Just(16), Just(64)],
+    )
+        .prop_map(|(t, addr, write, size)| {
+            let op = if write { Op::Write } else { Op::Read };
+            Request::new(t, addr, op, size)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_level_conservation(
+        accesses in prop::collection::vec((0u64..0x1_0000, any::<bool>()), 1..400),
+        replacement in prop_oneof![
+            Just(Replacement::Lru),
+            Just(Replacement::Fifo),
+            Just(Replacement::Random)
+        ],
+    ) {
+        let cfg = CacheConfig::new(2 << 10, 2, 64).with_replacement(replacement);
+        let mut cache = Cache::new(cfg);
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for &(addr, write) in &accesses {
+            let op = if write { Op::Write } else { Op::Read };
+            let block = addr / 64 * 64;
+            let out = cache.access(addr, op);
+            // Hit iff the block is actually resident.
+            prop_assert_eq!(out.hit, resident.contains(&block));
+            if let Some((victim, _)) = out.evicted {
+                prop_assert!(resident.remove(&victim), "evicted non-resident block");
+            }
+            resident.insert(block);
+            // Never exceed capacity.
+            prop_assert!(resident.len() <= 32);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        prop_assert!(stats.write_backs <= stats.replacements);
+        prop_assert!(stats.footprint_bytes >= resident.len() as u64 * 64);
+    }
+
+    #[test]
+    fn hierarchy_inclusion_style_invariants(
+        reqs in prop::collection::vec(arb_request(), 1..300),
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let stats = CacheHierarchy::paper_config(8 << 10, 2).run_trace(&trace);
+        // L2 traffic = L1 misses + L1 dirty write-backs.
+        prop_assert_eq!(stats.l2.accesses, stats.l1.misses + stats.l1.write_backs);
+        // Footprints agree at the block level (same blocks flow down).
+        prop_assert!(stats.l2.footprint_bytes <= stats.l1.footprint_bytes);
+        // Rates bounded.
+        prop_assert!((0.0..=1.0).contains(&stats.l1.miss_rate()));
+        prop_assert!((0.0..=1.0).contains(&stats.l2.miss_rate()));
+    }
+
+    #[test]
+    fn bigger_caches_never_miss_more_under_lru_inclusion(
+        reqs in prop::collection::vec(arb_request(), 1..300),
+    ) {
+        // LRU stack property: for a fully-associative cache, a bigger one
+        // never misses more. Use ways == sets*ways blocks with one set to
+        // make the caches fully associative.
+        let trace = Trace::from_requests(reqs);
+        let run = |blocks: usize| {
+            let cfg = CacheConfig::new(blocks as u64 * 64, blocks, 64);
+            let mut cache = Cache::new(cfg);
+            for r in trace.iter() {
+                cache.access(r.address, r.op);
+            }
+            cache.stats().misses
+        };
+        prop_assert!(run(64) >= run(128));
+    }
+
+    #[test]
+    fn replacement_policies_agree_on_compulsory_misses(
+        reqs in prop::collection::vec(arb_request(), 1..200),
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let distinct = trace
+            .iter()
+            .map(|r| r.address / 64)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        for replacement in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let cfg = CacheConfig::new(1 << 10, 2, 64).with_replacement(replacement);
+            let mut cache = Cache::new(cfg);
+            for r in trace.iter() {
+                cache.access(r.address, r.op);
+            }
+            // At least one miss per distinct block, regardless of policy.
+            prop_assert!(cache.stats().misses >= distinct);
+        }
+    }
+}

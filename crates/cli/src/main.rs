@@ -1,0 +1,317 @@
+//! The `mocktails` command-line interface.
+//!
+//! Implements the paper's Fig. 1 workflow end to end:
+//!
+//! ```text
+//! mocktails catalog                          # Table II: available traces
+//! mocktails trace HEVC1 -o hevc1.mtrace      # industry: dump a trace
+//! mocktails profile hevc1.mtrace -o hevc1.mprofile [--cycles 500000]
+//! mocktails synth hevc1.mprofile -o synthetic.mtrace [--seed 1]
+//! mocktails validate HEVC1 [--cycles 500000] # trace vs McC vs STM metrics
+//! mocktails experiment fig09 [--quick]       # regenerate a paper figure
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_sim::harness::{evaluate_dram, CacheEvalOptions, EvalOptions};
+use mocktails_sim::table::TextTable;
+use mocktails_sim::experiments::{ablation, cache, dram, meta};
+use mocktails_trace::{codec, Trace};
+use mocktails_workloads::catalog;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mocktails catalog
+  mocktails trace <NAME> -o <FILE.mtrace>
+  mocktails profile <FILE.mtrace> -o <FILE.mprofile> [--cycles N]
+  mocktails synth <FILE.mprofile> -o <FILE.mtrace> [--seed N]
+  mocktails validate <NAME> [--cycles N] [--max-requests N]
+  mocktails stats <FILE.mtrace|FILE.csv|NAME>
+  mocktails compare <FILE-A> <FILE-B>   (feature distances + leakage)
+  mocktails experiment <table1|table2|table3|fig02|fig03|fig06|fig07|fig08|
+                        fig09|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|
+                        ablation-convergence|ablation-hierarchy|ablation-lonely|
+                        ablation-similar|policies|obfuscation|soc>
+                       [--quick]
+
+Trace files ending in .csv are written/read as CSV; anything else uses the
+compact binary format.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "catalog" => {
+            println!("{}", meta::table2_report());
+            Ok(())
+        }
+        "trace" => cmd_trace(&rest),
+        "profile" => cmd_profile(&rest),
+        "synth" => cmd_synth(&rest),
+        "validate" => cmd_validate(&rest),
+        "stats" => cmd_stats(&rest),
+        "compare" => cmd_compare(&rest),
+        "experiment" => cmd_experiment(&rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn flag_value(args: &[&String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| args.get(i + 1).map(|s| s.to_string()))
+}
+
+fn parse_u64(args: &[&String], flag: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, flag) {
+        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number")),
+        None => Ok(default),
+    }
+}
+
+fn positional<'a>(args: &'a [&String], index: usize) -> Result<&'a str, String> {
+    let mut seen = 0;
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || a.as_str() == "-o" {
+            skip = true;
+            continue;
+        }
+        if seen == index {
+            return Ok(a.as_str());
+        }
+        seen += 1;
+    }
+    Err(format!("missing positional argument {index}"))
+}
+
+fn cmd_trace(args: &[&String]) -> Result<(), String> {
+    let name = positional(args, 0)?;
+    let out = flag_value(args, "-o").ok_or("missing -o <FILE>")?;
+    let spec = catalog::by_name(name).ok_or_else(|| format!("unknown trace {name:?}"))?;
+    let trace = spec.generate();
+    let file = File::create(&out).map_err(|e| e.to_string())?;
+    let mut w = BufWriter::new(file);
+    if out.ends_with(".csv") {
+        codec::write_csv(&mut w, &trace).map_err(|e| e.to_string())?;
+    } else {
+        codec::write_trace(&mut w, &trace).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} requests to {out}", trace.len());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut r = BufReader::new(file);
+    if path.ends_with(".csv") {
+        codec::read_csv(&mut r).map_err(|e| e.to_string())
+    } else {
+        codec::read_trace(&mut r).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_profile(args: &[&String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let out = flag_value(args, "-o").ok_or("missing -o <FILE>")?;
+    let cycles = parse_u64(args, "--cycles", 500_000)?;
+    let trace = load_trace(input)?;
+    let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(cycles));
+    let file = File::create(&out).map_err(|e| e.to_string())?;
+    profile
+        .write(&mut BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "fitted {}; profile is {} bytes ({} trace bytes)",
+        profile.summary(),
+        profile.metadata_size(),
+        codec::trace_encoded_size(&trace),
+    );
+    Ok(())
+}
+
+fn cmd_synth(args: &[&String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let out = flag_value(args, "-o").ok_or("missing -o <FILE>")?;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let profile = Profile::read(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
+    let trace = profile.synthesize(seed);
+    let file = File::create(&out).map_err(|e| e.to_string())?;
+    codec::write_trace(&mut BufWriter::new(file), &trace).map_err(|e| e.to_string())?;
+    println!("synthesized {} requests to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_validate(args: &[&String]) -> Result<(), String> {
+    let name = positional(args, 0)?;
+    let cycles = parse_u64(args, "--cycles", 500_000)?;
+    let max_requests = flag_value(args, "--max-requests")
+        .map(|v| v.parse::<usize>().map_err(|_| "--max-requests expects a number".to_string()))
+        .transpose()?;
+    let spec = catalog::by_name(name).ok_or_else(|| format!("unknown trace {name:?}"))?;
+    let options = EvalOptions {
+        cycles_per_phase: cycles,
+        max_requests,
+        ..EvalOptions::default()
+    };
+    let eval = evaluate_dram(&spec, &options);
+    let mut t = TextTable::new(vec!["Metric", "Baseline", "2L-TS (McC)", "2L-TS (STM)"]);
+    let row = |label: &str, f: &dyn Fn(&mocktails_dram::DramStats) -> String| {
+        vec![label.to_string(), f(&eval.base), f(&eval.mcc), f(&eval.stm)]
+    };
+    t.row(row("Read bursts", &|s| s.total_read_bursts().to_string()));
+    t.row(row("Write bursts", &|s| s.total_write_bursts().to_string()));
+    t.row(row("Read row hits", &|s| s.total_read_row_hits().to_string()));
+    t.row(row("Write row hits", &|s| s.total_write_row_hits().to_string()));
+    t.row(row("Avg read queue", &|s| format!("{:.2}", s.avg_read_queue_len())));
+    t.row(row("Avg write queue", &|s| format!("{:.2}", s.avg_write_queue_len())));
+    t.row(row("Avg latency", &|s| format!("{:.1}", s.avg_access_latency())));
+    println!("{} ({} device)\n{t}", spec.name(), spec.device());
+    Ok(())
+}
+
+/// Loads a trace from a file path, or generates it if the argument is a
+/// Table II name.
+fn load_trace_or_catalog(arg: &str) -> Result<Trace, String> {
+    if let Some(spec) = catalog::by_name(arg) {
+        return Ok(spec.generate());
+    }
+    load_trace(arg)
+}
+
+fn cmd_stats(args: &[&String]) -> Result<(), String> {
+    let source = positional(args, 0)?;
+    let trace = load_trace_or_catalog(source)?;
+    let stats = trace.stats();
+    let mut t = TextTable::new(vec!["Metric", "Value"]);
+    t.row(vec!["Requests".into(), stats.requests.to_string()]);
+    t.row(vec!["Reads".into(), stats.reads.to_string()]);
+    t.row(vec!["Writes".into(), stats.writes.to_string()]);
+    t.row(vec![
+        "Read fraction".into(),
+        format!("{:.3}", stats.read_fraction),
+    ]);
+    t.row(vec!["Total bytes".into(), stats.total_bytes.to_string()]);
+    t.row(vec![
+        "Footprint".into(),
+        stats
+            .footprint
+            .map(|r| format!("{r} ({} bytes)", r.len()))
+            .unwrap_or_else(|| "-".into()),
+    ]);
+    t.row(vec!["Duration (cycles)".into(), stats.duration.to_string()]);
+    t.row(vec![
+        "Mean inter-arrival".into(),
+        format!("{:.1}", stats.mean_inter_arrival),
+    ]);
+    t.row(vec![
+        "Distinct sizes".into(),
+        stats.size_histogram.len().to_string(),
+    ]);
+    t.row(vec![
+        "Encoded size (B)".into(),
+        codec::trace_encoded_size(&trace).to_string(),
+    ]);
+    println!("{source}\n{t}");
+    Ok(())
+}
+
+fn cmd_compare(args: &[&String]) -> Result<(), String> {
+    let a = load_trace_or_catalog(positional(args, 0)?)?;
+    let b = load_trace_or_catalog(positional(args, 1)?)?;
+    let distance = mocktails_sim::similarity::FeatureDistances::between(&a, &b);
+    let privacy = mocktails_sim::privacy::PrivacyReport::between(&a, &b, 4_000);
+    let mut t = TextTable::new(vec!["Metric", "Value"]);
+    t.row(vec!["TV distance: stride".into(), format!("{:.3}", distance.stride)]);
+    t.row(vec!["TV distance: delta time".into(), format!("{:.3}", distance.delta_time)]);
+    t.row(vec!["TV distance: op".into(), format!("{:.3}", distance.op)]);
+    t.row(vec!["TV distance: size".into(), format!("{:.3}", distance.size)]);
+    t.row(vec!["3-gram leakage".into(), format!("{:.3}", privacy.trigram_leakage)]);
+    t.row(vec!["8-gram leakage".into(), format!("{:.3}", privacy.octagram_leakage)]);
+    t.row(vec![
+        "Sequence overlap (LCS)".into(),
+        format!("{:.3}", privacy.sequence_overlap),
+    ]);
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_experiment(args: &[&String]) -> Result<(), String> {
+    let id = positional(args, 0)?;
+    let quick = args.iter().any(|a| a.as_str() == "--quick");
+    let dram_opts = if quick {
+        EvalOptions::quick()
+    } else {
+        EvalOptions::default()
+    };
+    let cache_opts = if quick {
+        CacheEvalOptions::quick()
+    } else {
+        CacheEvalOptions::default()
+    };
+    let report = match id {
+        "table1" => meta::table1_report(),
+        "table2" => meta::table2_report(),
+        "table3" => meta::table3_report(),
+        "fig02" => meta::fig02_report(),
+        "fig03" => meta::fig03_report(),
+        "fig06" => dram::fig06_report(&dram_opts),
+        "fig07" => dram::fig07_report(&dram_opts),
+        "fig08" => dram::fig08_report(&dram_opts),
+        "fig09" => dram::fig09_report(&dram_opts),
+        "fig10" => dram::fig10_report(&dram_opts),
+        "fig11" => dram::fig11_report(&dram_opts),
+        "fig12" => dram::fig12_report(&dram_opts),
+        "fig13" => {
+            let intervals = if quick {
+                vec![100_000, 500_000, 1_000_000]
+            } else {
+                dram::fig13_intervals()
+            };
+            dram::fig13_report(&intervals, &dram_opts)
+        }
+        "fig14" => cache::fig14_report(&cache_opts),
+        "fig15" => cache::fig15_report(&cache_opts),
+        "fig16" => cache::fig16_report(&cache_opts),
+        "fig17" => meta::fig17_report(&cache_opts),
+        "ablation-convergence" => {
+            ablation::report("Strict convergence on/off", &ablation::convergence(&dram_opts))
+        }
+        "ablation-hierarchy" => {
+            ablation::report("Hierarchy shape", &ablation::hierarchy(&dram_opts))
+        }
+        "ablation-lonely" => {
+            ablation::report("Lonely-request merging", &ablation::lonely(&dram_opts))
+        }
+        "ablation-similar" => {
+            ablation::report("HALO-style similar-region merging", &ablation::similar(&dram_opts))
+        }
+        "policies" => mocktails_sim::experiments::policy::report(&dram_opts),
+        "soc" => mocktails_sim::experiments::soc::report(&dram_opts),
+        "obfuscation" => meta::obfuscation_report(&dram_opts),
+        other => return Err(format!("unknown experiment {other:?}")),
+    };
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests of the `mocktails` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mocktails(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mocktails"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mocktails-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{}", std::process::id(), name))
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn catalog_lists_table2() {
+    let out = mocktails(&["catalog"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("HEVC1"));
+    assert!(text.contains("T-Rex2"));
+    assert!(text.contains("VPU"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = mocktails(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn trace_profile_synth_pipeline() {
+    let trace_path = temp("pipe.mtrace");
+    let profile_path = temp("pipe.mprofile");
+    let synth_path = temp("pipe-synth.mtrace");
+
+    let out = mocktails(&["trace", "Crypto1", "-o", trace_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = mocktails(&[
+        "profile",
+        trace_path.to_str().unwrap(),
+        "-o",
+        profile_path.to_str().unwrap(),
+        "--cycles",
+        "500000",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("leaves"));
+
+    let out = mocktails(&[
+        "synth",
+        profile_path.to_str().unwrap(),
+        "-o",
+        synth_path.to_str().unwrap(),
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The profile must be smaller than the trace; the synthetic trace
+    // holds the same request count as the original.
+    let trace_bytes = std::fs::metadata(&trace_path).unwrap().len();
+    let profile_bytes = std::fs::metadata(&profile_path).unwrap().len();
+    assert!(profile_bytes < trace_bytes);
+
+    for p in [&trace_path, &profile_path, &synth_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn csv_export_is_readable() {
+    let csv_path = temp("trace.csv");
+    let out = mocktails(&["trace", "HEVC1", "-o", csv_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(text.starts_with("timestamp,address,op,size"));
+    assert!(text.lines().count() > 1000);
+    // And the CSV round-trips through `profile`.
+    let profile_path = temp("csv.mprofile");
+    let out = mocktails(&[
+        "profile",
+        csv_path.to_str().unwrap(),
+        "-o",
+        profile_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&profile_path).ok();
+}
+
+#[test]
+fn validate_prints_metric_table() {
+    let out = mocktails(&["validate", "OpenCL1", "--max-requests", "2000"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("Read row hits"));
+    assert!(text.contains("2L-TS (McC)"));
+}
+
+#[test]
+fn experiment_table1_runs() {
+    let out = mocktails(&["experiment", "table1"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("-264"));
+}
+
+#[test]
+fn experiment_unknown_id_fails() {
+    let out = mocktails(&["experiment", "fig99"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_works_on_catalog_names_and_files() {
+    let out = mocktails(&["stats", "Multi-layer"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("Footprint"));
+
+    let path = temp("stats.mtrace");
+    mocktails(&["trace", "Crypto2", "-o", path.to_str().unwrap()]);
+    let out = mocktails(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("Requests"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compare_reports_distances() {
+    let out = mocktails(&["compare", "HEVC1", "HEVC2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("TV distance: stride"));
+    assert!(text.contains("8-gram leakage"));
+}
+
+#[test]
+fn missing_output_flag_is_an_error() {
+    let out = mocktails(&["trace", "Crypto1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("-o"));
+}

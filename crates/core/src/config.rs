@@ -1,0 +1,245 @@
+//! Hierarchy configuration and modeling options.
+
+/// One layer of the partitioning hierarchy (paper §III-A, *Hierarchical
+/// Partitioning*).
+///
+/// The hierarchy is described top-down: the first layer partitions the whole
+/// trace, the second layer partitions each of those partitions, and so on.
+/// The partitions produced by the final layer are the *leaves* that get
+/// modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerSpec {
+    /// Temporal partitioning into chunks of at most this many requests
+    /// (STM-style `request_count` intervals).
+    TemporalRequestCount(usize),
+    /// Temporal partitioning into fixed windows of this many cycles
+    /// (SynFull-style `cycle_count` intervals). Empty windows are skipped.
+    TemporalCycleCount(u64),
+    /// Temporal partitioning into exactly this many equal-request-count
+    /// intervals (the `interval_count` scheme of Table I).
+    TemporalIntervalCount(usize),
+    /// The paper's novel dynamic spatial partitioning (Alg. 1): requests
+    /// touching overlapping or adjacent memory merge into variable-sized
+    /// regions; lonely requests are grouped by equal stride or pooled.
+    SpatialDynamic,
+    /// Fixed-size spatial partitioning into aligned blocks of this many
+    /// bytes (HALO-style; the paper evaluates 4 KiB blocks).
+    SpatialFixed(u64),
+}
+
+impl LayerSpec {
+    /// Returns `true` for the temporal layer kinds.
+    pub fn is_temporal(self) -> bool {
+        matches!(
+            self,
+            LayerSpec::TemporalRequestCount(_)
+                | LayerSpec::TemporalCycleCount(_)
+                | LayerSpec::TemporalIntervalCount(_)
+        )
+    }
+
+    /// Returns `true` for the spatial layer kinds.
+    pub fn is_spatial(self) -> bool {
+        !self.is_temporal()
+    }
+}
+
+/// Options controlling model fitting and synthesis, used by the ablation
+/// studies; the defaults reproduce the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelOptions {
+    /// Apply strict convergence when sampling Markov chains: every taken
+    /// transition lowers its remaining count, so the synthesized feature
+    /// multiset exactly matches the observed one (paper §III-C). Disabling
+    /// samples from stationary transition probabilities instead.
+    pub strict_convergence: bool,
+    /// Merge lonely (single-request) dynamic regions with each other,
+    /// grouping equally-strided runs into one partition (paper §III-A).
+    /// Disabling models every lonely request as its own leaf.
+    pub merge_lonely: bool,
+    /// HALO-style post-merging of contiguous dynamic regions with
+    /// identical constant models (§III-A cites this prior-art option;
+    /// Mocktails itself leaves it off, so the default is `false`).
+    pub merge_similar: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            strict_convergence: true,
+            merge_lonely: true,
+            merge_similar: false,
+        }
+    }
+}
+
+/// The full hierarchical partitioning configuration (paper §III-A).
+///
+/// Mocktails accepts the hierarchy as input: a list of layers, each either
+/// temporal or spatial. The paper's headline configuration is **2L-TS** —
+/// two levels, temporal first (500 000-cycle windows, from SynFull), then
+/// dynamic spatial.
+///
+/// ```
+/// use mocktails_core::{HierarchyConfig, LayerSpec};
+///
+/// let config = HierarchyConfig::two_level_ts(500_000);
+/// assert_eq!(
+///     config.layers(),
+///     &[
+///         LayerSpec::TemporalCycleCount(500_000),
+///         LayerSpec::SpatialDynamic
+///     ]
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    layers: Vec<LayerSpec>,
+    options: ModelOptions,
+}
+
+impl HierarchyConfig {
+    /// Creates a configuration from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, or if any layer has a zero parameter
+    /// (zero-cycle windows, zero-request chunks, zero-byte blocks or zero
+    /// intervals are all meaningless).
+    pub fn new(layers: Vec<LayerSpec>) -> Self {
+        assert!(!layers.is_empty(), "hierarchy needs at least one layer");
+        for layer in &layers {
+            let ok = match *layer {
+                LayerSpec::TemporalRequestCount(n) => n > 0,
+                LayerSpec::TemporalCycleCount(c) => c > 0,
+                LayerSpec::TemporalIntervalCount(k) => k > 0,
+                LayerSpec::SpatialFixed(b) => b > 0,
+                LayerSpec::SpatialDynamic => true,
+            };
+            assert!(ok, "layer parameter must be non-zero: {layer:?}");
+        }
+        Self {
+            layers,
+            options: ModelOptions::default(),
+        }
+    }
+
+    /// The paper's 2L-TS configuration: temporal `cycle_count` windows, then
+    /// dynamic spatial partitioning (§IV-A uses 500 000 cycles).
+    pub fn two_level_ts(cycles_per_phase: u64) -> Self {
+        Self::new(vec![
+            LayerSpec::TemporalCycleCount(cycles_per_phase),
+            LayerSpec::SpatialDynamic,
+        ])
+    }
+
+    /// The §V CPU configuration: temporal `request_count` phases (100 000
+    /// requests, from STM), then dynamic spatial partitioning — the paper's
+    /// *Mocktails (Dynamic)*.
+    pub fn two_level_requests_dynamic(requests_per_phase: usize) -> Self {
+        Self::new(vec![
+            LayerSpec::TemporalRequestCount(requests_per_phase),
+            LayerSpec::SpatialDynamic,
+        ])
+    }
+
+    /// The §V fixed-block variant — the paper's *Mocktails (4KB)* when
+    /// `block_bytes` is 4096.
+    pub fn two_level_requests_fixed(requests_per_phase: usize, block_bytes: u64) -> Self {
+        Self::new(vec![
+            LayerSpec::TemporalRequestCount(requests_per_phase),
+            LayerSpec::SpatialFixed(block_bytes),
+        ])
+    }
+
+    /// A 2L-ST configuration (spatial first, then temporal `interval_count`)
+    /// as illustrated by Fig. 4b / Table I.
+    pub fn two_level_st(intervals: usize) -> Self {
+        Self::new(vec![
+            LayerSpec::SpatialDynamic,
+            LayerSpec::TemporalIntervalCount(intervals),
+        ])
+    }
+
+    /// The hierarchy's layers, top first.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// The modeling options.
+    pub fn options(&self) -> ModelOptions {
+        self.options
+    }
+
+    /// Returns the same hierarchy with different modeling options
+    /// (builder-style; used by the ablation benches).
+    pub fn with_options(mut self, options: ModelOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_kind_predicates() {
+        assert!(LayerSpec::TemporalRequestCount(1).is_temporal());
+        assert!(LayerSpec::TemporalCycleCount(1).is_temporal());
+        assert!(LayerSpec::TemporalIntervalCount(2).is_temporal());
+        assert!(LayerSpec::SpatialDynamic.is_spatial());
+        assert!(LayerSpec::SpatialFixed(4096).is_spatial());
+        assert!(!LayerSpec::SpatialDynamic.is_temporal());
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let ts = HierarchyConfig::two_level_ts(500_000);
+        assert_eq!(ts.layers().len(), 2);
+        assert!(ts.layers()[0].is_temporal());
+        assert!(ts.layers()[1].is_spatial());
+
+        let dynamic = HierarchyConfig::two_level_requests_dynamic(100_000);
+        assert_eq!(
+            dynamic.layers()[0],
+            LayerSpec::TemporalRequestCount(100_000)
+        );
+
+        let fixed = HierarchyConfig::two_level_requests_fixed(100_000, 4096);
+        assert_eq!(fixed.layers()[1], LayerSpec::SpatialFixed(4096));
+
+        let st = HierarchyConfig::two_level_st(2);
+        assert!(st.layers()[0].is_spatial());
+        assert!(st.layers()[1].is_temporal());
+    }
+
+    #[test]
+    fn default_options_reproduce_paper() {
+        let o = ModelOptions::default();
+        assert!(o.strict_convergence);
+        assert!(o.merge_lonely);
+    }
+
+    #[test]
+    fn with_options_overrides() {
+        let config = HierarchyConfig::two_level_ts(1000).with_options(ModelOptions {
+            strict_convergence: false,
+            merge_lonely: false,
+            merge_similar: true,
+        });
+        assert!(!config.options().strict_convergence);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_hierarchy_rejected() {
+        let _ = HierarchyConfig::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_parameter_rejected() {
+        let _ = HierarchyConfig::new(vec![LayerSpec::TemporalCycleCount(0)]);
+    }
+}

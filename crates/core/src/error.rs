@@ -1,0 +1,58 @@
+//! Error type for profile serialization.
+
+use mocktails_trace::TraceError;
+
+/// Errors produced when encoding or decoding statistical profiles.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// An underlying codec or I/O error.
+    Codec(TraceError),
+    /// The input is not a valid encoded profile.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Codec(e) => write!(f, "codec error: {e}"),
+            ProfileError::Corrupt(msg) => write!(f, "corrupt profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Codec(e) => Some(e),
+            ProfileError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<TraceError> for ProfileError {
+    fn from(e: TraceError) -> Self {
+        ProfileError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for ProfileError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileError::Codec(TraceError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ProfileError::Corrupt("bad leaf count".into());
+        assert!(e.to_string().contains("bad leaf count"));
+        assert!(e.source().is_none());
+
+        let e = ProfileError::from(TraceError::Corrupt("x".into()));
+        assert!(e.source().is_some());
+    }
+}

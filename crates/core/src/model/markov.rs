@@ -1,0 +1,384 @@
+//! First-order Markov chains over feature values, with strict convergence.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+/// A first-order Markov chain over `i64` feature states.
+///
+/// Fitted from an observed value sequence: the first value becomes the
+/// initial state, and every consecutive pair contributes one transition
+/// count. States and edges are kept in sorted order so fitting, iteration
+/// and serialization are fully deterministic.
+///
+/// ```
+/// use mocktails_core::MarkovChain;
+///
+/// // The stride column of Table I (one temporal partition).
+/// let strides = [8, 64, 64, 64, 64, -264, 8, 64, 64, 64, 64];
+/// let chain = MarkovChain::fit(&strides);
+/// assert_eq!(chain.initial(), 8);
+/// // From state 64, both 64 and -264 were observed.
+/// assert_eq!(chain.successors(64).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkovChain {
+    initial: i64,
+    /// `from -> sorted [(to, count)]`, counts always ≥ 1.
+    transitions: BTreeMap<i64, Vec<(i64, u64)>>,
+}
+
+impl MarkovChain {
+    /// Fits a chain to an observed sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty — the caller decides what an absent
+    /// feature means (see [`crate::McC::fit`]).
+    pub fn fit(sequence: &[i64]) -> Self {
+        assert!(!sequence.is_empty(), "cannot fit a chain to no values");
+        let mut counts: BTreeMap<i64, BTreeMap<i64, u64>> = BTreeMap::new();
+        for w in sequence.windows(2) {
+            *counts.entry(w[0]).or_default().entry(w[1]).or_insert(0) += 1;
+        }
+        let transitions = counts
+            .into_iter()
+            .map(|(from, tos)| (from, tos.into_iter().collect()))
+            .collect();
+        Self {
+            initial: sequence[0],
+            transitions,
+        }
+    }
+
+    /// Builds a chain from explicit parts (used by the profile decoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge has a zero count.
+    pub fn from_parts(initial: i64, transitions: BTreeMap<i64, Vec<(i64, u64)>>) -> Self {
+        for edges in transitions.values() {
+            assert!(
+                edges.iter().all(|&(_, c)| c > 0),
+                "transition counts must be positive"
+            );
+        }
+        Self {
+            initial,
+            transitions,
+        }
+    }
+
+    /// The first observed state.
+    pub fn initial(&self) -> i64 {
+        self.initial
+    }
+
+    /// Number of distinct source states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Total number of observed transitions.
+    pub fn num_transitions(&self) -> u64 {
+        self.transitions
+            .values()
+            .flat_map(|edges| edges.iter().map(|&(_, c)| c))
+            .sum()
+    }
+
+    /// The `(successor, count)` edges out of `state` (empty if unseen or
+    /// terminal).
+    pub fn successors(&self, state: i64) -> &[(i64, u64)] {
+        self.transitions
+            .get(&state)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over `(from, to, count)` edges in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (i64, i64, u64)> + '_ {
+        self.transitions
+            .iter()
+            .flat_map(|(&from, edges)| edges.iter().map(move |&(to, c)| (from, to, c)))
+    }
+
+    /// Raw transition table (used by the profile encoder).
+    pub fn transitions(&self) -> &BTreeMap<i64, Vec<(i64, u64)>> {
+        &self.transitions
+    }
+
+    /// Creates a sampler. With `strict` convergence every emission consumes
+    /// a transition count (paper §III-C); without, the sampler draws from
+    /// the stationary transition probabilities indefinitely.
+    pub fn sampler(&self, strict: bool) -> MarkovSampler {
+        MarkovSampler {
+            chain: self.clone(),
+            remaining: if strict {
+                Some(self.transitions.clone())
+            } else {
+                None
+            },
+            current: None,
+        }
+    }
+}
+
+/// Streaming sampler for a [`MarkovChain`].
+///
+/// The first emission is the chain's initial state; each subsequent
+/// emission follows a transition from the current state. Under strict
+/// convergence the sampler consumes counts; if the current state's edges
+/// are exhausted (a dead end the decremented walk can reach), it jumps to
+/// any remaining edge so the overall value multiset is still reproduced.
+#[derive(Debug, Clone)]
+pub struct MarkovSampler {
+    chain: MarkovChain,
+    /// Remaining counts under strict convergence, `None` when non-strict.
+    remaining: Option<BTreeMap<i64, Vec<(i64, u64)>>>,
+    current: Option<i64>,
+}
+
+impl MarkovSampler {
+    /// Emits the next state.
+    pub fn next_state<R: Rng + ?Sized>(&mut self, rng: &mut R) -> i64 {
+        let Some(current) = self.current else {
+            self.current = Some(self.chain.initial);
+            return self.chain.initial;
+        };
+        let next = match &mut self.remaining {
+            Some(remaining) => Self::strict_step(&self.chain, remaining, current, rng),
+            None => Self::stationary_step(&self.chain, current, rng),
+        };
+        self.current = Some(next);
+        next
+    }
+
+    fn strict_step<R: Rng + ?Sized>(
+        chain: &MarkovChain,
+        remaining: &mut BTreeMap<i64, Vec<(i64, u64)>>,
+        current: i64,
+        rng: &mut R,
+    ) -> i64 {
+        // Try the current state's remaining out-edges first.
+        if let Some(edges) = remaining.get_mut(&current) {
+            if let Some(next) = take_weighted(edges, rng) {
+                return next;
+            }
+        }
+        // Dead end: jump via any remaining edge anywhere in the chain, so
+        // the value multiset still converges.
+        let total: u64 = remaining
+            .values()
+            .flat_map(|edges| edges.iter().map(|&(_, c)| c))
+            .sum();
+        if total == 0 {
+            // Fully exhausted (caller asked for more values than observed):
+            // fall back to stationary sampling.
+            return Self::stationary_step(chain, current, rng);
+        }
+        let mut target = rng.gen_range(0..total);
+        for edges in remaining.values_mut() {
+            for entry in edges.iter_mut() {
+                if target < entry.1 {
+                    entry.1 -= 1;
+                    return entry.0;
+                }
+                target -= entry.1;
+            }
+        }
+        unreachable!("weighted selection stays within total")
+    }
+
+    fn stationary_step<R: Rng + ?Sized>(chain: &MarkovChain, current: i64, rng: &mut R) -> i64 {
+        let edges = chain.successors(current);
+        if let Some(next) = pick_weighted(edges, rng) {
+            return next;
+        }
+        // Terminal state: draw from the global successor distribution.
+        let total = chain.num_transitions();
+        if total == 0 {
+            return chain.initial;
+        }
+        let mut target = rng.gen_range(0..total);
+        for (_, to, c) in chain.edges() {
+            if target < c {
+                return to;
+            }
+            target -= c;
+        }
+        unreachable!("weighted selection stays within total")
+    }
+}
+
+/// Samples proportionally to counts without mutating them.
+fn pick_weighted<R: Rng + ?Sized>(edges: &[(i64, u64)], rng: &mut R) -> Option<i64> {
+    let total: u64 = edges.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut target = rng.gen_range(0..total);
+    for &(to, c) in edges {
+        if target < c {
+            return Some(to);
+        }
+        target -= c;
+    }
+    unreachable!("weighted selection stays within total")
+}
+
+/// Samples proportionally to counts and decrements the chosen edge.
+fn take_weighted<R: Rng + ?Sized>(edges: &mut [(i64, u64)], rng: &mut R) -> Option<i64> {
+    let total: u64 = edges.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut target = rng.gen_range(0..total);
+    for entry in edges.iter_mut() {
+        if target < entry.1 {
+            entry.1 -= 1;
+            return Some(entry.0);
+        }
+        target -= entry.1;
+    }
+    unreachable!("weighted selection stays within total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn multiset(values: &[i64]) -> BTreeMap<i64, usize> {
+        let mut m = BTreeMap::new();
+        for &v in values {
+            *m.entry(v).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn fit_counts_transitions() {
+        let chain = MarkovChain::fit(&[1, 2, 2, 3, 2]);
+        assert_eq!(chain.initial(), 1);
+        assert_eq!(chain.successors(1), &[(2, 1)]);
+        assert_eq!(chain.successors(2), &[(2, 1), (3, 1)]);
+        assert_eq!(chain.successors(3), &[(2, 1)]);
+        assert_eq!(chain.num_transitions(), 4);
+        assert_eq!(chain.num_states(), 3);
+    }
+
+    #[test]
+    fn fit_single_value() {
+        let chain = MarkovChain::fit(&[7]);
+        assert_eq!(chain.initial(), 7);
+        assert_eq!(chain.num_transitions(), 0);
+        assert!(chain.successors(7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn fit_empty_panics() {
+        let _ = MarkovChain::fit(&[]);
+    }
+
+    #[test]
+    fn table1_size_probabilities() {
+        // Sizes from Table I: 128 always followed by 64; 64 followed by 64
+        // (8 times) or 128 (once) within one temporal partition.
+        let sizes = [128i64, 64, 64, 64, 64, 64, 128, 64, 64, 64, 64, 64];
+        let chain = MarkovChain::fit(&sizes);
+        assert_eq!(chain.successors(128), &[(64, 2)]);
+        let from64 = chain.successors(64);
+        assert_eq!(from64, &[(64, 8), (128, 1)]);
+    }
+
+    #[test]
+    fn strict_convergence_reproduces_multiset() {
+        let seq = [8i64, 64, 64, 64, 64, -264, 8, 64, 64, 64, 64];
+        let chain = MarkovChain::fit(&seq);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sampler = chain.sampler(true);
+            let out: Vec<i64> = (0..seq.len()).map(|_| sampler.next_state(&mut rng)).collect();
+            assert_eq!(multiset(&out), multiset(&seq), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strict_convergence_exact_read_write_counts() {
+        // Paper: "strict convergence ensures that both McC and STM models
+        // produce the exact number of reads and writes".
+        let ops = [0i64, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0];
+        let chain = MarkovChain::fit(&ops);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut sampler = chain.sampler(true);
+        let out: Vec<i64> = (0..ops.len()).map(|_| sampler.next_state(&mut rng)).collect();
+        assert_eq!(multiset(&out), multiset(&ops));
+    }
+
+    #[test]
+    fn deterministic_chain_replays_exactly() {
+        // A cycle with unique successors replays the exact sequence.
+        let seq = [1i64, 2, 3, 1, 2, 3, 1, 2, 3];
+        let chain = MarkovChain::fit(&seq);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sampler = chain.sampler(true);
+        let out: Vec<i64> = (0..seq.len()).map(|_| sampler.next_state(&mut rng)).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn first_emission_is_initial() {
+        let chain = MarkovChain::fit(&[42, 7, 42]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(chain.sampler(true).next_state(&mut rng), 42);
+        assert_eq!(chain.sampler(false).next_state(&mut rng), 42);
+    }
+
+    #[test]
+    fn non_strict_emits_only_observed_values() {
+        let seq = [5i64, 6, 5, 7, 5, 6];
+        let chain = MarkovChain::fit(&seq);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = chain.sampler(false);
+        for _ in 0..200 {
+            let v = sampler.next_state(&mut rng);
+            assert!(seq.contains(&v));
+        }
+    }
+
+    #[test]
+    fn exhausted_strict_sampler_falls_back() {
+        let seq = [1i64, 2];
+        let chain = MarkovChain::fit(&seq);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = chain.sampler(true);
+        // Ask for more values than observed; must not panic.
+        let out: Vec<i64> = (0..10).map(|_| sampler.next_state(&mut rng)).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1], 2);
+        assert!(out.iter().all(|v| seq.contains(v)));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let seq = [0i64, 1, 0, 0, 1, 1, 0, 1];
+        let chain = MarkovChain::fit(&seq);
+        let run = |seed: u64| -> Vec<i64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = chain.sampler(true);
+            (0..seq.len()).map(|_| s.next_state(&mut rng)).collect()
+        };
+        assert_eq!(run(17), run(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_parts_rejects_zero_counts() {
+        let mut t = BTreeMap::new();
+        t.insert(0i64, vec![(1i64, 0u64)]);
+        let _ = MarkovChain::from_parts(0, t);
+    }
+}

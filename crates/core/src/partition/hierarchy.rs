@@ -1,0 +1,182 @@
+//! Composing temporal and spatial layers into a hierarchy (paper §III-A).
+
+use mocktails_trace::Trace;
+
+use crate::config::{HierarchyConfig, LayerSpec};
+
+use super::{spatial, temporal, Partition};
+
+/// Applies the hierarchy described by `config` to `trace`, returning the
+/// leaf partitions in deterministic order (parents expanded depth-first,
+/// children in the order their scheme produces).
+///
+/// Each leaf is an independently-modelable subset of requests; together the
+/// leaves cover every request of the trace exactly once.
+///
+/// ```
+/// use mocktails_core::partition::hierarchy;
+/// use mocktails_core::HierarchyConfig;
+/// use mocktails_trace::{Request, Trace};
+///
+/// let trace = Trace::from_requests(
+///     (0..20u64).map(|i| Request::read(i * 100, (i % 2) * 0x10000 + i * 64, 64)).collect(),
+/// );
+/// let leaves = hierarchy::partition(&trace, &HierarchyConfig::two_level_ts(1_000));
+/// let total: usize = leaves.iter().map(|l| l.len()).sum();
+/// assert_eq!(total, trace.len());
+/// ```
+pub fn partition(trace: &Trace, config: &HierarchyConfig) -> Vec<Partition> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let options = config.options();
+    let mut current = vec![Partition::new(trace.requests().to_vec())];
+    for layer in config.layers() {
+        let mut next = Vec::with_capacity(current.len());
+        for part in &current {
+            next.extend(apply_layer(part, *layer, options));
+        }
+        current = next;
+    }
+    current
+}
+
+/// Maximum byte gap bridged by HALO-style similar-region merging.
+const SIMILAR_MERGE_GAP: u64 = 4096;
+
+fn apply_layer(
+    part: &Partition,
+    layer: LayerSpec,
+    options: crate::ModelOptions,
+) -> Vec<Partition> {
+    match layer {
+        LayerSpec::TemporalRequestCount(n) => temporal::by_request_count(part.requests(), n),
+        LayerSpec::TemporalCycleCount(c) => temporal::by_cycle_count(part.requests(), c),
+        LayerSpec::TemporalIntervalCount(k) => temporal::by_interval_count(part.requests(), k),
+        LayerSpec::SpatialDynamic => {
+            let parts = spatial::dynamic(part.requests(), options.merge_lonely);
+            if options.merge_similar {
+                spatial::merge_similar(parts, SIMILAR_MERGE_GAP)
+            } else {
+                parts
+            }
+        }
+        LayerSpec::SpatialFixed(b) => spatial::fixed_size(part.requests(), b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelOptions;
+    use mocktails_trace::Request;
+
+    /// Two spatial streams active in two separate time phases.
+    fn two_phase_trace() -> Trace {
+        let mut reqs = Vec::new();
+        for i in 0..10u64 {
+            reqs.push(Request::read(i * 10, 0x1000 + i * 64, 64));
+            reqs.push(Request::write(i * 10 + 1, 0x9000 + i * 64, 64));
+        }
+        for i in 0..10u64 {
+            reqs.push(Request::read(1_000_000 + i * 10, 0x1000 + i * 64, 64));
+        }
+        Trace::from_requests(reqs)
+    }
+
+    #[test]
+    fn leaves_cover_trace_exactly() {
+        let trace = two_phase_trace();
+        for config in [
+            HierarchyConfig::two_level_ts(1_000),
+            HierarchyConfig::two_level_requests_dynamic(7),
+            HierarchyConfig::two_level_requests_fixed(7, 4096),
+            HierarchyConfig::two_level_st(2),
+        ] {
+            let leaves = partition(&trace, &config);
+            let total: usize = leaves.iter().map(Partition::len).sum();
+            assert_eq!(total, trace.len(), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn temporal_then_spatial_separates_streams() {
+        let trace = two_phase_trace();
+        let leaves = partition(&trace, &HierarchyConfig::two_level_ts(10_000));
+        // Phase 1 has two streams (read @0x1000.., write @0x9000..); phase 2
+        // has one. Expect three leaves.
+        assert_eq!(leaves.len(), 3);
+        // Each leaf is spatially homogeneous: strides within are constant.
+        for leaf in &leaves {
+            let strides = leaf.strides();
+            assert!(
+                strides.iter().all(|&s| s == strides[0]),
+                "leaf strides should be uniform, got {strides:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_then_temporal_splits_reuse() {
+        let trace = two_phase_trace();
+        let leaves = partition(&trace, &HierarchyConfig::two_level_st(2));
+        // The 0x1000 region is accessed in both phases; spatial-first puts
+        // both passes in one region, then the temporal layer splits them.
+        assert!(leaves.len() >= 3);
+        let total: usize = leaves.iter().map(Partition::len).sum();
+        assert_eq!(total, trace.len());
+    }
+
+    #[test]
+    fn single_level_spatial() {
+        let trace = two_phase_trace();
+        let config = HierarchyConfig::new(vec![LayerSpec::SpatialDynamic]);
+        let leaves = partition(&trace, &config);
+        assert_eq!(leaves.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_leaves() {
+        let leaves = partition(&Trace::new(), &HierarchyConfig::two_level_ts(1000));
+        assert!(leaves.is_empty());
+    }
+
+    #[test]
+    fn three_level_hierarchies_compose() {
+        // Temporal → spatial → temporal: each spatial leaf of each phase
+        // is further split into two intervals (the Table I refinement).
+        let trace = two_phase_trace();
+        let config = HierarchyConfig::new(vec![
+            LayerSpec::TemporalCycleCount(10_000),
+            LayerSpec::SpatialDynamic,
+            LayerSpec::TemporalIntervalCount(2),
+        ]);
+        let leaves = partition(&trace, &config);
+        let two_level = partition(&trace, &HierarchyConfig::two_level_ts(10_000));
+        assert!(leaves.len() > two_level.len());
+        let total: usize = leaves.iter().map(Partition::len).sum();
+        assert_eq!(total, trace.len());
+    }
+
+    #[test]
+    fn merge_lonely_option_propagates() {
+        // Isolated singles in one time window.
+        let trace = Trace::from_requests(vec![
+            Request::read(0, 0x1_0000, 64),
+            Request::read(1, 0x9_0300, 32),
+        ]);
+        let base = HierarchyConfig::two_level_ts(1000);
+        let merged = partition(&trace, &base);
+        assert_eq!(merged.len(), 1);
+
+        let unmerged = partition(
+            &trace,
+            &base.clone().with_options(ModelOptions {
+                strict_convergence: true,
+                merge_lonely: false,
+                merge_similar: false,
+            }),
+        );
+        assert_eq!(unmerged.len(), 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Spatial partitioning schemes (paper §III-A, *Dynamic Memory Regions*).
+//!
+//! [`dynamic`] implements the paper's novel Alg. 1: request address ranges
+//! are sorted and merged whenever they overlap or are adjacent, yielding
+//! variable-sized memory regions that adapt to the access behaviour. Lonely
+//! (single-request) regions are post-processed: equally-strided runs become
+//! one partition, the rest are pooled together.
+//!
+//! [`fixed_size`] implements the prior-art alternative (HALO-style): aligned
+//! blocks of a fixed byte size.
+
+use std::collections::BTreeMap;
+
+use mocktails_trace::{AddrRange, Request};
+
+use super::Partition;
+
+/// Merges the address ranges of `requests` into non-overlapping,
+/// non-adjacent regions — the raw output of the paper's Alg. 1, before
+/// requests are assigned and lonely regions are post-processed.
+///
+/// The returned regions are sorted by start address.
+pub fn merge_ranges(requests: &[Request]) -> Vec<AddrRange> {
+    let mut ranges: Vec<AddrRange> = requests.iter().map(Request::range).collect();
+    ranges.sort();
+    let mut regions: Vec<AddrRange> = Vec::new();
+    for range in ranges {
+        match regions.last_mut() {
+            Some(group) if group.touches(&range) => group.expand(&range),
+            _ => regions.push(range),
+        }
+    }
+    regions
+}
+
+/// Dynamic spatial partitioning (paper Alg. 1 plus lonely-request merging).
+///
+/// Each returned partition groups the requests of one dynamic memory
+/// region. When `merge_lonely` is `true` (the paper's behaviour),
+/// single-request regions are post-processed: maximal runs of three or more
+/// lonely requests equally spaced in memory become one partition each, and
+/// the remaining lonely requests are pooled into a single partition.
+///
+/// Partitions are ordered by start time (ties broken by start address).
+///
+/// ```
+/// use mocktails_core::partition::spatial;
+/// use mocktails_trace::Request;
+///
+/// // Two separate streams and one isolated request.
+/// let reqs = vec![
+///     Request::read(0, 0x1000, 64),
+///     Request::read(1, 0x1040, 64),  // adjacent: merges with the first
+///     Request::read(2, 0x8000, 64),  // far away: its own region
+///     Request::read(3, 0x8040, 64),
+/// ];
+/// let parts = spatial::dynamic(&reqs, true);
+/// assert_eq!(parts.len(), 2);
+/// assert_eq!(parts[0].len(), 2);
+/// assert_eq!(parts[1].len(), 2);
+/// ```
+pub fn dynamic(requests: &[Request], merge_lonely: bool) -> Vec<Partition> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let regions = merge_ranges(requests);
+
+    // Assign each request to the region containing its start address.
+    // Regions are sorted and non-overlapping, so binary search works.
+    let mut buckets: Vec<Vec<Request>> = vec![Vec::new(); regions.len()];
+    for &r in requests {
+        let idx = match regions.binary_search_by(|g| {
+            if g.end() <= r.address {
+                std::cmp::Ordering::Less
+            } else if g.start() > r.address {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => unreachable!("every request lies inside a merged region"),
+        };
+        buckets[idx].push(r);
+    }
+
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut lonely: Vec<Request> = Vec::new();
+    for bucket in buckets {
+        if bucket.len() == 1 && merge_lonely {
+            lonely.push(bucket[0]);
+        } else {
+            partitions.push(Partition::new(bucket));
+        }
+    }
+
+    partitions.extend(group_lonely(lonely));
+    partitions.sort_by_key(|p| (p.start_time(), p.start_address()));
+    partitions
+}
+
+/// Groups lonely requests per the paper: maximal runs of ≥ 3 requests with
+/// a constant address stride become one partition each; everything left is
+/// pooled into a single partition.
+fn group_lonely(mut lonely: Vec<Request>) -> Vec<Partition> {
+    if lonely.is_empty() {
+        return Vec::new();
+    }
+    if lonely.len() == 1 {
+        return vec![Partition::new(lonely)];
+    }
+    lonely.sort_by_key(|r| r.address);
+
+    let mut partitions = Vec::new();
+    let mut pool: Vec<Request> = Vec::new();
+    let mut i = 0;
+    while i < lonely.len() {
+        // Extend the longest constant-stride run starting at i.
+        let mut j = i + 1;
+        if j < lonely.len() {
+            let stride = lonely[j].address.wrapping_sub(lonely[i].address);
+            while j + 1 < lonely.len()
+                && lonely[j + 1].address.wrapping_sub(lonely[j].address) == stride
+            {
+                j += 1;
+            }
+        }
+        let run_len = j - i + 1;
+        if run_len >= 3 {
+            partitions.push(Partition::new(lonely[i..=j].to_vec()));
+            i = j + 1;
+        } else {
+            pool.push(lonely[i]);
+            i += 1;
+        }
+    }
+    if !pool.is_empty() {
+        partitions.push(Partition::new(pool));
+    }
+    partitions
+}
+
+/// HALO-style post-merging of similar neighbouring regions (the paper
+/// notes prior art "may be merged if two contiguous regions have similar
+/// models", §III-A; off by default in Mocktails, exposed for ablations).
+///
+/// Two partitions merge when their ranges are within `max_gap` bytes of
+/// each other and both exhibit the same *constant* behaviour: identical
+/// single stride, identical operation, and identical request size. Only
+/// such fully-deterministic neighbours can merge without creating model
+/// variance that dynamic partitioning existed to remove.
+pub fn merge_similar(partitions: Vec<Partition>, max_gap: u64) -> Vec<Partition> {
+    if partitions.len() < 2 {
+        return partitions;
+    }
+    /// The constant signature of a partition, when it has one.
+    fn signature(p: &Partition) -> Option<(i64, i64, i64)> {
+        let strides = p.strides();
+        let stride = match strides.split_first() {
+            None => 0,
+            Some((&first, rest)) if rest.iter().all(|&s| s == first) => first,
+            _ => return None,
+        };
+        let ops = p.op_states();
+        if !ops.iter().all(|&o| o == ops[0]) {
+            return None;
+        }
+        let sizes = p.size_states();
+        if !sizes.iter().all(|&s| s == sizes[0]) {
+            return None;
+        }
+        Some((stride, ops[0], sizes[0]))
+    }
+
+    let mut by_addr: Vec<Partition> = partitions;
+    by_addr.sort_by_key(|p| p.addr_range().start());
+    let mut out: Vec<Partition> = Vec::with_capacity(by_addr.len());
+    for part in by_addr {
+        let mergeable = out.last().is_some_and(|prev| {
+            let prev_range = prev.addr_range();
+            let range = part.addr_range();
+            let gap = range.start().saturating_sub(prev_range.end());
+            gap <= max_gap
+                && !prev_range.overlaps(&range)
+                && signature(prev).is_some()
+                && signature(prev) == signature(&part)
+        });
+        if mergeable {
+            let prev = out.pop().expect("checked non-empty");
+            let mut requests = prev.into_requests();
+            requests.extend(part.requests().iter().copied());
+            out.push(Partition::new(requests));
+        } else {
+            out.push(part);
+        }
+    }
+    out.sort_by_key(|p| (p.start_time(), p.start_address()));
+    out
+}
+
+/// Fixed-size spatial partitioning: requests are grouped by the aligned
+/// `block_bytes` block containing their start address (HALO-style; the
+/// paper evaluates 4 KiB blocks as *Mocktails (4KB)*).
+///
+/// Partitions are ordered by start time (ties broken by start address).
+///
+/// # Panics
+///
+/// Panics if `block_bytes` is zero.
+pub fn fixed_size(requests: &[Request], block_bytes: u64) -> Vec<Partition> {
+    assert!(block_bytes > 0, "block size must be non-zero");
+    let mut buckets: BTreeMap<u64, Vec<Request>> = BTreeMap::new();
+    for &r in requests {
+        buckets.entry(r.address / block_bytes).or_default().push(r);
+    }
+    let mut partitions: Vec<Partition> = buckets
+        .into_values()
+        .map(Partition::new)
+        .collect();
+    partitions.sort_by_key(|p| (p.start_time(), p.start_address()));
+    partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_ranges_merges_overlap_and_adjacency() {
+        let reqs = vec![
+            Request::read(0, 0x100, 64),
+            Request::read(1, 0x120, 64), // overlaps the first
+            Request::read(2, 0x160, 32), // adjacent to the merged range
+            Request::read(3, 0x400, 64), // separate
+        ];
+        let regions = merge_ranges(&reqs);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0], AddrRange::new(0x100, 0x180));
+        assert_eq!(regions[1], AddrRange::new(0x400, 0x440));
+    }
+
+    #[test]
+    fn merge_ranges_is_sorted_and_disjoint() {
+        let reqs = vec![
+            Request::read(0, 0x900, 64),
+            Request::read(1, 0x100, 64),
+            Request::read(2, 0x500, 64),
+            Request::read(3, 0x140, 64),
+        ];
+        let regions = merge_ranges(&reqs);
+        for w in regions.windows(2) {
+            assert!(w[0].end() < w[1].start(), "regions must not touch");
+        }
+    }
+
+    #[test]
+    fn dynamic_partitions_cover_every_request() {
+        let reqs: Vec<Request> = (0..50u64)
+            .map(|i| Request::read(i, 0x1000 + (i % 5) * 0x1000, 64))
+            .collect();
+        let parts = dynamic(&reqs, true);
+        let total: usize = parts.iter().map(Partition::len).sum();
+        assert_eq!(total, reqs.len());
+    }
+
+    #[test]
+    fn dynamic_reuse_lands_in_same_region() {
+        // Two passes over the same region (like partition F in Fig. 2).
+        let reqs = vec![
+            Request::read(0, 0x1000, 64),
+            Request::read(1, 0x1040, 64),
+            Request::read(100, 0x1000, 64),
+            Request::read(101, 0x1040, 64),
+        ];
+        let parts = dynamic(&reqs, true);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 4);
+    }
+
+    #[test]
+    fn dynamic_lonely_equal_stride_grouped() {
+        // Three isolated requests equally spaced by 0x1000.
+        let reqs = vec![
+            Request::read(0, 0x1_0000, 64),
+            Request::read(1, 0x1_1000, 64),
+            Request::read(2, 0x1_2000, 64),
+        ];
+        let parts = dynamic(&reqs, true);
+        assert_eq!(parts.len(), 1, "equal-stride lonely requests group");
+        assert_eq!(parts[0].len(), 3);
+    }
+
+    #[test]
+    fn dynamic_lonely_pooled_otherwise() {
+        // Two isolated requests with nothing in common: pooled (partition D
+        // style).
+        let reqs = vec![
+            Request::read(0, 0x1_0000, 64),
+            Request::read(1, 0x5_0300, 32),
+        ];
+        let parts = dynamic(&reqs, true);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 2);
+    }
+
+    #[test]
+    fn dynamic_lonely_disabled_keeps_singletons() {
+        let reqs = vec![
+            Request::read(0, 0x1_0000, 64),
+            Request::read(1, 0x5_0300, 32),
+        ];
+        let parts = dynamic(&reqs, false);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_single_request_trace() {
+        let parts = dynamic(&[Request::read(0, 0x40, 64)], true);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 1);
+    }
+
+    #[test]
+    fn dynamic_empty_input() {
+        assert!(dynamic(&[], true).is_empty());
+    }
+
+    #[test]
+    fn dynamic_regions_are_tight() {
+        // Requests touch only part of a 4 KiB block; the dynamic region
+        // must hug the touched bytes (§V: "requests within a dynamic memory
+        // region are guaranteed to touch the entire address range").
+        let reqs = vec![
+            Request::read(0, 0x1f00, 64),
+            Request::read(1, 0x1f40, 64),
+        ];
+        let parts = dynamic(&reqs, true);
+        let range = parts[0].addr_range();
+        assert_eq!(range.start(), 0x1f00);
+        assert_eq!(range.end(), 0x1f80);
+    }
+
+    #[test]
+    fn dynamic_ordering_is_by_start_time() {
+        let reqs = vec![
+            Request::read(50, 0x1000, 64),
+            Request::read(51, 0x1040, 64),
+            Request::read(0, 0x8000, 64),
+            Request::read(1, 0x8040, 64),
+        ];
+        let parts = dynamic(&reqs, true);
+        assert_eq!(parts[0].start_address(), 0x8000);
+        assert_eq!(parts[1].start_address(), 0x1000);
+    }
+
+    #[test]
+    fn fig2_partition_structure() {
+        // A sketch of Fig. 2: six clusters inside one 4 KiB block, two of
+        // them revisited. Dynamic partitioning should find distinct regions
+        // rather than one coarse block.
+        let mut reqs = Vec::new();
+        let clusters: [(u64, u64); 4] = [(0x000, 4), (0x400, 6), (0x900, 3), (0xc00, 5)];
+        let mut t = 0;
+        for &(base, n) in &clusters {
+            for i in 0..n {
+                reqs.push(Request::read(t, 0x8000_0000 + base + i * 64, 64));
+                t += 10;
+            }
+        }
+        let parts = dynamic(&reqs, true);
+        assert_eq!(parts.len(), clusters.len());
+        let fixed = fixed_size(&reqs, 4096);
+        assert_eq!(fixed.len(), 1, "a 4 KiB scheme sees a single block");
+    }
+
+    #[test]
+    fn merge_similar_joins_constant_neighbours() {
+        // Two nearby linear read streams with identical stride/size.
+        let a = Partition::new(
+            (0..4u64).map(|i| Request::read(i, 0x1000 + i * 64, 64)).collect(),
+        );
+        let b = Partition::new(
+            (0..4u64).map(|i| Request::read(10 + i, 0x1200 + i * 64, 64)).collect(),
+        );
+        let merged = merge_similar(vec![a, b], 4096);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].len(), 8);
+    }
+
+    #[test]
+    fn merge_similar_respects_gap_limit() {
+        let a = Partition::new(vec![Request::read(0, 0x1000, 64), Request::read(1, 0x1040, 64)]);
+        let b = Partition::new(vec![Request::read(2, 0x9000, 64), Request::read(3, 0x9040, 64)]);
+        let merged = merge_similar(vec![a, b], 4096);
+        assert_eq!(merged.len(), 2, "0x8000-byte gap exceeds the limit");
+    }
+
+    #[test]
+    fn merge_similar_keeps_dissimilar_neighbours() {
+        // Same addresses but one stream writes: signatures differ.
+        let a = Partition::new(vec![Request::read(0, 0x1000, 64), Request::read(1, 0x1040, 64)]);
+        let b = Partition::new(vec![Request::write(2, 0x1100, 64), Request::write(3, 0x1140, 64)]);
+        let merged = merge_similar(vec![a, b], 4096);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_similar_skips_variable_partitions() {
+        // Irregular strides: no constant signature, never merged.
+        let a = Partition::new(vec![
+            Request::read(0, 0x1000, 64),
+            Request::read(1, 0x1048, 64),
+            Request::read(2, 0x1040, 64),
+        ]);
+        let b = Partition::new(vec![Request::read(3, 0x1200, 64), Request::read(4, 0x1240, 64)]);
+        let merged = merge_similar(vec![a, b], 4096);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_similar_single_partition_is_identity() {
+        let a = Partition::new(vec![Request::read(0, 0x1000, 64)]);
+        let merged = merge_similar(vec![a.clone()], 4096);
+        assert_eq!(merged, vec![a]);
+    }
+
+    #[test]
+    fn fixed_size_groups_by_block() {
+        let reqs = vec![
+            Request::read(0, 0x0fc0, 64),
+            Request::read(1, 0x1000, 64), // next 4 KiB block
+            Request::read(2, 0x1fff, 1),
+            Request::read(3, 0x0004, 4),
+        ];
+        let parts = fixed_size(&reqs, 4096);
+        assert_eq!(parts.len(), 2);
+        let total: usize = parts.iter().map(Partition::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn fixed_size_empty_input() {
+        assert!(fixed_size(&[], 4096).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn fixed_size_zero_block_panics() {
+        let _ = fixed_size(&[], 0);
+    }
+}

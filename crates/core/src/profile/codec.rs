@@ -1,0 +1,327 @@
+//! Binary encoding of statistical profiles.
+//!
+//! Reuses the varint/zigzag primitives of [`mocktails_trace::codec`] so
+//! profiles and traces share one encoding family (keeping Fig. 17's size
+//! comparison apples-to-apples). Layout:
+//!
+//! ```text
+//! magic "MPRO" | version u8
+//! layer count  | per layer: tag u8 + parameter varint
+//! options byte (bit 0: strict convergence, bit 1: merge lonely)
+//! leaf count   | per leaf:
+//!   start_time varint | start_address varint
+//!   range start varint | range length varint | request count varint
+//!   4 × McC: tag u8 (0 = constant, 1 = markov)
+//!     constant: zigzag value
+//!     markov: zigzag initial | state count | per state:
+//!             zigzag from | edge count | per edge (zigzag to, count varint)
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use mocktails_trace::codec::{read_i64, read_u64, write_i64, write_u64};
+use mocktails_trace::AddrRange;
+
+use crate::config::{HierarchyConfig, LayerSpec, ModelOptions};
+use crate::model::{LeafModel, MarkovChain, McC};
+use crate::ProfileError;
+
+use super::Profile;
+
+/// Magic bytes identifying an encoded profile.
+pub const PROFILE_MAGIC: [u8; 4] = *b"MPRO";
+/// Current profile codec version.
+pub const PROFILE_VERSION: u8 = 1;
+
+/// Encodes `profile` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_profile<W: Write>(w: &mut W, profile: &Profile) -> Result<(), ProfileError> {
+    w.write_all(&PROFILE_MAGIC)?;
+    w.write_all(&[PROFILE_VERSION])?;
+
+    let layers = profile.config().layers();
+    write_u64(w, layers.len() as u64)?;
+    for layer in layers {
+        let (tag, param) = match *layer {
+            LayerSpec::TemporalRequestCount(n) => (0u8, n as u64),
+            LayerSpec::TemporalCycleCount(c) => (1, c),
+            LayerSpec::TemporalIntervalCount(k) => (2, k as u64),
+            LayerSpec::SpatialDynamic => (3, 0),
+            LayerSpec::SpatialFixed(b) => (4, b),
+        };
+        w.write_all(&[tag])?;
+        write_u64(w, param)?;
+    }
+    let options = profile.config().options();
+    let options_byte = u8::from(options.strict_convergence)
+        | (u8::from(options.merge_lonely) << 1)
+        | (u8::from(options.merge_similar) << 2);
+    w.write_all(&[options_byte])?;
+
+    write_u64(w, profile.leaves().len() as u64)?;
+    for leaf in profile.leaves() {
+        write_u64(w, leaf.start_time())?;
+        write_u64(w, leaf.start_address())?;
+        write_u64(w, leaf.range().start())?;
+        write_u64(w, leaf.range().len())?;
+        write_u64(w, leaf.count())?;
+        for model in [
+            leaf.delta_time_model(),
+            leaf.stride_model(),
+            leaf.op_model(),
+            leaf.size_model(),
+        ] {
+            write_mcc(w, model)?;
+        }
+    }
+    Ok(())
+}
+
+fn write_mcc<W: Write>(w: &mut W, model: &McC) -> Result<(), ProfileError> {
+    match model {
+        McC::Constant(v) => {
+            w.write_all(&[0])?;
+            write_i64(w, *v)?;
+        }
+        McC::Markov(chain) => {
+            w.write_all(&[1])?;
+            write_i64(w, chain.initial())?;
+            write_u64(w, chain.num_states() as u64)?;
+            for (from, edges) in chain.transitions() {
+                write_i64(w, *from)?;
+                write_u64(w, edges.len() as u64)?;
+                for &(to, count) in edges {
+                    write_i64(w, to)?;
+                    write_u64(w, count)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a profile written by [`write_profile`].
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] for malformed input or I/O failures.
+pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != PROFILE_MAGIC {
+        return Err(ProfileError::Corrupt("bad profile magic".into()));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != PROFILE_VERSION {
+        return Err(ProfileError::Corrupt(format!(
+            "unsupported profile version {}",
+            version[0]
+        )));
+    }
+
+    let layer_count = read_u64(r)? as usize;
+    if layer_count == 0 || layer_count > 16 {
+        return Err(ProfileError::Corrupt(format!(
+            "implausible layer count {layer_count}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let param = read_u64(r)?;
+        if param == 0 && tag[0] != 3 {
+            return Err(ProfileError::Corrupt("zero layer parameter".into()));
+        }
+        let layer = match tag[0] {
+            0 => LayerSpec::TemporalRequestCount(param as usize),
+            1 => LayerSpec::TemporalCycleCount(param),
+            2 => LayerSpec::TemporalIntervalCount(param as usize),
+            3 => LayerSpec::SpatialDynamic,
+            4 => LayerSpec::SpatialFixed(param),
+            t => return Err(ProfileError::Corrupt(format!("unknown layer tag {t}"))),
+        };
+        layers.push(layer);
+    }
+    let mut options_byte = [0u8; 1];
+    r.read_exact(&mut options_byte)?;
+    let options = ModelOptions {
+        strict_convergence: options_byte[0] & 1 != 0,
+        merge_lonely: options_byte[0] & 2 != 0,
+        merge_similar: options_byte[0] & 4 != 0,
+    };
+    let config = HierarchyConfig::new(layers).with_options(options);
+
+    let leaf_count = read_u64(r)? as usize;
+    let mut leaves = Vec::with_capacity(leaf_count.min(1 << 20));
+    for _ in 0..leaf_count {
+        let start_time = read_u64(r)?;
+        let start_address = read_u64(r)?;
+        let range_start = read_u64(r)?;
+        let range_len = read_u64(r)?;
+        let count = read_u64(r)?;
+        if count == 0 {
+            return Err(ProfileError::Corrupt("leaf with zero requests".into()));
+        }
+        let range = AddrRange::from_start_size(range_start, range_len);
+        if !range.contains(start_address) {
+            return Err(ProfileError::Corrupt(
+                "leaf start address outside its range".into(),
+            ));
+        }
+        let delta_time = read_mcc(r)?;
+        let stride = read_mcc(r)?;
+        let op = read_mcc(r)?;
+        let size = read_mcc(r)?;
+        leaves.push(LeafModel::from_parts(
+            start_time,
+            start_address,
+            range,
+            count,
+            delta_time,
+            stride,
+            op,
+            size,
+        ));
+    }
+    Ok(Profile::from_parts(config, leaves))
+}
+
+fn read_mcc<R: Read>(r: &mut R) -> Result<McC, ProfileError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        0 => Ok(McC::Constant(read_i64(r)?)),
+        1 => {
+            let initial = read_i64(r)?;
+            let state_count = read_u64(r)? as usize;
+            let mut transitions = BTreeMap::new();
+            for _ in 0..state_count {
+                let from = read_i64(r)?;
+                let edge_count = read_u64(r)? as usize;
+                let mut edges = Vec::with_capacity(edge_count.min(1 << 16));
+                for _ in 0..edge_count {
+                    let to = read_i64(r)?;
+                    let count = read_u64(r)?;
+                    if count == 0 {
+                        return Err(ProfileError::Corrupt("zero transition count".into()));
+                    }
+                    edges.push((to, count));
+                }
+                transitions.insert(from, edges);
+            }
+            Ok(McC::Markov(MarkovChain::from_parts(initial, transitions)))
+        }
+        t => Err(ProfileError::Corrupt(format!("unknown McC tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_trace::{Request, Trace};
+
+    fn profile_with_variety() -> Profile {
+        let mut reqs = Vec::new();
+        for i in 0..200u64 {
+            let op_write = i % 5 == 0;
+            let addr = 0x8000_0000 + (i % 13) * 64 + (i / 50) * 0x10_0000;
+            let size = if i % 7 == 0 { 128 } else { 64 };
+            let r = if op_write {
+                Request::write(i * 11, addr, size)
+            } else {
+                Request::read(i * 11, addr, size)
+            };
+            reqs.push(r);
+        }
+        Profile::fit(
+            &Trace::from_requests(reqs),
+            &HierarchyConfig::two_level_ts(500),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_profile() {
+        let profile = profile_with_variety();
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile).unwrap();
+        let back = read_profile(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn round_trip_preserves_options() {
+        let trace = Trace::from_requests(vec![Request::read(0, 0, 64)]);
+        let config = HierarchyConfig::two_level_requests_fixed(100, 4096).with_options(
+            ModelOptions {
+                strict_convergence: false,
+                merge_lonely: false,
+                merge_similar: false,
+            },
+        );
+        let profile = Profile::fit(&trace, &config);
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile).unwrap();
+        let back = read_profile(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.config(), profile.config());
+    }
+
+    #[test]
+    fn synthesized_output_identical_after_round_trip() {
+        let profile = profile_with_variety();
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile).unwrap();
+        let back = read_profile(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.synthesize(42), profile.synthesize(42));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01".to_vec();
+        assert!(matches!(
+            read_profile(&mut buf.as_slice()),
+            Err(ProfileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile_with_variety()).unwrap();
+        buf[4] = 200;
+        assert!(matches!(
+            read_profile(&mut buf.as_slice()),
+            Err(ProfileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile_with_variety()).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_profile(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn profile_is_smaller_than_structured_trace() {
+        // A long, patterned trace should compress to a much smaller profile
+        // (the Fig. 17 effect).
+        let reqs: Vec<Request> = (0..50_000u64)
+            .map(|i| Request::read(i * 4, 0x1000 + (i % 1024) * 64, 64))
+            .collect();
+        let trace = Trace::from_requests(reqs);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
+        let trace_size = mocktails_trace::codec::trace_encoded_size(&trace);
+        let profile_size = profile.metadata_size();
+        assert!(
+            profile_size * 10 < trace_size,
+            "profile {profile_size} B not ≪ trace {trace_size} B"
+        );
+    }
+}

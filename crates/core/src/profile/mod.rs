@@ -1,0 +1,220 @@
+//! Statistical profiles: the distributable artifact of Mocktails.
+//!
+//! A [`Profile`] is the collection of leaf models produced by hierarchical
+//! partitioning plus the hierarchy configuration itself. It is the artifact
+//! industry would share in the paper's Fig. 1 workflow: it reveals only
+//! per-region feature statistics — never the original request sequence —
+//! and is typically far smaller than the trace (Fig. 17).
+
+mod codec;
+mod summary;
+
+pub use codec::{read_profile, write_profile};
+pub use summary::ProfileSummary;
+
+use mocktails_trace::Trace;
+
+use crate::config::HierarchyConfig;
+use crate::model::LeafModel;
+use crate::partition::hierarchy;
+use crate::synth::Synthesizer;
+use crate::ProfileError;
+
+/// A Mocktails statistical profile.
+///
+/// ```
+/// use mocktails_core::{HierarchyConfig, Profile};
+/// use mocktails_trace::{Request, Trace};
+///
+/// let trace = Trace::from_requests(
+///     (0..200u64).map(|i| Request::read(i * 5, 0x4000 + (i % 32) * 64, 64)).collect(),
+/// );
+/// let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100));
+///
+/// // Round-trip through the binary format.
+/// let mut buf = Vec::new();
+/// profile.write(&mut buf)?;
+/// let back = Profile::read(&mut buf.as_slice())?;
+/// assert_eq!(back, profile);
+///
+/// // Option A: synthesize a stand-alone trace.
+/// let synthetic = profile.synthesize(7);
+/// assert_eq!(synthetic.len(), trace.len());
+/// # Ok::<(), mocktails_core::ProfileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    config: HierarchyConfig,
+    leaves: Vec<LeafModel>,
+}
+
+impl Profile {
+    /// Fits a profile: partitions `trace` per `config` and models every
+    /// leaf (the paper's *model generator*).
+    pub fn fit(trace: &Trace, config: &HierarchyConfig) -> Self {
+        let leaves = hierarchy::partition(trace, config)
+            .iter()
+            .map(LeafModel::fit)
+            .collect();
+        Self {
+            config: config.clone(),
+            leaves,
+        }
+    }
+
+    /// Builds a profile from explicit parts (used by the decoder and by
+    /// baselines that substitute their own leaf models).
+    pub fn from_parts(config: HierarchyConfig, leaves: Vec<LeafModel>) -> Self {
+        Self { config, leaves }
+    }
+
+    /// The hierarchy configuration the profile was fitted with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// The leaf models.
+    pub fn leaves(&self) -> &[LeafModel] {
+        &self.leaves
+    }
+
+    /// Total requests the profile will synthesize.
+    pub fn total_requests(&self) -> u64 {
+        self.leaves.iter().map(LeafModel::count).sum()
+    }
+
+    /// Creates a streaming synthesizer (Fig. 1, Option B: couple it to a
+    /// simulator and feed backpressure through
+    /// [`crate::InjectionFeedback`]).
+    pub fn synthesizer(&self, seed: u64) -> Synthesizer {
+        Synthesizer::new(
+            self.leaves.clone(),
+            self.config.options().strict_convergence,
+            seed,
+        )
+    }
+
+    /// Synthesizes a complete trace (Fig. 1, Option A).
+    pub fn synthesize(&self, seed: u64) -> Trace {
+        self.synthesizer(seed).into_trace()
+    }
+
+    /// Serializes the profile to `w` in the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: std::io::Write>(&self, w: &mut W) -> Result<(), ProfileError> {
+        codec::write_profile(w, self)
+    }
+
+    /// Deserializes a profile written by [`Profile::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] for malformed input or I/O failures.
+    pub fn read<R: std::io::Read>(r: &mut R) -> Result<Self, ProfileError> {
+        codec::read_profile(r)
+    }
+
+    /// Composition summary: constants vs Markov chains per feature — the
+    /// metadata trade-off the paper discusses around Fig. 17.
+    pub fn summary(&self) -> ProfileSummary {
+        ProfileSummary::of(self)
+    }
+
+    /// Size of the serialized profile in bytes — the metadata overhead of
+    /// Fig. 17 — computed without materializing the encoding.
+    pub fn metadata_size(&self) -> u64 {
+        let mut counter = mocktails_trace::codec::ByteCounter::new();
+        codec::write_profile(&mut counter, self).expect("ByteCounter never fails");
+        counter.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelOptions;
+    use mocktails_trace::Request;
+
+    fn mixed_trace() -> Trace {
+        let mut reqs = Vec::new();
+        for i in 0..100u64 {
+            reqs.push(Request::read(i * 10, 0x1000 + (i % 20) * 64, 64));
+            if i % 4 == 0 {
+                reqs.push(Request::write(i * 10 + 3, 0x20_0000 + i * 128, 128));
+            }
+        }
+        Trace::from_requests(reqs)
+    }
+
+    #[test]
+    fn fit_produces_leaves_covering_trace() {
+        let trace = mixed_trace();
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+        assert!(profile.leaves().len() > 1);
+        assert_eq!(profile.total_requests(), trace.len() as u64);
+    }
+
+    #[test]
+    fn synthesis_matches_request_and_op_counts() {
+        let trace = mixed_trace();
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+        let synthetic = profile.synthesize(5);
+        assert_eq!(synthetic.len(), trace.len());
+        assert_eq!(synthetic.reads(), trace.reads());
+        assert_eq!(synthetic.writes(), trace.writes());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let trace = mixed_trace();
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+        assert_eq!(profile.synthesize(1), profile.synthesize(1));
+    }
+
+    #[test]
+    fn different_seeds_differ_for_stochastic_profiles() {
+        // A trace with genuinely random strides so the Markov sampling has
+        // choices to make.
+        let mut reqs = Vec::new();
+        let offsets = [0u64, 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9];
+        for (i, &o) in offsets.iter().cycle().take(200).enumerate() {
+            reqs.push(Request::read(i as u64 * 7, 0x1000 + o * 64, 64));
+        }
+        let trace = Trace::from_requests(reqs);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100));
+        // Same length either way...
+        assert_eq!(profile.synthesize(1).len(), profile.synthesize(2).len());
+    }
+
+    #[test]
+    fn empty_trace_profile() {
+        let profile = Profile::fit(&Trace::new(), &HierarchyConfig::two_level_ts(100));
+        assert_eq!(profile.total_requests(), 0);
+        assert!(profile.synthesize(0).is_empty());
+    }
+
+    #[test]
+    fn metadata_size_is_positive_and_matches_encoding() {
+        let trace = mixed_trace();
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+        let mut buf = Vec::new();
+        profile.write(&mut buf).unwrap();
+        assert_eq!(profile.metadata_size(), buf.len() as u64);
+        assert!(profile.metadata_size() > 0);
+    }
+
+    #[test]
+    fn non_strict_option_still_synthesizes_full_length() {
+        let trace = mixed_trace();
+        let config = HierarchyConfig::two_level_ts(200).with_options(ModelOptions {
+            strict_convergence: false,
+            merge_lonely: true,
+            merge_similar: false,
+        });
+        let profile = Profile::fit(&trace, &config);
+        assert_eq!(profile.synthesize(3).len(), trace.len());
+    }
+}

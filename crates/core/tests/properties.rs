@@ -1,0 +1,164 @@
+//! Property-based tests of partitioning, modeling and synthesis
+//! invariants specific to the core crate (the umbrella crate's suite
+//! covers cross-crate flows).
+
+use proptest::prelude::*;
+
+use mocktails_core::partition::{hierarchy, spatial};
+use mocktails_core::{HierarchyConfig, LayerSpec, LeafModel, McC, Partition, Profile};
+use mocktails_trace::{Op, Request, Trace};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..500_000,
+        0u64..0x8_0000,
+        any::<bool>(),
+        prop_oneof![Just(8u32), Just(16), Just(64), Just(128)],
+    )
+        .prop_map(|(t, slot, write, size)| {
+            let op = if write { Op::Write } else { Op::Read };
+            Request::new(t, slot * 8, op, size)
+        })
+}
+
+fn arb_layer() -> impl Strategy<Value = LayerSpec> {
+    prop_oneof![
+        (1usize..500).prop_map(LayerSpec::TemporalRequestCount),
+        (1u64..100_000).prop_map(LayerSpec::TemporalCycleCount),
+        (1usize..8).prop_map(LayerSpec::TemporalIntervalCount),
+        Just(LayerSpec::SpatialDynamic),
+        (64u64..8192).prop_map(LayerSpec::SpatialFixed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_hierarchies_cover_every_request(
+        reqs in prop::collection::vec(arb_request(), 1..150),
+        layers in prop::collection::vec(arb_layer(), 1..4),
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let config = HierarchyConfig::new(layers);
+        let leaves = hierarchy::partition(&trace, &config);
+        let total: usize = leaves.iter().map(Partition::len).sum();
+        prop_assert_eq!(total, trace.len());
+        // Every leaf's range is inside the trace footprint.
+        let fp = trace.footprint_range().unwrap();
+        for leaf in &leaves {
+            prop_assert!(fp.contains_range(&leaf.addr_range()));
+        }
+    }
+
+    #[test]
+    fn dynamic_regions_hold_their_requests(
+        reqs in prop::collection::vec(arb_request(), 1..150),
+    ) {
+        for part in spatial::dynamic(&reqs, true) {
+            let range = part.addr_range();
+            for r in part.iter() {
+                prop_assert!(range.contains_range(&r.range()));
+            }
+        }
+    }
+
+    #[test]
+    fn mcc_constant_iff_uniform(values in prop::collection::vec(-1000i64..1000, 1..60)) {
+        let model = McC::fit(&values);
+        let uniform = values.iter().all(|&v| v == values[0]);
+        prop_assert_eq!(model.is_constant(), uniform);
+    }
+
+    #[test]
+    fn leaf_generator_is_exact_length_and_bounded(
+        reqs in prop::collection::vec(arb_request(), 1..80),
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let part = Partition::new(reqs);
+        let leaf = LeafModel::fit(&part);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = leaf.generator(true).by_ref_requests(&mut rng);
+        prop_assert_eq!(out.len(), part.len());
+        prop_assert_eq!(out[0].timestamp, part.start_time());
+        prop_assert_eq!(out[0].address, part.start_address());
+        let range = leaf.range();
+        for r in &out {
+            prop_assert!(range.contains(r.address));
+        }
+        prop_assert!(out.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn strict_synthesis_preserves_size_histogram(
+        reqs in prop::collection::vec(arb_request(), 1..120),
+        seed in 0u64..50,
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
+        let synth = profile.synthesize(seed);
+        let hist = |t: &Trace| t.stats().size_histogram;
+        prop_assert_eq!(hist(&synth), hist(&trace));
+    }
+
+    #[test]
+    fn profile_decoder_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Profile::read(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn profile_decoder_never_panics_on_corrupted_profiles(
+        reqs in prop::collection::vec(arb_request(), 1..60),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
+        let mut buf = Vec::new();
+        profile.write(&mut buf).unwrap();
+        let idx = flip.0 as usize % buf.len();
+        buf[idx] ^= flip.1 | 1;
+        let _ = Profile::read(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn synthesizer_timestamps_monotonic_under_random_feedback(
+        reqs in prop::collection::vec(arb_request(), 2..100),
+        delays in prop::collection::vec(0u64..10_000, 1..40),
+        seed in 0u64..50,
+    ) {
+        use mocktails_core::InjectionFeedback;
+        let trace = Trace::from_requests(reqs);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
+        let mut synth = profile.synthesizer(seed);
+        let mut last = 0u64;
+        let mut i = 0usize;
+        let mut emitted = 0u64;
+        while let Some(r) = synth.next_request() {
+            prop_assert!(r.timestamp >= last, "time went backwards");
+            last = r.timestamp;
+            emitted += 1;
+            // Inject backpressure at arbitrary points.
+            if i < delays.len() {
+                synth.add_delay(delays[i]);
+                i += 1;
+            }
+        }
+        prop_assert_eq!(emitted, trace.len() as u64);
+        prop_assert_eq!(synth.emitted(), emitted);
+        prop_assert_eq!(synth.remaining(), 0);
+    }
+
+    #[test]
+    fn profile_total_requests_consistent(
+        reqs in prop::collection::vec(arb_request(), 1..120),
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_requests_dynamic(25));
+        prop_assert_eq!(profile.total_requests(), trace.len() as u64);
+        let leaf_sum: u64 = profile.leaves().iter().map(LeafModel::count).sum();
+        prop_assert_eq!(leaf_sum, trace.len() as u64);
+    }
+}

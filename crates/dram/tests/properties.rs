@@ -1,0 +1,116 @@
+//! Property-based tests of the DRAM model's structural invariants.
+
+use proptest::prelude::*;
+
+use mocktails_dram::{DramConfig, MemorySystem, PagePolicy, SchedulingPolicy};
+use mocktails_trace::{Op, Request, Trace};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..200_000,
+        0u64..0x20_0000,
+        any::<bool>(),
+        prop_oneof![Just(16u32), Just(32), Just(64), Just(128), Just(256)],
+    )
+        .prop_map(|(t, addr, write, size)| {
+            let op = if write { Op::Write } else { Op::Read };
+            Request::new(t, addr & !0xf, op, size)
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_request(), 1..150).prop_map(Trace::from_requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapping_decode_is_stable_within_a_burst(addr: u64, offset in 0u64..32) {
+        let m = DramConfig::default().mapping();
+        let base = (addr >> 1) & !31;
+        prop_assert_eq!(m.decode(base), m.decode(base + offset));
+    }
+
+    #[test]
+    fn bursts_cover_the_request_exactly(addr in 0u64..1_000_000, size in 1u32..4096) {
+        let m = DramConfig::default().mapping();
+        let bursts = m.bursts(addr, size);
+        // First burst contains the start, last contains the final byte.
+        prop_assert!(bursts[0] <= addr && addr < bursts[0] + 32);
+        let end = addr + u64::from(size) - 1;
+        let last = *bursts.last().unwrap();
+        prop_assert!(last <= end && end < last + 32);
+        // Bursts are consecutive and aligned.
+        for w in bursts.windows(2) {
+            prop_assert_eq!(w[1] - w[0], 32);
+        }
+        prop_assert!(bursts.iter().all(|b| b % 32 == 0));
+    }
+
+    #[test]
+    fn conservation_holds_under_every_policy(trace in arb_trace()) {
+        for page in [PagePolicy::OpenAdaptive, PagePolicy::Open, PagePolicy::Closed] {
+            for sched in [SchedulingPolicy::FrFcfs, SchedulingPolicy::Fcfs] {
+                let config = DramConfig {
+                    page_policy: page,
+                    scheduling: sched,
+                    ..DramConfig::default()
+                };
+                let expected: u64 = trace
+                    .iter()
+                    .map(|r| config.mapping().bursts(r.address, r.size).len() as u64)
+                    .sum();
+                let stats = MemorySystem::new(config).run_trace(&trace);
+                prop_assert_eq!(
+                    stats.total_read_bursts() + stats.total_write_bursts(),
+                    expected
+                );
+                for ch in stats.channels() {
+                    prop_assert_eq!(ch.read_row_hits + ch.read_row_misses, ch.read_bursts);
+                    prop_assert_eq!(ch.write_row_hits + ch.write_row_misses, ch.write_bursts);
+                    prop_assert_eq!(
+                        ch.read_bursts_per_bank.iter().sum::<u64>(),
+                        ch.read_bursts
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_page_never_hits(trace in arb_trace()) {
+        let config = DramConfig {
+            page_policy: PagePolicy::Closed,
+            ..DramConfig::default()
+        };
+        let stats = MemorySystem::new(config).run_trace(&trace);
+        prop_assert_eq!(stats.total_read_row_hits(), 0);
+        prop_assert_eq!(stats.total_write_row_hits(), 0);
+    }
+
+    #[test]
+    fn open_page_hits_at_least_as_often_as_closed(trace in arb_trace()) {
+        let hits = |page: PagePolicy| {
+            let config = DramConfig { page_policy: page, ..DramConfig::default() };
+            let s = MemorySystem::new(config).run_trace(&trace);
+            s.total_read_row_hits() + s.total_write_row_hits()
+        };
+        prop_assert!(hits(PagePolicy::Open) >= hits(PagePolicy::Closed));
+    }
+
+    #[test]
+    fn latency_includes_crossbar_minimum(trace in arb_trace()) {
+        let config = DramConfig::default();
+        let stats = MemorySystem::new(config).run_trace(&trace);
+        let floor = (config.xbar_latency + config.timing.t_cl + config.timing.t_burst) as f64;
+        prop_assert!(stats.avg_access_latency() >= floor);
+    }
+
+    #[test]
+    fn replay_is_deterministic(trace in arb_trace()) {
+        let a = MemorySystem::new(DramConfig::default()).run_trace(&trace);
+        let b = MemorySystem::new(DramConfig::default()).run_trace(&trace);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error metrics used by the paper's evaluation.
+
+/// Percentage error of `synth` relative to `base`.
+///
+/// When the baseline is zero the error is defined as 0 if the synthetic
+/// value is also zero and 100 otherwise (a metric the baseline never
+/// exercised that the synthetic does is a full miss).
+///
+/// ```
+/// use mocktails_sim::error::pct_error;
+/// assert!((pct_error(100.0, 93.0) - 7.0).abs() < 1e-9);
+/// assert_eq!(pct_error(0.0, 0.0), 0.0);
+/// assert_eq!(pct_error(0.0, 5.0), 100.0);
+/// ```
+pub fn pct_error(base: f64, synth: f64) -> f64 {
+    if base == 0.0 {
+        if synth == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        ((synth - base) / base).abs() * 100.0
+    }
+}
+
+/// Geometric mean of percentage errors (the aggregation of Figs. 6 and 9).
+///
+/// Zero errors are floored at 0.01 % so a single perfect trace does not
+/// collapse the mean to zero. Returns 0 for an empty slice.
+pub fn geo_mean(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = errors.iter().map(|&e| e.max(0.01).ln()).sum();
+    (log_sum / errors.len() as f64).exp()
+}
+
+/// Arithmetic mean (used where the paper averages rather than geo-means).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_error_basics() {
+        assert_eq!(pct_error(200.0, 100.0), 50.0);
+        assert!((pct_error(100.0, 107.3) - 7.3).abs() < 1e-9);
+        assert_eq!(pct_error(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn pct_error_is_symmetric_in_sign() {
+        assert_eq!(pct_error(100.0, 90.0), pct_error(100.0, 110.0));
+    }
+
+    #[test]
+    fn geo_mean_of_identical_values() {
+        assert!((geo_mean(&[5.0, 5.0, 5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_is_below_arithmetic_for_spread_values() {
+        let errors = [1.0, 100.0];
+        assert!(geo_mean(&errors) < mean(&errors));
+        assert!((geo_mean(&errors) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_handles_zeros() {
+        let g = geo_mean(&[0.0, 4.0]);
+        assert!(g > 0.0 && g < 4.0);
+    }
+
+    #[test]
+    fn geo_mean_empty() {
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_basics() {
+        assert_eq!(variance(&[2.0, 2.0]), 0.0);
+        assert_eq!(variance(&[1.0, 3.0]), 1.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Cache-side experiments: Figs. 14–16 of the paper (§V).
+
+use mocktails_cache::HierarchyStats;
+use mocktails_workloads::spec;
+
+use crate::error::geo_mean;
+use crate::harness::{cache_trace_set, evaluate_cache_set, CacheEval, CacheEvalOptions};
+use crate::table::TextTable;
+
+/// The four §V techniques, in the paper's legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Replay of the original trace.
+    Baseline,
+    /// Mocktails with dynamic spatial partitioning.
+    MocktailsDynamic,
+    /// Mocktails with fixed 4 KiB partitions.
+    Mocktails4k,
+    /// The hierarchical-reuse-distance baseline.
+    Hrd,
+}
+
+impl Technique {
+    /// All four techniques.
+    pub const ALL: [Technique; 4] = [
+        Technique::Baseline,
+        Technique::MocktailsDynamic,
+        Technique::Mocktails4k,
+        Technique::Hrd,
+    ];
+
+    fn stats<'a>(&self, eval: &'a CacheEval) -> &'a HierarchyStats {
+        match self {
+            Technique::Baseline => &eval.base,
+            Technique::MocktailsDynamic => &eval.dynamic,
+            Technique::Mocktails4k => &eval.fixed4k,
+            Technique::Hrd => &eval.hrd,
+        }
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Technique::Baseline => "Baseline",
+            Technique::MocktailsDynamic => "Mocktails (Dynamic)",
+            Technique::Mocktails4k => "Mocktails (4KB)",
+            Technique::Hrd => "HRD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One bar group of Fig. 14: geometric-mean miss rates for one L1
+/// configuration across the whole suite.
+#[derive(Debug, Clone)]
+pub struct MissRateBars {
+    /// Human-readable config label (e.g. `"16KB 2-way"`).
+    pub config: String,
+    /// Geo-mean L1 miss rate (%) per technique, [`Technique::ALL`] order.
+    pub l1: [f64; 4],
+    /// Geo-mean L2 miss rate (%) per technique.
+    pub l2: [f64; 4],
+}
+
+/// Fig. 14: geometric-mean L1/L2 miss rates over `names`, for the two
+/// paper configs (16 KiB 2-way and 32 KiB 4-way L1).
+pub fn fig14(names: &[&'static str], options: &CacheEvalOptions) -> Vec<MissRateBars> {
+    let sets: Vec<_> = names
+        .iter()
+        .map(|n| cache_trace_set(n, options))
+        .collect();
+    [(16u64 << 10, 2usize, "16KB 2-way"), (32 << 10, 4, "32KB 4-way")]
+        .iter()
+        .map(|&(bytes, ways, label)| {
+            let opts = CacheEvalOptions {
+                l1_bytes: bytes,
+                l1_ways: ways,
+                ..options.clone()
+            };
+            let evals: Vec<CacheEval> =
+                sets.iter().map(|s| evaluate_cache_set(s, &opts)).collect();
+            let geo = |pick: &dyn Fn(&CacheEval) -> f64| {
+                geo_mean(&evals.iter().map(|e| pick(e) * 100.0).collect::<Vec<_>>())
+            };
+            let mut l1 = [0.0; 4];
+            let mut l2 = [0.0; 4];
+            for (i, tech) in Technique::ALL.iter().enumerate() {
+                l1[i] = geo(&|e| tech.stats(e).l1.miss_rate());
+                l2[i] = geo(&|e| tech.stats(e).l2.miss_rate());
+            }
+            MissRateBars {
+                config: label.to_string(),
+                l1,
+                l2,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 14 over the full suite.
+pub fn fig14_report(options: &CacheEvalOptions) -> String {
+    let bars = fig14(&spec::NAMES, options);
+    let mut t = TextTable::new(vec!["Config", "Level", "Baseline", "Dynamic", "4KB", "HRD"]);
+    for bar in &bars {
+        t.row(vec![
+            bar.config.clone(),
+            "L1".into(),
+            format!("{:.2}", bar.l1[0]),
+            format!("{:.2}", bar.l1[1]),
+            format!("{:.2}", bar.l1[2]),
+            format!("{:.2}", bar.l1[3]),
+        ]);
+        t.row(vec![
+            bar.config.clone(),
+            "L2".into(),
+            format!("{:.2}", bar.l2[0]),
+            format!("{:.2}", bar.l2[1]),
+            format!("{:.2}", bar.l2[2]),
+            format!("{:.2}", bar.l2[3]),
+        ]);
+    }
+    let s = section5_summary(&spec::NAMES, options);
+    format!(
+        "Fig. 14: Geometric-mean cache miss rates (%), two configs\n{t}\n\
+         §V summary for Mocktails (Dynamic) — mean % error across suite and configs:\n\
+         footprint {:.1}%, L1 miss rate {:.1}%, L2 miss rate {:.1}%, \
+         replacements {:.1}%, write-backs {:.1}%\n\
+         (paper: 2.7%, 5.6%, 2.6%, 5.6%, 6.9%)\n",
+        s.footprint, s.l1_miss_rate, s.l2_miss_rate, s.replacements, s.write_backs
+    )
+}
+
+/// The §V prose summary: overall errors of Mocktails (Dynamic) across all
+/// benchmarks and both cache configurations (the paper quotes 2.7 %
+/// footprint, 5.6 % L1 miss rate, 2.6 % L2 miss rate, 5.6 % replacements
+/// and 6.9 % write-backs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectionVSummary {
+    /// Mean % error of the L1 cache footprint.
+    pub footprint: f64,
+    /// Mean % error of the L1 miss rate.
+    pub l1_miss_rate: f64,
+    /// Mean % error of the L2 miss rate.
+    pub l2_miss_rate: f64,
+    /// Mean % error of the number of L1 replacements.
+    pub replacements: f64,
+    /// Mean % error of the number of L1 write-backs.
+    pub write_backs: f64,
+}
+
+/// Computes the §V summary for Mocktails (Dynamic) over `names` and the
+/// two paper configurations.
+pub fn section5_summary(names: &[&'static str], options: &CacheEvalOptions) -> SectionVSummary {
+    use crate::error::{mean, pct_error};
+    let mut footprint = Vec::new();
+    let mut l1 = Vec::new();
+    let mut l2 = Vec::new();
+    let mut repl = Vec::new();
+    let mut wb = Vec::new();
+    for name in names {
+        let set = cache_trace_set(name, options);
+        for (bytes, ways) in [(16u64 << 10, 2usize), (32 << 10, 4)] {
+            let opts = CacheEvalOptions {
+                l1_bytes: bytes,
+                l1_ways: ways,
+                ..options.clone()
+            };
+            let eval = evaluate_cache_set(&set, &opts);
+            footprint.push(pct_error(
+                eval.base.l1.footprint_bytes as f64,
+                eval.dynamic.l1.footprint_bytes as f64,
+            ));
+            l1.push(pct_error(eval.base.l1.miss_rate(), eval.dynamic.l1.miss_rate()));
+            l2.push(pct_error(eval.base.l2.miss_rate(), eval.dynamic.l2.miss_rate()));
+            repl.push(pct_error(
+                eval.base.l1.replacements as f64,
+                eval.dynamic.l1.replacements as f64,
+            ));
+            wb.push(pct_error(
+                eval.base.l1.write_backs as f64,
+                eval.dynamic.l1.write_backs as f64,
+            ));
+        }
+    }
+    SectionVSummary {
+        footprint: mean(&footprint),
+        l1_miss_rate: mean(&l1),
+        l2_miss_rate: mean(&l2),
+        replacements: mean(&repl),
+        write_backs: mean(&wb),
+    }
+}
+
+/// One point of Figs. 15–16: a benchmark × associativity × technique
+/// measurement at a 32 KiB L1.
+#[derive(Debug, Clone)]
+pub struct AssocPoint {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// L1 associativity (2, 4, 8 or 16).
+    pub ways: usize,
+    /// L1 miss rate (%): baseline, Mocktails(Dynamic), HRD.
+    pub miss_rate: [f64; 3],
+    /// L1 write-backs: baseline, Mocktails(Dynamic), HRD.
+    pub write_backs: [u64; 3],
+}
+
+/// Figs. 15–16: sweeps L1 associativity over {2, 4, 8, 16} for the six
+/// plotted benchmarks (32 KiB L1, LRU), returning both the miss rates
+/// (Fig. 15) and the write-backs (Fig. 16).
+pub fn fig15_16(names: &[&'static str], options: &CacheEvalOptions) -> Vec<AssocPoint> {
+    let mut points = Vec::new();
+    for name in names {
+        let set = cache_trace_set(name, options);
+        for ways in [2usize, 4, 8, 16] {
+            let opts = CacheEvalOptions {
+                l1_bytes: 32 << 10,
+                l1_ways: ways,
+                ..options.clone()
+            };
+            let eval = evaluate_cache_set(&set, &opts);
+            points.push(AssocPoint {
+                name,
+                ways,
+                miss_rate: [
+                    eval.base.l1.miss_rate() * 100.0,
+                    eval.dynamic.l1.miss_rate() * 100.0,
+                    eval.hrd.l1.miss_rate() * 100.0,
+                ],
+                write_backs: [
+                    eval.base.l1.write_backs,
+                    eval.dynamic.l1.write_backs,
+                    eval.hrd.l1.write_backs,
+                ],
+            });
+        }
+    }
+    points
+}
+
+/// Renders Fig. 15 (miss rate vs. associativity).
+pub fn fig15_report(options: &CacheEvalOptions) -> String {
+    let points = fig15_16(&spec::FIG15_NAMES, options);
+    let mut t = TextTable::new(vec!["Benchmark", "Ways", "Baseline", "Mocktails (Dynamic)", "HRD"]);
+    for p in &points {
+        t.row(vec![
+            p.name.to_string(),
+            p.ways.to_string(),
+            format!("{:.2}", p.miss_rate[0]),
+            format!("{:.2}", p.miss_rate[1]),
+            format!("{:.2}", p.miss_rate[2]),
+        ]);
+    }
+    format!("Fig. 15: L1 miss rate (%) across associativities, 32 KiB L1\n{t}")
+}
+
+/// Renders Fig. 16 (write-backs vs. associativity).
+pub fn fig16_report(options: &CacheEvalOptions) -> String {
+    let points = fig15_16(&spec::FIG15_NAMES, options);
+    let mut t = TextTable::new(vec!["Benchmark", "Ways", "Baseline", "Mocktails (Dynamic)", "HRD"]);
+    for p in &points {
+        t.row(vec![
+            p.name.to_string(),
+            p.ways.to_string(),
+            p.write_backs[0].to_string(),
+            p.write_backs[1].to_string(),
+            p.write_backs[2].to_string(),
+        ]);
+    }
+    format!("Fig. 16: L1 write-backs across associativities, 32 KiB L1\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_produces_two_configs() {
+        let options = CacheEvalOptions::quick();
+        let bars = fig14(&["gcc", "hmmer"], &options);
+        assert_eq!(bars.len(), 2);
+        for bar in &bars {
+            // Baseline miss rates are sane percentages.
+            assert!(bar.l1[0] > 0.0 && bar.l1[0] < 100.0);
+            // Dynamic tracks the baseline within a factor of 2 even on
+            // tiny quick-mode traces.
+            assert!(bar.l1[1] < bar.l1[0] * 2.0 + 5.0);
+        }
+    }
+
+    #[test]
+    fn fig15_sweep_shape() {
+        let options = CacheEvalOptions::quick();
+        let points = fig15_16(&["libquantum"], &options);
+        assert_eq!(points.len(), 4);
+        // Streaming: miss rate flat across associativity (within 2 pts).
+        let rates: Vec<f64> = points.iter().map(|p| p.miss_rate[0]).collect();
+        let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+            - rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 2.0, "libquantum spread {spread}");
+    }
+
+    #[test]
+    fn gobmk_misses_fall_with_associativity() {
+        let options = CacheEvalOptions::quick();
+        let points = fig15_16(&["gobmk"], &options);
+        let low = points.iter().find(|p| p.ways == 2).unwrap().miss_rate[0];
+        let high = points.iter().find(|p| p.ways == 16).unwrap().miss_rate[0];
+        assert!(high < low, "gobmk: 2-way {low} vs 16-way {high}");
+    }
+
+    #[test]
+    fn zeusmp_misses_rise_with_associativity() {
+        let options = CacheEvalOptions::quick();
+        let points = fig15_16(&["zeusmp"], &options);
+        let low = points.iter().find(|p| p.ways == 2).unwrap().miss_rate[0];
+        let high = points.iter().find(|p| p.ways == 16).unwrap().miss_rate[0];
+        assert!(high > low, "zeusmp: 2-way {low} vs 16-way {high}");
+    }
+
+    #[test]
+    fn section5_summary_is_bounded_and_small_for_structured_benchmarks() {
+        let options = CacheEvalOptions::quick();
+        let s = section5_summary(&["hmmer", "calculix"], &options);
+        for (label, v) in [
+            ("footprint", s.footprint),
+            ("l1", s.l1_miss_rate),
+            ("l2", s.l2_miss_rate),
+            ("replacements", s.replacements),
+            ("write-backs", s.write_backs),
+        ] {
+            assert!(v >= 0.0, "{label} negative");
+            assert!(v < 30.0, "{label} error {v:.1}% too large");
+        }
+        // Footprint is preserved almost exactly by dynamic regions.
+        assert!(s.footprint < 5.0, "footprint error {:.1}%", s.footprint);
+    }
+
+    #[test]
+    fn reports_render() {
+        let options = CacheEvalOptions {
+            requests: 4_000,
+            requests_per_phase: 2_000,
+            ..CacheEvalOptions::default()
+        };
+        let r = fig15_report(&options);
+        assert!(r.contains("gobmk"));
+        assert!(r.contains("zeusmp"));
+    }
+}

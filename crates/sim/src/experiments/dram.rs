@@ -1,0 +1,611 @@
+//! DRAM-side experiments: Figs. 6–13 of the paper.
+
+use mocktails_dram::DramStats;
+use mocktails_workloads::{catalog, Device};
+
+use crate::error::{geo_mean, mean, pct_error, variance};
+use crate::harness::{
+    by_device, evaluate_dram, evaluate_dram_all, evaluate_dram_trace, DramEval, EvalOptions,
+};
+use crate::table::TextTable;
+
+/// Which synthetic model a column refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// `2L-TS (McC)` — Mocktails.
+    McC,
+    /// `2L-TS (STM)` — the stride-table baseline.
+    Stm,
+}
+
+impl Model {
+    /// Both models, in the order the paper's legends list them.
+    pub const BOTH: [Model; 2] = [Model::McC, Model::Stm];
+
+    fn stats<'a>(&self, eval: &'a DramEval) -> &'a DramStats {
+        match self {
+            Model::McC => &eval.mcc,
+            Model::Stm => &eval.stm,
+        }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Model::McC => f.write_str("2L-TS (McC)"),
+            Model::Stm => f.write_str("2L-TS (STM)"),
+        }
+    }
+}
+
+/// One bar of Figs. 6/9: a device × model geometric-mean error pair for a
+/// read metric and a write metric.
+#[derive(Debug, Clone)]
+pub struct ErrorBar {
+    /// Device the bar belongs to.
+    pub device: Device,
+    /// Model the bar belongs to.
+    pub model: Model,
+    /// Geometric-mean % error of the read-side metric.
+    pub read_error: f64,
+    /// Geometric-mean % error of the write-side metric.
+    pub write_error: f64,
+}
+
+fn error_bars(
+    evals: &[DramEval],
+    read_metric: impl Fn(&DramStats) -> f64,
+    write_metric: impl Fn(&DramStats) -> f64,
+) -> Vec<ErrorBar> {
+    let mut bars = Vec::new();
+    for (device, group) in by_device(evals) {
+        if group.is_empty() {
+            continue;
+        }
+        for model in Model::BOTH {
+            let read_errors: Vec<f64> = group
+                .iter()
+                .map(|e| pct_error(read_metric(&e.base), read_metric(model.stats(e))))
+                .collect();
+            let write_errors: Vec<f64> = group
+                .iter()
+                .map(|e| pct_error(write_metric(&e.base), write_metric(model.stats(e))))
+                .collect();
+            bars.push(ErrorBar {
+                device,
+                model,
+                read_error: geo_mean(&read_errors),
+                write_error: geo_mean(&write_errors),
+            });
+        }
+    }
+    bars
+}
+
+fn error_bar_report(title: &str, read_col: &str, write_col: &str, bars: &[ErrorBar]) -> String {
+    let mut t = TextTable::new(vec!["Device", "Model", read_col, write_col]);
+    for bar in bars {
+        t.row(vec![
+            bar.device.to_string(),
+            bar.model.to_string(),
+            format!("{:.2}", bar.read_error),
+            format!("{:.2}", bar.write_error),
+        ]);
+    }
+    format!("{title}\n{t}")
+}
+
+/// Fig. 6: average (geo-mean) % error of the number of read/write DRAM
+/// bursts, per device, McC vs. STM.
+pub fn fig06(evals: &[DramEval]) -> Vec<ErrorBar> {
+    error_bars(
+        evals,
+        |s| s.total_read_bursts() as f64,
+        |s| s.total_write_bursts() as f64,
+    )
+}
+
+/// Renders Fig. 6 from fresh evaluations.
+pub fn fig06_report(options: &EvalOptions) -> String {
+    let evals = evaluate_dram_all(options);
+    error_bar_report(
+        "Fig. 6: Average error per device for the number of DRAM bursts",
+        "Read Bursts Err%",
+        "Write Bursts Err%",
+        &fig06(&evals),
+    )
+}
+
+/// One bar group of Fig. 7: average queue lengths per device.
+#[derive(Debug, Clone)]
+pub struct QueueBar {
+    /// Device the bar belongs to.
+    pub device: Device,
+    /// Mean read-queue length: baseline, McC, STM.
+    pub read: [f64; 3],
+    /// Mean write-queue length: baseline, McC, STM.
+    pub write: [f64; 3],
+}
+
+/// Fig. 7: average read/write queue length per device for the baseline and
+/// both models.
+pub fn fig07(evals: &[DramEval]) -> Vec<QueueBar> {
+    by_device(evals)
+        .into_iter()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(device, group)| {
+            let avg = |f: &dyn Fn(&DramEval) -> f64| {
+                mean(&group.iter().map(|e| f(e)).collect::<Vec<_>>())
+            };
+            QueueBar {
+                device,
+                read: [
+                    avg(&|e| e.base.avg_read_queue_len()),
+                    avg(&|e| e.mcc.avg_read_queue_len()),
+                    avg(&|e| e.stm.avg_read_queue_len()),
+                ],
+                write: [
+                    avg(&|e| e.base.avg_write_queue_len()),
+                    avg(&|e| e.mcc.avg_write_queue_len()),
+                    avg(&|e| e.stm.avg_write_queue_len()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 7 from fresh evaluations.
+pub fn fig07_report(options: &EvalOptions) -> String {
+    let evals = evaluate_dram_all(options);
+    let mut t = TextTable::new(vec![
+        "Device",
+        "RdQ base",
+        "RdQ McC",
+        "RdQ STM",
+        "WrQ base",
+        "WrQ McC",
+        "WrQ STM",
+    ]);
+    for bar in fig07(&evals) {
+        t.row(vec![
+            bar.device.to_string(),
+            format!("{:.2}", bar.read[0]),
+            format!("{:.2}", bar.read[1]),
+            format!("{:.2}", bar.read[2]),
+            format!("{:.2}", bar.write[0]),
+            format!("{:.2}", bar.write[1]),
+            format!("{:.2}", bar.write[2]),
+        ]);
+    }
+    format!("Fig. 7: Average read and write queue length per SoC device\n{t}")
+}
+
+/// Fig. 8: per-channel distribution of write-queue lengths observed by
+/// arriving requests, for the T-Rex1 GPU workload. Returns, per channel,
+/// the `(baseline, mcc, stm)` histograms.
+pub fn fig08(options: &EvalOptions) -> Vec<[Vec<u64>; 3]> {
+    let spec = catalog::by_name("T-Rex1").expect("T-Rex1 in catalog");
+    let eval = evaluate_dram(&spec, options);
+    (0..eval.base.channels().len())
+        .map(|ch| {
+            [
+                eval.base.channels()[ch].write_queue_seen.counts().to_vec(),
+                eval.mcc.channels()[ch].write_queue_seen.counts().to_vec(),
+                eval.stm.channels()[ch].write_queue_seen.counts().to_vec(),
+            ]
+        })
+        .collect()
+}
+
+/// Renders Fig. 8 (binned every 8 queue slots to keep the table readable).
+pub fn fig08_report(options: &EvalOptions) -> String {
+    let channels = fig08(options);
+    let mut out = String::from(
+        "Fig. 8: Write-queue length seen per arriving request, T-Rex1 (binned by 8)\n",
+    );
+    for (ch, hists) in channels.iter().enumerate() {
+        let mut t = TextTable::new(vec!["Len bin", "Baseline", "2L-TS (McC)", "2L-TS (STM)"]);
+        let bins = hists[0].len().div_ceil(8);
+        for b in 0..bins {
+            let sum = |h: &[u64]| h.iter().skip(b * 8).take(8).sum::<u64>();
+            t.row(vec![
+                format!("{}-{}", b * 8, b * 8 + 7),
+                sum(&hists[0]).to_string(),
+                sum(&hists[1]).to_string(),
+                sum(&hists[2]).to_string(),
+            ]);
+        }
+        out.push_str(&format!("Channel {ch}\n{t}"));
+    }
+    out
+}
+
+/// Fig. 9: average (geo-mean) % error of read/write row hits per device.
+pub fn fig09(evals: &[DramEval]) -> Vec<ErrorBar> {
+    error_bars(
+        evals,
+        |s| s.total_read_row_hits() as f64,
+        |s| s.total_write_row_hits() as f64,
+    )
+}
+
+/// Renders Fig. 9 from fresh evaluations.
+pub fn fig09_report(options: &EvalOptions) -> String {
+    let evals = evaluate_dram_all(options);
+    error_bar_report(
+        "Fig. 9: Average error for read and write row hits per SoC device",
+        "Read RowHit Err%",
+        "Write RowHit Err%",
+        &fig09(&evals),
+    )
+}
+
+/// One row of Fig. 10: absolute row-hit counts for a DPU trace.
+#[derive(Debug, Clone)]
+pub struct RowHitCounts {
+    /// Trace name.
+    pub name: &'static str,
+    /// Read row hits: baseline, McC, STM.
+    pub read: [u64; 3],
+    /// Write row hits: baseline, McC, STM.
+    pub write: [u64; 3],
+}
+
+/// Fig. 10: number of read/write row hits for FBC-Linear1 vs. FBC-Tiled1.
+pub fn fig10(options: &EvalOptions) -> Vec<RowHitCounts> {
+    ["FBC-Linear1", "FBC-Tiled1"]
+        .iter()
+        .map(|name| {
+            let eval = evaluate_dram(&catalog::by_name(name).unwrap(), options);
+            RowHitCounts {
+                name,
+                read: [
+                    eval.base.total_read_row_hits(),
+                    eval.mcc.total_read_row_hits(),
+                    eval.stm.total_read_row_hits(),
+                ],
+                write: [
+                    eval.base.total_write_row_hits(),
+                    eval.mcc.total_write_row_hits(),
+                    eval.stm.total_write_row_hits(),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 10.
+pub fn fig10_report(options: &EvalOptions) -> String {
+    let mut t = TextTable::new(vec![
+        "Trace",
+        "Rd hits base",
+        "Rd hits McC",
+        "Rd hits STM",
+        "Wr hits base",
+        "Wr hits McC",
+        "Wr hits STM",
+    ]);
+    for row in fig10(options) {
+        t.row(vec![
+            row.name.to_string(),
+            row.read[0].to_string(),
+            row.read[1].to_string(),
+            row.read[2].to_string(),
+            row.write[0].to_string(),
+            row.write[1].to_string(),
+            row.write[2].to_string(),
+        ]);
+    }
+    format!("Fig. 10: Row hits when decompressing frame buffers on the DPU\n{t}")
+}
+
+/// One row of Fig. 11: per-channel reads per read→write turnaround.
+#[derive(Debug, Clone)]
+pub struct TurnaroundRow {
+    /// Trace name.
+    pub name: &'static str,
+    /// Channel index.
+    pub channel: usize,
+    /// Average reads per turnaround: baseline, McC, STM.
+    pub reads: [f64; 3],
+}
+
+/// Fig. 11: average reads sent to DRAM before switching to writes, per
+/// channel, for the two DPU frame-buffer traces.
+pub fn fig11(options: &EvalOptions) -> Vec<TurnaroundRow> {
+    let mut rows = Vec::new();
+    for name in ["FBC-Linear1", "FBC-Tiled1"] {
+        let eval = evaluate_dram(&catalog::by_name(name).unwrap(), options);
+        for ch in 0..eval.base.channels().len() {
+            rows.push(TurnaroundRow {
+                name,
+                channel: ch,
+                reads: [
+                    eval.base.channels()[ch].avg_reads_per_turnaround(),
+                    eval.mcc.channels()[ch].avg_reads_per_turnaround(),
+                    eval.stm.channels()[ch].avg_reads_per_turnaround(),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 11.
+pub fn fig11_report(options: &EvalOptions) -> String {
+    let mut t = TextTable::new(vec!["Trace", "Channel", "Baseline", "McC", "STM"]);
+    for row in fig11(options) {
+        t.row(vec![
+            row.name.to_string(),
+            row.channel.to_string(),
+            format!("{:.1}", row.reads[0]),
+            format!("{:.1}", row.reads[1]),
+            format!("{:.1}", row.reads[2]),
+        ]);
+    }
+    format!("Fig. 11: Average reads sent to DRAM before switching to writes\n{t}")
+}
+
+/// One row of Fig. 12: per-channel, per-bank burst counts for FBC-Linear1.
+#[derive(Debug, Clone)]
+pub struct BankRow {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index.
+    pub bank: usize,
+    /// Read bursts: baseline, McC, STM.
+    pub read: [u64; 3],
+    /// Write bursts: baseline, McC, STM.
+    pub write: [u64; 3],
+}
+
+/// Fig. 12: the number of read/write bursts arriving at each bank for the
+/// FBC-Linear1 DPU workload.
+pub fn fig12(options: &EvalOptions) -> Vec<BankRow> {
+    let eval = evaluate_dram(&catalog::by_name("FBC-Linear1").unwrap(), options);
+    let mut rows = Vec::new();
+    for ch in 0..eval.base.channels().len() {
+        let banks = eval.base.channels()[ch].read_bursts_per_bank.len();
+        for bank in 0..banks {
+            rows.push(BankRow {
+                channel: ch,
+                bank,
+                read: [
+                    eval.base.channels()[ch].read_bursts_per_bank[bank],
+                    eval.mcc.channels()[ch].read_bursts_per_bank[bank],
+                    eval.stm.channels()[ch].read_bursts_per_bank[bank],
+                ],
+                write: [
+                    eval.base.channels()[ch].write_bursts_per_bank[bank],
+                    eval.mcc.channels()[ch].write_bursts_per_bank[bank],
+                    eval.stm.channels()[ch].write_bursts_per_bank[bank],
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 12.
+pub fn fig12_report(options: &EvalOptions) -> String {
+    let mut t = TextTable::new(vec![
+        "Ch", "Bank", "Rd base", "Rd McC", "Rd STM", "Wr base", "Wr McC", "Wr STM",
+    ]);
+    for row in fig12(options) {
+        t.row(vec![
+            row.channel.to_string(),
+            row.bank.to_string(),
+            row.read[0].to_string(),
+            row.read[1].to_string(),
+            row.read[2].to_string(),
+            row.write[0].to_string(),
+            row.write[1].to_string(),
+            row.write[2].to_string(),
+        ]);
+    }
+    format!("Fig. 12: Read/write bursts arriving at each bank, FBC-Linear1\n{t}")
+}
+
+/// One point of Fig. 13: sensitivity of memory access latency error to the
+/// temporal partition size.
+#[derive(Debug, Clone)]
+pub struct SensitivityPoint {
+    /// Device the point belongs to.
+    pub device: Device,
+    /// Temporal interval size in cycles.
+    pub interval: u64,
+    /// Mean % error of average memory access latency across the device's
+    /// traces.
+    pub mean_error: f64,
+    /// Variance of the % error across the device's traces.
+    pub variance: f64,
+}
+
+/// Fig. 13: sweeps the temporal partition size over `intervals` and
+/// reports, per device, the error of the average memory access latency.
+pub fn fig13(intervals: &[u64], options: &EvalOptions) -> Vec<SensitivityPoint> {
+    // Generate (and truncate) each trace once; re-fit per interval size.
+    let specs = catalog::all();
+    let traces: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            let t = s.generate();
+            let t = match options.max_requests {
+                Some(n) if t.len() > n => t.truncate_to(n),
+                _ => t,
+            };
+            (s.name(), s.device(), t)
+        })
+        .collect();
+    let mut points = Vec::new();
+    for &interval in intervals {
+        let opts = EvalOptions {
+            cycles_per_phase: interval,
+            ..options.clone()
+        };
+        let evals: Vec<_> = traces
+            .iter()
+            .map(|(name, device, trace)| evaluate_dram_trace(name, *device, trace, &opts))
+            .collect();
+        for (device, group) in by_device(&evals) {
+            if group.is_empty() {
+                continue;
+            }
+            let errors: Vec<f64> = group
+                .iter()
+                .map(|e| pct_error(e.base.avg_access_latency(), e.mcc.avg_access_latency()))
+                .collect();
+            points.push(SensitivityPoint {
+                device,
+                interval,
+                mean_error: mean(&errors),
+                variance: variance(&errors),
+            });
+        }
+    }
+    points
+}
+
+/// The paper's Fig. 13 sweep: 100 k to 1 M cycles in 100 k steps.
+pub fn fig13_intervals() -> Vec<u64> {
+    (1..=10).map(|i| i * 100_000).collect()
+}
+
+/// Renders Fig. 13.
+pub fn fig13_report(intervals: &[u64], options: &EvalOptions) -> String {
+    let mut t = TextTable::new(vec!["Device", "Interval", "Mean Err%", "Variance"]);
+    for p in fig13(intervals, options) {
+        t.row(vec![
+            p.device.to_string(),
+            p.interval.to_string(),
+            format!("{:.2}", p.mean_error),
+            format!("{:.2}", p.variance),
+        ]);
+    }
+    format!("Fig. 13: Memory access latency error vs temporal interval size\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_evals() -> Vec<DramEval> {
+        let options = EvalOptions {
+            max_requests: Some(2_500),
+            ..EvalOptions::default()
+        };
+        ["Crypto1", "FBC-Linear1", "T-Rex1", "HEVC1"]
+            .iter()
+            .map(|n| evaluate_dram(&catalog::by_name(n).unwrap(), &options))
+            .collect()
+    }
+
+    #[test]
+    fn fig06_bars_cover_devices_and_models() {
+        let bars = fig06(&quick_evals());
+        assert_eq!(bars.len(), 8); // 4 devices × 2 models
+        for bar in &bars {
+            assert!(bar.read_error >= 0.0);
+            assert!(bar.write_error >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig06_burst_error_is_small_under_strict_convergence() {
+        let bars = fig06(&quick_evals());
+        for bar in bars.iter().filter(|b| b.model == Model::McC) {
+            assert!(
+                bar.read_error < 20.0,
+                "{} read burst error {}",
+                bar.device,
+                bar.read_error
+            );
+        }
+    }
+
+    #[test]
+    fn fig07_queue_bars_present() {
+        let bars = fig07(&quick_evals());
+        assert_eq!(bars.len(), 4);
+        for bar in &bars {
+            assert!(bar.read.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn fig08_distributions_have_comparable_mass_and_spread() {
+        let options = EvalOptions {
+            max_requests: Some(4_000),
+            ..EvalOptions::default()
+        };
+        let channels = fig08(&options);
+        assert_eq!(channels.len(), 4);
+        for (ch, hists) in channels.iter().enumerate() {
+            let total = |h: &[u64]| h.iter().sum::<u64>();
+            let base = total(&hists[0]);
+            let mcc = total(&hists[1]);
+            // Same number of write bursts observed (strict convergence on
+            // ops and near-exact burst splitting).
+            let drift = (base as f64 - mcc as f64).abs() / base.max(1) as f64;
+            assert!(drift < 0.02, "channel {ch}: mass drift {drift:.3}");
+        }
+    }
+
+    #[test]
+    fn fig09_rows() {
+        let bars = fig09(&quick_evals());
+        assert_eq!(bars.len(), 8);
+    }
+
+    #[test]
+    fn fig10_reports_both_fbc_traces() {
+        let options = EvalOptions {
+            max_requests: Some(2_500),
+            ..EvalOptions::default()
+        };
+        let rows = fig10(&options);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].read[0] > 0, "linear mode has read row hits");
+    }
+
+    #[test]
+    fn fig12_rows_cover_all_banks() {
+        let options = EvalOptions {
+            max_requests: Some(2_000),
+            ..EvalOptions::default()
+        };
+        let rows = fig12(&options);
+        assert_eq!(rows.len(), 4 * 8);
+    }
+
+    #[test]
+    fn fig13_points_per_device_and_interval() {
+        let options = EvalOptions {
+            max_requests: Some(1_500),
+            ..EvalOptions::default()
+        };
+        let points = fig13(&[200_000, 800_000], &options);
+        assert_eq!(points.len(), 2 * 4);
+        for p in &points {
+            assert!(p.mean_error >= 0.0);
+            assert!(p.variance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reports_render() {
+        let options = EvalOptions {
+            max_requests: Some(800),
+            ..EvalOptions::default()
+        };
+        for report in [
+            fig10_report(&options),
+            fig11_report(&options),
+            fig12_report(&options),
+        ] {
+            assert!(report.contains("Fig."));
+            assert!(report.lines().count() > 3);
+        }
+    }
+}

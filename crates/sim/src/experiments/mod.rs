@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment exposes a data-returning `run` function plus a
+//! `report` wrapper that renders the same rows/series the paper plots.
+//! The `quick` flag trades trace length for runtime (used by unit tests
+//! and smoke runs); full-size runs are what EXPERIMENTS.md records.
+
+pub mod ablation;
+pub mod cache;
+pub mod dram;
+pub mod meta;
+pub mod policy;
+pub mod soc;

@@ -1,0 +1,160 @@
+//! Heterogeneous-SoC composition study: several IP blocks share one
+//! memory system, each replaced by its Mocktails profile.
+//!
+//! This is the paper's motivating scenario (§I: mobile SoCs dedicate most
+//! area to IP blocks that all contend for memory). The study replays a
+//! VPU + DPU + CPU trace mix into a shared controller twice — once with
+//! the original traces, once with per-device synthetic streams — and
+//! compares both the shared-system metrics and the per-device latency
+//! attribution.
+
+use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_dram::{DramStats, MemorySystem};
+use mocktails_trace::Trace;
+use mocktails_workloads::catalog;
+
+use crate::error::pct_error;
+use crate::harness::EvalOptions;
+use crate::table::TextTable;
+
+/// The IP blocks sharing the memory system.
+pub const SOC_DEVICES: [&str; 3] = ["HEVC1", "FBC-Linear1", "CPU-V"];
+
+/// Results of the SoC composition study.
+#[derive(Debug, Clone)]
+pub struct SocStudy {
+    /// Shared-system stats of the original trace mix.
+    pub base: DramStats,
+    /// Shared-system stats of the synthetic mix.
+    pub synth: DramStats,
+    /// Device names, in port order.
+    pub devices: Vec<&'static str>,
+}
+
+/// Runs the study.
+pub fn study(options: &EvalOptions) -> SocStudy {
+    let mut originals: Vec<Trace> = Vec::new();
+    let mut synthetics: Vec<Trace> = Vec::new();
+    for (i, name) in SOC_DEVICES.iter().enumerate() {
+        let spec = catalog::by_name(name).expect("SoC trace in catalog");
+        let trace = {
+            let t = spec.generate();
+            match options.max_requests {
+                Some(n) if t.len() > n => t.truncate_to(n),
+                _ => t,
+            }
+        };
+        let profile = Profile::fit(
+            &trace,
+            &HierarchyConfig::two_level_ts(options.cycles_per_phase),
+        );
+        synthetics.push(profile.synthesize(options.seed + i as u64));
+        originals.push(trace);
+    }
+    let base_refs: Vec<&Trace> = originals.iter().collect();
+    let synth_refs: Vec<&Trace> = synthetics.iter().collect();
+    SocStudy {
+        base: MemorySystem::new(options.dram).run_traces(&base_refs),
+        synth: MemorySystem::new(options.dram).run_traces(&synth_refs),
+        devices: SOC_DEVICES.to_vec(),
+    }
+}
+
+/// Renders the study.
+pub fn report(options: &EvalOptions) -> String {
+    let s = study(options);
+    let mut t = TextTable::new(vec!["Metric", "Original", "Mocktails", "Err%"]);
+    let mut row = |label: &str, base: f64, synth: f64| {
+        t.row(vec![
+            label.to_string(),
+            format!("{base:.1}"),
+            format!("{synth:.1}"),
+            format!("{:.1}", pct_error(base, synth)),
+        ]);
+    };
+    row(
+        "Read row hits",
+        s.base.total_read_row_hits() as f64,
+        s.synth.total_read_row_hits() as f64,
+    );
+    row(
+        "Write row hits",
+        s.base.total_write_row_hits() as f64,
+        s.synth.total_write_row_hits() as f64,
+    );
+    row(
+        "Avg access latency",
+        s.base.avg_access_latency(),
+        s.synth.avg_access_latency(),
+    );
+    row(
+        "Avg read queue",
+        s.base.avg_read_queue_len(),
+        s.synth.avg_read_queue_len(),
+    );
+    row(
+        "Avg write queue",
+        s.base.avg_write_queue_len(),
+        s.synth.avg_write_queue_len(),
+    );
+    let base_ports = s.base.port_stats();
+    let synth_ports = s.synth.port_stats();
+    for (i, name) in s.devices.iter().enumerate() {
+        let port = i as u16;
+        row(
+            &format!("{name} latency"),
+            base_ports[&port].avg_latency(),
+            synth_ports[&port].avg_latency(),
+        );
+    }
+    format!("SoC composition study: three IP blocks share one memory system\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> EvalOptions {
+        EvalOptions {
+            max_requests: Some(4_000),
+            ..EvalOptions::default()
+        }
+    }
+
+    #[test]
+    fn soc_study_attributes_every_device() {
+        let s = study(&quick());
+        let base_ports = s.base.port_stats();
+        let synth_ports = s.synth.port_stats();
+        assert_eq!(base_ports.len(), 3);
+        assert_eq!(synth_ports.len(), 3);
+        for port in 0..3u16 {
+            let base = base_ports[&port].read_bursts + base_ports[&port].write_bursts;
+            let synth = synth_ports[&port].read_bursts + synth_ports[&port].write_bursts;
+            assert!(base > 0);
+            // Strict convergence preserves request and size counts; burst
+            // totals can drift by the odd alignment-straddling request.
+            let err = pct_error(base as f64, synth as f64);
+            assert!(err < 1.0, "port {port}: burst totals differ {err:.2}%");
+        }
+    }
+
+    #[test]
+    fn soc_row_hits_track_baseline() {
+        let s = study(&quick());
+        let err = pct_error(
+            s.base.total_read_row_hits() as f64,
+            s.synth.total_read_row_hits() as f64,
+        );
+        assert!(err < 15.0, "shared-system read row-hit error {err:.1}%");
+    }
+
+    #[test]
+    fn report_renders_per_device_rows() {
+        let r = report(&quick());
+        for name in SOC_DEVICES {
+            assert!(r.contains(name), "{name} missing from report");
+        }
+        assert!(r.contains("Err%"));
+    }
+}

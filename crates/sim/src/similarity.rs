@@ -1,0 +1,183 @@
+//! Distributional similarity between traces, feature by feature.
+//!
+//! Memory-system metrics (row hits, queue lengths) are the paper's
+//! validation currency, but a library user also wants a direct answer to
+//! "how close is the synthetic stream to the original, per feature?".
+//! This module compares the empirical distributions of the four request
+//! features using total-variation distance (½·Σ|p−q|, in `[0, 1]`).
+
+use std::collections::BTreeMap;
+
+use mocktails_trace::Trace;
+
+/// Total-variation distance between two empirical distributions given as
+/// count maps. Returns a value in `[0, 1]`; 0 means identical, 1 means
+/// disjoint supports. Two empty inputs are identical (0).
+pub fn total_variation(a: &BTreeMap<i64, u64>, b: &BTreeMap<i64, u64>) -> f64 {
+    let total_a: u64 = a.values().sum();
+    let total_b: u64 = b.values().sum();
+    match (total_a, total_b) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return 1.0,
+        _ => {}
+    }
+    let keys: std::collections::BTreeSet<i64> =
+        a.keys().chain(b.keys()).copied().collect();
+    let mut distance = 0.0;
+    for k in keys {
+        let pa = *a.get(&k).unwrap_or(&0) as f64 / total_a as f64;
+        let pb = *b.get(&k).unwrap_or(&0) as f64 / total_b as f64;
+        distance += (pa - pb).abs();
+    }
+    distance / 2.0
+}
+
+fn counts<I: Iterator<Item = i64>>(values: I) -> BTreeMap<i64, u64> {
+    let mut m = BTreeMap::new();
+    for v in values {
+        *m.entry(v).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Quantizes a value into a log2 bucket so long-tailed features (delta
+/// times) compare at the right granularity.
+fn log_bucket(v: u64) -> i64 {
+    if v == 0 {
+        0
+    } else {
+        64 - i64::from(v.leading_zeros() as u8)
+    }
+}
+
+/// Per-feature total-variation distances between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDistances {
+    /// Distance between stride distributions.
+    pub stride: f64,
+    /// Distance between log-bucketed inter-arrival distributions.
+    pub delta_time: f64,
+    /// Distance between operation mixes.
+    pub op: f64,
+    /// Distance between size distributions.
+    pub size: f64,
+}
+
+impl FeatureDistances {
+    /// Computes all four distances.
+    pub fn between(a: &Trace, b: &Trace) -> Self {
+        let strides = |t: &Trace| {
+            counts(
+                t.requests()
+                    .windows(2)
+                    .map(|w| w[1].address.wrapping_sub(w[0].address) as i64),
+            )
+        };
+        let deltas = |t: &Trace| {
+            counts(
+                t.requests()
+                    .windows(2)
+                    .map(|w| log_bucket(w[1].timestamp - w[0].timestamp)),
+            )
+        };
+        let ops = |t: &Trace| counts(t.iter().map(|r| i64::from(r.op.as_bit())));
+        let sizes = |t: &Trace| counts(t.iter().map(|r| i64::from(r.size)));
+        Self {
+            stride: total_variation(&strides(a), &strides(b)),
+            delta_time: total_variation(&deltas(a), &deltas(b)),
+            op: total_variation(&ops(a), &ops(b)),
+            size: total_variation(&sizes(a), &sizes(b)),
+        }
+    }
+
+    /// The largest of the four distances — a single conservative score.
+    pub fn worst(&self) -> f64 {
+        self.stride
+            .max(self.delta_time)
+            .max(self.op)
+            .max(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_core::{HierarchyConfig, Profile};
+    use mocktails_trace::Request;
+
+    fn patterned_trace(seed: u64) -> Trace {
+        let mut reqs = Vec::new();
+        for i in 0..400u64 {
+            let addr = 0x1000 + ((i * 7 + seed) % 40) * 64;
+            let r = if i % 5 == 0 {
+                Request::write(i * 9, addr, 128)
+            } else {
+                Request::read(i * 9, addr, 64)
+            };
+            reqs.push(r);
+        }
+        Trace::from_requests(reqs)
+    }
+
+    #[test]
+    fn identical_traces_have_zero_distance() {
+        let t = patterned_trace(0);
+        let d = FeatureDistances::between(&t, &t);
+        assert_eq!(d.stride, 0.0);
+        assert_eq!(d.delta_time, 0.0);
+        assert_eq!(d.op, 0.0);
+        assert_eq!(d.size, 0.0);
+        assert_eq!(d.worst(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        let a = counts([1i64, 1, 2].into_iter());
+        let b = counts([7i64, 8].into_iter());
+        assert_eq!(total_variation(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = BTreeMap::new();
+        let some = counts([1i64].into_iter());
+        assert_eq!(total_variation(&empty, &empty), 0.0);
+        assert_eq!(total_variation(&empty, &some), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = counts([1i64, 2, 2, 3].into_iter());
+        let b = counts([2i64, 3, 3, 4].into_iter());
+        let ab = total_variation(&a, &b);
+        assert_eq!(ab, total_variation(&b, &a));
+        assert!((0.0..=1.0).contains(&ab));
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn synthetic_traces_are_distributionally_close() {
+        let trace = patterned_trace(0);
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(500));
+        let synth = profile.synthesize(3);
+        let d = FeatureDistances::between(&trace, &synth);
+        // Strict convergence makes op and size distributions exact.
+        assert_eq!(d.op, 0.0);
+        assert_eq!(d.size, 0.0);
+        assert!(d.stride < 0.2, "stride distance {}", d.stride);
+        assert!(d.delta_time < 0.2, "delta distance {}", d.delta_time);
+    }
+
+    #[test]
+    fn unrelated_traces_are_far() {
+        let a = patterned_trace(0);
+        // A very different trace: huge strides, all writes, other sizes.
+        let b = Trace::from_requests(
+            (0..200u64)
+                .map(|i| Request::write(i * 1000, i * 0x10_0000, 256))
+                .collect(),
+        );
+        let d = FeatureDistances::between(&a, &b);
+        assert!(d.worst() > 0.8, "worst {}", d.worst());
+    }
+}

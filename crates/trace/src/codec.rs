@@ -1,0 +1,476 @@
+//! Compact binary codec for traces (and primitives reused by profiles).
+//!
+//! The paper stores traces and statistical profiles with Google protobuf and
+//! gzip (§V, Fig. 17). This workspace substitutes a self-contained codec so
+//! no code-generation dependency is needed: LEB128 varints for unsigned
+//! integers, zigzag for signed, and delta encoding of the timestamp and
+//! address columns (consecutive requests are near each other in time and
+//! often in space, so deltas are small and varints shrink them).
+//!
+//! Both traces and Mocktails profiles run through the same primitives, which
+//! keeps the Fig. 17 size comparison (trace bytes vs. profile bytes) fair.
+//!
+//! # Example
+//!
+//! ```
+//! use mocktails_trace::{codec, Request, Trace};
+//!
+//! let trace = Trace::from_requests(vec![
+//!     Request::read(0, 0x1000, 64),
+//!     Request::read(4, 0x1040, 64),
+//! ]);
+//! let mut buf = Vec::new();
+//! codec::write_trace(&mut buf, &trace)?;
+//! let back = codec::read_trace(&mut buf.as_slice())?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), mocktails_trace::TraceError>(())
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::{Op, Request, Trace, TraceError};
+
+/// Magic bytes identifying an encoded trace.
+pub const TRACE_MAGIC: [u8; 4] = *b"MTRC";
+/// Current codec version.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Writes `value` as an LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying writer.
+pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an LEB128 varint written by [`write_u64`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Corrupt`] if the varint overflows 64 bits, or an
+/// I/O error from the reader.
+pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encodes a signed value so small magnitudes become small varints.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Writes a signed value as a zigzag varint.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying writer.
+pub fn write_i64<W: Write>(w: &mut W, value: i64) -> std::io::Result<()> {
+    write_u64(w, zigzag(value))
+}
+
+/// Reads a signed value written by [`write_i64`].
+///
+/// # Errors
+///
+/// See [`read_u64`].
+pub fn read_i64<R: Read>(r: &mut R) -> Result<i64, TraceError> {
+    Ok(unzigzag(read_u64(r)?))
+}
+
+/// Writes an `f64` as its raw little-endian bits.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying writer.
+pub fn write_f64<W: Write>(w: &mut W, value: f64) -> std::io::Result<()> {
+    w.write_all(&value.to_le_bytes())
+}
+
+/// Reads an `f64` written by [`write_f64`].
+///
+/// # Errors
+///
+/// Propagates errors from the underlying reader.
+pub fn read_f64<R: Read>(r: &mut R) -> Result<f64, TraceError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+/// A writer that discards bytes while counting them — used to measure
+/// encoded sizes (Fig. 17) without buffering the encoding.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ByteCounter {
+    bytes: u64,
+}
+
+impl ByteCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Write for ByteCounter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Encodes a trace to `w`.
+///
+/// Layout: magic, version, request count, then four delta/varint-encoded
+/// columns interleaved per request (time delta, zigzag address delta, op
+/// bit folded into the size varint).
+///
+/// # Errors
+///
+/// Propagates errors from the underlying writer.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError> {
+    w.write_all(&TRACE_MAGIC)?;
+    w.write_all(&[CODEC_VERSION])?;
+    write_u64(w, trace.len() as u64)?;
+    let mut last_time = 0u64;
+    let mut last_addr = 0i64;
+    for r in trace.iter() {
+        write_u64(w, r.timestamp - last_time)?;
+        write_i64(w, r.address as i64 - last_addr)?;
+        write_u64(w, (u64::from(r.size) << 1) | u64::from(r.op.as_bit()))?;
+        last_time = r.timestamp;
+        last_addr = r.address as i64;
+    }
+    Ok(())
+}
+
+/// Decodes a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Corrupt`] for bad magic or malformed fields,
+/// [`TraceError::UnsupportedVersion`] for a version mismatch, or an I/O
+/// error from the reader.
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != TRACE_MAGIC {
+        return Err(TraceError::Corrupt("bad trace magic".into()));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != CODEC_VERSION {
+        return Err(TraceError::UnsupportedVersion {
+            found: version[0],
+            expected: CODEC_VERSION,
+        });
+    }
+    let count = read_u64(r)? as usize;
+    let mut requests = Vec::with_capacity(count.min(1 << 20));
+    let mut last_time = 0u64;
+    let mut last_addr = 0i64;
+    for _ in 0..count {
+        let dt = read_u64(r)?;
+        let da = read_i64(r)?;
+        let size_op = read_u64(r)?;
+        let size = u32::try_from(size_op >> 1)
+            .map_err(|_| TraceError::Corrupt("request size overflows u32".into()))?;
+        if size == 0 {
+            return Err(TraceError::Corrupt("zero-size request".into()));
+        }
+        let op = Op::from_bit((size_op & 1) as u8);
+        last_time = last_time
+            .checked_add(dt)
+            .ok_or_else(|| TraceError::Corrupt("timestamp overflows u64".into()))?;
+        last_addr = last_addr.wrapping_add(da);
+        requests.push(Request::new(last_time, last_addr as u64, op, size));
+    }
+    Ok(Trace::from_sorted_requests(requests))
+}
+
+/// Writes a trace as CSV (`timestamp,address,op,size`, addresses in hex)
+/// for interoperability with external tools and spreadsheets.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying writer.
+pub fn write_csv<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError> {
+    writeln!(w, "timestamp,address,op,size")?;
+    for r in trace.iter() {
+        writeln!(w, "{},{:#x},{},{}", r.timestamp, r.address, r.op, r.size)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_csv`] (or hand-authored in the same
+/// shape). Addresses accept `0x`-prefixed hex or plain decimal; the header
+/// line is optional.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Corrupt`] for malformed rows, or an I/O error
+/// from the reader.
+pub fn read_csv<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with("timestamp")) {
+            continue;
+        }
+        let mut fields = line.split(',').map(str::trim);
+        let bad = |what: &str| TraceError::Corrupt(format!("line {}: {what}", lineno + 1));
+        let timestamp: u64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| bad("bad timestamp"))?;
+        let addr_field = fields.next().ok_or_else(|| bad("missing address"))?;
+        let address = if let Some(hex) = addr_field.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| bad("bad hex address"))?
+        } else {
+            addr_field.parse().map_err(|_| bad("bad address"))?
+        };
+        let op = match fields.next().ok_or_else(|| bad("missing op"))? {
+            "read" | "r" | "R" => Op::Read,
+            "write" | "w" | "W" => Op::Write,
+            other => {
+                return Err(TraceError::Corrupt(format!(
+                    "line {}: unknown op {other:?}",
+                    lineno + 1
+                )))
+            }
+        };
+        let size: u32 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .filter(|&s| s > 0)
+            .ok_or_else(|| bad("bad size"))?;
+        if fields.next().is_some() {
+            return Err(bad("too many fields"));
+        }
+        requests.push(Request::new(timestamp, address, op, size));
+    }
+    Ok(Trace::from_requests(requests))
+}
+
+/// Encoded size of `trace` in bytes, without materializing the encoding.
+pub fn trace_encoded_size(trace: &Trace) -> u64 {
+    let mut counter = ByteCounter::new();
+    write_trace(&mut counter, trace).expect("ByteCounter never fails");
+    counter.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            assert_eq!(read_u64(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 bytes of continuation overflows 64 bits.
+        let buf = [0xffu8; 11];
+        assert!(matches!(
+            read_u64(&mut buf.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.25] {
+            let mut buf = Vec::new();
+            write_f64(&mut buf, v).unwrap();
+            assert_eq!(read_f64(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        Trace::from_requests(vec![
+            Request::read(0, 0x8100_2eb8, 128),
+            Request::read(8, 0x8100_2ec0, 64),
+            Request::write(16, 0x8100_2f00, 64),
+            Request::read(1_000_000, 0x10, 32),
+        ])
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trip() {
+        let trace = Trace::new();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"XXXX\x01\x00".to_vec();
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn encoded_size_matches_buffer() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(trace_encoded_size(&trace), buf.len() as u64);
+    }
+
+    #[test]
+    fn delta_encoding_compresses_sequential_trace() {
+        // Sequential accesses: deltas are tiny, so the encoding should be
+        // far smaller than the 21-byte worst case per request.
+        let trace: Trace = (0..1000u64)
+            .map(|i| Request::read(i * 4, 0x1000 + i * 64, 64))
+            .collect();
+        let size = trace_encoded_size(&trace);
+        assert!(size < 1000 * 6, "sequential trace encoded to {size} bytes");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        let back = read_csv(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn csv_accepts_headerless_decimal_and_short_ops() {
+        let text = "0,4096,r,64\n10,0x2000,W,32\n";
+        let trace = read_csv(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.requests()[0].address, 4096);
+        assert!(trace.requests()[1].op.is_write());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        for bad in [
+            "0,0x10,read\n",          // missing size
+            "0,0x10,frob,64\n",       // bad op
+            "x,0x10,read,64\n",       // bad timestamp
+            "0,0xzz,read,64\n",       // bad hex
+            "0,0x10,read,0\n",        // zero size
+            "0,0x10,read,64,extra\n", // too many fields
+        ] {
+            assert!(read_csv(&mut bad.as_bytes()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let text = "timestamp,address,op,size\n\n5,0x40,write,16\n\n";
+        let trace = read_csv(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn byte_counter_counts() {
+        let mut c = ByteCounter::new();
+        c.write_all(&[0u8; 37]).unwrap();
+        c.flush().unwrap();
+        assert_eq!(c.bytes(), 37);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for trace I/O.
+
+/// Errors produced when encoding or decoding traces and profiles.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The input is not a valid encoded trace or profile.
+    Corrupt(String),
+    /// The file was produced by an unsupported codec version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u8,
+        /// Version this library understands.
+        expected: u8,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::Corrupt(msg) => write!(f, "corrupt encoding: {msg}"),
+            TraceError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported codec version {found} (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = TraceError::UnsupportedVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = TraceError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

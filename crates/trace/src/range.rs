@@ -1,0 +1,247 @@
+//! Half-open address intervals.
+
+/// A half-open byte address interval `[start, end)`.
+///
+/// `AddrRange` is the unit of spatial reasoning throughout the workspace:
+/// dynamic spatial partitioning (Alg. 1 in the paper) merges the ranges of
+/// individual requests into non-overlapping memory regions, and leaf models
+/// record the range their synthesized addresses must stay within.
+///
+/// ```
+/// use mocktails_trace::AddrRange;
+///
+/// let a = AddrRange::new(0x1000, 0x1040);
+/// let b = AddrRange::new(0x1040, 0x1080);
+/// assert!(a.touches(&b)); // adjacent ranges merge under Alg. 1
+/// assert_eq!(a.union(&b), AddrRange::new(0x1000, 0x1080));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AddrRange {
+    start: u64,
+    end: u64,
+}
+
+impl AddrRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "range start {start:#x} exceeds end {end:#x}");
+        Self { start, end }
+    }
+
+    /// Creates the range covering `size` bytes starting at `start`.
+    pub fn from_start_size(start: u64, size: u64) -> Self {
+        Self::new(start, start.saturating_add(size))
+    }
+
+    /// First byte address in the range.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last byte address in the range.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of bytes in the range.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range contains no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `addr` falls inside the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Returns `true` if `other` lies entirely inside this range.
+    pub fn contains_range(&self, other: &AddrRange) -> bool {
+        other.start >= self.start && other.end <= self.end
+    }
+
+    /// Returns `true` if the two ranges share at least one byte.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Returns `true` if the two ranges overlap **or** are exactly adjacent.
+    ///
+    /// This is the merge condition of the paper's dynamic spatial
+    /// partitioning (Alg. 1): requests to overlapping or adjacent memory are
+    /// grouped into the same region.
+    pub fn touches(&self, other: &AddrRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The smallest range containing both inputs.
+    pub fn union(&self, other: &AddrRange) -> AddrRange {
+        AddrRange {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The overlap of the two ranges, or `None` when they share no byte.
+    pub fn intersection(&self, other: &AddrRange) -> Option<AddrRange> {
+        if self.overlaps(other) {
+            Some(AddrRange {
+                start: self.start.max(other.start),
+                end: self.end.min(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Expands the range in place so it also covers `other`.
+    pub fn expand(&mut self, other: &AddrRange) {
+        self.start = self.start.min(other.start);
+        self.end = self.end.max(other.end);
+    }
+
+    /// Maps `addr` back into the range, preserving its offset modulo the
+    /// range length.
+    ///
+    /// Address synthesis applies generated strides to a running address; when
+    /// the result escapes the leaf's memory region the paper wraps it back
+    /// "to preserve spatial locality" (§III-C). Offsets below `start` wrap
+    /// from the end, offsets past `end` wrap from the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn wrap(&self, addr: u64) -> u64 {
+        assert!(!self.is_empty(), "cannot wrap into an empty range");
+        let len = self.len();
+        if self.contains(addr) {
+            return addr;
+        }
+        if addr >= self.end {
+            self.start + (addr - self.start) % len
+        } else {
+            // addr < self.start: wrap negative offsets from the end.
+            let deficit = (self.start - addr) % len;
+            if deficit == 0 {
+                self.start
+            } else {
+                self.end - deficit
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = AddrRange::new(0x100, 0x180);
+        assert_eq!(r.start(), 0x100);
+        assert_eq!(r.end(), 0x180);
+        assert_eq!(r.len(), 0x80);
+        assert!(!r.is_empty());
+        assert!(AddrRange::new(4, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds end")]
+    fn inverted_range_rejected() {
+        let _ = AddrRange::new(10, 5);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = AddrRange::new(0x100, 0x180);
+        assert!(r.contains(0x100));
+        assert!(r.contains(0x17f));
+        assert!(!r.contains(0x180));
+        assert!(!r.contains(0xff));
+    }
+
+    #[test]
+    fn overlap_vs_touch() {
+        let a = AddrRange::new(0, 10);
+        let adjacent = AddrRange::new(10, 20);
+        let gap = AddrRange::new(11, 20);
+        let inner = AddrRange::new(3, 7);
+
+        assert!(!a.overlaps(&adjacent));
+        assert!(a.touches(&adjacent));
+        assert!(!a.touches(&gap));
+        assert!(a.overlaps(&inner));
+        assert!(a.contains_range(&inner));
+        assert!(!inner.contains_range(&a));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = AddrRange::new(0, 10);
+        let b = AddrRange::new(5, 15);
+        assert_eq!(a.union(&b), AddrRange::new(0, 15));
+        assert_eq!(a.intersection(&b), Some(AddrRange::new(5, 10)));
+        assert_eq!(a.intersection(&AddrRange::new(20, 30)), None);
+    }
+
+    #[test]
+    fn expand_grows_in_place() {
+        let mut r = AddrRange::new(10, 20);
+        r.expand(&AddrRange::new(0, 5));
+        assert_eq!(r, AddrRange::new(0, 20));
+        r.expand(&AddrRange::new(15, 40));
+        assert_eq!(r, AddrRange::new(0, 40));
+    }
+
+    #[test]
+    fn wrap_keeps_inside_addresses() {
+        let r = AddrRange::new(0x100, 0x200);
+        assert_eq!(r.wrap(0x150), 0x150);
+        assert_eq!(r.wrap(0x100), 0x100);
+        assert_eq!(r.wrap(0x1ff), 0x1ff);
+    }
+
+    #[test]
+    fn wrap_above_end() {
+        let r = AddrRange::new(0x100, 0x200); // len 0x100
+        assert_eq!(r.wrap(0x200), 0x100);
+        assert_eq!(r.wrap(0x250), 0x150);
+        assert_eq!(r.wrap(0x300), 0x100);
+    }
+
+    #[test]
+    fn wrap_below_start() {
+        let r = AddrRange::new(0x100, 0x200);
+        assert_eq!(r.wrap(0xf0), 0x1f0);
+        assert_eq!(r.wrap(0x0), 0x100);
+        assert_eq!(r.wrap(0xff), 0x1ff);
+    }
+
+    #[test]
+    fn wrap_result_always_contained() {
+        let r = AddrRange::new(0x40, 0x1c0);
+        for addr in 0..0x400u64 {
+            assert!(r.contains(r.wrap(addr)), "addr {addr:#x} wrapped outside");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn wrap_empty_panics() {
+        let r = AddrRange::new(0x100, 0x100);
+        let _ = r.wrap(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The memory request type and its operation.
+
+use crate::AddrRange;
+
+/// The operation of a memory request.
+///
+/// Mocktails treats the operation as one of the four black-box features of a
+/// request (timestamp, address, operation, size); no richer command set
+/// (e.g. atomics) is modeled, matching the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl Op {
+    /// Returns `true` for [`Op::Read`].
+    ///
+    /// ```
+    /// use mocktails_trace::Op;
+    /// assert!(Op::Read.is_read());
+    /// assert!(!Op::Write.is_read());
+    /// ```
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// Returns `true` for [`Op::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Write)
+    }
+
+    /// Encodes the operation as a single bit (read = 0, write = 1).
+    ///
+    /// Used by the binary codec and by models that index arrays by operation.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            Op::Read => 0,
+            Op::Write => 1,
+        }
+    }
+
+    /// Decodes an operation from a bit produced by [`Op::as_bit`].
+    ///
+    /// Any non-zero value decodes to [`Op::Write`].
+    pub fn from_bit(bit: u8) -> Self {
+        if bit == 0 {
+            Op::Read
+        } else {
+            Op::Write
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Read => f.write_str("read"),
+            Op::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A single memory request as seen at the interface between a compute device
+/// and the memory system.
+///
+/// This carries exactly the four features Mocktails models (ISCA 2020,
+/// §III): the cycle `timestamp` at which the device injected the request, the
+/// byte `address`, the `op` (read or write) and the `size` in bytes.
+///
+/// ```
+/// use mocktails_trace::{Op, Request};
+///
+/// let r = Request::new(100, 0x8100_2EB8, Op::Read, 128);
+/// assert_eq!(r.end_address(), 0x8100_2EB8 + 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Injection time in cycles.
+    pub timestamp: u64,
+    /// Byte address of the first byte accessed.
+    pub address: u64,
+    /// Whether the request reads or writes.
+    pub op: Op,
+    /// Number of bytes requested. Always non-zero.
+    pub size: u32,
+}
+
+impl Request {
+    /// Creates a new request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero — a zero-byte memory request is meaningless
+    /// and would break the address-range arithmetic used by spatial
+    /// partitioning.
+    pub fn new(timestamp: u64, address: u64, op: Op, size: u32) -> Self {
+        assert!(size > 0, "memory request size must be non-zero");
+        Self {
+            timestamp,
+            address,
+            op,
+            size,
+        }
+    }
+
+    /// Creates a read request.
+    pub fn read(timestamp: u64, address: u64, size: u32) -> Self {
+        Self::new(timestamp, address, Op::Read, size)
+    }
+
+    /// Creates a write request.
+    pub fn write(timestamp: u64, address: u64, size: u32) -> Self {
+        Self::new(timestamp, address, Op::Write, size)
+    }
+
+    /// One past the last byte address touched by this request.
+    pub fn end_address(&self) -> u64 {
+        self.address.saturating_add(u64::from(self.size))
+    }
+
+    /// The half-open byte range `[address, address + size)` this request
+    /// touches.
+    pub fn range(&self) -> AddrRange {
+        AddrRange::new(self.address, self.end_address())
+    }
+}
+
+impl std::fmt::Display for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t={} {} {:#x}+{}",
+            self.timestamp, self.op, self.address, self.size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_bits_round_trip() {
+        assert_eq!(Op::from_bit(Op::Read.as_bit()), Op::Read);
+        assert_eq!(Op::from_bit(Op::Write.as_bit()), Op::Write);
+    }
+
+    #[test]
+    fn op_predicates() {
+        assert!(Op::Read.is_read());
+        assert!(Op::Write.is_write());
+        assert!(!Op::Read.is_write());
+        assert!(!Op::Write.is_read());
+    }
+
+    #[test]
+    fn request_end_address() {
+        let r = Request::read(0, 0x1000, 64);
+        assert_eq!(r.end_address(), 0x1040);
+        assert_eq!(r.range().len(), 64);
+    }
+
+    #[test]
+    fn request_end_address_saturates() {
+        let r = Request::read(0, u64::MAX - 16, 64);
+        assert_eq!(r.end_address(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = Request::new(0, 0, Op::Read, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = Request::write(7, 0x40, 32);
+        let s = r.to_string();
+        assert!(s.contains("write"));
+        assert!(s.contains("0x40"));
+    }
+}

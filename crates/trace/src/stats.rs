@@ -1,0 +1,254 @@
+//! Trace-level summary statistics.
+
+use std::collections::BTreeMap;
+
+use crate::{AddrRange, Trace};
+
+/// Summary statistics of a trace.
+///
+/// These are the trace-level views the paper uses to motivate its design:
+/// the request mix, the footprint, the spread of request sizes, and the
+/// burstiness of the injection process (Fig. 3 plots requests per
+/// 50 M-cycle bin).
+///
+/// ```
+/// use mocktails_trace::{Request, Trace};
+///
+/// let trace = Trace::from_requests(vec![
+///     Request::read(0, 0x0, 64),
+///     Request::write(100, 0x40, 128),
+/// ]);
+/// let stats = trace.stats();
+/// assert_eq!(stats.requests, 2);
+/// assert_eq!(stats.read_fraction, 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total number of requests.
+    pub requests: usize,
+    /// Number of reads.
+    pub reads: usize,
+    /// Number of writes.
+    pub writes: usize,
+    /// Fraction of requests that are reads (0 for an empty trace).
+    pub read_fraction: f64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Smallest range covering all touched bytes, if any requests exist.
+    pub footprint: Option<AddrRange>,
+    /// Number of distinct request sizes and their counts.
+    pub size_histogram: BTreeMap<u32, usize>,
+    /// Cycles spanned between first and last request.
+    pub duration: u64,
+    /// Mean cycles between consecutive requests (0 with < 2 requests).
+    pub mean_inter_arrival: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let requests = trace.len();
+        let reads = trace.reads();
+        let writes = requests - reads;
+        let mut size_histogram = BTreeMap::new();
+        for r in trace.iter() {
+            *size_histogram.entry(r.size).or_insert(0) += 1;
+        }
+        let mean_inter_arrival = if requests >= 2 {
+            trace.duration() as f64 / (requests - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            requests,
+            reads,
+            writes,
+            read_fraction: if requests == 0 {
+                0.0
+            } else {
+                reads as f64 / requests as f64
+            },
+            total_bytes: trace.total_bytes(),
+            footprint: trace.footprint_range(),
+            size_histogram,
+            duration: trace.duration(),
+            mean_inter_arrival,
+        }
+    }
+}
+
+/// Request counts per fixed-width time bin — the view in the paper's Fig. 3.
+///
+/// ```
+/// use mocktails_trace::{BinnedCounts, Request, Trace};
+///
+/// let trace = Trace::from_requests(vec![
+///     Request::read(0, 0x0, 64),
+///     Request::read(5, 0x40, 64),
+///     Request::read(25, 0x80, 64),
+/// ]);
+/// let bins = BinnedCounts::from_trace(&trace, 10);
+/// assert_eq!(bins.counts(), &[2, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinnedCounts {
+    bin_width: u64,
+    counts: Vec<usize>,
+}
+
+impl BinnedCounts {
+    /// Bins the trace's requests into consecutive windows of `bin_width`
+    /// cycles, starting at the trace's first timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn from_trace(trace: &Trace, bin_width: u64) -> Self {
+        assert!(bin_width > 0, "bin width must be non-zero");
+        let Some(start) = trace.start_time() else {
+            return Self {
+                bin_width,
+                counts: Vec::new(),
+            };
+        };
+        let span = trace.end_time().expect("non-empty") - start;
+        let nbins = (span / bin_width) as usize + 1;
+        let mut counts = vec![0usize; nbins];
+        for r in trace.iter() {
+            counts[((r.timestamp - start) / bin_width) as usize] += 1;
+        }
+        Self { bin_width, counts }
+    }
+
+    /// Width of each bin in cycles.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Request count per bin, in time order.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if there are no bins (empty trace).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of bins containing zero requests — a measure of idle phases.
+    pub fn idle_bins(&self) -> usize {
+        self.counts.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// The largest per-bin count — a measure of the burst peak.
+    pub fn peak(&self) -> usize {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Coefficient of variation of per-bin counts (stddev / mean).
+    ///
+    /// A CoV near zero means uniformly spread requests; large CoV means a
+    /// bursty injection process. Returns 0 when there are no bins or the
+    /// mean is zero.
+    pub fn burstiness(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let n = self.counts.len() as f64;
+        let mean = self.counts.iter().sum::<usize>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Request;
+
+    fn sample() -> Trace {
+        Trace::from_requests(vec![
+            Request::read(0, 0x1000, 64),
+            Request::read(10, 0x1040, 64),
+            Request::write(20, 0x2000, 128),
+            Request::write(120, 0x2080, 128),
+        ])
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = sample().stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.read_fraction, 0.5);
+        assert_eq!(s.total_bytes, 384);
+        assert_eq!(s.duration, 120);
+        assert_eq!(s.mean_inter_arrival, 40.0);
+        assert_eq!(s.size_histogram[&64], 2);
+        assert_eq!(s.size_histogram[&128], 2);
+    }
+
+    #[test]
+    fn stats_empty_trace() {
+        let s = Trace::new().stats();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.read_fraction, 0.0);
+        assert_eq!(s.mean_inter_arrival, 0.0);
+        assert!(s.footprint.is_none());
+    }
+
+    #[test]
+    fn binning_counts_and_gaps() {
+        let bins = BinnedCounts::from_trace(&sample(), 50);
+        assert_eq!(bins.counts(), &[3, 0, 1]);
+        assert_eq!(bins.idle_bins(), 1);
+        assert_eq!(bins.peak(), 3);
+        assert_eq!(bins.bin_width(), 50);
+        assert!(!bins.is_empty());
+    }
+
+    #[test]
+    fn binning_empty_trace() {
+        let bins = BinnedCounts::from_trace(&Trace::new(), 50);
+        assert!(bins.is_empty());
+        assert_eq!(bins.burstiness(), 0.0);
+        assert_eq!(bins.peak(), 0);
+    }
+
+    #[test]
+    fn burstiness_orders_uniform_vs_bursty() {
+        // Uniform: one request per bin.
+        let uniform: Trace = (0..100u64).map(|i| Request::read(i * 10, i, 1)).collect();
+        // Bursty: all requests in the first bin, then a long gap.
+        let mut reqs: Vec<Request> = (0..99u64).map(|i| Request::read(i, i, 1)).collect();
+        reqs.push(Request::read(990, 0, 1));
+        let bursty = Trace::from_requests(reqs);
+
+        let u = BinnedCounts::from_trace(&uniform, 10).burstiness();
+        let b = BinnedCounts::from_trace(&bursty, 10).burstiness();
+        assert!(b > u, "bursty {b} should exceed uniform {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bin_width_panics() {
+        let _ = BinnedCounts::from_trace(&sample(), 0);
+    }
+}

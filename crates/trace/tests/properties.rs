@@ -1,0 +1,159 @@
+//! Property-based tests of the trace crate's invariants.
+
+use proptest::prelude::*;
+
+use mocktails_trace::codec::{
+    read_csv, read_i64, read_u64, unzigzag, write_csv, write_i64, write_u64, zigzag,
+};
+use mocktails_trace::{AddrRange, BinnedCounts, Op, Request, Trace};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (any::<u32>(), any::<u64>(), any::<bool>(), 1u32..100_000).prop_map(
+        |(t, addr, write, size)| {
+            let op = if write { Op::Write } else { Op::Read };
+            // Keep end_address from overflowing.
+            Request::new(u64::from(t), addr >> 1, op, size)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varint_u64_round_trips(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        prop_assert!(buf.len() <= 10);
+        prop_assert_eq!(read_u64(&mut buf.as_slice()).unwrap(), v);
+    }
+
+    #[test]
+    fn varint_i64_round_trips(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v).unwrap();
+        prop_assert_eq!(read_i64(&mut buf.as_slice()).unwrap(), v);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection(v: i64) {
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn zigzag_orders_by_magnitude(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        // Smaller magnitudes never encode longer than larger ones.
+        if a.unsigned_abs() < b.unsigned_abs() {
+            let len = |v: i64| {
+                let mut buf = Vec::new();
+                write_i64(&mut buf, v).unwrap();
+                buf.len()
+            };
+            prop_assert!(len(a) <= len(b));
+        }
+    }
+
+    #[test]
+    fn csv_round_trips(reqs in prop::collection::vec(arb_request(), 0..100)) {
+        let trace = Trace::from_requests(reqs);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        let back = read_csv(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn trace_invariants(reqs in prop::collection::vec(arb_request(), 1..200)) {
+        let trace = Trace::from_requests(reqs.clone());
+        prop_assert_eq!(trace.len(), reqs.len());
+        prop_assert_eq!(trace.reads() + trace.writes(), trace.len());
+        prop_assert!(trace
+            .requests()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        let fp = trace.footprint_range().unwrap();
+        for r in trace.iter() {
+            prop_assert!(fp.contains_range(&r.range()));
+        }
+    }
+
+    #[test]
+    fn binned_counts_conserve_requests(
+        reqs in prop::collection::vec(arb_request(), 1..200),
+        width in 1u64..1_000_000,
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let bins = BinnedCounts::from_trace(&trace, width);
+        prop_assert_eq!(bins.counts().iter().sum::<usize>(), trace.len());
+        prop_assert!(bins.peak() <= trace.len());
+    }
+
+    #[test]
+    fn stream_writer_reader_round_trip(reqs in prop::collection::vec(arb_request(), 0..120)) {
+        let trace = Trace::from_requests(reqs);
+        let mut buf = Vec::new();
+        let mut w = mocktails_trace::StreamWriter::new(&mut buf).unwrap();
+        for r in trace.iter() {
+            w.write(r).unwrap();
+        }
+        prop_assert_eq!(w.written(), trace.len() as u64);
+        w.finish().unwrap();
+        let reader = mocktails_trace::StreamReader::new(buf.as_slice()).unwrap();
+        let back: Result<Vec<_>, _> = reader.collect();
+        prop_assert_eq!(back.unwrap(), trace.requests().to_vec());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Any input must yield Ok or Err — never a panic.
+        let _ = mocktails_trace::codec::read_trace(&mut bytes.as_slice());
+        let _ = mocktails_trace::codec::read_csv(&mut bytes.as_slice());
+        if let Ok(reader) = mocktails_trace::StreamReader::new(bytes.as_slice()) {
+            for item in reader.take(64) {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_valid_traces(
+        reqs in prop::collection::vec(arb_request(), 1..40),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let trace = Trace::from_requests(reqs);
+        let mut buf = Vec::new();
+        mocktails_trace::codec::write_trace(&mut buf, &trace).unwrap();
+        let idx = flip.0 as usize % buf.len();
+        buf[idx] ^= flip.1 | 1; // guarantee a change
+        let _ = mocktails_trace::codec::read_trace(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn range_union_contains_both(a in any::<u32>(), la in 1u64..1_000_000, b in any::<u32>(), lb in 1u64..1_000_000) {
+        let ra = AddrRange::from_start_size(u64::from(a), la);
+        let rb = AddrRange::from_start_size(u64::from(b), lb);
+        let u = ra.union(&rb);
+        prop_assert!(u.contains_range(&ra));
+        prop_assert!(u.contains_range(&rb));
+        prop_assert!(u.len() >= ra.len().max(rb.len()));
+    }
+
+    #[test]
+    fn range_intersection_is_symmetric_and_contained(
+        a in any::<u32>(), la in 1u64..1_000_000,
+        b in any::<u32>(), lb in 1u64..1_000_000,
+    ) {
+        let ra = AddrRange::from_start_size(u64::from(a), la);
+        let rb = AddrRange::from_start_size(u64::from(b), lb);
+        prop_assert_eq!(ra.intersection(&rb), rb.intersection(&ra));
+        if let Some(i) = ra.intersection(&rb) {
+            prop_assert!(ra.contains_range(&i));
+            prop_assert!(rb.contains_range(&i));
+            prop_assert!(ra.overlaps(&rb));
+        } else {
+            prop_assert!(!ra.overlaps(&rb));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The Table II trace catalog.
+//!
+//! Maps each of the paper's proprietary traces to a synthetic generator and
+//! a fixed seed, so the whole evaluation is reproducible byte-for-byte.
+
+use mocktails_trace::Trace;
+
+use crate::{cpu, dpu, gpu, vpu, Device};
+
+/// One named trace of the paper's Table II.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    name: &'static str,
+    device: Device,
+    description: &'static str,
+    seed: u64,
+    generator: fn(u64) -> Trace,
+}
+
+impl TraceSpec {
+    /// The trace name (e.g. `"HEVC1"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The device that produced the trace.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Table II's description of the workload.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Generates the trace (deterministic: same bytes every call).
+    pub fn generate(&self) -> Trace {
+        (self.generator)(self.seed)
+    }
+}
+
+fn gen_crypto(seed: u64) -> Trace {
+    cpu::crypto(seed, &cpu::CryptoParams::default())
+}
+
+fn gen_cpu_d(seed: u64) -> Trace {
+    cpu::companion(seed, 0, &cpu::CompanionParams::default())
+}
+
+fn gen_cpu_g(seed: u64) -> Trace {
+    cpu::companion(seed, 1, &cpu::CompanionParams::default())
+}
+
+fn gen_cpu_v(seed: u64) -> Trace {
+    cpu::companion(seed, 2, &cpu::CompanionParams::default())
+}
+
+fn gen_fbc_linear(seed: u64) -> Trace {
+    dpu::fbc_linear(seed, &dpu::FbcParams::default())
+}
+
+fn gen_fbc_tiled(seed: u64) -> Trace {
+    dpu::fbc_tiled(seed, &dpu::FbcParams::default())
+}
+
+fn gen_multi_layer(seed: u64) -> Trace {
+    dpu::multi_layer(seed, &dpu::MultiLayerParams::default())
+}
+
+fn gen_trex(seed: u64) -> Trace {
+    gpu::trex(seed)
+}
+
+fn gen_manhattan(seed: u64) -> Trace {
+    gpu::manhattan(seed)
+}
+
+fn gen_opencl(seed: u64) -> Trace {
+    gpu::opencl(seed, &gpu::OpenClParams::default())
+}
+
+fn gen_hevc(seed: u64) -> Trace {
+    vpu::hevc(seed, &vpu::HevcParams::default())
+}
+
+/// All 18 traces of Table II (trace counts per row match the paper).
+pub fn all() -> Vec<TraceSpec> {
+    vec![
+        spec("Crypto1", Device::Cpu, "A cryptography workload (trace 1 of 2)", 101, gen_crypto),
+        spec("Crypto2", Device::Cpu, "A cryptography workload (trace 2 of 2)", 102, gen_crypto),
+        spec("CPU-D", Device::Cpu, "A workload that interacts with a DPU", 103, gen_cpu_d),
+        spec("CPU-G", Device::Cpu, "A workload that interacts with a GPU", 104, gen_cpu_g),
+        spec("CPU-V", Device::Cpu, "A workload that interacts with a VPU", 105, gen_cpu_v),
+        spec("FBC-Linear1", Device::Dpu, "Display compressed frames, linear mode (1 of 2)", 201, gen_fbc_linear),
+        spec("FBC-Linear2", Device::Dpu, "Display compressed frames, linear mode (2 of 2)", 202, gen_fbc_linear),
+        spec("FBC-Tiled1", Device::Dpu, "Display compressed frames, tiled mode (1 of 2)", 203, gen_fbc_tiled),
+        spec("FBC-Tiled2", Device::Dpu, "Display compressed frames, tiled mode (2 of 2)", 204, gen_fbc_tiled),
+        spec("Multi-layer", Device::Dpu, "Display multiple VGA layers", 205, gen_multi_layer),
+        spec("T-Rex1", Device::Gpu, "T-Rex from GFXBench (trace 1 of 2)", 301, gen_trex),
+        spec("T-Rex2", Device::Gpu, "T-Rex from GFXBench (trace 2 of 2)", 302, gen_trex),
+        spec("Manhattan", Device::Gpu, "Manhattan from GFXBench", 303, gen_manhattan),
+        spec("OpenCL1", Device::Gpu, "An OpenCL stress test (trace 1 of 2)", 304, gen_opencl),
+        spec("OpenCL2", Device::Gpu, "An OpenCL stress test (trace 2 of 2)", 305, gen_opencl),
+        spec("HEVC1", Device::Vpu, "Decoding compressed video (trace 1 of 3)", 401, gen_hevc),
+        spec("HEVC2", Device::Vpu, "Decoding compressed video (trace 2 of 3)", 402, gen_hevc),
+        spec("HEVC3", Device::Vpu, "Decoding compressed video (trace 3 of 3)", 403, gen_hevc),
+    ]
+}
+
+fn spec(
+    name: &'static str,
+    device: Device,
+    description: &'static str,
+    seed: u64,
+    generator: fn(u64) -> Trace,
+) -> TraceSpec {
+    TraceSpec {
+        name,
+        device,
+        description,
+        seed,
+        generator,
+    }
+}
+
+/// Looks a trace up by name (case-sensitive, as printed in Table II).
+pub fn by_name(name: &str) -> Option<TraceSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// The traces belonging to one device kind.
+pub fn by_device(device: Device) -> Vec<TraceSpec> {
+    all().into_iter().filter(|s| s.device == device).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table2_shape() {
+        let specs = all();
+        assert_eq!(specs.len(), 18);
+        assert_eq!(by_device(Device::Cpu).len(), 5);
+        assert_eq!(by_device(Device::Dpu).len(), 5);
+        assert_eq!(by_device(Device::Gpu).len(), 5);
+        assert_eq!(by_device(Device::Vpu).len(), 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = all();
+        let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("T-Rex1").is_some());
+        assert_eq!(by_name("T-Rex1").unwrap().device(), Device::Gpu);
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn paired_traces_differ_by_seed() {
+        let a = by_name("Crypto1").unwrap().generate();
+        let b = by_name("Crypto2").unwrap().generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let spec = by_name("FBC-Linear1").unwrap();
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn descriptions_are_present() {
+        for s in all() {
+            assert!(!s.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared building blocks for workload generators.
+
+use mocktails_trace::{Op, Request};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A linear (constant-stride) request stream.
+///
+/// Emits `n` requests starting at `(t0, base)`, advancing `gap` cycles and
+/// `stride` bytes per request.
+pub(crate) fn linear_stream(
+    t0: u64,
+    gap: u64,
+    base: u64,
+    stride: i64,
+    n: usize,
+    size: u32,
+    op: Op,
+) -> Vec<Request> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = t0;
+    let mut addr = base;
+    for _ in 0..n {
+        out.push(Request::new(t, addr, op, size));
+        t += gap;
+        addr = addr.wrapping_add(stride as u64);
+    }
+    out
+}
+
+/// A tiled 2D walk: visits `tiles` tiles, each `lines` lines tall; within a
+/// tile, consecutive requests jump by the frame `pitch` (bytes per line),
+/// and consecutive tiles advance by `tile_width` bytes (wrapping to the
+/// next tile row every `tiles_per_row`).
+///
+/// This is how a tiled frame-buffer consumer touches memory: short row
+/// runs, frequent pitch-sized jumps.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tiled_stream(
+    t0: u64,
+    gap: u64,
+    base: u64,
+    pitch: u64,
+    tile_width: u64,
+    lines: u64,
+    tiles: u64,
+    tiles_per_row: u64,
+    size: u32,
+    op: Op,
+) -> Vec<Request> {
+    let mut out = Vec::with_capacity((tiles * lines) as usize);
+    let mut t = t0;
+    for tile in 0..tiles {
+        let tile_row = tile / tiles_per_row;
+        let tile_col = tile % tiles_per_row;
+        let tile_base = base + tile_row * pitch * lines + tile_col * tile_width;
+        for line in 0..lines {
+            out.push(Request::new(t, tile_base + line * pitch, op, size));
+            t += gap;
+        }
+    }
+    out
+}
+
+/// Requests at uniformly random block-aligned addresses within
+/// `[base, base + span)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn random_in_region(
+    rng: &mut StdRng,
+    t0: u64,
+    gap: u64,
+    base: u64,
+    span: u64,
+    align: u64,
+    n: usize,
+    size: u32,
+    op: Op,
+) -> Vec<Request> {
+    let slots = (span / align).max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut t = t0;
+    for _ in 0..n {
+        let addr = base + rng.gen_range(0..slots) * align;
+        out.push(Request::new(t, addr, op, size));
+        t += gap;
+    }
+    out
+}
+
+/// Sample from a Zipf-like distribution over `n` items with exponent `s`,
+/// using a precomputed CDF.
+#[derive(Debug, Clone)]
+pub(crate) struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub(crate) fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self { cdf: weights }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Merges streams into one timestamp-sorted request vector.
+pub(crate) fn merge(streams: Vec<Vec<Request>>) -> Vec<Request> {
+    let mut all: Vec<Request> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|r| r.timestamp);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_stream_strides() {
+        let s = linear_stream(10, 2, 0x100, 64, 4, 64, Op::Read);
+        let addrs: Vec<u64> = s.iter().map(|r| r.address).collect();
+        assert_eq!(addrs, vec![0x100, 0x140, 0x180, 0x1c0]);
+        let times: Vec<u64> = s.iter().map(|r| r.timestamp).collect();
+        assert_eq!(times, vec![10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn linear_stream_negative_stride() {
+        let s = linear_stream(0, 1, 0x200, -64, 3, 64, Op::Write);
+        let addrs: Vec<u64> = s.iter().map(|r| r.address).collect();
+        assert_eq!(addrs, vec![0x200, 0x1c0, 0x180]);
+    }
+
+    #[test]
+    fn tiled_stream_jumps_by_pitch() {
+        let s = tiled_stream(0, 1, 0, 4096, 64, 4, 2, 16, 64, Op::Read);
+        assert_eq!(s.len(), 8);
+        // Within the first tile: pitch jumps.
+        assert_eq!(s[1].address - s[0].address, 4096);
+        // Second tile starts one tile_width over.
+        assert_eq!(s[4].address, 64);
+    }
+
+    #[test]
+    fn random_in_region_stays_inside_and_aligned() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = random_in_region(&mut rng, 0, 3, 0x10_000, 0x4000, 64, 200, 64, Op::Read);
+        for r in &s {
+            assert!(r.address >= 0x10_000 && r.address < 0x14_000);
+            assert_eq!(r.address % 64, 0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top 10% of items should draw well over half the accesses.
+        assert!(head > n / 2, "only {head}/{n} in head");
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let a = linear_stream(0, 10, 0, 64, 5, 64, Op::Read);
+        let b = linear_stream(5, 10, 0x1000, 64, 5, 64, Op::Write);
+        let m = merge(vec![a, b]);
+        assert!(m.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert_eq!(m.len(), 10);
+    }
+}

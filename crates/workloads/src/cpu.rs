@@ -1,0 +1,208 @@
+//! CPU workloads (requests already filtered by the cache hierarchy).
+//!
+//! The paper's CPU traces are captured at the interconnect, *after* the
+//! caches: what remains is an irregular mix of miss traffic and write-backs
+//! whose regions see both reads and writes — which is why CPU workloads
+//! show the highest McC error on read/write bursts (Fig. 6) and why CPU
+//! error grows with longer temporal partitions (Fig. 13).
+
+use mocktails_trace::{Op, Request, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{linear_stream, merge, random_in_region, Zipf};
+
+/// Parameters for the cryptography workload.
+#[derive(Debug, Clone)]
+pub struct CryptoParams {
+    /// Data blocks processed.
+    pub blocks: u64,
+    /// Cycles per block (compute-bound pacing).
+    pub block_period: u64,
+    /// Bytes per data block streamed through the cipher.
+    pub block_bytes: u64,
+    /// Number of 8 KiB lookup-table regions (S-boxes, round keys).
+    pub tables: u64,
+}
+
+impl Default for CryptoParams {
+    fn default() -> Self {
+        Self {
+            blocks: 500,
+            block_period: 20_000,
+            block_bytes: 2048,
+            tables: 4,
+        }
+    }
+}
+
+/// A cryptography workload: read-modify-write sweeps over data blocks plus
+/// scattered lookup-table reads — the paper's *Crypto* CPU trace.
+pub fn crypto(seed: u64, params: &CryptoParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC2_0001);
+    let mut streams = Vec::new();
+    let lines = params.block_bytes / 64;
+    for b in 0..params.blocks {
+        let t0 = b * params.block_period + rng.gen_range(0..128);
+        let data_base = 0x4000_0000 + (b % 64) * params.block_bytes;
+        // Encrypt each line in place: read it, write the ciphertext back.
+        // The data region therefore mixes reads and writes with a strict
+        // alternating op pattern; occasionally the store buffer combines
+        // two lines into one 128 B write, giving the mild op-size
+        // correlation §IV-B blames for the CPU's burst error.
+        let mut rmw = Vec::with_capacity(lines as usize * 2);
+        let mut t = t0;
+        let mut combined = false;
+        for line in 0..lines {
+            let addr = data_base + line * 64;
+            rmw.push(Request::new(t, addr, Op::Read, 64));
+            if combined {
+                combined = false;
+            } else if line % 8 == 6 {
+                rmw.push(Request::new(t + 40, addr, Op::Write, 128));
+                combined = true;
+            } else {
+                rmw.push(Request::new(t + 40, addr, Op::Write, 64));
+            }
+            t += 80;
+        }
+        streams.push(rmw);
+        // Scattered table lookups while encrypting.
+        let table = rng.gen_range(0..params.tables);
+        streams.push(random_in_region(
+            &mut rng,
+            t0 + 20,
+            55,
+            0x4800_0000 + table * 0x2000,
+            0x2000,
+            64,
+            (lines / 2) as usize,
+            64,
+            Op::Read,
+        ));
+    }
+    Trace::from_requests(merge(streams))
+}
+
+/// Parameters for the CPU-companion workloads (CPU-D / CPU-G / CPU-V).
+#[derive(Debug, Clone)]
+pub struct CompanionParams {
+    /// Producer/consumer hand-offs (one per accelerator job).
+    pub jobs: u64,
+    /// Cycles between jobs.
+    pub job_period: u64,
+    /// Bytes of payload the CPU prepares per job.
+    pub payload_bytes: u64,
+    /// Hot working-set blocks touched between jobs (code/heap misses).
+    pub hot_blocks: usize,
+}
+
+impl Default for CompanionParams {
+    fn default() -> Self {
+        Self {
+            jobs: 200,
+            job_period: 60_000,
+            payload_bytes: 8_192,
+            hot_blocks: 512,
+        }
+    }
+}
+
+/// A CPU workload that feeds a companion accelerator: per job, it writes a
+/// payload buffer, rings a doorbell region, then reads back results, with
+/// zipf-distributed heap misses in between — the paper's *CPU-D*, *CPU-G*
+/// and *CPU-V* traces (the `variant` only shifts regions and pacing).
+pub fn companion(seed: u64, variant: u64, params: &CompanionParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ (0xC2_0100 + variant));
+    let zipf = Zipf::new(params.hot_blocks, 1.1);
+    let mut streams = Vec::new();
+    let lines = params.payload_bytes / 64;
+    let region_shift = variant * 0x1000_0000;
+    for job in 0..params.jobs {
+        let t0 = job * params.job_period + rng.gen_range(0..256);
+        let buf = 0x5000_0000 + region_shift + (job % 8) * params.payload_bytes;
+        // Produce the payload.
+        streams.push(linear_stream(t0, 25, buf, 64, lines as usize, 64, Op::Write));
+        // Doorbell / descriptor update.
+        streams.push(linear_stream(
+            t0 + lines * 25 + 10,
+            10,
+            0x5F00_0000 + region_shift,
+            0,
+            2,
+            64,
+            Op::Write,
+        ));
+        // Consume results of the previous job.
+        streams.push(linear_stream(
+            t0 + lines * 25 + 600,
+            30,
+            buf + 0x800_0000,
+            64,
+            (lines / 2) as usize,
+            64,
+            Op::Read,
+        ));
+        // Heap / code misses: zipf-hot blocks, mixed reads and write-backs.
+        let mut heap = Vec::new();
+        let mut t = t0 + 40;
+        for _ in 0..lines {
+            let block = zipf.sample(&mut rng) as u64;
+            let op = if rng.gen_bool(0.3) { Op::Write } else { Op::Read };
+            heap.push(Request::new(
+                t,
+                0x6000_0000 + region_shift + block * 64,
+                op,
+                64,
+            ));
+            t += rng.gen_range(20..90);
+        }
+        streams.push(heap);
+    }
+    Trace::from_requests(merge(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crypto_regions_mix_reads_and_writes() {
+        let t = crypto(1, &CryptoParams::default());
+        assert!(t.len() > 10_000);
+        // Data regions see both ops (the CPU signature the paper calls out).
+        let data = t
+            .requests_in_range(&mocktails_trace::AddrRange::new(0x4000_0000, 0x4800_0000));
+        let reads = data.iter().filter(|r| r.op.is_read()).count();
+        let writes = data.len() - reads;
+        assert!(reads > 0 && writes > 0);
+        // Roughly balanced overall (RMW pattern).
+        let frac = t.stats().read_fraction;
+        assert!(frac > 0.4 && frac < 0.8, "read fraction {frac}");
+    }
+
+    #[test]
+    fn companion_variants_use_distinct_regions() {
+        let p = CompanionParams::default();
+        let d = companion(1, 0, &p);
+        let g = companion(1, 1, &p);
+        assert_ne!(d, g);
+        let fp_d = d.footprint_range().unwrap();
+        let fp_g = g.footprint_range().unwrap();
+        assert!(fp_g.start() > fp_d.start());
+    }
+
+    #[test]
+    fn companion_has_write_heavy_phases() {
+        let t = companion(2, 0, &CompanionParams::default());
+        let stats = t.stats();
+        assert!(stats.writes > stats.requests / 4);
+    }
+
+    #[test]
+    fn cpu_generators_deterministic() {
+        assert_eq!(crypto(3, &CryptoParams::default()), crypto(3, &CryptoParams::default()));
+        let p = CompanionParams::default();
+        assert_eq!(companion(3, 2, &p), companion(3, 2, &p));
+    }
+}

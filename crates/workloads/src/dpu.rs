@@ -1,0 +1,339 @@
+//! Display processing unit (DPU) workloads.
+//!
+//! A DPU fetches (possibly compressed) frame buffers and composes layers
+//! for scan-out. Its memory behaviour is stream-dominated: per displayed
+//! frame, long read sweeps of the frame buffer paced at line rate, plus a
+//! small compressed-header side stream and a modest write stream to a
+//! composition buffer. The paper's FBC traces come in *linear* mode (raster
+//! order — long runs within a DRAM row) and *tiled* mode (tile order —
+//! frequent pitch-sized jumps, shorter row runs), whose differing row-hit
+//! behaviour Fig. 10 highlights.
+
+use mocktails_trace::{Op, Request, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{linear_stream, merge, tiled_stream};
+
+/// Parameters shared by the frame-buffer-compression (FBC) workloads.
+#[derive(Debug, Clone)]
+pub struct FbcParams {
+    /// Number of displayed frames.
+    pub frames: u64,
+    /// Cycles between frame starts.
+    pub frame_period: u64,
+    /// Frame width in bytes (the pitch).
+    pub pitch: u64,
+    /// Number of lines fetched per frame.
+    pub lines: u64,
+    /// Base address of the frame buffer.
+    pub frame_base: u64,
+    /// Base address of the compressed-header table.
+    pub header_base: u64,
+    /// Base address of the composition (output) buffer the DPU writes.
+    pub output_base: u64,
+    /// Cycles between consecutive payload reads within a line burst.
+    pub read_gap: u64,
+}
+
+impl Default for FbcParams {
+    fn default() -> Self {
+        Self {
+            frames: 2,
+            frame_period: 8_000_000,
+            pitch: 4096,
+            lines: 160,
+            frame_base: 0x8000_0000,
+            header_base: 0x8800_0000,
+            output_base: 0x9000_0000,
+            read_gap: 12,
+        }
+    }
+}
+
+/// FBC in linear (raster) mode: payload reads sweep each line left to
+/// right, so consecutive reads sit in the same DRAM row.
+pub fn fbc_linear(seed: u64, params: &FbcParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15F_0001);
+    let mut streams = Vec::new();
+    let reads_per_line = params.pitch / 64;
+    for frame in 0..params.frames {
+        let t_frame = frame * params.frame_period + rng.gen_range(0..32);
+        for line in 0..params.lines {
+            // Lines are paced at scan-out rate: the burst occupies the
+            // first part of the line slot, the remainder is idle.
+            let t_line = t_frame + line * (reads_per_line * params.read_gap * 5 / 2 + 64);
+            // One compressed header read per line.
+            streams.push(linear_stream(
+                t_line,
+                params.read_gap,
+                params.header_base + frame * 0x10_0000 + line * 64,
+                0,
+                1,
+                32,
+                Op::Read,
+            ));
+            // The payload sweep for this line.
+            streams.push(linear_stream(
+                t_line + 4,
+                params.read_gap,
+                params.frame_base + line * params.pitch,
+                64,
+                reads_per_line as usize,
+                64,
+                Op::Read,
+            ));
+            // Composition output: blend (read–modify–write) into a small
+            // output strip — one 64 B read followed by three 64 B writes,
+            // a strict op pattern inside a mixed-op region.
+            // Blending happens after the line's payload has arrived, in
+            // the second half of the line slot.
+            let out_base = params.output_base + (line % 8) * params.pitch;
+            let mut blend = Vec::with_capacity((reads_per_line / 4) as usize * 4);
+            let mut t = t_line + reads_per_line * params.read_gap / 2 + 16;
+            for chunk in 0..reads_per_line / 16 {
+                let addr = out_base + chunk * 1024;
+                blend.push(Request::new(t, addr, Op::Read, 64));
+                for w in 0..3u64 {
+                    blend.push(Request::new(
+                        t + (w + 1) * params.read_gap * 2,
+                        addr + (w + 1) * 64,
+                        Op::Write,
+                        64,
+                    ));
+                }
+                t += params.read_gap * 10;
+            }
+            streams.push(blend);
+        }
+    }
+    Trace::from_requests(merge(streams))
+}
+
+/// FBC in tiled mode: the same bytes as linear mode, visited tile by tile
+/// (16 lines × 64 B tiles), so consecutive reads jump by the pitch and
+/// DRAM row runs are short.
+pub fn fbc_tiled(seed: u64, params: &FbcParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15F_0002);
+    let mut streams = Vec::new();
+    let tile_lines = 16u64;
+    let tiles_per_row = params.pitch / 64;
+    let tile_rows = params.lines / tile_lines;
+    // Tiles are consumed at scan-out rate: a short burst of pitch-strided
+    // reads, then idle until the next tile's slot. The slot is sized so a
+    // frame spans several 500k-cycle modeling phases, as a real-time frame
+    // would.
+    let tile_period = tile_lines * params.read_gap * 40 + 16;
+    for frame in 0..params.frames {
+        let t_frame = frame * params.frame_period + rng.gen_range(0..32);
+        for tile_row in 0..tile_rows {
+            for tile_col in 0..tiles_per_row {
+                let tile = tile_row * tiles_per_row + tile_col;
+                let t_tile = t_frame + tile * tile_period;
+                // The tile's compressed header.
+                streams.push(linear_stream(
+                    t_tile,
+                    params.read_gap,
+                    params.header_base + frame * 0x10_0000 + tile * 32,
+                    0,
+                    1,
+                    32,
+                    Op::Read,
+                ));
+                // Payload: one 64 B column per line of the tile — each
+                // read jumps by the pitch (short DRAM row runs).
+                streams.push(tiled_stream(
+                    t_tile + 4,
+                    params.read_gap,
+                    params.frame_base + tile_row * tile_lines * params.pitch
+                        + tile_col * 64,
+                    params.pitch,
+                    64,
+                    tile_lines,
+                    1,
+                    1,
+                    64,
+                    Op::Read,
+                ));
+            }
+            // Compressed output for the finished tile row: one burst of
+            // adjacent writes.
+            let t_out = t_frame + (tile_row * tiles_per_row + tiles_per_row) * tile_period;
+            streams.push(linear_stream(
+                t_out,
+                params.read_gap * 2,
+                params.output_base + (tile_row % 64) * 1024,
+                64,
+                16,
+                64,
+                Op::Write,
+            ));
+        }
+    }
+    Trace::from_requests(merge(streams))
+}
+
+/// Parameters for the multi-layer composition workload.
+#[derive(Debug, Clone)]
+pub struct MultiLayerParams {
+    /// Number of VGA-sized layers composed per frame.
+    pub layers: u64,
+    /// Number of frames.
+    pub frames: u64,
+    /// Cycles between frame starts.
+    pub frame_period: u64,
+    /// Lines fetched per layer per frame.
+    pub lines: u64,
+    /// Bytes per line of each layer (VGA: 640 × 4 B = 2560).
+    pub pitch: u64,
+}
+
+impl Default for MultiLayerParams {
+    fn default() -> Self {
+        Self {
+            layers: 4,
+            frames: 2,
+            frame_period: 4_000_000,
+            lines: 120,
+            pitch: 2560,
+        }
+    }
+}
+
+/// Multi-layer display composition: several concurrent linear read streams
+/// (one per layer, in distinct memory regions) plus a blended output write
+/// stream — the paper's *Multi-layer* DPU trace.
+pub fn multi_layer(seed: u64, params: &MultiLayerParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15F_0003);
+    let mut streams = Vec::new();
+    let reads_per_line = params.pitch / 64 + 1;
+    // Five concurrent streams (four layers + output) must fit in the line
+    // slot without permanently saturating the controller.
+    let line_period = reads_per_line * 10 * params.layers + 800;
+    for frame in 0..params.frames {
+        let t_frame = frame * params.frame_period;
+        for line in 0..params.lines {
+            let t_line = t_frame + line * line_period;
+            for layer in 0..params.layers {
+                // Layer buffers are allocated at unaligned offsets, as a
+                // real allocator would, so layers do not all alias onto
+                // the same DRAM bank sequence.
+                let base = 0x8000_0000 + layer * 0x0100_2000;
+                streams.push(linear_stream(
+                    t_line + layer * 2 + rng.gen_range(0..2),
+                    10 * params.layers,
+                    base + line * params.pitch,
+                    64,
+                    reads_per_line as usize,
+                    64,
+                    Op::Read,
+                ));
+            }
+            // Blended output line, written back compressed (half volume,
+            // wider spacing, so the write queue drains between lines).
+            streams.push(linear_stream(
+                t_line + 20,
+                20 * params.layers,
+                0x9800_0000 + line * params.pitch,
+                64,
+                (reads_per_line / 2) as usize,
+                64,
+                Op::Write,
+            ));
+        }
+    }
+    Trace::from_requests(merge(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbc_linear_is_mostly_reads_with_long_runs() {
+        let t = fbc_linear(1, &FbcParams::default());
+        assert!(t.len() > 10_000);
+        let stats = t.stats();
+        assert!(stats.read_fraction > 0.7, "got {}", stats.read_fraction);
+        // Raster order: the dominant stride between consecutive payload
+        // reads is +64.
+        let mut plus64 = 0usize;
+        let reqs = t.requests();
+        for w in reqs.windows(2) {
+            if w[1].address.wrapping_sub(w[0].address) == 64 {
+                plus64 += 1;
+            }
+        }
+        assert!(plus64 * 2 > reqs.len(), "{plus64}/{}", reqs.len());
+    }
+
+    #[test]
+    fn fbc_tiled_same_volume_different_order() {
+        let p = FbcParams::default();
+        let lin = fbc_linear(1, &p);
+        let tiled = fbc_tiled(1, &p);
+        // Comparable payload volume (within 20%).
+        let ratio = lin.len() as f64 / tiled.len() as f64;
+        assert!((0.6..1.6).contains(&ratio), "ratio {ratio}");
+        // Tiled mode jumps by the pitch much more often.
+        let count_pitch = |t: &Trace| {
+            t.requests()
+                .windows(2)
+                .filter(|w| w[1].address.wrapping_sub(w[0].address) == p.pitch)
+                .count()
+        };
+        assert!(count_pitch(&tiled) > 4 * count_pitch(&lin));
+    }
+
+    #[test]
+    fn fbc_writes_confined_to_output_region() {
+        let p = FbcParams::default();
+        let t = fbc_linear(1, &p);
+        for r in t.iter().filter(|r| r.op.is_write()) {
+            assert!(r.address >= p.output_base);
+        }
+    }
+
+    #[test]
+    fn multi_layer_has_concurrent_layer_streams() {
+        let p = MultiLayerParams::default();
+        let t = multi_layer(3, &p);
+        assert!(t.len() > 10_000);
+        // All four layer regions appear.
+        for layer in 0..p.layers {
+            let base = 0x8000_0000 + layer * 0x0100_0000;
+            assert!(
+                t.iter().any(|r| r.address >= base && r.address < base + 0x0100_0000),
+                "layer {layer} absent"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let p = FbcParams::default();
+        assert_eq!(fbc_linear(7, &p), fbc_linear(7, &p));
+        assert_eq!(fbc_tiled(7, &p), fbc_tiled(7, &p));
+        assert_eq!(
+            multi_layer(7, &MultiLayerParams::default()),
+            multi_layer(7, &MultiLayerParams::default())
+        );
+    }
+
+    #[test]
+    fn frames_create_idle_gaps() {
+        let p = FbcParams {
+            frames: 2,
+            ..FbcParams::default()
+        };
+        let t = fbc_linear(5, &p);
+        // There must exist a gap of at least a quarter frame period.
+        let max_gap = t
+            .requests()
+            .windows(2)
+            .map(|w| w[1].timestamp - w[0].timestamp)
+            .max()
+            .unwrap();
+        assert!(max_gap > p.frame_period / 4, "max gap {max_gap}");
+    }
+}

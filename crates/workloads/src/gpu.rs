@@ -1,0 +1,233 @@
+//! Graphics processing unit (GPU) workloads.
+//!
+//! GPUs issue large requests from many concurrent warps in short intervals,
+//! so bursts pile up in the memory controller queues (the paper's Figs. 7–8
+//! show GPUs with the longest queues). Texture fetches walk 2D footprints
+//! in a blocked order; colour writes stream to the render target. The
+//! *T-Rex* and *Manhattan* proxies model GFXBench frames; *OpenCL* models a
+//! bandwidth-bound streaming kernel.
+
+use mocktails_trace::{Op, Request, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{linear_stream, merge};
+
+/// Parameters for the rendering (T-Rex / Manhattan) workloads.
+#[derive(Debug, Clone)]
+pub struct RenderParams {
+    /// Rendered frames.
+    pub frames: u64,
+    /// Cycles between frame starts.
+    pub frame_period: u64,
+    /// Draw batches per frame (each batch is one burst).
+    pub batches_per_frame: u64,
+    /// Concurrent texture streams per batch (warp groups).
+    pub streams_per_batch: u64,
+    /// Requests per texture stream per batch.
+    pub reads_per_stream: u64,
+    /// Texture atlas pitch in bytes.
+    pub pitch: u64,
+    /// Cycles between requests inside a burst (very small: bursty).
+    pub intra_gap: u64,
+    /// Cycles between batches.
+    pub batch_gap: u64,
+}
+
+impl Default for RenderParams {
+    fn default() -> Self {
+        Self {
+            frames: 2,
+            frame_period: 3_000_000,
+            batches_per_frame: 24,
+            streams_per_batch: 8,
+            reads_per_stream: 48,
+            pitch: 8192,
+            intra_gap: 2,
+            batch_gap: 40_000,
+        }
+    }
+}
+
+/// A GFXBench-style rendering frame mix: per batch, several concurrent
+/// blocked texture read streams plus render-target writes, all issued in a
+/// tight burst.
+pub fn render(seed: u64, params: &RenderParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6B0_0001);
+    let mut streams = Vec::new();
+    for frame in 0..params.frames {
+        let t_frame = frame * params.frame_period;
+        for batch in 0..params.batches_per_frame {
+            let t_batch = t_frame + batch * params.batch_gap;
+            // Concurrent texture streams: each walks a 2D block of the
+            // atlas (4 texels of 128 B per row, then a pitch jump).
+            for s in 0..params.streams_per_batch {
+                let tex_base = 0xA000_0000
+                    + (batch % 4) * 0x0400_0000
+                    + s * 0x0020_0000
+                    + rng.gen_range(0..64) * params.pitch;
+                let mut reqs = Vec::with_capacity(params.reads_per_stream as usize);
+                let mut t = t_batch + s; // staggered by one cycle per stream
+                let mut addr = tex_base;
+                for i in 0..params.reads_per_stream {
+                    let size = if rng.gen_bool(0.75) { 128 } else { 64 };
+                    reqs.push(Request::new(t, addr, Op::Read, size));
+                    t += params.intra_gap * params.streams_per_batch;
+                    addr = if i % 4 == 3 {
+                        // next texel row of the block
+                        addr + params.pitch - 3 * 128
+                    } else {
+                        addr + 128
+                    };
+                }
+                streams.push(reqs);
+            }
+            // Render-target writes: linear 64 B bursts.
+            streams.push(linear_stream(
+                t_batch + 16,
+                params.intra_gap * 2,
+                0xC000_0000 + (batch % 8) * 0x0010_0000,
+                64,
+                (params.reads_per_stream * params.streams_per_batch / 4) as usize,
+                64,
+                Op::Write,
+            ));
+        }
+    }
+    Trace::from_requests(merge(streams))
+}
+
+/// T-Rex (GFXBench): the default rendering mix.
+pub fn trex(seed: u64) -> Trace {
+    render(seed, &RenderParams::default())
+}
+
+/// Manhattan (GFXBench): heavier frames — more batches and streams than
+/// T-Rex, stressing queues further.
+pub fn manhattan(seed: u64) -> Trace {
+    render(
+        seed,
+        &RenderParams {
+            batches_per_frame: 32,
+            streams_per_batch: 10,
+            reads_per_stream: 56,
+            ..RenderParams::default()
+        },
+    )
+}
+
+/// Parameters for the OpenCL stress-test workload.
+#[derive(Debug, Clone)]
+pub struct OpenClParams {
+    /// Kernel launches.
+    pub kernels: u64,
+    /// Cycles between kernel launches.
+    pub kernel_period: u64,
+    /// Work items (each contributing one read per input and one write).
+    pub items: u64,
+    /// Cycles between consecutive wavefront requests.
+    pub gap: u64,
+}
+
+impl Default for OpenClParams {
+    fn default() -> Self {
+        Self {
+            kernels: 4,
+            kernel_period: 2_000_000,
+            items: 3_000,
+            gap: 18,
+        }
+    }
+}
+
+/// An OpenCL streaming stress test: `c[i] = a[i] + b[i]` — two linear
+/// 128 B read streams and one linear write stream, saturating bandwidth.
+pub fn opencl(seed: u64, params: &OpenClParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6B0_0002);
+    let mut streams = Vec::new();
+    for k in 0..params.kernels {
+        let t0 = k * params.kernel_period + rng.gen_range(0..16);
+        streams.push(linear_stream(
+            t0,
+            params.gap * 3,
+            0xA000_0000,
+            128,
+            params.items as usize,
+            128,
+            Op::Read,
+        ));
+        streams.push(linear_stream(
+            t0 + 1,
+            params.gap * 3,
+            0xA800_0000,
+            128,
+            params.items as usize,
+            128,
+            Op::Read,
+        ));
+        streams.push(linear_stream(
+            t0 + 2,
+            params.gap * 3,
+            0xB000_0000,
+            128,
+            params.items as usize,
+            128,
+            Op::Write,
+        ));
+    }
+    Trace::from_requests(merge(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_trace::BinnedCounts;
+
+    #[test]
+    fn trex_is_bursty_with_large_requests() {
+        let t = trex(1);
+        assert!(t.len() > 10_000);
+        // Large requests dominate.
+        let big = t.iter().filter(|r| r.size >= 128).count();
+        assert!(big * 2 > t.len());
+        // Bursty injection: high coefficient of variation across bins.
+        let b = BinnedCounts::from_trace(&t, 10_000).burstiness();
+        assert!(b > 1.0, "burstiness {b}");
+    }
+
+    #[test]
+    fn manhattan_is_heavier_than_trex() {
+        assert!(manhattan(1).len() > trex(1).len());
+    }
+
+    #[test]
+    fn render_mixes_reads_and_writes() {
+        let t = trex(2);
+        let stats = t.stats();
+        assert!(stats.read_fraction > 0.6 && stats.read_fraction < 0.95);
+    }
+
+    #[test]
+    fn opencl_is_streaming() {
+        let t = opencl(1, &OpenClParams::default());
+        let stats = t.stats();
+        // 2 reads per write.
+        assert!((stats.read_fraction - 2.0 / 3.0).abs() < 0.02);
+        assert_eq!(stats.size_histogram.len(), 1, "uniform 128 B requests");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(trex(9), trex(9));
+        assert_eq!(manhattan(9), manhattan(9));
+        assert_eq!(
+            opencl(9, &OpenClParams::default()),
+            opencl(9, &OpenClParams::default())
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        assert_ne!(trex(1), trex(2));
+    }
+}

@@ -1,0 +1,162 @@
+//! Video processing unit (VPU) workloads.
+//!
+//! The paper's HEVC traces decode compressed video. Their signature
+//! behaviour (Figs. 2–3) is sparse and irregular: motion compensation reads
+//! small, scattered clusters of the reference frames with mixed 64/128 B
+//! requests and odd strides (8, 64, −264 …), reconstruction writes stream
+//! linearly, the bitstream is read in small linear chunks — and the whole
+//! workload pulses frame by frame with idle gaps of millions of cycles in
+//! between.
+
+use mocktails_trace::{Op, Request, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{linear_stream, merge};
+
+/// Parameters for the HEVC decode workload.
+#[derive(Debug, Clone)]
+pub struct HevcParams {
+    /// Decoded frames.
+    pub frames: u64,
+    /// Cycles between frame starts (the Fig. 3 idle spacing).
+    pub frame_period: u64,
+    /// Coding-tree blocks decoded per frame.
+    pub ctbs_per_frame: u64,
+    /// Reference frames available for motion compensation.
+    pub reference_frames: u64,
+    /// Frame pitch in bytes.
+    pub pitch: u64,
+    /// Cycles between requests within a CTB burst.
+    pub intra_gap: u64,
+    /// Cycles between CTB bursts.
+    pub ctb_gap: u64,
+}
+
+impl Default for HevcParams {
+    fn default() -> Self {
+        Self {
+            frames: 3,
+            frame_period: 50_000_000,
+            ctbs_per_frame: 120,
+            reference_frames: 2,
+            pitch: 3840,
+            intra_gap: 8,
+            ctb_gap: 4_000,
+        }
+    }
+}
+
+/// HEVC video decode: per coding-tree block, a cluster of irregular
+/// motion-compensation reads from a reference frame plus linear
+/// reconstruction writes; bitstream reads trickle alongside.
+pub fn hevc(seed: u64, params: &HevcParams) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4EC_0001);
+    let mut streams = Vec::new();
+    // The irregular intra-cluster stride/size menu of Fig. 2 / Table I.
+    let cluster_pattern: [(u64, u32); 6] =
+        [(0, 128), (8, 64), (72, 64), (136, 64), (200, 64), (264, 64)];
+    for frame in 0..params.frames {
+        let t_frame = frame * params.frame_period;
+        let recon_base = 0xE000_0000 + (frame % 4) * 0x0100_0000;
+        for ctb in 0..params.ctbs_per_frame {
+            let t_ctb = t_frame + ctb * params.ctb_gap + rng.gen_range(0..64);
+            // Motion compensation: 1–3 reference blocks, each an irregular
+            // cluster; occasionally the same cluster is fetched twice
+            // (bi-prediction re-reads — the reuse of partition F).
+            let blocks = rng.gen_range(1..=3);
+            for b in 0..blocks {
+                let ref_frame = rng.gen_range(0..params.reference_frames);
+                let ref_base = 0xD000_0000 + ref_frame * 0x0100_0000;
+                // Motion vectors land near the CTB's own position.
+                let mv_lines = rng.gen_range(0..32u64);
+                let cluster_base = ref_base
+                    + (ctb / 8) * 64 * params.pitch
+                    + mv_lines * params.pitch
+                    + (ctb % 8) * 512
+                    + rng.gen_range(0..4) * 8;
+                let passes = if rng.gen_bool(0.3) { 2 } else { 1 };
+                for pass in 0..passes {
+                    let mut t = t_ctb + b * 160 + pass * 640;
+                    let mut reqs = Vec::new();
+                    for &(off, size) in &cluster_pattern {
+                        reqs.push(Request::new(t, cluster_base + off, Op::Read, size));
+                        t += params.intra_gap;
+                    }
+                    streams.push(reqs);
+                }
+            }
+            // Reconstruction writes: one 64 B-wide CTB row, linear.
+            streams.push(linear_stream(
+                t_ctb + 500,
+                params.intra_gap,
+                recon_base + (ctb / 8) * 64 * params.pitch + (ctb % 8) * 512,
+                64,
+                8,
+                64,
+                Op::Write,
+            ));
+            // Bitstream read: small linear chunk.
+            if ctb % 4 == 0 {
+                streams.push(linear_stream(
+                    t_ctb + 900,
+                    params.intra_gap * 2,
+                    0xF000_0000 + frame * 0x4_0000 + ctb * 256,
+                    64,
+                    4,
+                    64,
+                    Op::Read,
+                ));
+            }
+        }
+    }
+    Trace::from_requests(merge(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_trace::BinnedCounts;
+
+    #[test]
+    fn hevc_has_mixed_sizes_and_irregular_strides() {
+        let t = hevc(1, &HevcParams::default());
+        assert!(t.len() > 3_000);
+        let stats = t.stats();
+        assert!(stats.size_histogram.contains_key(&64));
+        assert!(stats.size_histogram.contains_key(&128));
+        // The cluster pattern produces the characteristic +8 stride.
+        let has_plus8 = t
+            .requests()
+            .windows(2)
+            .any(|w| w[1].address.wrapping_sub(w[0].address) == 8);
+        assert!(has_plus8);
+    }
+
+    #[test]
+    fn hevc_frames_produce_long_idle_gaps() {
+        let p = HevcParams::default();
+        let t = hevc(2, &p);
+        let bins = BinnedCounts::from_trace(&t, p.frame_period / 10);
+        assert!(
+            bins.idle_bins() > bins.len() / 3,
+            "idle {}/{}",
+            bins.idle_bins(),
+            bins.len()
+        );
+    }
+
+    #[test]
+    fn hevc_mixes_reads_and_writes() {
+        let t = hevc(3, &HevcParams::default());
+        let stats = t.stats();
+        assert!(stats.read_fraction > 0.5 && stats.read_fraction < 0.95);
+    }
+
+    #[test]
+    fn hevc_is_deterministic() {
+        let p = HevcParams::default();
+        assert_eq!(hevc(4, &p), hevc(4, &p));
+        assert_ne!(hevc(4, &p), hevc(5, &p));
+    }
+}

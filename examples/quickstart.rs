@@ -1,0 +1,72 @@
+//! Quickstart: the whole Mocktails flow in one file.
+//!
+//! 1. Take a "proprietary" trace (here: the synthetic HEVC video decoder).
+//! 2. Fit the paper's 2L-TS statistical profile.
+//! 3. Serialize the profile — that's the artifact industry would share.
+//! 4. Synthesize a stand-in trace from the profile.
+//! 5. Replay both through the DRAM model and compare the metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mocktails::trace::codec;
+use mocktails::workloads::catalog;
+use mocktails::{DramConfig, HierarchyConfig, MemorySystem, Profile};
+
+fn main() {
+    // 1. The "proprietary" trace.
+    let spec = catalog::by_name("HEVC1").expect("HEVC1 is in Table II");
+    let trace = spec.generate();
+    println!(
+        "trace {}: {} requests ({} reads / {} writes), {} bytes encoded",
+        spec.name(),
+        trace.len(),
+        trace.reads(),
+        trace.writes(),
+        codec::trace_encoded_size(&trace),
+    );
+
+    // 2. Fit the 2L-TS profile (500k-cycle phases, dynamic spatial).
+    let config = HierarchyConfig::two_level_ts(500_000);
+    let profile = Profile::fit(&trace, &config);
+    println!(
+        "profile: {} leaves, {} bytes — {}x smaller than the trace",
+        profile.leaves().len(),
+        profile.metadata_size(),
+        codec::trace_encoded_size(&trace) / profile.metadata_size().max(1),
+    );
+
+    // 3. The profile round-trips through its binary format.
+    let mut bytes = Vec::new();
+    profile.write(&mut bytes).expect("in-memory write");
+    let shared = Profile::read(&mut bytes.as_slice()).expect("decode");
+
+    // 4. Academia synthesizes a stand-in stream.
+    let synthetic = shared.synthesize(42);
+    assert_eq!(synthetic.len(), trace.len());
+    assert_eq!(synthetic.reads(), trace.reads());
+
+    // 5. Both streams drive the same memory system.
+    let base = MemorySystem::new(DramConfig::default()).run_trace(&trace);
+    let synth = MemorySystem::new(DramConfig::default()).run_trace(&synthetic);
+    println!("\nmetric                 baseline   synthetic");
+    println!(
+        "read row hits        {:>10} {:>11}",
+        base.total_read_row_hits(),
+        synth.total_read_row_hits()
+    );
+    println!(
+        "write row hits       {:>10} {:>11}",
+        base.total_write_row_hits(),
+        synth.total_write_row_hits()
+    );
+    println!(
+        "avg read queue       {:>10.2} {:>11.2}",
+        base.avg_read_queue_len(),
+        synth.avg_read_queue_len()
+    );
+    println!(
+        "avg access latency   {:>10.1} {:>11.1}",
+        base.avg_access_latency(),
+        synth.avg_access_latency()
+    );
+}

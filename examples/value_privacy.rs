@@ -1,0 +1,67 @@
+//! The paper's §VI future-work proposal, implemented: model the *data*
+//! feature of a workload under differential privacy.
+//!
+//! A vendor has a video pipeline whose data values (pixel rows flowing
+//! through the VPU) are sensitive, but wants to enable value-locality
+//! research — compression, value prediction, approximation. This example
+//! fits a [`mocktails::core::value::ValueModel`] to the raw values, both
+//! noise-free and with an ε = 0.5 Laplace budget, and compares what each
+//! model preserves and what it hides.
+//!
+//! Run with: `cargo run --release --example value_privacy`
+
+use mocktails::core::value::{ValueModel, ValueStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Synthetic "pixel stream": smooth gradients with occasional edges —
+    // the kind of data a VPU reconstructs.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut values = vec![128u64];
+    for i in 0..20_000usize {
+        let last = *values.last().unwrap();
+        let delta: i64 = if i % 640 == 0 {
+            rng.gen_range(-60..60) // scene edge at each row start
+        } else {
+            rng.gen_range(-2..=2) // smooth gradient
+        };
+        values.push((last as i64 + delta).clamp(0, 255) as u64);
+    }
+
+    let original = ValueStats::from_values(&values);
+    println!("original pixel stream:");
+    print_stats(&original);
+
+    for (label, epsilon) in [("noise-free model", None), ("ε = 0.5 private model", Some(0.5))] {
+        let model = ValueModel::fit(&values, epsilon);
+        let synth = model.synthesize(values.len(), 7);
+        let stats = ValueStats::from_values(&synth);
+        println!("\n{label}:");
+        print_stats(&stats);
+        // What leaks: fraction of original 8-value windows reproduced.
+        let windows: std::collections::HashSet<&[u64]> = values.windows(8).collect();
+        let leaked = synth
+            .windows(8)
+            .filter(|w| windows.contains(*w))
+            .count();
+        println!(
+            "  original 8-grams reproduced: {:.2}% of {} synthetic windows",
+            100.0 * leaked as f64 / synth.windows(8).count() as f64,
+            synth.windows(8).count()
+        );
+    }
+
+    println!(
+        "\nBoth models preserve the value-locality statistics research needs;\n\
+         the private model additionally perturbs the transition structure so\n\
+         individual observations cannot be confidently inferred."
+    );
+}
+
+fn print_stats(stats: &ValueStats) {
+    println!(
+        "  {} values, {} distinct, zero-delta fraction {:.3}, entropy {:.2} bits",
+        stats.count, stats.distinct, stats.zero_delta_fraction, stats.entropy_bits
+    );
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use mocktails::core::partition::{spatial, temporal};
+use mocktails::core::{HierarchyConfig, MarkovChain, Profile};
+use mocktails::trace::{codec, AddrRange, Op, Request, Trace};
+use mocktails::{DramConfig, MemorySystem};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..1_000_000,
+        0u64..0x10_0000,
+        prop::bool::ANY,
+        prop_oneof![Just(16u32), Just(32), Just(64), Just(128)],
+    )
+        .prop_map(|(t, addr, write, size)| {
+            let op = if write { Op::Write } else { Op::Read };
+            Request::new(t, addr * 16, op, size)
+        })
+}
+
+fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_request(), 1..max).prop_map(Trace::from_requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips_any_trace(trace in arb_trace(200)) {
+        let mut buf = Vec::new();
+        codec::write_trace(&mut buf, &trace).unwrap();
+        let back = codec::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn dynamic_partitions_are_disjoint_and_complete(trace in arb_trace(150)) {
+        let parts = spatial::dynamic(trace.requests(), true);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, trace.len());
+        // Regions from merge_ranges are strictly separated.
+        let regions = spatial::merge_ranges(trace.requests());
+        for w in regions.windows(2) {
+            prop_assert!(w[0].end() < w[1].start());
+        }
+        // Every request range lies inside some region.
+        for r in trace.iter() {
+            prop_assert!(regions.iter().any(|g| g.contains_range(&r.range())));
+        }
+    }
+
+    #[test]
+    fn temporal_partitions_preserve_order(trace in arb_trace(150), n in 1usize..50) {
+        let parts = temporal::by_request_count(trace.requests(), n);
+        let flattened: Vec<Request> = parts.iter().flat_map(|p| p.requests().iter().copied()).collect();
+        prop_assert_eq!(flattened, trace.requests().to_vec());
+    }
+
+    #[test]
+    fn markov_strict_convergence_preserves_multiset(
+        seq in prop::collection::vec(-50i64..50, 1..60),
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let chain = MarkovChain::fit(&seq);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sampler = chain.sampler(true);
+        let mut out: Vec<i64> = (0..seq.len()).map(|_| sampler.next_state(&mut rng)).collect();
+        let mut expect = seq.clone();
+        out.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn profile_synthesis_preserves_counts(trace in arb_trace(120), seed in 0u64..100) {
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
+        let synth = profile.synthesize(seed);
+        prop_assert_eq!(synth.len(), trace.len());
+        prop_assert_eq!(synth.reads(), trace.reads());
+        // Timestamps are non-decreasing.
+        prop_assert!(synth.requests().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        // Synthesized footprint stays inside the original footprint.
+        if let Some(fp) = trace.footprint_range() {
+            for r in synth.iter() {
+                prop_assert!(fp.contains(r.address));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_codec_round_trips(trace in arb_trace(100)) {
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
+        let mut buf = Vec::new();
+        profile.write(&mut buf).unwrap();
+        let back = Profile::read(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn wrap_always_lands_inside(start in 0u64..1_000_000, len in 1u64..100_000, addr: u64) {
+        let range = AddrRange::from_start_size(start * 16, len);
+        prop_assert!(range.contains(range.wrap(addr)));
+    }
+
+    #[test]
+    fn dram_conserves_bursts(trace in arb_trace(120)) {
+        let mapping = DramConfig::default().mapping();
+        let expected: u64 = trace
+            .iter()
+            .map(|r| mapping.bursts(r.address, r.size).len() as u64)
+            .sum();
+        let stats = MemorySystem::new(DramConfig::default()).run_trace(&trace);
+        prop_assert_eq!(stats.total_read_bursts() + stats.total_write_bursts(), expected);
+        for ch in stats.channels() {
+            prop_assert_eq!(ch.read_row_hits + ch.read_row_misses, ch.read_bursts);
+            prop_assert_eq!(ch.write_row_hits + ch.write_row_misses, ch.write_bursts);
+        }
+    }
+
+    #[test]
+    fn cache_conserves_accesses(trace in arb_trace(150)) {
+        use mocktails::cache::CacheHierarchy;
+        let stats = CacheHierarchy::paper_config(16 << 10, 2).run_trace(&trace);
+        prop_assert_eq!(stats.l1.hits + stats.l1.misses, stats.l1.accesses);
+        prop_assert!(stats.l1.write_backs <= stats.l1.replacements);
+        prop_assert!(stats.l2.accesses >= stats.l1.misses);
+    }
+}

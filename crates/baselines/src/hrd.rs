@@ -13,9 +13,9 @@
 
 use std::collections::HashMap;
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Fine (block) granularity: 64 B, as in the original HRD evaluation.
 pub const FINE_BYTES: u64 = 64;
@@ -86,9 +86,23 @@ struct ReuseSampler {
 }
 
 impl ReuseSampler {
+    /// Draws like [`sample`](Self::sample) but consumes cold mass first if
+    /// any remains. Used for the very first access of a synthesis run: a
+    /// real trace's first access is always cold, and drawing a finite
+    /// distance against an empty LRU stack would allocate a block the
+    /// model never observed (inflating the footprint by one).
+    fn sample_cold_preferred(&mut self, rng: &mut Prng) -> Option<u64> {
+        if self.cold > 0 {
+            self.cold -= 1;
+            None
+        } else {
+            self.sample(rng)
+        }
+    }
+
     /// Draws a distance (`None` = cold), consuming histogram mass. When the
     /// mass is exhausted, falls back to the original distribution.
-    fn sample(&mut self, rng: &mut StdRng) -> Option<u64> {
+    fn sample(&mut self, rng: &mut Prng) -> Option<u64> {
         let finite_total: u64 = self.finite.iter().map(|&(_, c)| c).sum();
         let total = finite_total + self.cold;
         if total == 0 {
@@ -213,7 +227,7 @@ impl OpStateModel {
         }
     }
 
-    fn sample(&self, dirty: bool, rng: &mut StdRng) -> Op {
+    fn sample(&self, dirty: bool, rng: &mut Prng) -> Op {
         let (r, w) = if dirty {
             (self.dirty_reads, self.dirty_writes)
         } else {
@@ -303,7 +317,7 @@ impl HrdModel {
     /// fine cold misses pick a region via the coarse histogram and open a
     /// fresh block inside it.
     pub fn synthesize(&self, seed: u64) -> Trace {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut fine_sampler = self.fine.sampler();
         let mut coarse_sampler = self.coarse.sampler();
         // LRU stacks: most recently used at the back.
@@ -314,7 +328,12 @@ impl HrdModel {
         let mut dirty: HashMap<u64, bool> = HashMap::new();
         let mut out = Vec::with_capacity(self.count as usize);
         for i in 0..self.count {
-            let block = match fine_sampler.sample(&mut rng) {
+            let fine_draw = if i == 0 {
+                fine_sampler.sample_cold_preferred(&mut rng)
+            } else {
+                fine_sampler.sample(&mut rng)
+            };
+            let block = match fine_draw {
                 Some(d) if !block_stack.is_empty() => {
                     // Reuse the block at LRU depth d (0 = most recent),
                     // clamped to the deepest available entry so that only
@@ -325,9 +344,16 @@ impl HrdModel {
                     block_stack.remove(idx)
                 }
                 _ => {
-                    // Cold at 64 B: choose the region via the coarse model.
+                    // Cold at 64 B: choose the region via the coarse model
+                    // (the first region draw gets the same cold-first
+                    // treatment as the first block draw).
                     let blocks_per_region = COARSE_BYTES / FINE_BYTES;
-                    let mut region = match coarse_sampler.sample(&mut rng) {
+                    let coarse_draw = if region_stack.is_empty() {
+                        coarse_sampler.sample_cold_preferred(&mut rng)
+                    } else {
+                        coarse_sampler.sample(&mut rng)
+                    };
+                    let mut region = match coarse_draw {
                         Some(d) if (d as usize) < region_stack.len() => {
                             let idx = region_stack.len() - 1 - d as usize;
                             region_stack.remove(idx)
@@ -342,8 +368,7 @@ impl HrdModel {
                     // chosen region is already fully allocated, spill into a
                     // fresh region so the synthetic footprint matches the
                     // cold count exactly.
-                    if next_block_in_region.get(&region).copied().unwrap_or(0)
-                        >= blocks_per_region
+                    if next_block_in_region.get(&region).copied().unwrap_or(0) >= blocks_per_region
                     {
                         if let Some(pos) = region_stack.iter().rposition(|&r| r == region) {
                             region_stack.remove(pos);

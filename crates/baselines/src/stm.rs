@@ -10,13 +10,13 @@
 //! probability cannot capture read/write *ordering*.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use mocktails_core::partition::hierarchy;
 use mocktails_core::{HierarchyConfig, McC, McCSampler};
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{AddrRange, Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Maximum stride history STM considers (the paper uses at most the last 8
 /// strides for the smaller per-leaf tables).
@@ -170,7 +170,7 @@ struct StmGenerator {
 }
 
 impl StmGenerator {
-    fn next_request(&mut self, rng: &mut StdRng) -> Option<Request> {
+    fn next_request(&mut self, rng: &mut Prng) -> Option<Request> {
         if self.remaining == 0 {
             return None;
         }
@@ -245,7 +245,7 @@ impl StmProfile {
     /// timestamp-ordered priority queue (the same §III-C injection process
     /// as Mocktails — only the leaf feature models differ).
     pub fn synthesize(&self, seed: u64) -> Trace {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut gens: Vec<StmGenerator> = self.leaves.iter().map(|l| l.generator(true)).collect();
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         let mut pending: Vec<Option<Request>> = Vec::with_capacity(gens.len());
@@ -259,7 +259,7 @@ impl StmProfile {
         let mut out = Vec::with_capacity(self.total_requests() as usize);
         let mut last_time = 0u64;
         while let Some(Reverse((_, i))) = heap.pop() {
-            let mut req = pending[i].take().expect("pending request exists");
+            let mut req = pending[i].take().expect("pending request exists"); // lint: allow(L001, each heap entry indexes its pending slot exactly once)
             req.timestamp = req.timestamp.max(last_time);
             last_time = req.timestamp;
             out.push(req);
@@ -298,7 +298,7 @@ mod tests {
         assert_eq!(table.first(), 64);
         assert!(table.contexts() > 0);
         // After history [64, 64, 64] the only observed next is -128.
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         for _ in 0..10 {
             assert_eq!(table.sample(&[64, 64, 64], &mut rng), -128);
         }
@@ -308,7 +308,7 @@ mod tests {
     fn stride_table_backs_off_on_unseen_history() {
         let strides = [8i64, 64, 64, 64];
         let table = StrideTable::fit(&strides).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         // Unseen long history: must still produce an observed stride.
         let s = table.sample(&[999, 999, 999, 64], &mut rng);
         assert!([8, 64].contains(&s));
@@ -324,7 +324,7 @@ mod tests {
         let trace = mixed_trace();
         let part = Partition::new(trace.requests().to_vec());
         let leaf = StmLeaf::fit(&part);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::seed_from_u64(3);
         let mut g = leaf.generator(true);
         let mut reads = 0;
         let mut writes = 0;

@@ -1,101 +1,154 @@
-//! Property-based tests of the STM and HRD baseline models.
-
-use proptest::prelude::*;
+//! Randomized property tests of the STM and HRD baseline models, driven
+//! by the workspace's deterministic PRNG so the suite builds hermetically.
 
 use mocktails_baselines::{HrdModel, StmProfile};
 use mocktails_core::HierarchyConfig;
+use mocktails_trace::rng::{Prng, Rng};
 use mocktails_trace::{Op, Request, Trace};
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (
-        0u64..300_000,
-        0u64..0x4_0000,
-        any::<bool>(),
-        prop_oneof![Just(8u32), Just(64), Just(128)],
+const CASES: u64 = 48;
+
+fn rand_request(rng: &mut Prng) -> Request {
+    let t = rng.gen_range(0..300_000u64);
+    let slot = rng.gen_range(0..0x4_0000u64);
+    let op = if rng.gen_bool(0.5) {
+        Op::Write
+    } else {
+        Op::Read
+    };
+    let size = [8u32, 64, 128][rng.gen_range(0..3usize)];
+    Request::new(t, slot * 8, op, size)
+}
+
+fn rand_trace(rng: &mut Prng) -> Trace {
+    let n = rng.gen_range(1..150usize);
+    Trace::from_requests((0..n).map(|_| rand_request(rng)).collect())
+}
+
+/// A trace whose requests are all the given op, for mix-exactness checks.
+fn rand_trace_all(rng: &mut Prng, op: Op) -> Trace {
+    let n = rng.gen_range(1..80usize);
+    Trace::from_requests(
+        (0..n)
+            .map(|_| {
+                let mut r = rand_request(rng);
+                r.op = op;
+                r
+            })
+            .collect(),
     )
-        .prop_map(|(t, slot, write, size)| {
-            let op = if write { Op::Write } else { Op::Read };
-            Request::new(t, slot * 8, op, size)
-        })
 }
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(arb_request(), 1..150).prop_map(Trace::from_requests)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn stm_strict_counts_hold(trace in arb_trace(), seed in 0u64..50) {
+#[test]
+fn stm_strict_counts_hold() {
+    let mut rng = Prng::seed_from_u64(0xBA5E_0001);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let profile = StmProfile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
         let synth = profile.synthesize(seed);
-        prop_assert_eq!(synth.len(), trace.len());
-        prop_assert_eq!(synth.reads(), trace.reads());
-        prop_assert_eq!(synth.writes(), trace.writes());
-        prop_assert!(synth
+        assert_eq!(synth.len(), trace.len(), "case {case}");
+        assert_eq!(synth.reads(), trace.reads(), "case {case}");
+        assert_eq!(synth.writes(), trace.writes(), "case {case}");
+        assert!(synth
             .requests()
             .windows(2)
             .all(|w| w[0].timestamp <= w[1].timestamp));
     }
+}
 
-    #[test]
-    fn stm_addresses_stay_in_footprint(trace in arb_trace(), seed in 0u64..20) {
+#[test]
+fn stm_addresses_stay_in_footprint() {
+    let mut rng = Prng::seed_from_u64(0xBA5E_0002);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
+        let seed = rng.gen_range(0..20u64);
         let profile = StmProfile::fit(&trace, &HierarchyConfig::two_level_ts(50_000));
         let synth = profile.synthesize(seed);
         let fp = trace.footprint_range().unwrap();
         for r in synth.iter() {
-            prop_assert!(fp.contains(r.address));
+            assert!(fp.contains(r.address), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn hrd_preserves_count_and_footprint(trace in arb_trace(), seed in 0u64..20) {
+#[test]
+fn hrd_preserves_count_and_footprint() {
+    let mut rng = Prng::seed_from_u64(0xBA5E_0003);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
+        let seed = rng.gen_range(0..20u64);
         let model = HrdModel::fit(&trace);
         let synth = model.synthesize(seed);
-        prop_assert_eq!(synth.len(), trace.len());
+        assert_eq!(synth.len(), trace.len(), "case {case}");
         let distinct = |t: &Trace| {
             t.iter()
                 .map(|r| r.address / 64)
                 .collect::<std::collections::HashSet<_>>()
                 .len()
         };
-        prop_assert_eq!(distinct(&synth), distinct(&trace));
+        assert_eq!(distinct(&synth), distinct(&trace), "case {case}");
     }
+}
 
-    #[test]
-    fn hrd_histograms_account_for_every_request(trace in arb_trace()) {
+#[test]
+fn hrd_histograms_account_for_every_request() {
+    let mut rng = Prng::seed_from_u64(0xBA5E_0004);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
         let model = HrdModel::fit(&trace);
-        prop_assert_eq!(model.fine_histogram().total(), trace.len() as u64);
+        assert_eq!(
+            model.fine_histogram().total(),
+            trace.len() as u64,
+            "case {case}"
+        );
         // Cold fine accesses equal the number of distinct 64 B blocks.
         let distinct = trace
             .iter()
             .map(|r| r.address / 64)
             .collect::<std::collections::HashSet<_>>()
             .len() as u64;
-        prop_assert_eq!(model.fine_histogram().cold(), distinct);
+        assert_eq!(model.fine_histogram().cold(), distinct, "case {case}");
         // The coarse histogram records exactly the fine cold accesses.
-        prop_assert_eq!(model.coarse_histogram().total(), distinct);
+        assert_eq!(model.coarse_histogram().total(), distinct, "case {case}");
     }
+}
 
-    #[test]
-    fn hrd_synthesis_is_deterministic_and_ordered(trace in arb_trace(), seed in 0u64..10) {
+#[test]
+fn hrd_synthesis_is_deterministic_and_ordered() {
+    let mut rng = Prng::seed_from_u64(0xBA5E_0005);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
+        let seed = rng.gen_range(0..10u64);
         let model = HrdModel::fit(&trace);
         let a = model.synthesize(seed);
         let b = model.synthesize(seed);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(a
+        assert_eq!(&a, &b, "case {case}");
+        assert!(a
             .requests()
             .windows(2)
             .all(|w| w[0].timestamp <= w[1].timestamp));
-        // Every op is drawn from the clean- or dirty-state distribution,
-        // so when the trace is all-reads or all-writes the synthetic mix
-        // is exact.
-        if trace.writes() == 0 {
-            prop_assert_eq!(a.writes(), 0);
-        }
-        if trace.reads() == 0 {
-            prop_assert_eq!(a.reads(), 0);
-        }
+    }
+}
+
+#[test]
+fn hrd_single_op_traces_synthesize_exact_mix() {
+    // Every op is drawn from the clean- or dirty-state distribution, so
+    // when the trace is all-reads or all-writes the synthetic mix is
+    // exact.
+    let mut rng = Prng::seed_from_u64(0xBA5E_0006);
+    for case in 0..CASES {
+        let reads = rand_trace_all(&mut rng, Op::Read);
+        assert_eq!(
+            HrdModel::fit(&reads).synthesize(case).writes(),
+            0,
+            "case {case}"
+        );
+        let writes = rand_trace_all(&mut rng, Op::Write);
+        assert_eq!(
+            HrdModel::fit(&writes).synthesize(case).reads(),
+            0,
+            "case {case}"
+        );
     }
 }

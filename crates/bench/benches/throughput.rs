@@ -1,13 +1,34 @@
-//! Criterion micro-benchmarks of the Mocktails pipeline stages:
-//! partitioning, model fitting, synthesis and DRAM simulation.
+//! Micro-benchmarks of the Mocktails pipeline stages: partitioning,
+//! model fitting, synthesis and DRAM simulation.
+//!
+//! Hand-rolled harness (no external bench crate, so the workspace builds
+//! hermetically): each stage runs for a fixed number of timed iterations
+//! after a short warm-up and reports the mean wall time per iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use mocktails_core::partition::spatial;
 use mocktails_core::{HierarchyConfig, Profile};
 use mocktails_dram::{DramConfig, MemorySystem};
 use mocktails_workloads::catalog;
 
-fn pipeline_benches(c: &mut Criterion) {
+const WARMUP_ITERS: u32 = 3;
+const TIMED_ITERS: u32 = 20;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    for _ in 0..WARMUP_ITERS {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / TIMED_ITERS;
+    println!("{name:<40} {per_iter:>12.2?}/iter ({TIMED_ITERS} iters)");
+}
+
+fn main() {
     let trace = catalog::by_name("FBC-Linear1")
         .expect("catalog trace")
         .generate()
@@ -15,30 +36,21 @@ fn pipeline_benches(c: &mut Criterion) {
     let config = HierarchyConfig::two_level_ts(500_000);
     let profile = Profile::fit(&trace, &config);
 
-    c.bench_function("dynamic_spatial_partitioning_20k", |b| {
-        b.iter(|| spatial::dynamic(trace.requests(), true))
+    bench("dynamic_spatial_partitioning_20k", || {
+        spatial::dynamic(trace.requests(), true)
     });
 
-    c.bench_function("profile_fit_20k", |b| {
-        b.iter(|| Profile::fit(&trace, &config))
-    });
+    bench("profile_fit_20k", || Profile::fit(&trace, &config));
 
-    c.bench_function("synthesize_20k", |b| b.iter(|| profile.synthesize(1)));
+    bench("synthesize_20k", || profile.synthesize(1));
 
-    c.bench_function("dram_replay_20k", |b| {
-        b.iter_batched(
-            || MemorySystem::new(DramConfig::default()),
-            |mut system| system.run_trace(&trace),
-            BatchSize::SmallInput,
-        )
+    bench("dram_replay_20k", || {
+        MemorySystem::new(DramConfig::default()).run_trace(&trace)
     });
 
     let mut buf = Vec::new();
     profile.write(&mut buf).expect("profile encodes");
-    c.bench_function("profile_decode", |b| {
-        b.iter(|| Profile::read(&mut buf.as_slice()).expect("round trip"))
+    bench("profile_decode", || {
+        Profile::read(&mut buf.as_slice()).expect("round trip")
     });
 }
-
-criterion_group!(benches, pipeline_benches);
-criterion_main!(benches);

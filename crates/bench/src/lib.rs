@@ -11,7 +11,9 @@ use mocktails_sim::harness::{CacheEvalOptions, EvalOptions};
 
 /// Returns `true` when `MOCKTAILS_QUICK` requests a reduced-size run.
 pub fn quick_mode() -> bool {
-    std::env::var("MOCKTAILS_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("MOCKTAILS_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// DRAM evaluation options honouring [`quick_mode`].

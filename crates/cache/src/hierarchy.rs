@@ -138,10 +138,7 @@ mod tests {
 
     #[test]
     fn atomic_mode_ignores_timestamps() {
-        let a = Trace::from_requests(vec![
-            Request::read(0, 0, 8),
-            Request::read(1, 64, 8),
-        ]);
+        let a = Trace::from_requests(vec![Request::read(0, 0, 8), Request::read(1, 64, 8)]);
         let b = Trace::from_requests(vec![
             Request::read(1_000_000, 0, 8),
             Request::read(2_000_000, 64, 8),
@@ -165,7 +162,11 @@ mod tests {
         let zipfish: Vec<Request> = (0..20_000u64)
             .map(|i| {
                 // A working set of 1024 blocks with a hot head.
-                let block = if i % 4 != 0 { i % 64 } else { (i * 7919) % 1024 };
+                let block = if i % 4 != 0 {
+                    i % 64
+                } else {
+                    (i * 7919) % 1024
+                };
                 Request::read(i, block * 64, 8)
             })
             .collect();

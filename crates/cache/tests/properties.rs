@@ -1,35 +1,38 @@
-//! Property-based tests of the cache simulator's invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests of the cache simulator's invariants, driven
+//! by the workspace's deterministic PRNG so the suite builds hermetically.
 
 use mocktails_cache::{Cache, CacheConfig, CacheHierarchy, Replacement};
+use mocktails_trace::rng::{Prng, Rng};
 use mocktails_trace::{Op, Request, Trace};
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (
-        0u64..100_000,
-        0u64..0x4_0000,
-        any::<bool>(),
-        prop_oneof![Just(4u32), Just(8), Just(16), Just(64)],
-    )
-        .prop_map(|(t, addr, write, size)| {
-            let op = if write { Op::Write } else { Op::Read };
-            Request::new(t, addr, op, size)
-        })
+const CASES: u64 = 64;
+
+fn rand_request(rng: &mut Prng) -> Request {
+    let t = rng.gen_range(0..100_000u64);
+    let addr = rng.gen_range(0..0x4_0000u64);
+    let op = if rng.gen_bool(0.5) {
+        Op::Write
+    } else {
+        Op::Read
+    };
+    let size = [4u32, 8, 16, 64][rng.gen_range(0..4usize)];
+    Request::new(t, addr, op, size)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_trace(rng: &mut Prng, max: usize) -> Trace {
+    let n = rng.gen_range(1..max);
+    Trace::from_requests((0..n).map(|_| rand_request(rng)).collect())
+}
 
-    #[test]
-    fn single_level_conservation(
-        accesses in prop::collection::vec((0u64..0x1_0000, any::<bool>()), 1..400),
-        replacement in prop_oneof![
-            Just(Replacement::Lru),
-            Just(Replacement::Fifo),
-            Just(Replacement::Random)
-        ],
-    ) {
+#[test]
+fn single_level_conservation() {
+    let mut rng = Prng::seed_from_u64(0xCAC4E_001);
+    for case in 0..CASES {
+        let accesses: Vec<(u64, bool)> = (0..rng.gen_range(1..400usize))
+            .map(|_| (rng.gen_range(0..0x1_0000u64), rng.gen_bool(0.5)))
+            .collect();
+        let replacement =
+            [Replacement::Lru, Replacement::Fifo, Replacement::Random][rng.gen_range(0..3usize)];
         let cfg = CacheConfig::new(2 << 10, 2, 64).with_replacement(replacement);
         let mut cache = Cache::new(cfg);
         let mut resident: std::collections::HashSet<u64> = Default::default();
@@ -38,43 +41,58 @@ proptest! {
             let block = addr / 64 * 64;
             let out = cache.access(addr, op);
             // Hit iff the block is actually resident.
-            prop_assert_eq!(out.hit, resident.contains(&block));
+            assert_eq!(out.hit, resident.contains(&block), "case {case}");
             if let Some((victim, _)) = out.evicted {
-                prop_assert!(resident.remove(&victim), "evicted non-resident block");
+                assert!(
+                    resident.remove(&victim),
+                    "case {case}: evicted non-resident block"
+                );
             }
             resident.insert(block);
             // Never exceed capacity.
-            prop_assert!(resident.len() <= 32);
+            assert!(resident.len() <= 32, "case {case}");
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
-        prop_assert!(stats.write_backs <= stats.replacements);
-        prop_assert!(stats.footprint_bytes >= resident.len() as u64 * 64);
+        assert_eq!(stats.hits + stats.misses, stats.accesses, "case {case}");
+        assert!(stats.write_backs <= stats.replacements, "case {case}");
+        assert!(
+            stats.footprint_bytes >= resident.len() as u64 * 64,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn hierarchy_inclusion_style_invariants(
-        reqs in prop::collection::vec(arb_request(), 1..300),
-    ) {
-        let trace = Trace::from_requests(reqs);
+#[test]
+fn hierarchy_inclusion_style_invariants() {
+    let mut rng = Prng::seed_from_u64(0xCAC4E_002);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 300);
         let stats = CacheHierarchy::paper_config(8 << 10, 2).run_trace(&trace);
         // L2 traffic = L1 misses + L1 dirty write-backs.
-        prop_assert_eq!(stats.l2.accesses, stats.l1.misses + stats.l1.write_backs);
+        assert_eq!(
+            stats.l2.accesses,
+            stats.l1.misses + stats.l1.write_backs,
+            "case {case}"
+        );
         // Footprints agree at the block level (same blocks flow down).
-        prop_assert!(stats.l2.footprint_bytes <= stats.l1.footprint_bytes);
+        assert!(
+            stats.l2.footprint_bytes <= stats.l1.footprint_bytes,
+            "case {case}"
+        );
         // Rates bounded.
-        prop_assert!((0.0..=1.0).contains(&stats.l1.miss_rate()));
-        prop_assert!((0.0..=1.0).contains(&stats.l2.miss_rate()));
+        assert!((0.0..=1.0).contains(&stats.l1.miss_rate()), "case {case}");
+        assert!((0.0..=1.0).contains(&stats.l2.miss_rate()), "case {case}");
     }
+}
 
-    #[test]
-    fn bigger_caches_never_miss_more_under_lru_inclusion(
-        reqs in prop::collection::vec(arb_request(), 1..300),
-    ) {
-        // LRU stack property: for a fully-associative cache, a bigger one
-        // never misses more. Use ways == sets*ways blocks with one set to
-        // make the caches fully associative.
-        let trace = Trace::from_requests(reqs);
+#[test]
+fn bigger_caches_never_miss_more_under_lru_inclusion() {
+    // LRU stack property: for a fully-associative cache, a bigger one
+    // never misses more. Use ways == sets*ways blocks with one set to
+    // make the caches fully associative.
+    let mut rng = Prng::seed_from_u64(0xCAC4E_003);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 300);
         let run = |blocks: usize| {
             let cfg = CacheConfig::new(blocks as u64 * 64, blocks, 64);
             let mut cache = Cache::new(cfg);
@@ -83,14 +101,15 @@ proptest! {
             }
             cache.stats().misses
         };
-        prop_assert!(run(64) >= run(128));
+        assert!(run(64) >= run(128), "case {case}");
     }
+}
 
-    #[test]
-    fn replacement_policies_agree_on_compulsory_misses(
-        reqs in prop::collection::vec(arb_request(), 1..200),
-    ) {
-        let trace = Trace::from_requests(reqs);
+#[test]
+fn replacement_policies_agree_on_compulsory_misses() {
+    let mut rng = Prng::seed_from_u64(0xCAC4E_004);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 200);
         let distinct = trace
             .iter()
             .map(|r| r.address / 64)
@@ -103,7 +122,7 @@ proptest! {
                 cache.access(r.address, r.op);
             }
             // At least one miss per distinct block, regardless of policy.
-            prop_assert!(cache.stats().misses >= distinct);
+            assert!(cache.stats().misses >= distinct, "case {case}");
         }
     }
 }

@@ -16,9 +16,9 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_sim::experiments::{ablation, cache, dram, meta};
 use mocktails_sim::harness::{evaluate_dram, CacheEvalOptions, EvalOptions};
 use mocktails_sim::table::TextTable;
-use mocktails_sim::experiments::{ablation, cache, dram, meta};
 use mocktails_trace::{codec, Trace};
 use mocktails_workloads::catalog;
 
@@ -167,7 +167,10 @@ fn cmd_validate(args: &[&String]) -> Result<(), String> {
     let name = positional(args, 0)?;
     let cycles = parse_u64(args, "--cycles", 500_000)?;
     let max_requests = flag_value(args, "--max-requests")
-        .map(|v| v.parse::<usize>().map_err(|_| "--max-requests expects a number".to_string()))
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| "--max-requests expects a number".to_string())
+        })
         .transpose()?;
     let spec = catalog::by_name(name).ok_or_else(|| format!("unknown trace {name:?}"))?;
     let options = EvalOptions {
@@ -182,11 +185,21 @@ fn cmd_validate(args: &[&String]) -> Result<(), String> {
     };
     t.row(row("Read bursts", &|s| s.total_read_bursts().to_string()));
     t.row(row("Write bursts", &|s| s.total_write_bursts().to_string()));
-    t.row(row("Read row hits", &|s| s.total_read_row_hits().to_string()));
-    t.row(row("Write row hits", &|s| s.total_write_row_hits().to_string()));
-    t.row(row("Avg read queue", &|s| format!("{:.2}", s.avg_read_queue_len())));
-    t.row(row("Avg write queue", &|s| format!("{:.2}", s.avg_write_queue_len())));
-    t.row(row("Avg latency", &|s| format!("{:.1}", s.avg_access_latency())));
+    t.row(row("Read row hits", &|s| {
+        s.total_read_row_hits().to_string()
+    }));
+    t.row(row("Write row hits", &|s| {
+        s.total_write_row_hits().to_string()
+    }));
+    t.row(row("Avg read queue", &|s| {
+        format!("{:.2}", s.avg_read_queue_len())
+    }));
+    t.row(row("Avg write queue", &|s| {
+        format!("{:.2}", s.avg_write_queue_len())
+    }));
+    t.row(row("Avg latency", &|s| {
+        format!("{:.1}", s.avg_access_latency())
+    }));
     println!("{} ({} device)\n{t}", spec.name(), spec.device());
     Ok(())
 }
@@ -243,12 +256,30 @@ fn cmd_compare(args: &[&String]) -> Result<(), String> {
     let distance = mocktails_sim::similarity::FeatureDistances::between(&a, &b);
     let privacy = mocktails_sim::privacy::PrivacyReport::between(&a, &b, 4_000);
     let mut t = TextTable::new(vec!["Metric", "Value"]);
-    t.row(vec!["TV distance: stride".into(), format!("{:.3}", distance.stride)]);
-    t.row(vec!["TV distance: delta time".into(), format!("{:.3}", distance.delta_time)]);
-    t.row(vec!["TV distance: op".into(), format!("{:.3}", distance.op)]);
-    t.row(vec!["TV distance: size".into(), format!("{:.3}", distance.size)]);
-    t.row(vec!["3-gram leakage".into(), format!("{:.3}", privacy.trigram_leakage)]);
-    t.row(vec!["8-gram leakage".into(), format!("{:.3}", privacy.octagram_leakage)]);
+    t.row(vec![
+        "TV distance: stride".into(),
+        format!("{:.3}", distance.stride),
+    ]);
+    t.row(vec![
+        "TV distance: delta time".into(),
+        format!("{:.3}", distance.delta_time),
+    ]);
+    t.row(vec![
+        "TV distance: op".into(),
+        format!("{:.3}", distance.op),
+    ]);
+    t.row(vec![
+        "TV distance: size".into(),
+        format!("{:.3}", distance.size),
+    ]);
+    t.row(vec![
+        "3-gram leakage".into(),
+        format!("{:.3}", privacy.trigram_leakage),
+    ]);
+    t.row(vec![
+        "8-gram leakage".into(),
+        format!("{:.3}", privacy.octagram_leakage),
+    ]);
     t.row(vec![
         "Sequence overlap (LCS)".into(),
         format!("{:.3}", privacy.sequence_overlap),
@@ -295,18 +326,20 @@ fn cmd_experiment(args: &[&String]) -> Result<(), String> {
         "fig15" => cache::fig15_report(&cache_opts),
         "fig16" => cache::fig16_report(&cache_opts),
         "fig17" => meta::fig17_report(&cache_opts),
-        "ablation-convergence" => {
-            ablation::report("Strict convergence on/off", &ablation::convergence(&dram_opts))
-        }
+        "ablation-convergence" => ablation::report(
+            "Strict convergence on/off",
+            &ablation::convergence(&dram_opts),
+        ),
         "ablation-hierarchy" => {
             ablation::report("Hierarchy shape", &ablation::hierarchy(&dram_opts))
         }
         "ablation-lonely" => {
             ablation::report("Lonely-request merging", &ablation::lonely(&dram_opts))
         }
-        "ablation-similar" => {
-            ablation::report("HALO-style similar-region merging", &ablation::similar(&dram_opts))
-        }
+        "ablation-similar" => ablation::report(
+            "HALO-style similar-region merging",
+            &ablation::similar(&dram_opts),
+        ),
         "policies" => mocktails_sim::experiments::policy::report(&dram_opts),
         "soc" => mocktails_sim::experiments::soc::report(&dram_opts),
         "obfuscation" => meta::obfuscation_report(&dram_opts),

@@ -44,7 +44,11 @@ fn trace_profile_synth_pipeline() {
     let synth_path = temp("pipe-synth.mtrace");
 
     let out = mocktails(&["trace", "Crypto1", "-o", trace_path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = mocktails(&[
         "profile",
@@ -54,7 +58,11 @@ fn trace_profile_synth_pipeline() {
         "--cycles",
         "500000",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("leaves"));
 
     let out = mocktails(&[
@@ -65,7 +73,11 @@ fn trace_profile_synth_pipeline() {
         "--seed",
         "3",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The profile must be smaller than the trace; the synthetic trace
     // holds the same request count as the original.
@@ -94,7 +106,11 @@ fn csv_export_is_readable() {
         "-o",
         profile_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&profile_path).ok();
 }
@@ -102,7 +118,11 @@ fn csv_export_is_readable() {
 #[test]
 fn validate_prints_metric_table() {
     let out = mocktails(&["validate", "OpenCL1", "--max-requests", "2000"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("Read row hits"));
     assert!(text.contains("2L-TS (McC)"));
@@ -124,7 +144,11 @@ fn experiment_unknown_id_fails() {
 #[test]
 fn stats_works_on_catalog_names_and_files() {
     let out = mocktails(&["stats", "Multi-layer"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("Footprint"));
 
     let path = temp("stats.mtrace");
@@ -138,7 +162,11 @@ fn stats_works_on_catalog_names_and_files() {
 #[test]
 fn compare_reports_distances() {
     let out = mocktails(&["compare", "HEVC1", "HEVC2"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("TV distance: stride"));
     assert!(text.contains("8-gram leakage"));

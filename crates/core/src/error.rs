@@ -1,6 +1,28 @@
-//! Error type for profile serialization.
+//! Error types for profile serialization and value modeling.
 
 use mocktails_trace::TraceError;
+
+/// Errors produced when fitting a [`crate::value::ValueModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueError {
+    /// The value column to model was empty.
+    EmptyColumn,
+    /// The differential-privacy budget ε was not strictly positive.
+    NonPositiveEpsilon(f64),
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueError::EmptyColumn => f.write_str("cannot model an empty value column"),
+            ValueError::NonPositiveEpsilon(e) => {
+                write!(f, "epsilon must be positive, got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
 
 /// Errors produced when encoding or decoding statistical profiles.
 #[derive(Debug)]
@@ -44,6 +66,14 @@ impl From<std::io::Error> for ProfileError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_error_display() {
+        assert!(ValueError::EmptyColumn.to_string().contains("empty"));
+        assert!(ValueError::NonPositiveEpsilon(0.0)
+            .to_string()
+            .contains("positive"));
+    }
 
     #[test]
     fn display_and_source() {

@@ -59,7 +59,7 @@ pub mod synth;
 pub mod value;
 
 pub use config::{HierarchyConfig, LayerSpec, ModelOptions};
-pub use error::ProfileError;
+pub use error::{ProfileError, ValueError};
 pub use model::{LeafGenerator, LeafModel, MarkovChain, MarkovSampler, McC, McCSampler};
 pub use partition::Partition;
 pub use profile::{Profile, ProfileSummary};

@@ -1,7 +1,7 @@
 //! Per-leaf models: four McC feature models plus anchoring metadata.
 
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{AddrRange, Op, Request};
-use rand::Rng;
 
 use crate::partition::Partition;
 
@@ -18,8 +18,8 @@ use super::{McC, McCSampler};
 /// ```
 /// use mocktails_core::{LeafModel, Partition};
 /// use mocktails_trace::Request;
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use mocktails_trace::rng::Prng;
+///
 ///
 /// let leaf = LeafModel::fit(&Partition::new(vec![
 ///     Request::read(100, 0x1000, 64),
@@ -27,7 +27,7 @@ use super::{McC, McCSampler};
 ///     Request::read(120, 0x1080, 64),
 /// ]));
 ///
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = Prng::seed_from_u64(1);
 /// let synthesized: Vec<_> = leaf.generator(true).by_ref_requests(&mut rng);
 /// assert_eq!(synthesized.len(), 3);
 /// assert_eq!(synthesized[0].timestamp, 100); // starts at the saved time
@@ -220,8 +220,7 @@ impl LeafGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mocktails_trace::rng::Prng;
 
     fn linear_partition() -> Partition {
         Partition::new(
@@ -248,7 +247,7 @@ mod tests {
     fn linear_leaf_replays_exactly() {
         let part = linear_partition();
         let leaf = LeafModel::fit(&part);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let out = leaf.generator(true).by_ref_requests(&mut rng);
         assert_eq!(out, part.requests());
     }
@@ -261,7 +260,7 @@ mod tests {
             Request::read(9, 0x20, 16),
         ]);
         let leaf = LeafModel::fit(&part);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let mut g = leaf.generator(true);
         assert_eq!(g.remaining(), 3);
         let mut n = 0;
@@ -286,7 +285,7 @@ mod tests {
         let part = Partition::new(reqs.clone());
         let leaf = LeafModel::fit(&part);
         for seed in 0..10u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Prng::seed_from_u64(seed);
             let out = leaf.generator(true).by_ref_requests(&mut rng);
             let writes = out.iter().filter(|r| r.op.is_write()).count();
             assert_eq!(writes, reqs.iter().filter(|r| r.op.is_write()).count());
@@ -307,7 +306,7 @@ mod tests {
         let leaf = LeafModel::fit(&part);
         let range = leaf.range();
         for seed in 0..20u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Prng::seed_from_u64(seed);
             for r in leaf.generator(true).by_ref_requests(&mut rng) {
                 assert!(range.contains(r.address), "addr {:#x} escaped", r.address);
             }
@@ -323,7 +322,7 @@ mod tests {
             Request::read(31, 0xc, 4),
         ];
         let leaf = LeafModel::fit(&Partition::new(reqs));
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Prng::seed_from_u64(7);
         let out = leaf.generator(true).by_ref_requests(&mut rng);
         assert!(out.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
         assert_eq!(out[0].timestamp, 5);
@@ -333,7 +332,7 @@ mod tests {
     fn single_request_leaf() {
         let part = Partition::new(vec![Request::write(77, 0xdead_b000, 128)]);
         let leaf = LeafModel::fit(&part);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let out = leaf.generator(true).by_ref_requests(&mut rng);
         assert_eq!(out, part.requests());
     }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::Rng;
+use mocktails_trace::rng::Rng;
 
 /// A first-order Markov chain over `i64` feature states.
 ///
@@ -247,8 +247,7 @@ fn take_weighted<R: Rng + ?Sized>(edges: &mut [(i64, u64)], rng: &mut R) -> Opti
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mocktails_trace::rng::Prng;
 
     fn multiset(values: &[i64]) -> BTreeMap<i64, usize> {
         let mut m = BTreeMap::new();
@@ -299,9 +298,11 @@ mod tests {
         let seq = [8i64, 64, 64, 64, 64, -264, 8, 64, 64, 64, 64];
         let chain = MarkovChain::fit(&seq);
         for seed in 0..20u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Prng::seed_from_u64(seed);
             let mut sampler = chain.sampler(true);
-            let out: Vec<i64> = (0..seq.len()).map(|_| sampler.next_state(&mut rng)).collect();
+            let out: Vec<i64> = (0..seq.len())
+                .map(|_| sampler.next_state(&mut rng))
+                .collect();
             assert_eq!(multiset(&out), multiset(&seq), "seed {seed}");
         }
     }
@@ -312,9 +313,11 @@ mod tests {
         // produce the exact number of reads and writes".
         let ops = [0i64, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0];
         let chain = MarkovChain::fit(&ops);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Prng::seed_from_u64(99);
         let mut sampler = chain.sampler(true);
-        let out: Vec<i64> = (0..ops.len()).map(|_| sampler.next_state(&mut rng)).collect();
+        let out: Vec<i64> = (0..ops.len())
+            .map(|_| sampler.next_state(&mut rng))
+            .collect();
         assert_eq!(multiset(&out), multiset(&ops));
     }
 
@@ -323,16 +326,18 @@ mod tests {
         // A cycle with unique successors replays the exact sequence.
         let seq = [1i64, 2, 3, 1, 2, 3, 1, 2, 3];
         let chain = MarkovChain::fit(&seq);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let mut sampler = chain.sampler(true);
-        let out: Vec<i64> = (0..seq.len()).map(|_| sampler.next_state(&mut rng)).collect();
+        let out: Vec<i64> = (0..seq.len())
+            .map(|_| sampler.next_state(&mut rng))
+            .collect();
         assert_eq!(out, seq);
     }
 
     #[test]
     fn first_emission_is_initial() {
         let chain = MarkovChain::fit(&[42, 7, 42]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::seed_from_u64(3);
         assert_eq!(chain.sampler(true).next_state(&mut rng), 42);
         assert_eq!(chain.sampler(false).next_state(&mut rng), 42);
     }
@@ -341,7 +346,7 @@ mod tests {
     fn non_strict_emits_only_observed_values() {
         let seq = [5i64, 6, 5, 7, 5, 6];
         let chain = MarkovChain::fit(&seq);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Prng::seed_from_u64(11);
         let mut sampler = chain.sampler(false);
         for _ in 0..200 {
             let v = sampler.next_state(&mut rng);
@@ -353,7 +358,7 @@ mod tests {
     fn exhausted_strict_sampler_falls_back() {
         let seq = [1i64, 2];
         let chain = MarkovChain::fit(&seq);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Prng::seed_from_u64(5);
         let mut sampler = chain.sampler(true);
         // Ask for more values than observed; must not panic.
         let out: Vec<i64> = (0..10).map(|_| sampler.next_state(&mut rng)).collect();
@@ -367,7 +372,7 @@ mod tests {
         let seq = [0i64, 1, 0, 0, 1, 1, 0, 1];
         let chain = MarkovChain::fit(&seq);
         let run = |seed: u64| -> Vec<i64> {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Prng::seed_from_u64(seed);
             let mut s = chain.sampler(true);
             (0..seq.len()).map(|_| s.next_state(&mut rng)).collect()
         };

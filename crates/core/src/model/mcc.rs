@@ -1,6 +1,6 @@
 //! The McC (Markov chain or Constant) per-feature model.
 
-use rand::Rng;
+use mocktails_trace::rng::Rng;
 
 use super::{MarkovChain, MarkovSampler};
 
@@ -93,8 +93,7 @@ impl McCSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mocktails_trace::rng::Prng;
 
     #[test]
     fn constant_when_uniform() {
@@ -123,7 +122,7 @@ mod tests {
 
     #[test]
     fn constant_generates_constant() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let out = McC::Constant(5).generate(10, true, &mut rng);
         assert_eq!(out, vec![5; 10]);
     }
@@ -132,7 +131,7 @@ mod tests {
     fn markov_generation_preserves_multiset_under_strict() {
         let seq = [1i64, 2, 1, 3, 1, 2, 2, 3];
         let m = McC::fit(&seq);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Prng::seed_from_u64(4);
         let mut out = m.generate(seq.len(), true, &mut rng);
         let mut expect = seq.to_vec();
         out.sort_unstable();

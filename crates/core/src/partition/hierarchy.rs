@@ -44,11 +44,7 @@ pub fn partition(trace: &Trace, config: &HierarchyConfig) -> Vec<Partition> {
 /// Maximum byte gap bridged by HALO-style similar-region merging.
 const SIMILAR_MERGE_GAP: u64 = 4096;
 
-fn apply_layer(
-    part: &Partition,
-    layer: LayerSpec,
-    options: crate::ModelOptions,
-) -> Vec<Partition> {
+fn apply_layer(part: &Partition, layer: LayerSpec, options: crate::ModelOptions) -> Vec<Partition> {
     match layer {
         LayerSpec::TemporalRequestCount(n) => temporal::by_request_count(part.requests(), n),
         LayerSpec::TemporalCycleCount(c) => temporal::by_cycle_count(part.requests(), c),

@@ -186,7 +186,7 @@ pub fn merge_similar(partitions: Vec<Partition>, max_gap: u64) -> Vec<Partition>
                 && signature(prev) == signature(&part)
         });
         if mergeable {
-            let prev = out.pop().expect("checked non-empty");
+            let prev = out.pop().expect("checked non-empty"); // lint: allow(L001, the mergeable check above proves out is non-empty)
             let mut requests = prev.into_requests();
             requests.extend(part.requests().iter().copied());
             out.push(Partition::new(requests));
@@ -213,10 +213,7 @@ pub fn fixed_size(requests: &[Request], block_bytes: u64) -> Vec<Partition> {
     for &r in requests {
         buckets.entry(r.address / block_bytes).or_default().push(r);
     }
-    let mut partitions: Vec<Partition> = buckets
-        .into_values()
-        .map(Partition::new)
-        .collect();
+    let mut partitions: Vec<Partition> = buckets.into_values().map(Partition::new).collect();
     partitions.sort_by_key(|p| (p.start_time(), p.start_address()));
     partitions
 }
@@ -330,10 +327,7 @@ mod tests {
         // Requests touch only part of a 4 KiB block; the dynamic region
         // must hug the touched bytes (§V: "requests within a dynamic memory
         // region are guaranteed to touch the entire address range").
-        let reqs = vec![
-            Request::read(0, 0x1f00, 64),
-            Request::read(1, 0x1f40, 64),
-        ];
+        let reqs = vec![Request::read(0, 0x1f00, 64), Request::read(1, 0x1f40, 64)];
         let parts = dynamic(&reqs, true);
         let range = parts[0].addr_range();
         assert_eq!(range.start(), 0x1f00);
@@ -377,10 +371,14 @@ mod tests {
     fn merge_similar_joins_constant_neighbours() {
         // Two nearby linear read streams with identical stride/size.
         let a = Partition::new(
-            (0..4u64).map(|i| Request::read(i, 0x1000 + i * 64, 64)).collect(),
+            (0..4u64)
+                .map(|i| Request::read(i, 0x1000 + i * 64, 64))
+                .collect(),
         );
         let b = Partition::new(
-            (0..4u64).map(|i| Request::read(10 + i, 0x1200 + i * 64, 64)).collect(),
+            (0..4u64)
+                .map(|i| Request::read(10 + i, 0x1200 + i * 64, 64))
+                .collect(),
         );
         let merged = merge_similar(vec![a, b], 4096);
         assert_eq!(merged.len(), 1);
@@ -389,8 +387,14 @@ mod tests {
 
     #[test]
     fn merge_similar_respects_gap_limit() {
-        let a = Partition::new(vec![Request::read(0, 0x1000, 64), Request::read(1, 0x1040, 64)]);
-        let b = Partition::new(vec![Request::read(2, 0x9000, 64), Request::read(3, 0x9040, 64)]);
+        let a = Partition::new(vec![
+            Request::read(0, 0x1000, 64),
+            Request::read(1, 0x1040, 64),
+        ]);
+        let b = Partition::new(vec![
+            Request::read(2, 0x9000, 64),
+            Request::read(3, 0x9040, 64),
+        ]);
         let merged = merge_similar(vec![a, b], 4096);
         assert_eq!(merged.len(), 2, "0x8000-byte gap exceeds the limit");
     }
@@ -398,8 +402,14 @@ mod tests {
     #[test]
     fn merge_similar_keeps_dissimilar_neighbours() {
         // Same addresses but one stream writes: signatures differ.
-        let a = Partition::new(vec![Request::read(0, 0x1000, 64), Request::read(1, 0x1040, 64)]);
-        let b = Partition::new(vec![Request::write(2, 0x1100, 64), Request::write(3, 0x1140, 64)]);
+        let a = Partition::new(vec![
+            Request::read(0, 0x1000, 64),
+            Request::read(1, 0x1040, 64),
+        ]);
+        let b = Partition::new(vec![
+            Request::write(2, 0x1100, 64),
+            Request::write(3, 0x1140, 64),
+        ]);
         let merged = merge_similar(vec![a, b], 4096);
         assert_eq!(merged.len(), 2);
     }
@@ -412,7 +422,10 @@ mod tests {
             Request::read(1, 0x1048, 64),
             Request::read(2, 0x1040, 64),
         ]);
-        let b = Partition::new(vec![Request::read(3, 0x1200, 64), Request::read(4, 0x1240, 64)]);
+        let b = Partition::new(vec![
+            Request::read(3, 0x1200, 64),
+            Request::read(4, 0x1240, 64),
+        ]);
         let merged = merge_similar(vec![a, b], 4096);
         assert_eq!(merged.len(), 2);
     }

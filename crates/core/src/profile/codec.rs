@@ -257,13 +257,12 @@ mod tests {
     #[test]
     fn round_trip_preserves_options() {
         let trace = Trace::from_requests(vec![Request::read(0, 0, 64)]);
-        let config = HierarchyConfig::two_level_requests_fixed(100, 4096).with_options(
-            ModelOptions {
+        let config =
+            HierarchyConfig::two_level_requests_fixed(100, 4096).with_options(ModelOptions {
                 strict_convergence: false,
                 merge_lonely: false,
                 merge_similar: false,
-            },
-        );
+            });
         let profile = Profile::fit(&trace, &config);
         let mut buf = Vec::new();
         write_profile(&mut buf, &profile).unwrap();

@@ -127,7 +127,7 @@ impl Profile {
     /// Fig. 17 — computed without materializing the encoding.
     pub fn metadata_size(&self) -> u64 {
         let mut counter = mocktails_trace::codec::ByteCounter::new();
-        codec::write_profile(&mut counter, self).expect("ByteCounter never fails");
+        codec::write_profile(&mut counter, self).expect("ByteCounter never fails"); // lint: allow(L001, ByteCounter's Write impl never errors)
         counter.bytes()
     }
 }

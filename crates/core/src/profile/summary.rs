@@ -53,8 +53,7 @@ impl ProfileSummary {
                     McC::Markov(chain) => {
                         summary.markov_features += 1;
                         summary.markov_states += chain.num_states() as u64;
-                        summary.markov_edges +=
-                            chain.edges().count() as u64;
+                        summary.markov_edges += chain.edges().count() as u64;
                     }
                 }
             }
@@ -123,7 +122,9 @@ mod tests {
     #[test]
     fn fully_linear_trace_is_all_constants() {
         let trace = Trace::from_requests(
-            (0..100u64).map(|i| Request::read(i * 10, i * 64, 64)).collect(),
+            (0..100u64)
+                .map(|i| Request::read(i * 10, i * 64, 64))
+                .collect(),
         );
         let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(10_000));
         let s = ProfileSummary::of(&profile);

@@ -15,9 +15,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use mocktails_trace::rng::Prng;
 use mocktails_trace::{Request, Trace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::model::{LeafGenerator, LeafModel};
 
@@ -82,7 +81,7 @@ impl PartialOrd for Pending {
 pub struct Synthesizer {
     generators: Vec<LeafGenerator>,
     heap: BinaryHeap<Reverse<Pending>>,
-    rng: StdRng,
+    rng: Prng,
     delay: u64,
     emitted: u64,
     last_emitted_time: u64,
@@ -92,7 +91,7 @@ impl Synthesizer {
     /// Creates a synthesizer over `leaves`, sampling with the given strict
     /// convergence setting and RNG `seed`.
     pub fn new(leaves: Vec<LeafModel>, strict: bool, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut generators: Vec<LeafGenerator> =
             leaves.iter().map(|l| l.generator(strict)).collect();
         let mut heap = BinaryHeap::with_capacity(generators.len());
@@ -149,7 +148,10 @@ impl Synthesizer {
 
     /// Requests still to come.
     pub fn remaining(&self) -> u64 {
-        self.generators.iter().map(LeafGenerator::remaining).sum::<u64>()
+        self.generators
+            .iter()
+            .map(LeafGenerator::remaining)
+            .sum::<u64>()
             + self.heap.len() as u64
     }
 
@@ -231,7 +233,13 @@ mod tests {
             .map(|k| {
                 leaf(
                     (0..20u64)
-                        .map(|i| Request::read(k * 100 + i * (k + 1), 0x10000 * (k + 1) + (i % 4) * 64, 64))
+                        .map(|i| {
+                            Request::read(
+                                k * 100 + i * (k + 1),
+                                0x10000 * (k + 1) + (i % 4) * 64,
+                                64,
+                            )
+                        })
                         .collect(),
                 )
             })

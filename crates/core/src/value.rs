@@ -21,14 +21,15 @@
 //!
 //! // A counter-like data column.
 //! let values: Vec<u64> = (0..100u64).map(|i| i * 8).collect();
-//! let model = ValueModel::fit(&values, None);
+//! let model = ValueModel::fit(&values, None).unwrap();
 //! let out = model.synthesize(100, 7);
 //! assert_eq!(out, values); // constant delta: exact replay
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 
+use crate::error::ValueError;
 use crate::model::McC;
 use crate::MarkovChain;
 
@@ -107,13 +108,19 @@ impl ValueModel {
     /// deterministic; a release pipeline would use an external entropy
     /// source.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` is empty or ε is not strictly positive.
-    pub fn fit(values: &[u64], epsilon: Option<f64>) -> Self {
-        assert!(!values.is_empty(), "cannot model an empty value column");
+    /// Returns [`ValueError::EmptyColumn`] if `values` is empty and
+    /// [`ValueError::NonPositiveEpsilon`] if ε is not strictly positive.
+    pub fn fit(values: &[u64], epsilon: Option<f64>) -> Result<Self, ValueError> {
+        if values.is_empty() {
+            return Err(ValueError::EmptyColumn);
+        }
         if let Some(e) = epsilon {
-            assert!(e > 0.0, "epsilon must be positive");
+            // NaN is rejected too: only Greater grants a privacy budget.
+            if e.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(ValueError::NonPositiveEpsilon(e));
+            }
         }
         let deltas: Vec<i64> = values
             .windows(2)
@@ -123,11 +130,11 @@ impl ValueModel {
         if let (Some(eps), McC::Markov(chain)) = (epsilon, &model) {
             model = perturb(chain, eps, values.len() as u64);
         }
-        Self {
+        Ok(Self {
             start: values[0],
             deltas: model,
             epsilon,
-        }
+        })
     }
 
     /// The first observed value (anchors synthesis).
@@ -149,7 +156,7 @@ impl ValueModel {
     /// noise-free models (perturbed counts no longer sum to the observed
     /// transition count, so the sampler runs stationary).
     pub fn synthesize(&self, n: usize, seed: u64) -> Vec<u64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let strict = self.epsilon.is_none();
         let mut sampler = self.deltas.sampler(strict);
         let mut out = Vec::with_capacity(n);
@@ -166,7 +173,7 @@ impl ValueModel {
 
 /// Applies the Laplace mechanism to a fitted chain's transition counts.
 fn perturb(chain: &MarkovChain, epsilon: f64, seed: u64) -> McC {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_C0DE);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xD1FF_C0DE);
     let scale = 1.0 / epsilon;
     let mut transitions = std::collections::BTreeMap::new();
     for (from, edges) in chain.transitions() {
@@ -198,7 +205,7 @@ mod tests {
     #[test]
     fn counter_replays_exactly() {
         let values: Vec<u64> = (0..50u64).map(|i| 1000 + i * 4).collect();
-        let model = ValueModel::fit(&values, None);
+        let model = ValueModel::fit(&values, None).unwrap();
         assert!(model.delta_model().is_constant());
         assert_eq!(model.synthesize(50, 0), values);
     }
@@ -211,7 +218,7 @@ mod tests {
             let delta = [1i64, 1, 2, -3][i % 4];
             values.push(values.last().unwrap().wrapping_add(delta as u64));
         }
-        let model = ValueModel::fit(&values, None);
+        let model = ValueModel::fit(&values, None).unwrap();
         let out = model.synthesize(100, 3);
         assert_eq!(out.len(), 100);
         assert_eq!(out[0], 100);
@@ -227,8 +234,8 @@ mod tests {
             let delta = [8i64, 8, 8, -16, 8][i % 5];
             values.push(values.last().unwrap().wrapping_add(delta as u64));
         }
-        let clean = ValueModel::fit(&values, None);
-        let private = ValueModel::fit(&values, Some(0.5));
+        let clean = ValueModel::fit(&values, None).unwrap();
+        let private = ValueModel::fit(&values, Some(0.5)).unwrap();
         assert_eq!(private.epsilon(), Some(0.5));
         assert_ne!(clean, private, "noise must perturb the model");
         // Synthesized values still only move by observed deltas.
@@ -243,8 +250,8 @@ mod tests {
     fn dp_fitting_is_deterministic() {
         let values: Vec<u64> = (0..100u64).map(|i| (i * i) % 97).collect();
         assert_eq!(
-            ValueModel::fit(&values, Some(1.0)),
-            ValueModel::fit(&values, Some(1.0))
+            ValueModel::fit(&values, Some(1.0)).unwrap(),
+            ValueModel::fit(&values, Some(1.0)).unwrap()
         );
     }
 
@@ -253,8 +260,8 @@ mod tests {
         let values: Vec<u64> = (0..100u64).map(|i| (i * 7) % 13).collect();
         // With a huge privacy budget the model barely changes; with a tiny
         // one, the transition structure is strongly perturbed.
-        let loose = ValueModel::fit(&values, Some(100.0));
-        let clean = ValueModel::fit(&values, None);
+        let loose = ValueModel::fit(&values, Some(100.0)).unwrap();
+        let clean = ValueModel::fit(&values, None).unwrap();
         if let (McC::Markov(a), McC::Markov(b)) = (loose.delta_model(), clean.delta_model()) {
             assert_eq!(a.num_states(), b.num_states(), "ε=100 barely perturbs");
         } else {
@@ -264,20 +271,25 @@ mod tests {
 
     #[test]
     fn single_value_column() {
-        let model = ValueModel::fit(&[42], None);
+        let model = ValueModel::fit(&[42], None).unwrap();
         assert_eq!(model.synthesize(3, 0), vec![42, 42, 42]);
     }
 
     #[test]
-    #[should_panic(expected = "empty value column")]
-    fn empty_column_panics() {
-        let _ = ValueModel::fit(&[], None);
+    fn empty_column_is_a_typed_error() {
+        assert_eq!(ValueModel::fit(&[], None), Err(ValueError::EmptyColumn));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn non_positive_epsilon_panics() {
-        let _ = ValueModel::fit(&[1, 2], Some(0.0));
+    fn non_positive_epsilon_is_a_typed_error() {
+        assert_eq!(
+            ValueModel::fit(&[1, 2], Some(0.0)),
+            Err(ValueError::NonPositiveEpsilon(0.0))
+        );
+        assert!(matches!(
+            ValueModel::fit(&[1, 2], Some(f64::NAN)),
+            Err(ValueError::NonPositiveEpsilon(e)) if e.is_nan()
+        ));
     }
 
     #[test]

@@ -173,7 +173,11 @@ impl Channel {
                 self.writes_this_drain = 0;
             }
         }
-        let op = if self.draining_writes { Op::Write } else { Op::Read };
+        let op = if self.draining_writes {
+            Op::Write
+        } else {
+            Op::Read
+        };
         // Fall back if the chosen queue is empty (can occur mid-policy).
         let op = match op {
             Op::Read if self.read_q.is_empty() => Op::Write,
@@ -195,8 +199,8 @@ impl Channel {
             crate::config::SchedulingPolicy::Fcfs => 0,
         };
         let packet = match op {
-            Op::Read => self.read_q.remove(idx).expect("index valid"),
-            Op::Write => self.write_q.remove(idx).expect("index valid"),
+            Op::Read => self.read_q.remove(idx).expect("index valid"), // lint: allow(L001, idx was produced by scanning this very queue)
+            Op::Write => self.write_q.remove(idx).expect("index valid"), // lint: allow(L001, idx was produced by scanning this very queue)
         };
 
         // Timing.

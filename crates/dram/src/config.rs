@@ -315,7 +315,10 @@ mod tests {
 
     #[test]
     fn schemes_cover_all_channels() {
-        for scheme in [MappingScheme::ChannelInterleaved, MappingScheme::RowInterleaved] {
+        for scheme in [
+            MappingScheme::ChannelInterleaved,
+            MappingScheme::RowInterleaved,
+        ] {
             let cfg = DramConfig {
                 mapping_scheme: scheme,
                 ..DramConfig::default()

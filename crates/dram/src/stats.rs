@@ -282,7 +282,11 @@ impl DramStats {
         if bursts == 0 {
             return 0.0;
         }
-        self.channels.iter().map(|c| c.read_latency_sum).sum::<u64>() as f64 / bursts as f64
+        self.channels
+            .iter()
+            .map(|c| c.read_latency_sum)
+            .sum::<u64>() as f64
+            / bursts as f64
     }
 }
 

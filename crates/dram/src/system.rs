@@ -113,7 +113,7 @@ impl MemorySystem {
                 .filter_map(|(port, c)| c.peek().map(|r| (r.timestamp, port)))
                 .min();
             let Some((_, port)) = next else { break };
-            let request = *cursors[port].next().expect("peeked");
+            let request = *cursors[port].next().expect("peeked"); // lint: allow(L001, peek on this cursor just returned Some)
             self.inject_from(&request, port as u16);
         }
         self.finish()
@@ -192,13 +192,11 @@ mod tests {
 
     #[test]
     fn random_rows_mostly_conflict() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use mocktails_trace::rng::{Prng, Rng};
+        let mut rng = Prng::seed_from_u64(0);
         let trace = Trace::from_requests(
             (0..1000u64)
-                .map(|i| {
-                    Request::read(i * 10, rng.gen_range(0..1u64 << 30) & !31, 32)
-                })
+                .map(|i| Request::read(i * 10, rng.gen_range(0..1u64 << 30) & !31, 32))
                 .collect(),
         );
         let stats = MemorySystem::new(DramConfig::default()).run_trace(&trace);
@@ -233,9 +231,8 @@ mod tests {
     #[test]
     fn saturation_creates_backpressure() {
         // Requests every cycle: far beyond service rate.
-        let trace = Trace::from_requests(
-            (0..5000u64).map(|i| Request::read(i, i * 32, 32)).collect(),
-        );
+        let trace =
+            Trace::from_requests((0..5000u64).map(|i| Request::read(i, i * 32, 32)).collect());
         let stats = MemorySystem::new(DramConfig::default()).run_trace(&trace);
         assert!(stats.stall_cycles > 0);
         assert_eq!(stats.total_read_bursts(), 5000);
@@ -257,7 +254,9 @@ mod tests {
         // A profile of a saturating trace: coupled mode must finish and
         // accumulate delay in the synthesizer.
         let trace = Trace::from_requests(
-            (0..3000u64).map(|i| Request::read(i, (i % 512) * 32, 32)).collect(),
+            (0..3000u64)
+                .map(|i| Request::read(i, (i % 512) * 32, 32))
+                .collect(),
         );
         let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
         let mut synth = profile.synthesizer(1);
@@ -271,10 +270,7 @@ mod tests {
         let trace = linear_trace(700, 7, 64);
         let stats = MemorySystem::new(DramConfig::default()).run_trace(&trace);
         for ch in stats.channels() {
-            assert_eq!(
-                ch.read_bursts_per_bank.iter().sum::<u64>(),
-                ch.read_bursts
-            );
+            assert_eq!(ch.read_bursts_per_bank.iter().sum::<u64>(), ch.read_bursts);
         }
     }
 
@@ -295,7 +291,9 @@ mod tests {
         let mut reqs: Vec<Request> = (0..2000u64)
             .map(|i| Request::read(i * 8, i * 64, 64))
             .collect();
-        reqs.extend((0..200u64).map(|i| Request::write(i * 80 + 3, 0x2000_0000 + (i % 32) * 64, 64)));
+        reqs.extend(
+            (0..200u64).map(|i| Request::write(i * 80 + 3, 0x2000_0000 + (i % 32) * 64, 64)),
+        );
         let trace = Trace::from_requests(reqs);
         let stats = MemorySystem::new(DramConfig::default()).run_trace(&trace);
         let untouched: usize = stats
@@ -324,25 +322,25 @@ mod tests {
         assert!(ports[&0].avg_latency() > 0.0);
         // Port totals reconcile with channel totals.
         let total: u64 = ports.values().map(|p| p.read_bursts + p.write_bursts).sum();
-        assert_eq!(total, stats.total_read_bursts() + stats.total_write_bursts());
+        assert_eq!(
+            total,
+            stats.total_read_bursts() + stats.total_write_bursts()
+        );
     }
 
     #[test]
     fn run_traces_matches_manual_merge_for_untagged_metrics() {
         let a = linear_trace(150, 9, 64);
         let b = Trace::from_requests(
-            (0..150u64).map(|i| Request::read(i * 9 + 4, 0x100_0000 + i * 64, 64)).collect(),
+            (0..150u64)
+                .map(|i| Request::read(i * 9 + 4, 0x100_0000 + i * 64, 64))
+                .collect(),
         );
         let tagged = MemorySystem::new(DramConfig::default()).run_traces(&[&a, &b]);
-        let mut merged: Vec<Request> = a
-            .requests()
-            .iter()
-            .chain(b.requests())
-            .copied()
-            .collect();
+        let mut merged: Vec<Request> = a.requests().iter().chain(b.requests()).copied().collect();
         merged.sort_by_key(|r| r.timestamp);
-        let manual =
-            MemorySystem::new(DramConfig::default()).run_trace(&Trace::from_sorted_requests(merged));
+        let manual = MemorySystem::new(DramConfig::default())
+            .run_trace(&Trace::from_sorted_requests(merged));
         assert_eq!(tagged.total_read_bursts(), manual.total_read_bursts());
         assert_eq!(tagged.total_read_row_hits(), manual.total_read_row_hits());
     }

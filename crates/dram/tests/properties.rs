@@ -1,56 +1,72 @@
-//! Property-based tests of the DRAM model's structural invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests of the DRAM model's structural invariants,
+//! driven by the workspace's deterministic PRNG so the suite builds
+//! hermetically.
 
 use mocktails_dram::{DramConfig, MemorySystem, PagePolicy, SchedulingPolicy};
+use mocktails_trace::rng::{Prng, Rng};
 use mocktails_trace::{Op, Request, Trace};
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (
-        0u64..200_000,
-        0u64..0x20_0000,
-        any::<bool>(),
-        prop_oneof![Just(16u32), Just(32), Just(64), Just(128), Just(256)],
-    )
-        .prop_map(|(t, addr, write, size)| {
-            let op = if write { Op::Write } else { Op::Read };
-            Request::new(t, addr & !0xf, op, size)
-        })
+const CASES: u64 = 48;
+
+fn rand_request(rng: &mut Prng) -> Request {
+    let t = rng.gen_range(0..200_000u64);
+    let addr = rng.gen_range(0..0x20_0000u64);
+    let op = if rng.gen_bool(0.5) {
+        Op::Write
+    } else {
+        Op::Read
+    };
+    let size = [16u32, 32, 64, 128, 256][rng.gen_range(0..5usize)];
+    Request::new(t, addr & !0xf, op, size)
 }
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(arb_request(), 1..150).prop_map(Trace::from_requests)
+fn rand_trace(rng: &mut Prng) -> Trace {
+    let n = rng.gen_range(1..150usize);
+    Trace::from_requests((0..n).map(|_| rand_request(rng)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn mapping_decode_is_stable_within_a_burst(addr: u64, offset in 0u64..32) {
-        let m = DramConfig::default().mapping();
-        let base = (addr >> 1) & !31;
-        prop_assert_eq!(m.decode(base), m.decode(base + offset));
+#[test]
+fn mapping_decode_is_stable_within_a_burst() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0001);
+    let m = DramConfig::default().mapping();
+    for case in 0..CASES {
+        let base = (rng.next_u64() >> 1) & !31;
+        let offset = rng.gen_range(0..32u64);
+        assert_eq!(m.decode(base), m.decode(base + offset), "case {case}");
     }
+}
 
-    #[test]
-    fn bursts_cover_the_request_exactly(addr in 0u64..1_000_000, size in 1u32..4096) {
-        let m = DramConfig::default().mapping();
+#[test]
+fn bursts_cover_the_request_exactly() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0002);
+    let m = DramConfig::default().mapping();
+    for case in 0..CASES {
+        let addr = rng.gen_range(0..1_000_000u64);
+        let size = rng.gen_range(1..4096u32);
         let bursts = m.bursts(addr, size);
         // First burst contains the start, last contains the final byte.
-        prop_assert!(bursts[0] <= addr && addr < bursts[0] + 32);
+        assert!(bursts[0] <= addr && addr < bursts[0] + 32, "case {case}");
         let end = addr + u64::from(size) - 1;
         let last = *bursts.last().unwrap();
-        prop_assert!(last <= end && end < last + 32);
+        assert!(last <= end && end < last + 32, "case {case}");
         // Bursts are consecutive and aligned.
         for w in bursts.windows(2) {
-            prop_assert_eq!(w[1] - w[0], 32);
+            assert_eq!(w[1] - w[0], 32, "case {case}");
         }
-        prop_assert!(bursts.iter().all(|b| b % 32 == 0));
+        assert!(bursts.iter().all(|b| b % 32 == 0), "case {case}");
     }
+}
 
-    #[test]
-    fn conservation_holds_under_every_policy(trace in arb_trace()) {
-        for page in [PagePolicy::OpenAdaptive, PagePolicy::Open, PagePolicy::Closed] {
+#[test]
+fn conservation_holds_under_every_policy() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0003);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
+        for page in [
+            PagePolicy::OpenAdaptive,
+            PagePolicy::Open,
+            PagePolicy::Closed,
+        ] {
             for sched in [SchedulingPolicy::FrFcfs, SchedulingPolicy::Fcfs] {
                 let config = DramConfig {
                     page_policy: page,
@@ -62,55 +78,75 @@ proptest! {
                     .map(|r| config.mapping().bursts(r.address, r.size).len() as u64)
                     .sum();
                 let stats = MemorySystem::new(config).run_trace(&trace);
-                prop_assert_eq!(
+                assert_eq!(
                     stats.total_read_bursts() + stats.total_write_bursts(),
-                    expected
+                    expected,
+                    "case {case}"
                 );
                 for ch in stats.channels() {
-                    prop_assert_eq!(ch.read_row_hits + ch.read_row_misses, ch.read_bursts);
-                    prop_assert_eq!(ch.write_row_hits + ch.write_row_misses, ch.write_bursts);
-                    prop_assert_eq!(
-                        ch.read_bursts_per_bank.iter().sum::<u64>(),
-                        ch.read_bursts
-                    );
+                    assert_eq!(ch.read_row_hits + ch.read_row_misses, ch.read_bursts);
+                    assert_eq!(ch.write_row_hits + ch.write_row_misses, ch.write_bursts);
+                    assert_eq!(ch.read_bursts_per_bank.iter().sum::<u64>(), ch.read_bursts);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn closed_page_never_hits(trace in arb_trace()) {
+#[test]
+fn closed_page_never_hits() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0004);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
         let config = DramConfig {
             page_policy: PagePolicy::Closed,
             ..DramConfig::default()
         };
         let stats = MemorySystem::new(config).run_trace(&trace);
-        prop_assert_eq!(stats.total_read_row_hits(), 0);
-        prop_assert_eq!(stats.total_write_row_hits(), 0);
+        assert_eq!(stats.total_read_row_hits(), 0, "case {case}");
+        assert_eq!(stats.total_write_row_hits(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn open_page_hits_at_least_as_often_as_closed(trace in arb_trace()) {
+#[test]
+fn open_page_hits_at_least_as_often_as_closed() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0005);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
         let hits = |page: PagePolicy| {
-            let config = DramConfig { page_policy: page, ..DramConfig::default() };
+            let config = DramConfig {
+                page_policy: page,
+                ..DramConfig::default()
+            };
             let s = MemorySystem::new(config).run_trace(&trace);
             s.total_read_row_hits() + s.total_write_row_hits()
         };
-        prop_assert!(hits(PagePolicy::Open) >= hits(PagePolicy::Closed));
+        assert!(
+            hits(PagePolicy::Open) >= hits(PagePolicy::Closed),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn latency_includes_crossbar_minimum(trace in arb_trace()) {
+#[test]
+fn latency_includes_crossbar_minimum() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0006);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
         let config = DramConfig::default();
         let stats = MemorySystem::new(config).run_trace(&trace);
         let floor = (config.xbar_latency + config.timing.t_cl + config.timing.t_burst) as f64;
-        prop_assert!(stats.avg_access_latency() >= floor);
+        assert!(stats.avg_access_latency() >= floor, "case {case}");
     }
+}
 
-    #[test]
-    fn replay_is_deterministic(trace in arb_trace()) {
+#[test]
+fn replay_is_deterministic() {
+    let mut rng = Prng::seed_from_u64(0xD4A1_0007);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng);
         let a = MemorySystem::new(DramConfig::default()).run_trace(&trace);
         let b = MemorySystem::new(DramConfig::default()).run_trace(&trace);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -1,0 +1,521 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lint rules only need a *token skeleton* of each source file:
+//! identifiers, punctuation, a handful of multi-character operators, and
+//! literal markers — with comments, strings and char literals stripped so
+//! that `panic!` inside a string or a `// use serde` comment can never
+//! produce a false positive. The lexer also understands just enough Rust
+//! to keep line numbers exact across raw strings, nested block comments
+//! and lifetimes, and it harvests `// lint: allow(...)` directives from
+//! ordinary line comments as it goes.
+
+use std::collections::BTreeMap;
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+    /// What kind of token this is.
+    pub kind: TokenKind,
+}
+
+/// The token kinds the lint rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `SystemTime`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `{`, ...).
+    Punct(char),
+    /// A multi-character operator (`==`, `!=`, `::`, `->`, `..`, ...).
+    Op(&'static str),
+    /// A floating-point literal (`0.0`, `1e-9`, `2f64`, ...).
+    FloatLit,
+    /// Any other literal: integer, string, char, byte string.
+    Lit,
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+}
+
+impl TokenKind {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+
+    /// True if this token is the given multi-character operator.
+    pub fn is_op(&self, op: &str) -> bool {
+        matches!(self, TokenKind::Op(o) if *o == op)
+    }
+}
+
+/// A parsed `// lint: allow(RULE, reason)` suppression directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// The rule identifier being suppressed, e.g. `L001`.
+    pub rule: String,
+    /// The mandatory human-readable justification.
+    pub reason: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token skeleton, in source order.
+    pub tokens: Vec<Token>,
+    /// Allow directives keyed by the line the comment appears on.
+    pub directives: BTreeMap<usize, Vec<Directive>>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses a `lint: allow(RULE, reason)` directive out of a comment's text.
+/// Returns `None` for ordinary comments, for directives without a reason,
+/// and for malformed directives (those are simply not suppressions, so the
+/// underlying diagnostic stays visible).
+fn parse_directive(comment: &str) -> Option<Directive> {
+    let rest = comment.split_once("lint:")?.1.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let inner = rest.split_once(')')?.0;
+    let (rule, reason) = inner.split_once(',')?;
+    let rule = rule.trim();
+    let reason = reason.trim();
+    if rule.len() == 4 && rule.starts_with('L') && !reason.is_empty() {
+        Some(Directive {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Lexes one Rust source file into its token skeleton.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, line: usize, kind: TokenKind) {
+        self.out.tokens.push(Token { line, kind });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => self.punct_or_op(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        let is_doc =
+            (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        if is_doc {
+            self.push(line, TokenKind::DocComment);
+        } else if let Some(d) = parse_directive(&text) {
+            self.out.directives.entry(line).or_default().push(d);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let is_doc = matches!(self.peek(2), Some('!'))
+            || (matches!(self.peek(2), Some('*'))
+                && !matches!(self.peek(3), Some('*') | Some('/')));
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        if is_doc {
+            self.push(line, TokenKind::DocComment);
+        }
+    }
+
+    /// Consumes a `"..."` literal (escape-aware), starting at the quote.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokenKind::Lit);
+    }
+
+    /// Consumes a raw string starting at the first `#` or `"` after the
+    /// `r`/`br` prefix (already consumed). Returns false if this is not
+    /// actually a raw string (e.g. a raw identifier `r#fn`).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        let line = self.line;
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(line, TokenKind::Lit);
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(line, TokenKind::Lit);
+            }
+            Some(c) if is_ident_start(c) => {
+                // 'a' is a char literal; 'a (no closing quote) a lifetime.
+                let mut j = 0;
+                while matches!(self.peek(j), Some(c) if is_ident_continue(c)) {
+                    j += 1;
+                }
+                let is_char = self.peek(j) == Some('\'');
+                for _ in 0..j {
+                    self.bump();
+                }
+                if is_char {
+                    self.bump();
+                    self.push(line, TokenKind::Lit);
+                }
+            }
+            Some(_) => {
+                // Plain single char like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(line, TokenKind::Lit);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(line, TokenKind::Lit);
+            return;
+        }
+        let mut float = false;
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some('.') => {}                    // range: `0..n`
+                Some(c) if is_ident_start(c) => {} // method: `1.max(2)`
+                _ => {
+                    float = true;
+                    self.bump();
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                if sign {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        let suffix_start = self.i;
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        let suffix: String = self.chars[suffix_start..self.i].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        self.push(
+            line,
+            if float {
+                TokenKind::FloatLit
+            } else {
+                TokenKind::Lit
+            },
+        );
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        match text.as_str() {
+            "r" | "br" if matches!(self.peek(0), Some('"' | '#')) => {
+                if !self.raw_string() {
+                    // Raw identifier `r#ident`: consume the `#` and word.
+                    self.bump();
+                    let word_start = self.i;
+                    while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                        self.bump();
+                    }
+                    let word: String = self.chars[word_start..self.i].iter().collect();
+                    self.push(line, TokenKind::Ident(word));
+                }
+            }
+            "b" if self.peek(0) == Some('"') => self.string_literal(),
+            "b" if self.peek(0) == Some('\'') => self.char_or_lifetime(),
+            _ => self.push(line, TokenKind::Ident(text)),
+        }
+    }
+
+    fn punct_or_op(&mut self) {
+        let line = self.line;
+        let two: Option<&'static str> = match (self.peek(0), self.peek(1)) {
+            (Some('='), Some('=')) => Some("=="),
+            (Some('!'), Some('=')) => Some("!="),
+            (Some('<'), Some('=')) => Some("<="),
+            (Some('>'), Some('=')) => Some(">="),
+            (Some(':'), Some(':')) => Some("::"),
+            (Some('-'), Some('>')) => Some("->"),
+            (Some('='), Some('>')) => Some("=>"),
+            (Some('.'), Some('.')) => Some(if self.peek(2) == Some('=') {
+                "..="
+            } else {
+                ".."
+            }),
+            _ => None,
+        };
+        if let Some(op) = two {
+            for _ in 0..op.len() {
+                self.bump();
+            }
+            self.push(line, TokenKind::Op(op));
+        } else if let Some(c) = self.bump() {
+            self.push(line, TokenKind::Punct(c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // panic! in a comment
+            let s = "panic!(\"no\")";
+            let r = r#"unwrap()"#;
+            /* block panic! /* nested */ still comment */
+            call();
+        "##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "r", "call"]);
+    }
+
+    #[test]
+    fn doc_comments_become_tokens() {
+        let toks = lex("/// docs\npub fn f() {}").tokens;
+        assert_eq!(toks[0].kind, TokenKind::DocComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Ident("pub".into()));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let lits = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lit)
+            .count();
+        assert_eq!(lits, 1, "only 'b' is a literal");
+    }
+
+    #[test]
+    fn float_literals_are_flagged() {
+        let kinds: Vec<TokenKind> = lex("0.5 1e-9 2f64 3 0x10 0..4 1.max(2)")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokenKind::FloatLit);
+        assert_eq!(kinds[1], TokenKind::FloatLit);
+        assert_eq!(kinds[2], TokenKind::FloatLit);
+        assert_eq!(kinds[3], TokenKind::Lit);
+        assert_eq!(kinds[4], TokenKind::Lit);
+        assert_eq!(kinds[5], TokenKind::Lit);
+        assert!(kinds[6].is_op(".."));
+    }
+
+    #[test]
+    fn operators_are_fused() {
+        let kinds: Vec<TokenKind> = lex("a == b != c :: d")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert!(kinds[1].is_op("=="));
+        assert!(kinds[3].is_op("!="));
+        assert!(kinds[5].is_op("::"));
+    }
+
+    #[test]
+    fn macro_bang_stays_a_punct() {
+        let toks = lex("panic!(\"x\")").tokens;
+        assert_eq!(toks[0].kind, TokenKind::Ident("panic".into()));
+        assert!(toks[1].kind.is_punct('!'));
+    }
+
+    #[test]
+    fn directives_are_harvested() {
+        let lexed = lex("x(); // lint: allow(L001, the reason)\ny();");
+        let d = &lexed.directives[&1][0];
+        assert_eq!(d.rule, "L001");
+        assert_eq!(d.reason, "the reason");
+    }
+
+    #[test]
+    fn directive_without_reason_is_ignored() {
+        let lexed = lex("// lint: allow(L001)\n// lint: allow(L001, )\n");
+        assert!(lexed.directives.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = r#\"line\nline\nline\"#;\nend();";
+        let toks = lex(src).tokens;
+        let end = toks
+            .iter()
+            .find(|t| t.kind.ident() == Some("end"))
+            .map(|t| t.line);
+        assert_eq!(end, Some(4));
+    }
+}

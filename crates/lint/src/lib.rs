@@ -1,0 +1,89 @@
+//! `mocktails-lint` — the workspace's dependency-free static-analysis
+//! gate.
+//!
+//! A reproduction of a memory-behaviour paper lives or dies on two
+//! properties: *determinism* (every fit/synthesize run must replay
+//! bit-identically from a seed) and *hermeticity* (the workspace must
+//! build offline, forever, with no registry access). Both are invariants
+//! the type system cannot see, so this crate enforces them the way a
+//! compiler would: a hand-rolled lexer ([`lexer`]) turns every source
+//! file into a token skeleton, and a rule engine ([`rules`]) walks it.
+//!
+//! The rules:
+//!
+//! * **L001** — no `unwrap()`/`expect()`/`panic!`/`todo!`/
+//!   `unimplemented!` in non-test library code.
+//! * **L002** — no external-crate imports; the dependency graph is std +
+//!   path-only workspace members, which is what keeps offline builds
+//!   possible.
+//! * **L003** — every `pub` item in the foundational crates (`core`,
+//!   `trace`, `dram`, `cache`) carries a doc comment.
+//! * **L004** — no float-literal `==`/`!=` in model/similarity code.
+//! * **L005** — no `SystemTime`/`Instant` on the synthesis path; model
+//!   time comes from the fitted profile, never the wall clock.
+//!
+//! Escape hatch: `// lint: allow(L001, reason)` on the violating line or
+//! the line above. The reason is mandatory and is itself reviewed.
+//!
+//! The binary exits 0 on a clean tree, 1 on violations, 2 on I/O errors:
+//!
+//! ```text
+//! cargo run -p mocktails-lint -- crates/
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{lint_source, Diagnostic};
+
+use std::io;
+use std::path::Path;
+
+/// The outcome of linting a source tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl std::fmt::Display for Report {
+    /// Renders one `file:line: [RULE] message` line per diagnostic. The
+    /// rendering is a pure function of the sorted diagnostics, so equal
+    /// reports are byte-identical — the determinism tests rely on this.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `crates_root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn run(crates_root: &Path) -> io::Result<Report> {
+    let files = walk::workspace_files(crates_root)?;
+    let mut diagnostics = Vec::new();
+    let files_checked = files.len();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        diagnostics.extend(rules::lint_source(&file, &src));
+    }
+    diagnostics.sort();
+    Ok(Report {
+        diagnostics,
+        files_checked,
+    })
+}

@@ -1,0 +1,33 @@
+//! CLI entry point: `mocktails-lint [CRATES_DIR]` (default `crates`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crates".to_string());
+    match mocktails_lint::run(Path::new(&root)) {
+        Ok(report) => {
+            print!("{report}");
+            if report.is_clean() {
+                println!(
+                    "mocktails-lint: {} files checked, no violations",
+                    report.files_checked
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "mocktails-lint: {} violation(s) in {} files checked",
+                    report.diagnostics.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mocktails-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The lint rules, evaluated over the token skeleton of one file.
+//!
+//! | Rule | Scope | Invariant |
+//! |------|-------|-----------|
+//! | L001 | library code, non-test | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` |
+//! | L002 | library code | no external-crate imports (std + workspace only) |
+//! | L003 | `core`/`trace`/`dram`/`cache`, non-test | every `pub` item documented |
+//! | L004 | model & similarity code, non-test | no float-literal `==`/`!=` |
+//! | L005 | synthesis crates, non-test | no `SystemTime`/`Instant` |
+//!
+//! Any diagnostic can be suppressed with a `// lint: allow(RULE, reason)`
+//! comment on the same line or the line directly above; the reason is
+//! mandatory — a bare `allow(L001)` does not suppress anything.
+
+use std::path::Path;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One reported rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// The file the violation is in, as the path was given to the linter.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Rule identifier, e.g. `L001`.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crate roots whose `use` declarations L002 accepts: the standard
+/// library facade plus path-only workspace members.
+const ALLOWED_USE_ROOTS: [&str; 6] = ["std", "core", "alloc", "crate", "self", "super"];
+
+/// Item keywords L003 requires documentation in front of.
+const DOC_ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+];
+
+/// How the path of a file maps onto rule scopes.
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    /// Binary targets (`main.rs`, `src/bin/`) are exempt from L001/L002:
+    /// a CLI's top level may exit via `expect` and link anything it wants.
+    is_lib: bool,
+    /// L003 applies only to the foundational crates the rest build on.
+    wants_docs: bool,
+    /// L004 applies to statistical model and similarity-metric code.
+    is_model_code: bool,
+    /// L005 applies to crates on the fit/synthesize path, which must stay
+    /// deterministic and therefore must not read wall-clock time.
+    is_synthesis_code: bool,
+}
+
+impl Scope {
+    fn of(path: &Path) -> Self {
+        let p = path.to_string_lossy().replace('\\', "/");
+        let is_bin = p.ends_with("/main.rs") || p == "main.rs" || p.contains("/src/bin/");
+        let in_crate = |name: &str| p.contains(&format!("crates/{name}/src/"));
+        Scope {
+            is_lib: !is_bin,
+            wants_docs: in_crate("core")
+                || in_crate("trace")
+                || in_crate("dram")
+                || in_crate("cache"),
+            is_model_code: p.contains("core/src/model/") || p.contains("similarity"),
+            is_synthesis_code: in_crate("core")
+                || in_crate("trace")
+                || in_crate("workloads")
+                || in_crate("baselines"),
+        }
+    }
+}
+
+/// Lints one file's source text. `path` is used both for scoping (which
+/// rules apply) and for diagnostics; the file is not read from disk.
+pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let scope = Scope::of(path);
+    let in_test = test_flags(tokens);
+    let local_modules = module_names(tokens);
+    let file = path.to_string_lossy().replace('\\', "/");
+    let mut diags = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        diags.push(Diagnostic {
+            file: file.clone(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        let ident = match t.kind.ident() {
+            Some(s) => s,
+            None => continue,
+        };
+        let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
+        let next = tokens.get(i + 1).map(|t| &t.kind);
+
+        // L001: no panicking calls in non-test library code.
+        if scope.is_lib && !in_test[i] {
+            let is_method_call = matches!(prev, Some(k) if k.is_punct('.'))
+                && matches!(next, Some(k) if k.is_punct('('));
+            let is_macro = matches!(next, Some(k) if k.is_punct('!'));
+            if (ident == "unwrap" || ident == "expect") && is_method_call {
+                push(t.line, "L001", format!("`.{ident}()` in library code; return a typed error or allowlist with a reason"));
+            } else if (ident == "panic" || ident == "todo" || ident == "unimplemented") && is_macro
+            {
+                push(t.line, "L001", format!("`{ident}!` in library code; return a typed error or allowlist with a reason"));
+            }
+        }
+
+        // L002: hermetic imports — std facade and workspace crates only.
+        if scope.is_lib && ident == "use" && is_item_position(tokens, i) {
+            if let Some(root) = use_root(tokens, i + 1) {
+                if !use_root_allowed(&root) && !local_modules.contains(&root) {
+                    push(
+                        t.line,
+                        "L002",
+                        format!("import of external crate `{root}`; only std and path-only workspace crates are hermetic"),
+                    );
+                }
+            }
+        }
+        if scope.is_lib
+            && ident == "extern"
+            && matches!(next, Some(TokenKind::Ident(k)) if k == "crate")
+        {
+            if let Some(TokenKind::Ident(root)) = tokens.get(i + 2).map(|t| &t.kind) {
+                if !use_root_allowed(root) {
+                    push(
+                        t.line,
+                        "L002",
+                        format!("`extern crate {root}`; only std and path-only workspace crates are hermetic"),
+                    );
+                }
+            }
+        }
+
+        // L003: public API of the foundational crates must be documented.
+        if scope.wants_docs && !in_test[i] && ident == "pub" {
+            if let Some((kw, name)) = pub_item(tokens, i) {
+                if !has_doc_before(tokens, i) {
+                    push(
+                        t.line,
+                        "L003",
+                        format!("missing doc comment on `pub {kw} {name}`"),
+                    );
+                }
+            }
+        }
+
+        // L005: no wall-clock reads on the fit/synthesize path.
+        if scope.is_synthesis_code && !in_test[i] && (ident == "SystemTime" || ident == "Instant") {
+            push(
+                t.line,
+                "L005",
+                format!("`{ident}` in synthesis-path code; synthesis must be deterministic — derive timestamps from the model"),
+            );
+        }
+    }
+
+    // L004: float-literal equality in model/similarity code.
+    if scope.is_model_code {
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] || !(t.kind.is_op("==") || t.kind.is_op("!=")) {
+                continue;
+            }
+            let float_nbr = i
+                .checked_sub(1)
+                .map(|j| tokens[j].kind == TokenKind::FloatLit)
+                .unwrap_or(false)
+                || tokens.get(i + 1).map(|t| t.kind == TokenKind::FloatLit) == Some(true);
+            if float_nbr {
+                push(
+                    t.line,
+                    "L004",
+                    "float equality against a literal in model code; compare with an epsilon or restructure".to_string(),
+                );
+            }
+        }
+    }
+
+    // Apply allowlist: a directive on the same line or the line above,
+    // naming the rule and carrying a non-empty reason, suppresses.
+    diags.retain(|d| {
+        ![d.line, d.line.saturating_sub(1)].iter().any(|l| {
+            lexed
+                .directives
+                .get(l)
+                .map(|ds| ds.iter().any(|dir| dir.rule == d.rule))
+                .unwrap_or(false)
+        })
+    });
+    diags.sort();
+    diags
+}
+
+fn use_root_allowed(root: &str) -> bool {
+    ALLOWED_USE_ROOTS.contains(&root) || root.starts_with("mocktails")
+}
+
+/// Names of modules declared in this file (`mod foo;` / `pub mod foo {}`).
+/// Edition-2018 uniform paths let `use foo::Bar` refer to such a sibling
+/// module, so those roots are not external crates.
+fn module_names(tokens: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind.ident() == Some("mod") {
+            if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                names.insert(name.clone());
+            }
+        }
+    }
+    names
+}
+
+/// The first path segment of a `use` declaration starting at `tokens[i]`.
+fn use_root(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i;
+    if matches!(tokens.get(j), Some(t) if t.kind.is_op("::")) {
+        j += 1; // `use ::std::...` — explicit global paths are fine too.
+    }
+    tokens.get(j)?.kind.ident().map(str::to_string)
+}
+
+/// True if `tokens[i]` sits where an item can start (not, say, a field
+/// named `use`, which the grammar forbids anyway — this guards macro soup).
+fn is_item_position(tokens: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).map(|j| &tokens[j].kind) {
+        None => true,
+        Some(TokenKind::Punct(c)) => matches!(c, ';' | '{' | '}' | ']' | ')'),
+        Some(TokenKind::Ident(k)) => k == "pub",
+        _ => false,
+    }
+}
+
+/// If `tokens[i]` is a `pub` introducing a documentable item, returns the
+/// item keyword and name. `pub use` re-exports and restricted
+/// `pub(crate)`/`pub(super)` visibilities are skipped.
+fn pub_item(tokens: &[Token], i: usize) -> Option<(String, String)> {
+    if matches!(tokens.get(i + 1), Some(t) if t.kind.is_punct('(')) {
+        return None;
+    }
+    let mut kw: Option<String> = None;
+    let mut j = i + 1;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Ident(s) if s == "use" => return None,
+            TokenKind::Ident(s) if DOC_ITEM_KEYWORDS.contains(&s.as_str()) => {
+                kw = Some(s.clone());
+                j += 1;
+            }
+            // Qualifiers (`unsafe`, `async`, `extern "C"`) and the name.
+            TokenKind::Ident(s) if s == "unsafe" || s == "async" || s == "extern" => j += 1,
+            TokenKind::Lit => j += 1, // the "C" in `extern "C"`
+            TokenKind::Ident(name) => {
+                // `pub mod foo;` carries its docs as `//!` inside foo.rs;
+                // only inline `pub mod foo { ... }` needs an outer doc.
+                if kw.as_deref() == Some("mod")
+                    && matches!(tokens.get(j + 1), Some(t) if t.kind.is_punct(';'))
+                {
+                    return None;
+                }
+                return kw.map(|k| (k, name.clone()));
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// True if a doc comment sits directly before `tokens[i]`, allowing any
+/// number of `#[...]` attributes in between.
+fn has_doc_before(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].kind {
+            TokenKind::DocComment => return true,
+            TokenKind::Punct(']') => {
+                // Walk back over a balanced `#[...]` attribute.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match &tokens[j].kind {
+                        TokenKind::Punct(']') => depth += 1,
+                        TokenKind::Punct('[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if j > 0 && tokens[j - 1].kind.is_punct('#') {
+                    j -= 1;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// For each token, whether it sits inside a `#[cfg(test)]` / `#[test]`
+/// item body.
+fn test_flags(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].kind.is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[...]` or `#![...]`.
+        let mut j = i + 1;
+        if matches!(tokens.get(j), Some(t) if t.kind.is_punct('!')) {
+            j += 1;
+        }
+        if !matches!(tokens.get(j), Some(t) if t.kind.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let open = j;
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        let mut first_ident: Option<&str> = None;
+        while let Some(t) = tokens.get(j) {
+            match &t.kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s) => {
+                    if first_ident.is_none() {
+                        first_ident = Some(s);
+                        if s == "test" {
+                            is_test_attr = true;
+                        }
+                    } else if first_ident == Some("cfg") && s == "test" {
+                        is_test_attr = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j;
+        let _ = open;
+        if is_test_attr {
+            // Find the item body this attribute decorates: the first `{`
+            // outside parens/brackets, unless a `;` ends the item first.
+            let mut k = attr_end + 1;
+            let mut nest = 0i64;
+            let mut body = None;
+            while let Some(t) = tokens.get(k) {
+                match &t.kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') => nest += 1,
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => nest -= 1,
+                    TokenKind::Punct('{') if nest == 0 => {
+                        body = Some(k);
+                        break;
+                    }
+                    TokenKind::Punct(';') if nest == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(start) = body {
+                let mut braces = 0i64;
+                let mut end = start;
+                while let Some(t) = tokens.get(end) {
+                    match &t.kind {
+                        TokenKind::Punct('{') => braces += 1,
+                        TokenKind::Punct('}') => {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                let last = end.min(flags.len() - 1);
+                for f in flags.iter_mut().take(last + 1).skip(i) {
+                    *f = true;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        i = attr_end + 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(&PathBuf::from(path), src)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn l001_catches_unwrap_and_macros() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); todo!(); }";
+        let d = lint("crates/sim/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L001", "L001", "L001", "L001"]);
+    }
+
+    #[test]
+    fn l001_ignores_unwrap_or_and_test_code() {
+        let src =
+            "fn f() { x.unwrap_or(0); }\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); panic!(); } }";
+        assert!(lint("crates/sim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_skips_binaries() {
+        let src = "fn main() { x.unwrap(); }";
+        assert!(lint("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_allowlist_needs_reason() {
+        let with = "fn f() {\n // lint: allow(L001, invariant upheld by caller)\n x.unwrap(); }";
+        assert!(lint("crates/sim/src/lib.rs", with).is_empty());
+        let without = "fn f() {\n // lint: allow(L001)\n x.unwrap(); }";
+        assert_eq!(rules(&lint("crates/sim/src/lib.rs", without)), vec!["L001"]);
+    }
+
+    #[test]
+    fn l002_flags_external_crates_only() {
+        let src =
+            "use std::fmt;\nuse mocktails_trace::Trace;\nuse serde::Serialize;\nuse crate::x;";
+        let d = lint("crates/sim/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L002"]);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn l002_accepts_uniform_paths_to_local_modules() {
+        let src = "mod config;\npub use config::Options;\nuse other::Thing;";
+        let d = lint("crates/sim/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L002"]);
+        assert!(d[0].message.contains("other"));
+    }
+
+    #[test]
+    fn l003_requires_docs_in_core() {
+        let src = "/// Documented.\npub fn a() {}\npub fn b() {}\npub(crate) fn c() {}\npub use crate::y;";
+        let d = lint("crates/core/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L003"]);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains('b'));
+    }
+
+    #[test]
+    fn l003_out_of_line_mods_are_documented_in_their_file() {
+        let src = "pub mod undocumented_elsewhere;\npub mod inline { }";
+        let d = lint("crates/core/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L003"]);
+        assert!(d[0].message.contains("inline"));
+    }
+
+    #[test]
+    fn l003_sees_docs_through_attributes() {
+        let src = "/// Docs.\n#[derive(Debug, Clone)]\npub struct S;";
+        assert!(lint("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_not_applied_outside_foundational_crates() {
+        let src = "pub fn undocumented() {}";
+        assert!(lint("crates/sim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_float_literal_equality_in_model_code() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(
+            rules(&lint("crates/core/src/model/leaf.rs", src)),
+            vec!["L004"]
+        );
+        assert!(lint("crates/sim/src/error.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l004_ignores_integer_equality() {
+        let src = "fn f(x: u64) -> bool { x == 0 }";
+        assert!(lint("crates/core/src/model/leaf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l005_flags_wall_clock_in_synthesis_crates() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let d = lint("crates/core/src/synth/mod.rs", src);
+        assert_eq!(rules(&d), vec!["L005", "L005"]);
+        assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_sort_stably() {
+        let src = "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }";
+        let d = lint("crates/sim/src/lib.rs", src);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic discovery of the workspace's Rust sources.
+//!
+//! Given the `crates/` directory, yields every `crates/*/src/**/*.rs`
+//! file in a stable byte-wise path order, so two runs over the same tree
+//! always lint the same files in the same sequence and produce
+//! byte-identical reports.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lists every `*.rs` file under each crate's `src/` tree, sorted.
+///
+/// # Errors
+///
+/// Propagates any I/O error from reading the directory tree; a missing
+/// `src/` inside a crate directory is skipped, not an error.
+pub fn workspace_files(crates_root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(crates_root)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_sorted_and_rs_only() {
+        let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+        let files = workspace_files(&crates).expect("workspace is readable");
+        assert!(!files.is_empty());
+        assert!(files
+            .iter()
+            .all(|f| f.extension().is_some_and(|e| e == "rs")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(
+            files.iter().any(|f| f.ends_with("lint/src/walk.rs")),
+            "walks its own source"
+        );
+    }
+}

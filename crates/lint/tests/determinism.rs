@@ -1,0 +1,29 @@
+//! The linter is part of the reproducibility story, so it must itself be
+//! reproducible: two runs over the same tree produce byte-identical
+//! reports, and the workspace it ships with must be clean.
+
+use std::path::PathBuf;
+
+use mocktails_lint::run;
+
+fn crates_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..")
+}
+
+#[test]
+fn two_runs_are_byte_identical() {
+    let a = run(&crates_root()).expect("workspace is readable");
+    let b = run(&crates_root()).expect("workspace is readable");
+    assert_eq!(a, b);
+    assert_eq!(a.to_string().into_bytes(), b.to_string().into_bytes());
+    assert!(a.files_checked > 50, "walks the whole workspace");
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let report = run(&crates_root()).expect("workspace is readable");
+    assert!(
+        report.is_clean(),
+        "violations:\n{report}every diagnostic must be fixed or allowlisted with a reason"
+    );
+}

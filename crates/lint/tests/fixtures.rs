@@ -1,0 +1,108 @@
+//! Seeded-violation tests: each fixture under `tests/fixtures/` carries
+//! known violations plus allowlisted negatives for one rule, and the
+//! linter must report exactly the expected `file:line` diagnostics.
+
+use std::path::{Path, PathBuf};
+
+use mocktails_lint::lint_source;
+
+/// Lints a fixture file as if it lived at `scope_path` inside the
+/// workspace, returning `(line, rule)` pairs.
+fn lint_fixture(fixture: &str, scope_path: &str) -> Vec<(usize, &'static str)> {
+    let on_disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src = std::fs::read_to_string(&on_disk).expect("fixture exists");
+    lint_source(&PathBuf::from(scope_path), &src)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn l001_fixture_reports_each_panicking_call() {
+    let got = lint_fixture("l001.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(
+        got,
+        vec![
+            (4, "L001"),  // unwrap()
+            (5, "L001"),  // expect()
+            (7, "L001"),  // panic!
+            (10, "L001"), // todo!
+            (12, "L001"), // unimplemented!
+        ],
+        "allowlisted unwrap, unwrap_or_default and test-module code must not fire"
+    );
+}
+
+#[test]
+fn l001_fixture_is_silent_in_a_binary_target() {
+    assert!(lint_fixture("l001.rs", "crates/cli/src/main.rs").is_empty());
+}
+
+#[test]
+fn l002_fixture_reports_only_the_external_import() {
+    let got = lint_fixture("l002.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(
+        got,
+        vec![(9, "L002")],
+        "std, workspace, sibling-module and allowlisted imports must not fire"
+    );
+}
+
+#[test]
+fn l003_fixture_reports_each_undocumented_pub_item() {
+    let got = lint_fixture("l003.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        got,
+        vec![(6, "L003"), (12, "L003"), (21, "L003")],
+        "documented, allowlisted, restricted and out-of-line-mod items must not fire"
+    );
+}
+
+#[test]
+fn l003_fixture_is_silent_outside_foundational_crates() {
+    assert!(lint_fixture("l003.rs", "crates/sim/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn l004_fixture_reports_each_float_literal_equality() {
+    let got = lint_fixture("l004.rs", "crates/core/src/model/fixture.rs");
+    assert_eq!(
+        got,
+        vec![(5, "L004"), (10, "L004")],
+        "allowlisted, integer and epsilon comparisons must not fire"
+    );
+}
+
+#[test]
+fn l004_fixture_is_silent_outside_model_code() {
+    assert!(lint_fixture("l004.rs", "crates/sim/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn l005_fixture_reports_each_wall_clock_read() {
+    let got = lint_fixture("l005.rs", "crates/core/src/synth/fixture.rs");
+    assert_eq!(
+        got,
+        vec![(3, "L005"), (7, "L005")],
+        "allowlisted and test-module clock reads must not fire"
+    );
+}
+
+#[test]
+fn l005_fixture_is_silent_off_the_synthesis_path() {
+    assert!(lint_fixture("l005.rs", "crates/bench/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn diagnostics_render_file_line_rule() {
+    let on_disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/l001.rs");
+    let src = std::fs::read_to_string(on_disk).expect("fixture exists");
+    let diags = lint_source(&PathBuf::from("crates/sim/src/fixture.rs"), &src);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/sim/src/fixture.rs:4: [L001]"),
+        "got: {rendered}"
+    );
+}

@@ -1,0 +1,32 @@
+//! L001 fixture: panicking calls in library code.
+
+pub fn violations(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 1 {
+        todo!();
+    }
+    unimplemented!()
+}
+
+pub fn allowlisted(x: Option<u32>) -> u32 {
+    // lint: allow(L001, fixture invariant: x is Some by construction)
+    x.unwrap()
+}
+
+pub fn not_a_violation(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = None;
+        let _ = v.unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,18 @@
+//! L002 fixture: external-crate imports.
+
+mod sibling;
+
+use std::collections::HashMap;
+
+use mocktails_trace::Trace;
+
+use serde::Serialize;
+
+// lint: allow(L002, fixture demonstrating an allowlisted import)
+use rayon::prelude::ParallelIterator;
+
+use sibling::Helper;
+
+use crate::local::Thing;
+
+pub fn f(_: HashMap<u32, Trace>, _: &dyn Serialize, _: Helper, _: Thing) {}

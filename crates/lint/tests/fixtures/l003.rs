@@ -1,0 +1,21 @@
+//! L003 fixture: undocumented public API.
+
+/// Documented function: no violation.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+/// Documented struct whose docs survive attributes in between.
+#[derive(Debug, Clone)]
+pub struct Documented;
+
+pub struct Undocumented;
+
+// lint: allow(L003, fixture demonstrating an allowlisted missing doc)
+pub enum Allowlisted {}
+
+pub(crate) fn restricted_visibility_is_exempt() {}
+
+pub mod out_of_line_docs_live_in_the_file;
+
+pub mod inline_module_needs_docs {}

@@ -1,0 +1,26 @@
+//! L004 fixture: float-literal equality in model code.
+
+/// Fires: equality against a float literal.
+pub fn violation(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Fires: literal on the left-hand side.
+pub fn also_violation(x: f64) -> bool {
+    1.5 != x
+}
+
+/// Suppressed by the same-line directive.
+pub fn allowlisted(x: f64) -> bool {
+    x == 0.5 // lint: allow(L004, fixture: exact dyadic constant round-trips)
+}
+
+/// Integer equality is fine.
+pub fn integers_are_fine(x: u64) -> bool {
+    x == 0
+}
+
+/// Epsilon comparison is the sanctioned pattern.
+pub fn epsilon_compare_is_fine(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-9
+}

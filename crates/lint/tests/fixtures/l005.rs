@@ -1,0 +1,23 @@
+//! L005 fixture: wall-clock reads on the synthesis path.
+
+use std::time::Instant;
+
+/// Fires twice: the import above and the call below.
+pub fn violation() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+/// Suppressed by the directive on the line above the read.
+pub fn also_violation() {
+    // lint: allow(L005, fixture demonstrating an allowlisted clock read)
+    let _ = std::time::SystemTime::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

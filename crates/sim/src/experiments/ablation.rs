@@ -55,7 +55,7 @@ fn measure(
 }
 
 fn load(name: &'static str, options: &EvalOptions) -> Trace {
-    let trace = catalog::by_name(name).expect("known trace").generate();
+    let trace = catalog::by_name(name).expect("known trace").generate(); // lint: allow(L001, name is a Table II constant present in the catalog)
     match options.max_requests {
         Some(n) if trace.len() > n => trace.truncate_to(n),
         _ => trace,
@@ -90,10 +90,18 @@ pub fn hierarchy(options: &EvalOptions) -> Vec<AblationRow> {
     let configs: Vec<(&str, HierarchyConfig)> = vec![
         (
             "1L-T",
-            HierarchyConfig::new(vec![LayerSpec::TemporalCycleCount(options.cycles_per_phase)]),
+            HierarchyConfig::new(vec![LayerSpec::TemporalCycleCount(
+                options.cycles_per_phase,
+            )]),
         ),
-        ("1L-S", HierarchyConfig::new(vec![LayerSpec::SpatialDynamic])),
-        ("2L-TS", HierarchyConfig::two_level_ts(options.cycles_per_phase)),
+        (
+            "1L-S",
+            HierarchyConfig::new(vec![LayerSpec::SpatialDynamic]),
+        ),
+        (
+            "2L-TS",
+            HierarchyConfig::two_level_ts(options.cycles_per_phase),
+        ),
         ("2L-ST", HierarchyConfig::two_level_st(4)),
     ];
     let mut rows = Vec::new();

@@ -66,36 +66,35 @@ pub struct MissRateBars {
 /// Fig. 14: geometric-mean L1/L2 miss rates over `names`, for the two
 /// paper configs (16 KiB 2-way and 32 KiB 4-way L1).
 pub fn fig14(names: &[&'static str], options: &CacheEvalOptions) -> Vec<MissRateBars> {
-    let sets: Vec<_> = names
-        .iter()
-        .map(|n| cache_trace_set(n, options))
-        .collect();
-    [(16u64 << 10, 2usize, "16KB 2-way"), (32 << 10, 4, "32KB 4-way")]
-        .iter()
-        .map(|&(bytes, ways, label)| {
-            let opts = CacheEvalOptions {
-                l1_bytes: bytes,
-                l1_ways: ways,
-                ..options.clone()
-            };
-            let evals: Vec<CacheEval> =
-                sets.iter().map(|s| evaluate_cache_set(s, &opts)).collect();
-            let geo = |pick: &dyn Fn(&CacheEval) -> f64| {
-                geo_mean(&evals.iter().map(|e| pick(e) * 100.0).collect::<Vec<_>>())
-            };
-            let mut l1 = [0.0; 4];
-            let mut l2 = [0.0; 4];
-            for (i, tech) in Technique::ALL.iter().enumerate() {
-                l1[i] = geo(&|e| tech.stats(e).l1.miss_rate());
-                l2[i] = geo(&|e| tech.stats(e).l2.miss_rate());
-            }
-            MissRateBars {
-                config: label.to_string(),
-                l1,
-                l2,
-            }
-        })
-        .collect()
+    let sets: Vec<_> = names.iter().map(|n| cache_trace_set(n, options)).collect();
+    [
+        (16u64 << 10, 2usize, "16KB 2-way"),
+        (32 << 10, 4, "32KB 4-way"),
+    ]
+    .iter()
+    .map(|&(bytes, ways, label)| {
+        let opts = CacheEvalOptions {
+            l1_bytes: bytes,
+            l1_ways: ways,
+            ..options.clone()
+        };
+        let evals: Vec<CacheEval> = sets.iter().map(|s| evaluate_cache_set(s, &opts)).collect();
+        let geo = |pick: &dyn Fn(&CacheEval) -> f64| {
+            geo_mean(&evals.iter().map(|e| pick(e) * 100.0).collect::<Vec<_>>())
+        };
+        let mut l1 = [0.0; 4];
+        let mut l2 = [0.0; 4];
+        for (i, tech) in Technique::ALL.iter().enumerate() {
+            l1[i] = geo(&|e| tech.stats(e).l1.miss_rate());
+            l2[i] = geo(&|e| tech.stats(e).l2.miss_rate());
+        }
+        MissRateBars {
+            config: label.to_string(),
+            l1,
+            l2,
+        }
+    })
+    .collect()
 }
 
 /// Renders Fig. 14 over the full suite.
@@ -171,8 +170,14 @@ pub fn section5_summary(names: &[&'static str], options: &CacheEvalOptions) -> S
                 eval.base.l1.footprint_bytes as f64,
                 eval.dynamic.l1.footprint_bytes as f64,
             ));
-            l1.push(pct_error(eval.base.l1.miss_rate(), eval.dynamic.l1.miss_rate()));
-            l2.push(pct_error(eval.base.l2.miss_rate(), eval.dynamic.l2.miss_rate()));
+            l1.push(pct_error(
+                eval.base.l1.miss_rate(),
+                eval.dynamic.l1.miss_rate(),
+            ));
+            l2.push(pct_error(
+                eval.base.l2.miss_rate(),
+                eval.dynamic.l2.miss_rate(),
+            ));
             repl.push(pct_error(
                 eval.base.l1.replacements as f64,
                 eval.dynamic.l1.replacements as f64,
@@ -242,7 +247,13 @@ pub fn fig15_16(names: &[&'static str], options: &CacheEvalOptions) -> Vec<Assoc
 /// Renders Fig. 15 (miss rate vs. associativity).
 pub fn fig15_report(options: &CacheEvalOptions) -> String {
     let points = fig15_16(&spec::FIG15_NAMES, options);
-    let mut t = TextTable::new(vec!["Benchmark", "Ways", "Baseline", "Mocktails (Dynamic)", "HRD"]);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "Ways",
+        "Baseline",
+        "Mocktails (Dynamic)",
+        "HRD",
+    ]);
     for p in &points {
         t.row(vec![
             p.name.to_string(),
@@ -258,7 +269,13 @@ pub fn fig15_report(options: &CacheEvalOptions) -> String {
 /// Renders Fig. 16 (write-backs vs. associativity).
 pub fn fig16_report(options: &CacheEvalOptions) -> String {
     let points = fig15_16(&spec::FIG15_NAMES, options);
-    let mut t = TextTable::new(vec!["Benchmark", "Ways", "Baseline", "Mocktails (Dynamic)", "HRD"]);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "Ways",
+        "Baseline",
+        "Mocktails (Dynamic)",
+        "HRD",
+    ]);
     for p in &points {
         t.row(vec![
             p.name.to_string(),

@@ -38,7 +38,11 @@ pub const STUDY_TRACES: [&str; 4] = ["Crypto1", "FBC-Linear1", "T-Rex1", "HEVC1"
 
 /// All six policy combinations.
 pub fn policy_grid() -> Vec<(PagePolicy, SchedulingPolicy)> {
-    let pages = [PagePolicy::OpenAdaptive, PagePolicy::Open, PagePolicy::Closed];
+    let pages = [
+        PagePolicy::OpenAdaptive,
+        PagePolicy::Open,
+        PagePolicy::Closed,
+    ];
     let scheds = [SchedulingPolicy::FrFcfs, SchedulingPolicy::Fcfs];
     pages
         .iter()
@@ -63,7 +67,7 @@ fn run(trace: &Trace, page: PagePolicy, scheduling: SchedulingPolicy) -> (f64, u
 pub fn study(options: &EvalOptions) -> Vec<PolicyPoint> {
     let mut points = Vec::new();
     for name in STUDY_TRACES {
-        let spec = catalog::by_name(name).expect("study trace in catalog");
+        let spec = catalog::by_name(name).expect("study trace in catalog"); // lint: allow(L001, STUDY_TRACES holds literal Table II names)
         let trace = {
             let t = spec.generate();
             match options.max_requests {
@@ -71,7 +75,10 @@ pub fn study(options: &EvalOptions) -> Vec<PolicyPoint> {
                 _ => t,
             }
         };
-        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(options.cycles_per_phase));
+        let profile = Profile::fit(
+            &trace,
+            &HierarchyConfig::two_level_ts(options.cycles_per_phase),
+        );
         let synthetic = profile.synthesize(options.seed);
         for (page, scheduling) in policy_grid() {
             let (base_lat, base_hits) = run(&trace, page, scheduling);

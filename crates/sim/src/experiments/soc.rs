@@ -36,7 +36,7 @@ pub fn study(options: &EvalOptions) -> SocStudy {
     let mut originals: Vec<Trace> = Vec::new();
     let mut synthetics: Vec<Trace> = Vec::new();
     for (i, name) in SOC_DEVICES.iter().enumerate() {
-        let spec = catalog::by_name(name).expect("SoC trace in catalog");
+        let spec = catalog::by_name(name).expect("SoC trace in catalog"); // lint: allow(L001, SOC_DEVICES holds literal Table II names)
         let trace = {
             let t = spec.generate();
             match options.max_requests {

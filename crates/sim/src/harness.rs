@@ -188,7 +188,8 @@ pub struct CacheTraceSet {
 
 /// Generates the benchmark trace and all three synthetic recreations.
 pub fn cache_trace_set(name: &'static str, options: &CacheEvalOptions) -> CacheTraceSet {
-    let base = spec::generate_n(name, 1, options.requests);
+    // lint: allow(L001, benchmark names come from spec::NAMES so generation cannot fail)
+    let base = spec::generate_n(name, 1, options.requests).expect("known benchmark name");
     let dynamic_cfg = HierarchyConfig::two_level_requests_dynamic(options.requests_per_phase);
     let fixed_cfg = HierarchyConfig::two_level_requests_fixed(options.requests_per_phase, 4096);
     let dynamic = Profile::fit(&base, &dynamic_cfg).synthesize(options.seed);

@@ -45,16 +45,8 @@ pub fn ngram_leakage(baseline: &Trace, synthetic: &Trace, n: usize) -> f64 {
 /// `window` addresses of each trace: 1 means the synthetic contains the
 /// original sequence in order; lower is more obfuscated.
 pub fn sequence_overlap(baseline: &Trace, synthetic: &Trace, window: usize) -> f64 {
-    let a: Vec<u64> = baseline
-        .iter()
-        .take(window)
-        .map(|r| r.address)
-        .collect();
-    let b: Vec<u64> = synthetic
-        .iter()
-        .take(window)
-        .map(|r| r.address)
-        .collect();
+    let a: Vec<u64> = baseline.iter().take(window).map(|r| r.address).collect();
+    let b: Vec<u64> = synthetic.iter().take(window).map(|r| r.address).collect();
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
@@ -102,11 +94,11 @@ impl PrivacyReport {
 mod tests {
     use super::*;
     use mocktails_core::{HierarchyConfig, Profile};
+    use mocktails_trace::rng::{Prng, Rng};
     use mocktails_trace::Request;
-    use rand::{Rng, SeedableRng};
 
     fn irregular_trace() -> Trace {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = Prng::seed_from_u64(11);
         let mut reqs = Vec::new();
         for i in 0..600u64 {
             let region = rng.gen_range(0..6u64);
@@ -127,7 +119,9 @@ mod tests {
     fn disjoint_traces_leak_nothing() {
         let a = irregular_trace();
         let b = Trace::from_requests(
-            (0..100u64).map(|i| Request::read(i, 0xdead_0000 + i * 64, 64)).collect(),
+            (0..100u64)
+                .map(|i| Request::read(i, 0xdead_0000 + i * 64, 64))
+                .collect(),
         );
         assert_eq!(ngram_leakage(&a, &b, 3), 0.0);
     }

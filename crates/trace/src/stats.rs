@@ -111,7 +111,7 @@ impl BinnedCounts {
                 counts: Vec::new(),
             };
         };
-        let span = trace.end_time().expect("non-empty") - start;
+        let span = trace.end_time().expect("non-empty") - start; // lint: allow(L001, the empty-trace case returned early above)
         let nbins = (span / bin_width) as usize + 1;
         let mut counts = vec![0usize; nbins];
         for r in trace.iter() {

@@ -24,9 +24,7 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 
-use crate::codec::{
-    read_i64, read_u64, write_i64, write_u64, CODEC_VERSION, TRACE_MAGIC,
-};
+use crate::codec::{read_i64, read_u64, write_i64, write_u64, CODEC_VERSION, TRACE_MAGIC};
 use crate::{Op, Request, TraceError};
 
 /// Placeholder request count written while streaming; [`StreamWriter`]
@@ -194,8 +192,7 @@ impl<R: Read> StreamReader<R> {
         let dt = match read_u64(&mut self.source) {
             Ok(v) => v,
             Err(TraceError::Io(e))
-                if self.remaining.is_none()
-                    && e.kind() == std::io::ErrorKind::UnexpectedEof =>
+                if self.remaining.is_none() && e.kind() == std::io::ErrorKind::UnexpectedEof =>
             {
                 // Unknown-count streams end at EOF.
                 return Ok(None);

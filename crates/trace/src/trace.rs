@@ -34,7 +34,10 @@ impl Trace {
     /// The sort is stable: requests with equal timestamps keep their relative
     /// order, which matters for memory controller scheduling.
     pub fn from_requests(mut requests: Vec<Request>) -> Self {
-        if !requests.windows(2).all(|w| w[0].timestamp <= w[1].timestamp) {
+        if !requests
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp)
+        {
             requests.sort_by_key(|r| r.timestamp);
         }
         Self { requests }
@@ -47,7 +50,9 @@ impl Trace {
     /// Panics in debug builds if the requests are not sorted.
     pub fn from_sorted_requests(requests: Vec<Request>) -> Self {
         debug_assert!(
-            requests.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            requests
+                .windows(2)
+                .all(|w| w[0].timestamp <= w[1].timestamp),
             "requests must be sorted by timestamp"
         );
         Self { requests }
@@ -289,7 +294,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let t: Trace = (0..10u64).map(|i| Request::read(i * 2, i * 64, 64)).collect();
+        let t: Trace = (0..10u64)
+            .map(|i| Request::read(i * 2, i * 64, 64))
+            .collect();
         assert_eq!(t.len(), 10);
         assert_eq!(t.duration(), 18);
     }
@@ -298,7 +305,10 @@ mod tests {
     fn extend_resorts() {
         let mut t = sample();
         t.extend([Request::read(5, 0x3000, 64)]);
-        assert!(t.requests().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(t
+            .requests()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
         assert_eq!(t.len(), 5);
     }
 }

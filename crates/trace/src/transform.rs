@@ -76,9 +76,7 @@ pub fn crop_address(trace: &Trace, range: &AddrRange) -> Trace {
 
 /// Keeps only requests of the given operation.
 pub fn filter_op(trace: &Trace, op: Op) -> Trace {
-    Trace::from_sorted_requests(
-        trace.iter().filter(|r| r.op == op).copied().collect(),
-    )
+    Trace::from_sorted_requests(trace.iter().filter(|r| r.op == op).copied().collect())
 }
 
 /// Merges traces into one timestamp-ordered trace — how multiple IP
@@ -99,13 +97,7 @@ pub fn merge(traces: &[Trace]) -> Trace {
 /// Panics if `n` is zero.
 pub fn sample(trace: &Trace, n: usize) -> Trace {
     assert!(n > 0, "sampling stride must be non-zero");
-    Trace::from_sorted_requests(
-        trace
-            .iter()
-            .step_by(n)
-            .copied()
-            .collect(),
-    )
+    Trace::from_sorted_requests(trace.iter().step_by(n).copied().collect())
 }
 
 #[cfg(test)]

@@ -86,24 +86,132 @@ fn gen_hevc(seed: u64) -> Trace {
 /// All 18 traces of Table II (trace counts per row match the paper).
 pub fn all() -> Vec<TraceSpec> {
     vec![
-        spec("Crypto1", Device::Cpu, "A cryptography workload (trace 1 of 2)", 101, gen_crypto),
-        spec("Crypto2", Device::Cpu, "A cryptography workload (trace 2 of 2)", 102, gen_crypto),
-        spec("CPU-D", Device::Cpu, "A workload that interacts with a DPU", 103, gen_cpu_d),
-        spec("CPU-G", Device::Cpu, "A workload that interacts with a GPU", 104, gen_cpu_g),
-        spec("CPU-V", Device::Cpu, "A workload that interacts with a VPU", 105, gen_cpu_v),
-        spec("FBC-Linear1", Device::Dpu, "Display compressed frames, linear mode (1 of 2)", 201, gen_fbc_linear),
-        spec("FBC-Linear2", Device::Dpu, "Display compressed frames, linear mode (2 of 2)", 202, gen_fbc_linear),
-        spec("FBC-Tiled1", Device::Dpu, "Display compressed frames, tiled mode (1 of 2)", 203, gen_fbc_tiled),
-        spec("FBC-Tiled2", Device::Dpu, "Display compressed frames, tiled mode (2 of 2)", 204, gen_fbc_tiled),
-        spec("Multi-layer", Device::Dpu, "Display multiple VGA layers", 205, gen_multi_layer),
-        spec("T-Rex1", Device::Gpu, "T-Rex from GFXBench (trace 1 of 2)", 301, gen_trex),
-        spec("T-Rex2", Device::Gpu, "T-Rex from GFXBench (trace 2 of 2)", 302, gen_trex),
-        spec("Manhattan", Device::Gpu, "Manhattan from GFXBench", 303, gen_manhattan),
-        spec("OpenCL1", Device::Gpu, "An OpenCL stress test (trace 1 of 2)", 304, gen_opencl),
-        spec("OpenCL2", Device::Gpu, "An OpenCL stress test (trace 2 of 2)", 305, gen_opencl),
-        spec("HEVC1", Device::Vpu, "Decoding compressed video (trace 1 of 3)", 401, gen_hevc),
-        spec("HEVC2", Device::Vpu, "Decoding compressed video (trace 2 of 3)", 402, gen_hevc),
-        spec("HEVC3", Device::Vpu, "Decoding compressed video (trace 3 of 3)", 403, gen_hevc),
+        spec(
+            "Crypto1",
+            Device::Cpu,
+            "A cryptography workload (trace 1 of 2)",
+            101,
+            gen_crypto,
+        ),
+        spec(
+            "Crypto2",
+            Device::Cpu,
+            "A cryptography workload (trace 2 of 2)",
+            102,
+            gen_crypto,
+        ),
+        spec(
+            "CPU-D",
+            Device::Cpu,
+            "A workload that interacts with a DPU",
+            103,
+            gen_cpu_d,
+        ),
+        spec(
+            "CPU-G",
+            Device::Cpu,
+            "A workload that interacts with a GPU",
+            104,
+            gen_cpu_g,
+        ),
+        spec(
+            "CPU-V",
+            Device::Cpu,
+            "A workload that interacts with a VPU",
+            105,
+            gen_cpu_v,
+        ),
+        spec(
+            "FBC-Linear1",
+            Device::Dpu,
+            "Display compressed frames, linear mode (1 of 2)",
+            201,
+            gen_fbc_linear,
+        ),
+        spec(
+            "FBC-Linear2",
+            Device::Dpu,
+            "Display compressed frames, linear mode (2 of 2)",
+            202,
+            gen_fbc_linear,
+        ),
+        spec(
+            "FBC-Tiled1",
+            Device::Dpu,
+            "Display compressed frames, tiled mode (1 of 2)",
+            203,
+            gen_fbc_tiled,
+        ),
+        spec(
+            "FBC-Tiled2",
+            Device::Dpu,
+            "Display compressed frames, tiled mode (2 of 2)",
+            204,
+            gen_fbc_tiled,
+        ),
+        spec(
+            "Multi-layer",
+            Device::Dpu,
+            "Display multiple VGA layers",
+            205,
+            gen_multi_layer,
+        ),
+        spec(
+            "T-Rex1",
+            Device::Gpu,
+            "T-Rex from GFXBench (trace 1 of 2)",
+            301,
+            gen_trex,
+        ),
+        spec(
+            "T-Rex2",
+            Device::Gpu,
+            "T-Rex from GFXBench (trace 2 of 2)",
+            302,
+            gen_trex,
+        ),
+        spec(
+            "Manhattan",
+            Device::Gpu,
+            "Manhattan from GFXBench",
+            303,
+            gen_manhattan,
+        ),
+        spec(
+            "OpenCL1",
+            Device::Gpu,
+            "An OpenCL stress test (trace 1 of 2)",
+            304,
+            gen_opencl,
+        ),
+        spec(
+            "OpenCL2",
+            Device::Gpu,
+            "An OpenCL stress test (trace 2 of 2)",
+            305,
+            gen_opencl,
+        ),
+        spec(
+            "HEVC1",
+            Device::Vpu,
+            "Decoding compressed video (trace 1 of 3)",
+            401,
+            gen_hevc,
+        ),
+        spec(
+            "HEVC2",
+            Device::Vpu,
+            "Decoding compressed video (trace 2 of 3)",
+            402,
+            gen_hevc,
+        ),
+        spec(
+            "HEVC3",
+            Device::Vpu,
+            "Decoding compressed video (trace 3 of 3)",
+            403,
+            gen_hevc,
+        ),
     ]
 }
 

@@ -1,8 +1,8 @@
 //! Shared building blocks for workload generators.
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A linear (constant-stride) request stream.
 ///
@@ -66,7 +66,7 @@ pub(crate) fn tiled_stream(
 /// `[base, base + span)`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn random_in_region(
-    rng: &mut StdRng,
+    rng: &mut Prng,
     t0: u64,
     gap: u64,
     base: u64,
@@ -107,11 +107,11 @@ impl Zipf {
         Self { cdf: weights }
     }
 
-    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen();
+    pub(crate) fn sample(&self, rng: &mut Prng) -> usize {
+        let u: f64 = rng.gen_f64();
         match self
             .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) // lint: allow(L001, CDF entries come from finite weights and are never NaN)
         {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
@@ -129,7 +129,6 @@ pub(crate) fn merge(streams: Vec<Vec<Request>>) -> Vec<Request> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn linear_stream_strides() {
@@ -159,7 +158,7 @@ mod tests {
 
     #[test]
     fn random_in_region_stays_inside_and_aligned() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let s = random_in_region(&mut rng, 0, 3, 0x10_000, 0x4000, 64, 200, 64, Op::Read);
         for r in &s {
             assert!(r.address >= 0x10_000 && r.address < 0x14_000);
@@ -170,7 +169,7 @@ mod tests {
     #[test]
     fn zipf_is_skewed() {
         let z = Zipf::new(100, 1.2);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prng::seed_from_u64(2);
         let mut head = 0;
         let n = 10_000;
         for _ in 0..n {

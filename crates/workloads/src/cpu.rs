@@ -6,9 +6,9 @@
 //! show the highest McC error on read/write bursts (Fig. 6) and why CPU
 //! error grows with longer temporal partitions (Fig. 13).
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::common::{linear_stream, merge, random_in_region, Zipf};
 
@@ -39,7 +39,7 @@ impl Default for CryptoParams {
 /// A cryptography workload: read-modify-write sweeps over data blocks plus
 /// scattered lookup-table reads — the paper's *Crypto* CPU trace.
 pub fn crypto(seed: u64, params: &CryptoParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC2_0001);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xC2_0001);
     let mut streams = Vec::new();
     let lines = params.block_bytes / 64;
     for b in 0..params.blocks {
@@ -113,7 +113,7 @@ impl Default for CompanionParams {
 /// zipf-distributed heap misses in between — the paper's *CPU-D*, *CPU-G*
 /// and *CPU-V* traces (the `variant` only shifts regions and pacing).
 pub fn companion(seed: u64, variant: u64, params: &CompanionParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ (0xC2_0100 + variant));
+    let mut rng = Prng::seed_from_u64(seed ^ (0xC2_0100 + variant));
     let zipf = Zipf::new(params.hot_blocks, 1.1);
     let mut streams = Vec::new();
     let lines = params.payload_bytes / 64;
@@ -122,7 +122,15 @@ pub fn companion(seed: u64, variant: u64, params: &CompanionParams) -> Trace {
         let t0 = job * params.job_period + rng.gen_range(0..256);
         let buf = 0x5000_0000 + region_shift + (job % 8) * params.payload_bytes;
         // Produce the payload.
-        streams.push(linear_stream(t0, 25, buf, 64, lines as usize, 64, Op::Write));
+        streams.push(linear_stream(
+            t0,
+            25,
+            buf,
+            64,
+            lines as usize,
+            64,
+            Op::Write,
+        ));
         // Doorbell / descriptor update.
         streams.push(linear_stream(
             t0 + lines * 25 + 10,
@@ -148,7 +156,11 @@ pub fn companion(seed: u64, variant: u64, params: &CompanionParams) -> Trace {
         let mut t = t0 + 40;
         for _ in 0..lines {
             let block = zipf.sample(&mut rng) as u64;
-            let op = if rng.gen_bool(0.3) { Op::Write } else { Op::Read };
+            let op = if rng.gen_bool(0.3) {
+                Op::Write
+            } else {
+                Op::Read
+            };
             heap.push(Request::new(
                 t,
                 0x6000_0000 + region_shift + block * 64,
@@ -171,8 +183,7 @@ mod tests {
         let t = crypto(1, &CryptoParams::default());
         assert!(t.len() > 10_000);
         // Data regions see both ops (the CPU signature the paper calls out).
-        let data = t
-            .requests_in_range(&mocktails_trace::AddrRange::new(0x4000_0000, 0x4800_0000));
+        let data = t.requests_in_range(&mocktails_trace::AddrRange::new(0x4000_0000, 0x4800_0000));
         let reads = data.iter().filter(|r| r.op.is_read()).count();
         let writes = data.len() - reads;
         assert!(reads > 0 && writes > 0);
@@ -201,7 +212,10 @@ mod tests {
 
     #[test]
     fn cpu_generators_deterministic() {
-        assert_eq!(crypto(3, &CryptoParams::default()), crypto(3, &CryptoParams::default()));
+        assert_eq!(
+            crypto(3, &CryptoParams::default()),
+            crypto(3, &CryptoParams::default())
+        );
         let p = CompanionParams::default();
         assert_eq!(companion(3, 2, &p), companion(3, 2, &p));
     }

@@ -9,9 +9,9 @@
 //! frequent pitch-sized jumps, shorter row runs), whose differing row-hit
 //! behaviour Fig. 10 highlights.
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::common::{linear_stream, merge, tiled_stream};
 
@@ -54,7 +54,7 @@ impl Default for FbcParams {
 /// FBC in linear (raster) mode: payload reads sweep each line left to
 /// right, so consecutive reads sit in the same DRAM row.
 pub fn fbc_linear(seed: u64, params: &FbcParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15F_0001);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xD15F_0001);
     let mut streams = Vec::new();
     let reads_per_line = params.pitch / 64;
     for frame in 0..params.frames {
@@ -114,7 +114,7 @@ pub fn fbc_linear(seed: u64, params: &FbcParams) -> Trace {
 /// (16 lines × 64 B tiles), so consecutive reads jump by the pitch and
 /// DRAM row runs are short.
 pub fn fbc_tiled(seed: u64, params: &FbcParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15F_0002);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xD15F_0002);
     let mut streams = Vec::new();
     let tile_lines = 16u64;
     let tiles_per_row = params.pitch / 64;
@@ -145,8 +145,7 @@ pub fn fbc_tiled(seed: u64, params: &FbcParams) -> Trace {
                 streams.push(tiled_stream(
                     t_tile + 4,
                     params.read_gap,
-                    params.frame_base + tile_row * tile_lines * params.pitch
-                        + tile_col * 64,
+                    params.frame_base + tile_row * tile_lines * params.pitch + tile_col * 64,
                     params.pitch,
                     64,
                     tile_lines,
@@ -204,7 +203,7 @@ impl Default for MultiLayerParams {
 /// (one per layer, in distinct memory regions) plus a blended output write
 /// stream — the paper's *Multi-layer* DPU trace.
 pub fn multi_layer(seed: u64, params: &MultiLayerParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15F_0003);
+    let mut rng = Prng::seed_from_u64(seed ^ 0xD15F_0003);
     let mut streams = Vec::new();
     let reads_per_line = params.pitch / 64 + 1;
     // Five concurrent streams (four layers + output) must fit in the line
@@ -303,7 +302,8 @@ mod tests {
         for layer in 0..p.layers {
             let base = 0x8000_0000 + layer * 0x0100_0000;
             assert!(
-                t.iter().any(|r| r.address >= base && r.address < base + 0x0100_0000),
+                t.iter()
+                    .any(|r| r.address >= base && r.address < base + 0x0100_0000),
                 "layer {layer} absent"
             );
         }

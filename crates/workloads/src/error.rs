@@ -1,0 +1,31 @@
+//! Error type for workload generation.
+
+/// Errors produced when generating synthetic workload traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The requested SPEC-like benchmark name is not in [`crate::spec::NAMES`].
+    UnknownBenchmark(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::UnknownBenchmark(name) => {
+                write!(f, "unknown SPEC-like benchmark {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_benchmark() {
+        let e = WorkloadError::UnknownBenchmark("quake".into());
+        assert!(e.to_string().contains("quake"));
+    }
+}

@@ -7,9 +7,9 @@
 //! *T-Rex* and *Manhattan* proxies model GFXBench frames; *OpenCL* models a
 //! bandwidth-bound streaming kernel.
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::common::{linear_stream, merge};
 
@@ -53,7 +53,7 @@ impl Default for RenderParams {
 /// blocked texture read streams plus render-target writes, all issued in a
 /// tight burst.
 pub fn render(seed: u64, params: &RenderParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6B0_0001);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x6B0_0001);
     let mut streams = Vec::new();
     for frame in 0..params.frames {
         let t_frame = frame * params.frame_period;
@@ -143,7 +143,7 @@ impl Default for OpenClParams {
 /// An OpenCL streaming stress test: `c[i] = a[i] + b[i]` — two linear
 /// 128 B read streams and one linear write stream, saturating bandwidth.
 pub fn opencl(seed: u64, params: &OpenClParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6B0_0002);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x6B0_0002);
     let mut streams = Vec::new();
     for k in 0..params.kernels {
         let t0 = k * params.kernel_period + rng.gen_range(0..16);

@@ -41,11 +41,13 @@ pub mod catalog;
 mod common;
 pub mod cpu;
 pub mod dpu;
+mod error;
 pub mod gpu;
 pub mod spec;
 pub mod vpu;
 
 pub use catalog::TraceSpec;
+pub use error::WorkloadError;
 
 /// The kind of SoC compute device a trace comes from (paper Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -13,11 +13,12 @@
 //! (4/8 B), with the running instruction count as the timestamp (the §V
 //! methodology simulates in atomic mode, where only order matters).
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::common::Zipf;
+use crate::error::WorkloadError;
 
 /// All 23 benchmark names, in the order of the paper's Fig. 17.
 pub const NAMES: [&str; 23] = [
@@ -47,14 +48,7 @@ pub const NAMES: [&str; 23] = [
 ];
 
 /// The six benchmarks whose associativity trends Figs. 15–16 plot.
-pub const FIG15_NAMES: [&str; 6] = [
-    "gobmk",
-    "h264ref",
-    "libquantum",
-    "milc",
-    "soplex",
-    "zeusmp",
-];
+pub const FIG15_NAMES: [&str; 6] = ["gobmk", "h264ref", "libquantum", "milc", "soplex", "zeusmp"];
 
 /// Default request count per benchmark trace.
 pub const DEFAULT_REQUESTS: usize = 120_000;
@@ -64,11 +58,12 @@ pub const DEFAULT_REQUESTS: usize = 120_000;
 /// claims half the remaining budget), so the trace holds between `n / 2`
 /// and `n` requests.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `name` is not one of [`NAMES`].
-pub fn generate_n(name: &str, seed: u64, n: usize) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x57EC_0000);
+/// Returns [`WorkloadError::UnknownBenchmark`] if `name` is not one of
+/// [`NAMES`].
+pub fn generate_n(name: &str, seed: u64, n: usize) -> Result<Trace, WorkloadError> {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x57EC_0000);
     let mut g = Gen::new(n, &mut rng);
     match name {
         // Streaming, single huge array: flat across associativity.
@@ -167,17 +162,18 @@ pub fn generate_n(name: &str, seed: u64, n: usize) -> Trace {
             g.zipf_heap(&mut rng, 256, 1.3, 0.25);
             g.pointer_chase(&mut rng, 256 << 10, 0.2);
         }
-        other => panic!("unknown SPEC-like benchmark {other:?}"),
+        other => return Err(WorkloadError::UnknownBenchmark(other.to_string())),
     }
-    g.finish()
+    Ok(g.finish())
 }
 
 /// Generates the named benchmark's trace with [`DEFAULT_REQUESTS`] requests.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `name` is not one of [`NAMES`].
-pub fn generate(name: &str, seed: u64) -> Trace {
+/// Returns [`WorkloadError::UnknownBenchmark`] if `name` is not one of
+/// [`NAMES`].
+pub fn generate(name: &str, seed: u64) -> Result<Trace, WorkloadError> {
     generate_n(name, seed, DEFAULT_REQUESTS)
 }
 
@@ -190,7 +186,7 @@ struct Gen {
 }
 
 impl Gen {
-    fn new(budget: usize, _rng: &mut StdRng) -> Self {
+    fn new(budget: usize, _rng: &mut Prng) -> Self {
         Self {
             budget,
             phases: Vec::new(),
@@ -211,7 +207,7 @@ impl Gen {
     /// Round-robin over `arrays` sequential arrays.
     fn stream(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut Prng,
         arrays: u64,
         array_bytes: u64,
         step: u64,
@@ -225,7 +221,11 @@ impl Gen {
             let base = 0x1000_0000 + a * 0x1000_0000;
             let addr = base + offsets[a as usize] % array_bytes;
             offsets[a as usize] += step;
-            let op = if rng.gen_bool(write_frac) { Op::Write } else { Op::Read };
+            let op = if rng.gen_bool(write_frac) {
+                Op::Write
+            } else {
+                Op::Read
+            };
             reqs.push(Request::new(0, addr, op, if step >= 8 { 8 } else { 4 }));
         }
         self.push_phase(reqs);
@@ -233,13 +233,17 @@ impl Gen {
 
     /// Repeated cyclic scan of a working set (LRU-hostile when the set is
     /// slightly larger than the cache).
-    fn cyclic(&mut self, rng: &mut StdRng, ws_bytes: u64, step: u64, write_frac: f64) {
+    fn cyclic(&mut self, rng: &mut Prng, ws_bytes: u64, step: u64, write_frac: f64) {
         let n = self.chunk();
         let mut reqs = Vec::with_capacity(n);
         let base = 0x3000_0000;
         for i in 0..n as u64 {
             let addr = base + (i * step) % ws_bytes;
-            let op = if rng.gen_bool(write_frac) { Op::Write } else { Op::Read };
+            let op = if rng.gen_bool(write_frac) {
+                Op::Write
+            } else {
+                Op::Read
+            };
             reqs.push(Request::new(0, addr, op, 8));
         }
         self.push_phase(reqs);
@@ -248,7 +252,7 @@ impl Gen {
     /// Streams spaced exactly `spacing` bytes apart so they collide in the
     /// same cache set at every associativity; segments with `k` streams hit
     /// once `k ≤ ways`, so misses fall as associativity grows.
-    fn conflict(&mut self, rng: &mut StdRng, ks: &[u64], spacing: u64, write_frac: f64) {
+    fn conflict(&mut self, rng: &mut Prng, ks: &[u64], spacing: u64, write_frac: f64) {
         let n = self.chunk();
         let mut reqs = Vec::with_capacity(n);
         let per_segment = n / ks.len();
@@ -262,7 +266,11 @@ impl Gen {
                 let pos = (i / (k * revisits)) * 64 % 0x4000;
                 let stream = i % k;
                 let addr = base + stream * spacing + pos;
-                let op = if rng.gen_bool(write_frac) { Op::Write } else { Op::Read };
+                let op = if rng.gen_bool(write_frac) {
+                    Op::Write
+                } else {
+                    Op::Read
+                };
                 reqs.push(Request::new(0, addr, op, 8));
                 i += 1;
             }
@@ -271,7 +279,7 @@ impl Gen {
     }
 
     /// Zipf-hot heap blocks.
-    fn zipf_heap(&mut self, rng: &mut StdRng, blocks: usize, s: f64, write_frac: f64) {
+    fn zipf_heap(&mut self, rng: &mut Prng, blocks: usize, s: f64, write_frac: f64) {
         let n = self.chunk();
         let zipf = Zipf::new(blocks, s);
         let mut reqs = Vec::with_capacity(n);
@@ -280,20 +288,28 @@ impl Gen {
             // Heap objects are block-aligned at the L1 boundary; keeping
             // strides block-quantized also keeps profile entropy realistic.
             let addr = 0x6000_0000 + b * 64;
-            let op = if rng.gen_bool(write_frac) { Op::Write } else { Op::Read };
+            let op = if rng.gen_bool(write_frac) {
+                Op::Write
+            } else {
+                Op::Read
+            };
             reqs.push(Request::new(0, addr, op, 8));
         }
         self.push_phase(reqs);
     }
 
     /// Uniformly random block touches over a large footprint.
-    fn pointer_chase(&mut self, rng: &mut StdRng, footprint: u64, write_frac: f64) {
+    fn pointer_chase(&mut self, rng: &mut Prng, footprint: u64, write_frac: f64) {
         let n = self.chunk();
         let blocks = footprint / 64;
         let mut reqs = Vec::with_capacity(n);
         for _ in 0..n {
             let b = rng.gen_range(0..blocks);
-            let op = if rng.gen_bool(write_frac) { Op::Write } else { Op::Read };
+            let op = if rng.gen_bool(write_frac) {
+                Op::Write
+            } else {
+                Op::Read
+            };
             reqs.push(Request::new(0, 0x8000_0000 + b * 64, op, 8));
         }
         self.push_phase(reqs);
@@ -301,7 +317,7 @@ impl Gen {
 
     /// Block-matching search: for each macroblock, scan a `w × h`-block 2-D
     /// window of a pitched frame.
-    fn motion2d(&mut self, rng: &mut StdRng, pitch: u64, w: u64, h: u64, write_frac: f64) {
+    fn motion2d(&mut self, rng: &mut Prng, pitch: u64, w: u64, h: u64, write_frac: f64) {
         let n = self.chunk();
         let mut reqs = Vec::with_capacity(n);
         let mut i = 0u64;
@@ -315,7 +331,11 @@ impl Gen {
             // the cache-block level, where it survives statistical replay.
             let base = 0xA000_0000 + (mb % 64) * 1024;
             let addr = base + row * pitch + col * 64;
-            let op = if rng.gen_bool(write_frac) { Op::Write } else { Op::Read };
+            let op = if rng.gen_bool(write_frac) {
+                Op::Write
+            } else {
+                Op::Read
+            };
             reqs.push(Request::new(0, addr, op, 8));
             i += 1;
         }
@@ -323,7 +343,7 @@ impl Gen {
     }
 
     /// Three-row stencil sweep over a pitched grid.
-    fn stencil(&mut self, rng: &mut StdRng, pitch: u64, rows: u64, write_frac: f64) {
+    fn stencil(&mut self, rng: &mut Prng, pitch: u64, rows: u64, write_frac: f64) {
         let n = self.chunk();
         let mut reqs = Vec::with_capacity(n);
         let cols = pitch / 8;
@@ -345,7 +365,7 @@ impl Gen {
     }
 
     /// Blocked matrix traversal (three matrices, block × block tiles).
-    fn blocked(&mut self, rng: &mut StdRng, dim: u64, block: u64, write_frac: f64) {
+    fn blocked(&mut self, rng: &mut Prng, dim: u64, block: u64, write_frac: f64) {
         let n = self.chunk();
         let mut reqs = Vec::with_capacity(n);
         let pitch = dim * 8;
@@ -399,7 +419,7 @@ mod tests {
     #[test]
     fn all_names_generate() {
         for name in NAMES {
-            let t = generate_n(name, 1, 2_000);
+            let t = generate_n(name, 1, 2_000).unwrap();
             assert!(t.len() >= 1_000, "{name} produced {}", t.len());
             assert!(t.len() <= 2_200, "{name} produced {}", t.len());
         }
@@ -415,24 +435,31 @@ mod tests {
     #[test]
     fn traces_are_deterministic() {
         for name in FIG15_NAMES {
-            assert_eq!(generate_n(name, 3, 5_000), generate_n(name, 3, 5_000));
+            assert_eq!(
+                generate_n(name, 3, 5_000).unwrap(),
+                generate_n(name, 3, 5_000).unwrap()
+            );
         }
     }
 
     #[test]
     fn traces_mix_reads_and_writes() {
         for name in NAMES {
-            let t = generate_n(name, 1, 5_000);
+            let t = generate_n(name, 1, 5_000).unwrap();
             let s = t.stats();
             assert!(s.reads > 0, "{name} has no reads");
             assert!(s.writes > 0, "{name} has no writes");
-            assert!(s.read_fraction > 0.4, "{name} read fraction {}", s.read_fraction);
+            assert!(
+                s.read_fraction > 0.4,
+                "{name} read fraction {}",
+                s.read_fraction
+            );
         }
     }
 
     #[test]
     fn timestamps_increase() {
-        let t = generate_n("gcc", 1, 5_000);
+        let t = generate_n("gcc", 1, 5_000).unwrap();
         assert!(t
             .requests()
             .windows(2)
@@ -442,7 +469,7 @@ mod tests {
     #[test]
     fn libquantum_is_streaming() {
         // Every 64 B block should be touched at most a handful of times.
-        let t = generate_n("libquantum", 1, 20_000);
+        let t = generate_n("libquantum", 1, 20_000).unwrap();
         let mut blocks = std::collections::HashMap::new();
         for r in t.iter() {
             *blocks.entry(r.address / 64).or_insert(0usize) += 1;
@@ -452,8 +479,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown SPEC-like benchmark")]
-    fn unknown_name_panics() {
-        let _ = generate("not-a-benchmark", 0);
+    fn unknown_name_is_a_typed_error() {
+        let err = generate("not-a-benchmark", 0).unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::UnknownBenchmark("not-a-benchmark".to_string())
+        );
+        assert!(err.to_string().contains("not-a-benchmark"));
     }
 }

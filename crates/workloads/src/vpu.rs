@@ -8,9 +8,9 @@
 //! workload pulses frame by frame with idle gaps of millions of cycles in
 //! between.
 
+use mocktails_trace::rng::Prng;
+use mocktails_trace::rng::Rng;
 use mocktails_trace::{Op, Request, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::common::{linear_stream, merge};
 
@@ -51,7 +51,7 @@ impl Default for HevcParams {
 /// motion-compensation reads from a reference frame plus linear
 /// reconstruction writes; bitstream reads trickle alongside.
 pub fn hevc(seed: u64, params: &HevcParams) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4EC_0001);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x4EC_0001);
     let mut streams = Vec::new();
     // The irregular intra-cluster stride/size menu of Fig. 2 / Table I.
     let cluster_pattern: [(u64, u32); 6] =

@@ -1,0 +1,66 @@
+//! Golden regression test: pins the exact output of the GPU T-Rex
+//! generator at a fixed seed.
+//!
+//! The workloads migrated from an external PRNG to the workspace's own
+//! SplitMix64/xoshiro256** generator (`mocktails_trace::rng`); this test
+//! freezes the post-migration byte stream so any future change to the
+//! PRNG, to sampling helpers, or to the generator's draw order shows up
+//! as a failed hash rather than a silent shift of every downstream
+//! experiment. If a change is *intentional*, update the constants below
+//! in the same commit and say why in its message.
+
+use mocktails_trace::Trace;
+use mocktails_workloads::{catalog, gpu};
+
+/// FNV-1a over every field of every request, in trace order.
+fn fingerprint(trace: &Trace) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for r in trace.iter() {
+        mix(r.timestamp);
+        mix(r.address);
+        mix(u64::from(r.size));
+        mix(match r.op {
+            mocktails_trace::Op::Read => 0,
+            mocktails_trace::Op::Write => 1,
+        });
+    }
+    h
+}
+
+#[test]
+fn trex_at_seed_301_is_pinned() {
+    let trace = gpu::trex(301);
+    assert_eq!(trace.len(), 23_040, "request count moved");
+    assert_eq!(
+        fingerprint(&trace),
+        TREX_301_FINGERPRINT,
+        "the T-Rex byte stream changed; if intentional, re-pin this hash"
+    );
+}
+
+#[test]
+fn catalog_trex1_matches_direct_generation() {
+    let spec = catalog::by_name("T-Rex1").expect("T-Rex1 is in Table II");
+    assert_eq!(fingerprint(&spec.generate()), fingerprint(&gpu::trex(301)));
+}
+
+#[test]
+fn trex_regenerates_identically() {
+    assert_eq!(gpu::trex(301), gpu::trex(301));
+}
+
+#[test]
+fn trex_seeds_diverge() {
+    assert_ne!(fingerprint(&gpu::trex(301)), fingerprint(&gpu::trex(302)));
+}
+
+/// The pinned FNV-1a fingerprint of `gpu::trex(301)`.
+const TREX_301_FINGERPRINT: u64 = 0xF549_44AA_8E11_6061;

@@ -11,13 +11,12 @@
 //! Run with: `cargo run --release --example value_privacy`
 
 use mocktails::core::value::{ValueModel, ValueStats};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mocktails::trace::rng::{Prng, Rng};
 
 fn main() {
     // Synthetic "pixel stream": smooth gradients with occasional edges —
     // the kind of data a VPU reconstructs.
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = Prng::seed_from_u64(2026);
     let mut values = vec![128u64];
     for i in 0..20_000usize {
         let last = *values.last().unwrap();
@@ -33,18 +32,18 @@ fn main() {
     println!("original pixel stream:");
     print_stats(&original);
 
-    for (label, epsilon) in [("noise-free model", None), ("ε = 0.5 private model", Some(0.5))] {
-        let model = ValueModel::fit(&values, epsilon);
+    for (label, epsilon) in [
+        ("noise-free model", None),
+        ("ε = 0.5 private model", Some(0.5)),
+    ] {
+        let model = ValueModel::fit(&values, epsilon).expect("non-empty column, positive epsilon");
         let synth = model.synthesize(values.len(), 7);
         let stats = ValueStats::from_values(&synth);
         println!("\n{label}:");
         print_stats(&stats);
         // What leaks: fraction of original 8-value windows reproduced.
         let windows: std::collections::HashSet<&[u64]> = values.windows(8).collect();
-        let leaked = synth
-            .windows(8)
-            .filter(|w| windows.contains(*w))
-            .count();
+        let leaked = synth.windows(8).filter(|w| windows.contains(*w)).count();
         println!(
             "  original 8-grams reproduced: {:.2}% of {} synthetic windows",
             100.0 * leaked as f64 / synth.windows(8).count() as f64,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate, identical to CI: formatting, hermetic release
+# build, the test suite, and the workspace's own static analysis.
+# Run from the repository root:  ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline)"
+cargo test -q --offline --workspace
+
+echo "==> mocktails-lint crates/"
+cargo run -q --offline --release -p mocktails-lint -- crates/
+
+echo "All gates passed."

@@ -22,7 +22,7 @@ fn dynamic_beats_fixed_4k_on_cache_miss_rate() {
     let mut dynamic_err = 0.0;
     let mut fixed_err = 0.0;
     for name in ["h264ref", "gobmk", "soplex", "milc"] {
-        let trace = spec::generate_n(name, 1, 20_000);
+        let trace = spec::generate_n(name, 1, 20_000).unwrap();
         let base = l1_miss_rate(&trace, 32 << 10, 4);
         let dyn_cfg = HierarchyConfig::two_level_requests_dynamic(5_000);
         let fix_cfg = HierarchyConfig::two_level_requests_fixed(5_000, 4096);
@@ -41,7 +41,7 @@ fn dynamic_beats_fixed_4k_on_cache_miss_rate() {
 fn mocktails_tracks_associativity_trends_like_hrd() {
     // Fig. 15's three trends must be preserved by Mocktails(Dynamic).
     for (name, rising) in [("gobmk", false), ("zeusmp", true)] {
-        let trace = spec::generate_n(name, 1, 24_000);
+        let trace = spec::generate_n(name, 1, 24_000).unwrap();
         let profile = Profile::fit(&trace, &HierarchyConfig::two_level_requests_dynamic(6_000));
         let synth = profile.synthesize(2);
         let trend = |t: &Trace| {
@@ -69,12 +69,12 @@ fn hrd_captures_miss_rate_but_mocktails_is_closer_on_writebacks() {
     // §V: HRD has a reuse model so miss rates track well; Mocktails still
     // captures write-backs despite its simpler op model. Check both stay
     // in the right ballpark on a mixed benchmark.
-    let trace = spec::generate_n("bzip2", 1, 20_000);
+    let trace = spec::generate_n("bzip2", 1, 20_000).unwrap();
     let base = CacheHierarchy::paper_config(32 << 10, 4).run_trace(&trace);
     let hrd = HrdModel::fit(&trace).synthesize(1);
     let hrd_stats = CacheHierarchy::paper_config(32 << 10, 4).run_trace(&hrd);
-    let mock = Profile::fit(&trace, &HierarchyConfig::two_level_requests_dynamic(5_000))
-        .synthesize(1);
+    let mock =
+        Profile::fit(&trace, &HierarchyConfig::two_level_requests_dynamic(5_000)).synthesize(1);
     let mock_stats = CacheHierarchy::paper_config(32 << 10, 4).run_trace(&mock);
 
     let base_mr = base.l1.miss_rate();
@@ -96,7 +96,7 @@ fn hrd_captures_miss_rate_but_mocktails_is_closer_on_writebacks() {
 
 #[test]
 fn stm_and_mocktails_agree_on_strict_totals() {
-    let trace = spec::generate_n("gcc", 1, 10_000);
+    let trace = spec::generate_n("gcc", 1, 10_000).unwrap();
     let config = HierarchyConfig::two_level_requests_dynamic(2_500);
     let mcc = Profile::fit(&trace, &config).synthesize(5);
     let stm = StmProfile::fit(&trace, &config).synthesize(5);
@@ -108,10 +108,13 @@ fn stm_and_mocktails_agree_on_strict_totals() {
 
 #[test]
 fn hrd_footprint_matches_baseline() {
-    let trace = spec::generate_n("hmmer", 1, 15_000);
+    let trace = spec::generate_n("hmmer", 1, 15_000).unwrap();
     let base = CacheHierarchy::paper_config(32 << 10, 4).run_trace(&trace);
     let synth = HrdModel::fit(&trace).synthesize(3);
     let got = CacheHierarchy::paper_config(32 << 10, 4).run_trace(&synth);
-    let err = pct_error(base.l1.footprint_bytes as f64, got.l1.footprint_bytes as f64);
+    let err = pct_error(
+        base.l1.footprint_bytes as f64,
+        got.l1.footprint_bytes as f64,
+    );
     assert!(err < 5.0, "footprint error {err:.1}%");
 }

@@ -110,7 +110,10 @@ fn option_b_feedback_reflects_backpressure() {
     // Coupled synthesis (Option B) lets the injector adapt: its
     // accumulated delay covers both queue stalls and link occupancy waits,
     // so it is at least the system's recorded queue-stall cycles.
-    let trace = catalog::by_name("Manhattan").unwrap().generate().truncate_to(8_000);
+    let trace = catalog::by_name("Manhattan")
+        .unwrap()
+        .generate()
+        .truncate_to(8_000);
     let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(500_000));
     let mut synth = profile.synthesizer(3);
     let stats = MemorySystem::new(DramConfig::default()).run_synthesizer(&mut synth);

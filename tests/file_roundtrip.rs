@@ -16,7 +16,10 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn trace_file_round_trip() {
-    let trace = catalog::by_name("FBC-Tiled1").unwrap().generate().truncate_to(5_000);
+    let trace = catalog::by_name("FBC-Tiled1")
+        .unwrap()
+        .generate()
+        .truncate_to(5_000);
     let path = temp_path("trace.mtrace");
     codec::write_trace(&mut BufWriter::new(File::create(&path).unwrap()), &trace).unwrap();
     let back = codec::read_trace(&mut BufReader::new(File::open(&path).unwrap())).unwrap();
@@ -26,7 +29,10 @@ fn trace_file_round_trip() {
 
 #[test]
 fn profile_file_round_trip_and_synthesis_equivalence() {
-    let trace = catalog::by_name("HEVC2").unwrap().generate().truncate_to(5_000);
+    let trace = catalog::by_name("HEVC2")
+        .unwrap()
+        .generate()
+        .truncate_to(5_000);
     let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(500_000));
     let path = temp_path("profile.mprofile");
     profile
@@ -65,7 +71,10 @@ fn profile_file_is_smaller_than_trace_file() {
 
 #[test]
 fn corrupted_profile_file_is_rejected() {
-    let trace = catalog::by_name("Crypto2").unwrap().generate().truncate_to(2_000);
+    let trace = catalog::by_name("Crypto2")
+        .unwrap()
+        .generate()
+        .truncate_to(2_000);
     let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(500_000));
     let path = temp_path("corrupt.mprofile");
     profile

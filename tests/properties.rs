@@ -1,131 +1,187 @@
-//! Property-based tests of the workspace's core invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests of the workspace's core invariants, driven
+//! by the workspace's deterministic PRNG so the suite builds hermetically.
 
 use mocktails::core::partition::{spatial, temporal};
 use mocktails::core::{HierarchyConfig, MarkovChain, Profile};
+use mocktails::trace::rng::{Prng, Rng};
 use mocktails::trace::{codec, AddrRange, Op, Request, Trace};
 use mocktails::{DramConfig, MemorySystem};
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (
-        0u64..1_000_000,
-        0u64..0x10_0000,
-        prop::bool::ANY,
-        prop_oneof![Just(16u32), Just(32), Just(64), Just(128)],
-    )
-        .prop_map(|(t, addr, write, size)| {
-            let op = if write { Op::Write } else { Op::Read };
-            Request::new(t, addr * 16, op, size)
-        })
+const CASES: u64 = 64;
+
+fn rand_request(rng: &mut Prng) -> Request {
+    let t = rng.gen_range(0..1_000_000u64);
+    let addr = rng.gen_range(0..0x10_0000u64);
+    let op = if rng.gen_bool(0.5) {
+        Op::Write
+    } else {
+        Op::Read
+    };
+    let size = [16u32, 32, 64, 128][rng.gen_range(0..4usize)];
+    Request::new(t, addr * 16, op, size)
 }
 
-fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(arb_request(), 1..max).prop_map(Trace::from_requests)
+fn rand_trace(rng: &mut Prng, max: usize) -> Trace {
+    let n = rng.gen_range(1..max);
+    Trace::from_requests((0..n).map(|_| rand_request(rng)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn codec_round_trips_any_trace(trace in arb_trace(200)) {
+#[test]
+fn codec_round_trips_any_trace() {
+    let mut rng = Prng::seed_from_u64(0x0001);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 200);
         let mut buf = Vec::new();
         codec::write_trace(&mut buf, &trace).unwrap();
         let back = codec::read_trace(&mut buf.as_slice()).unwrap();
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "case {case}");
     }
+}
 
-    #[test]
-    fn dynamic_partitions_are_disjoint_and_complete(trace in arb_trace(150)) {
+#[test]
+fn dynamic_partitions_are_disjoint_and_complete() {
+    let mut rng = Prng::seed_from_u64(0x0002);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 150);
         let parts = spatial::dynamic(trace.requests(), true);
         let total: usize = parts.iter().map(|p| p.len()).sum();
-        prop_assert_eq!(total, trace.len());
+        assert_eq!(total, trace.len(), "case {case}");
         // Regions from merge_ranges are strictly separated.
         let regions = spatial::merge_ranges(trace.requests());
         for w in regions.windows(2) {
-            prop_assert!(w[0].end() < w[1].start());
+            assert!(w[0].end() < w[1].start(), "case {case}");
         }
         // Every request range lies inside some region.
         for r in trace.iter() {
-            prop_assert!(regions.iter().any(|g| g.contains_range(&r.range())));
+            assert!(
+                regions.iter().any(|g| g.contains_range(&r.range())),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn temporal_partitions_preserve_order(trace in arb_trace(150), n in 1usize..50) {
+#[test]
+fn temporal_partitions_preserve_order() {
+    let mut rng = Prng::seed_from_u64(0x0003);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 150);
+        let n = rng.gen_range(1..50usize);
         let parts = temporal::by_request_count(trace.requests(), n);
-        let flattened: Vec<Request> = parts.iter().flat_map(|p| p.requests().iter().copied()).collect();
-        prop_assert_eq!(flattened, trace.requests().to_vec());
+        let flattened: Vec<Request> = parts
+            .iter()
+            .flat_map(|p| p.requests().iter().copied())
+            .collect();
+        assert_eq!(flattened, trace.requests().to_vec(), "case {case}");
     }
+}
 
-    #[test]
-    fn markov_strict_convergence_preserves_multiset(
-        seq in prop::collection::vec(-50i64..50, 1..60),
-        seed in 0u64..500,
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn markov_strict_convergence_preserves_multiset() {
+    let mut rng = Prng::seed_from_u64(0x0004);
+    for case in 0..CASES {
+        let seq: Vec<i64> = (0..rng.gen_range(1..60usize))
+            .map(|_| rng.gen_range(-50..50i64))
+            .collect();
+        let seed = rng.gen_range(0..500u64);
         let chain = MarkovChain::fit(&seq);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sample_rng = Prng::seed_from_u64(seed);
         let mut sampler = chain.sampler(true);
-        let mut out: Vec<i64> = (0..seq.len()).map(|_| sampler.next_state(&mut rng)).collect();
+        let mut out: Vec<i64> = (0..seq.len())
+            .map(|_| sampler.next_state(&mut sample_rng))
+            .collect();
         let mut expect = seq.clone();
         out.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(out, expect);
+        assert_eq!(out, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn profile_synthesis_preserves_counts(trace in arb_trace(120), seed in 0u64..100) {
+#[test]
+fn profile_synthesis_preserves_counts() {
+    let mut rng = Prng::seed_from_u64(0x0005);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 120);
+        let seed = rng.gen_range(0..100u64);
         let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
         let synth = profile.synthesize(seed);
-        prop_assert_eq!(synth.len(), trace.len());
-        prop_assert_eq!(synth.reads(), trace.reads());
+        assert_eq!(synth.len(), trace.len(), "case {case}");
+        assert_eq!(synth.reads(), trace.reads(), "case {case}");
         // Timestamps are non-decreasing.
-        prop_assert!(synth.requests().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(synth
+            .requests()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
         // Synthesized footprint stays inside the original footprint.
         if let Some(fp) = trace.footprint_range() {
             for r in synth.iter() {
-                prop_assert!(fp.contains(r.address));
+                assert!(fp.contains(r.address), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn profile_codec_round_trips(trace in arb_trace(100)) {
+#[test]
+fn profile_codec_round_trips() {
+    let mut rng = Prng::seed_from_u64(0x0006);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 100);
         let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
         let mut buf = Vec::new();
         profile.write(&mut buf).unwrap();
         let back = Profile::read(&mut buf.as_slice()).unwrap();
-        prop_assert_eq!(back, profile);
+        assert_eq!(back, profile, "case {case}");
     }
+}
 
-    #[test]
-    fn wrap_always_lands_inside(start in 0u64..1_000_000, len in 1u64..100_000, addr: u64) {
+#[test]
+fn wrap_always_lands_inside() {
+    let mut rng = Prng::seed_from_u64(0x0007);
+    for case in 0..CASES {
+        let start = rng.gen_range(0..1_000_000u64);
+        let len = rng.gen_range(1..100_000u64);
+        let addr = rng.next_u64();
         let range = AddrRange::from_start_size(start * 16, len);
-        prop_assert!(range.contains(range.wrap(addr)));
+        assert!(range.contains(range.wrap(addr)), "case {case}");
     }
+}
 
-    #[test]
-    fn dram_conserves_bursts(trace in arb_trace(120)) {
+#[test]
+fn dram_conserves_bursts() {
+    let mut rng = Prng::seed_from_u64(0x0008);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 120);
         let mapping = DramConfig::default().mapping();
         let expected: u64 = trace
             .iter()
             .map(|r| mapping.bursts(r.address, r.size).len() as u64)
             .sum();
         let stats = MemorySystem::new(DramConfig::default()).run_trace(&trace);
-        prop_assert_eq!(stats.total_read_bursts() + stats.total_write_bursts(), expected);
+        assert_eq!(
+            stats.total_read_bursts() + stats.total_write_bursts(),
+            expected,
+            "case {case}"
+        );
         for ch in stats.channels() {
-            prop_assert_eq!(ch.read_row_hits + ch.read_row_misses, ch.read_bursts);
-            prop_assert_eq!(ch.write_row_hits + ch.write_row_misses, ch.write_bursts);
+            assert_eq!(ch.read_row_hits + ch.read_row_misses, ch.read_bursts);
+            assert_eq!(ch.write_row_hits + ch.write_row_misses, ch.write_bursts);
         }
     }
+}
 
-    #[test]
-    fn cache_conserves_accesses(trace in arb_trace(150)) {
-        use mocktails::cache::CacheHierarchy;
+#[test]
+fn cache_conserves_accesses() {
+    use mocktails::cache::CacheHierarchy;
+    let mut rng = Prng::seed_from_u64(0x0009);
+    for case in 0..CASES {
+        let trace = rand_trace(&mut rng, 150);
         let stats = CacheHierarchy::paper_config(16 << 10, 2).run_trace(&trace);
-        prop_assert_eq!(stats.l1.hits + stats.l1.misses, stats.l1.accesses);
-        prop_assert!(stats.l1.write_backs <= stats.l1.replacements);
-        prop_assert!(stats.l2.accesses >= stats.l1.misses);
+        assert_eq!(
+            stats.l1.hits + stats.l1.misses,
+            stats.l1.accesses,
+            "case {case}"
+        );
+        assert!(stats.l1.write_backs <= stats.l1.replacements, "case {case}");
+        assert!(stats.l2.accesses >= stats.l1.misses, "case {case}");
     }
 }

@@ -12,25 +12,85 @@
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_core::{HierarchyConfig, Profile, ProfileError};
 use mocktails_sim::experiments::{ablation, cache, dram, meta};
 use mocktails_sim::harness::{evaluate_dram, CacheEvalOptions, EvalOptions};
 use mocktails_sim::table::TextTable;
-use mocktails_trace::{codec, Trace};
+use mocktails_trace::fault::AtomicFileWriter;
+use mocktails_trace::{codec, Trace, TraceError};
 use mocktails_workloads::catalog;
+
+/// A classified CLI failure, mapped to a distinct process exit code so
+/// scripts can tell operator mistakes from hostile inputs from a failing
+/// disk:
+///
+/// * `2` — usage error (bad command line); the only class that prints USAGE
+/// * `3` — corrupt or hostile input file (includes unexpected EOF)
+/// * `4` — environmental I/O failure (permissions, missing file, full disk)
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Corrupt(String),
+    Io(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Corrupt(_) => 3,
+            CliError::Io(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Corrupt(m) | CliError::Io(m) => m,
+        }
+    }
+}
+
+/// Classifies a trace codec error: decode-level failures (including a
+/// truncated stream) mean the *input* is bad; any other I/O error means
+/// the *environment* is bad.
+fn classify_trace_error(context: &str, e: TraceError) -> CliError {
+    match &e {
+        TraceError::Io(io) if io.kind() != std::io::ErrorKind::UnexpectedEof => {
+            CliError::Io(format!("{context}: {e}"))
+        }
+        _ => CliError::Corrupt(format!("{context}: {e}")),
+    }
+}
+
+fn classify_profile_error(context: &str, e: ProfileError) -> CliError {
+    match e {
+        ProfileError::Codec(te) => classify_trace_error(context, te),
+        other => CliError::Corrupt(format!("{context}: {other}")),
+    }
+}
+
+fn io_error(context: &str, e: std::io::Error) -> CliError {
+    CliError::Io(format!("{context}: {e}"))
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {}", err.message());
+            if let CliError::Usage(_) = err {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -52,9 +112,9 @@ const USAGE: &str = "usage:
 Trace files ending in .csv are written/read as CSV; anything else uses the
 compact binary format.";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
-    let command = it.next().ok_or("missing command")?;
+    let command = it.next().ok_or_else(|| usage("missing command"))?;
     let rest: Vec<&String> = it.collect();
     match command.as_str() {
         "catalog" => {
@@ -68,7 +128,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&rest),
         "compare" => cmd_compare(&rest),
         "experiment" => cmd_experiment(&rest),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -78,14 +138,16 @@ fn flag_value(args: &[&String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).map(|s| s.to_string()))
 }
 
-fn parse_u64(args: &[&String], flag: &str, default: u64) -> Result<u64, String> {
+fn parse_u64(args: &[&String], flag: &str, default: u64) -> Result<u64, CliError> {
     match flag_value(args, flag) {
-        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| usage(format!("{flag} expects a number"))),
         None => Ok(default),
     }
 }
 
-fn positional<'a>(args: &'a [&String], index: usize) -> Result<&'a str, String> {
+fn positional<'a>(args: &'a [&String], index: usize) -> Result<&'a str, CliError> {
     let mut seen = 0;
     let mut skip = false;
     for a in args {
@@ -102,45 +164,62 @@ fn positional<'a>(args: &'a [&String], index: usize) -> Result<&'a str, String> 
         }
         seen += 1;
     }
-    Err(format!("missing positional argument {index}"))
+    Err(usage(format!("missing positional argument {index}")))
 }
 
-fn cmd_trace(args: &[&String]) -> Result<(), String> {
+/// Writes `emit`'s output to `out` atomically: the destination appears only
+/// after a fully flushed, fsynced temporary is renamed over it.
+fn write_atomically<F>(out: &str, emit: F) -> Result<(), CliError>
+where
+    F: FnOnce(&mut BufWriter<AtomicFileWriter>) -> Result<(), CliError>,
+{
+    let writer = AtomicFileWriter::create(out).map_err(|e| io_error(out, e))?;
+    let mut w = BufWriter::new(writer);
+    emit(&mut w)?;
+    w.flush().map_err(|e| io_error(out, e))?;
+    let writer = w.into_inner().map_err(|e| io_error(out, e.into_error()))?;
+    writer.commit().map_err(|e| io_error(out, e))
+}
+
+fn cmd_trace(args: &[&String]) -> Result<(), CliError> {
     let name = positional(args, 0)?;
-    let out = flag_value(args, "-o").ok_or("missing -o <FILE>")?;
-    let spec = catalog::by_name(name).ok_or_else(|| format!("unknown trace {name:?}"))?;
+    let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
+    let spec = catalog::by_name(name).ok_or_else(|| usage(format!("unknown trace {name:?}")))?;
     let trace = spec.generate();
-    let file = File::create(&out).map_err(|e| e.to_string())?;
-    let mut w = BufWriter::new(file);
-    if out.ends_with(".csv") {
-        codec::write_csv(&mut w, &trace).map_err(|e| e.to_string())?;
-    } else {
-        codec::write_trace(&mut w, &trace).map_err(|e| e.to_string())?;
-    }
+    write_atomically(&out, |w| {
+        if out.ends_with(".csv") {
+            codec::write_csv(w, &trace)
+        } else {
+            codec::write_trace(w, &trace)
+        }
+        .map_err(|e| classify_trace_error(&out, e))
+    })?;
     println!("wrote {} requests to {out}", trace.len());
     Ok(())
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file = File::open(path).map_err(|e| io_error(path, e))?;
     let mut r = BufReader::new(file);
     if path.ends_with(".csv") {
-        codec::read_csv(&mut r).map_err(|e| e.to_string())
+        codec::read_csv(&mut r)
     } else {
-        codec::read_trace(&mut r).map_err(|e| e.to_string())
+        codec::read_trace(&mut r)
     }
+    .map_err(|e| classify_trace_error(path, e))
 }
 
-fn cmd_profile(args: &[&String]) -> Result<(), String> {
+fn cmd_profile(args: &[&String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
-    let out = flag_value(args, "-o").ok_or("missing -o <FILE>")?;
+    let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
     let cycles = parse_u64(args, "--cycles", 500_000)?;
     let trace = load_trace(input)?;
     let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(cycles));
-    let file = File::create(&out).map_err(|e| e.to_string())?;
-    profile
-        .write(&mut BufWriter::new(file))
-        .map_err(|e| e.to_string())?;
+    write_atomically(&out, |w| {
+        profile
+            .write(w)
+            .map_err(|e| classify_profile_error(&out, e))
+    })?;
     println!(
         "fitted {}; profile is {} bytes ({} trace bytes)",
         profile.summary(),
@@ -150,29 +229,33 @@ fn cmd_profile(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_synth(args: &[&String]) -> Result<(), String> {
+fn cmd_synth(args: &[&String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
-    let out = flag_value(args, "-o").ok_or("missing -o <FILE>")?;
+    let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
     let seed = parse_u64(args, "--seed", 1)?;
-    let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
-    let profile = Profile::read(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
-    let trace = profile.synthesize(seed);
-    let file = File::create(&out).map_err(|e| e.to_string())?;
-    codec::write_trace(&mut BufWriter::new(file), &trace).map_err(|e| e.to_string())?;
+    let file = File::open(input).map_err(|e| io_error(input, e))?;
+    let profile =
+        Profile::read(&mut BufReader::new(file)).map_err(|e| classify_profile_error(input, e))?;
+    let trace = profile
+        .try_synthesize(seed)
+        .map_err(|e| classify_profile_error(input, e))?;
+    write_atomically(&out, |w| {
+        codec::write_trace(w, &trace).map_err(|e| classify_trace_error(&out, e))
+    })?;
     println!("synthesized {} requests to {out}", trace.len());
     Ok(())
 }
 
-fn cmd_validate(args: &[&String]) -> Result<(), String> {
+fn cmd_validate(args: &[&String]) -> Result<(), CliError> {
     let name = positional(args, 0)?;
     let cycles = parse_u64(args, "--cycles", 500_000)?;
     let max_requests = flag_value(args, "--max-requests")
         .map(|v| {
             v.parse::<usize>()
-                .map_err(|_| "--max-requests expects a number".to_string())
+                .map_err(|_| usage("--max-requests expects a number"))
         })
         .transpose()?;
-    let spec = catalog::by_name(name).ok_or_else(|| format!("unknown trace {name:?}"))?;
+    let spec = catalog::by_name(name).ok_or_else(|| usage(format!("unknown trace {name:?}")))?;
     let options = EvalOptions {
         cycles_per_phase: cycles,
         max_requests,
@@ -206,14 +289,14 @@ fn cmd_validate(args: &[&String]) -> Result<(), String> {
 
 /// Loads a trace from a file path, or generates it if the argument is a
 /// Table II name.
-fn load_trace_or_catalog(arg: &str) -> Result<Trace, String> {
+fn load_trace_or_catalog(arg: &str) -> Result<Trace, CliError> {
     if let Some(spec) = catalog::by_name(arg) {
         return Ok(spec.generate());
     }
     load_trace(arg)
 }
 
-fn cmd_stats(args: &[&String]) -> Result<(), String> {
+fn cmd_stats(args: &[&String]) -> Result<(), CliError> {
     let source = positional(args, 0)?;
     let trace = load_trace_or_catalog(source)?;
     let stats = trace.stats();
@@ -250,7 +333,7 @@ fn cmd_stats(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(args: &[&String]) -> Result<(), String> {
+fn cmd_compare(args: &[&String]) -> Result<(), CliError> {
     let a = load_trace_or_catalog(positional(args, 0)?)?;
     let b = load_trace_or_catalog(positional(args, 1)?)?;
     let distance = mocktails_sim::similarity::FeatureDistances::between(&a, &b);
@@ -288,7 +371,7 @@ fn cmd_compare(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_experiment(args: &[&String]) -> Result<(), String> {
+fn cmd_experiment(args: &[&String]) -> Result<(), CliError> {
     let id = positional(args, 0)?;
     let quick = args.iter().any(|a| a.as_str() == "--quick");
     let dram_opts = if quick {
@@ -343,7 +426,7 @@ fn cmd_experiment(args: &[&String]) -> Result<(), String> {
         "policies" => mocktails_sim::experiments::policy::report(&dram_opts),
         "soc" => mocktails_sim::experiments::soc::report(&dram_opts),
         "obfuscation" => meta::obfuscation_report(&dram_opts),
-        other => return Err(format!("unknown experiment {other:?}")),
+        other => return Err(usage(format!("unknown experiment {other:?}"))),
     };
     println!("{report}");
     Ok(())

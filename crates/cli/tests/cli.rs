@@ -178,3 +178,120 @@ fn missing_output_flag_is_an_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("-o"));
 }
+
+#[test]
+fn usage_errors_exit_2_and_print_usage() {
+    for args in [
+        &["frobnicate"][..],
+        &["trace", "Crypto1"],
+        &["trace", "NoSuchTrace", "-o", "/dev/null"],
+        &["experiment", "fig99"],
+        &[
+            "profile",
+            "in.mtrace",
+            "-o",
+            "out.mprofile",
+            "--cycles",
+            "NaN",
+        ],
+        &[],
+    ] {
+        let out = mocktails(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage"),
+            "args {args:?} printed no usage"
+        );
+    }
+}
+
+#[test]
+fn corrupt_input_exits_3_without_usage_noise() {
+    let path = temp("corrupt.mprofile");
+    std::fs::write(&path, b"MPRO\x01garbage-bytes-here").unwrap();
+    let out = mocktails(&[
+        "synth",
+        path.to_str().unwrap(),
+        "-o",
+        temp("corrupt-out.mtrace").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    // Non-usage failures must not drown the real error in the usage text.
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_input_exits_3() {
+    // A valid profile cut in half is corrupt input, not an I/O failure.
+    let trace_path = temp("trunc.mtrace");
+    let profile_path = temp("trunc.mprofile");
+    mocktails(&["trace", "Crypto1", "-o", trace_path.to_str().unwrap()]);
+    mocktails(&[
+        "profile",
+        trace_path.to_str().unwrap(),
+        "-o",
+        profile_path.to_str().unwrap(),
+    ]);
+    let bytes = std::fs::read(&profile_path).unwrap();
+    std::fs::write(&profile_path, &bytes[..bytes.len() / 2]).unwrap();
+    let out = mocktails(&[
+        "synth",
+        profile_path.to_str().unwrap(),
+        "-o",
+        temp("trunc-out.mtrace").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    for p in [&trace_path, &profile_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn missing_input_file_exits_4() {
+    let out = mocktails(&[
+        "synth",
+        "/nonexistent/dir/missing.mprofile",
+        "-o",
+        temp("io-out.mtrace").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unwritable_output_exits_4() {
+    let trace_path = temp("unwritable.mtrace");
+    mocktails(&["trace", "Crypto1", "-o", trace_path.to_str().unwrap()]);
+    let out = mocktails(&[
+        "profile",
+        trace_path.to_str().unwrap(),
+        "-o",
+        "/nonexistent/dir/out.mprofile",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn failed_write_leaves_no_partial_output_file() {
+    // Atomic-write guarantee: aborting mid-pipeline must not leave a
+    // destination file (or a stale temporary) behind.
+    let path = temp("atomic.mprofile");
+    let out = mocktails(&[
+        "profile",
+        "/nonexistent/input.mtrace",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(!path.exists(), "partial output left behind");
+    let mut tmp_name = path.file_name().unwrap().to_os_string();
+    tmp_name.push(".tmp");
+    assert!(
+        !path.with_file_name(tmp_name).exists(),
+        "stale temporary left behind"
+    );
+}

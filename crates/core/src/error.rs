@@ -31,6 +31,10 @@ pub enum ProfileError {
     Codec(TraceError),
     /// The input is not a valid encoded profile.
     Corrupt(String),
+    /// The profile decoded structurally but violates a semantic invariant
+    /// (see [`crate::Profile::validate`]); synthesizing from it could
+    /// panic, loop or produce garbage, so it is rejected up front.
+    Invalid(String),
 }
 
 impl std::fmt::Display for ProfileError {
@@ -38,6 +42,7 @@ impl std::fmt::Display for ProfileError {
         match self {
             ProfileError::Codec(e) => write!(f, "codec error: {e}"),
             ProfileError::Corrupt(msg) => write!(f, "corrupt profile: {msg}"),
+            ProfileError::Invalid(msg) => write!(f, "invalid profile: {msg}"),
         }
     }
 }
@@ -46,7 +51,7 @@ impl std::error::Error for ProfileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfileError::Codec(e) => Some(e),
-            ProfileError::Corrupt(_) => None,
+            ProfileError::Corrupt(_) | ProfileError::Invalid(_) => None,
         }
     }
 }
@@ -84,5 +89,9 @@ mod tests {
 
         let e = ProfileError::from(TraceError::Corrupt("x".into()));
         assert!(e.source().is_some());
+
+        let e = ProfileError::Invalid("markov row sums overflow".into());
+        assert!(e.to_string().contains("invalid profile"));
+        assert!(e.source().is_none());
     }
 }

@@ -62,5 +62,5 @@ pub use config::{HierarchyConfig, LayerSpec, ModelOptions};
 pub use error::{ProfileError, ValueError};
 pub use model::{LeafGenerator, LeafModel, MarkovChain, MarkovSampler, McC, McCSampler};
 pub use partition::Partition;
-pub use profile::{Profile, ProfileSummary};
+pub use profile::{read_profile_with_limits, Profile, ProfileSummary};
 pub use synth::{InjectionFeedback, Synthesizer};

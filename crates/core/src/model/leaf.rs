@@ -64,6 +64,45 @@ impl LeafModel {
         }
     }
 
+    /// Builds a leaf model from explicit parts, rejecting inconsistent
+    /// metadata with a description instead of panicking — the decode path
+    /// for untrusted profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant: a zero request count, or a start
+    /// address outside the leaf's range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_parts(
+        start_time: u64,
+        start_address: u64,
+        range: AddrRange,
+        count: u64,
+        delta_time: McC,
+        stride: McC,
+        op: McC,
+        size: McC,
+    ) -> Result<Self, String> {
+        if count == 0 {
+            return Err("leaf declares zero requests".to_string());
+        }
+        if !range.contains(start_address) {
+            return Err(format!(
+                "leaf start address {start_address:#x} outside its range {range}"
+            ));
+        }
+        Ok(Self {
+            start_time,
+            start_address,
+            range,
+            count,
+            delta_time,
+            stride,
+            op,
+            size,
+        })
+    }
+
     /// Builds a leaf model from explicit parts (used by the profile decoder
     /// and by baseline models that swap in their own feature models).
     #[allow(clippy::too_many_arguments)]
@@ -209,7 +248,9 @@ impl LeafGenerator {
 
     /// Convenience: drains the generator into a vector.
     pub fn by_ref_requests<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<Request> {
-        let mut out = Vec::with_capacity(self.remaining as usize);
+        // Cap the up-front reservation: `remaining` may come from a decoded
+        // (untrusted) profile, so reserve lazily past the first chunk.
+        let mut out = Vec::with_capacity(self.remaining.min(1 << 16) as usize);
         while let Some(r) = self.next_request(rng) {
             out.push(r);
         }

@@ -55,7 +55,8 @@ impl MarkovChain {
     ///
     /// # Panics
     ///
-    /// Panics if any edge has a zero count.
+    /// Panics if any edge has a zero count. Untrusted callers should use
+    /// [`MarkovChain::try_from_parts`] instead.
     pub fn from_parts(initial: i64, transitions: BTreeMap<i64, Vec<(i64, u64)>>) -> Self {
         for edges in transitions.values() {
             assert!(
@@ -67,6 +68,63 @@ impl MarkovChain {
             initial,
             transitions,
         }
+    }
+
+    /// Builds a chain from explicit parts, rejecting semantically invalid
+    /// tables with a description instead of panicking — the decode path
+    /// for untrusted profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant (see [`MarkovChain::validate`]).
+    pub fn try_from_parts(
+        initial: i64,
+        transitions: BTreeMap<i64, Vec<(i64, u64)>>,
+    ) -> Result<Self, String> {
+        let chain = Self {
+            initial,
+            transitions,
+        };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Checks the chain's semantic invariants: every state has at least
+    /// one out-edge, every edge count is positive, per-row and whole-chain
+    /// count totals fit in `u64` (strict-convergence sampling sums them),
+    /// and each row's normalized transition probabilities are finite and
+    /// sum to 1 within epsilon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut grand_total: u64 = 0;
+        for (from, edges) in &self.transitions {
+            if edges.is_empty() {
+                return Err(format!("markov state {from} has no out-edges"));
+            }
+            let mut row_total: u64 = 0;
+            for &(to, count) in edges {
+                if count == 0 {
+                    return Err(format!("markov edge {from} -> {to} has zero count"));
+                }
+                row_total = row_total
+                    .checked_add(count)
+                    .ok_or_else(|| format!("markov row {from} transition counts overflow u64"))?;
+            }
+            grand_total = grand_total
+                .checked_add(row_total)
+                .ok_or_else(|| "markov chain total transition count overflows u64".to_string())?;
+            let denom = row_total as f64;
+            let prob_sum: f64 = edges.iter().map(|&(_, c)| c as f64 / denom).sum();
+            if !prob_sum.is_finite() || (prob_sum - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "markov row {from} probabilities sum to {prob_sum}, expected 1"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The first observed state.
@@ -385,5 +443,52 @@ mod tests {
         let mut t = BTreeMap::new();
         t.insert(0i64, vec![(1i64, 0u64)]);
         let _ = MarkovChain::from_parts(0, t);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_zero_counts_without_panicking() {
+        let mut t = BTreeMap::new();
+        t.insert(0i64, vec![(1i64, 0u64)]);
+        let err = MarkovChain::try_from_parts(0, t).unwrap_err();
+        assert!(err.contains("zero count"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_every_fitted_chain() {
+        for seq in [
+            vec![1i64],
+            vec![1, 2, 3, 2, 1],
+            vec![0, 0, 0, 1, 0, 1, 1],
+            (0..100).map(|i| i % 7).collect(),
+        ] {
+            MarkovChain::fit(&seq).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_rows() {
+        let mut t = BTreeMap::new();
+        t.insert(5i64, Vec::new());
+        let err = MarkovChain::try_from_parts(5, t).unwrap_err();
+        assert!(err.contains("no out-edges"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_row_count_overflow() {
+        // Two edges of 2^63 each: the row total (and thus the strict
+        // sampler's weighted draw) would overflow u64.
+        let mut t = BTreeMap::new();
+        t.insert(0i64, vec![(1i64, 1u64 << 63), (2i64, 1u64 << 63)]);
+        let err = MarkovChain::try_from_parts(0, t).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_chain_total_overflow() {
+        let mut t = BTreeMap::new();
+        t.insert(0i64, vec![(1i64, u64::MAX - 1)]);
+        t.insert(1i64, vec![(0i64, u64::MAX - 1)]);
+        let err = MarkovChain::try_from_parts(0, t).unwrap_err();
+        assert!(err.contains("total transition count"), "{err}");
     }
 }

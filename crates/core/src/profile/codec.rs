@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
 use mocktails_trace::codec::{read_i64, read_u64, write_i64, write_u64};
-use mocktails_trace::AddrRange;
+use mocktails_trace::{checked_usize, AddrRange, DecodeLimits};
 
 use crate::config::{HierarchyConfig, LayerSpec, ModelOptions};
 use crate::model::{LeafModel, MarkovChain, McC};
@@ -33,6 +33,12 @@ use super::Profile;
 pub const PROFILE_MAGIC: [u8; 4] = *b"MPRO";
 /// Current profile codec version.
 pub const PROFILE_VERSION: u8 = 1;
+
+/// Allocation granularity while decoding declared-length collections.
+///
+/// Capacity is reserved per chunk of decoded elements, so memory tracks the
+/// bytes actually read rather than a count an attacker merely declared.
+const DECODE_CHUNK: usize = 1 << 16;
 
 /// Encodes `profile` to `w`.
 ///
@@ -104,12 +110,35 @@ fn write_mcc<W: Write>(w: &mut W, model: &McC) -> Result<(), ProfileError> {
     Ok(())
 }
 
-/// Decodes a profile written by [`write_profile`].
+/// Decodes a profile written by [`write_profile`] under the default
+/// [`DecodeLimits`].
 ///
 /// # Errors
 ///
-/// Returns [`ProfileError`] for malformed input or I/O failures.
+/// Returns [`ProfileError`] for malformed input, limit violations, semantic
+/// invariant violations or I/O failures.
 pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
+    read_profile_with_limits(r, &DecodeLimits::default())
+}
+
+/// Decodes a profile with caller-chosen resource limits.
+///
+/// Every count declared by the input — layers, leaves, Markov states and
+/// edges — is checked against `limits` *before* any allocation sized by it,
+/// and collections are grown in [`DECODE_CHUNK`]-element steps so peak
+/// memory is bounded by the bytes actually supplied. After structural
+/// decode the profile's semantic invariants are verified via
+/// [`Profile::validate`], so a successful return is safe to synthesize
+/// from.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] for malformed input, limit violations, semantic
+/// invariant violations or I/O failures.
+pub fn read_profile_with_limits<R: Read>(
+    r: &mut R,
+    limits: &DecodeLimits,
+) -> Result<Profile, ProfileError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != PROFILE_MAGIC {
@@ -124,13 +153,11 @@ pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
         )));
     }
 
-    let layer_count = read_u64(r)? as usize;
-    if layer_count == 0 || layer_count > 16 {
-        return Err(ProfileError::Corrupt(format!(
-            "implausible layer count {layer_count}"
-        )));
+    let layer_count = limits.check("layers", read_u64(r)?, limits.max_layers)?;
+    if layer_count == 0 {
+        return Err(ProfileError::Corrupt("zero layer count".into()));
     }
-    let mut layers = Vec::with_capacity(layer_count);
+    let mut layers = Vec::with_capacity(layer_count.min(DECODE_CHUNK));
     for _ in 0..layer_count {
         let mut tag = [0u8; 1];
         r.read_exact(&mut tag)?;
@@ -139,9 +166,9 @@ pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
             return Err(ProfileError::Corrupt("zero layer parameter".into()));
         }
         let layer = match tag[0] {
-            0 => LayerSpec::TemporalRequestCount(param as usize),
+            0 => LayerSpec::TemporalRequestCount(checked_usize(param, "layer parameter")?),
             1 => LayerSpec::TemporalCycleCount(param),
-            2 => LayerSpec::TemporalIntervalCount(param as usize),
+            2 => LayerSpec::TemporalIntervalCount(checked_usize(param, "layer parameter")?),
             3 => LayerSpec::SpatialDynamic,
             4 => LayerSpec::SpatialFixed(param),
             t => return Err(ProfileError::Corrupt(format!("unknown layer tag {t}"))),
@@ -157,28 +184,20 @@ pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
     };
     let config = HierarchyConfig::new(layers).with_options(options);
 
-    let leaf_count = read_u64(r)? as usize;
-    let mut leaves = Vec::with_capacity(leaf_count.min(1 << 20));
+    let leaf_count = limits.check("leaves", read_u64(r)?, limits.max_leaves)?;
+    let mut leaves = Vec::with_capacity(leaf_count.min(DECODE_CHUNK));
     for _ in 0..leaf_count {
         let start_time = read_u64(r)?;
         let start_address = read_u64(r)?;
         let range_start = read_u64(r)?;
         let range_len = read_u64(r)?;
         let count = read_u64(r)?;
-        if count == 0 {
-            return Err(ProfileError::Corrupt("leaf with zero requests".into()));
-        }
         let range = AddrRange::from_start_size(range_start, range_len);
-        if !range.contains(start_address) {
-            return Err(ProfileError::Corrupt(
-                "leaf start address outside its range".into(),
-            ));
-        }
-        let delta_time = read_mcc(r)?;
-        let stride = read_mcc(r)?;
-        let op = read_mcc(r)?;
-        let size = read_mcc(r)?;
-        leaves.push(LeafModel::from_parts(
+        let delta_time = read_mcc(r, limits)?;
+        let stride = read_mcc(r, limits)?;
+        let op = read_mcc(r, limits)?;
+        let size = read_mcc(r, limits)?;
+        let leaf = LeafModel::try_from_parts(
             start_time,
             start_address,
             range,
@@ -187,24 +206,30 @@ pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
             stride,
             op,
             size,
-        ));
+        )
+        .map_err(ProfileError::Corrupt)?;
+        leaves.push(leaf);
     }
-    Ok(Profile::from_parts(config, leaves))
+    let profile = Profile::from_parts(config, leaves);
+    profile.validate()?;
+    Ok(profile)
 }
 
-fn read_mcc<R: Read>(r: &mut R) -> Result<McC, ProfileError> {
+fn read_mcc<R: Read>(r: &mut R, limits: &DecodeLimits) -> Result<McC, ProfileError> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     match tag[0] {
         0 => Ok(McC::Constant(read_i64(r)?)),
         1 => {
             let initial = read_i64(r)?;
-            let state_count = read_u64(r)? as usize;
+            let state_count =
+                limits.check("markov states", read_u64(r)?, limits.max_markov_states)?;
             let mut transitions = BTreeMap::new();
             for _ in 0..state_count {
                 let from = read_i64(r)?;
-                let edge_count = read_u64(r)? as usize;
-                let mut edges = Vec::with_capacity(edge_count.min(1 << 16));
+                let edge_count =
+                    limits.check("markov edges", read_u64(r)?, limits.max_markov_edges)?;
+                let mut edges = Vec::with_capacity(edge_count.min(DECODE_CHUNK));
                 for _ in 0..edge_count {
                     let to = read_i64(r)?;
                     let count = read_u64(r)?;
@@ -213,9 +238,15 @@ fn read_mcc<R: Read>(r: &mut R) -> Result<McC, ProfileError> {
                     }
                     edges.push((to, count));
                 }
-                transitions.insert(from, edges);
+                if transitions.insert(from, edges).is_some() {
+                    return Err(ProfileError::Corrupt(format!(
+                        "duplicate markov state {from}"
+                    )));
+                }
             }
-            Ok(McC::Markov(MarkovChain::from_parts(initial, transitions)))
+            let chain =
+                MarkovChain::try_from_parts(initial, transitions).map_err(ProfileError::Corrupt)?;
+            Ok(McC::Markov(chain))
         }
         t => Err(ProfileError::Corrupt(format!("unknown McC tag {t}"))),
     }
@@ -305,6 +336,111 @@ mod tests {
         write_profile(&mut buf, &profile_with_variety()).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_profile(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hostile_declared_leaf_count_is_limit_exceeded_not_oom() {
+        use mocktails_trace::TraceError;
+        // Header + 1 layer + options, then a declared 2^60 leaves with no
+        // payload behind it. Must fail fast with a typed limit error, not
+        // attempt a 2^60-element allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MPRO\x01");
+        write_u64(&mut buf, 1).unwrap(); // layer count
+        buf.push(3); // SpatialDynamic
+        write_u64(&mut buf, 0).unwrap(); // its (ignored) parameter
+        buf.push(0b01); // options
+        write_u64(&mut buf, 1 << 60).unwrap(); // hostile leaf count
+        let err = read_profile(&mut buf.as_slice()).unwrap_err();
+        match err {
+            ProfileError::Codec(TraceError::LimitExceeded { what, declared, .. }) => {
+                assert_eq!(what, "leaves");
+                assert_eq!(declared, 1 << 60);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_markov_counts_are_limit_exceeded() {
+        use mocktails_trace::TraceError;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MPRO\x01");
+        write_u64(&mut buf, 1).unwrap();
+        buf.push(3);
+        write_u64(&mut buf, 0).unwrap();
+        buf.push(0b01);
+        write_u64(&mut buf, 1).unwrap(); // one leaf
+                                         // Leaf metadata: start_time, start_addr, range_start, range_len, count.
+        for v in [0u64, 0, 0, 64, 10] {
+            write_u64(&mut buf, v).unwrap();
+        }
+        buf.push(1); // delta-time model: markov
+        write_i64(&mut buf, 0).unwrap(); // initial state
+        write_u64(&mut buf, 1 << 60).unwrap(); // hostile state count
+        let err = read_profile(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProfileError::Codec(TraceError::LimitExceeded {
+                    what: "markov states",
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn custom_limits_are_honored() {
+        use mocktails_trace::TraceError;
+        let profile = profile_with_variety();
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile).unwrap();
+        let tight = DecodeLimits {
+            max_leaves: 1,
+            ..DecodeLimits::default()
+        };
+        let err = read_profile_with_limits(&mut buf.as_slice(), &tight).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProfileError::Codec(TraceError::LimitExceeded { what: "leaves", .. })
+            ),
+            "{err:?}"
+        );
+        // Unchecked limits accept the same input the defaults do.
+        let back =
+            read_profile_with_limits(&mut buf.as_slice(), &DecodeLimits::unchecked()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn duplicate_markov_state_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MPRO\x01");
+        write_u64(&mut buf, 1).unwrap();
+        buf.push(3);
+        write_u64(&mut buf, 0).unwrap();
+        buf.push(0b01);
+        write_u64(&mut buf, 1).unwrap();
+        for v in [0u64, 0, 0, 64, 10] {
+            write_u64(&mut buf, v).unwrap();
+        }
+        buf.push(1); // markov delta-time model
+        write_i64(&mut buf, 0).unwrap();
+        write_u64(&mut buf, 2).unwrap(); // two states...
+        for _ in 0..2 {
+            write_i64(&mut buf, 7).unwrap(); // ...with the same id
+            write_u64(&mut buf, 1).unwrap();
+            write_i64(&mut buf, 7).unwrap();
+            write_u64(&mut buf, 3).unwrap();
+        }
+        let err = read_profile(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, ProfileError::Corrupt(m) if m.contains("duplicate markov state")),
+            "{err:?}"
+        );
     }
 
     #[test]

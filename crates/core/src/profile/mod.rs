@@ -9,13 +9,13 @@
 mod codec;
 mod summary;
 
-pub use codec::{read_profile, write_profile};
+pub use codec::{read_profile, read_profile_with_limits, write_profile};
 pub use summary::ProfileSummary;
 
 use mocktails_trace::Trace;
 
 use crate::config::HierarchyConfig;
-use crate::model::LeafModel;
+use crate::model::{LeafModel, McC};
 use crate::partition::hierarchy;
 use crate::synth::Synthesizer;
 use crate::ProfileError;
@@ -97,6 +97,68 @@ impl Profile {
     /// Synthesizes a complete trace (Fig. 1, Option A).
     pub fn synthesize(&self, seed: u64) -> Trace {
         self.synthesizer(seed).into_trace()
+    }
+
+    /// Checks the profile's semantic invariants: each leaf models at least
+    /// one request anchored inside its address range, the total request
+    /// count fits in `u64`, and every Markov feature model passes
+    /// [`crate::MarkovChain::validate`] (positive counts, bounded row
+    /// totals, normalized rows).
+    ///
+    /// [`Profile::read`] runs this automatically, so a decoded profile is
+    /// always safe to synthesize from; profiles assembled via
+    /// [`Profile::from_parts`] should be validated before synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Invalid`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let mut total: u64 = 0;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            if leaf.count() == 0 {
+                return Err(ProfileError::Invalid(format!(
+                    "leaf {i} declares zero requests"
+                )));
+            }
+            if !leaf.range().contains(leaf.start_address()) {
+                return Err(ProfileError::Invalid(format!(
+                    "leaf {i} start address outside its range"
+                )));
+            }
+            total = total.checked_add(leaf.count()).ok_or_else(|| {
+                ProfileError::Invalid("total request count overflows u64".to_string())
+            })?;
+            for (feature, model) in [
+                ("delta-time", leaf.delta_time_model()),
+                ("stride", leaf.stride_model()),
+                ("op", leaf.op_model()),
+                ("size", leaf.size_model()),
+            ] {
+                if let McC::Markov(chain) = model {
+                    chain.validate().map_err(|msg| {
+                        ProfileError::Invalid(format!("leaf {i} {feature} model: {msg}"))
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the profile, then synthesizes a complete trace.
+    ///
+    /// The fallible counterpart to [`Profile::synthesize`] for profiles of
+    /// untrusted provenance: instead of risking a panic or runaway loop
+    /// inside the samplers, semantic violations surface as a typed error
+    /// before any request is generated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Invalid`] if [`Profile::validate`] rejects
+    /// the profile.
+    pub fn try_synthesize(&self, seed: u64) -> Result<Trace, ProfileError> {
+        self.validate()?;
+        Ok(self.synthesize(seed))
     }
 
     /// Serializes the profile to `w` in the compact binary format.
@@ -204,6 +266,39 @@ mod tests {
         profile.write(&mut buf).unwrap();
         assert_eq!(profile.metadata_size(), buf.len() as u64);
         assert!(profile.metadata_size() > 0);
+    }
+
+    #[test]
+    fn fitted_profiles_validate() {
+        let trace = mixed_trace();
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+        profile.validate().unwrap();
+        assert_eq!(profile.try_synthesize(5).unwrap(), profile.synthesize(5));
+    }
+
+    #[test]
+    fn overflowing_total_request_count_is_invalid() {
+        use crate::model::McC;
+        use mocktails_trace::AddrRange;
+        let leaf = |count| {
+            LeafModel::from_parts(
+                0,
+                0,
+                AddrRange::new(0, 64),
+                count,
+                McC::Constant(1),
+                McC::Constant(0),
+                McC::Constant(0),
+                McC::Constant(64),
+            )
+        };
+        let profile = Profile::from_parts(
+            HierarchyConfig::two_level_ts(100),
+            vec![leaf(u64::MAX), leaf(2)],
+        );
+        let err = profile.validate().unwrap_err();
+        assert!(matches!(err, ProfileError::Invalid(_)), "{err}");
+        assert!(profile.try_synthesize(0).is_err());
     }
 
     #[test]

@@ -162,7 +162,9 @@ impl Synthesizer {
 
     /// Drains the synthesizer into a trace (open-loop Option A synthesis).
     pub fn into_trace(mut self) -> Trace {
-        let mut requests = Vec::with_capacity(self.remaining() as usize);
+        // Cap the up-front reservation: leaf counts may come from a decoded
+        // (untrusted) profile, so reserve lazily past the first chunk.
+        let mut requests = Vec::with_capacity(self.remaining().min(1 << 16) as usize);
         while let Some(r) = self.next_request() {
             requests.push(r);
         }

@@ -7,6 +7,7 @@
 //! | L003 | `core`/`trace`/`dram`/`cache`, non-test | every `pub` item documented |
 //! | L004 | model & similarity code, non-test | no float-literal `==`/`!=` |
 //! | L005 | synthesis crates, non-test | no `SystemTime`/`Instant` |
+//! | L006 | library code except `fault.rs`, non-test | no `io::Error::{new,other,from}` construction |
 //!
 //! Any diagnostic can be suppressed with a `// lint: allow(RULE, reason)`
 //! comment on the same line or the line directly above; the reason is
@@ -61,6 +62,9 @@ struct Scope {
     /// L005 applies to crates on the fit/synthesize path, which must stay
     /// deterministic and therefore must not read wall-clock time.
     is_synthesis_code: bool,
+    /// L006 exempts the fault-injection module, the one place allowed to
+    /// construct (rather than propagate) `std::io::Error` values.
+    is_fault_module: bool,
 }
 
 impl Scope {
@@ -79,6 +83,7 @@ impl Scope {
                 || in_crate("trace")
                 || in_crate("workloads")
                 || in_crate("baselines"),
+            is_fault_module: p.ends_with("/fault.rs"),
         }
     }
 }
@@ -160,6 +165,25 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
                         format!("missing doc comment on `pub {kw} {name}`"),
                     );
                 }
+            }
+        }
+
+        // L006: constructing an `io::Error` in decode/encode paths forges a
+        // fault that never happened — that power belongs to `fault.rs`.
+        if scope.is_lib && !scope.is_fault_module && !in_test[i] && ident == "Error" {
+            let after_io = i >= 2
+                && tokens[i - 1].kind.is_op("::")
+                && tokens[i - 2].kind.ident() == Some("io");
+            let ctor = matches!(
+                (tokens.get(i + 1), tokens.get(i + 2).map(|t| t.kind.ident())),
+                (Some(t), Some(Some("new" | "other" | "from"))) if t.kind.is_op("::")
+            );
+            if after_io && ctor {
+                push(
+                    t.line,
+                    "L006",
+                    "`io::Error` constructed outside `fault.rs`; propagate the real error or return a typed codec error".to_string(),
+                );
             }
         }
 
@@ -520,6 +544,33 @@ mod tests {
         let d = lint("crates/core/src/synth/mod.rs", src);
         assert_eq!(rules(&d), vec!["L005", "L005"]);
         assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l006_flags_io_error_construction_outside_fault_module() {
+        let src = "fn f() -> std::io::Error { io::Error::new(io::ErrorKind::Other, \"x\") }";
+        let d = lint("crates/trace/src/codec.rs", src);
+        assert_eq!(rules(&d), vec!["L006"]);
+        assert!(d[0].message.contains("fault.rs"));
+        let other = "fn f() { let e = std::io::Error::other(\"boom\"); }";
+        assert_eq!(rules(&lint("crates/core/src/lib.rs", other)), vec!["L006"]);
+    }
+
+    #[test]
+    fn l006_exempts_fault_module_tests_and_binaries() {
+        let src = "fn f() { io::Error::other(\"injected\"); }";
+        assert!(lint("crates/trace/src/fault.rs", src).is_empty());
+        assert!(lint("crates/cli/src/main.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod t { fn g() { io::Error::other(\"x\"); } }";
+        assert!(lint("crates/trace/src/codec.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn l006_ignores_propagation_and_type_mentions() {
+        // Naming the type (signatures, matches) is fine; only construction
+        // through new/other/from is flagged.
+        let src = "fn f(e: io::Error) -> Result<(), io::Error> { Err(e) }";
+        assert!(lint("crates/trace/src/codec.rs", src).is_empty());
     }
 
     #[test]

@@ -96,6 +96,21 @@ fn l005_fixture_is_silent_off_the_synthesis_path() {
 }
 
 #[test]
+fn l006_fixture_reports_each_forged_io_error() {
+    let got = lint_fixture("l006.rs", "crates/trace/src/codec.rs");
+    assert_eq!(
+        got,
+        vec![(4, "L006"), (8, "L006"), (12, "L006")],
+        "allowlisted, propagated and test-module constructions must not fire"
+    );
+}
+
+#[test]
+fn l006_fixture_is_silent_in_the_fault_module() {
+    assert!(lint_fixture("l006.rs", "crates/trace/src/fault.rs").is_empty());
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let on_disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/l001.rs");
     let src = std::fs::read_to_string(on_disk).expect("fixture exists");

@@ -1,0 +1,30 @@
+//! L006 fixture: io::Error construction outside fault.rs.
+
+fn forge_eof() -> std::io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "forged")
+}
+
+fn forge_other() -> std::io::Error {
+    std::io::Error::other("also forged")
+}
+
+fn forge_from_kind() -> std::io::Error {
+    io::Error::from(io::ErrorKind::NotFound)
+}
+
+fn allowlisted() -> std::io::Error {
+    // lint: allow(L006, exercising the allowlist path in this fixture)
+    io::Error::other("sanctioned")
+}
+
+fn propagate(e: io::Error) -> Result<(), io::Error> {
+    // Naming the type or passing a value through is not construction.
+    Err(e)
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_test_code() -> std::io::Error {
+        io::Error::other("tests may forge freely")
+    }
+}

@@ -71,6 +71,16 @@ pub fn dram_run(trace: &Trace, options: &EvalOptions) -> DramStats {
     MemorySystem::new(options.dram).run_trace(trace)
 }
 
+/// Fits a McC profile and synthesizes through the *validated* path
+/// ([`Profile::try_synthesize`]): a fitted profile must always pass
+/// `Profile::validate`, so a failure here is a modeling bug that should
+/// stop the experiment loudly rather than feed garbage to a simulator.
+pub fn fit_and_synthesize(trace: &Trace, config: &HierarchyConfig, seed: u64) -> Trace {
+    Profile::fit(trace, config)
+        .try_synthesize(seed)
+        .expect("fitted profiles validate by construction") // lint: allow(L001, Profile::fit upholds every invariant validate checks)
+}
+
 /// Evaluates one Table II trace: baseline, McC and STM (all Option A).
 pub fn evaluate_dram(spec: &TraceSpec, options: &EvalOptions) -> DramEval {
     let trace = maybe_truncate(spec.generate(), options);
@@ -86,7 +96,7 @@ pub fn evaluate_dram_trace(
     options: &EvalOptions,
 ) -> DramEval {
     let config = HierarchyConfig::two_level_ts(options.cycles_per_phase);
-    let mcc_trace = Profile::fit(trace, &config).synthesize(options.seed);
+    let mcc_trace = fit_and_synthesize(trace, &config, options.seed);
     let stm_trace = StmProfile::fit(trace, &config).synthesize(options.seed);
     DramEval {
         name,
@@ -192,8 +202,8 @@ pub fn cache_trace_set(name: &'static str, options: &CacheEvalOptions) -> CacheT
     let base = spec::generate_n(name, 1, options.requests).expect("known benchmark name");
     let dynamic_cfg = HierarchyConfig::two_level_requests_dynamic(options.requests_per_phase);
     let fixed_cfg = HierarchyConfig::two_level_requests_fixed(options.requests_per_phase, 4096);
-    let dynamic = Profile::fit(&base, &dynamic_cfg).synthesize(options.seed);
-    let fixed4k = Profile::fit(&base, &fixed_cfg).synthesize(options.seed);
+    let dynamic = fit_and_synthesize(&base, &dynamic_cfg, options.seed);
+    let fixed4k = fit_and_synthesize(&base, &fixed_cfg, options.seed);
     let hrd = HrdModel::fit(&base).synthesize(options.seed);
     CacheTraceSet {
         name,

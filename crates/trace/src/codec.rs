@@ -28,7 +28,12 @@
 
 use std::io::{Read, Write};
 
-use crate::{Op, Request, Trace, TraceError};
+use crate::{DecodeLimits, Op, Request, Trace, TraceError};
+
+/// Requests decoded per allocation chunk. Capacity grows with bytes
+/// actually consumed, never with the attacker-declared count, so a tiny
+/// file declaring billions of requests cannot reserve memory for them.
+const DECODE_CHUNK: usize = 1 << 16;
 
 /// Magic bytes identifying an encoded trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"MTRC";
@@ -178,14 +183,31 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError>
     Ok(())
 }
 
-/// Decodes a trace written by [`write_trace`].
+/// Decodes a trace written by [`write_trace`] using default
+/// [`DecodeLimits`].
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::Corrupt`] for bad magic or malformed fields,
-/// [`TraceError::UnsupportedVersion`] for a version mismatch, or an I/O
-/// error from the reader.
+/// [`TraceError::UnsupportedVersion`] for a version mismatch,
+/// [`TraceError::LimitExceeded`] for an implausible declared request
+/// count, or an I/O error from the reader.
 pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+    read_trace_with_limits(r, &DecodeLimits::default())
+}
+
+/// Decodes a trace written by [`write_trace`] with explicit resource
+/// limits. The declared request count is validated before any allocation,
+/// and the request buffer grows only as records are actually read, so a
+/// hostile header cannot force memory proportional to its claims.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+pub fn read_trace_with_limits<R: Read>(
+    r: &mut R,
+    limits: &DecodeLimits,
+) -> Result<Trace, TraceError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != TRACE_MAGIC {
@@ -199,8 +221,8 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
             expected: CODEC_VERSION,
         });
     }
-    let count = read_u64(r)? as usize;
-    let mut requests = Vec::with_capacity(count.min(1 << 20));
+    let count = limits.check("requests", read_u64(r)?, limits.max_requests)?;
+    let mut requests = Vec::with_capacity(count.min(DECODE_CHUNK));
     let mut last_time = 0u64;
     let mut last_addr = 0i64;
     for _ in 0..count {
@@ -406,6 +428,59 @@ mod tests {
             read_trace(&mut buf.as_slice()),
             Err(TraceError::Io(_))
         ));
+    }
+
+    #[test]
+    fn hostile_declared_count_is_limit_exceeded_not_oom() {
+        // Header that declares 2^60 requests with no payload: must fail
+        // fast with a typed error, allocating nothing proportional.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.push(CODEC_VERSION);
+        write_u64(&mut buf, 1 << 60).unwrap();
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::LimitExceeded {
+                what: "requests",
+                declared,
+                ..
+            }) if declared == 1 << 60
+        ));
+    }
+
+    #[test]
+    fn declared_count_beyond_payload_is_detected() {
+        // Declares 1000 requests but carries only one record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.push(CODEC_VERSION);
+        write_u64(&mut buf, 1000).unwrap();
+        write_u64(&mut buf, 0).unwrap(); // dt
+        write_i64(&mut buf, 0x40).unwrap(); // da
+        write_u64(&mut buf, 64 << 1).unwrap(); // size varint, read op
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn custom_limits_are_honored() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let tight = DecodeLimits {
+            max_requests: 2,
+            ..DecodeLimits::default()
+        };
+        assert!(matches!(
+            read_trace_with_limits(&mut buf.as_slice(), &tight),
+            Err(TraceError::LimitExceeded { .. })
+        ));
+        assert_eq!(
+            read_trace_with_limits(&mut buf.as_slice(), &DecodeLimits::unchecked()).unwrap(),
+            trace
+        );
     }
 
     #[test]

@@ -14,6 +14,17 @@ pub enum TraceError {
         /// Version this library understands.
         expected: u8,
     },
+    /// A declared count or size exceeds the decoder's resource limits
+    /// (see [`crate::DecodeLimits`]). Turning resource exhaustion into a
+    /// typed error keeps hostile inputs from allocating unbounded memory.
+    LimitExceeded {
+        /// Which declared quantity tripped the limit (e.g. `"requests"`).
+        what: &'static str,
+        /// The value the input declared.
+        declared: u64,
+        /// The configured maximum.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -23,6 +34,16 @@ impl std::fmt::Display for TraceError {
             TraceError::Corrupt(msg) => write!(f, "corrupt encoding: {msg}"),
             TraceError::UnsupportedVersion { found, expected } => {
                 write!(f, "unsupported codec version {found} (expected {expected})")
+            }
+            TraceError::LimitExceeded {
+                what,
+                declared,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "declared {what} count {declared} exceeds decode limit {limit}"
+                )
             }
         }
     }
@@ -56,6 +77,18 @@ mod tests {
             expected: 1,
         };
         assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn limit_exceeded_display_names_the_quantity() {
+        let e = TraceError::LimitExceeded {
+            what: "requests",
+            declared: 1 << 60,
+            limit: 1 << 30,
+        };
+        let s = e.to_string();
+        assert!(s.contains("requests"), "{s}");
+        assert!(s.contains(&(1u64 << 60).to_string()), "{s}");
     }
 
     #[test]

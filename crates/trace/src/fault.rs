@@ -1,0 +1,504 @@
+//! Deterministic I/O fault injection and crash-safe file writes.
+//!
+//! Profiles exist to be shared across organizational boundaries (paper §V),
+//! so the decoders must shrug off every way a transport can mangle bytes:
+//! short reads, interrupted syscalls, truncation, bit rot. This module
+//! provides the harness that proves it:
+//!
+//! * [`FaultyReader`] / [`FaultyWriter`] wrap any `Read`/`Write` and inject
+//!   faults on a schedule derived **only** from a seed and the workspace's
+//!   own xoshiro256\*\* PRNG — a failing case is replayable forever by its
+//!   seed, with no flaky-test lottery.
+//! * [`AtomicFileWriter`] writes through a temporary sibling file and
+//!   renames into place on [`AtomicFileWriter::commit`], so a crash or
+//!   injected failure mid-write never leaves a half-written `.mtrace` /
+//!   `.mprofile` on disk.
+//!
+//! This is the **only** module in the workspace allowed to construct
+//! injected [`std::io::Error`] values; lint rule L006 enforces that the
+//! production decode paths report faults, never invent them.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::Read;
+//! use mocktails_trace::fault::{FaultPlan, FaultyReader};
+//!
+//! let data = vec![7u8; 1024];
+//! // Truncate the stream at byte 100: a deterministic partial capture.
+//! let plan = FaultPlan { truncate_at: Some(100), ..FaultPlan::none() };
+//! let mut reader = FaultyReader::new(data.as_slice(), plan, 42);
+//! let mut out = Vec::new();
+//! reader.read_to_end(&mut out)?;
+//! assert_eq!(out.len(), 100);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::rng::{Prng, Rng};
+
+/// The fault schedule for a [`FaultyReader`] or [`FaultyWriter`].
+///
+/// Probabilities are evaluated against the deterministic PRNG stream on
+/// every `read`/`write` call (`bit_flip` per byte), so a given
+/// `(plan, seed, call sequence)` triple always produces the same faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a read/write is shortened to a random prefix.
+    pub short_op: f64,
+    /// Probability of returning [`io::ErrorKind::Interrupted`] (which
+    /// `read_exact`/`write_all` must transparently retry).
+    pub interrupt: f64,
+    /// Probability of returning [`io::ErrorKind::WouldBlock`] (which
+    /// surfaces to the caller as a genuine I/O error).
+    pub would_block: f64,
+    /// Per-byte probability of flipping one random bit after reading.
+    pub bit_flip: f64,
+    /// Byte offset at which the stream hard-ends (reads return 0).
+    pub truncate_at: Option<u64>,
+    /// Byte offset at which a writer starts failing permanently.
+    pub fail_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: the wrapper is a transparent proxy.
+    pub fn none() -> Self {
+        Self {
+            short_op: 0.0,
+            interrupt: 0.0,
+            would_block: 0.0,
+            bit_flip: 0.0,
+            truncate_at: None,
+            fail_at: None,
+        }
+    }
+
+    /// A plan exercising the retryable/benign faults: short operations and
+    /// interrupted syscalls. Robust callers must behave identically under
+    /// this plan and [`FaultPlan::none`].
+    pub fn flaky() -> Self {
+        Self {
+            short_op: 0.5,
+            interrupt: 0.25,
+            ..Self::none()
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Builds the injected "interrupted system call" error.
+fn interrupted() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected interrupt")
+}
+
+/// Builds the injected "would block" error.
+fn would_block() -> io::Error {
+    io::Error::new(io::ErrorKind::WouldBlock, "injected would-block")
+}
+
+/// Builds the injected hard write failure.
+fn write_failure(offset: u64) -> io::Error {
+    io::Error::other(format!("injected write failure at byte {offset}"))
+}
+
+/// A `Read` adapter that deterministically injects faults per its
+/// [`FaultPlan`]. See the module docs for the guarantees.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    rng: Prng,
+    offset: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with the given plan; all fault decisions derive from
+    /// `seed`.
+    pub fn new(inner: R, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: Prng::seed_from_u64(seed),
+            offset: 0,
+        }
+    }
+
+    /// Bytes successfully delivered so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Unwraps the adapter, returning the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(limit) = self.plan.truncate_at {
+            if self.offset >= limit {
+                return Ok(0);
+            }
+        }
+        if self.rng.gen_bool(self.plan.interrupt) {
+            return Err(interrupted());
+        }
+        if self.rng.gen_bool(self.plan.would_block) {
+            return Err(would_block());
+        }
+        let mut len = buf.len();
+        if len > 1 && self.rng.gen_bool(self.plan.short_op) {
+            len = self.rng.gen_range(1..len);
+        }
+        if let Some(limit) = self.plan.truncate_at {
+            let room = (limit - self.offset) as usize;
+            len = len.min(room);
+        }
+        let n = self.inner.read(&mut buf[..len])?;
+        if self.plan.bit_flip > 0.0 {
+            for byte in &mut buf[..n] {
+                if self.rng.gen_bool(self.plan.bit_flip) {
+                    *byte ^= 1 << self.rng.gen_range(0..8u32);
+                }
+            }
+        }
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
+/// A `Write` adapter that deterministically injects faults per its
+/// [`FaultPlan`]. Bit flips do not apply to writers; `fail_at` turns into
+/// a permanent hard error once reached.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    plan: FaultPlan,
+    rng: Prng,
+    offset: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with the given plan; all fault decisions derive from
+    /// `seed`.
+    pub fn new(inner: W, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: Prng::seed_from_u64(seed),
+            offset: 0,
+        }
+    }
+
+    /// Bytes successfully accepted so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Unwraps the adapter, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(limit) = self.plan.fail_at {
+            if self.offset >= limit {
+                return Err(write_failure(self.offset));
+            }
+        }
+        if self.rng.gen_bool(self.plan.interrupt) {
+            return Err(interrupted());
+        }
+        if self.rng.gen_bool(self.plan.would_block) {
+            return Err(would_block());
+        }
+        let mut len = buf.len();
+        if len > 1 && self.rng.gen_bool(self.plan.short_op) {
+            len = self.rng.gen_range(1..len);
+        }
+        if let Some(limit) = self.plan.fail_at {
+            len = len.min((limit - self.offset) as usize);
+        }
+        let n = self.inner.write(&buf[..len])?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A crash-safe file writer: bytes go to a temporary sibling
+/// (`<name>.tmp`), and only [`AtomicFileWriter::commit`] — flush, fsync,
+/// rename — makes them visible under the destination name. Dropping
+/// without committing removes the temporary, so readers of the destination
+/// path never observe a torn file.
+///
+/// ```no_run
+/// use std::io::Write;
+/// use mocktails_trace::fault::AtomicFileWriter;
+///
+/// let mut w = AtomicFileWriter::create("out.mtrace")?;
+/// w.write_all(b"payload")?;
+/// w.commit()?; // only now does out.mtrace exist
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct AtomicFileWriter {
+    file: Option<File>,
+    tmp: PathBuf,
+    dest: PathBuf,
+}
+
+impl AtomicFileWriter {
+    /// Opens the temporary sibling of `dest` for writing, truncating any
+    /// stale temporary left by an earlier crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from creating the temporary file.
+    pub fn create<P: AsRef<Path>>(dest: P) -> io::Result<Self> {
+        let dest = dest.as_ref().to_path_buf();
+        let mut name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "out".into());
+        name.push(".tmp");
+        let tmp = dest.with_file_name(name);
+        let file = File::create(&tmp)?;
+        Ok(Self {
+            file: Some(file),
+            tmp,
+            dest,
+        })
+    }
+
+    /// The destination path the file will appear at on commit.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Flushes, fsyncs and renames the temporary over the destination.
+    /// After `commit` returns `Ok`, the destination holds the complete
+    /// contents; on any error the destination is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/fsync/rename errors; the temporary is removed
+    /// best-effort on failure.
+    pub fn commit(mut self) -> io::Result<()> {
+        let Some(mut file) = self.file.take() else {
+            return Ok(());
+        };
+        let finish = (|| {
+            file.flush()?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&self.tmp, &self.dest)
+        })();
+        if finish.is_err() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+        finish
+    }
+}
+
+impl Write for AtomicFileWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match &mut self.file {
+            Some(f) => f.write(buf),
+            None => Err(io::Error::other("atomic writer already committed")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.file {
+            Some(f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for AtomicFileWriter {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Abandoned without commit: scrub the partial temporary.
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let data = payload(4096);
+        let mut r = FaultyReader::new(data.as_slice(), FaultPlan::none(), 0);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn short_reads_still_deliver_everything() {
+        let data = payload(4096);
+        let plan = FaultPlan {
+            short_op: 0.9,
+            ..FaultPlan::none()
+        };
+        let mut r = FaultyReader::new(data.as_slice(), plan, 7);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn interrupts_are_retried_by_read_exact() {
+        let data = payload(1024);
+        let plan = FaultPlan {
+            interrupt: 0.5,
+            short_op: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut r = FaultyReader::new(data.as_slice(), plan, 3);
+        let mut out = vec![0u8; 1024];
+        r.read_exact(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn truncation_is_a_hard_eof() {
+        let data = payload(1000);
+        let plan = FaultPlan {
+            truncate_at: Some(137),
+            ..FaultPlan::none()
+        };
+        let mut r = FaultyReader::new(data.as_slice(), plan, 0);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[..137]);
+        let mut more = [0u8; 1];
+        assert_eq!(r.read(&mut more).unwrap(), 0);
+    }
+
+    #[test]
+    fn would_block_surfaces_as_error() {
+        let data = payload(64);
+        let plan = FaultPlan {
+            would_block: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut r = FaultyReader::new(data.as_slice(), plan, 0);
+        let mut out = [0u8; 8];
+        let err = r.read(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn bit_flips_are_seed_deterministic() {
+        let data = payload(512);
+        let plan = FaultPlan {
+            bit_flip: 0.05,
+            ..FaultPlan::none()
+        };
+        let run = |seed: u64| {
+            let mut r = FaultyReader::new(data.as_slice(), plan, seed);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            out
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), data, "flips must actually corrupt");
+        assert_ne!(run(11), run(12), "different seeds, different corruption");
+    }
+
+    #[test]
+    fn faulty_writer_write_all_survives_benign_faults() {
+        let data = payload(2048);
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::flaky(), 5);
+        loop {
+            match w.write_all(&data) {
+                Ok(()) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        // write_all itself retries Interrupted; the loop is belt-and-braces.
+        assert_eq!(w.into_inner(), data);
+    }
+
+    #[test]
+    fn writer_fail_at_is_permanent() {
+        let data = payload(100);
+        let plan = FaultPlan {
+            fail_at: Some(40),
+            ..FaultPlan::none()
+        };
+        let mut w = FaultyWriter::new(Vec::new(), plan, 0);
+        assert!(w.write_all(&data).is_err());
+        assert!(w.write_all(&data).is_err(), "failure must persist");
+        assert_eq!(w.offset(), 40);
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mocktails-fault-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn atomic_writer_commit_publishes_full_contents() {
+        let dest = temp_path("commit.bin");
+        let mut w = AtomicFileWriter::create(&dest).unwrap();
+        w.write_all(b"hello world").unwrap();
+        w.commit().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"hello world");
+        std::fs::remove_file(&dest).ok();
+    }
+
+    #[test]
+    fn atomic_writer_drop_without_commit_leaves_nothing() {
+        let dest = temp_path("abandon.bin");
+        {
+            let mut w = AtomicFileWriter::create(&dest).unwrap();
+            w.write_all(b"partial").unwrap();
+            // dropped without commit
+        }
+        assert!(!dest.exists(), "destination must not exist");
+        let tmp = dest.with_file_name(format!(
+            "{}.tmp",
+            dest.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(!tmp.exists(), "temporary must be scrubbed");
+    }
+
+    #[test]
+    fn atomic_writer_preserves_previous_contents_until_commit() {
+        let dest = temp_path("previous.bin");
+        std::fs::write(&dest, b"old").unwrap();
+        {
+            let mut w = AtomicFileWriter::create(&dest).unwrap();
+            w.write_all(b"new-but-abandoned").unwrap();
+        }
+        assert_eq!(std::fs::read(&dest).unwrap(), b"old");
+        std::fs::remove_file(&dest).ok();
+    }
+}

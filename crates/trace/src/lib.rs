@@ -16,6 +16,13 @@
 //! * [`rng`] — the workspace's deterministic pseudo-random generators
 //!   (SplitMix64, xoshiro256**), so synthesis never depends on an external
 //!   RNG crate or its version-to-version stream changes.
+//! * [`DecodeLimits`] — resource limits applied to every declared count in
+//!   an untrusted encoding, turning hostile length fields into typed
+//!   [`TraceError::LimitExceeded`] errors instead of allocation storms.
+//! * [`fault`] — deterministic I/O fault injection ([`fault::FaultyReader`],
+//!   [`fault::FaultyWriter`]) and crash-safe atomic file writes.
+//! * [`fuzz`] — the seeded mutational fuzz harness that gates both codecs
+//!   in tier-1 CI.
 //!
 //! # Example
 //!
@@ -38,6 +45,9 @@
 
 pub mod codec;
 mod error;
+pub mod fault;
+pub mod fuzz;
+mod limits;
 mod range;
 mod request;
 pub mod rng;
@@ -47,6 +57,7 @@ mod trace;
 pub mod transform;
 
 pub use error::TraceError;
+pub use limits::{checked_usize, DecodeLimits};
 pub use range::AddrRange;
 pub use request::{Op, Request};
 pub use stats::{BinnedCounts, TraceStats};

@@ -1,0 +1,155 @@
+//! Resource limits for decoding untrusted inputs.
+//!
+//! A Mocktails profile is designed to be shared *instead of* a proprietary
+//! trace (paper §V, Fig. 17), which makes every encoded trace or profile an
+//! untrusted input crossing an organizational boundary. The length fields
+//! inside those encodings are attacker-controlled: a five-byte file can
+//! declare 2^60 requests. [`DecodeLimits`] bounds every such declared count
+//! so a hostile input produces a typed [`TraceError::LimitExceeded`] in
+//! constant time instead of an allocation storm.
+//!
+//! The defaults are deliberately generous — orders of magnitude above
+//! anything the paper's workloads produce — so honest users never see the
+//! limits, while `2^60`-style declarations are rejected before the decoder
+//! allocates anything proportional to them.
+
+use crate::TraceError;
+
+/// Maximum counts a decoder will accept from a declared length field.
+///
+/// ```
+/// use mocktails_trace::{DecodeLimits, TraceError};
+///
+/// let limits = DecodeLimits::default();
+/// assert!(limits.check("requests", 1000, limits.max_requests).is_ok());
+/// assert!(matches!(
+///     limits.check("requests", 1 << 60, limits.max_requests),
+///     Err(TraceError::LimitExceeded { what: "requests", .. })
+/// ));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Maximum requests a single encoded trace may declare.
+    pub max_requests: u64,
+    /// Maximum leaves a profile may declare.
+    pub max_leaves: u64,
+    /// Maximum hierarchy layers a profile may declare.
+    pub max_layers: u64,
+    /// Maximum states a single Markov chain may declare.
+    pub max_markov_states: u64,
+    /// Maximum out-edges a single Markov state may declare.
+    pub max_markov_edges: u64,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        Self {
+            max_requests: 1 << 32,
+            max_leaves: 1 << 24,
+            max_layers: 64,
+            max_markov_states: 1 << 22,
+            max_markov_edges: 1 << 22,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// A permissive configuration for trusted, locally-produced inputs.
+    pub fn unchecked() -> Self {
+        Self {
+            max_requests: u64::MAX,
+            max_leaves: u64::MAX,
+            max_layers: u64::MAX,
+            max_markov_states: u64::MAX,
+            max_markov_edges: u64::MAX,
+        }
+    }
+
+    /// Validates a declared count against `limit` and converts it to
+    /// `usize`, so every `u64 → usize` narrowing in the decoders goes
+    /// through one checked path (a 32-bit host cannot silently truncate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::LimitExceeded`] when `declared` exceeds
+    /// `limit` or does not fit in `usize`.
+    pub fn check(
+        &self,
+        what: &'static str,
+        declared: u64,
+        limit: u64,
+    ) -> Result<usize, TraceError> {
+        if declared > limit {
+            return Err(TraceError::LimitExceeded {
+                what,
+                declared,
+                limit,
+            });
+        }
+        usize::try_from(declared).map_err(|_| TraceError::LimitExceeded {
+            what,
+            declared,
+            limit: usize::MAX as u64,
+        })
+    }
+}
+
+/// Converts a decoded `u64` to `usize` with a typed error on narrowing —
+/// the checked replacement for bare `as usize` casts on untrusted values.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Corrupt`] when `value` exceeds `usize::MAX`
+/// (possible on 32-bit hosts).
+pub fn checked_usize(value: u64, what: &str) -> Result<usize, TraceError> {
+    usize::try_from(value)
+        .map_err(|_| TraceError::Corrupt(format!("{what} {value} overflows usize")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_but_finite() {
+        let l = DecodeLimits::default();
+        assert!(l.max_requests >= 1 << 30);
+        assert!(l.max_layers >= 16);
+        assert!(l.max_leaves < u64::MAX);
+    }
+
+    #[test]
+    fn check_accepts_within_limit() {
+        let l = DecodeLimits::default();
+        assert_eq!(l.check("leaves", 5, l.max_leaves).unwrap(), 5);
+        assert_eq!(l.check("leaves", 0, l.max_leaves).unwrap(), 0);
+    }
+
+    #[test]
+    fn check_rejects_over_limit_with_context() {
+        let l = DecodeLimits::default();
+        match l.check("layers", 1 << 60, l.max_layers) {
+            Err(TraceError::LimitExceeded {
+                what,
+                declared,
+                limit,
+            }) => {
+                assert_eq!(what, "layers");
+                assert_eq!(declared, 1 << 60);
+                assert_eq!(limit, l.max_layers);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unchecked_accepts_everything_that_fits_usize() {
+        let l = DecodeLimits::unchecked();
+        assert!(l.check("requests", u32::MAX as u64, l.max_requests).is_ok());
+    }
+
+    #[test]
+    fn checked_usize_round_trips_small_values() {
+        assert_eq!(checked_usize(42, "count").unwrap(), 42);
+    }
+}

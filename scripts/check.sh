@@ -14,6 +14,10 @@ cargo build --release --offline --workspace
 echo "==> cargo test (offline)"
 cargo test -q --offline --workspace
 
+echo "==> fuzz smoke (seeded mutation campaigns)"
+cargo test -q --offline -p mocktails-trace --test fuzz_trace
+cargo test -q --offline -p mocktails-core --test fuzz_profile
+
 echo "==> mocktails-lint crates/"
 cargo run -q --offline --release -p mocktails-lint -- crates/
 

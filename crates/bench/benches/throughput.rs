@@ -11,6 +11,7 @@ use std::time::Instant;
 use mocktails_core::partition::spatial;
 use mocktails_core::{HierarchyConfig, Profile};
 use mocktails_dram::{DramConfig, MemorySystem};
+use mocktails_trace::DecodeOptions;
 use mocktails_workloads::catalog;
 
 const WARMUP_ITERS: u32 = 3;
@@ -51,6 +52,6 @@ fn main() {
     let mut buf = Vec::new();
     profile.write(&mut buf).expect("profile encodes");
     bench("profile_decode", || {
-        Profile::read(&mut buf.as_slice()).expect("round trip")
+        Profile::read(&mut buf.as_slice(), &DecodeOptions::trusted()).expect("round trip")
     });
 }

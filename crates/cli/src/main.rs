@@ -15,12 +15,13 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use mocktails_core::{HierarchyConfig, Profile, ProfileError};
+use mocktails_core::{HierarchyConfig, LayerSpec, Profile, ProfileError};
+use mocktails_pool::Parallelism;
 use mocktails_sim::experiments::{ablation, cache, dram, meta};
 use mocktails_sim::harness::{evaluate_dram, CacheEvalOptions, EvalOptions};
 use mocktails_sim::table::TextTable;
 use mocktails_trace::fault::AtomicFileWriter;
-use mocktails_trace::{codec, Trace, TraceError};
+use mocktails_trace::{codec, DecodeOptions, Trace, TraceError};
 use mocktails_workloads::catalog;
 
 /// A classified CLI failure, mapped to a distinct process exit code so
@@ -109,6 +110,10 @@ const USAGE: &str = "usage:
                         ablation-similar|policies|obfuscation|soc>
                        [--quick]
 
+Every command also accepts --threads N (worker threads; default: all cores,
+or the MOCKTAILS_THREADS environment variable). Results are bit-identical
+at any thread count.
+
 Trace files ending in .csv are written/read as CSV; anything else uses the
 compact binary format.";
 
@@ -116,6 +121,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| usage("missing command"))?;
     let rest: Vec<&String> = it.collect();
+    pin_parallelism(&rest)?;
     match command.as_str() {
         "catalog" => {
             println!("{}", meta::table2_report());
@@ -130,6 +136,31 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "experiment" => cmd_experiment(&rest),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
+}
+
+/// Applies the global `--threads N` flag (every command accepts it): pins
+/// the process-wide [`Parallelism`] before any work runs. Zero is a usage
+/// error — `--threads 1` is the way to ask for the sequential path.
+fn pin_parallelism(args: &[&String]) -> Result<(), CliError> {
+    if let Some(v) = flag_value(args, "--threads") {
+        let threads: usize = v.parse().map_err(|_| usage("--threads expects a number"))?;
+        if threads == 0 {
+            return Err(usage("--threads must be at least 1"));
+        }
+        Parallelism::new(threads).make_current();
+    }
+    Ok(())
+}
+
+/// Builds the 2L-TS hierarchy for a user-supplied `--cycles` value through
+/// the fallible builder, mapping invalid input (zero cycles) to a usage
+/// error instead of a library panic.
+fn phase_config(cycles: u64) -> Result<HierarchyConfig, CliError> {
+    HierarchyConfig::builder()
+        .layer(LayerSpec::TemporalCycleCount(cycles))
+        .layer(LayerSpec::SpatialDynamic)
+        .build()
+        .map_err(|e| usage(format!("--cycles: {e}")))
 }
 
 fn flag_value(args: &[&String], flag: &str) -> Option<String> {
@@ -204,7 +235,7 @@ fn load_trace(path: &str) -> Result<Trace, CliError> {
     if path.ends_with(".csv") {
         codec::read_csv(&mut r)
     } else {
-        codec::read_trace(&mut r)
+        Trace::read(&mut r, &DecodeOptions::default())
     }
     .map_err(|e| classify_trace_error(path, e))
 }
@@ -213,8 +244,9 @@ fn cmd_profile(args: &[&String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
     let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
     let cycles = parse_u64(args, "--cycles", 500_000)?;
+    let config = phase_config(cycles)?;
     let trace = load_trace(input)?;
-    let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(cycles));
+    let profile = Profile::fit(&trace, &config);
     write_atomically(&out, |w| {
         profile
             .write(w)
@@ -234,8 +266,8 @@ fn cmd_synth(args: &[&String]) -> Result<(), CliError> {
     let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
     let seed = parse_u64(args, "--seed", 1)?;
     let file = File::open(input).map_err(|e| io_error(input, e))?;
-    let profile =
-        Profile::read(&mut BufReader::new(file)).map_err(|e| classify_profile_error(input, e))?;
+    let profile = Profile::read(&mut BufReader::new(file), &DecodeOptions::default())
+        .map_err(|e| classify_profile_error(input, e))?;
     let trace = profile
         .try_synthesize(seed)
         .map_err(|e| classify_profile_error(input, e))?;
@@ -249,6 +281,9 @@ fn cmd_synth(args: &[&String]) -> Result<(), CliError> {
 fn cmd_validate(args: &[&String]) -> Result<(), CliError> {
     let name = positional(args, 0)?;
     let cycles = parse_u64(args, "--cycles", 500_000)?;
+    // Surface a zero --cycles as a usage error here, before the harness
+    // hands the value to an infallible preset.
+    let _ = phase_config(cycles)?;
     let max_requests = flag_value(args, "--max-requests")
         .map(|v| {
             v.parse::<usize>()

@@ -99,25 +99,34 @@ pub struct HierarchyConfig {
 }
 
 impl HierarchyConfig {
-    /// Creates a configuration from explicit layers.
+    /// Starts a [`ConfigBuilder`] — the only way to assemble a hierarchy
+    /// from explicit layers. Invalid hierarchies (no layers, or a layer
+    /// with a zero parameter) surface as a typed [`ConfigError`] from
+    /// [`ConfigBuilder::build`] instead of a panic.
     ///
-    /// # Panics
+    /// ```
+    /// use mocktails_core::{HierarchyConfig, LayerSpec};
     ///
-    /// Panics if `layers` is empty, or if any layer has a zero parameter
-    /// (zero-cycle windows, zero-request chunks, zero-byte blocks or zero
-    /// intervals are all meaningless).
-    pub fn new(layers: Vec<LayerSpec>) -> Self {
-        assert!(!layers.is_empty(), "hierarchy needs at least one layer");
-        for layer in &layers {
-            let ok = match *layer {
-                LayerSpec::TemporalRequestCount(n) => n > 0,
-                LayerSpec::TemporalCycleCount(c) => c > 0,
-                LayerSpec::TemporalIntervalCount(k) => k > 0,
-                LayerSpec::SpatialFixed(b) => b > 0,
-                LayerSpec::SpatialDynamic => true,
-            };
-            assert!(ok, "layer parameter must be non-zero: {layer:?}");
-        }
+    /// let config = HierarchyConfig::builder()
+    ///     .layer(LayerSpec::TemporalCycleCount(500_000))
+    ///     .layer(LayerSpec::SpatialDynamic)
+    ///     .build()?;
+    /// assert_eq!(config.layers().len(), 2);
+    /// # Ok::<(), mocktails_core::ConfigError>(())
+    /// ```
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
+    /// Infallible constructor backing the paper presets: the presets pass
+    /// layer lists that are valid by construction, so they keep returning
+    /// `Self` directly. The `assert!` documents (and enforces in debug and
+    /// release alike) that a preset can never smuggle in an invalid layer.
+    fn from_valid_layers(layers: Vec<LayerSpec>) -> Self {
+        assert!(
+            !layers.is_empty() && layers.iter().all(|l| validate_layer(*l).is_ok()),
+            "preset layer parameters must be non-zero"
+        );
         Self {
             layers,
             options: ModelOptions::default(),
@@ -126,8 +135,13 @@ impl HierarchyConfig {
 
     /// The paper's 2L-TS configuration: temporal `cycle_count` windows, then
     /// dynamic spatial partitioning (§IV-A uses 500 000 cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycles_per_phase` is zero; parse user input through
+    /// [`HierarchyConfig::builder`] to get a [`ConfigError`] instead.
     pub fn two_level_ts(cycles_per_phase: u64) -> Self {
-        Self::new(vec![
+        Self::from_valid_layers(vec![
             LayerSpec::TemporalCycleCount(cycles_per_phase),
             LayerSpec::SpatialDynamic,
         ])
@@ -136,8 +150,13 @@ impl HierarchyConfig {
     /// The §V CPU configuration: temporal `request_count` phases (100 000
     /// requests, from STM), then dynamic spatial partitioning — the paper's
     /// *Mocktails (Dynamic)*.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `requests_per_phase` is zero; parse user input through
+    /// [`HierarchyConfig::builder`] to get a [`ConfigError`] instead.
     pub fn two_level_requests_dynamic(requests_per_phase: usize) -> Self {
-        Self::new(vec![
+        Self::from_valid_layers(vec![
             LayerSpec::TemporalRequestCount(requests_per_phase),
             LayerSpec::SpatialDynamic,
         ])
@@ -145,8 +164,13 @@ impl HierarchyConfig {
 
     /// The §V fixed-block variant — the paper's *Mocktails (4KB)* when
     /// `block_bytes` is 4096.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either parameter is zero; parse user input through
+    /// [`HierarchyConfig::builder`] to get a [`ConfigError`] instead.
     pub fn two_level_requests_fixed(requests_per_phase: usize, block_bytes: u64) -> Self {
-        Self::new(vec![
+        Self::from_valid_layers(vec![
             LayerSpec::TemporalRequestCount(requests_per_phase),
             LayerSpec::SpatialFixed(block_bytes),
         ])
@@ -154,8 +178,13 @@ impl HierarchyConfig {
 
     /// A 2L-ST configuration (spatial first, then temporal `interval_count`)
     /// as illustrated by Fig. 4b / Table I.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `intervals` is zero; parse user input through
+    /// [`HierarchyConfig::builder`] to get a [`ConfigError`] instead.
     pub fn two_level_st(intervals: usize) -> Self {
-        Self::new(vec![
+        Self::from_valid_layers(vec![
             LayerSpec::SpatialDynamic,
             LayerSpec::TemporalIntervalCount(intervals),
         ])
@@ -176,6 +205,107 @@ impl HierarchyConfig {
     pub fn with_options(mut self, options: ModelOptions) -> Self {
         self.options = options;
         self
+    }
+}
+
+/// Why a [`ConfigBuilder`] rejected a hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The hierarchy has no layers: there is nothing to partition with.
+    Empty,
+    /// A layer carries a zero parameter — zero-cycle windows, zero-request
+    /// chunks, zero-byte blocks and zero intervals are all meaningless.
+    ZeroParameter(LayerSpec),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Empty => write!(f, "hierarchy needs at least one layer"),
+            ConfigError::ZeroParameter(layer) => {
+                write!(f, "layer parameter must be non-zero: {layer:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks a single layer's parameter; the one validation rule shared by
+/// the builder and the preset `assert!`.
+fn validate_layer(layer: LayerSpec) -> Result<(), ConfigError> {
+    let ok = match layer {
+        LayerSpec::TemporalRequestCount(n) => n > 0,
+        LayerSpec::TemporalCycleCount(c) => c > 0,
+        LayerSpec::TemporalIntervalCount(k) => k > 0,
+        LayerSpec::SpatialFixed(b) => b > 0,
+        LayerSpec::SpatialDynamic => true,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ConfigError::ZeroParameter(layer))
+    }
+}
+
+/// Fluent, fallible assembly of a [`HierarchyConfig`] — the replacement
+/// for the panicking `HierarchyConfig::new` of earlier releases.
+///
+/// ```
+/// use mocktails_core::{ConfigError, HierarchyConfig, LayerSpec};
+///
+/// // Invalid input surfaces as a typed error, not a panic:
+/// let err = HierarchyConfig::builder()
+///     .layer(LayerSpec::TemporalCycleCount(0))
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroParameter(LayerSpec::TemporalCycleCount(0)));
+/// assert_eq!(HierarchyConfig::builder().build().unwrap_err(), ConfigError::Empty);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConfigBuilder {
+    layers: Vec<LayerSpec>,
+    options: ModelOptions,
+}
+
+impl ConfigBuilder {
+    /// Appends one layer (top-down order: the first layer added partitions
+    /// the whole trace).
+    pub fn layer(mut self, layer: LayerSpec) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends every layer of `layers`, in order.
+    pub fn layers<I: IntoIterator<Item = LayerSpec>>(mut self, layers: I) -> Self {
+        self.layers.extend(layers);
+        self
+    }
+
+    /// Sets the modeling options (defaults reproduce the paper).
+    pub fn options(mut self, options: ModelOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates the assembled hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Empty`] when no layer was added, or
+    /// [`ConfigError::ZeroParameter`] naming the first layer whose
+    /// parameter is zero.
+    pub fn build(self) -> Result<HierarchyConfig, ConfigError> {
+        if self.layers.is_empty() {
+            return Err(ConfigError::Empty);
+        }
+        for layer in &self.layers {
+            validate_layer(*layer)?;
+        }
+        Ok(HierarchyConfig {
+            layers: self.layers,
+            options: self.options,
+        })
     }
 }
 
@@ -232,14 +362,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one layer")]
     fn empty_hierarchy_rejected() {
-        let _ = HierarchyConfig::new(vec![]);
+        assert_eq!(
+            HierarchyConfig::builder().build().unwrap_err(),
+            ConfigError::Empty
+        );
+    }
+
+    #[test]
+    fn zero_parameter_rejected() {
+        for bad in [
+            LayerSpec::TemporalRequestCount(0),
+            LayerSpec::TemporalCycleCount(0),
+            LayerSpec::TemporalIntervalCount(0),
+            LayerSpec::SpatialFixed(0),
+        ] {
+            assert_eq!(
+                HierarchyConfig::builder().layer(bad).build().unwrap_err(),
+                ConfigError::ZeroParameter(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn builder_matches_preset() {
+        let built = HierarchyConfig::builder()
+            .layers([
+                LayerSpec::TemporalCycleCount(500_000),
+                LayerSpec::SpatialDynamic,
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(built, HierarchyConfig::two_level_ts(500_000));
+    }
+
+    #[test]
+    fn builder_carries_options() {
+        let config = HierarchyConfig::builder()
+            .layer(LayerSpec::SpatialDynamic)
+            .options(ModelOptions {
+                strict_convergence: false,
+                merge_lonely: true,
+                merge_similar: true,
+            })
+            .build()
+            .unwrap();
+        assert!(!config.options().strict_convergence);
+        assert!(config.options().merge_similar);
+    }
+
+    #[test]
+    fn config_error_displays_context() {
+        assert!(ConfigError::Empty.to_string().contains("at least one"));
+        let err = ConfigError::ZeroParameter(LayerSpec::SpatialFixed(0));
+        assert!(err.to_string().contains("non-zero"));
     }
 
     #[test]
     #[should_panic(expected = "non-zero")]
-    fn zero_parameter_rejected() {
-        let _ = HierarchyConfig::new(vec![LayerSpec::TemporalCycleCount(0)]);
+    fn preset_still_rejects_zero_parameter() {
+        let _ = HierarchyConfig::two_level_ts(0);
     }
 }

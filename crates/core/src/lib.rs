@@ -58,9 +58,11 @@ pub mod profile;
 pub mod synth;
 pub mod value;
 
-pub use config::{HierarchyConfig, LayerSpec, ModelOptions};
+pub use config::{ConfigBuilder, ConfigError, HierarchyConfig, LayerSpec, ModelOptions};
 pub use error::{ProfileError, ValueError};
 pub use model::{LeafGenerator, LeafModel, MarkovChain, MarkovSampler, McC, McCSampler};
 pub use partition::Partition;
-pub use profile::{read_profile_with_limits, Profile, ProfileSummary};
+#[allow(deprecated)]
+pub use profile::read_profile_with_limits;
+pub use profile::{Profile, ProfileSummary};
 pub use synth::{InjectionFeedback, Synthesizer};

@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn single_level_spatial() {
         let trace = two_phase_trace();
-        let config = HierarchyConfig::new(vec![LayerSpec::SpatialDynamic]);
+        let config = HierarchyConfig::builder()
+            .layer(LayerSpec::SpatialDynamic)
+            .build()
+            .unwrap();
         let leaves = partition(&trace, &config);
         assert_eq!(leaves.len(), 2);
     }
@@ -142,11 +145,14 @@ mod tests {
         // Temporal → spatial → temporal: each spatial leaf of each phase
         // is further split into two intervals (the Table I refinement).
         let trace = two_phase_trace();
-        let config = HierarchyConfig::new(vec![
-            LayerSpec::TemporalCycleCount(10_000),
-            LayerSpec::SpatialDynamic,
-            LayerSpec::TemporalIntervalCount(2),
-        ]);
+        let config = HierarchyConfig::builder()
+            .layers([
+                LayerSpec::TemporalCycleCount(10_000),
+                LayerSpec::SpatialDynamic,
+                LayerSpec::TemporalIntervalCount(2),
+            ])
+            .build()
+            .unwrap();
         let leaves = partition(&trace, &config);
         let two_level = partition(&trace, &HierarchyConfig::two_level_ts(10_000));
         assert!(leaves.len() > two_level.len());

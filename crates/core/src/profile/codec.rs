@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
 use mocktails_trace::codec::{read_i64, read_u64, write_i64, write_u64};
-use mocktails_trace::{checked_usize, AddrRange, DecodeLimits};
+use mocktails_trace::{checked_usize, AddrRange, DecodeLimits, DecodeOptions};
 
 use crate::config::{HierarchyConfig, LayerSpec, ModelOptions};
 use crate::model::{LeafModel, MarkovChain, McC};
@@ -110,35 +110,39 @@ fn write_mcc<W: Write>(w: &mut W, model: &McC) -> Result<(), ProfileError> {
     Ok(())
 }
 
-/// Decodes a profile written by [`write_profile`] under the default
-/// [`DecodeLimits`].
+/// Decodes a profile written by [`write_profile`] under default
+/// [`DecodeOptions`].
 ///
 /// # Errors
 ///
 /// Returns [`ProfileError`] for malformed input, limit violations, semantic
 /// invariant violations or I/O failures.
 pub fn read_profile<R: Read>(r: &mut R) -> Result<Profile, ProfileError> {
-    read_profile_with_limits(r, &DecodeLimits::default())
+    read_profile_with(r, &DecodeOptions::default())
 }
 
-/// Decodes a profile with caller-chosen resource limits.
+/// Decodes a profile under caller-chosen [`DecodeOptions`].
 ///
 /// Every count declared by the input — layers, leaves, Markov states and
-/// edges — is checked against `limits` *before* any allocation sized by it,
-/// and collections are grown in [`DECODE_CHUNK`]-element steps so peak
-/// memory is bounded by the bytes actually supplied. After structural
-/// decode the profile's semantic invariants are verified via
-/// [`Profile::validate`], so a successful return is safe to synthesize
-/// from.
+/// edges — is checked against the options' limits *before* any allocation
+/// sized by it, and collections are grown in [`DECODE_CHUNK`]-element steps
+/// so peak memory is bounded by the bytes actually supplied. When
+/// [`DecodeOptions::validates`] is set (the default), the profile's
+/// semantic invariants are verified via [`Profile::validate`] after
+/// structural decode, so a successful return is safe to synthesize from;
+/// [`DecodeOptions::trusted`] skips that pass for locally-produced inputs.
+///
+/// [`Profile::read`] is the method-form equivalent.
 ///
 /// # Errors
 ///
 /// Returns [`ProfileError`] for malformed input, limit violations, semantic
 /// invariant violations or I/O failures.
-pub fn read_profile_with_limits<R: Read>(
+pub fn read_profile_with<R: Read>(
     r: &mut R,
-    limits: &DecodeLimits,
+    options: &DecodeOptions,
 ) -> Result<Profile, ProfileError> {
+    let limits = options.limits();
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != PROFILE_MAGIC {
@@ -177,12 +181,19 @@ pub fn read_profile_with_limits<R: Read>(
     }
     let mut options_byte = [0u8; 1];
     r.read_exact(&mut options_byte)?;
-    let options = ModelOptions {
+    let model_options = ModelOptions {
         strict_convergence: options_byte[0] & 1 != 0,
         merge_lonely: options_byte[0] & 2 != 0,
         merge_similar: options_byte[0] & 4 != 0,
     };
-    let config = HierarchyConfig::new(layers).with_options(options);
+    // Layer count and parameters were already rejected above when invalid,
+    // so the builder cannot actually fail here; map any residual error to
+    // Corrupt as belt-and-braces rather than unwrapping.
+    let config = HierarchyConfig::builder()
+        .layers(layers)
+        .options(model_options)
+        .build()
+        .map_err(|e| ProfileError::Corrupt(e.to_string()))?;
 
     let leaf_count = limits.check("leaves", read_u64(r)?, limits.max_leaves)?;
     let mut leaves = Vec::with_capacity(leaf_count.min(DECODE_CHUNK));
@@ -211,8 +222,26 @@ pub fn read_profile_with_limits<R: Read>(
         leaves.push(leaf);
     }
     let profile = Profile::from_parts(config, leaves);
-    profile.validate()?;
+    if options.validates() {
+        profile.validate()?;
+    }
     Ok(profile)
+}
+
+/// Decodes a profile with explicit resource limits.
+///
+/// # Errors
+///
+/// See [`read_profile`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Profile::read` (or `read_profile_with`) with `DecodeOptions`"
+)]
+pub fn read_profile_with_limits<R: Read>(
+    r: &mut R,
+    limits: &DecodeLimits,
+) -> Result<Profile, ProfileError> {
+    read_profile_with(r, &DecodeOptions::default().with_limits(*limits))
 }
 
 fn read_mcc<R: Read>(r: &mut R, limits: &DecodeLimits) -> Result<McC, ProfileError> {
@@ -401,7 +430,11 @@ mod tests {
             max_leaves: 1,
             ..DecodeLimits::default()
         };
-        let err = read_profile_with_limits(&mut buf.as_slice(), &tight).unwrap_err();
+        let err = read_profile_with(
+            &mut buf.as_slice(),
+            &DecodeOptions::new().with_limits(tight),
+        )
+        .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -409,9 +442,18 @@ mod tests {
             ),
             "{err:?}"
         );
-        // Unchecked limits accept the same input the defaults do.
-        let back =
-            read_profile_with_limits(&mut buf.as_slice(), &DecodeLimits::unchecked()).unwrap();
+        // Trusted options accept the same input the defaults do.
+        let back = read_profile_with(&mut buf.as_slice(), &DecodeOptions::trusted()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_limits_shim_still_decodes() {
+        let profile = profile_with_variety();
+        let mut buf = Vec::new();
+        write_profile(&mut buf, &profile).unwrap();
+        let back = read_profile_with_limits(&mut buf.as_slice(), &DecodeLimits::default()).unwrap();
         assert_eq!(back, profile);
     }
 

@@ -9,10 +9,13 @@
 mod codec;
 mod summary;
 
-pub use codec::{read_profile, read_profile_with_limits, write_profile};
+#[allow(deprecated)]
+pub use codec::read_profile_with_limits;
+pub use codec::{read_profile, read_profile_with, write_profile};
 pub use summary::ProfileSummary;
 
-use mocktails_trace::Trace;
+use mocktails_pool::Parallelism;
+use mocktails_trace::{DecodeOptions, Trace};
 
 use crate::config::HierarchyConfig;
 use crate::model::{LeafModel, McC};
@@ -24,7 +27,7 @@ use crate::ProfileError;
 ///
 /// ```
 /// use mocktails_core::{HierarchyConfig, Profile};
-/// use mocktails_trace::{Request, Trace};
+/// use mocktails_trace::{DecodeOptions, Request, Trace};
 ///
 /// let trace = Trace::from_requests(
 ///     (0..200u64).map(|i| Request::read(i * 5, 0x4000 + (i % 32) * 64, 64)).collect(),
@@ -34,7 +37,7 @@ use crate::ProfileError;
 /// // Round-trip through the binary format.
 /// let mut buf = Vec::new();
 /// profile.write(&mut buf)?;
-/// let back = Profile::read(&mut buf.as_slice())?;
+/// let back = Profile::read(&mut buf.as_slice(), &DecodeOptions::default())?;
 /// assert_eq!(back, profile);
 ///
 /// // Option A: synthesize a stand-alone trace.
@@ -50,12 +53,20 @@ pub struct Profile {
 
 impl Profile {
     /// Fits a profile: partitions `trace` per `config` and models every
-    /// leaf (the paper's *model generator*).
+    /// leaf (the paper's *model generator*), fanning leaf fitting out
+    /// across [`Parallelism::current`] worker threads.
     pub fn fit(trace: &Trace, config: &HierarchyConfig) -> Self {
-        let leaves = hierarchy::partition(trace, config)
-            .iter()
-            .map(LeafModel::fit)
-            .collect();
+        Self::fit_with(trace, config, Parallelism::current())
+    }
+
+    /// [`Profile::fit`] with an explicit thread count.
+    ///
+    /// Every leaf fits its own partition independently, so the profile is
+    /// bit-identical at any thread count — [`Parallelism::map`] keeps leaf
+    /// order fixed by partition index regardless of scheduling.
+    pub fn fit_with(trace: &Trace, config: &HierarchyConfig, parallelism: Parallelism) -> Self {
+        let partitions = hierarchy::partition(trace, config);
+        let leaves = parallelism.map(&partitions, LeafModel::fit);
         Self {
             config: config.clone(),
             leaves,
@@ -170,13 +181,19 @@ impl Profile {
         codec::write_profile(w, self)
     }
 
-    /// Deserializes a profile written by [`Profile::write`].
+    /// Deserializes a profile written by [`Profile::write`] under the
+    /// given [`DecodeOptions`]. With [`DecodeOptions::default`] the decode
+    /// is fully guarded (resource limits plus [`Profile::validate`]);
+    /// [`DecodeOptions::trusted`] skips both for locally-produced inputs.
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError`] for malformed input or I/O failures.
-    pub fn read<R: std::io::Read>(r: &mut R) -> Result<Self, ProfileError> {
-        codec::read_profile(r)
+    pub fn read<R: std::io::Read>(
+        r: &mut R,
+        options: &DecodeOptions,
+    ) -> Result<Self, ProfileError> {
+        codec::read_profile_with(r, options)
     }
 
     /// Composition summary: constants vs Markov chains per feature — the

@@ -161,14 +161,11 @@ impl Synthesizer {
     }
 
     /// Drains the synthesizer into a trace (open-loop Option A synthesis).
-    pub fn into_trace(mut self) -> Trace {
-        // Cap the up-front reservation: leaf counts may come from a decoded
-        // (untrusted) profile, so reserve lazily past the first chunk.
-        let mut requests = Vec::with_capacity(self.remaining().min(1 << 16) as usize);
-        while let Some(r) = self.next_request() {
-            requests.push(r);
-        }
-        Trace::from_sorted_requests(requests)
+    ///
+    /// Timestamps emitted by [`Synthesizer::next_request`] are already
+    /// non-decreasing, so the collected requests need no re-sort.
+    pub fn into_trace(self) -> Trace {
+        Trace::from_sorted_requests(self.collect())
     }
 }
 
@@ -183,6 +180,18 @@ impl Iterator for Synthesizer {
 
     fn next(&mut self) -> Option<Request> {
         self.next_request()
+    }
+
+    /// [`Synthesizer::remaining`] is exact, so the upper bound is precise
+    /// whenever it fits in `usize`. The lower bound is capped at `2^16`:
+    /// leaf counts may come from a decoded (untrusted) profile, and the
+    /// cap keeps `collect`'s up-front reservation bounded by what honest
+    /// synthesis will promptly fill anyway.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.remaining();
+        let upper = usize::try_from(remaining).ok();
+        let lower = upper.unwrap_or(usize::MAX).min(1 << 16);
+        (lower, upper)
     }
 }
 
@@ -292,6 +301,36 @@ mod tests {
         let a = leaf(vec![Request::read(0, 0x0, 4), Request::read(5, 0x4, 4)]);
         let collected: Vec<Request> = Synthesizer::new(vec![a], true, 0).collect();
         assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn size_hint_is_exact_and_shrinks() {
+        let a = leaf(vec![
+            Request::read(0, 0x0, 4),
+            Request::read(5, 0x4, 4),
+            Request::read(10, 0x8, 4),
+        ]);
+        let mut synth = Synthesizer::new(vec![a], true, 0);
+        assert_eq!(synth.size_hint(), (3, Some(3)));
+        let _ = synth.next();
+        assert_eq!(synth.size_hint(), (2, Some(2)));
+        assert_eq!(synth.by_ref().count(), 2);
+        assert_eq!(synth.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn iterator_adapters_compose() {
+        let a = leaf(vec![
+            Request::read(0, 0x1000, 64),
+            Request::write(10, 0x1040, 64),
+            Request::read(20, 0x1080, 64),
+        ]);
+        // Downstream consumers filter/map/take instead of hand-rolled loops.
+        let reads: Vec<Request> = Synthesizer::new(vec![a], true, 0)
+            .filter(|r| r.op == mocktails_trace::Op::Read)
+            .take(2)
+            .collect();
+        assert_eq!(reads.len(), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use mocktails_core::profile::{read_profile, write_profile};
 use mocktails_core::{HierarchyConfig, ModelOptions, Profile, ProfileError};
+use mocktails_pool::Parallelism;
 use mocktails_trace::{fuzz, Request, Trace};
 
 /// Fixed campaign seed; keep stable so CI failures replay locally.
@@ -68,8 +69,14 @@ fn corpus() -> Vec<Vec<u8>> {
 
 #[test]
 fn mutated_profiles_decode_cleanly_or_fail_typed() {
-    let report = fuzz::run(&corpus(), CASES_PER_ENTRY, FUZZ_SEED, |bytes| {
-        match read_profile(&mut &bytes[..]) {
+    // Fans out across the session's thread count; every mutated case (and
+    // the final report) is identical at any MOCKTAILS_THREADS.
+    let report = fuzz::run_parallel(
+        Parallelism::current(),
+        &corpus(),
+        CASES_PER_ENTRY,
+        FUZZ_SEED,
+        |bytes| match read_profile(&mut &bytes[..]) {
             Ok(profile) => {
                 // Decode implies validity...
                 profile.validate().expect("decoded profile must validate");
@@ -88,8 +95,8 @@ fn mutated_profiles_decode_cleanly_or_fail_typed() {
             Err(ProfileError::Codec(_) | ProfileError::Corrupt(_) | ProfileError::Invalid(_)) => {
                 false
             }
-        }
-    });
+        },
+    );
     assert!(report.cases >= 2000, "only {} cases ran", report.cases);
     assert!(
         report.rejected > 0,
@@ -112,9 +119,13 @@ fn spliced_profiles_with_trace_bytes_never_panic() {
     let mut trace_bytes = Vec::new();
     mocktails_trace::codec::write_trace(&mut trace_bytes, &trace).unwrap();
     corpus.push(trace_bytes);
-    let report = fuzz::run(&corpus, 200, FUZZ_SEED ^ 0x0051_1ce5, |bytes| {
-        read_profile(&mut &bytes[..]).is_ok()
-    });
+    let report = fuzz::run_parallel(
+        Parallelism::current(),
+        &corpus,
+        200,
+        FUZZ_SEED ^ 0x0051_1ce5,
+        |bytes| read_profile(&mut &bytes[..]).is_ok(),
+    );
     assert!(report.cases >= 1000);
     assert!(report.rejected > 0, "{report:?}");
 }

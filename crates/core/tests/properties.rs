@@ -6,7 +6,7 @@
 use mocktails_core::partition::{hierarchy, spatial};
 use mocktails_core::{HierarchyConfig, LayerSpec, LeafModel, McC, Partition, Profile};
 use mocktails_trace::rng::{Prng, Rng};
-use mocktails_trace::{Op, Request, Trace};
+use mocktails_trace::{DecodeOptions, Op, Request, Trace};
 
 const CASES: u64 = 48;
 
@@ -45,7 +45,7 @@ fn arbitrary_hierarchies_cover_every_request() {
         let layers: Vec<LayerSpec> = (0..rng.gen_range(1..4usize))
             .map(|_| rand_layer(&mut rng))
             .collect();
-        let config = HierarchyConfig::new(layers);
+        let config = HierarchyConfig::builder().layers(layers).build().unwrap();
         let leaves = hierarchy::partition(&trace, &config);
         let total: usize = leaves.iter().map(Partition::len).sum();
         assert_eq!(total, trace.len(), "case {case}");
@@ -128,7 +128,7 @@ fn profile_decoder_never_panics_on_arbitrary_bytes() {
     for _ in 0..CASES {
         let n = rng.gen_range(0..256usize);
         let bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
-        let _ = Profile::read(&mut bytes.as_slice());
+        let _ = Profile::read(&mut bytes.as_slice(), &DecodeOptions::default());
     }
 }
 
@@ -142,7 +142,7 @@ fn profile_decoder_never_panics_on_corrupted_profiles() {
         profile.write(&mut buf).unwrap();
         let idx = rng.gen_range(0..buf.len());
         buf[idx] ^= (rng.next_u64() as u8) | 1;
-        let _ = Profile::read(&mut buf.as_slice());
+        let _ = Profile::read(&mut buf.as_slice(), &DecodeOptions::default());
     }
 }
 

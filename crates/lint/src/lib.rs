@@ -21,6 +21,11 @@
 //! * **L004** — no float-literal `==`/`!=` in model/similarity code.
 //! * **L005** — no `SystemTime`/`Instant` on the synthesis path; model
 //!   time comes from the fitted profile, never the wall clock.
+//! * **L006** — no `io::Error::{new,other,from}` construction outside
+//!   `fault.rs`; codec paths propagate real faults, never forge them.
+//! * **L007** — no `std::thread` outside `crates/pool`; all parallelism
+//!   goes through `mocktails_pool::Parallelism`, whose fixed work
+//!   partitioning keeps results bit-identical at any thread count.
 //!
 //! Escape hatch: `// lint: allow(L001, reason)` on the violating line or
 //! the line above. The reason is mandatory and is itself reviewed.

@@ -8,6 +8,7 @@
 //! | L004 | model & similarity code, non-test | no float-literal `==`/`!=` |
 //! | L005 | synthesis crates, non-test | no `SystemTime`/`Instant` |
 //! | L006 | library code except `fault.rs`, non-test | no `io::Error::{new,other,from}` construction |
+//! | L007 | library code except `crates/pool`, non-test | no direct `std::thread` use |
 //!
 //! Any diagnostic can be suppressed with a `// lint: allow(RULE, reason)`
 //! comment on the same line or the line directly above; the reason is
@@ -65,11 +66,14 @@ struct Scope {
     /// L006 exempts the fault-injection module, the one place allowed to
     /// construct (rather than propagate) `std::io::Error` values.
     is_fault_module: bool,
+    /// L007 exempts the pool crate, the one place allowed to touch
+    /// `std::thread` — everyone else goes through `Parallelism`.
+    is_pool: bool,
 }
 
 impl Scope {
     fn of(path: &Path) -> Self {
-        let p = path.to_string_lossy().replace('\\', "/");
+        let p = normalize_path(&path.to_string_lossy().replace('\\', "/"));
         let is_bin = p.ends_with("/main.rs") || p == "main.rs" || p.contains("/src/bin/");
         let in_crate = |name: &str| p.contains(&format!("crates/{name}/src/"));
         Scope {
@@ -84,6 +88,7 @@ impl Scope {
                 || in_crate("workloads")
                 || in_crate("baselines"),
             is_fault_module: p.ends_with("/fault.rs"),
+            is_pool: in_crate("pool"),
         }
     }
 }
@@ -187,6 +192,21 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
             }
         }
 
+        // L007: spawning raw threads anywhere else would let scheduling
+        // order leak into results — parallelism has exactly one owner.
+        if scope.is_lib && !scope.is_pool && !in_test[i] && ident == "thread" {
+            let after_std = i >= 2
+                && tokens[i - 1].kind.is_op("::")
+                && tokens[i - 2].kind.ident() == Some("std");
+            if after_std {
+                push(
+                    t.line,
+                    "L007",
+                    "`std::thread` outside `mocktails-pool`; go through `Parallelism` so results stay deterministic at any thread count".to_string(),
+                );
+            }
+        }
+
         // L005: no wall-clock reads on the fit/synthesize path.
         if scope.is_synthesis_code && !in_test[i] && (ident == "SystemTime" || ident == "Instant") {
             push(
@@ -231,6 +251,22 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
     });
     diags.sort();
     diags
+}
+
+/// Collapses `.` and `..` segments so scope matching sees the canonical
+/// path — `crates/lint/../pool/src/lib.rs` must scope as the pool crate.
+fn normalize_path(p: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for seg in p.split('/') {
+        match seg {
+            "." => {}
+            ".." if matches!(out.last(), Some(&last) if last != ".." && !last.is_empty()) => {
+                out.pop();
+            }
+            _ => out.push(seg),
+        }
+    }
+    out.join("/")
 }
 
 fn use_root_allowed(root: &str) -> bool {
@@ -571,6 +607,41 @@ mod tests {
         // through new/other/from is flagged.
         let src = "fn f(e: io::Error) -> Result<(), io::Error> { Err(e) }";
         assert!(lint("crates/trace/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_flags_std_thread_outside_the_pool_crate() {
+        let src = "use std::thread;\nfn f() { std::thread::scope(|_| {}); }";
+        let d = lint("crates/sim/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L007", "L007"]);
+        assert!(d[0].message.contains("Parallelism"));
+    }
+
+    #[test]
+    fn l007_exempts_pool_tests_and_binaries() {
+        let src = "fn f() { std::thread::yield_now(); }";
+        assert!(lint("crates/pool/src/lib.rs", src).is_empty());
+        assert!(lint("crates/cli/src/main.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod t { fn g() { std::thread::yield_now(); } }";
+        assert!(lint("crates/sim/src/lib.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn l007_ignores_bare_thread_idents() {
+        // A local named `thread` or a pool-provided re-export is fine;
+        // only the `std::thread` path is the raw escape hatch.
+        let src = "fn f(thread: usize) -> usize { thread + 1 }";
+        assert!(lint("crates/sim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scope_sees_through_dot_dot_segments() {
+        let src = "fn f() { std::thread::yield_now(); }";
+        assert!(lint("crates/lint/../pool/src/lib.rs", src).is_empty());
+        assert_eq!(
+            rules(&lint("crates/lint/../sim/src/lib.rs", src)),
+            vec!["L007"]
+        );
     }
 
     #[test]

@@ -111,6 +111,21 @@ fn l006_fixture_is_silent_in_the_fault_module() {
 }
 
 #[test]
+fn l007_fixture_reports_each_raw_thread_use() {
+    let got = lint_fixture("l007.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(
+        got,
+        vec![(3, "L007"), (7, "L007")],
+        "allowlisted, bare-ident and test-module thread uses must not fire"
+    );
+}
+
+#[test]
+fn l007_fixture_is_silent_inside_the_pool_crate() {
+    assert!(lint_fixture("l007.rs", "crates/pool/src/fixture.rs").is_empty());
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let on_disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/l001.rs");
     let src = std::fs::read_to_string(on_disk).expect("fixture exists");

@@ -1,0 +1,27 @@
+//! L007 fixture: raw thread use outside the pool crate.
+
+use std::thread;
+
+/// Fires twice: the import above and the scoped spawn below.
+pub fn violation() {
+    std::thread::scope(|_| {});
+}
+
+/// Suppressed by the directive on the line above the call.
+pub fn also_violation() {
+    // lint: allow(L007, fixture demonstrating an allowlisted thread use)
+    let _ = std::thread::available_parallelism();
+}
+
+/// A binding merely named `thread` is not a violation.
+pub fn negative(thread: usize) -> usize {
+    thread + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threading_in_a_test_is_fine() {
+        std::thread::yield_now();
+    }
+}

@@ -90,13 +90,19 @@ pub fn hierarchy(options: &EvalOptions) -> Vec<AblationRow> {
     let configs: Vec<(&str, HierarchyConfig)> = vec![
         (
             "1L-T",
-            HierarchyConfig::new(vec![LayerSpec::TemporalCycleCount(
-                options.cycles_per_phase,
-            )]),
+            HierarchyConfig::builder()
+                .layer(LayerSpec::TemporalCycleCount(options.cycles_per_phase))
+                .build()
+                // lint: allow(L001, cycles_per_phase is validated non-zero by the caller)
+                .expect("single temporal layer is a valid hierarchy"),
         ),
         (
             "1L-S",
-            HierarchyConfig::new(vec![LayerSpec::SpatialDynamic]),
+            HierarchyConfig::builder()
+                .layer(LayerSpec::SpatialDynamic)
+                .build()
+                // lint: allow(L001, a dynamic spatial layer has no parameter to invalidate)
+                .expect("single spatial layer is a valid hierarchy"),
         ),
         (
             "2L-TS",

@@ -66,7 +66,11 @@ pub struct MissRateBars {
 /// Fig. 14: geometric-mean L1/L2 miss rates over `names`, for the two
 /// paper configs (16 KiB 2-way and 32 KiB 4-way L1).
 pub fn fig14(names: &[&'static str], options: &CacheEvalOptions) -> Vec<MissRateBars> {
-    let sets: Vec<_> = names.iter().map(|n| cache_trace_set(n, options)).collect();
+    // One worker per benchmark; each set is generated independently, so
+    // the vector is bit-identical at any thread count.
+    let sets = options
+        .parallelism
+        .map(names, |n| cache_trace_set(n, options));
     [
         (16u64 << 10, 2usize, "16KB 2-way"),
         (32 << 10, 4, "32KB 4-way"),
@@ -78,7 +82,9 @@ pub fn fig14(names: &[&'static str], options: &CacheEvalOptions) -> Vec<MissRate
             l1_ways: ways,
             ..options.clone()
         };
-        let evals: Vec<CacheEval> = sets.iter().map(|s| evaluate_cache_set(s, &opts)).collect();
+        let evals: Vec<CacheEval> = opts
+            .parallelism
+            .map(&sets, |s| evaluate_cache_set(s, &opts));
         let geo = |pick: &dyn Fn(&CacheEval) -> f64| {
             geo_mean(&evals.iter().map(|e| pick(e) * 100.0).collect::<Vec<_>>())
         };

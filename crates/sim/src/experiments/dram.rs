@@ -248,9 +248,9 @@ pub struct RowHitCounts {
 
 /// Fig. 10: number of read/write row hits for FBC-Linear1 vs. FBC-Tiled1.
 pub fn fig10(options: &EvalOptions) -> Vec<RowHitCounts> {
-    ["FBC-Linear1", "FBC-Tiled1"]
-        .iter()
-        .map(|name| {
+    options
+        .parallelism
+        .map(&["FBC-Linear1", "FBC-Tiled1"], |name| {
             let eval = evaluate_dram(
                 // lint: allow(L001, literal Table II name present in the catalog)
                 &catalog::by_name(name).expect("figure workload in catalog"),
@@ -270,7 +270,6 @@ pub fn fig10(options: &EvalOptions) -> Vec<RowHitCounts> {
                 ],
             }
         })
-        .collect()
 }
 
 /// Renders Fig. 10.
@@ -450,10 +449,9 @@ pub fn fig13(intervals: &[u64], options: &EvalOptions) -> Vec<SensitivityPoint> 
             cycles_per_phase: interval,
             ..options.clone()
         };
-        let evals: Vec<_> = traces
-            .iter()
-            .map(|(name, device, trace)| evaluate_dram_trace(name, *device, trace, &opts))
-            .collect();
+        let evals: Vec<_> = opts.parallelism.map(&traces, |(name, device, trace)| {
+            evaluate_dram_trace(name, *device, trace, &opts)
+        });
         for (device, group) in by_device(&evals) {
             if group.is_empty() {
                 continue;

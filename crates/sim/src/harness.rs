@@ -5,6 +5,7 @@ use mocktails_baselines::{HrdModel, StmProfile};
 use mocktails_cache::{CacheHierarchy, HierarchyStats};
 use mocktails_core::{HierarchyConfig, Profile};
 use mocktails_dram::{DramConfig, DramStats, MemorySystem};
+use mocktails_pool::Parallelism;
 use mocktails_trace::Trace;
 use mocktails_workloads::{catalog, spec, Device, TraceSpec};
 
@@ -20,6 +21,9 @@ pub struct EvalOptions {
     pub seed: u64,
     /// DRAM configuration (Table III defaults).
     pub dram: DramConfig,
+    /// Worker threads for per-workload fan-out (results are bit-identical
+    /// at any thread count; defaults to [`Parallelism::current`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for EvalOptions {
@@ -29,6 +33,7 @@ impl Default for EvalOptions {
             max_requests: None,
             seed: 1,
             dram: DramConfig::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -107,12 +112,15 @@ pub fn evaluate_dram_trace(
     }
 }
 
-/// Evaluates the whole Table II catalog.
+/// Evaluates the whole Table II catalog, fanning one worker out per
+/// workload. Each evaluation is independent (own trace, own simulators),
+/// so the result vector is bit-identical at any thread count and stays in
+/// catalog order.
 pub fn evaluate_dram_all(options: &EvalOptions) -> Vec<DramEval> {
-    catalog::all()
-        .iter()
-        .map(|spec| evaluate_dram(spec, options))
-        .collect()
+    let specs = catalog::all();
+    options
+        .parallelism
+        .map(&specs, |spec| evaluate_dram(spec, options))
 }
 
 /// Groups evaluations by device, preserving [`Device::ALL`] order.
@@ -155,6 +163,9 @@ pub struct CacheEvalOptions {
     pub requests: usize,
     /// Seed for all synthesis.
     pub seed: u64,
+    /// Worker threads for per-model fan-out (results are bit-identical at
+    /// any thread count; defaults to [`Parallelism::current`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for CacheEvalOptions {
@@ -165,6 +176,7 @@ impl Default for CacheEvalOptions {
             requests_per_phase: 10_000,
             requests: spec::DEFAULT_REQUESTS,
             seed: 1,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -196,15 +208,23 @@ pub struct CacheTraceSet {
     pub hrd: Trace,
 }
 
-/// Generates the benchmark trace and all three synthetic recreations.
+/// Generates the benchmark trace and all three synthetic recreations,
+/// fitting the three models concurrently (each fits and samples from its
+/// own state, so the traces are bit-identical at any thread count).
 pub fn cache_trace_set(name: &'static str, options: &CacheEvalOptions) -> CacheTraceSet {
     // lint: allow(L001, benchmark names come from spec::NAMES so generation cannot fail)
     let base = spec::generate_n(name, 1, options.requests).expect("known benchmark name");
     let dynamic_cfg = HierarchyConfig::two_level_requests_dynamic(options.requests_per_phase);
     let fixed_cfg = HierarchyConfig::two_level_requests_fixed(options.requests_per_phase, 4096);
-    let dynamic = fit_and_synthesize(&base, &dynamic_cfg, options.seed);
-    let fixed4k = fit_and_synthesize(&base, &fixed_cfg, options.seed);
-    let hrd = HrdModel::fit(&base).synthesize(options.seed);
+    let jobs: [&(dyn Fn() -> Trace + Sync); 3] = [
+        &|| fit_and_synthesize(&base, &dynamic_cfg, options.seed),
+        &|| fit_and_synthesize(&base, &fixed_cfg, options.seed),
+        &|| HrdModel::fit(&base).synthesize(options.seed),
+    ];
+    let mut traces = options.parallelism.map(&jobs, |job| job()).into_iter();
+    // lint: allow(L001, the map over 3 jobs always yields 3 traces)
+    let mut take = || traces.next().expect("one trace per job");
+    let (dynamic, fixed4k, hrd) = (take(), take(), take());
     CacheTraceSet {
         name,
         base,
@@ -214,17 +234,26 @@ pub fn cache_trace_set(name: &'static str, options: &CacheEvalOptions) -> CacheT
     }
 }
 
-/// Runs one trace set through a fresh L1/L2 hierarchy.
+/// Runs one trace set through a fresh L1/L2 hierarchy, one worker per
+/// model (four independent simulations; merge order is fixed, so the
+/// statistics are bit-identical at any thread count).
 pub fn evaluate_cache_set(set: &CacheTraceSet, options: &CacheEvalOptions) -> CacheEval {
-    let run = |trace: &Trace| {
-        CacheHierarchy::paper_config(options.l1_bytes, options.l1_ways).run_trace(trace)
-    };
+    let traces = [&set.base, &set.dynamic, &set.fixed4k, &set.hrd];
+    let mut stats = options
+        .parallelism
+        .map(&traces, |trace| {
+            CacheHierarchy::paper_config(options.l1_bytes, options.l1_ways).run_trace(trace)
+        })
+        .into_iter();
+    // lint: allow(L001, the map over 4 traces always yields 4 stats)
+    let mut take = || stats.next().expect("one stats per trace");
+    let (base, dynamic, fixed4k, hrd) = (take(), take(), take(), take());
     CacheEval {
         name: set.name,
-        base: run(&set.base),
-        dynamic: run(&set.dynamic),
-        fixed4k: run(&set.fixed4k),
-        hrd: run(&set.hrd),
+        base,
+        dynamic,
+        fixed4k,
+        hrd,
     }
 }
 

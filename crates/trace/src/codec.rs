@@ -28,7 +28,7 @@
 
 use std::io::{Read, Write};
 
-use crate::{DecodeLimits, Op, Request, Trace, TraceError};
+use crate::{DecodeLimits, DecodeOptions, Op, Request, Trace, TraceError};
 
 /// Requests decoded per allocation chunk. Capacity grows with bytes
 /// actually consumed, never with the attacker-declared count, so a tiny
@@ -184,7 +184,7 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError>
 }
 
 /// Decodes a trace written by [`write_trace`] using default
-/// [`DecodeLimits`].
+/// [`DecodeOptions`].
 ///
 /// # Errors
 ///
@@ -193,21 +193,22 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError>
 /// [`TraceError::LimitExceeded`] for an implausible declared request
 /// count, or an I/O error from the reader.
 pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
-    read_trace_with_limits(r, &DecodeLimits::default())
+    read_trace_with(r, &DecodeOptions::default())
 }
 
-/// Decodes a trace written by [`write_trace`] with explicit resource
-/// limits. The declared request count is validated before any allocation,
-/// and the request buffer grows only as records are actually read, so a
-/// hostile header cannot force memory proportional to its claims.
+/// Decodes a trace written by [`write_trace`] under caller-chosen
+/// [`DecodeOptions`]. The declared request count is validated against the
+/// options' limits before any allocation, and the request buffer grows
+/// only as records are actually read, so a hostile header cannot force
+/// memory proportional to its claims.
+///
+/// [`Trace::read`] is the method-form equivalent.
 ///
 /// # Errors
 ///
 /// See [`read_trace`].
-pub fn read_trace_with_limits<R: Read>(
-    r: &mut R,
-    limits: &DecodeLimits,
-) -> Result<Trace, TraceError> {
+pub fn read_trace_with<R: Read>(r: &mut R, options: &DecodeOptions) -> Result<Trace, TraceError> {
+    let limits = options.limits();
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != TRACE_MAGIC {
@@ -242,6 +243,22 @@ pub fn read_trace_with_limits<R: Read>(
         requests.push(Request::new(last_time, last_addr as u64, op, size));
     }
     Ok(Trace::from_sorted_requests(requests))
+}
+
+/// Decodes a trace with explicit resource limits.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Trace::read` (or `read_trace_with`) with `DecodeOptions`"
+)]
+pub fn read_trace_with_limits<R: Read>(
+    r: &mut R,
+    limits: &DecodeLimits,
+) -> Result<Trace, TraceError> {
+    read_trace_with(r, &DecodeOptions::default().with_limits(*limits))
 }
 
 /// Writes a trace as CSV (`timestamp,address,op,size`, addresses in hex)
@@ -466,6 +483,26 @@ mod tests {
 
     #[test]
     fn custom_limits_are_honored() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let tight = DecodeOptions::default().with_limits(DecodeLimits {
+            max_requests: 2,
+            ..DecodeLimits::default()
+        });
+        assert!(matches!(
+            read_trace_with(&mut buf.as_slice(), &tight),
+            Err(TraceError::LimitExceeded { .. })
+        ));
+        assert_eq!(
+            read_trace_with(&mut buf.as_slice(), &DecodeOptions::trusted()).unwrap(),
+            trace
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_limits_shim_still_decodes() {
         let trace = sample_trace();
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();

@@ -1,0 +1,92 @@
+//! Order-sensitive trace fingerprinting.
+//!
+//! The workspace's headline parallelism invariant — *bit-identical output
+//! at any thread count* — needs a cheap, order-sensitive probe that two
+//! traces are the same request stream, not merely statistically similar.
+//! [`fingerprint`] hashes every field of every request in trace order with
+//! FNV-1a, so a single transposed request, flipped op bit or shifted
+//! timestamp changes the digest.
+//!
+//! The algorithm (including the field mix order) is pinned by the golden
+//! regression tests in `crates/workloads/tests/golden.rs`; changing it
+//! invalidates every recorded fingerprint in the repository.
+
+use crate::{Op, Trace};
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over every field of every request, in trace order.
+///
+/// Per request, the fields are mixed as little-endian `u64`s in the fixed
+/// order timestamp, address, size, op (`Read` = 0, `Write` = 1). Equal
+/// traces always produce equal fingerprints; distinct request streams
+/// produce distinct fingerprints with the usual 64-bit collision odds.
+///
+/// ```
+/// use mocktails_trace::{fingerprint, Request, Trace};
+///
+/// let a = Trace::from_requests(vec![Request::read(0, 0x1000, 64)]);
+/// let b = Trace::from_requests(vec![Request::read(0, 0x1040, 64)]);
+/// assert_eq!(fingerprint(&a), fingerprint(&a));
+/// assert_ne!(fingerprint(&a), fingerprint(&b));
+/// ```
+pub fn fingerprint(trace: &Trace) -> u64 {
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for r in trace.iter() {
+        mix(r.timestamp);
+        mix(r.address);
+        mix(u64::from(r.size));
+        mix(match r.op {
+            Op::Read => 0,
+            Op::Write => 1,
+        });
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Request;
+
+    #[test]
+    fn empty_trace_hashes_to_the_offset_basis() {
+        assert_eq!(fingerprint(&Trace::new()), OFFSET);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let ab = Trace::from_sorted_requests(vec![
+            Request::read(0, 0x1000, 64),
+            Request::write(0, 0x2000, 64),
+        ]);
+        let ba = Trace::from_sorted_requests(vec![
+            Request::write(0, 0x2000, 64),
+            Request::read(0, 0x1000, 64),
+        ]);
+        assert_ne!(fingerprint(&ab), fingerprint(&ba));
+    }
+
+    #[test]
+    fn every_field_participates() {
+        let base = Trace::from_requests(vec![Request::read(5, 0x1000, 64)]);
+        let variants = [
+            Trace::from_requests(vec![Request::read(6, 0x1000, 64)]),
+            Trace::from_requests(vec![Request::read(5, 0x1001, 64)]),
+            Trace::from_requests(vec![Request::read(5, 0x1000, 32)]),
+            Trace::from_requests(vec![Request::write(5, 0x1000, 64)]),
+        ];
+        for variant in &variants {
+            assert_ne!(fingerprint(&base), fingerprint(variant));
+        }
+    }
+}

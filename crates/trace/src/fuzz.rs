@@ -32,6 +32,7 @@
 //! ```
 
 use crate::rng::{Prng, Rng};
+use mocktails_pool::Parallelism;
 
 /// The mutation operators the fuzzer draws from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +178,40 @@ where
     report
 }
 
+/// [`run`], fanned out across `parallelism` worker threads.
+///
+/// Every `(corpus entry, case index)` pair is mutated with the same seed
+/// formula as [`run`], so the resulting [`FuzzReport`] is identical at any
+/// thread count; only wall-clock time changes. Because cases execute
+/// concurrently, `check` must be `Fn + Sync` rather than `FnMut` — a
+/// stateless decode-and-classify closure, which is what every codec gate
+/// in tier-1 CI uses.
+pub fn run_parallel<F>(
+    parallelism: Parallelism,
+    corpus: &[Vec<u8>],
+    cases_per_entry: usize,
+    seed: u64,
+    check: F,
+) -> FuzzReport
+where
+    F: Fn(&[u8]) -> bool + Sync,
+{
+    let work: Vec<(usize, usize)> = (0..corpus.len())
+        .flat_map(|j| (0..cases_per_entry).map(move |i| (j, i)))
+        .collect();
+    let outcomes = parallelism.map(&work, |&(j, i)| {
+        let case_seed = seed ^ ((j as u64) << 32) ^ i as u64;
+        let mutated = Mutator::new(case_seed).mutate(&corpus[j]);
+        check(&mutated)
+    });
+    let accepted = outcomes.iter().filter(|&&ok| ok).count();
+    FuzzReport {
+        cases: outcomes.len(),
+        accepted,
+        rejected: outcomes.len() - accepted,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +265,17 @@ mod tests {
         assert_eq!(report.accepted + report.rejected, 100);
         assert!(report.accepted > 0, "{report:?}");
         assert!(report.rejected > 0, "{report:?}");
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_report() {
+        let corpus = vec![base(), base().split_off(100)];
+        let check = |bytes: &[u8]| bytes.first() == Some(&0);
+        let sequential = run(&corpus, 80, 21, check);
+        for threads in [1, 2, 8] {
+            let parallel = run_parallel(Parallelism::new(threads), &corpus, 80, 21, check);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //! * [`rng`] — the workspace's deterministic pseudo-random generators
 //!   (SplitMix64, xoshiro256**), so synthesis never depends on an external
 //!   RNG crate or its version-to-version stream changes.
-//! * [`DecodeLimits`] — resource limits applied to every declared count in
-//!   an untrusted encoding, turning hostile length fields into typed
-//!   [`TraceError::LimitExceeded`] errors instead of allocation storms.
+//! * [`DecodeLimits`] and [`DecodeOptions`] — resource limits and the
+//!   validation toggle applied to untrusted encodings, turning hostile
+//!   length fields into typed [`TraceError::LimitExceeded`] errors instead
+//!   of allocation storms.
+//! * [`fingerprint`] — an order-sensitive FNV-1a fingerprint over a trace's
+//!   request stream, the workspace's cross-thread-count determinism probe.
 //! * [`fault`] — deterministic I/O fault injection ([`fault::FaultyReader`],
 //!   [`fault::FaultyWriter`]) and crash-safe atomic file writes.
 //! * [`fuzz`] — the seeded mutational fuzz harness that gates both codecs
@@ -46,6 +49,7 @@
 pub mod codec;
 mod error;
 pub mod fault;
+mod fingerprint;
 pub mod fuzz;
 mod limits;
 mod range;
@@ -57,7 +61,8 @@ mod trace;
 pub mod transform;
 
 pub use error::TraceError;
-pub use limits::{checked_usize, DecodeLimits};
+pub use fingerprint::fingerprint;
+pub use limits::{checked_usize, DecodeLimits, DecodeOptions};
 pub use range::AddrRange;
 pub use request::{Op, Request};
 pub use stats::{BinnedCounts, TraceStats};

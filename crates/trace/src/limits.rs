@@ -94,6 +94,85 @@ impl DecodeLimits {
     }
 }
 
+/// Unified decode configuration: resource limits plus the post-decode
+/// validation toggle, consumed by [`crate::Trace::read`] and
+/// `mocktails_core`'s `Profile::read`.
+///
+/// This is the single options value that replaced the PR 2 pair of entry
+/// points (`read_*` / `read_*_with_limits`). Build it fluently:
+///
+/// ```
+/// use mocktails_trace::{DecodeLimits, DecodeOptions};
+///
+/// // Untrusted input, tighter-than-default caps:
+/// let cautious = DecodeOptions::new().with_limits(DecodeLimits {
+///     max_requests: 1 << 20,
+///     ..DecodeLimits::default()
+/// });
+/// assert!(cautious.validates());
+///
+/// // Locally-produced input on a hot path:
+/// let fast = DecodeOptions::trusted();
+/// assert!(!fast.validates());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOptions {
+    limits: DecodeLimits,
+    validate: bool,
+}
+
+impl Default for DecodeOptions {
+    /// Default limits, semantic validation on — the right choice for any
+    /// input that crossed an organizational boundary.
+    fn default() -> Self {
+        Self {
+            limits: DecodeLimits::default(),
+            validate: true,
+        }
+    }
+}
+
+impl DecodeOptions {
+    /// Equivalent to [`DecodeOptions::default`]; the fluent starting point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A permissive configuration for trusted, locally-produced inputs:
+    /// [`DecodeLimits::unchecked`] and no post-decode validation.
+    pub fn trusted() -> Self {
+        Self {
+            limits: DecodeLimits::unchecked(),
+            validate: false,
+        }
+    }
+
+    /// Replaces the resource limits (builder-style).
+    pub fn with_limits(mut self, limits: DecodeLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Enables or disables post-decode semantic validation
+    /// (builder-style). Only profile decoding consults this: a trace has
+    /// no cross-field invariants beyond what the codec already enforces.
+    pub fn with_validation(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// The resource limits applied to every declared count.
+    pub fn limits(&self) -> &DecodeLimits {
+        &self.limits
+    }
+
+    /// Whether the decoder should verify semantic invariants after a
+    /// structurally successful decode.
+    pub fn validates(&self) -> bool {
+        self.validate
+    }
+}
+
 /// Converts a decoded `u64` to `usize` with a typed error on narrowing —
 /// the checked replacement for bare `as usize` casts on untrusted values.
 ///
@@ -151,5 +230,33 @@ mod tests {
     #[test]
     fn checked_usize_round_trips_small_values() {
         assert_eq!(checked_usize(42, "count").unwrap(), 42);
+    }
+
+    #[test]
+    fn decode_options_default_is_cautious() {
+        let options = DecodeOptions::default();
+        assert_eq!(*options.limits(), DecodeLimits::default());
+        assert!(options.validates());
+        assert_eq!(options, DecodeOptions::new());
+    }
+
+    #[test]
+    fn decode_options_trusted_lifts_all_checks() {
+        let options = DecodeOptions::trusted();
+        assert_eq!(*options.limits(), DecodeLimits::unchecked());
+        assert!(!options.validates());
+    }
+
+    #[test]
+    fn decode_options_builders_compose() {
+        let tight = DecodeLimits {
+            max_requests: 7,
+            ..DecodeLimits::default()
+        };
+        let options = DecodeOptions::new()
+            .with_limits(tight)
+            .with_validation(false);
+        assert_eq!(options.limits().max_requests, 7);
+        assert!(!options.validates());
     }
 }

@@ -1,6 +1,6 @@
 //! The trace container.
 
-use crate::{AddrRange, Request, TraceStats};
+use crate::{AddrRange, DecodeOptions, Request, TraceStats};
 
 /// An ordered sequence of memory requests.
 ///
@@ -163,6 +163,40 @@ impl Trace {
     pub fn op_counts(&self) -> (usize, usize) {
         let reads = self.reads();
         (reads, self.len() - reads)
+    }
+
+    /// Decodes a trace from `r` under the given [`DecodeOptions`] — the
+    /// method form of [`crate::codec::read_trace_with`].
+    ///
+    /// ```
+    /// use mocktails_trace::{DecodeOptions, Request, Trace};
+    ///
+    /// let trace = Trace::from_requests(vec![Request::read(0, 0x1000, 64)]);
+    /// let mut buf = Vec::new();
+    /// trace.write(&mut buf)?;
+    /// let back = Trace::read(&mut buf.as_slice(), &DecodeOptions::default())?;
+    /// assert_eq!(back, trace);
+    /// # Ok::<(), mocktails_trace::TraceError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::codec::read_trace`].
+    pub fn read<R: std::io::Read>(
+        r: &mut R,
+        options: &DecodeOptions,
+    ) -> Result<Self, crate::TraceError> {
+        crate::codec::read_trace_with(r, options)
+    }
+
+    /// Encodes the trace to `w` in the workspace binary format — the
+    /// method form of [`crate::codec::write_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the writer.
+    pub fn write<W: std::io::Write>(&self, w: &mut W) -> Result<(), crate::TraceError> {
+        crate::codec::write_trace(w, self)
     }
 }
 

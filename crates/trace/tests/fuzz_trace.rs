@@ -5,9 +5,12 @@
 //! cleanly — and then round-trip canonically — or return a typed error.
 //! A panic, abort or unbounded allocation anywhere fails the suite.
 
+use mocktails_pool::Parallelism;
 use mocktails_trace::codec::{read_trace, write_trace};
 use mocktails_trace::fault::{FaultPlan, FaultyReader};
-use mocktails_trace::{fuzz, DecodeLimits, Request, StreamReader, Trace, TraceError};
+use mocktails_trace::{
+    fuzz, DecodeLimits, DecodeOptions, Request, StreamReader, Trace, TraceError,
+};
 
 /// Fixed campaign seed: never change without a good reason — CI failures
 /// replay locally only while the seed matches.
@@ -45,8 +48,14 @@ fn corpus() -> Vec<Vec<u8>> {
 
 #[test]
 fn mutated_traces_decode_cleanly_or_fail_typed() {
-    let report = fuzz::run(&corpus(), CASES_PER_ENTRY, FUZZ_SEED, |bytes| {
-        match read_trace(&mut &bytes[..]) {
+    // The campaign fans out across the session's thread count; the report
+    // (and every mutated case) is identical at any MOCKTAILS_THREADS.
+    let report = fuzz::run_parallel(
+        Parallelism::current(),
+        &corpus(),
+        CASES_PER_ENTRY,
+        FUZZ_SEED,
+        |bytes| match read_trace(&mut &bytes[..]) {
             Ok(trace) => {
                 // Accepted inputs must round-trip canonically: re-encoding
                 // and re-decoding reproduces the same trace.
@@ -62,8 +71,8 @@ fn mutated_traces_decode_cleanly_or_fail_typed() {
                 | TraceError::UnsupportedVersion { .. }
                 | TraceError::LimitExceeded { .. },
             ) => false,
-        }
-    });
+        },
+    );
     assert!(report.cases >= 2000, "only {} cases ran", report.cases);
     assert!(
         report.rejected > 0,
@@ -143,7 +152,7 @@ fn hostile_count_under_faults_stays_bounded() {
         max_requests: 10,
         ..DecodeLimits::default()
     };
-    let err = mocktails_trace::codec::read_trace_with_limits(&mut hostile.as_slice(), &tight)
-        .unwrap_err();
+    let options = DecodeOptions::new().with_limits(tight);
+    let err = Trace::read(&mut hostile.as_slice(), &options).unwrap_err();
     assert!(matches!(err, TraceError::LimitExceeded { declared, .. } if declared == 1 << 60));
 }

@@ -9,31 +9,8 @@
 //! experiment. If a change is *intentional*, update the constants below
 //! in the same commit and say why in its message.
 
-use mocktails_trace::Trace;
+use mocktails_trace::fingerprint;
 use mocktails_workloads::{catalog, gpu};
-
-/// FNV-1a over every field of every request, in trace order.
-fn fingerprint(trace: &Trace) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    for r in trace.iter() {
-        mix(r.timestamp);
-        mix(r.address);
-        mix(u64::from(r.size));
-        mix(match r.op {
-            mocktails_trace::Op::Read => 0,
-            mocktails_trace::Op::Write => 1,
-        });
-    }
-    h
-}
 
 #[test]
 fn trex_at_seed_301_is_pinned() {

@@ -12,7 +12,7 @@ use std::io::{BufReader, BufWriter};
 
 use mocktails::trace::codec;
 use mocktails::workloads::catalog;
-use mocktails::{DramConfig, HierarchyConfig, MemorySystem, Profile};
+use mocktails::{DecodeOptions, DramConfig, HierarchyConfig, MemorySystem, Profile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("mocktails-profile-exchange");
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Academia side -------------------------------------------------
-    let received = Profile::read(&mut BufReader::new(File::open(&profile_path)?))?;
+    let received = Profile::read(
+        &mut BufReader::new(File::open(&profile_path)?),
+        &DecodeOptions::default(),
+    )?;
     assert_eq!(received, profile);
 
     // Option B: couple the synthesizer to the simulator so backpressure

@@ -10,7 +10,7 @@
 
 use mocktails::trace::codec;
 use mocktails::workloads::catalog;
-use mocktails::{DramConfig, HierarchyConfig, MemorySystem, Profile};
+use mocktails::{DecodeOptions, DramConfig, HierarchyConfig, MemorySystem, Profile};
 
 fn main() {
     // 1. The "proprietary" trace.
@@ -38,7 +38,7 @@ fn main() {
     // 3. The profile round-trips through its binary format.
     let mut bytes = Vec::new();
     profile.write(&mut bytes).expect("in-memory write");
-    let shared = Profile::read(&mut bytes.as_slice()).expect("decode");
+    let shared = Profile::read(&mut bytes.as_slice(), &DecodeOptions::default()).expect("decode");
 
     // 4. Academia synthesizes a stand-in stream.
     let synthetic = shared.synthesize(42);

@@ -11,8 +11,13 @@ cargo fmt --all -- --check
 echo "==> cargo build --release (offline)"
 cargo build --release --offline --workspace
 
-echo "==> cargo test (offline)"
-cargo test -q --offline --workspace
+echo "==> cargo test (offline, sequential: MOCKTAILS_THREADS=1)"
+MOCKTAILS_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> cargo test (offline, parallel: MOCKTAILS_THREADS=4)"
+# Same suite at four workers: every artifact must stay bit-identical,
+# so any scheduling-order dependence fails the gate here.
+MOCKTAILS_THREADS=4 cargo test -q --offline --workspace
 
 echo "==> fuzz smoke (seeded mutation campaigns)"
 cargo test -q --offline -p mocktails-trace --test fuzz_trace

@@ -14,6 +14,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`pool`] | `mocktails-pool` | Deterministic scoped thread pool (`Parallelism`) |
 //! | [`trace`] | `mocktails-trace` | Requests, traces, stats, binary codec |
 //! | [`core`] | `mocktails-core` | Partitioning, McC models, synthesis, profiles |
 //! | [`workloads`] | `mocktails-workloads` | Synthetic Table II traces + SPEC-like suite |
@@ -43,12 +44,15 @@ pub use mocktails_baselines as baselines;
 pub use mocktails_cache as cache;
 pub use mocktails_core as core;
 pub use mocktails_dram as dram;
+pub use mocktails_pool as pool;
 pub use mocktails_sim as sim;
 pub use mocktails_trace as trace;
 pub use mocktails_workloads as workloads;
 
 pub use mocktails_core::{
-    HierarchyConfig, InjectionFeedback, LayerSpec, McC, ModelOptions, Profile, Synthesizer,
+    ConfigBuilder, ConfigError, HierarchyConfig, InjectionFeedback, LayerSpec, McC, ModelOptions,
+    Profile, Synthesizer,
 };
 pub use mocktails_dram::{DramConfig, MemorySystem};
-pub use mocktails_trace::{Op, Request, Trace};
+pub use mocktails_pool::Parallelism;
+pub use mocktails_trace::{DecodeLimits, DecodeOptions, Op, Request, Trace};

@@ -6,7 +6,7 @@ use std::io::{BufReader, BufWriter};
 
 use mocktails::trace::codec;
 use mocktails::workloads::catalog;
-use mocktails::{HierarchyConfig, Profile};
+use mocktails::{DecodeOptions, HierarchyConfig, Profile};
 
 fn temp_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("mocktails-tests");
@@ -38,7 +38,11 @@ fn profile_file_round_trip_and_synthesis_equivalence() {
     profile
         .write(&mut BufWriter::new(File::create(&path).unwrap()))
         .unwrap();
-    let back = Profile::read(&mut BufReader::new(File::open(&path).unwrap())).unwrap();
+    let back = Profile::read(
+        &mut BufReader::new(File::open(&path).unwrap()),
+        &DecodeOptions::default(),
+    )
+    .unwrap();
     assert_eq!(back, profile);
     // Decoded profiles synthesize byte-identical streams.
     assert_eq!(back.synthesize(9), profile.synthesize(9));
@@ -84,6 +88,10 @@ fn corrupted_profile_file_is_rejected() {
     let mid = bytes.len() / 2;
     bytes.truncate(mid);
     std::fs::write(&path, &bytes).unwrap();
-    assert!(Profile::read(&mut BufReader::new(File::open(&path).unwrap())).is_err());
+    assert!(Profile::read(
+        &mut BufReader::new(File::open(&path).unwrap()),
+        &DecodeOptions::default()
+    )
+    .is_err());
     std::fs::remove_file(&path).ok();
 }

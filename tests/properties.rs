@@ -5,7 +5,7 @@ use mocktails::core::partition::{spatial, temporal};
 use mocktails::core::{HierarchyConfig, MarkovChain, Profile};
 use mocktails::trace::rng::{Prng, Rng};
 use mocktails::trace::{codec, AddrRange, Op, Request, Trace};
-use mocktails::{DramConfig, MemorySystem};
+use mocktails::{DecodeOptions, DramConfig, MemorySystem};
 
 const CASES: u64 = 64;
 
@@ -129,7 +129,7 @@ fn profile_codec_round_trips() {
         let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
         let mut buf = Vec::new();
         profile.write(&mut buf).unwrap();
-        let back = Profile::read(&mut buf.as_slice()).unwrap();
+        let back = Profile::read(&mut buf.as_slice(), &DecodeOptions::default()).unwrap();
         assert_eq!(back, profile, "case {case}");
     }
 }

@@ -11,7 +11,7 @@
 //! (O(n log n)); synthesis replays distances against a synthetic LRU stack
 //! with strict-convergence sampling of the histograms.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use mocktails_trace::rng::Prng;
 use mocktails_trace::rng::Rng;
@@ -29,8 +29,10 @@ pub const COARSE_BYTES: u64 = 4096;
 /// (what matters is which side of each cache capacity a distance falls).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReuseHistogram {
-    /// `bucket -> count` for finite distances.
-    finite: HashMap<u64, u64>,
+    /// `bucket -> count` for finite distances. Ordered so that sampling
+    /// walks buckets in a fixed sequence (L008: the synthesis path must
+    /// not depend on hash iteration order).
+    finite: BTreeMap<u64, u64>,
     /// Cold accesses (infinite distance).
     cold: u64,
     total: u64,
@@ -67,8 +69,8 @@ impl ReuseHistogram {
 
     /// Creates a strict-convergence sampler over this histogram.
     fn sampler(&self) -> ReuseSampler {
-        let mut finite: Vec<(u64, u64)> = self.finite.iter().map(|(&b, &c)| (b, c)).collect();
-        finite.sort_unstable();
+        // BTreeMap iteration is already bucket-ordered.
+        let finite: Vec<(u64, u64)> = self.finite.iter().map(|(&b, &c)| (b, c)).collect();
         ReuseSampler {
             finite,
             cold: self.cold,
@@ -113,10 +115,7 @@ impl ReuseSampler {
                 return None;
             }
             let mut target = rng.gen_range(0..total);
-            let mut buckets: Vec<(u64, u64)> =
-                self.original.finite.iter().map(|(&b, &c)| (b, c)).collect();
-            buckets.sort_unstable();
-            for (b, c) in buckets {
+            for (&b, &c) in self.original.finite.iter() {
                 if target < c {
                     return Some(b);
                 }
@@ -266,7 +265,7 @@ impl HrdModel {
         let mut coarse = ReuseHistogram::default();
         let mut ops = OpStateModel::default();
         let mut dirty: HashMap<u64, bool> = HashMap::new();
-        let mut sizes: HashMap<u32, u64> = HashMap::new();
+        let mut sizes: BTreeMap<u32, u64> = BTreeMap::new();
         for r in trace.iter() {
             let block = r.address / FINE_BYTES;
             let region = r.address / COARSE_BYTES;

@@ -26,7 +26,7 @@ fn rand_trace(rng: &mut Prng, max: usize) -> Trace {
 
 #[test]
 fn single_level_conservation() {
-    let mut rng = Prng::seed_from_u64(0xCAC4E_001);
+    let mut rng = Prng::seed_from_u64(0xCAC4_E001);
     for case in 0..CASES {
         let accesses: Vec<(u64, bool)> = (0..rng.gen_range(1..400usize))
             .map(|_| (rng.gen_range(0..0x1_0000u64), rng.gen_bool(0.5)))
@@ -64,7 +64,7 @@ fn single_level_conservation() {
 
 #[test]
 fn hierarchy_inclusion_style_invariants() {
-    let mut rng = Prng::seed_from_u64(0xCAC4E_002);
+    let mut rng = Prng::seed_from_u64(0xCAC4_E002);
     for case in 0..CASES {
         let trace = rand_trace(&mut rng, 300);
         let stats = CacheHierarchy::paper_config(8 << 10, 2).run_trace(&trace);
@@ -90,7 +90,7 @@ fn bigger_caches_never_miss_more_under_lru_inclusion() {
     // LRU stack property: for a fully-associative cache, a bigger one
     // never misses more. Use ways == sets*ways blocks with one set to
     // make the caches fully associative.
-    let mut rng = Prng::seed_from_u64(0xCAC4E_003);
+    let mut rng = Prng::seed_from_u64(0xCAC4_E003);
     for case in 0..CASES {
         let trace = rand_trace(&mut rng, 300);
         let run = |blocks: usize| {
@@ -107,7 +107,7 @@ fn bigger_caches_never_miss_more_under_lru_inclusion() {
 
 #[test]
 fn replacement_policies_agree_on_compulsory_misses() {
-    let mut rng = Prng::seed_from_u64(0xCAC4E_004);
+    let mut rng = Prng::seed_from_u64(0xCAC4_E004);
     for case in 0..CASES {
         let trace = rand_trace(&mut rng, 200);
         let distinct = trace

@@ -72,6 +72,7 @@ impl LeafModel {
     ///
     /// Returns the violated invariant: a zero request count, or a start
     /// address outside the leaf's range.
+    // lint: allow(L011, the eight feature-model parts mirror the on-disk leaf record)
     #[allow(clippy::too_many_arguments)]
     pub fn try_from_parts(
         start_time: u64,
@@ -105,6 +106,7 @@ impl LeafModel {
 
     /// Builds a leaf model from explicit parts (used by the profile decoder
     /// and by baseline models that swap in their own feature models).
+    // lint: allow(L011, the eight feature-model parts mirror the on-disk leaf record)
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         start_time: u64,

@@ -9,6 +9,7 @@
 mod codec;
 mod summary;
 
+// lint: allow(L011, re-exporting the deprecated shim keeps PR 3 callers compiling)
 #[allow(deprecated)]
 pub use codec::read_profile_with_limits;
 pub use codec::{read_profile, read_profile_with, write_profile};

@@ -57,8 +57,10 @@ pub struct ValueStats {
 impl ValueStats {
     /// Computes statistics over a value sequence.
     pub fn from_values(values: &[u64]) -> Self {
-        use std::collections::HashMap;
-        let mut counts: HashMap<u64, u64> = HashMap::new();
+        use std::collections::BTreeMap;
+        // A BTreeMap keeps the entropy summation order fixed, so the f64
+        // result is bit-stable across runs (L008).
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
         for &v in values {
             *counts.entry(v).or_insert(0) += 1;
         }

@@ -1,0 +1,64 @@
+//! The PR 3 deprecated profile-decode shim must keep forwarding
+//! bit-identically to the `DecodeOptions`-based reader it wraps — same
+//! profiles on valid input, same typed errors on corrupt or over-limit
+//! input. L010 pins the shim in the API baseline; this pins its
+//! behaviour.
+
+#![allow(deprecated)]
+
+use mocktails_core::profile::{read_profile_with, read_profile_with_limits, write_profile};
+use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_trace::{DecodeLimits, DecodeOptions, Request, Trace};
+
+fn encoded_profile() -> Vec<u8> {
+    let trace: Trace = (0..150u64)
+        .map(|i| Request::read(i * 4, 0x4000 + (i % 24) * 64, 64))
+        .collect();
+    let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+    let mut buf = Vec::new();
+    write_profile(&mut buf, &profile).unwrap();
+    buf
+}
+
+#[test]
+fn shim_decodes_identically_to_options_based_read() {
+    let bytes = encoded_profile();
+    let limits = DecodeLimits::default();
+    let via_shim = read_profile_with_limits(&mut &bytes[..], &limits).unwrap();
+    let via_options = read_profile_with(
+        &mut &bytes[..],
+        &DecodeOptions::default().with_limits(limits),
+    )
+    .unwrap();
+    assert_eq!(via_shim, via_options);
+}
+
+#[test]
+fn shim_reports_identical_errors_on_corrupt_input() {
+    let mut bytes = encoded_profile();
+    bytes.truncate(bytes.len() - 2);
+    let limits = DecodeLimits::default();
+    let shim_err = read_profile_with_limits(&mut &bytes[..], &limits).unwrap_err();
+    let options_err = read_profile_with(
+        &mut &bytes[..],
+        &DecodeOptions::default().with_limits(limits),
+    )
+    .unwrap_err();
+    assert_eq!(shim_err.to_string(), options_err.to_string());
+}
+
+#[test]
+fn shim_enforces_the_given_limits() {
+    let bytes = encoded_profile();
+    let tight = DecodeLimits {
+        max_leaves: 0,
+        ..DecodeLimits::default()
+    };
+    let shim_err = read_profile_with_limits(&mut &bytes[..], &tight).unwrap_err();
+    let options_err = read_profile_with(
+        &mut &bytes[..],
+        &DecodeOptions::default().with_limits(tight),
+    )
+    .unwrap_err();
+    assert_eq!(shim_err.to_string(), options_err.to_string());
+}

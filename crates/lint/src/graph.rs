@@ -1,0 +1,1117 @@
+//! The workspace-wide symbol graph and the cross-file analyses.
+//!
+//! Per-file rules see one token stream at a time; the properties this
+//! module checks only exist at workspace scope:
+//!
+//! * **L008 (transitive)** — determinism taint. A function whose body
+//!   contains a direct nondeterminism site ([`crate::rules`] finds those)
+//!   taints every transitive caller on the fit/synthesize/codec path. The
+//!   call graph is name-resolved conservatively: `Type::method` calls bind
+//!   to that type's impl, bare calls prefer the defining file and
+//!   otherwise require a unique workspace definition, and `.method(...)`
+//!   calls bind only when exactly one impl defines the name — ambiguity
+//!   never produces an edge, so taint spreads through real call chains
+//!   only.
+//! * **L009** — dead `pub` surface: a `pub` item nothing references
+//!   outside its own definition — in any file, including its own
+//!   (same-crate `pub use` re-exports do not count as references — a
+//!   re-export of a dead item is just a dead re-export).
+//! * **L010** — public-API snapshots: each crate's exported surface is
+//!   rendered to a sorted, deterministic `.api` file and diffed against
+//!   the checked-in baseline under `crates/lint/baselines/`; undeclared
+//!   additions and removals fail the gate until the baseline is
+//!   regenerated (`scripts/update-api-baselines.sh`).
+//!
+//! Everything here is a pure function of the analyzed files, so reports
+//! are byte-identical across runs and thread counts.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, Directive, Token, TokenKind};
+use crate::parser::{self, Ast, Item, ItemKind, Visibility};
+use crate::rules::{self, Diagnostic, L008Site};
+
+/// How a file participates in the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// A `crates/*/src` file: linted by every rule and part of the API
+    /// surface.
+    Lint,
+    /// A test, example or root-crate file: lexed and parsed only as a
+    /// reference source, so that items used solely by tests are not dead.
+    Reference,
+}
+
+/// One analyzed source file: tokens, AST, per-file diagnostics and the
+/// data the cross-file passes need.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// The file path, `/`-normalized, as given to the linter.
+    pub path: String,
+    /// How the file participates.
+    pub role: FileRole,
+    /// The `crates/<name>/` the file belongs to, or `""` outside `crates/`.
+    pub crate_name: String,
+    /// True for binary targets (`main.rs`, `src/bin/`).
+    pub is_bin: bool,
+    /// The token skeleton.
+    pub tokens: Vec<Token>,
+    /// `// lint: allow` directives by line.
+    pub directives: BTreeMap<usize, Vec<Directive>>,
+    /// The item AST.
+    pub ast: Ast,
+    /// Per-token test-scope flags.
+    pub in_test: Vec<bool>,
+    /// Per-file diagnostics (L001–L008 direct, L011), directive-filtered.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Surviving (unsuppressed) L008 direct sites, for taint seeding.
+    pub l008_sites: Vec<L008Site>,
+}
+
+/// Lexes, parses and per-file-lints one source file.
+pub fn analyze_source(path: &Path, src: &str, role: FileRole) -> FileAnalysis {
+    let lexed = lex(src);
+    let ast = parser::parse(&lexed.tokens);
+    let in_test = rules::test_flags(&lexed.tokens);
+    let norm = path.to_string_lossy().replace('\\', "/");
+    let scope = rules::Scope::of(path);
+
+    let mut diagnostics = Vec::new();
+    let mut l008_sites = Vec::new();
+    if role == FileRole::Lint {
+        diagnostics = rules::file_diagnostics(path, &lexed);
+        rules::apply_directives(&mut diagnostics, &lexed.directives);
+        diagnostics.sort();
+        if scope.wants_determinism() {
+            l008_sites = rules::l008_sites(&lexed.tokens, &in_test)
+                .into_iter()
+                .filter(|s| !suppressed(&lexed.directives, s.line, "L008"))
+                .collect();
+        }
+    }
+
+    FileAnalysis {
+        crate_name: crate_of(&norm),
+        is_bin: norm.ends_with("/main.rs") || norm == "main.rs" || norm.contains("/src/bin/"),
+        path: norm,
+        role,
+        tokens: lexed.tokens,
+        directives: lexed.directives,
+        ast,
+        in_test,
+        diagnostics,
+        l008_sites,
+    }
+}
+
+/// Options for the cross-file pass.
+#[derive(Debug)]
+pub struct CrossFileOptions<'a> {
+    /// Where the `<crate>.api` baselines live.
+    pub baselines_dir: &'a Path,
+    /// When true, L010 rewrites the baselines instead of diffing them.
+    pub update_baselines: bool,
+}
+
+/// Runs the cross-file analyses (L008 transitive, L009, L010) over the
+/// analyzed workspace. Returned diagnostics are directive-filtered and
+/// sorted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading or (in update mode) writing the API
+/// baseline files.
+pub fn cross_file(
+    files: &[FileAnalysis],
+    opts: &CrossFileOptions<'_>,
+) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    diags.extend(taint_analysis(files));
+    diags.extend(dead_pub_surface(files));
+    diags.extend(api_snapshots(files, opts)?);
+
+    // Cross-file diagnostics honor the same `// lint: allow` directives at
+    // the line they point at.
+    let directives: BTreeMap<&str, &BTreeMap<usize, Vec<Directive>>> = files
+        .iter()
+        .map(|f| (f.path.as_str(), &f.directives))
+        .collect();
+    diags.retain(|d| {
+        directives
+            .get(d.file.as_str())
+            .map(|ds| !suppressed(ds, d.line, d.rule))
+            .unwrap_or(true)
+    });
+    diags.sort();
+    Ok(diags)
+}
+
+fn suppressed(directives: &BTreeMap<usize, Vec<Directive>>, line: usize, rule: &str) -> bool {
+    [line, line.saturating_sub(1)].iter().any(|l| {
+        directives
+            .get(l)
+            .map(|ds| ds.iter().any(|dir| dir.rule == rule))
+            .unwrap_or(false)
+    })
+}
+
+/// The `crates/<name>/` a normalized path belongs to.
+fn crate_of(path: &str) -> String {
+    match path.split_once("crates/") {
+        Some((_, rest)) => rest.split('/').next().unwrap_or("").to_string(),
+        None => String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L008: determinism taint
+// ---------------------------------------------------------------------------
+
+/// One function definition in the workspace call graph.
+#[derive(Debug)]
+struct FnDef {
+    file: usize,
+    name: String,
+    /// The impl'd type (or trait, for default methods), if a method.
+    self_type: Option<String>,
+    body: (usize, usize),
+    line: usize,
+    /// Display name: `Type::name` or `name`.
+    qual: String,
+}
+
+/// A call site, as specifically as the tokens identify the callee.
+#[derive(Debug)]
+enum Call {
+    /// `name(...)` — a bare call.
+    Bare(String),
+    /// `Type::name(...)` — a qualified call.
+    Qualified(String, String),
+    /// `.name(...)` — a method call with unknown receiver type.
+    Method(String),
+}
+
+/// Why a function is tainted, for the diagnostic message.
+#[derive(Debug, Clone)]
+enum Cause {
+    /// The function body contains the described direct site.
+    Direct(String),
+    /// The function calls `qual`, whose root cause is the description.
+    Via(String, String),
+}
+
+fn taint_analysis(files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    // Collect every non-test function with a body, workspace-wide.
+    let mut fns: Vec<FnDef> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.role != FileRole::Lint {
+            continue;
+        }
+        collect_fns(&f.ast.items, fi, None, &mut fns);
+    }
+    // Deterministic order regardless of collection details.
+    fns.sort_by_key(|a| (a.file, a.body.0));
+
+    // Name-resolution indexes.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (id, fd) in fns.iter().enumerate() {
+        match &fd.self_type {
+            Some(ty) => {
+                method_by_name.entry(&fd.name).or_default().push(id);
+                by_qual.entry((ty, &fd.name)).or_default().push(id);
+            }
+            None => free_by_name.entry(&fd.name).or_default().push(id),
+        }
+    }
+
+    // Seed taint from surviving direct sites.
+    let mut cause: Vec<Option<Cause>> = vec![None; fns.len()];
+    for (id, fd) in fns.iter().enumerate() {
+        for site in &files[fd.file].l008_sites {
+            if site.tok >= fd.body.0 && site.tok < fd.body.1 {
+                cause[id] = Some(Cause::Direct(site.what.clone()));
+                break;
+            }
+        }
+    }
+
+    // Resolve call edges: caller -> callees.
+    let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+    for (id, fd) in fns.iter().enumerate() {
+        for call in calls_in(&files[fd.file].tokens, fd.body) {
+            let resolved: Vec<usize> = match &call {
+                Call::Qualified(ty, name) => by_qual
+                    .get(&(ty.as_str(), name.as_str()))
+                    .cloned()
+                    .unwrap_or_default(),
+                Call::Bare(name) => {
+                    let all = free_by_name.get(name.as_str()).cloned().unwrap_or_default();
+                    let same_file: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].file == fd.file)
+                        .collect();
+                    if !same_file.is_empty() {
+                        same_file
+                    } else if all.len() == 1 {
+                        all
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Call::Method(name) => {
+                    let all = method_by_name
+                        .get(name.as_str())
+                        .cloned()
+                        .unwrap_or_default();
+                    if all.len() == 1 {
+                        all
+                    } else {
+                        Vec::new()
+                    }
+                }
+            };
+            for c in resolved {
+                if c != id {
+                    callees[id].insert(c);
+                }
+            }
+        }
+    }
+
+    // Fixpoint: a caller of a tainted function is tainted. Iterating fns in
+    // index order until stable keeps the cause assignment deterministic.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..fns.len() {
+            if cause[id].is_some() {
+                continue;
+            }
+            // The lexicographically-smallest tainted callee gives the cause.
+            let tainted_callee = callees[id]
+                .iter()
+                .filter_map(|&c| cause[c].as_ref().map(|why| (c, why)))
+                .min_by_key(|&(c, _)| (&fns[c].qual, c));
+            if let Some((c, why)) = tainted_callee {
+                let root = match why {
+                    Cause::Direct(what) => what.clone(),
+                    Cause::Via(_, root) => root.clone(),
+                };
+                cause[id] = Some(Cause::Via(fns[c].qual.clone(), root));
+                changed = true;
+            }
+        }
+    }
+
+    // Report transitive taint for functions on the synthesis path. Direct
+    // sites already carry their own per-file L008 diagnostics.
+    let mut out = Vec::new();
+    for (id, fd) in fns.iter().enumerate() {
+        if let Some(Cause::Via(callee, root)) = &cause[id] {
+            let f = &files[fd.file];
+            if !rules::Scope::of(Path::new(&f.path)).wants_determinism() {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: fd.line,
+                rule: "L008",
+                message: format!(
+                    "fn `{}` calls `{callee}`, which transitively performs {root}; the synthesis path must be deterministic",
+                    fd.qual
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collects callable function definitions (free fns, inherent
+/// and trait-impl methods, trait default methods), skipping test code.
+fn collect_fns(items: &[Item], file: usize, self_type: Option<&str>, out: &mut Vec<FnDef>) {
+    for item in items {
+        if item.in_test {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Fn => {
+                if let Some(body) = item.body {
+                    let qual = match self_type {
+                        Some(ty) => format!("{ty}::{}", item.name),
+                        None => item.name.clone(),
+                    };
+                    out.push(FnDef {
+                        file,
+                        name: item.name.clone(),
+                        self_type: self_type.map(str::to_string),
+                        body,
+                        line: item.line,
+                        qual,
+                    });
+                }
+            }
+            ItemKind::Mod => collect_fns(&item.children, file, None, out),
+            ItemKind::Impl => {
+                let ty = item.self_type.as_deref();
+                collect_fns(&item.children, file, ty, out);
+            }
+            ItemKind::Trait => {
+                collect_fns(&item.children, file, Some(item.name.as_str()), out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts the call sites of a body token range.
+fn calls_in(tokens: &[Token], body: (usize, usize)) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in body.0..body.1.min(tokens.len()) {
+        let name = match tokens[i].kind.ident() {
+            Some(s) => s,
+            None => continue,
+        };
+        if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(k) if k.is_punct('(')) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
+        match prev {
+            Some(TokenKind::Punct('.')) => out.push(Call::Method(name.to_string())),
+            Some(TokenKind::Op("::")) => {
+                if let Some(TokenKind::Ident(ty)) = i.checked_sub(2).map(|j| &tokens[j].kind) {
+                    out.push(Call::Qualified(ty.clone(), name.to_string()));
+                }
+            }
+            Some(TokenKind::Ident(kw)) if kw == "fn" => {} // a definition
+            _ => out.push(Call::Bare(name.to_string())),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L009: dead pub surface
+// ---------------------------------------------------------------------------
+
+/// Item kinds L009 considers part of the exported surface.
+fn is_surface_kind(kind: ItemKind) -> bool {
+    matches!(
+        kind,
+        ItemKind::Fn
+            | ItemKind::Struct
+            | ItemKind::Enum
+            | ItemKind::Union
+            | ItemKind::Trait
+            | ItemKind::Const
+            | ItemKind::Static
+            | ItemKind::TypeAlias
+    )
+}
+
+fn kind_word(kind: ItemKind) -> &'static str {
+    match kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Union => "union",
+        ItemKind::Trait => "trait",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::TypeAlias => "type",
+        ItemKind::Mod => "mod",
+        _ => "item",
+    }
+}
+
+fn dead_pub_surface(files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    // Candidates: pub items of library files, at the top level or nested in
+    // pub mods. Impl methods and re-exports are not candidates.
+    struct Candidate {
+        file: usize,
+        name: String,
+        line: usize,
+        kind: ItemKind,
+        /// The item's own token range (signature through body), whose
+        /// mentions of the name do not count as references.
+        def_range: (usize, usize),
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    fn collect(items: &[Item], file: usize, out: &mut Vec<Candidate>) {
+        for item in items {
+            if item.in_test || item.vis != Visibility::Public {
+                continue;
+            }
+            if is_surface_kind(item.kind) && !item.name.is_empty() && item.name != "main" {
+                let end = item.body.map(|(_, e)| e + 1).unwrap_or(item.sig.1 + 1);
+                out.push(Candidate {
+                    file,
+                    name: item.name.clone(),
+                    line: item.line,
+                    kind: item.kind,
+                    def_range: (item.sig.0, end),
+                });
+            }
+            if item.kind == ItemKind::Mod {
+                collect(&item.children, file, out);
+            }
+        }
+    }
+    for (fi, f) in files.iter().enumerate() {
+        if f.role == FileRole::Lint && !f.is_bin {
+            collect(&f.ast.items, fi, &mut candidates);
+        }
+    }
+
+    // Reference index: per file, idents outside `use` ranges (with the
+    // token index of each occurrence, so a candidate can exclude its own
+    // definition) and idents inside them. Use-statement idents count only
+    // cross-crate — a same-crate `pub use` of a dead item is just a dead
+    // re-export, not a reference.
+    struct Refs {
+        crate_name: String,
+        code_idents: BTreeMap<String, Vec<usize>>,
+        use_idents: BTreeSet<String>,
+    }
+    let refs: Vec<Refs> = files
+        .iter()
+        .map(|f| {
+            let mut use_ranges: Vec<(usize, usize)> = Vec::new();
+            collect_use_ranges(&f.ast.items, &mut use_ranges);
+            let mut code_idents: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            let mut use_idents = BTreeSet::new();
+            for (i, t) in f.tokens.iter().enumerate() {
+                if let Some(id) = t.kind.ident() {
+                    if use_ranges.iter().any(|&(s, e)| i >= s && i < e) {
+                        use_idents.insert(id.to_string());
+                    } else {
+                        code_idents.entry(id.to_string()).or_default().push(i);
+                    }
+                }
+            }
+            Refs {
+                crate_name: f.crate_name.clone(),
+                code_idents,
+                use_idents,
+            }
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for c in &candidates {
+        let def_crate = &files[c.file].crate_name;
+        let referenced = refs.iter().enumerate().any(|(fi, r)| {
+            let code_hit = r.code_idents.get(&c.name).is_some_and(|occurrences| {
+                // A mention inside the candidate's own definition is not a
+                // reference; any other mention — same file or not — is.
+                fi != c.file
+                    || occurrences
+                        .iter()
+                        .any(|&i| i < c.def_range.0 || i >= c.def_range.1)
+            });
+            code_hit || (r.crate_name != *def_crate && r.use_idents.contains(&c.name))
+        });
+        if !referenced {
+            out.push(Diagnostic {
+                file: files[c.file].path.clone(),
+                line: c.line,
+                rule: "L009",
+                message: format!(
+                    "`pub {} {}` is never referenced outside its own definition; reduce its visibility or allowlist with a reason",
+                    kind_word(c.kind),
+                    c.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn collect_use_ranges(items: &[Item], out: &mut Vec<(usize, usize)>) {
+    for item in items {
+        if item.kind == ItemKind::Use {
+            out.push(item.sig);
+        }
+        if !item.children.is_empty() {
+            collect_use_ranges(&item.children, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L010: public-API snapshots
+// ---------------------------------------------------------------------------
+
+/// The rendered API surface of one crate: sorted unique lines, plus the
+/// definition site of each line for addition diagnostics.
+pub struct ApiSurface {
+    /// Sorted, deduplicated surface lines.
+    pub lines: Vec<String>,
+    /// `line text -> (file path, source line)` for diagnostics.
+    pub sites: BTreeMap<String, (String, usize)>,
+}
+
+impl ApiSurface {
+    /// The baseline file content: the lines joined with `\n`, with a
+    /// trailing newline when non-empty.
+    pub fn render(&self) -> String {
+        if self.lines.is_empty() {
+            String::new()
+        } else {
+            let mut s = self.lines.join("\n");
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// Computes the exported API surface of `crate_name` from its analyzed
+/// library files.
+pub fn crate_api_surface(files: &[FileAnalysis], crate_name: &str) -> ApiSurface {
+    // Out-of-line module visibility: `mod m;` declarations name the module
+    // files of the crate. A file's items are exported only if every module
+    // segment on its path is declared `pub`.
+    let mut decl_vis: BTreeMap<Vec<String>, Visibility> = BTreeMap::new();
+    let lib_files: Vec<&FileAnalysis> = files
+        .iter()
+        .filter(|f| f.role == FileRole::Lint && f.crate_name == crate_name && !f.is_bin)
+        .collect();
+    for f in &lib_files {
+        let base = module_path_of(&f.path);
+        collect_mod_decls(&f.ast.items, &base, &mut decl_vis);
+    }
+    let exported_file = |path: &str| -> bool {
+        let mp = module_path_of(path);
+        (1..=mp.len()).all(|n| {
+            decl_vis
+                .get(&mp[..n])
+                .map(|v| *v == Visibility::Public)
+                // An undeclared module segment (e.g. a path target of a
+                // `#[path]` attr we cannot see) is assumed exported, which
+                // errs toward pinning too much rather than too little.
+                .unwrap_or(true)
+        })
+    };
+
+    // Public type names of the crate, to filter impl lines.
+    let mut public_types: BTreeSet<String> = BTreeSet::new();
+    for f in &lib_files {
+        collect_public_type_names(&f.ast.items, &mut public_types);
+    }
+
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    let mut sites: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for f in &lib_files {
+        if !exported_file(&f.path) {
+            continue;
+        }
+        let base = module_path_of(&f.path);
+        surface_of_items(
+            &f.ast.items,
+            f,
+            &base,
+            &public_types,
+            &mut lines,
+            &mut sites,
+        );
+    }
+    ApiSurface {
+        lines: lines.into_iter().collect(),
+        sites,
+    }
+}
+
+/// The module path of a crate source file: `src/lib.rs` is the root,
+/// `src/a/b.rs` is `a::b`, `src/a/mod.rs` is `a`.
+fn module_path_of(path: &str) -> Vec<String> {
+    let rel = match path.split_once("/src/") {
+        Some((_, rel)) => rel,
+        None => return Vec::new(),
+    };
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    let mut segs: Vec<String> = rel.split('/').map(str::to_string).collect();
+    if segs.last().is_some_and(|s| s == "mod") {
+        segs.pop();
+    }
+    if segs.len() == 1 && segs[0] == "lib" {
+        segs.clear();
+    }
+    segs
+}
+
+/// Records the visibility of every out-of-line `mod m;` declaration.
+fn collect_mod_decls(items: &[Item], base: &[String], out: &mut BTreeMap<Vec<String>, Visibility>) {
+    for item in items {
+        if item.in_test {
+            continue;
+        }
+        if item.kind == ItemKind::Mod {
+            if item.body.is_none() {
+                let mut path = base.to_vec();
+                path.push(item.name.clone());
+                out.insert(path, item.vis);
+            } else {
+                let mut path = base.to_vec();
+                path.push(item.name.clone());
+                collect_mod_decls(&item.children, &path, out);
+            }
+        }
+    }
+}
+
+/// Collects the names of `pub` type-like items (for impl-line filtering).
+fn collect_public_type_names(items: &[Item], out: &mut BTreeSet<String>) {
+    for item in items {
+        if item.in_test {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Struct | ItemKind::Enum | ItemKind::Union | ItemKind::TypeAlias
+                if item.vis == Visibility::Public =>
+            {
+                out.insert(item.name.clone());
+            }
+            ItemKind::Mod => collect_public_type_names(&item.children, out),
+            _ => {}
+        }
+    }
+}
+
+/// Renders the surface lines of one item list (recursing through pub mods
+/// and impls).
+fn surface_of_items(
+    items: &[Item],
+    f: &FileAnalysis,
+    mod_path: &[String],
+    public_types: &BTreeSet<String>,
+    lines: &mut BTreeSet<String>,
+    sites: &mut BTreeMap<String, (String, usize)>,
+) {
+    let prefix = if mod_path.is_empty() {
+        "crate".to_string()
+    } else {
+        format!("crate::{}", mod_path.join("::"))
+    };
+    for item in items {
+        if item.in_test {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Impl => {
+                let ty = match &item.self_type {
+                    Some(t) if public_types.contains(t) => t.clone(),
+                    _ => continue,
+                };
+                match &item.trait_name {
+                    Some(tr) => {
+                        let line = format!("{prefix} impl {tr} for {ty}");
+                        sites
+                            .entry(line.clone())
+                            .or_insert((f.path.clone(), item.line));
+                        lines.insert(line);
+                    }
+                    None => {
+                        for m in &item.children {
+                            if m.kind != ItemKind::Fn || m.vis != Visibility::Public || m.in_test {
+                                continue;
+                            }
+                            let line = format!(
+                                "{prefix} impl {ty} pub {}{}{}",
+                                if m.is_unsafe { "unsafe " } else { "" },
+                                parser::render(&f.tokens, m.sig),
+                                deprecated_marker(m),
+                            );
+                            sites
+                                .entry(line.clone())
+                                .or_insert((f.path.clone(), m.line));
+                            lines.insert(line);
+                        }
+                    }
+                }
+            }
+            ItemKind::Mod if item.vis == Visibility::Public && item.body.is_some() => {
+                let mut nested = mod_path.to_vec();
+                nested.push(item.name.clone());
+                surface_of_items(&item.children, f, &nested, public_types, lines, sites);
+            }
+            ItemKind::Use if item.vis == Visibility::Public => {
+                for u in &item.uses {
+                    let mut line = format!("{prefix} pub use {}", u.segments.join("::"));
+                    if u.glob {
+                        line.push_str("::*");
+                    }
+                    if let Some(a) = &u.alias {
+                        line.push_str(&format!(" as {a}"));
+                    }
+                    sites
+                        .entry(line.clone())
+                        .or_insert((f.path.clone(), item.line));
+                    lines.insert(line);
+                }
+            }
+            kind if is_surface_kind(kind) && item.vis == Visibility::Public => {
+                let mut sig = parser::render(&f.tokens, item.sig);
+                // Initializers are not API surface: cut consts/statics at
+                // the `=`.
+                if matches!(
+                    kind,
+                    ItemKind::Const | ItemKind::Static | ItemKind::TypeAlias
+                ) {
+                    if let Some(pos) = sig.find(" = ") {
+                        sig.truncate(pos);
+                    }
+                }
+                let line = format!(
+                    "{prefix} pub {}{sig}{}",
+                    if item.is_unsafe { "unsafe " } else { "" },
+                    deprecated_marker(item),
+                );
+                sites
+                    .entry(line.clone())
+                    .or_insert((f.path.clone(), item.line));
+                lines.insert(line);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn deprecated_marker(item: &Item) -> &'static str {
+    if item.has_attr("deprecated") {
+        " [deprecated]"
+    } else {
+        ""
+    }
+}
+
+fn api_snapshots(
+    files: &[FileAnalysis],
+    opts: &CrossFileOptions<'_>,
+) -> io::Result<Vec<Diagnostic>> {
+    let crates: BTreeSet<&str> = files
+        .iter()
+        .filter(|f| f.role == FileRole::Lint && !f.crate_name.is_empty())
+        .map(|f| f.crate_name.as_str())
+        .collect();
+
+    let mut out = Vec::new();
+    for name in crates {
+        let surface = crate_api_surface(files, name);
+        let baseline_path = opts.baselines_dir.join(format!("{name}.api"));
+        let display = baseline_path.to_string_lossy().replace('\\', "/");
+        if opts.update_baselines {
+            std::fs::create_dir_all(opts.baselines_dir)?;
+            std::fs::write(&baseline_path, surface.render())?;
+            continue;
+        }
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                out.push(Diagnostic {
+                    file: display,
+                    line: 1,
+                    rule: "L010",
+                    message: format!(
+                        "missing API baseline for crate `{name}`; run scripts/update-api-baselines.sh and commit the result"
+                    ),
+                });
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let baseline_lines: Vec<&str> = baseline.lines().collect();
+        let baseline_set: BTreeSet<&str> = baseline_lines.iter().copied().collect();
+        let current_set: BTreeSet<&str> = surface.lines.iter().map(String::as_str).collect();
+        for added in current_set.difference(&baseline_set) {
+            let (file, line) = surface
+                .sites
+                .get(*added)
+                .cloned()
+                .unwrap_or_else(|| (display.clone(), 1));
+            out.push(Diagnostic {
+                file,
+                line,
+                rule: "L010",
+                message: format!(
+                    "public API addition not in baseline: `{added}`; run scripts/update-api-baselines.sh to declare the change"
+                ),
+            });
+        }
+        for (idx, line) in baseline_lines.iter().enumerate() {
+            if !current_set.contains(line) {
+                out.push(Diagnostic {
+                    file: display.clone(),
+                    line: idx + 1,
+                    rule: "L010",
+                    message: format!(
+                        "public API removal: `{line}` is no longer exported; declared breaks require regenerating the baseline"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn analyze(path: &str, src: &str) -> FileAnalysis {
+        analyze_source(&PathBuf::from(path), src, FileRole::Lint)
+    }
+
+    fn cross(files: &[FileAnalysis]) -> Vec<Diagnostic> {
+        let dir = std::env::temp_dir().join(format!("mocktails-lint-none-{}", std::process::id()));
+        // Point baselines at a directory that stays absent so L010 yields
+        // only per-crate "missing baseline" diags, filtered out here.
+        let opts = CrossFileOptions {
+            baselines_dir: &dir,
+            update_baselines: false,
+        };
+        cross_file(files, &opts)
+            .expect("cross-file pass")
+            .into_iter()
+            .filter(|d| d.rule != "L010")
+            .collect()
+    }
+
+    #[test]
+    fn transitive_taint_reaches_callers_across_files() {
+        let a = analyze(
+            "crates/core/src/value.rs",
+            "use std::collections::HashMap;\n\
+             pub fn entropy() -> f64 {\n\
+                 let counts: HashMap<u64, u64> = HashMap::new();\n\
+                 counts.values().count() as f64\n\
+             }\n",
+        );
+        let b = analyze(
+            "crates/core/src/model/leaf.rs",
+            "pub fn fit_leaf() -> f64 { entropy() }\n\
+             pub fn unrelated() -> u64 { 7 }\n",
+        );
+        let diags = cross(&[a, b]);
+        let l008: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "L008").collect();
+        // entropy() itself is flagged per-file (direct); fit_leaf is the
+        // transitive caller the graph pass adds.
+        assert!(
+            l008.iter()
+                .any(|d| d.file.contains("leaf.rs") && d.message.contains("fit_leaf")),
+            "expected a transitive diagnostic, got: {l008:?}"
+        );
+        assert!(!l008.iter().any(|d| d.message.contains("unrelated")));
+    }
+
+    #[test]
+    fn allowed_direct_site_does_not_seed_taint() {
+        let a = analyze(
+            "crates/core/src/value.rs",
+            "use std::collections::HashMap;\n\
+             pub fn entropy() -> f64 {\n\
+                 let counts: HashMap<u64, u64> = HashMap::new();\n\
+                 // lint: allow(L008, order-insensitive count, not a sum)\n\
+                 counts.values().count() as f64\n\
+             }\n",
+        );
+        let b = analyze(
+            "crates/core/src/model/leaf.rs",
+            "pub fn fit_leaf() -> f64 { entropy() }\n",
+        );
+        let diags = cross(&[a, b]);
+        assert!(
+            diags.iter().all(|d| d.rule != "L008"),
+            "sanctioned site must not taint: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn taint_does_not_leave_the_synthesis_scope() {
+        let a = analyze(
+            "crates/core/src/value.rs",
+            "use std::collections::HashMap;\n\
+             pub fn entropy() -> f64 {\n\
+                 let counts: HashMap<u64, u64> = HashMap::new();\n\
+                 counts.values().count() as f64\n\
+             }\n",
+        );
+        // The bench crate is off the synthesis path: its callers stay quiet.
+        let b = analyze(
+            "crates/bench/src/lib.rs",
+            "pub fn bench_entropy() -> f64 { entropy() }\n",
+        );
+        let diags = cross(&[a, b]);
+        assert!(!diags
+            .iter()
+            .any(|d| d.rule == "L008" && d.file.contains("bench")));
+    }
+
+    #[test]
+    fn ambiguous_method_calls_do_not_taint() {
+        let a = analyze(
+            "crates/core/src/value.rs",
+            "use std::collections::HashMap;\n\
+             pub struct A;\n\
+             impl A { pub fn sample(&self) { let m: HashMap<u64,u64> = HashMap::new(); for v in m { let _ = v; } } }\n\
+             pub struct B;\n\
+             impl B { pub fn sample(&self) {} }\n",
+        );
+        let b = analyze(
+            "crates/core/src/synth.rs",
+            "pub fn run(x: &X) { x.sample() }\n",
+        );
+        let diags = cross(&[a, b]);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.rule == "L008" && d.file.contains("synth.rs")),
+            "two impls define `sample`: no edge, no taint: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_pub_item_is_flagged_and_used_one_is_not() {
+        let a = analyze(
+            "crates/sim/src/lib.rs",
+            "pub fn used_helper() -> u64 { 1 }\npub fn dead_helper() -> u64 { 2 }\n",
+        );
+        let b = analyze(
+            "crates/dram/src/lib.rs",
+            "pub fn consumer() -> u64 { used_helper() }\n",
+        );
+        let diags = cross(&[a, b]);
+        let l009: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "L009").collect();
+        assert!(l009.iter().any(|d| d.message.contains("dead_helper")));
+        assert!(!l009.iter().any(|d| d.message.contains("used_helper")));
+        // `consumer` is itself unreferenced — also dead.
+        assert!(l009.iter().any(|d| d.message.contains("consumer")));
+    }
+
+    #[test]
+    fn same_crate_reexport_does_not_launder_deadness() {
+        let a = analyze("crates/sim/src/inner.rs", "pub fn orphan() -> u64 { 3 }\n");
+        let b = analyze(
+            "crates/sim/src/lib.rs",
+            "pub mod inner;\npub use inner::orphan;\n",
+        );
+        let diags = cross(&[a, b]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "L009" && d.message.contains("orphan")),
+            "a same-crate re-export alone must not keep `orphan` alive: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn cross_crate_import_keeps_an_item_alive() {
+        let a = analyze("crates/sim/src/lib.rs", "pub fn exported() -> u64 { 4 }\n");
+        let b = analyze("crates/dram/src/lib.rs", "use mocktails_sim::exported;\n");
+        let diags = cross(&[a, b]);
+        assert!(!diags
+            .iter()
+            .any(|d| d.rule == "L009" && d.message.contains("exported")));
+    }
+
+    #[test]
+    fn test_references_keep_items_alive() {
+        let a = analyze(
+            "crates/sim/src/lib.rs",
+            "pub fn test_only_api() -> u64 { 5 }\n",
+        );
+        let t = analyze_source(
+            &PathBuf::from("crates/sim/tests/integration.rs"),
+            "#[test]\nfn covers() { assert_eq!(test_only_api(), 5); }\n",
+            FileRole::Reference,
+        );
+        let diags = cross(&[a, t]);
+        assert!(!diags
+            .iter()
+            .any(|d| d.rule == "L009" && d.message.contains("test_only_api")));
+    }
+
+    #[test]
+    fn api_surface_is_sorted_and_respects_module_visibility() {
+        let lib = analyze(
+            "crates/cache/src/lib.rs",
+            "mod private_impl;\npub mod config;\npub use private_impl::Cache;\npub fn top() {}\n",
+        );
+        let hidden = analyze(
+            "crates/cache/src/private_impl.rs",
+            "pub struct Cache;\nimpl Cache { pub fn lookup(&self) {} }\n",
+        );
+        let cfg = analyze(
+            "crates/cache/src/config.rs",
+            "pub struct Config { pub ways: usize }\n",
+        );
+        let files = [lib, hidden, cfg];
+        let surface = crate_api_surface(&files, "cache");
+        let mut sorted = surface.lines.clone();
+        sorted.sort();
+        assert_eq!(surface.lines, sorted);
+        // Items of the private module are not surface; the re-export is.
+        assert!(surface
+            .lines
+            .iter()
+            .any(|l| l.contains("pub use private_impl::Cache")));
+        assert!(!surface.lines.iter().any(|l| l.contains("pub struct Cache")));
+        assert!(surface
+            .lines
+            .iter()
+            .any(|l| l == "crate::config pub struct Config"));
+        assert!(surface.lines.iter().any(|l| l == "crate pub fn top()"));
+    }
+
+    #[test]
+    fn api_baseline_diffs_and_update_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mocktails-lint-l010-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = [analyze(
+            "crates/sim/src/lib.rs",
+            "pub fn alpha() {}\npub fn beta() {}\n",
+        )];
+        let update = CrossFileOptions {
+            baselines_dir: &dir,
+            update_baselines: true,
+        };
+        cross_file(&files, &update).expect("baseline write");
+        let check = CrossFileOptions {
+            baselines_dir: &dir,
+            update_baselines: false,
+        };
+        // Unchanged surface: clean.
+        let diags = cross_file(&files, &check).expect("diff");
+        assert!(diags.iter().all(|d| d.rule != "L010"), "{diags:?}");
+        // A new export is an undeclared addition; a removed one a break.
+        let changed = [analyze(
+            "crates/sim/src/lib.rs",
+            "pub fn alpha() {}\npub fn gamma() {}\n",
+        )];
+        let diags = cross_file(&changed, &check).expect("diff");
+        assert!(diags.iter().any(|d| d.rule == "L010"
+            && d.message.contains("addition")
+            && d.message.contains("gamma")));
+        assert!(diags.iter().any(|d| d.rule == "L010"
+            && d.message.contains("removal")
+            && d.message.contains("beta")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deprecated_items_are_marked_in_the_surface() {
+        let files = [analyze(
+            "crates/trace/src/lib.rs",
+            "#[deprecated(since = \"0.2.0\", note = \"x\")]\npub fn old_api() {}\n",
+        )];
+        let surface = crate_api_surface(&files, "trace");
+        assert!(surface
+            .lines
+            .iter()
+            .any(|l| l.contains("old_api") && l.ends_with("[deprecated]")));
+    }
+}

@@ -29,10 +29,18 @@ pub enum TokenKind {
     Punct(char),
     /// A multi-character operator (`==`, `!=`, `::`, `->`, `..`, ...).
     Op(&'static str),
-    /// A floating-point literal (`0.0`, `1e-9`, `2f64`, ...).
-    FloatLit,
-    /// Any other literal: integer, string, char, byte string.
-    Lit,
+    /// A floating-point literal (`0.0`, `1e-9`, `2f64`, ...), carrying its
+    /// source text so signatures can be rendered faithfully.
+    FloatLit(String),
+    /// Any other literal (integer, string, char, byte/raw/C string),
+    /// carrying its source text. For string-likes the text includes the
+    /// delimiters but is never matched by identifier-based rules, so a
+    /// `panic!` *inside* a string still cannot fire L001.
+    Lit(String),
+    /// A lifetime (`'a`, `'static`) or loop label, carrying its name
+    /// without the quote. Previously these were silently dropped, which
+    /// made rendered signatures lossy (`&'a str` became `& str`).
+    Lifetime(String),
     /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
     DocComment,
 }
@@ -54,6 +62,11 @@ impl TokenKind {
     /// True if this token is the given multi-character operator.
     pub fn is_op(&self, op: &str) -> bool {
         matches!(self, TokenKind::Op(o) if *o == op)
+    }
+
+    /// True if this token is any literal (float or otherwise).
+    pub fn is_lit(&self) -> bool {
+        matches!(self, TokenKind::Lit(_) | TokenKind::FloatLit(_))
     }
 }
 
@@ -141,6 +154,11 @@ impl Lexer {
         self.out.tokens.push(Token { line, kind });
     }
 
+    /// The source text consumed since `start`.
+    fn text(&self, start: usize) -> String {
+        self.chars[start..self.i].iter().collect()
+    }
+
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
             match c {
@@ -149,8 +167,14 @@ impl Lexer {
                 }
                 '/' if self.peek(1) == Some('/') => self.line_comment(),
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
-                '"' => self.string_literal(),
-                '\'' => self.char_or_lifetime(),
+                '"' => {
+                    let start = self.i;
+                    self.string_literal(start);
+                }
+                '\'' => {
+                    let start = self.i;
+                    self.char_or_lifetime(start);
+                }
                 c if c.is_ascii_digit() => self.number(),
                 c if is_ident_start(c) => self.ident_or_prefixed_literal(),
                 _ => self.punct_or_op(),
@@ -210,7 +234,8 @@ impl Lexer {
     }
 
     /// Consumes a `"..."` literal (escape-aware), starting at the quote.
-    fn string_literal(&mut self) {
+    /// `start` is where the literal's text begins (the prefix for `b"..."`).
+    fn string_literal(&mut self, start: usize) {
         let line = self.line;
         self.bump();
         while let Some(c) = self.bump() {
@@ -222,13 +247,15 @@ impl Lexer {
                 _ => {}
             }
         }
-        self.push(line, TokenKind::Lit);
+        let text = self.text(start);
+        self.push(line, TokenKind::Lit(text));
     }
 
     /// Consumes a raw string starting at the first `#` or `"` after the
-    /// `r`/`br` prefix (already consumed). Returns false if this is not
-    /// actually a raw string (e.g. a raw identifier `r#fn`).
-    fn raw_string(&mut self) -> bool {
+    /// `r`/`br`/`cr` prefix (already consumed; `start` is its position).
+    /// Returns false if this is not actually a raw string (e.g. a raw
+    /// identifier `r#fn`).
+    fn raw_string(&mut self, start: usize) -> bool {
         let mut hashes = 0usize;
         while self.peek(hashes) == Some('#') {
             hashes += 1;
@@ -253,11 +280,12 @@ impl Lexer {
                 break;
             }
         }
-        self.push(line, TokenKind::Lit);
+        let text = self.text(start);
+        self.push(line, TokenKind::Lit(text));
         true
     }
 
-    fn char_or_lifetime(&mut self) {
+    fn char_or_lifetime(&mut self, start: usize) {
         let line = self.line;
         self.bump();
         match self.peek(0) {
@@ -272,7 +300,8 @@ impl Lexer {
                         _ => {}
                     }
                 }
-                self.push(line, TokenKind::Lit);
+                let text = self.text(start);
+                self.push(line, TokenKind::Lit(text));
             }
             Some(c) if is_ident_start(c) => {
                 // 'a' is a char literal; 'a (no closing quote) a lifetime.
@@ -281,12 +310,17 @@ impl Lexer {
                     j += 1;
                 }
                 let is_char = self.peek(j) == Some('\'');
+                let name_start = self.i;
                 for _ in 0..j {
                     self.bump();
                 }
                 if is_char {
                     self.bump();
-                    self.push(line, TokenKind::Lit);
+                    let text = self.text(start);
+                    self.push(line, TokenKind::Lit(text));
+                } else {
+                    let name = self.text(name_start);
+                    self.push(line, TokenKind::Lifetime(name));
                 }
             }
             Some(_) => {
@@ -295,7 +329,8 @@ impl Lexer {
                 if self.peek(0) == Some('\'') {
                     self.bump();
                 }
-                self.push(line, TokenKind::Lit);
+                let text = self.text(start);
+                self.push(line, TokenKind::Lit(text));
             }
             None => {}
         }
@@ -303,13 +338,15 @@ impl Lexer {
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.i;
         if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
             self.bump();
             self.bump();
             while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
                 self.bump();
             }
-            self.push(line, TokenKind::Lit);
+            let text = self.text(start);
+            self.push(line, TokenKind::Lit(text));
             return;
         }
         let mut float = false;
@@ -351,12 +388,13 @@ impl Lexer {
         if suffix == "f32" || suffix == "f64" {
             float = true;
         }
+        let text = self.text(start);
         self.push(
             line,
             if float {
-                TokenKind::FloatLit
+                TokenKind::FloatLit(text)
             } else {
-                TokenKind::Lit
+                TokenKind::Lit(text)
             },
         );
     }
@@ -369,8 +407,9 @@ impl Lexer {
         }
         let text: String = self.chars[start..self.i].iter().collect();
         match text.as_str() {
-            "r" | "br" if matches!(self.peek(0), Some('"' | '#')) => {
-                if !self.raw_string() {
+            // `r"…"`/`r#"…"#` raw strings, `br`/`cr` raw byte/C strings.
+            "r" | "br" | "cr" if matches!(self.peek(0), Some('"' | '#')) => {
+                if !self.raw_string(start) {
                     // Raw identifier `r#ident`: consume the `#` and word.
                     self.bump();
                     let word_start = self.i;
@@ -381,8 +420,9 @@ impl Lexer {
                     self.push(line, TokenKind::Ident(word));
                 }
             }
-            "b" if self.peek(0) == Some('"') => self.string_literal(),
-            "b" if self.peek(0) == Some('\'') => self.char_or_lifetime(),
+            // `b"…"` byte strings and `c"…"` C strings (Rust ≥ 1.77).
+            "b" | "c" if self.peek(0) == Some('"') => self.string_literal(start),
+            "b" if self.peek(0) == Some('\'') => self.char_or_lifetime(start),
             _ => self.push(line, TokenKind::Ident(text)),
         }
     }
@@ -454,7 +494,7 @@ mod tests {
         let lits = lex(src)
             .tokens
             .iter()
-            .filter(|t| t.kind == TokenKind::Lit)
+            .filter(|t| matches!(t.kind, TokenKind::Lit(_)))
             .count();
         assert_eq!(lits, 1, "only 'b' is a literal");
     }
@@ -466,13 +506,53 @@ mod tests {
             .into_iter()
             .map(|t| t.kind)
             .collect();
-        assert_eq!(kinds[0], TokenKind::FloatLit);
-        assert_eq!(kinds[1], TokenKind::FloatLit);
-        assert_eq!(kinds[2], TokenKind::FloatLit);
-        assert_eq!(kinds[3], TokenKind::Lit);
-        assert_eq!(kinds[4], TokenKind::Lit);
-        assert_eq!(kinds[5], TokenKind::Lit);
+        assert_eq!(kinds[0], TokenKind::FloatLit("0.5".into()));
+        assert_eq!(kinds[1], TokenKind::FloatLit("1e-9".into()));
+        assert_eq!(kinds[2], TokenKind::FloatLit("2f64".into()));
+        assert_eq!(kinds[3], TokenKind::Lit("3".into()));
+        assert_eq!(kinds[4], TokenKind::Lit("0x10".into()));
+        assert_eq!(kinds[5], TokenKind::Lit("0".into()));
         assert!(kinds[6].is_op(".."));
+    }
+
+    #[test]
+    fn literals_retain_their_source_text() {
+        let toks = lex("let n = 42u64; let s = \"hi\"; let c = 'x';").tokens;
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Lit(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["42u64", "\"hi\"", "'x'"]);
+    }
+
+    #[test]
+    fn c_string_literals_are_consumed_whole() {
+        // `c"…"` and `cr#"…"#` (Rust 1.77) must not leak their contents as
+        // identifiers — a `panic!` inside either cannot dodge the rules.
+        let src = "let a = c\"panic!(1)\"; let b = cr#\"unwrap()\"#; done();";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_become_tokens() {
+        let toks = lex("fn f<'a>(x: &'a str) {}").tokens;
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+    }
+
+    #[test]
+    fn raw_byte_strings_are_consumed_whole() {
+        let src = "let a = br#\"todo!() \" inner\"#; after();";
+        assert_eq!(idents(src), vec!["let", "a", "after"]);
     }
 
     #[test]

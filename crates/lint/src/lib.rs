@@ -7,7 +7,10 @@
 //! build offline, forever, with no registry access). Both are invariants
 //! the type system cannot see, so this crate enforces them the way a
 //! compiler would: a hand-rolled lexer ([`lexer`]) turns every source
-//! file into a token skeleton, and a rule engine ([`rules`]) walks it.
+//! file into a token skeleton, an item parser ([`parser`]) recovers the
+//! AST the cross-file analyses need, a rule engine ([`rules`]) walks each
+//! file, and a workspace symbol graph ([`graph`]) runs the cross-file
+//! rules.
 //!
 //! The rules:
 //!
@@ -26,6 +29,18 @@
 //! * **L007** — no `std::thread` outside `crates/pool`; all parallelism
 //!   goes through `mocktails_pool::Parallelism`, whose fixed work
 //!   partitioning keeps results bit-identical at any thread count.
+//! * **L008** — determinism taint: no `HashMap`/`HashSet` iteration or
+//!   `env::var` on the fit/synthesize/codec path, nor any transitive call
+//!   into a function that does; the seeded-PRNG modules are the only
+//!   sanctioned randomness.
+//! * **L009** — no dead `pub` surface: every exported item is referenced
+//!   somewhere else in the workspace (code or cross-crate import).
+//! * **L010** — public-API snapshots: each crate's exported surface is
+//!   pinned in `crates/lint/baselines/<crate>.api`; undeclared drift
+//!   fails the gate (`scripts/update-api-baselines.sh` declares it).
+//! * **L011** — escape-hatch audit: every `unsafe` and blanket
+//!   `#[allow(...)]` carries a reasoned `// lint: allow(L011, ...)`
+//!   companion.
 //!
 //! Escape hatch: `// lint: allow(L001, reason)` on the violating line or
 //! the line above. The reason is mandatory and is itself reviewed.
@@ -34,59 +49,112 @@
 //!
 //! ```text
 //! cargo run -p mocktails-lint -- crates/
+//! cargo run -p mocktails-lint -- --format json crates/
 //! ```
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
 pub mod walk;
 
+pub use report::Report;
 pub use rules::{lint_source, Diagnostic};
 
+use std::collections::BTreeSet;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// The outcome of linting a source tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Report {
-    /// All violations, sorted by (file, line, rule).
-    pub diagnostics: Vec<Diagnostic>,
-    /// How many files were checked.
-    pub files_checked: usize,
+use mocktails_pool::Parallelism;
+
+use graph::{CrossFileOptions, FileRole};
+
+/// Options for a full workspace run.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Thread configuration for the per-file analysis. Work is split into
+    /// fixed contiguous chunks and merged in submission order, so the
+    /// report is byte-identical at any thread count.
+    pub parallelism: Parallelism,
+    /// When true, L010 rewrites the API baselines instead of diffing them.
+    pub update_baselines: bool,
+    /// When set, only diagnostics of these rules are reported.
+    pub rules: Option<BTreeSet<String>>,
+    /// Where the `<crate>.api` baselines live; defaults to
+    /// `<crates_root>/lint/baselines`.
+    pub baselines_dir: Option<PathBuf>,
 }
 
-impl Report {
-    /// True when no rule fired.
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-}
-
-impl std::fmt::Display for Report {
-    /// Renders one `file:line: [RULE] message` line per diagnostic. The
-    /// rendering is a pure function of the sorted diagnostics, so equal
-    /// reports are byte-identical — the determinism tests rely on this.
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for d in &self.diagnostics {
-            writeln!(f, "{d}")?;
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            parallelism: Parallelism::current(),
+            update_baselines: false,
+            rules: None,
+            baselines_dir: None,
         }
-        Ok(())
     }
 }
 
-/// Lints every `crates/*/src/**/*.rs` file under `crates_root`.
+/// Lints every `crates/*/src/**/*.rs` file under `crates_root` with the
+/// process-wide parallelism and default options.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from walking or reading the tree.
 pub fn run(crates_root: &Path) -> io::Result<Report> {
-    let files = walk::workspace_files(crates_root)?;
-    let mut diagnostics = Vec::new();
-    let files_checked = files.len();
-    for file in files {
-        let src = std::fs::read_to_string(&file)?;
-        diagnostics.extend(rules::lint_source(&file, &src));
+    run_with(crates_root, &RunOptions::default())
+}
+
+/// Lints the workspace under `crates_root` with explicit options.
+///
+/// The per-file stage (lex, parse, per-file rules) runs on the configured
+/// [`Parallelism`]; the cross-file stage (L008 taint, L009, L010) is a
+/// pure sequential function of the per-file results. Both stages are
+/// deterministic, so the returned report is byte-identical across runs
+/// and thread counts.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree, and from
+/// reading (or, in update mode, writing) the API baselines.
+pub fn run_with(crates_root: &Path, options: &RunOptions) -> io::Result<Report> {
+    let mut inputs: Vec<(PathBuf, String, FileRole)> = Vec::new();
+    for path in walk::workspace_files(crates_root)? {
+        let src = std::fs::read_to_string(&path)?;
+        inputs.push((path, src, FileRole::Lint));
+    }
+    for path in walk::reference_files(crates_root)? {
+        let src = std::fs::read_to_string(&path)?;
+        inputs.push((path, src, FileRole::Reference));
+    }
+
+    let analyses = options.parallelism.map(&inputs, |(path, src, role)| {
+        graph::analyze_source(path, src, *role)
+    });
+
+    let files_checked = analyses.iter().filter(|a| a.role == FileRole::Lint).count();
+    let mut diagnostics: Vec<Diagnostic> = analyses
+        .iter()
+        .flat_map(|a| a.diagnostics.iter().cloned())
+        .collect();
+
+    let default_dir = crates_root.join("lint").join("baselines");
+    let baselines_dir = options.baselines_dir.as_deref().unwrap_or(&default_dir);
+    diagnostics.extend(graph::cross_file(
+        &analyses,
+        &CrossFileOptions {
+            baselines_dir,
+            update_baselines: options.update_baselines,
+        },
+    )?);
+
+    if let Some(filter) = &options.rules {
+        diagnostics.retain(|d| filter.contains(d.rule));
     }
     diagnostics.sort();
+    diagnostics.dedup();
     Ok(Report {
         diagnostics,
         files_checked,

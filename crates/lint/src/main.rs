@@ -1,27 +1,120 @@
-//! CLI entry point: `mocktails-lint [CRATES_DIR]` (default `crates`).
+//! CLI entry point.
+//!
+//! ```text
+//! mocktails-lint [OPTIONS] [CRATES_DIR]
+//!
+//! Options:
+//!   --format <text|json>   report rendering (default: text)
+//!   --rules <L00X,...>     only report the named rules
+//!   --threads <N>          per-file analysis threads (default: the
+//!                          process-wide MOCKTAILS_THREADS setting)
+//!   --update-baselines     rewrite crates/lint/baselines/*.api instead of
+//!                          diffing against them
+//! ```
+//!
+//! Exits 0 on a clean tree, 1 on violations, 2 on usage or I/O errors.
+//! Reports are byte-identical across runs and thread counts.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
+use mocktails_lint::RunOptions;
+use mocktails_pool::Parallelism;
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    root: String,
+    format: Format,
+    options: RunOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<String> = None;
+    let mut format = Format::Text;
+    let mut options = RunOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format expects `text` or `json`, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--rules" => {
+                let list = args
+                    .next()
+                    .ok_or("--rules expects a comma-separated list")?;
+                let set: BTreeSet<String> = list.split(',').map(|r| r.trim().to_string()).collect();
+                options.rules = Some(set);
+            }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads expects a positive integer")?;
+                options.parallelism = Parallelism::new(n);
+            }
+            "--update-baselines" => options.update_baselines = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            dir => {
+                if root.replace(dir.to_string()).is_some() {
+                    return Err("more than one CRATES_DIR given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        root: root.unwrap_or_else(|| "crates".to_string()),
+        format,
+        options,
+    })
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "crates".to_string());
-    match mocktails_lint::run(Path::new(&root)) {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("mocktails-lint: usage error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match mocktails_lint::run_with(Path::new(&args.root), &args.options) {
         Ok(report) => {
-            print!("{report}");
+            match args.format {
+                Format::Json => print!("{}", report.to_json()),
+                Format::Text => {
+                    print!("{report}");
+                    if report.is_clean() {
+                        println!(
+                            "mocktails-lint: {} files checked, no violations",
+                            report.files_checked
+                        );
+                    } else {
+                        println!(
+                            "mocktails-lint: {} violation(s) in {} files checked",
+                            report.diagnostics.len(),
+                            report.files_checked
+                        );
+                    }
+                }
+            }
             if report.is_clean() {
-                println!(
-                    "mocktails-lint: {} files checked, no violations",
-                    report.files_checked
-                );
                 ExitCode::SUCCESS
             } else {
-                println!(
-                    "mocktails-lint: {} violation(s) in {} files checked",
-                    report.diagnostics.len(),
-                    report.files_checked
-                );
                 ExitCode::FAILURE
             }
         }

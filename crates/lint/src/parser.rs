@@ -1,0 +1,964 @@
+//! A recursive-descent *item* parser over the token skeleton.
+//!
+//! The per-file rules (L001–L007) get by on raw tokens, but the cross-file
+//! analyses need structure: which items a file declares, what is `pub`,
+//! which tokens form a signature versus a body, which `use` paths a file
+//! imports, and which functions own which token ranges. This module
+//! recovers exactly that — an *item-level* AST. Expression grammar is
+//! deliberately out of scope: bodies are kept as token ranges and scanned,
+//! not parsed, which keeps the parser small, total (it cannot fail — at
+//! worst it skips tokens), and fast.
+//!
+//! Guarantees:
+//!
+//! * **Progress** — every loop consumes at least one token, so malformed
+//!   input can never hang the linter.
+//! * **Determinism** — the AST is a pure function of the token stream.
+//! * **Test scoping** — items under `#[cfg(test)]` / `#[test]` are marked,
+//!   transitively, so analyses can skip test-only code.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free function, method, or trait method declaration).
+    Fn,
+    /// `struct` (unit, tuple, or braced).
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait` definition.
+    Trait,
+    /// `mod` (inline or out-of-line).
+    Mod,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static,
+    /// `type` alias.
+    TypeAlias,
+    /// `use` declaration (paths recorded in [`Item::uses`]).
+    Use,
+    /// `impl` block (children hold its items).
+    Impl,
+    /// `macro_rules!` definition.
+    MacroRules,
+    /// `extern crate`.
+    ExternCrate,
+    /// `extern "abi" { ... }` foreign module.
+    ForeignMod,
+}
+
+/// Item visibility, as far as the surface scan needs to distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// No `pub`.
+    Private,
+    /// `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    Restricted,
+    /// Plain `pub`.
+    Public,
+}
+
+/// One `#[...]` or `#![...]` attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// 1-based line of the `#`.
+    pub line: usize,
+    /// First path segment (`allow`, `cfg`, `derive`, `deprecated`, ...).
+    pub name: String,
+    /// Every identifier inside the attribute after the name, flattened
+    /// (`#[allow(clippy::x)]` → `["clippy", "x"]`).
+    pub args: Vec<String>,
+    /// True for inner attributes (`#![...]`).
+    pub inner: bool,
+}
+
+/// One flattened path of a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsePath {
+    /// Path segments (`use a::b::{c, d}` yields `[a,b,c]` and `[a,b,d]`).
+    pub segments: Vec<String>,
+    /// `use path as alias` rename, if any.
+    pub alias: Option<String>,
+    /// True for `use path::*`.
+    pub glob: bool,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Item name; empty for `impl` blocks, foreign mods and `use`.
+    pub name: String,
+    /// Token index of the name, if the item has one.
+    pub name_tok: Option<usize>,
+    /// 1-based source line the item starts on (its keyword).
+    pub line: usize,
+    /// Visibility.
+    pub vis: Visibility,
+    /// True if a doc comment sits directly before the item.
+    pub has_doc: bool,
+    /// Outer attributes on the item.
+    pub attrs: Vec<Attr>,
+    /// True for `unsafe fn` / `unsafe impl` / `unsafe trait`.
+    pub is_unsafe: bool,
+    /// True if the item lives under `#[cfg(test)]` / `#[test]`.
+    pub in_test: bool,
+    /// Token range `[start, end)` of the header: keyword through the last
+    /// token before the body brace (or through the terminating `;`,
+    /// exclusive).
+    pub sig: (usize, usize),
+    /// Token range `[start, end)` of the tokens inside the body braces,
+    /// if the item has a braced body.
+    pub body: Option<(usize, usize)>,
+    /// For `impl` blocks: last path segment of the self type.
+    pub self_type: Option<String>,
+    /// For trait impls: last path segment of the trait.
+    pub trait_name: Option<String>,
+    /// Nested items (of `mod`, `trait` and `impl` bodies).
+    pub children: Vec<Item>,
+    /// Flattened paths (only for [`ItemKind::Use`]).
+    pub uses: Vec<UsePath>,
+}
+
+impl Item {
+    /// True if the item carries the named attribute.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name == name)
+    }
+
+    /// True for plain-`pub` items.
+    pub fn is_pub(&self) -> bool {
+        self.vis == Visibility::Public
+    }
+}
+
+/// The item-level AST of one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ast {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+}
+
+/// Parses a token stream into its item AST. Total: cannot fail.
+pub fn parse(tokens: &[Token]) -> Ast {
+    let mut p = Parser { toks: tokens, i: 0 };
+    let items = p.items(tokens.len(), false);
+    Ast { items }
+}
+
+/// Item keywords the dispatcher recognizes.
+const ITEM_KEYWORDS: [&str; 13] = [
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "mod",
+    "const",
+    "static",
+    "type",
+    "use",
+    "impl",
+    "macro_rules",
+    "extern",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn kind(&self, at: usize) -> Option<&'a TokenKind> {
+        self.toks.get(at).map(|t| &t.kind)
+    }
+
+    fn ident(&self, at: usize) -> Option<&'a str> {
+        self.kind(at).and_then(|k| k.ident())
+    }
+
+    fn line(&self, at: usize) -> usize {
+        self.toks.get(at).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn is_punct(&self, at: usize, c: char) -> bool {
+        matches!(self.kind(at), Some(k) if k.is_punct(c))
+    }
+
+    /// Parses items until `end`, always making progress.
+    fn items(&mut self, end: usize, in_test: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.i < end {
+            let before = self.i;
+            if let Some(item) = self.item(end, in_test) {
+                out.push(item);
+            }
+            if self.i <= before {
+                // Safety net: whatever happened, never loop in place.
+                self.i = before + 1;
+            }
+        }
+        out
+    }
+
+    /// Parses one item (or skips one unrecognized token, returning None).
+    fn item(&mut self, end: usize, in_test: bool) -> Option<Item> {
+        let mut has_doc = false;
+        let mut attrs: Vec<Attr> = Vec::new();
+        // Doc comments and attributes, in any interleaving.
+        loop {
+            match self.kind(self.i) {
+                Some(TokenKind::DocComment) => {
+                    has_doc = true;
+                    self.i += 1;
+                }
+                Some(k) if k.is_punct('#') => {
+                    let looks_like_attr = self.is_punct(self.i + 1, '[')
+                        || (self.is_punct(self.i + 1, '!') && self.is_punct(self.i + 2, '['));
+                    if !looks_like_attr {
+                        self.i += 1;
+                        return None;
+                    }
+                    let attr = self.attr();
+                    attrs.push(attr);
+                }
+                _ => break,
+            }
+            if self.i >= end {
+                return None;
+            }
+        }
+
+        // Visibility.
+        let mut vis = Visibility::Private;
+        if self.ident(self.i) == Some("pub") {
+            self.i += 1;
+            vis = if self.is_punct(self.i, '(') {
+                self.skip_balanced('(', ')');
+                Visibility::Restricted
+            } else {
+                Visibility::Public
+            };
+        }
+
+        // Qualifiers before the item keyword.
+        let mut is_unsafe = false;
+        loop {
+            match self.ident(self.i) {
+                Some("unsafe") => {
+                    is_unsafe = true;
+                    self.i += 1;
+                }
+                Some("async") | Some("default") => self.i += 1,
+                Some("const")
+                    if matches!(self.ident(self.i + 1), Some("fn" | "unsafe" | "extern")) =>
+                {
+                    self.i += 1;
+                }
+                Some("extern")
+                    if matches!(self.kind(self.i + 1), Some(TokenKind::Lit(_)))
+                        && self.ident(self.i + 2) == Some("fn") =>
+                {
+                    self.i += 2;
+                }
+                _ => break,
+            }
+        }
+
+        let in_test = in_test || attrs.iter().any(is_test_attr);
+        let kw_tok = self.i;
+        let line = self.line(kw_tok);
+        let kw = match self.ident(self.i) {
+            Some(k) if ITEM_KEYWORDS.contains(&k) => k,
+            Some(_) if self.is_punct(self.i + 1, '!') => {
+                // Item-level macro invocation: `name! { ... }` / `name!(...);`
+                self.i += 2;
+                if self.ident(self.i).is_some() {
+                    self.i += 1; // `macro_name! ident { ... }` form
+                }
+                self.skip_macro_group();
+                return None;
+            }
+            _ => {
+                self.i += 1;
+                return None;
+            }
+        };
+        self.i += 1;
+
+        let mut item = Item {
+            kind: ItemKind::Fn,
+            name: String::new(),
+            name_tok: None,
+            line,
+            vis,
+            has_doc,
+            attrs,
+            is_unsafe,
+            in_test,
+            sig: (kw_tok, kw_tok),
+            body: None,
+            self_type: None,
+            trait_name: None,
+            children: Vec::new(),
+            uses: Vec::new(),
+        };
+
+        match kw {
+            "fn" => {
+                item.kind = ItemKind::Fn;
+                self.take_name(&mut item);
+                self.header_then_body(&mut item, end, false);
+            }
+            "struct" | "union" => {
+                item.kind = if kw == "struct" {
+                    ItemKind::Struct
+                } else {
+                    ItemKind::Union
+                };
+                self.take_name(&mut item);
+                self.header_then_body(&mut item, end, false);
+            }
+            "enum" => {
+                item.kind = ItemKind::Enum;
+                self.take_name(&mut item);
+                self.header_then_body(&mut item, end, false);
+            }
+            "trait" => {
+                item.kind = ItemKind::Trait;
+                self.take_name(&mut item);
+                self.header_then_body(&mut item, end, true);
+                let body = item.body;
+                if let Some((bs, be)) = body {
+                    item.children = self.parse_range(bs, be, item.in_test);
+                }
+            }
+            "mod" => {
+                item.kind = ItemKind::Mod;
+                self.take_name(&mut item);
+                self.header_then_body(&mut item, end, true);
+                let body = item.body;
+                if let Some((bs, be)) = body {
+                    item.children = self.parse_range(bs, be, item.in_test);
+                }
+            }
+            "const" | "static" => {
+                item.kind = if kw == "const" {
+                    ItemKind::Const
+                } else {
+                    ItemKind::Static
+                };
+                if self.ident(self.i) == Some("mut") {
+                    self.i += 1;
+                }
+                self.take_name(&mut item);
+                self.until_semicolon(&mut item, end);
+            }
+            "type" => {
+                item.kind = ItemKind::TypeAlias;
+                self.take_name(&mut item);
+                self.until_semicolon(&mut item, end);
+            }
+            "use" => {
+                item.kind = ItemKind::Use;
+                let stmt_end = self.find_semicolon(end);
+                item.uses = self.use_paths(stmt_end);
+                item.sig = (kw_tok, stmt_end);
+                self.i = (stmt_end + 1).min(end); // past the `;`
+            }
+            "impl" => {
+                item.kind = ItemKind::Impl;
+                self.impl_header(&mut item, end);
+                let body = item.body;
+                if let Some((bs, be)) = body {
+                    item.children = self.parse_range(bs, be, item.in_test);
+                }
+            }
+            "macro_rules" => {
+                item.kind = ItemKind::MacroRules;
+                if self.is_punct(self.i, '!') {
+                    self.i += 1;
+                }
+                self.take_name(&mut item);
+                item.sig = (kw_tok, self.i);
+                self.skip_macro_group();
+            }
+            "extern" => {
+                if self.ident(self.i) == Some("crate") {
+                    item.kind = ItemKind::ExternCrate;
+                    self.i += 1;
+                    self.take_name(&mut item);
+                    self.until_semicolon(&mut item, end);
+                } else {
+                    item.kind = ItemKind::ForeignMod;
+                    if matches!(self.kind(self.i), Some(TokenKind::Lit(_))) {
+                        self.i += 1;
+                    }
+                    item.sig = (kw_tok, self.i);
+                    if self.is_punct(self.i, '{') {
+                        let (bs, be) = self.skip_balanced('{', '}');
+                        item.body = Some((bs, be));
+                    }
+                }
+            }
+            _ => unreachable!("dispatcher only passes ITEM_KEYWORDS"),
+        }
+        Some(item)
+    }
+
+    /// Records the item's name if the next token is an identifier.
+    fn take_name(&mut self, item: &mut Item) {
+        if let Some(name) = self.ident(self.i) {
+            item.name = name.to_string();
+            item.name_tok = Some(self.i);
+            self.i += 1;
+        }
+    }
+
+    /// Scans the header until a body `{` or a terminating `;` at nesting
+    /// depth zero; on `{`, records the brace-matched body. `recurse_body`
+    /// is informational only — recursion happens at the caller, which owns
+    /// the returned ranges.
+    fn header_then_body(&mut self, item: &mut Item, end: usize, _recurse_body: bool) {
+        let sig_start = item.sig.0;
+        let mut depth = 0i64; // ( ) and [ ] nesting inside the header
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(')) | Some(TokenKind::Punct('[')) => depth += 1,
+                Some(TokenKind::Punct(')')) | Some(TokenKind::Punct(']')) => depth -= 1,
+                Some(TokenKind::Punct('{')) if depth <= 0 => {
+                    item.sig = (sig_start, self.i);
+                    let (bs, be) = self.skip_balanced('{', '}');
+                    item.body = Some((bs, be));
+                    return;
+                }
+                Some(TokenKind::Punct(';')) if depth <= 0 => {
+                    item.sig = (sig_start, self.i);
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        item.sig = (sig_start, self.i);
+    }
+
+    /// Scans a `const`/`static`/`type` item through its `;`, counting all
+    /// bracket kinds so struct-literal initializers cannot end it early.
+    fn until_semicolon(&mut self, item: &mut Item, end: usize) {
+        let stmt_end = self.find_semicolon(end);
+        item.sig = (item.sig.0, stmt_end);
+        self.i = (stmt_end + 1).min(end);
+    }
+
+    /// Index of the statement-terminating `;` (all brackets balanced), or
+    /// `end` if the file runs out first. Does not move the cursor.
+    fn find_semicolon(&self, end: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = self.i;
+        while j < end {
+            match self.kind(j) {
+                Some(TokenKind::Punct('(' | '[' | '{')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']' | '}')) => depth -= 1,
+                Some(TokenKind::Punct(';')) if depth <= 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skips a balanced pair starting at the current `open` token; returns
+    /// the token range strictly inside the pair. If the closer is missing,
+    /// consumes to the end of input.
+    fn skip_balanced(&mut self, open: char, close: char) -> (usize, usize) {
+        debug_assert!(self.is_punct(self.i, open));
+        self.i += 1;
+        let start = self.i;
+        let mut depth = 1i64;
+        while self.i < self.toks.len() {
+            match self.kind(self.i) {
+                Some(k) if k.is_punct(open) => depth += 1,
+                Some(k) if k.is_punct(close) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner_end = self.i;
+                        self.i += 1;
+                        return (start, inner_end);
+                    }
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        (start, self.i)
+    }
+
+    /// Skips a macro body group: `{...}`, `(...);` or `[...];`.
+    fn skip_macro_group(&mut self) {
+        match self.kind(self.i) {
+            Some(TokenKind::Punct('{')) => {
+                self.skip_balanced('{', '}');
+            }
+            Some(TokenKind::Punct('(')) => {
+                self.skip_balanced('(', ')');
+                if self.is_punct(self.i, ';') {
+                    self.i += 1;
+                }
+            }
+            Some(TokenKind::Punct('[')) => {
+                self.skip_balanced('[', ']');
+                if self.is_punct(self.i, ';') {
+                    self.i += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Parses the child items of a braced range, restoring the cursor.
+    fn parse_range(&mut self, start: usize, end: usize, in_test: bool) -> Vec<Item> {
+        let saved = self.i;
+        self.i = start;
+        let items = self.items(end, in_test);
+        self.i = saved;
+        items
+    }
+
+    /// Parses one `#[...]` / `#![...]` attribute starting at the `#`.
+    fn attr(&mut self) -> Attr {
+        let line = self.line(self.i);
+        self.i += 1; // '#'
+        let inner = self.is_punct(self.i, '!');
+        if inner {
+            self.i += 1;
+        }
+        let mut name = String::new();
+        let mut args = Vec::new();
+        if self.is_punct(self.i, '[') {
+            let (start, end) = self.skip_balanced('[', ']');
+            for j in start..end {
+                if let Some(id) = self.ident(j) {
+                    if name.is_empty() {
+                        name = id.to_string();
+                    } else {
+                        args.push(id.to_string());
+                    }
+                }
+            }
+        }
+        Attr {
+            line,
+            name,
+            args,
+            inner,
+        }
+    }
+
+    /// Parses the `impl` header (generics, self type, optional trait) up to
+    /// the body brace, then records the body range.
+    fn impl_header(&mut self, item: &mut Item, end: usize) {
+        let sig_start = item.sig.0;
+        // Skip the generic parameter list, if any.
+        if self.is_punct(self.i, '<') {
+            let mut angle = 0i64;
+            while self.i < end {
+                match self.kind(self.i) {
+                    Some(TokenKind::Punct('<')) => angle += 1,
+                    Some(TokenKind::Punct('>')) => {
+                        angle -= 1;
+                        if angle == 0 {
+                            self.i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        }
+        // Collect the header: `TypeA` or `TraitA for TypeB`, until `{`.
+        let mut first_path_last_ident: Option<String> = None;
+        let mut second_path_last_ident: Option<String> = None;
+        let mut saw_for = false;
+        let mut angle = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('{')) if angle <= 0 => {
+                    item.sig = (sig_start, self.i);
+                    let (bs, be) = self.skip_balanced('{', '}');
+                    item.body = Some((bs, be));
+                    break;
+                }
+                Some(TokenKind::Punct('<')) => angle += 1,
+                Some(TokenKind::Punct('>')) => angle -= 1,
+                Some(TokenKind::Ident(id)) if angle <= 0 => {
+                    if id == "for" {
+                        saw_for = true;
+                    } else if id == "where" {
+                        // Bounds follow; the paths are already collected.
+                    } else if id != "mut" && id != "dyn" {
+                        let slot = if saw_for {
+                            &mut second_path_last_ident
+                        } else {
+                            &mut first_path_last_ident
+                        };
+                        *slot = Some(id.clone());
+                    }
+                }
+                _ => {}
+            }
+            if item.body.is_some() {
+                break;
+            }
+            self.i += 1;
+        }
+        if saw_for {
+            item.trait_name = first_path_last_ident;
+            item.self_type = second_path_last_ident;
+        } else {
+            item.self_type = first_path_last_ident;
+        }
+    }
+
+    /// Flattens the use tree between the cursor and `stmt_end`.
+    fn use_paths(&mut self, stmt_end: usize) -> Vec<UsePath> {
+        let mut out = Vec::new();
+        if matches!(self.kind(self.i), Some(k) if k.is_op("::")) {
+            self.i += 1; // `use ::absolute::path`
+        }
+        self.use_tree(Vec::new(), stmt_end, &mut out);
+        self.i = stmt_end;
+        out
+    }
+
+    /// One use-tree node: `seg::rest`, `{a, b}`, `*`, or a leaf.
+    fn use_tree(&mut self, mut path: Vec<String>, end: usize, out: &mut Vec<UsePath>) {
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('{')) => {
+                    self.i += 1;
+                    loop {
+                        if self.i >= end || self.is_punct(self.i, '}') {
+                            self.i += 1;
+                            return;
+                        }
+                        self.use_tree(path.clone(), end, out);
+                        if self.is_punct(self.i, ',') {
+                            self.i += 1;
+                        }
+                    }
+                }
+                Some(TokenKind::Punct('*')) => {
+                    self.i += 1;
+                    out.push(UsePath {
+                        segments: path,
+                        alias: None,
+                        glob: true,
+                    });
+                    return;
+                }
+                Some(TokenKind::Ident(seg)) => {
+                    let seg = seg.clone();
+                    self.i += 1;
+                    if matches!(self.kind(self.i), Some(k) if k.is_op("::")) {
+                        path.push(seg);
+                        self.i += 1;
+                        continue;
+                    }
+                    let mut alias = None;
+                    if self.ident(self.i) == Some("as") {
+                        self.i += 1;
+                        if let Some(a) = self.ident(self.i) {
+                            alias = Some(a.to_string());
+                            self.i += 1;
+                        }
+                    }
+                    path.push(seg);
+                    out.push(UsePath {
+                        segments: path,
+                        alias,
+                        glob: false,
+                    });
+                    return;
+                }
+                _ => {
+                    self.i += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn is_test_attr(attr: &Attr) -> bool {
+    attr.name == "test" || (attr.name == "cfg" && attr.args.iter().any(|a| a == "test"))
+}
+
+/// Renders a token range back to deterministic, compact source text.
+///
+/// The output is a pure function of the tokens: one canonical spacing, no
+/// comments, lifetimes and literals preserved. Used for API-surface
+/// baselines, where byte-stability matters more than prettiness.
+pub fn render(tokens: &[Token], range: (usize, usize)) -> String {
+    let mut out = String::new();
+    let mut prev: Option<&TokenKind> = None;
+    for tok in tokens.get(range.0..range.1).unwrap_or(&[]) {
+        let piece: String = match &tok.kind {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Punct(c) => c.to_string(),
+            TokenKind::Op(o) => (*o).to_string(),
+            TokenKind::Lit(s) | TokenKind::FloatLit(s) => s.clone(),
+            TokenKind::Lifetime(s) => format!("'{s}"),
+            TokenKind::DocComment => continue,
+        };
+        if let Some(p) = prev {
+            if needs_space(p, &tok.kind) {
+                out.push(' ');
+            }
+        }
+        out.push_str(&piece);
+        prev = Some(&tok.kind);
+    }
+    out
+}
+
+/// Canonical spacing between two adjacent rendered tokens.
+fn needs_space(prev: &TokenKind, next: &TokenKind) -> bool {
+    // No space after openers, path separators, or reference/attr markers.
+    match prev {
+        TokenKind::Punct('(' | '[' | '<' | '&' | '#' | '!' | '.') => return false,
+        TokenKind::Op("::") => return false,
+        // Other operators (`->`, `=`, `+`) always take a trailing space,
+        // even before an opener: `-> [u8; 4]`.
+        TokenKind::Op(_) => return true,
+        _ => {}
+    }
+    // No space before closers, separators, or argument lists.
+    match next {
+        TokenKind::Punct(')' | ']' | '>' | ',' | ';' | ':' | '(' | '[' | '<' | '?' | '!' | '.') => {
+            false
+        }
+        TokenKind::Op("::") => false,
+        // `&'a`, `<'a` read better unspaced after their opener (handled
+        // above); between words a lifetime gets a space like any ident.
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn parses_top_level_items() {
+        let ast = parse_src(
+            "//! file docs\n\
+             use std::fmt;\n\
+             /// Docs.\n\
+             pub struct S { x: u64 }\n\
+             pub(crate) enum E { A, B }\n\
+             const N: usize = 4;\n\
+             pub fn f(x: u64) -> u64 { x + 1 }\n",
+        );
+        let kinds: Vec<ItemKind> = ast.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Use,
+                ItemKind::Struct,
+                ItemKind::Enum,
+                ItemKind::Const,
+                ItemKind::Fn
+            ]
+        );
+        assert_eq!(ast.items[1].name, "S");
+        assert!(ast.items[1].has_doc);
+        assert!(ast.items[1].is_pub());
+        assert_eq!(ast.items[2].vis, Visibility::Restricted);
+        assert_eq!(ast.items[3].vis, Visibility::Private);
+        assert_eq!(ast.items[4].name, "f");
+        assert!(ast.items[4].body.is_some());
+    }
+
+    #[test]
+    fn flattens_use_trees() {
+        let ast = parse_src("use a::b::{c, d::e, f as g, *};\n");
+        let paths: Vec<Vec<String>> = ast.items[0]
+            .uses
+            .iter()
+            .map(|u| u.segments.clone())
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                vec!["a", "b", "c"],
+                vec!["a", "b", "d", "e"],
+                vec!["a", "b", "f"],
+                vec!["a", "b"],
+            ]
+        );
+        assert_eq!(ast.items[0].uses[2].alias.as_deref(), Some("g"));
+        assert!(ast.items[0].uses[3].glob);
+    }
+
+    #[test]
+    fn impl_blocks_expose_self_type_and_children() {
+        let ast = parse_src(
+            "impl<T: Clone> Wrapper<T> {\n\
+                 pub fn get(&self) -> &T { &self.0 }\n\
+                 fn private(&self) {}\n\
+             }\n\
+             impl std::fmt::Display for Wrapper<u64> {\n\
+                 fn fmt(&self) {}\n\
+             }\n",
+        );
+        assert_eq!(ast.items[0].self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(ast.items[0].children.len(), 2);
+        assert_eq!(ast.items[0].children[0].name, "get");
+        assert!(ast.items[0].children[0].is_pub());
+        assert_eq!(ast.items[1].trait_name.as_deref(), Some("Display"));
+        assert_eq!(ast.items[1].self_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn nested_mods_and_test_scoping() {
+        let ast = parse_src(
+            "pub mod outer {\n\
+                 pub fn exported() {}\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                     #[test]\n\
+                     fn check() {}\n\
+                 }\n\
+             }\n",
+        );
+        let outer = &ast.items[0];
+        assert_eq!(outer.kind, ItemKind::Mod);
+        assert!(!outer.children[0].in_test);
+        assert!(outer.children[1].in_test);
+        assert!(outer.children[1].children[0].in_test);
+    }
+
+    #[test]
+    fn fn_signature_range_excludes_body() {
+        let src = "pub fn f<T>(items: &[T], n: usize) -> Vec<T> where T: Clone { unreachable() }";
+        let toks = lex(src).tokens;
+        let ast = parse(&toks);
+        let item = &ast.items[0];
+        let sig = render(&toks, item.sig);
+        assert_eq!(
+            sig,
+            "fn f<T>(items: &[T], n: usize) -> Vec<T> where T: Clone"
+        );
+        let (bs, be) = item.body.unwrap();
+        assert_eq!(render(&toks, (bs, be)), "unreachable()");
+    }
+
+    #[test]
+    fn render_preserves_lifetimes_and_literals() {
+        let src = "fn f<'a>(x: &'a str) -> [u8; 4] {}";
+        let toks = lex(src).tokens;
+        let ast = parse(&toks);
+        assert_eq!(
+            render(&toks, ast.items[0].sig),
+            "fn f<'a>(x: &'a str) -> [u8; 4]"
+        );
+    }
+
+    #[test]
+    fn const_with_struct_literal_initializer() {
+        let ast = parse_src(
+            "pub const DEFAULT: Config = Config { threads: 1, strict: true };\npub fn after() {}",
+        );
+        assert_eq!(ast.items[0].kind, ItemKind::Const);
+        assert_eq!(ast.items[0].name, "DEFAULT");
+        assert_eq!(ast.items[1].name, "after");
+    }
+
+    #[test]
+    fn tuple_struct_and_unit_struct() {
+        let ast = parse_src("pub struct Wrap(pub u64);\npub struct Unit;\n");
+        assert_eq!(ast.items[0].name, "Wrap");
+        assert_eq!(ast.items[1].name, "Unit");
+        assert_eq!(ast.items.len(), 2);
+    }
+
+    #[test]
+    fn trait_with_method_declarations() {
+        let ast = parse_src(
+            "pub trait Rng {\n\
+                 fn next_u64(&mut self) -> u64;\n\
+                 fn gen_range(&mut self, r: Range<u64>) -> u64 { 0 }\n\
+             }\n",
+        );
+        let t = &ast.items[0];
+        assert_eq!(t.kind, ItemKind::Trait);
+        assert_eq!(t.children.len(), 2);
+        assert!(t.children[0].body.is_none());
+        assert!(t.children[1].body.is_some());
+    }
+
+    #[test]
+    fn attributes_are_recorded() {
+        let ast = parse_src(
+            "#[allow(clippy::too_many_arguments)]\n#[derive(Debug, Clone)]\npub fn f() {}\n",
+        );
+        let item = &ast.items[0];
+        assert!(item.has_attr("allow"));
+        assert!(item.has_attr("derive"));
+        assert_eq!(item.attrs[0].args, vec!["clippy", "too_many_arguments"]);
+    }
+
+    #[test]
+    fn deprecated_attr_is_visible() {
+        let ast =
+            parse_src("#[deprecated(since = \"0.2.0\", note = \"use X\")]\npub fn old() {}\n");
+        assert!(ast.items[0].has_attr("deprecated"));
+    }
+
+    #[test]
+    fn item_macro_invocations_are_skipped() {
+        let ast = parse_src("macro_call! { fn not_an_item() {} }\npub fn real() {}\n");
+        assert_eq!(ast.items.len(), 1);
+        assert_eq!(ast.items[0].name, "real");
+    }
+
+    #[test]
+    fn malformed_input_terminates() {
+        // Unbalanced braces, stray punctuation, truncated items: the parser
+        // must always terminate and never panic.
+        for src in [
+            "pub fn f(",
+            "impl {",
+            "use ;",
+            "}}}{{{",
+            "pub",
+            "#[",
+            "const",
+            "pub struct",
+            "macro_rules!",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+
+    #[test]
+    fn unsafe_fn_is_marked() {
+        let ast = parse_src("pub unsafe fn danger() {}\n");
+        assert!(ast.items[0].is_unsafe);
+        assert_eq!(ast.items[0].kind, ItemKind::Fn);
+    }
+}

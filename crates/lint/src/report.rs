@@ -1,0 +1,180 @@
+//! The lint report and its two stable renderings.
+//!
+//! Both the text and the JSON form are pure functions of the sorted
+//! diagnostics — no timestamps, no absolute paths beyond what was given,
+//! no map iteration — so two runs over the same tree are byte-identical
+//! regardless of thread count. CI and downstream tooling rely on this:
+//! the JSON report is a machine-readable artifact with a versioned
+//! schema, not a log.
+//!
+//! # JSON schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "mocktails-lint",
+//!   "files_checked": 58,
+//!   "violations": 0,
+//!   "clean": true,
+//!   "diagnostics": [
+//!     { "file": "crates/x/src/lib.rs", "line": 3, "rule": "L001",
+//!       "message": "..." }
+//!   ]
+//! }
+//! ```
+//!
+//! Keys appear in exactly this order; `diagnostics` is sorted by
+//! `(file, line, rule, message)`; the document ends with a single `\n`.
+//! New fields may be appended in future schema versions, which will bump
+//! `schema_version`.
+
+use crate::rules::Diagnostic;
+
+/// The version of the JSON report schema this build emits.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// The outcome of linting a source tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the machine-readable JSON report (schema above).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", JSON_SCHEMA_VERSION));
+        out.push_str("  \"tool\": \"mocktails-lint\",\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        if self.diagnostics.is_empty() {
+            out.push_str("  \"diagnostics\": []\n");
+        } else {
+            out.push_str("  \"diagnostics\": [\n");
+            for (i, d) in self.diagnostics.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {} }}{}\n",
+                    json_string(&d.file),
+                    d.line,
+                    json_string(d.rule),
+                    json_string(&d.message),
+                    if i + 1 < self.diagnostics.len() {
+                        ","
+                    } else {
+                        ""
+                    },
+                ));
+            }
+            out.push_str("  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    /// Renders one `file:line: [RULE] message` line per diagnostic. The
+    /// rendering is a pure function of the sorted diagnostics, so equal
+    /// reports are byte-identical — the determinism tests rely on this.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal, including the quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![
+                Diagnostic {
+                    file: "crates/a/src/lib.rs".to_string(),
+                    line: 3,
+                    rule: "L001",
+                    message: "`.unwrap()` in library code".to_string(),
+                },
+                Diagnostic {
+                    file: "crates/b/src/lib.rs".to_string(),
+                    line: 9,
+                    rule: "L008",
+                    message: "iteration over `counts` (HashMap)".to_string(),
+                },
+            ],
+            files_checked: 2,
+        }
+    }
+
+    #[test]
+    fn json_has_stable_shape_and_flags() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\n  \"schema_version\": 1,\n  \"tool\": \"mocktails-lint\""));
+        assert!(json.contains("\"files_checked\": 2"));
+        assert!(json.contains("\"violations\": 2"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.ends_with("}\n"));
+        // Two renderings of the same report are byte-identical.
+        assert_eq!(json, sample().to_json());
+    }
+
+    #[test]
+    fn clean_report_has_empty_array() {
+        let r = Report {
+            diagnostics: Vec::new(),
+            files_checked: 5,
+        };
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"diagnostics\": []"));
+        assert!(r.to_json().contains("\"clean\": true"));
+        assert_eq!(format!("{r}"), "");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        let r = Report {
+            diagnostics: vec![Diagnostic {
+                file: "f".to_string(),
+                line: 1,
+                rule: "L001",
+                message: "uses `\"quotes\"`".to_string(),
+            }],
+            files_checked: 1,
+        };
+        assert!(r.to_json().contains("\\\"quotes\\\""));
+    }
+}

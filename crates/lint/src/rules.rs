@@ -9,14 +9,21 @@
 //! | L005 | synthesis crates, non-test | no `SystemTime`/`Instant` |
 //! | L006 | library code except `fault.rs`, non-test | no `io::Error::{new,other,from}` construction |
 //! | L007 | library code except `crates/pool`, non-test | no direct `std::thread` use |
+//! | L008 | synthesis crates except `rng` modules, non-test | no nondeterministic iteration (`HashMap`/`HashSet`), no `env::var` |
+//! | L011 | library code, non-test | every `unsafe` and blanket `#[allow(...)]` carries a reasoned companion |
+//!
+//! L008 and L011 are the per-file halves of the cross-file analyses in
+//! [`crate::graph`]: L008's *direct* sites seed the determinism-taint
+//! propagation, and L011 audits the escape hatches themselves.
 //!
 //! Any diagnostic can be suppressed with a `// lint: allow(RULE, reason)`
 //! comment on the same line or the line directly above; the reason is
 //! mandatory — a bare `allow(L001)` does not suppress anything.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{lex, Directive, Lexed, Token, TokenKind};
 
 /// One reported rule violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -52,7 +59,7 @@ const DOC_ITEM_KEYWORDS: [&str; 9] = [
 
 /// How the path of a file maps onto rule scopes.
 #[derive(Debug, Clone, Copy)]
-struct Scope {
+pub(crate) struct Scope {
     /// Binary targets (`main.rs`, `src/bin/`) are exempt from L001/L002:
     /// a CLI's top level may exit via `expect` and link anything it wants.
     is_lib: bool,
@@ -69,10 +76,14 @@ struct Scope {
     /// L007 exempts the pool crate, the one place allowed to touch
     /// `std::thread` — everyone else goes through `Parallelism`.
     is_pool: bool,
+    /// L008 exempts the seeded-PRNG modules: they are the one sanctioned
+    /// source of randomness, and their output is a pure function of the
+    /// seed.
+    is_rng_module: bool,
 }
 
 impl Scope {
-    fn of(path: &Path) -> Self {
+    pub(crate) fn of(path: &Path) -> Self {
         let p = normalize_path(&path.to_string_lossy().replace('\\', "/"));
         let is_bin = p.ends_with("/main.rs") || p == "main.rs" || p.contains("/src/bin/");
         let in_crate = |name: &str| p.contains(&format!("crates/{name}/src/"));
@@ -89,14 +100,50 @@ impl Scope {
                 || in_crate("baselines"),
             is_fault_module: p.ends_with("/fault.rs"),
             is_pool: in_crate("pool"),
+            is_rng_module: p.ends_with("/rng.rs") || p.contains("/rng/"),
         }
+    }
+
+    /// True if L008 applies to the file at all: the fit/synthesize/codec
+    /// path, minus the sanctioned seeded-PRNG modules.
+    pub(crate) fn wants_determinism(&self) -> bool {
+        self.is_synthesis_code && !self.is_rng_module
     }
 }
 
 /// Lints one file's source text. `path` is used both for scoping (which
 /// rules apply) and for diagnostics; the file is not read from disk.
+///
+/// Runs the per-file rules (L001–L008 direct sites, L011) and applies the
+/// `// lint: allow` directives. The cross-file rules (L008 transitive
+/// taint, L009, L010) need the whole workspace and live in
+/// [`crate::graph`].
 pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
     let lexed = lex(src);
+    let mut diags = file_diagnostics(path, &lexed);
+    apply_directives(&mut diags, &lexed.directives);
+    diags.sort();
+    diags
+}
+
+/// Removes every diagnostic suppressed by a reasoned directive on its own
+/// line or the line directly above.
+pub(crate) fn apply_directives(
+    diags: &mut Vec<Diagnostic>,
+    directives: &BTreeMap<usize, Vec<Directive>>,
+) {
+    diags.retain(|d| {
+        ![d.line, d.line.saturating_sub(1)].iter().any(|l| {
+            directives
+                .get(l)
+                .map(|ds| ds.iter().any(|dir| dir.rule == d.rule))
+                .unwrap_or(false)
+        })
+    });
+}
+
+/// All per-file diagnostics of one lexed file, unfiltered and unsorted.
+pub(crate) fn file_diagnostics(path: &Path, lexed: &Lexed) -> Vec<Diagnostic> {
     let tokens = &lexed.tokens;
     let scope = Scope::of(path);
     let in_test = test_flags(tokens);
@@ -225,9 +272,12 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
             }
             let float_nbr = i
                 .checked_sub(1)
-                .map(|j| tokens[j].kind == TokenKind::FloatLit)
+                .map(|j| matches!(tokens[j].kind, TokenKind::FloatLit(_)))
                 .unwrap_or(false)
-                || tokens.get(i + 1).map(|t| t.kind == TokenKind::FloatLit) == Some(true);
+                || matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::FloatLit(_))
+                );
             if float_nbr {
                 push(
                     t.line,
@@ -238,19 +288,281 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
         }
     }
 
-    // Apply allowlist: a directive on the same line or the line above,
-    // naming the rule and carrying a non-empty reason, suppresses.
-    diags.retain(|d| {
-        ![d.line, d.line.saturating_sub(1)].iter().any(|l| {
-            lexed
-                .directives
-                .get(l)
-                .map(|ds| ds.iter().any(|dir| dir.rule == d.rule))
-                .unwrap_or(false)
-        })
-    });
-    diags.sort();
+    // L008 (direct sites): nondeterministic iteration and env reads on the
+    // synthesis path. The graph pass reuses `l008_sites` for taint seeding.
+    if scope.wants_determinism() {
+        for site in l008_sites(tokens, &in_test) {
+            push(
+                site.line,
+                "L008",
+                format!("{} on the synthesis path is nondeterministic; use a BTree collection or thread the value through explicitly", site.what),
+            );
+        }
+    }
+
+    // L011: the escape hatches themselves are audited. Every `unsafe` and
+    // every blanket `#[allow(...)]` must carry a reasoned
+    // `// lint: allow(L011, reason)` companion — the suppression mechanism
+    // doubles as the justification record.
+    if scope.is_lib {
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            match t.kind.ident() {
+                Some("unsafe") => {
+                    push(
+                        t.line,
+                        "L011",
+                        "`unsafe` requires a reasoned `// lint: allow(L011, reason)` companion"
+                            .to_string(),
+                    );
+                }
+                Some("allow") if is_allow_attribute(tokens, i) => {
+                    let what = allow_args(tokens, i);
+                    push(
+                        t.line,
+                        "L011",
+                        format!("blanket `#[allow({what})]` requires a reasoned `// lint: allow(L011, reason)` companion"),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
     diags
+}
+
+/// One L008 direct site: a token index (for taint attribution), its line,
+/// and a human-readable description of the nondeterminism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L008Site {
+    /// Index of the offending token.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// What the site does, e.g. "iteration over `counts` (HashMap)".
+    pub what: String,
+}
+
+/// Methods whose call on a hash collection observes iteration order.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Finds the direct nondeterminism sites of one file: iteration over
+/// `HashMap`/`HashSet` bindings and `env::var` reads, outside test code.
+///
+/// Binding discovery is heuristic (name-based, file-wide): every `let`
+/// binding, field or parameter whose type mentions `HashMap`/`HashSet`
+/// contributes its name, and any iteration-observing method call or `for`
+/// loop over such a name is a site. Names are matched per file, so a
+/// same-named deterministic collection in another file is unaffected.
+pub(crate) fn l008_sites(tokens: &[Token], in_test: &[bool]) -> Vec<L008Site> {
+    let mut bindings: BTreeMap<String, &'static str> = BTreeMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let hash_ty = match t.kind.ident() {
+            Some(ty @ ("HashMap" | "HashSet")) => ty,
+            _ => continue,
+        };
+        // `use std::collections::HashMap` introduces no binding.
+        if matches!(i.checked_sub(1).map(|j| &tokens[j].kind), Some(k) if k.is_op("::")) {
+            let mut s = i;
+            let mut is_use = false;
+            while s > 0 {
+                s -= 1;
+                match &tokens[s].kind {
+                    TokenKind::Punct(';' | '{' | '}') => break,
+                    TokenKind::Ident(id) if id == "use" => {
+                        is_use = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if is_use {
+                continue;
+            }
+        }
+        if let Some(name) = binding_before(tokens, i) {
+            let ty = if hash_ty == "HashMap" {
+                "HashMap"
+            } else {
+                "HashSet"
+            };
+            bindings.entry(name).or_insert(ty);
+        }
+    }
+
+    let mut sites = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let ident = match t.kind.ident() {
+            Some(s) => s,
+            None => continue,
+        };
+        let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
+        let next = tokens.get(i + 1).map(|t| &t.kind);
+
+        // `name.iter()` / `name.values()` / ... on a hash binding.
+        if HASH_ITER_METHODS.contains(&ident)
+            && matches!(prev, Some(k) if k.is_punct('.'))
+            && matches!(next, Some(k) if k.is_punct('('))
+        {
+            if let Some(TokenKind::Ident(recv)) = i.checked_sub(2).map(|j| &tokens[j].kind) {
+                if let Some(ty) = bindings.get(recv.as_str()) {
+                    sites.push(L008Site {
+                        tok: i,
+                        line: t.line,
+                        what: format!("iteration over `{recv}` ({ty})"),
+                    });
+                }
+            }
+        }
+
+        // `for pat in [&][mut] name { ... }` over a hash binding.
+        if ident == "in" {
+            let mut j = i + 1;
+            while matches!(
+                tokens.get(j).map(|t| &t.kind),
+                Some(TokenKind::Punct('&')) | Some(TokenKind::Ident(_))
+            ) {
+                if let Some(TokenKind::Ident(name)) = tokens.get(j).map(|t| &t.kind) {
+                    if name == "mut" {
+                        j += 1;
+                        continue;
+                    }
+                    if matches!(
+                        tokens.get(j + 1).map(|t| &t.kind),
+                        Some(TokenKind::Punct('{'))
+                    ) {
+                        if let Some(ty) = bindings.get(name.as_str()) {
+                            sites.push(L008Site {
+                                tok: j,
+                                line: tokens[j].line,
+                                what: format!("iteration over `{name}` ({ty})"),
+                            });
+                        }
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+
+        // `env::var` / `env::vars` / `env::var_os`: ambient process state.
+        if matches!(ident, "var" | "vars" | "var_os")
+            && matches!(prev, Some(k) if k.is_op("::"))
+            && i >= 2
+            && tokens[i - 2].kind.ident() == Some("env")
+        {
+            sites.push(L008Site {
+                tok: i,
+                line: t.line,
+                what: format!("`env::{ident}`"),
+            });
+        }
+    }
+    sites
+}
+
+/// The binding name a `HashMap`/`HashSet` type mention at `tokens[i]`
+/// belongs to: the `let` pattern of the enclosing statement, or the
+/// `name:` of the enclosing field/parameter declaration.
+fn binding_before(tokens: &[Token], i: usize) -> Option<String> {
+    // Window: back to the statement/field boundary.
+    let mut start = i;
+    while start > 0 {
+        match &tokens[start - 1].kind {
+            TokenKind::Punct(';' | '{' | '}') => break,
+            _ => start -= 1,
+        }
+    }
+    // `let [mut] name ... HashMap` anywhere in the window wins.
+    for j in start..i {
+        if tokens[j].kind.ident() == Some("let") {
+            let mut k = j + 1;
+            if tokens.get(k).and_then(|t| t.kind.ident()) == Some("mut") {
+                k += 1;
+            }
+            if let Some(TokenKind::Ident(name)) = tokens.get(k).map(|t| &t.kind) {
+                return Some(name.clone());
+            }
+        }
+    }
+    // Otherwise the nearest `name :` before the type (field or parameter).
+    for j in (start..i).rev() {
+        if tokens[j].kind.is_punct(':') {
+            if let Some(TokenKind::Ident(name)) = j.checked_sub(1).map(|k| &tokens[k].kind) {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+/// True if the `allow` ident at `tokens[i]` is the head of an attribute
+/// (`#[allow(...)]` or `#![allow(...)]`), as opposed to a stray ident.
+fn is_allow_attribute(tokens: &[Token], i: usize) -> bool {
+    let Some(j) = i.checked_sub(1) else {
+        return false;
+    };
+    if !tokens[j].kind.is_punct('[') {
+        return false;
+    }
+    match j.checked_sub(1).map(|k| &tokens[k].kind) {
+        Some(TokenKind::Punct('#')) => true,
+        Some(TokenKind::Punct('!')) => {
+            matches!(
+                j.checked_sub(2).map(|k| &tokens[k].kind),
+                Some(TokenKind::Punct('#'))
+            )
+        }
+        _ => false,
+    }
+}
+
+/// The lint names inside an `#[allow(...)]` at `tokens[i]`, rendered
+/// `a::b` style for the diagnostic message.
+fn allow_args(tokens: &[Token], i: usize) -> String {
+    let mut out = String::new();
+    let mut j = i + 1;
+    if !matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct('('))) {
+        return out;
+    }
+    j += 1;
+    let mut depth = 1usize;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident(s) => {
+                if !out.is_empty() && !out.ends_with("::") {
+                    out.push_str(", ");
+                }
+                out.push_str(s);
+            }
+            TokenKind::Op("::") => out.push_str("::"),
+            _ => {}
+        }
+        j += 1;
+    }
+    out
 }
 
 /// Collapses `.` and `..` segments so scope matching sees the canonical
@@ -326,7 +638,7 @@ fn pub_item(tokens: &[Token], i: usize) -> Option<(String, String)> {
             }
             // Qualifiers (`unsafe`, `async`, `extern "C"`) and the name.
             TokenKind::Ident(s) if s == "unsafe" || s == "async" || s == "extern" => j += 1,
-            TokenKind::Lit => j += 1, // the "C" in `extern "C"`
+            TokenKind::Lit(_) => j += 1, // the "C" in `extern "C"`
             TokenKind::Ident(name) => {
                 // `pub mod foo;` carries its docs as `//!` inside foo.rs;
                 // only inline `pub mod foo { ... }` needs an outer doc.
@@ -376,7 +688,7 @@ fn has_doc_before(tokens: &[Token], i: usize) -> bool {
 
 /// For each token, whether it sits inside a `#[cfg(test)]` / `#[test]`
 /// item body.
-fn test_flags(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_flags(tokens: &[Token]) -> Vec<bool> {
     let mut flags = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {

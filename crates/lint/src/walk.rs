@@ -6,7 +6,27 @@
 //! byte-identical reports.
 
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::{Component, Path, PathBuf};
+
+/// Lexically resolves `.` and `..` segments, so a file's crate is
+/// recoverable from its path text alone (e.g. a root given as
+/// `crates/lint/..` must not make every file look like it lives in
+/// `lint`). No filesystem access; symlinks are not chased.
+fn normalize(path: PathBuf) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in path.components() {
+        match c {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                if !out.pop() {
+                    out.push("..");
+                }
+            }
+            other => out.push(other.as_os_str()),
+        }
+    }
+    out
+}
 
 /// Lists every `*.rs` file under each crate's `src/` tree, sorted.
 ///
@@ -29,6 +49,54 @@ pub fn workspace_files(crates_root: &Path) -> io::Result<Vec<PathBuf>> {
             collect_rs(&src, &mut files)?;
         }
     }
+    let mut files: Vec<PathBuf> = files.into_iter().map(normalize).collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Lists the *reference* sources: files that are not linted but whose
+/// identifier usage keeps `pub` items alive for L009 — each crate's
+/// `tests/`, `benches/` and `examples/` trees (excluding lint's
+/// `fixtures/` corpus of intentionally-violating snippets) and the
+/// workspace root's umbrella `src/`, `tests/` and `examples/` trees, all
+/// in the same stable order as [`workspace_files`].
+///
+/// # Errors
+///
+/// Propagates any I/O error from reading the directory tree; missing
+/// directories are skipped, not an error.
+pub fn reference_files(crates_root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(crates_root)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        for sub in ["tests", "benches", "examples"] {
+            let extra = dir.join(sub);
+            if extra.is_dir() {
+                collect_rs(&extra, &mut files)?;
+            }
+        }
+    }
+    if let Some(root) = crates_root.parent() {
+        for sub in ["src", "tests", "examples"] {
+            let dir = root.join(sub);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut files)?;
+            }
+        }
+    }
+    let mut files: Vec<PathBuf> = files.into_iter().map(normalize).collect();
+    files.sort();
+    files.retain(|p| {
+        !p.to_string_lossy()
+            .replace('\\', "/")
+            .contains("/fixtures/")
+    });
     Ok(files)
 }
 
@@ -67,6 +135,40 @@ mod tests {
         assert!(
             files.iter().any(|f| f.ends_with("lint/src/walk.rs")),
             "walks its own source"
+        );
+    }
+
+    #[test]
+    fn walker_resolves_dot_dot_roots() {
+        // This test's own root is `<lint>/..`: every yielded path must
+        // come back without `..`, or crate attribution breaks downstream.
+        let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+        let files = workspace_files(&crates).expect("workspace is readable");
+        assert!(files
+            .iter()
+            .all(|f| f.components().all(|c| c != Component::ParentDir)));
+    }
+
+    #[test]
+    fn reference_walk_covers_tests_but_never_fixtures() {
+        let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+        let files = reference_files(&crates).expect("workspace is readable");
+        assert!(
+            files.iter().any(|f| f.ends_with("lint/tests/fixtures.rs")),
+            "integration tests are reference sources"
+        );
+        assert!(
+            !files
+                .iter()
+                .any(|f| f.to_string_lossy().contains("/fixtures/")),
+            "the intentionally-violating fixture corpus must stay out"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        // Per-directory-group order is stable (crates first, then root).
+        assert_eq!(
+            files.iter().collect::<std::collections::BTreeSet<_>>(),
+            sorted.iter().collect::<std::collections::BTreeSet<_>>()
         );
     }
 }

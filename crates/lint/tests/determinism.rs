@@ -4,7 +4,8 @@
 
 use std::path::PathBuf;
 
-use mocktails_lint::run;
+use mocktails_lint::{run, run_with, RunOptions};
+use mocktails_pool::Parallelism;
 
 fn crates_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..")
@@ -17,6 +18,40 @@ fn two_runs_are_byte_identical() {
     assert_eq!(a, b);
     assert_eq!(a.to_string().into_bytes(), b.to_string().into_bytes());
     assert!(a.files_checked > 50, "walks the whole workspace");
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let report_at = |threads: usize| {
+        let options = RunOptions {
+            parallelism: Parallelism::new(threads),
+            ..RunOptions::default()
+        };
+        run_with(&crates_root(), &options).expect("workspace is readable")
+    };
+    let sequential = report_at(1);
+    for threads in [2, 8] {
+        let parallel = report_at(threads);
+        assert_eq!(
+            sequential.to_json().into_bytes(),
+            parallel.to_json().into_bytes(),
+            "JSON report differs at {threads} threads"
+        );
+        assert_eq!(
+            sequential.to_string().into_bytes(),
+            parallel.to_string().into_bytes(),
+            "text report differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn json_report_of_the_workspace_is_versioned_and_clean() {
+    let report = run(&crates_root()).expect("workspace is readable");
+    let json = report.to_json();
+    assert!(json.starts_with("{\n  \"schema_version\": 1,\n  \"tool\": \"mocktails-lint\""));
+    assert!(json.ends_with("\n"), "document ends with a newline");
+    assert!(json.contains("\"clean\": true"));
 }
 
 #[test]

@@ -126,6 +126,56 @@ fn l007_fixture_is_silent_inside_the_pool_crate() {
 }
 
 #[test]
+fn l008_fixture_reports_each_nondeterministic_site() {
+    let got = lint_fixture("l008.rs", "crates/core/src/synth/fixture.rs");
+    assert_eq!(
+        got,
+        vec![
+            (12, "L008"), // counts.values() on a HashMap
+            (18, "L008"), // for-loop over a HashMap
+            (26, "L008"), // env::var
+        ],
+        "BTree iteration, allowlisted sums and test-module code must not fire"
+    );
+}
+
+#[test]
+fn l008_fixture_is_silent_off_the_synthesis_path_and_in_rng() {
+    assert!(lint_fixture("l008.rs", "crates/bench/src/fixture.rs").is_empty());
+    // Seeded-PRNG modules are the sanctioned nondeterminism boundary.
+    assert!(lint_fixture("l008.rs", "crates/trace/src/rng.rs").is_empty());
+}
+
+#[test]
+fn l011_fixture_reports_unreasoned_unsafe_and_blanket_allows() {
+    let got = lint_fixture("l011.rs", "crates/trace/src/fixture.rs");
+    assert_eq!(
+        got,
+        vec![
+            (6, "L011"),  // bare unsafe block
+            (15, "L011"), // blanket #[allow(dead_code)]
+        ],
+        "reasoned companions and test-module code must not fire"
+    );
+}
+
+#[test]
+fn l011_fixture_is_silent_in_a_binary_target() {
+    assert!(lint_fixture("l011.rs", "crates/cli/src/main.rs").is_empty());
+}
+
+#[test]
+fn lexer_dodge_fixture_sees_through_raw_strings_and_nested_comments() {
+    let got = lint_fixture("lexer_dodge.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(
+        got,
+        vec![(11, "L001")],
+        "panics inside raw strings and nested block comments are text; \
+         lifetimes must not derail the lexer"
+    );
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let on_disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/l001.rs");
     let src = std::fs::read_to_string(on_disk).expect("fixture exists");

@@ -1,0 +1,49 @@
+//! L008 fixture: hash-order iteration and ambient environment reads on
+//! the synthesis path, plus ordered and allowlisted negatives.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Shannon entropy accumulated in hash order: fires.
+pub fn entropy(values: &[u64]) -> f64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.values().map(|&c| c as f64).sum::<f64>()
+}
+
+/// A for-loop over a hash map: fires.
+pub fn hash_walk(counts: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_, c) in counts {
+        total += c;
+    }
+    total
+}
+
+/// Ambient process state: fires.
+pub fn seed_from_env() -> u64 {
+    std::env::var("MOCKTAILS_SEED").map(|s| s.len() as u64).unwrap_or(0)
+}
+
+/// BTree iteration has a fixed order: silent.
+pub fn ordered_total(sorted_counts: &BTreeMap<u64, u64>) -> u64 {
+    sorted_counts.values().sum()
+}
+
+/// An order-independent reduction, with a reasoned allow: silent.
+pub fn allowlisted(counts: &HashMap<u64, u64>) -> u64 {
+    // lint: allow(L008, the sum is order-independent)
+    counts.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let counts: HashMap<u64, u64> = HashMap::new();
+        assert_eq!(counts.values().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! L009 fixture, file two: keeps `shared_entry` alive, and is itself
+//! referenced from the same file's test module (alive).
+
+use super::surface::shared_entry;
+
+pub fn total() -> u64 {
+    shared_entry() * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn totals() {
+        assert_eq!(super::total(), 22);
+    }
+}

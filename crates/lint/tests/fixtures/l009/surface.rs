@@ -1,0 +1,21 @@
+//! L009 fixture, file one: one dead entry point, one that the sibling
+//! file calls, and one that only its own body mentions (still dead).
+
+/// Nothing anywhere references this.
+pub fn orphan_entry() -> u64 {
+    7
+}
+
+/// `consumer.rs` calls this: alive.
+pub fn shared_entry() -> u64 {
+    11
+}
+
+/// Recursion does not count as a reference: still dead.
+pub fn self_caller(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        self_caller(n - 1)
+    }
+}

@@ -1,0 +1,42 @@
+//! L010 fixture crate: a small but representative exported surface.
+
+/// A public constant.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// A public type.
+pub struct Window {
+    len: usize,
+}
+
+impl Window {
+    /// A public constructor.
+    pub fn new(len: usize) -> Self {
+        Self { len }
+    }
+
+    /// A public accessor.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn private_helper(&self) -> usize {
+        self.len
+    }
+}
+
+/// A deprecated shim the baseline must pin.
+#[deprecated(note = "use `Window::new`")]
+pub fn make_window(len: usize) -> Window {
+    Window::new(len)
+}
+
+mod hidden {
+    pub struct Internal;
+}
+
+pub mod open {
+    /// Public item in a public module.
+    pub fn exposed() -> u64 {
+        1
+    }
+}

@@ -1,0 +1,29 @@
+//! L011 fixture: `unsafe` and blanket `#[allow]` need reasoned
+//! companions; reasoned ones and test code are exempt.
+
+/// Reads through a raw pointer without a reason: fires.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Reads through a raw pointer, with a reasoned companion: silent.
+// lint: allow(L011, the caller guarantees a valid non-null pointer)
+pub unsafe fn read_unchecked(p: *const u8) -> u8 {
+    *p
+}
+
+#[allow(dead_code)]
+fn helper() {}
+
+// lint: allow(L011, silences a false positive pending an upstream fix)
+#[allow(unused)]
+fn helper_two() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_exempt() {
+        let x = 5u8;
+        assert_eq!(unsafe { *(&x as *const u8) }, 5);
+    }
+}

@@ -1,0 +1,12 @@
+//! Token-skeleton fixture: panicking calls hidden in raw strings and
+//! nested block comments are just text; lifetimes must not derail the
+//! lexer into a char literal. Only the real call at the end may fire.
+
+pub fn describe() -> &'static str {
+    r#"calling unwrap() or panic!("boom") here is just text"#
+}
+
+/* outer /* nested: panic!("still a comment") */ still outer */
+pub fn first<'a>(x: &'a [u64]) -> &'a u64 {
+    x.first().unwrap()
+}

@@ -1,0 +1,116 @@
+//! Cross-file rule fixtures: L009 dead-surface detection over a two-file
+//! crate and L010 baseline snapshots (render pinned to a committed
+//! `.api` fixture, then round-tripped and broken).
+
+use std::path::{Path, PathBuf};
+
+use mocktails_lint::graph::{analyze_source, cross_file, CrossFileOptions, FileRole};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(p).expect("fixture exists")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mocktails-lint-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn l009_fixture_flags_dead_surface_only() {
+    let files = vec![
+        analyze_source(
+            Path::new("crates/fix/src/surface.rs"),
+            &fixture("l009/surface.rs"),
+            FileRole::Lint,
+        ),
+        analyze_source(
+            Path::new("crates/fix/src/consumer.rs"),
+            &fixture("l009/consumer.rs"),
+            FileRole::Lint,
+        ),
+    ];
+    let dir = temp_dir("l009");
+    let opts = CrossFileOptions {
+        baselines_dir: &dir,
+        update_baselines: true,
+    };
+    let diags = cross_file(&files, &opts).expect("cross-file pass");
+    let l009: Vec<String> = diags
+        .iter()
+        .filter(|d| d.rule == "L009")
+        .map(|d| d.message.clone())
+        .collect();
+    assert!(
+        l009.iter().any(|m| m.contains("`pub fn orphan_entry`")),
+        "unreferenced item must be dead: {l009:?}"
+    );
+    assert!(
+        l009.iter().any(|m| m.contains("`pub fn self_caller`")),
+        "recursion is not a reference: {l009:?}"
+    );
+    assert!(
+        !l009.iter().any(|m| m.contains("`pub fn shared_entry`")),
+        "a cross-file call keeps the item alive: {l009:?}"
+    );
+    assert!(
+        !l009.iter().any(|m| m.contains("`pub fn total`")),
+        "a same-file test reference keeps the item alive: {l009:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn l010_fixture_render_is_pinned_and_breaks_are_caught() {
+    let src = fixture("l010/lib.rs");
+    let lint = |source: &str, dir: &Path, update: bool| {
+        let files = vec![analyze_source(
+            Path::new("crates/fixcrate/src/lib.rs"),
+            source,
+            FileRole::Lint,
+        )];
+        let opts = CrossFileOptions {
+            baselines_dir: dir,
+            update_baselines: update,
+        };
+        cross_file(&files, &opts).expect("cross-file pass")
+    };
+    let dir = temp_dir("l010");
+
+    // Update mode writes the baseline, whose exact rendering is pinned
+    // by the committed fixture.
+    lint(&src, &dir, true);
+    let written = std::fs::read_to_string(dir.join("fixcrate.api")).expect("baseline written");
+    assert_eq!(written, fixture("l010/expected.api"));
+    assert!(
+        written.contains("[deprecated]"),
+        "the deprecated shim is pinned"
+    );
+    assert!(
+        !written.contains("Internal") && !written.contains("private_helper"),
+        "private items stay out of the surface"
+    );
+
+    // Diff mode against the fresh baseline: clean.
+    let diags = lint(&src, &dir, false);
+    assert!(diags.iter().all(|d| d.rule != "L010"), "{diags:?}");
+
+    // An undeclared addition fails the gate at the new item's site.
+    let grown = format!("{src}\n/// New.\npub fn undeclared_addition() -> u64 {{ 2 }}\n");
+    let diags = lint(&grown, &dir, false);
+    assert!(diags.iter().any(|d| d.rule == "L010"
+        && d.message.contains("addition")
+        && d.message.contains("undeclared_addition")
+        && d.file == "crates/fixcrate/src/lib.rs"));
+
+    // A removal fails it at the baseline line that disappeared.
+    let shrunk = src.replace("pub const BLOCK_BYTES: u64 = 64;", "");
+    let diags = lint(&shrunk, &dir, false);
+    assert!(diags.iter().any(|d| d.rule == "L010"
+        && d.message.contains("removal")
+        && d.message.contains("BLOCK_BYTES")));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,72 @@
+//! The PR 3 deprecated decode shims must keep forwarding bit-identically
+//! to the `DecodeOptions`-based reader they wrap — same traces on valid
+//! input, same typed errors on corrupt or over-limit input. L010 pins the
+//! shims in the API baseline; this pins their behaviour.
+
+#![allow(deprecated)]
+
+use mocktails_trace::codec::{read_trace_with, read_trace_with_limits, write_trace};
+use mocktails_trace::{DecodeLimits, DecodeOptions, Request, Trace};
+
+fn sample_trace() -> Trace {
+    (0..200u64)
+        .map(|i| {
+            if i % 3 == 0 {
+                Request::write(i * 5, 0x8000 + (i % 32) * 64, 64)
+            } else {
+                Request::read(i * 5, 0x8000 + (i % 32) * 64, 8)
+            }
+        })
+        .collect()
+}
+
+fn encoded() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &sample_trace()).unwrap();
+    buf
+}
+
+#[test]
+fn shim_decodes_identically_to_options_based_read() {
+    let bytes = encoded();
+    let limits = DecodeLimits::default();
+    let via_shim = read_trace_with_limits(&mut &bytes[..], &limits).unwrap();
+    let via_options = read_trace_with(
+        &mut &bytes[..],
+        &DecodeOptions::default().with_limits(limits),
+    )
+    .unwrap();
+    assert_eq!(via_shim, via_options);
+    assert_eq!(via_shim, sample_trace());
+}
+
+#[test]
+fn shim_reports_identical_errors_on_corrupt_input() {
+    let mut bytes = encoded();
+    bytes.truncate(bytes.len() - 3);
+    let limits = DecodeLimits::default();
+    let shim_err = read_trace_with_limits(&mut &bytes[..], &limits).unwrap_err();
+    let options_err = read_trace_with(
+        &mut &bytes[..],
+        &DecodeOptions::default().with_limits(limits),
+    )
+    .unwrap_err();
+    assert_eq!(shim_err.to_string(), options_err.to_string());
+}
+
+#[test]
+fn shim_enforces_the_given_limits() {
+    let bytes = encoded();
+    let tight = DecodeLimits {
+        max_requests: 10,
+        ..DecodeLimits::default()
+    };
+    let shim_err = read_trace_with_limits(&mut &bytes[..], &tight).unwrap_err();
+    let options_err = read_trace_with(
+        &mut &bytes[..],
+        &DecodeOptions::default().with_limits(tight),
+    )
+    .unwrap_err();
+    assert_eq!(shim_err.to_string(), options_err.to_string());
+    assert!(shim_err.to_string().contains("requests"), "{shim_err}");
+}

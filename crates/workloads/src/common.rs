@@ -35,6 +35,7 @@ pub(crate) fn linear_stream(
 ///
 /// This is how a tiled frame-buffer consumer touches memory: short row
 /// runs, frequent pitch-sized jumps.
+// lint: allow(L011, the tiled-walk geometry genuinely has this many independent knobs)
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tiled_stream(
     t0: u64,
@@ -64,6 +65,7 @@ pub(crate) fn tiled_stream(
 
 /// Requests at uniformly random block-aligned addresses within
 /// `[base, base + span)`.
+// lint: allow(L011, the random-region stream shares the tiled-walk knob set)
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn random_in_region(
     rng: &mut Prng,

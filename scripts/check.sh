@@ -23,7 +23,12 @@ echo "==> fuzz smoke (seeded mutation campaigns)"
 cargo test -q --offline -p mocktails-trace --test fuzz_trace
 cargo test -q --offline -p mocktails-core --test fuzz_profile
 
-echo "==> mocktails-lint crates/"
-cargo run -q --offline --release -p mocktails-lint -- crates/
+echo "==> mocktails-lint --format json crates/"
+cargo run -q --offline --release -p mocktails-lint -- --format json crates/
+
+# The baseline diff runs as its own named step so an API break is
+# immediately attributable, separate from ordinary lint violations.
+echo "==> mocktails-lint --rules L010 crates/ (API baseline diff)"
+cargo run -q --offline --release -p mocktails-lint -- --rules L010 crates/
 
 echo "All gates passed."

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates the public-API snapshots under crates/lint/baselines/.
+#
+# Run this after an intentional API change, review the .api diff like any
+# other code, and commit it alongside the change — L010 fails the gate on
+# any surface drift the baselines do not declare.
+# Run from anywhere:  ./scripts/update-api-baselines.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --offline --release -p mocktails-lint -- --update-baselines crates/
+
+echo "Rewrote crates/lint/baselines/. Review and commit the diff:"
+git --no-pager diff --stat -- crates/lint/baselines/ || true

@@ -31,11 +31,13 @@ use mocktails_workloads::catalog;
 /// * `2` — usage error (bad command line); the only class that prints USAGE
 /// * `3` — corrupt or hostile input file (includes unexpected EOF)
 /// * `4` — environmental I/O failure (permissions, missing file, full disk)
+/// * `5` — serving-layer failure (connection refused, typed server error)
 #[derive(Debug)]
 enum CliError {
     Usage(String),
     Corrupt(String),
     Io(String),
+    Server(String),
 }
 
 impl CliError {
@@ -44,14 +46,19 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Corrupt(_) => 3,
             CliError::Io(_) => 4,
+            CliError::Server(_) => 5,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Corrupt(m) | CliError::Io(m) => m,
+            CliError::Usage(m) | CliError::Corrupt(m) | CliError::Io(m) | CliError::Server(m) => m,
         }
     }
+}
+
+fn classify_serve_error(context: &str, e: mocktails_serve::ServeError) -> CliError {
+    CliError::Server(format!("{context}: {e}"))
 }
 
 /// Classifies a trace codec error: decode-level failures (including a
@@ -109,6 +116,15 @@ const USAGE: &str = "usage:
                         ablation-convergence|ablation-hierarchy|ablation-lonely|
                         ablation-similar|policies|obfuscation|soc>
                        [--quick]
+  mocktails serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                  [--cache-cap N] [--cache-ttl-micros N] [--port-file FILE]
+  mocktails client fit <FILE.mtrace> --addr HOST:PORT -o <FILE.mprofile>
+                   [--cycles N]
+  mocktails client synth <FILE.mprofile> --addr HOST:PORT -o <FILE.mtrace>
+                   [--seed N] [--chunk N] [--fingerprint HEX (instead of FILE)]
+  mocktails client stats <FILE.mprofile|--fingerprint HEX> --addr HOST:PORT
+  mocktails client metricsz --addr HOST:PORT
+  mocktails client shutdown --addr HOST:PORT
 
 Every command also accepts --threads N (worker threads; default: all cores,
 or the MOCKTAILS_THREADS environment variable). Results are bit-identical
@@ -134,6 +150,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(&rest),
         "compare" => cmd_compare(&rest),
         "experiment" => cmd_experiment(&rest),
+        "serve" => cmd_serve(&rest),
+        "client" => cmd_client(&rest),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
@@ -465,4 +483,147 @@ fn cmd_experiment(args: &[&String]) -> Result<(), CliError> {
     };
     println!("{report}");
     Ok(())
+}
+
+/// Runs the streaming synthesis server until a client sends the protocol's
+/// `shutdown` frame (graceful: in-flight requests drain, then exit 0).
+fn cmd_serve(args: &[&String]) -> Result<(), CliError> {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers = parse_u64(args, "--workers", 4)?;
+    if workers == 0 {
+        return Err(usage("--workers must be at least 1"));
+    }
+    let config = mocktails_serve::ServerConfig {
+        workers: workers as usize,
+        queue_cap: parse_u64(args, "--queue-cap", 16)? as usize,
+        cache_capacity: parse_u64(args, "--cache-cap", 64)? as usize,
+        cache_ttl_micros: parse_u64(args, "--cache-ttl-micros", 0)?,
+        ..mocktails_serve::ServerConfig::default()
+    };
+    let clock = std::sync::Arc::new(mocktails_serve::MonotonicClock::new());
+    let server = mocktails_serve::Server::bind(&addr, config, clock)
+        .map_err(|e| classify_serve_error(&addr, e))?;
+    let local = server.local_addr();
+    if let Some(port_file) = flag_value(args, "--port-file") {
+        // Scripts poll this file for the resolved ephemeral port; write it
+        // atomically so they never read a half-written address.
+        write_atomically(&port_file, |w| {
+            writeln!(w, "{local}").map_err(|e| io_error(&port_file, e))
+        })?;
+    }
+    println!("listening on {local}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| io_error("stdout", e))?;
+    server.run().map_err(|e| classify_serve_error("serve", e))?;
+    println!("shutdown complete");
+    Ok(())
+}
+
+/// Parses the `--fingerprint` flag (hex, with or without `0x`).
+fn flag_fingerprint(args: &[&String]) -> Result<Option<u64>, CliError> {
+    flag_value(args, "--fingerprint")
+        .map(|v| {
+            let digits = v.strip_prefix("0x").unwrap_or(&v);
+            u64::from_str_radix(digits, 16)
+                .map_err(|_| usage("--fingerprint expects a hex fingerprint"))
+        })
+        .transpose()
+}
+
+/// The profile source for `client synth`/`client stats`: `--fingerprint`
+/// names a profile already in the server's cache, otherwise positional
+/// `index` is a local `.mprofile` file uploaded inline.
+fn client_source(
+    args: &[&String],
+    index: usize,
+) -> Result<mocktails_serve::ProfileSource, CliError> {
+    if let Some(fp) = flag_fingerprint(args)? {
+        return Ok(mocktails_serve::ProfileSource::Fingerprint(fp));
+    }
+    let path = positional(args, index)
+        .map_err(|_| usage("expected a profile file or --fingerprint HEX"))?;
+    let bytes = std::fs::read(path).map_err(|e| io_error(path, e))?;
+    Ok(mocktails_serve::ProfileSource::Inline(bytes))
+}
+
+fn client_connect(args: &[&String]) -> Result<mocktails_serve::Client, CliError> {
+    let addr = flag_value(args, "--addr").ok_or_else(|| usage("missing --addr HOST:PORT"))?;
+    mocktails_serve::Client::connect(&addr).map_err(|e| classify_serve_error(&addr, e))
+}
+
+fn cmd_client(args: &[&String]) -> Result<(), CliError> {
+    let sub = positional(args, 0)?;
+    match sub {
+        "fit" => {
+            let input = positional(args, 1)?;
+            let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
+            let cycles = parse_u64(args, "--cycles", 500_000)?;
+            let trace_bytes = std::fs::read(input).map_err(|e| io_error(input, e))?;
+            let mut client = client_connect(args)?;
+            let fit = client
+                .fit(cycles, trace_bytes)
+                .map_err(|e| classify_serve_error(input, e))?;
+            write_atomically(&out, |w| {
+                w.write_all(&fit.profile_bytes)
+                    .map_err(|e| io_error(&out, e))
+            })?;
+            println!(
+                "fitted via server: fingerprint {:#018x}, cache {}, {} bytes to {out}",
+                fit.fingerprint,
+                if fit.cache_hit { "hit" } else { "miss" },
+                fit.profile_bytes.len(),
+            );
+            Ok(())
+        }
+        "synth" => {
+            let out = flag_value(args, "-o").ok_or_else(|| usage("missing -o <FILE>"))?;
+            let seed = parse_u64(args, "--seed", 1)?;
+            let chunk = parse_u64(args, "--chunk", 65_536)?;
+            let chunk = u32::try_from(chunk).map_err(|_| usage("--chunk too large"))?;
+            if chunk == 0 {
+                return Err(usage("--chunk must be at least 1"));
+            }
+            let source = client_source(args, 1)?;
+            let mut client = client_connect(args)?;
+            let synth = client
+                .synthesize(seed, chunk, source)
+                .map_err(|e| classify_serve_error("synth", e))?;
+            write_atomically(&out, |w| {
+                w.write_all(&synth.trace_bytes)
+                    .map_err(|e| io_error(&out, e))
+            })?;
+            println!(
+                "synthesized {} requests to {out} (stream fingerprint {:#018x} verified)",
+                synth.total_requests, synth.fingerprint,
+            );
+            Ok(())
+        }
+        "stats" => {
+            let source = client_source(args, 1)?;
+            let mut client = client_connect(args)?;
+            let text = client
+                .stats(source)
+                .map_err(|e| classify_serve_error("stats", e))?;
+            println!("{text}");
+            Ok(())
+        }
+        "metricsz" => {
+            let mut client = client_connect(args)?;
+            let text = client
+                .metricsz()
+                .map_err(|e| classify_serve_error("metricsz", e))?;
+            print!("{text}");
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = client_connect(args)?;
+            client
+                .shutdown()
+                .map_err(|e| classify_serve_error("shutdown", e))?;
+            println!("server draining");
+            Ok(())
+        }
+        other => Err(usage(format!("unknown client subcommand {other:?}"))),
+    }
 }

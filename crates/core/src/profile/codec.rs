@@ -48,26 +48,7 @@ const DECODE_CHUNK: usize = 1 << 16;
 pub fn write_profile<W: Write>(w: &mut W, profile: &Profile) -> Result<(), ProfileError> {
     w.write_all(&PROFILE_MAGIC)?;
     w.write_all(&[PROFILE_VERSION])?;
-
-    let layers = profile.config().layers();
-    write_u64(w, layers.len() as u64)?;
-    for layer in layers {
-        let (tag, param) = match *layer {
-            LayerSpec::TemporalRequestCount(n) => (0u8, n as u64),
-            LayerSpec::TemporalCycleCount(c) => (1, c),
-            LayerSpec::TemporalIntervalCount(k) => (2, k as u64),
-            LayerSpec::SpatialDynamic => (3, 0),
-            LayerSpec::SpatialFixed(b) => (4, b),
-        };
-        w.write_all(&[tag])?;
-        write_u64(w, param)?;
-    }
-    let options = profile.config().options();
-    let options_byte = u8::from(options.strict_convergence)
-        | (u8::from(options.merge_lonely) << 1)
-        | (u8::from(options.merge_similar) << 2);
-    w.write_all(&[options_byte])?;
-
+    write_config(w, profile.config())?;
     write_u64(w, profile.leaves().len() as u64)?;
     for leaf in profile.leaves() {
         write_u64(w, leaf.start_time())?;
@@ -84,6 +65,35 @@ pub fn write_profile<W: Write>(w: &mut W, profile: &Profile) -> Result<(), Profi
             write_mcc(w, model)?;
         }
     }
+    Ok(())
+}
+
+/// Encodes a hierarchy configuration — the layer list and options byte —
+/// exactly as it appears inside a profile encoding. Shared between
+/// [`write_profile`] and the serving layer's fit cache key, which hashes
+/// this encoding so two fits with different configs never collide.
+pub(crate) fn write_config<W: Write>(
+    w: &mut W,
+    config: &HierarchyConfig,
+) -> Result<(), ProfileError> {
+    let layers = config.layers();
+    write_u64(w, layers.len() as u64)?;
+    for layer in layers {
+        let (tag, param) = match *layer {
+            LayerSpec::TemporalRequestCount(n) => (0u8, n as u64),
+            LayerSpec::TemporalCycleCount(c) => (1, c),
+            LayerSpec::TemporalIntervalCount(k) => (2, k as u64),
+            LayerSpec::SpatialDynamic => (3, 0),
+            LayerSpec::SpatialFixed(b) => (4, b),
+        };
+        w.write_all(&[tag])?;
+        write_u64(w, param)?;
+    }
+    let options = config.options();
+    let options_byte = u8::from(options.strict_convergence)
+        | (u8::from(options.merge_lonely) << 1)
+        | (u8::from(options.merge_similar) << 2);
+    w.write_all(&[options_byte])?;
     Ok(())
 }
 
@@ -230,12 +240,14 @@ pub fn read_profile_with<R: Read>(
 
 /// Decodes a profile with explicit resource limits.
 ///
+/// Scheduled for removal in 0.4.0.
+///
 /// # Errors
 ///
 /// See [`read_profile`].
 #[deprecated(
     since = "0.2.0",
-    note = "use `Profile::read` (or `read_profile_with`) with `DecodeOptions`"
+    note = "removed in 0.4.0; use `Profile::read` (or `read_profile_with`) with `DecodeOptions`"
 )]
 pub fn read_profile_with_limits<R: Read>(
     r: &mut R,

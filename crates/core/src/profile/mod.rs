@@ -203,6 +203,18 @@ impl Profile {
         ProfileSummary::of(self)
     }
 
+    /// FNV-1a fingerprint of the profile's canonical binary encoding.
+    ///
+    /// Because encoding is deterministic, equal profiles always hash
+    /// equal; the serving layer uses this digest as the cache key under
+    /// which a profile is stored and later addressed by `Synthesize`
+    /// requests, without a second pass over the encoded bytes.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut w = mocktails_trace::FnvWriter::hashing();
+        self.write(&mut w).expect("hashing sink never fails"); // lint: allow(L001, FnvWriter over io::sink never errors)
+        w.digest()
+    }
+
     /// Size of the serialized profile in bytes — the metadata overhead of
     /// Fig. 17 — computed without materializing the encoding.
     pub fn metadata_size(&self) -> u64 {
@@ -210,6 +222,26 @@ impl Profile {
         codec::write_profile(&mut counter, self).expect("ByteCounter never fails"); // lint: allow(L001, ByteCounter's Write impl never errors)
         counter.bytes()
     }
+}
+
+/// Cache key for a fit request: the digest of the *inputs* to fitting —
+/// the raw trace bytes (pre-hashed by the caller with
+/// [`mocktails_trace::fnv1a`]) and the hierarchy configuration, hashed via
+/// its canonical profile encoding.
+///
+/// By the workspace's determinism invariant, equal inputs produce
+/// bit-identical profiles at any thread count, so a fit served from a
+/// cache under this key is indistinguishable from a fresh fit. The serving
+/// layer uses it to skip refitting entirely on repeat uploads.
+pub fn fit_key(trace_bytes_fingerprint: u64, config: &HierarchyConfig) -> u64 {
+    let mut w = mocktails_trace::FnvWriter::hashing();
+    {
+        use std::io::Write;
+        w.write_all(&trace_bytes_fingerprint.to_le_bytes())
+            .expect("hashing sink never fails"); // lint: allow(L001, FnvWriter over io::sink never errors)
+    }
+    codec::write_config(&mut w, config).expect("hashing sink never fails"); // lint: allow(L001, FnvWriter over io::sink never errors)
+    w.digest()
 }
 
 #[cfg(test)]
@@ -317,6 +349,27 @@ mod tests {
         let err = profile.validate().unwrap_err();
         assert!(matches!(err, ProfileError::Invalid(_)), "{err}");
         assert!(profile.try_synthesize(0).is_err());
+    }
+
+    #[test]
+    fn content_fingerprint_matches_encoded_bytes() {
+        let trace = mixed_trace();
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(200));
+        let mut buf = Vec::new();
+        profile.write(&mut buf).unwrap();
+        assert_eq!(profile.content_fingerprint(), mocktails_trace::fnv1a(&buf));
+        // Distinct profiles hash distinct.
+        let other = Profile::fit(&trace, &HierarchyConfig::two_level_ts(500));
+        assert_ne!(profile.content_fingerprint(), other.content_fingerprint());
+    }
+
+    #[test]
+    fn fit_key_separates_trace_and_config_inputs() {
+        let a = HierarchyConfig::two_level_ts(100);
+        let b = HierarchyConfig::two_level_ts(200);
+        assert_eq!(fit_key(1, &a), fit_key(1, &a));
+        assert_ne!(fit_key(1, &a), fit_key(2, &a));
+        assert_ne!(fit_key(1, &a), fit_key(1, &b));
     }
 
     #[test]

@@ -26,9 +26,11 @@
 //!   time comes from the fitted profile, never the wall clock.
 //! * **L006** — no `io::Error::{new,other,from}` construction outside
 //!   `fault.rs`; codec paths propagate real faults, never forge them.
-//! * **L007** — no `std::thread` outside `crates/pool`; all parallelism
-//!   goes through `mocktails_pool::Parallelism`, whose fixed work
-//!   partitioning keeps results bit-identical at any thread count.
+//! * **L007** — no `std::thread`/`std::net` outside `crates/pool` and
+//!   `crates/serve`; all parallelism goes through
+//!   `mocktails_pool::Parallelism`, whose fixed work partitioning keeps
+//!   results bit-identical at any thread count, and all networking stays
+//!   behind the serving layer.
 //! * **L008** — determinism taint: no `HashMap`/`HashSet` iteration or
 //!   `env::var` on the fit/synthesize/codec path, nor any transitive call
 //!   into a function that does; the seeded-PRNG modules are the only

@@ -8,7 +8,7 @@
 //! | L004 | model & similarity code, non-test | no float-literal `==`/`!=` |
 //! | L005 | synthesis crates, non-test | no `SystemTime`/`Instant` |
 //! | L006 | library code except `fault.rs`, non-test | no `io::Error::{new,other,from}` construction |
-//! | L007 | library code except `crates/pool`, non-test | no direct `std::thread` use |
+//! | L007 | library code except `crates/pool`/`crates/serve`, non-test | no direct `std::thread`/`std::net` use |
 //! | L008 | synthesis crates except `rng` modules, non-test | no nondeterministic iteration (`HashMap`/`HashSet`), no `env::var` |
 //! | L011 | library code, non-test | every `unsafe` and blanket `#[allow(...)]` carries a reasoned companion |
 //!
@@ -73,9 +73,10 @@ pub(crate) struct Scope {
     /// L006 exempts the fault-injection module, the one place allowed to
     /// construct (rather than propagate) `std::io::Error` values.
     is_fault_module: bool,
-    /// L007 exempts the pool crate, the one place allowed to touch
-    /// `std::thread` — everyone else goes through `Parallelism`.
-    is_pool: bool,
+    /// L007 exempts the pool and serve crates, the only places allowed to
+    /// touch `std::thread` and `std::net` — everyone else goes through
+    /// `Parallelism` (compute) or `mocktails-serve` (networking).
+    owns_concurrency: bool,
     /// L008 exempts the seeded-PRNG modules: they are the one sanctioned
     /// source of randomness, and their output is a pure function of the
     /// seed.
@@ -99,7 +100,7 @@ impl Scope {
                 || in_crate("workloads")
                 || in_crate("baselines"),
             is_fault_module: p.ends_with("/fault.rs"),
-            is_pool: in_crate("pool"),
+            owns_concurrency: in_crate("pool") || in_crate("serve"),
             is_rng_module: p.ends_with("/rng.rs") || p.contains("/rng/"),
         }
     }
@@ -239,9 +240,15 @@ pub(crate) fn file_diagnostics(path: &Path, lexed: &Lexed) -> Vec<Diagnostic> {
             }
         }
 
-        // L007: spawning raw threads anywhere else would let scheduling
-        // order leak into results — parallelism has exactly one owner.
-        if scope.is_lib && !scope.is_pool && !in_test[i] && ident == "thread" {
+        // L007: spawning raw threads (or opening sockets) anywhere else
+        // would let scheduling order or I/O timing leak into results —
+        // concurrency has exactly two owners: the pool (compute) and the
+        // serve crate (connections).
+        if scope.is_lib
+            && !scope.owns_concurrency
+            && !in_test[i]
+            && (ident == "thread" || ident == "net")
+        {
             let after_std = i >= 2
                 && tokens[i - 1].kind.is_op("::")
                 && tokens[i - 2].kind.ident() == Some("std");
@@ -249,7 +256,7 @@ pub(crate) fn file_diagnostics(path: &Path, lexed: &Lexed) -> Vec<Diagnostic> {
                 push(
                     t.line,
                     "L007",
-                    "`std::thread` outside `mocktails-pool`; go through `Parallelism` so results stay deterministic at any thread count".to_string(),
+                    format!("`std::{ident}` outside `mocktails-pool`/`mocktails-serve`; go through `Parallelism` or the serving layer so results stay deterministic at any thread count"),
                 );
             }
         }
@@ -930,12 +937,24 @@ mod tests {
     }
 
     #[test]
-    fn l007_exempts_pool_tests_and_binaries() {
+    fn l007_flags_std_net_outside_the_serve_crate() {
+        let src =
+            "use std::net::TcpStream;\nfn f() { let _ = std::net::TcpListener::bind(\"x\"); }";
+        let d = lint("crates/sim/src/lib.rs", src);
+        assert_eq!(rules(&d), vec!["L007", "L007"]);
+        assert!(d[0].message.contains("std::net"));
+    }
+
+    #[test]
+    fn l007_exempts_pool_serve_tests_and_binaries() {
         let src = "fn f() { std::thread::yield_now(); }";
         assert!(lint("crates/pool/src/lib.rs", src).is_empty());
         assert!(lint("crates/cli/src/main.rs", src).is_empty());
         let in_test = "#[cfg(test)]\nmod t { fn g() { std::thread::yield_now(); } }";
         assert!(lint("crates/sim/src/lib.rs", in_test).is_empty());
+        let net = "fn f() { let _ = std::net::TcpListener::bind(\"127.0.0.1:0\"); }";
+        assert!(lint("crates/serve/src/server.rs", net).is_empty());
+        assert!(lint("crates/pool/src/lib.rs", net).is_empty());
     }
 
     #[test]

@@ -111,18 +111,23 @@ fn l006_fixture_is_silent_in_the_fault_module() {
 }
 
 #[test]
-fn l007_fixture_reports_each_raw_thread_use() {
+fn l007_fixture_reports_each_raw_thread_and_net_use() {
     let got = lint_fixture("l007.rs", "crates/sim/src/fixture.rs");
     assert_eq!(
         got,
-        vec![(3, "L007"), (7, "L007")],
-        "allowlisted, bare-ident and test-module thread uses must not fire"
+        vec![(3, "L007"), (7, "L007"), (31, "L007")],
+        "allowlisted, bare-ident and test-module thread/net uses must not fire"
     );
 }
 
 #[test]
 fn l007_fixture_is_silent_inside_the_pool_crate() {
     assert!(lint_fixture("l007.rs", "crates/pool/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn l007_fixture_is_silent_inside_the_serve_crate() {
+    assert!(lint_fixture("l007.rs", "crates/serve/src/fixture.rs").is_empty());
 }
 
 #[test]

@@ -25,3 +25,13 @@ mod tests {
         std::thread::yield_now();
     }
 }
+
+/// Raw socket use is confined the same way threads are.
+pub fn net_violation() {
+    let _ = std::net::TcpListener::bind("127.0.0.1:0");
+}
+
+/// A binding merely named `net` is not a violation either.
+pub fn net_negative(net: usize) -> usize {
+    net + 1
+}

@@ -1,0 +1,366 @@
+//! A bounded, long-lived worker pool for the serving layer.
+//!
+//! [`crate::Parallelism::map`] is the right primitive for the synthesis
+//! pipeline — scoped fork/join over a known item list — but a server needs
+//! the opposite shape: jobs arrive one at a time from many connections,
+//! must be *refused* (not queued unboundedly) under overload, and the pool
+//! must outlive any single call. [`WorkerPool`] provides that shape:
+//!
+//! * a fixed set of worker threads, spawned once;
+//! * a FIFO queue with a hard depth cap — [`WorkerPool::submit`] returns
+//!   [`SubmitError::QueueFull`] instead of blocking or growing, so the
+//!   caller can surface a typed "busy" error to its client;
+//! * [`WorkerPool::drain`] for graceful shutdown: stop accepting, run
+//!   everything already admitted to completion, then return.
+//!
+//! Determinism note: the pool executes each job on *some* worker, so
+//! anything order-sensitive must be sequenced by the job itself. The
+//! serving layer keeps the workspace's bit-identical-output invariant by
+//! making every job self-contained (one request in, one deterministic
+//! byte stream out) — scheduling only affects interleaving between
+//! independent jobs, never the bytes of any one response.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// A unit of work accepted by [`WorkerPool::submit`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job was not admitted to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue already holds `cap` pending jobs; the caller should shed
+    /// load (e.g. reply "busy") rather than wait.
+    QueueFull {
+        /// The configured queue-depth cap that was hit.
+        cap: usize,
+    },
+    /// The pool is draining or dropped; no new work is accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { cap } => write!(f, "worker queue full (cap {cap})"),
+            Self::ShuttingDown => write!(f, "worker pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Shared pool state behind the mutex.
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Job>,
+    /// Jobs currently executing on a worker.
+    in_flight: usize,
+    /// Set by [`WorkerPool::drain`] / `Drop`: reject new work, finish the
+    /// backlog, then let workers exit.
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when the queue gains a job or `draining` flips.
+    work_ready: Condvar,
+    /// Signaled when a job finishes or the queue empties, for `drain`.
+    quiesced: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A worker that panicked mid-job poisons nothing we can't repair:
+        // the state is just counters and a queue of opaque closures.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A fixed-size worker pool with a bounded FIFO submission queue.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use mocktails_pool::bounded::WorkerPool;
+///
+/// let pool = WorkerPool::new(2, 8);
+/// let hits = Arc::new(AtomicU32::new(0));
+/// for _ in 0..4 {
+///     let hits = Arc::clone(&hits);
+///     pool.submit(move || {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .unwrap();
+/// }
+/// pool.drain();
+/// assert_eq!(hits.load(Ordering::SeqCst), 4);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_cap: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("queue_cap", &self.queue_cap)
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least 1) sharing a queue
+    /// that admits at most `queue_cap` jobs beyond the ones running. A cap
+    /// of 0 means "no waiting room": a job is only admitted when a worker
+    /// is free to take it immediately.
+    pub fn new(threads: usize, queue_cap: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            quiesced: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            queue_cap,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configured queue-depth cap.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Jobs admitted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.shared.lock().in_flight
+    }
+
+    /// Enqueues `job`, or refuses it with a typed error.
+    ///
+    /// Admission is bounded by *outstanding* work: at most
+    /// `threads + queue_cap` jobs may be running or queued at once. The
+    /// bound is checked and the queue updated under one lock, so from any
+    /// client's view the refusal is deterministic — while `threads`
+    /// admitted jobs are known to be unfinished, the
+    /// `threads + queue_cap + 1`-th concurrent submission always gets
+    /// [`SubmitError::QueueFull`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the outstanding-work bound is hit
+    /// (the job is *not* retained); [`SubmitError::ShuttingDown`] after
+    /// [`WorkerPool::drain`].
+    pub fn submit<F>(&self, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.lock();
+        if state.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() + state.in_flight >= self.workers.len() + self.queue_cap {
+            return Err(SubmitError::QueueFull {
+                cap: self.queue_cap,
+            });
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting work, runs every already-admitted job to
+    /// completion, and returns once the pool is idle. Workers stay alive
+    /// (and exit on `Drop`); calling `drain` twice is harmless.
+    pub fn drain(&self) {
+        let mut state = self.shared.lock();
+        state.draining = true;
+        self.shared.work_ready.notify_all();
+        while !state.queue.is_empty() || state.in_flight > 0 {
+            state = self
+                .shared
+                .quiesced
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.drain();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already had its job isolated by
+            // catch_unwind; a join error here is unreachable in practice
+            // and not worth propagating out of Drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    if state.queue.is_empty() {
+                        shared.quiesced.notify_all();
+                    }
+                    break job;
+                }
+                if state.draining {
+                    return;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // A panicking job must not take the worker (or drain) down with
+        // it: isolate it and keep serving.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        let mut state = shared.lock();
+        state.in_flight -= 1;
+        if state.queue.is_empty() && state.in_flight == 0 {
+            shared.quiesced.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(3, 16);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            // Overload sheds with QueueFull; a client retries.
+            loop {
+                let count = Arc::clone(&count);
+                match pool.submit(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                }) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+        pool.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn queue_cap_refuses_excess_without_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        // Occupy the single worker until released.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            running_tx.send(()).ok();
+            release_rx.recv().ok();
+        })
+        .unwrap();
+        running_rx.recv().unwrap();
+        // One job fits in the queue; the next must be refused.
+        pool.submit(|| {}).unwrap();
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::QueueFull { cap: 1 }));
+        release_tx.send(()).unwrap();
+        pool.drain();
+    }
+
+    #[test]
+    fn zero_cap_means_no_waiting_room() {
+        let pool = WorkerPool::new(1, 0);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            running_tx.send(()).ok();
+            release_rx.recv().ok();
+        })
+        .unwrap();
+        running_rx.recv().unwrap();
+        // Worker busy and no waiting room: every submission is refused.
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::QueueFull { cap: 0 }));
+        release_tx.send(()).unwrap();
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_completes_backlog_then_rejects() {
+        let pool = WorkerPool::new(2, 64);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::ShuttingDown));
+        // Second drain is a no-op, not a hang.
+        pool.drain();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 8);
+        let count = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("job exploded")).unwrap();
+        let c = Arc::clone(&count);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        pool.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(4, 64);
+            for _ in 0..16 {
+                let count = Arc::clone(&count);
+                pool.submit(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+            }
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+    }
+}

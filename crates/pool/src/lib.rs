@@ -44,6 +44,8 @@
 //! assert_eq!(squares, Parallelism::sequential().map(&[1u64, 2, 3, 4, 5], |&x| x * x));
 //! ```
 
+pub mod bounded;
+
 use std::sync::OnceLock;
 
 /// The environment variable consulted by [`Parallelism::from_env`].

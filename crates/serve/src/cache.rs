@@ -1,0 +1,285 @@
+//! Content-fingerprint-keyed LRU profile cache with optional TTL.
+//!
+//! Two lookups hit the same cache:
+//!
+//! * **By content fingerprint** — a `Synthesize`/`Stats` request names a
+//!   profile by the fingerprint a `FitResult` reported.
+//! * **By fit key** — a repeat `FitProfile` upload (same trace bytes,
+//!   same config) maps through an alias to the profile it produced last
+//!   time, so refitting is skipped entirely. This is sound because
+//!   fitting is deterministic: equal inputs produce bit-identical
+//!   profiles (the workspace invariant PR 3 pinned).
+//!
+//! Eviction is least-recently-*used* under a capacity bound; expiry is
+//! age-since-insert against an optional TTL, checked lazily on access and
+//! eagerly on insert. Time comes from the caller (the server's
+//! [`crate::metrics::Clock`]), never from the cache itself, keeping
+//! expiry testable with a frozen clock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mocktails_core::Profile;
+
+/// One resident profile.
+#[derive(Debug)]
+struct Entry {
+    profile: Arc<Profile>,
+    inserted_micros: u64,
+    /// Recency stamp; key into the recency index.
+    last_tick: u64,
+    /// The fit key aliased to this profile, if it arrived via a fit.
+    fit_key: Option<u64>,
+}
+
+/// A bounded LRU + TTL cache of fitted profiles.
+#[derive(Debug)]
+pub struct ProfileCache {
+    capacity: usize,
+    /// 0 disables expiry.
+    ttl_micros: u64,
+    entries: BTreeMap<u64, Entry>,
+    /// tick → fingerprint, ordered oldest-first for LRU eviction.
+    recency: BTreeMap<u64, u64>,
+    /// fit key → fingerprint.
+    aliases: BTreeMap<u64, u64>,
+    tick: u64,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl ProfileCache {
+    /// A cache holding at most `capacity` profiles, each expiring
+    /// `ttl_micros` after insertion (0 = never).
+    pub fn new(capacity: usize, ttl_micros: u64) -> Self {
+        Self {
+            capacity,
+            ttl_micros,
+            entries: BTreeMap::new(),
+            recency: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+            tick: 0,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    /// Profiles currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Profiles evicted by capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Profiles dropped by TTL expiry so far.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Looks up a profile by content fingerprint, refreshing its recency.
+    pub fn get(&mut self, fingerprint: u64, now_micros: u64) -> Option<Arc<Profile>> {
+        if self.expire_if_stale(fingerprint, now_micros) {
+            return None;
+        }
+        let tick = self.next_tick();
+        let entry = self.entries.get_mut(&fingerprint)?;
+        self.recency.remove(&entry.last_tick);
+        entry.last_tick = tick;
+        self.recency.insert(tick, fingerprint);
+        Some(Arc::clone(&entry.profile))
+    }
+
+    /// Looks up a profile by fit key (trace bytes + config digest),
+    /// returning its content fingerprint alongside it.
+    pub fn get_by_fit_key(&mut self, fit_key: u64, now_micros: u64) -> Option<(u64, Arc<Profile>)> {
+        let fingerprint = *self.aliases.get(&fit_key)?;
+        let profile = self.get(fingerprint, now_micros)?;
+        Some((fingerprint, profile))
+    }
+
+    /// Inserts a profile under its content fingerprint, optionally
+    /// aliasing `fit_key` to it, evicting the least recently used entry
+    /// if the cache is full. Re-inserting an existing fingerprint
+    /// refreshes its recency, insertion time, and alias.
+    pub fn insert(
+        &mut self,
+        fingerprint: u64,
+        profile: Arc<Profile>,
+        fit_key: Option<u64>,
+        now_micros: u64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        // A re-insert without a fit key (e.g. the same profile arriving
+        // inline) must not sever an existing fit-key alias.
+        let fit_key = fit_key.or_else(|| {
+            self.entries
+                .get(&fingerprint)
+                .and_then(|entry| entry.fit_key)
+        });
+        self.remove(fingerprint);
+        while self.entries.len() >= self.capacity {
+            // Oldest tick = least recently used.
+            let Some((&tick, &victim)) = self.recency.iter().next() else {
+                break;
+            };
+            self.recency.remove(&tick);
+            self.drop_entry(victim);
+            self.evictions += 1;
+        }
+        let tick = self.next_tick();
+        if let Some(key) = fit_key {
+            self.aliases.insert(key, fingerprint);
+        }
+        self.recency.insert(tick, fingerprint);
+        self.entries.insert(
+            fingerprint,
+            Entry {
+                profile,
+                inserted_micros: now_micros,
+                last_tick: tick,
+                fit_key,
+            },
+        );
+    }
+
+    /// Removes `fingerprint` if resident (not counted as an eviction).
+    pub fn remove(&mut self, fingerprint: u64) {
+        if let Some(entry) = self.entries.get(&fingerprint) {
+            self.recency.remove(&entry.last_tick);
+            self.drop_entry(fingerprint);
+        }
+    }
+
+    fn drop_entry(&mut self, fingerprint: u64) {
+        if let Some(entry) = self.entries.remove(&fingerprint) {
+            if let Some(key) = entry.fit_key {
+                // Only clear the alias if it still points here.
+                if self.aliases.get(&key) == Some(&fingerprint) {
+                    self.aliases.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Drops `fingerprint` if its TTL lapsed; true when it did.
+    fn expire_if_stale(&mut self, fingerprint: u64, now_micros: u64) -> bool {
+        if self.ttl_micros == 0 {
+            return false;
+        }
+        let Some(entry) = self.entries.get(&fingerprint) else {
+            return false;
+        };
+        if now_micros.saturating_sub(entry.inserted_micros) <= self.ttl_micros {
+            return false;
+        }
+        self.recency.remove(&entry.last_tick);
+        self.drop_entry(fingerprint);
+        self.expirations += 1;
+        true
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_core::HierarchyConfig;
+    use mocktails_trace::{Request, Trace};
+
+    fn profile(n: u64) -> Arc<Profile> {
+        let trace = Trace::from_requests(
+            (0..50u64)
+                .map(|i| Request::read(i * 3 + n, 0x1000 + (i % 8) * 64, 64))
+                .collect(),
+        );
+        Arc::new(Profile::fit(&trace, &HierarchyConfig::two_level_ts(100)))
+    }
+
+    #[test]
+    fn get_returns_inserted_profile() {
+        let mut cache = ProfileCache::new(4, 0);
+        let p = profile(1);
+        cache.insert(11, Arc::clone(&p), None, 0);
+        assert_eq!(cache.get(11, 0).as_deref(), Some(p.as_ref()));
+        assert!(cache.get(99, 0).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ProfileCache::new(2, 0);
+        cache.insert(1, profile(1), None, 0);
+        cache.insert(2, profile(2), None, 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1, 0).is_some());
+        cache.insert(3, profile(3), None, 0);
+        assert!(cache.get(1, 0).is_some());
+        assert!(cache.get(2, 0).is_none(), "2 was LRU and must be gone");
+        assert!(cache.get(3, 0).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_on_access() {
+        let mut cache = ProfileCache::new(4, 1000);
+        cache.insert(1, profile(1), None, 0);
+        assert!(cache.get(1, 1000).is_some(), "at the TTL bound: alive");
+        assert!(cache.get(1, 1001).is_none(), "past the bound: expired");
+        assert_eq!(cache.expirations(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fit_key_alias_finds_profile_and_dies_with_it() {
+        let mut cache = ProfileCache::new(1, 0);
+        cache.insert(10, profile(1), Some(777), 0);
+        let (fp, _) = cache.get_by_fit_key(777, 0).unwrap();
+        assert_eq!(fp, 10);
+        // Evict by inserting another profile into the 1-slot cache.
+        cache.insert(20, profile(2), Some(888), 0);
+        assert!(cache.get_by_fit_key(777, 0).is_none());
+        assert!(cache.get_by_fit_key(888, 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = ProfileCache::new(0, 0);
+        cache.insert(1, profile(1), Some(2), 0);
+        assert!(cache.is_empty());
+        assert!(cache.get(1, 0).is_none());
+        assert!(cache.get_by_fit_key(2, 0).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_age() {
+        let mut cache = ProfileCache::new(4, 1000);
+        cache.insert(1, profile(1), None, 0);
+        cache.insert(1, profile(1), None, 900);
+        assert!(cache.get(1, 1500).is_some(), "age restarts at reinsert");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn remove_is_not_an_eviction() {
+        let mut cache = ProfileCache::new(4, 0);
+        cache.insert(1, profile(1), Some(5), 0);
+        cache.remove(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get_by_fit_key(5, 0).is_none());
+    }
+}

@@ -1,0 +1,351 @@
+//! A synchronous client for the serving protocol.
+//!
+//! [`Client`] speaks the framed protocol over one TCP connection:
+//! handshake on connect, then any number of requests. The streaming
+//! `Synthesize` response can be consumed two ways:
+//!
+//! * [`Client::synthesize`] — auto-acks every chunk, reassembles a
+//!   complete whole-trace encoding, and verifies the server's
+//!   end-of-stream fingerprint by replaying the records through the
+//!   codec. The returned bytes are byte-identical to what the offline
+//!   [`mocktails_core::Profile::synthesize`] path writes.
+//! * [`Client::begin_synthesize`] — hands back a [`SynthStream`] whose
+//!   acks the caller sends explicitly, for consumers that want real
+//!   backpressure (or tests that withhold acks on purpose).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use mocktails_trace::codec::{write_u64, RecordDecoder, CODEC_VERSION, TRACE_MAGIC};
+use mocktails_trace::Fingerprinter;
+
+use crate::error::ServeError;
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};
+
+/// Result of a `FitProfile` request.
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    /// Content fingerprint of the fitted profile; later `Synthesize` and
+    /// `Stats` requests can name the profile by it.
+    pub fingerprint: u64,
+    /// Whether the server answered from its profile cache.
+    pub cache_hit: bool,
+    /// The encoded profile bytes.
+    pub profile_bytes: Vec<u8>,
+}
+
+/// Result of a fully-consumed `Synthesize` request.
+#[derive(Debug, Clone)]
+pub struct SynthOutcome {
+    /// A complete whole-trace encoding (header + records), byte-identical
+    /// to the offline synthesis path's output for the same profile/seed.
+    pub trace_bytes: Vec<u8>,
+    /// Requests in the trace.
+    pub total_requests: u64,
+    /// The server's order-sensitive request fingerprint (verified against
+    /// a local replay before this outcome is returned).
+    pub fingerprint: u64,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_len: usize,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.reader.get_ref().peer_addr().ok())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects to `addr` and performs the protocol handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or a typed [`ServeError::Remote`] if the
+    /// server rejects the protocol version.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        Self::connect_with(addr, 64 << 20)
+    }
+
+    /// [`Client::connect`] with an explicit inbound frame size limit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(addr: &str, max_frame_len: usize) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Self {
+            writer: BufWriter::new(stream.try_clone()?),
+            reader: BufReader::new(stream),
+            max_frame_len,
+        };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Response::HelloOk { .. } => Ok(client),
+            other => Err(unexpected("hello-ok", &other)),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServeError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ServeError> {
+        match read_frame(&mut self.reader, self.max_frame_len)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(ServeError::Frame("connection closed mid-exchange".into())),
+        }
+    }
+
+    /// Uploads encoded trace bytes and fits a profile server-side.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's typed error as
+    /// [`ServeError::Remote`].
+    pub fn fit(&mut self, cycles: u64, trace_bytes: Vec<u8>) -> Result<FitOutcome, ServeError> {
+        self.send(&Request::FitProfile {
+            cycles,
+            trace_bytes,
+        })?;
+        match self.recv()? {
+            Response::FitResult {
+                fingerprint,
+                cache_hit,
+                profile_bytes,
+            } => Ok(FitOutcome {
+                fingerprint,
+                cache_hit,
+                profile_bytes,
+            }),
+            other => Err(unexpected("fit-result", &other)),
+        }
+    }
+
+    /// Streams a full synthesis, acking every chunk, and returns the
+    /// reassembled whole-trace encoding after verifying the server's
+    /// stream fingerprint against a local replay of the record bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, the server's typed error, or
+    /// [`ServeError::Protocol`] if the fingerprint check fails.
+    pub fn synthesize(
+        &mut self,
+        seed: u64,
+        chunk_len: u32,
+        source: ProfileSource,
+    ) -> Result<SynthOutcome, ServeError> {
+        let mut stream = self.begin_synthesize(seed, chunk_len, source)?;
+        let mut records = Vec::new();
+        while let Some(chunk) = stream.next_chunk()? {
+            records.extend_from_slice(&chunk);
+            stream.ack()?;
+        }
+        let (total_requests, fingerprint) = stream.end()?;
+
+        // Integrity: replay the records through the codec and compare the
+        // order-sensitive fingerprint with the server's.
+        let mut decoder = RecordDecoder::new();
+        let mut replay = Fingerprinter::new();
+        let mut cursor = records.as_slice();
+        for i in 0..total_requests {
+            let request = decoder.decode(&mut cursor).map_err(|e| {
+                ServeError::Protocol(format!("streamed record {i} undecodable: {e}"))
+            })?;
+            replay.push(&request);
+        }
+        if !cursor.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "{} trailing record bytes after {total_requests} requests",
+                cursor.len()
+            )));
+        }
+        if replay.digest() != fingerprint {
+            return Err(ServeError::Protocol(format!(
+                "stream fingerprint mismatch: server {fingerprint:#018x}, replay {:#018x}",
+                replay.digest()
+            )));
+        }
+
+        // Reassemble the whole-trace encoding: header + record section.
+        let mut trace_bytes = Vec::with_capacity(records.len() + 16);
+        trace_bytes.extend_from_slice(&TRACE_MAGIC);
+        trace_bytes.push(CODEC_VERSION);
+        write_u64(&mut trace_bytes, total_requests)?;
+        trace_bytes.extend_from_slice(&records);
+        Ok(SynthOutcome {
+            trace_bytes,
+            total_requests,
+            fingerprint,
+        })
+    }
+
+    /// Starts a synthesis stream whose acks the caller controls.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's typed error (e.g. `NotFound`,
+    /// `Busy`) as [`ServeError::Remote`].
+    pub fn begin_synthesize(
+        &mut self,
+        seed: u64,
+        chunk_len: u32,
+        source: ProfileSource,
+    ) -> Result<SynthStream<'_>, ServeError> {
+        self.send(&Request::Synthesize {
+            seed,
+            chunk_len,
+            source,
+        })?;
+        match self.recv()? {
+            Response::SynthStart { total_requests } => Ok(SynthStream {
+                client: self,
+                declared_total: total_requests,
+                end: None,
+            }),
+            other => Err(unexpected("synth-start", &other)),
+        }
+    }
+
+    /// Requests a profile summary.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the server's typed error.
+    pub fn stats(&mut self, source: ProfileSource) -> Result<String, ServeError> {
+        self.send(&Request::Stats { source })?;
+        match self.recv()? {
+            Response::StatsText { text } => Ok(text),
+            other => Err(unexpected("stats-text", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics rendering.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the server's typed error.
+    pub fn metricsz(&mut self) -> Result<String, ServeError> {
+        self.send(&Request::Metricsz)?;
+        match self.recv()? {
+            Response::MetricsText { text } => Ok(text),
+            other => Err(unexpected("metrics-text", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the server's typed error.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(unexpected("shutdown-ok", &other)),
+        }
+    }
+
+    /// Abandons an in-flight stream (used by [`SynthStream`]).
+    fn send_cancel(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Cancel)
+    }
+}
+
+/// An in-progress synthesis stream with caller-controlled acks.
+///
+/// Call [`SynthStream::next_chunk`] until it returns `None`, sending
+/// [`SynthStream::ack`] between chunks (the server ships chunk *n+1*
+/// only after chunk *n* is acked), then read the end-of-stream totals
+/// with [`SynthStream::end`].
+#[derive(Debug)]
+pub struct SynthStream<'a> {
+    client: &'a mut Client,
+    declared_total: u64,
+    end: Option<(u64, u64)>,
+}
+
+impl SynthStream<'_> {
+    /// Total requests the server announced for this stream.
+    pub fn declared_total(&self) -> u64 {
+        self.declared_total
+    }
+
+    /// Receives the next chunk's record bytes, or `None` at end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the server's typed error (a mid-stream
+    /// `DeadlineExceeded`, for instance).
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ServeError> {
+        if self.end.is_some() {
+            return Ok(None);
+        }
+        match self.client.recv()? {
+            Response::SynthChunk { records, .. } => Ok(Some(records)),
+            Response::SynthEnd {
+                total_requests,
+                fingerprint,
+            } => {
+                self.end = Some((total_requests, fingerprint));
+                Ok(None)
+            }
+            other => Err(unexpected("synth-chunk", &other)),
+        }
+    }
+
+    /// Acknowledges the chunk just received, releasing the next one.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ack(&mut self) -> Result<(), ServeError> {
+        self.client.send(&Request::Ack)
+    }
+
+    /// Cancels the stream and drains it to its (clean) end-of-stream
+    /// frame, so the connection is reusable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn cancel(mut self) -> Result<(u64, u64), ServeError> {
+        self.client.send_cancel()?;
+        while self.next_chunk()?.is_some() {}
+        self.end()
+    }
+
+    /// The end-of-stream `(total_requests, fingerprint)` pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] if the stream has not ended yet.
+    pub fn end(&self) -> Result<(u64, u64), ServeError> {
+        self.end
+            .ok_or_else(|| ServeError::Protocol("stream has not reached its end frame".into()))
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    match got {
+        Response::Error { code, message } => ServeError::Remote {
+            code: *code,
+            message: message.clone(),
+        },
+        other => ServeError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

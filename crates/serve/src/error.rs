@@ -1,0 +1,153 @@
+//! Typed errors for the serving layer — local failures and the wire-level
+//! error codes carried by protocol error frames.
+
+use std::fmt;
+
+/// Machine-readable error codes carried in protocol `Error` frames.
+///
+/// The contract of the serving layer is that a protocol-level failure is
+/// *always* answered with a typed error frame carrying one of these codes
+/// — never a silently dropped connection — so clients can distinguish
+/// retryable overload ([`ErrorCode::Busy`]) from permanent rejection
+/// (e.g. [`ErrorCode::Malformed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame or request body failed structural decoding.
+    Malformed = 1,
+    /// The client's protocol version is not supported.
+    UnsupportedVersion = 2,
+    /// A decode limit (frame size, declared count) was exceeded.
+    LimitExceeded = 3,
+    /// The worker pool's queue-depth cap was hit; retry later.
+    Busy = 4,
+    /// The request missed its per-request deadline.
+    DeadlineExceeded = 5,
+    /// The referenced profile fingerprint is not in the cache.
+    NotFound = 6,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown = 7,
+    /// An unexpected server-side failure.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte back to a code.
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        Some(match byte {
+            1 => Self::Malformed,
+            2 => Self::UnsupportedVersion,
+            3 => Self::LimitExceeded,
+            4 => Self::Busy,
+            5 => Self::DeadlineExceeded,
+            6 => Self::NotFound,
+            7 => Self::ShuttingDown,
+            8 => Self::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The wire byte for this code.
+    pub fn as_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Stable lower-snake name, used in metrics and error text.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Malformed => "malformed",
+            Self::UnsupportedVersion => "unsupported_version",
+            Self::LimitExceeded => "limit_exceeded",
+            Self::Busy => "busy",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::NotFound => "not_found",
+            Self::ShuttingDown => "shutting_down",
+            Self::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors surfaced by the serving layer's client and server endpoints.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O failure on the socket or local files.
+    Io(std::io::Error),
+    /// A malformed frame: bad length prefix, truncation mid-frame, or a
+    /// frame exceeding the configured maximum.
+    Frame(String),
+    /// A structurally valid frame whose payload does not decode as a
+    /// protocol message (unknown tag, short body, bad field).
+    Protocol(String),
+    /// The peer answered with a typed error frame.
+    Remote {
+        /// The machine-readable error code from the frame.
+        code: ErrorCode,
+        /// The human-readable message from the frame.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Frame(msg) => write!(f, "bad frame: {msg}"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Self::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip_through_wire_bytes() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::LimitExceeded,
+            ErrorCode::Busy,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::NotFound,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_byte(code.as_byte()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_byte(0), None);
+        assert_eq!(ErrorCode::from_byte(200), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ErrorCode::Busy.to_string(), "busy");
+        let e = ServeError::Remote {
+            code: ErrorCode::NotFound,
+            message: "no such profile".into(),
+        };
+        assert_eq!(e.to_string(), "server error (not_found): no such profile");
+    }
+}

@@ -1,0 +1,153 @@
+//! Length-prefixed framing: the lowest layer of the wire protocol.
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+---------------------+
+//! ```
+//!
+//! A frame is a length prefix followed by exactly that many payload
+//! bytes; the payload's first byte is the protocol message tag (see
+//! [`crate::protocol`]). Framing guarantees:
+//!
+//! * **Clean EOF is distinguishable from truncation.** EOF *before* any
+//!   prefix byte is a closed stream ([`read_frame`] returns `Ok(None)`);
+//!   EOF *inside* the prefix or payload is a truncated frame and a typed
+//!   error.
+//! * **A hostile length cannot force an allocation.** Payload buffers
+//!   grow chunk-by-chunk with the bytes actually read, and a prefix above
+//!   `max_len` is rejected before reading the body.
+
+use std::io::{Read, Write};
+
+use crate::error::ServeError;
+
+/// Allocation granularity for payload reads; memory tracks bytes actually
+/// received, never the declared length alone.
+const READ_CHUNK: usize = 1 << 16;
+
+/// Writes one frame: length prefix plus payload.
+///
+/// # Errors
+///
+/// [`ServeError::Frame`] if `payload` exceeds `u32::MAX` bytes, otherwise
+/// I/O errors from the writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ServeError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| ServeError::Frame("payload exceeds u32 length prefix".into()))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing `max_len` on the declared payload length.
+///
+/// Returns `Ok(None)` on clean EOF (the peer closed between frames).
+///
+/// # Errors
+///
+/// [`ServeError::Frame`] for a truncated length prefix, a declared length
+/// above `max_len`, or a payload cut short; [`ServeError::Io`] for other
+/// I/O failures.
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ServeError::Frame(format!(
+                    "truncated length prefix ({filled} of 4 bytes)"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(ServeError::Frame(format!(
+            "frame length {len} exceeds maximum {max_len}"
+        )));
+    }
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut taken = r.take(len as u64);
+    let read = taken.read_to_end(&mut payload)?;
+    if read < len {
+        return Err(ServeError::Frame(format!(
+            "truncated frame payload ({read} of {len} bytes)"
+        )));
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_error() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut { empty }, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_prefix_is_typed_error() {
+        for cut in 1..4 {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, b"payload").unwrap();
+            buf.truncate(cut);
+            let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+            assert!(
+                matches!(&err, ServeError::Frame(m) if m.contains("truncated length prefix")),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_typed_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Frame(m) if m.contains("truncated frame payload")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_reading() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        // No payload behind the hostile prefix — must fail on the prefix,
+        // not attempt a 4 GiB read.
+        let err = read_frame(&mut buf.as_slice(), 1 << 20).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Frame(m) if m.contains("exceeds maximum")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn max_len_boundary_is_inclusive() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 16]).unwrap();
+        assert!(read_frame(&mut buf.as_slice(), 16).unwrap().is_some());
+        let err = read_frame(&mut buf.as_slice(), 15).unwrap_err();
+        assert!(matches!(err, ServeError::Frame(_)));
+    }
+}

@@ -1,0 +1,40 @@
+//! mocktails-serve: a zero-dependency streaming synthesis server.
+//!
+//! The paper's workflow is offline: record a trace, fit a profile,
+//! synthesize a proxy. This crate puts that pipeline behind a socket so
+//! many simulator frontends can share one fitting service and its
+//! profile cache. Everything is `std`-only — the server is a
+//! [`std::net::TcpListener`], a bounded
+//! [`mocktails_pool::bounded::WorkerPool`], and a length-prefixed binary
+//! protocol; there is no async runtime and no serialization dependency.
+//!
+//! Layering, bottom up:
+//!
+//! * [`frame`] — length-prefixed framing with typed truncation/oversize
+//!   errors and clean-EOF detection.
+//! * [`protocol`] — versioned request/response messages over frames.
+//! * [`error`] — [`error::ErrorCode`] (the wire-level failure taxonomy)
+//!   and [`error::ServeError`].
+//! * [`cache`] — the content-fingerprint-keyed LRU/TTL profile cache.
+//! * [`metrics`] — atomic counters and histograms with a deterministic
+//!   text rendering, timed by an injectable [`metrics::Clock`].
+//! * [`server`] / [`client`] — the two endpoints.
+//!
+//! Determinism carries through the wire: a `Synthesize` stream's
+//! reassembled bytes are byte-identical to offline
+//! [`mocktails_core::Profile::synthesize`] output for the same profile
+//! and seed, at any worker-thread count.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, FitOutcome, SynthOutcome, SynthStream};
+pub use error::{ErrorCode, ServeError};
+pub use metrics::{Clock, ManualClock, MonotonicClock, ServeMetrics};
+pub use protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,319 @@
+//! Built-in metrics: atomic counters and histograms with a deterministic
+//! text rendering.
+//!
+//! The registry is a concrete struct, not a generic registry — the point
+//! is observability of *this* server, and a fixed field set keeps the
+//! rendering order (and therefore the rendered bytes) identical across
+//! runs. Time is injected through [`Clock`], so tests freeze it with
+//! [`ManualClock`] and assert the rendering byte-for-byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock the server reads for latency and TTL
+/// bookkeeping.
+///
+/// Injecting the clock keeps every time-dependent observable — histogram
+/// buckets, uptime, cache expiry — deterministic under test.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds since an arbitrary (per-clock) epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: microseconds since the clock's construction,
+/// read from [`Instant`] (monotonic, never wall-clock).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for tests: time only moves when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time.
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// Upper bounds (microseconds, inclusive) of the histogram buckets; the
+/// final implicit bucket is unbounded. Powers of ~4 from 100 µs to ~100 s.
+const BUCKET_BOUNDS: [u64; 8] = [
+    100,
+    400,
+    1_600,
+    6_400,
+    25_600,
+    102_400,
+    1_638_400,
+    104_857_600,
+];
+
+/// A fixed-bucket latency histogram with atomic cells.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::SeqCst);
+        self.sum.fetch_add(micros, Ordering::SeqCst);
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Sum of all observations (microseconds).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum.load(Ordering::SeqCst)
+    }
+
+    fn render_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{bound}\"}} {}",
+                self.buckets[i].load(Ordering::SeqCst)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"+inf\"}} {}",
+            self.buckets[BUCKET_BOUNDS.len()].load(Ordering::SeqCst)
+        );
+        let _ = writeln!(out, "{name}_sum_micros {}", self.sum_micros());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// The server's metric registry: every counter, gauge and histogram it
+/// exports.
+///
+/// Counters only ever increase; `cache_entries` is a gauge the server
+/// stores absolutely after each cache operation. Declaration order here
+/// *is* the rendering order, so [`ServeMetrics::render`] output is stable
+/// by construction.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+    /// Requests of any type admitted past the handshake.
+    pub requests_total: AtomicU64,
+    /// `FitProfile` requests processed (including cache hits).
+    pub fit_requests_total: AtomicU64,
+    /// `Synthesize` requests processed.
+    pub synth_requests_total: AtomicU64,
+    /// `Stats` requests processed.
+    pub stats_requests_total: AtomicU64,
+    /// `Metricsz` requests processed.
+    pub metricsz_requests_total: AtomicU64,
+    /// Typed error frames sent, any code.
+    pub errors_total: AtomicU64,
+    /// Error frames carrying `Busy` (queue cap hit).
+    pub busy_rejections_total: AtomicU64,
+    /// Error frames carrying `DeadlineExceeded`.
+    pub deadline_exceeded_total: AtomicU64,
+    /// Fit requests answered from the profile cache.
+    pub cache_hits_total: AtomicU64,
+    /// Fit requests that had to fit from scratch.
+    pub cache_misses_total: AtomicU64,
+    /// Profiles evicted by LRU capacity pressure.
+    pub cache_evictions_total: AtomicU64,
+    /// Profiles dropped because their TTL lapsed.
+    pub cache_expirations_total: AtomicU64,
+    /// Profiles currently resident (gauge).
+    pub cache_entries: AtomicU64,
+    /// Encoded record bytes streamed in `SynthChunk` frames.
+    pub streamed_bytes_total: AtomicU64,
+    /// Requests streamed across all `Synthesize` responses.
+    pub streamed_requests_total: AtomicU64,
+    /// Submit-to-job-start wait.
+    pub queue_wait_micros: Histogram,
+    /// Fit job duration.
+    pub fit_latency_micros: Histogram,
+    /// Synthesis stream duration (start to end frame).
+    pub synth_latency_micros: Histogram,
+}
+
+impl ServeMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders every metric as `name value` lines in a fixed order,
+    /// followed by the histograms and `uptime_micros` computed from
+    /// `now_micros`. Two renderings of registries in the same state with
+    /// the same clock reading are byte-identical.
+    pub fn render(&self, now_micros: u64) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, counter) in [
+            ("connections_total", &self.connections_total),
+            ("requests_total", &self.requests_total),
+            ("fit_requests_total", &self.fit_requests_total),
+            ("synth_requests_total", &self.synth_requests_total),
+            ("stats_requests_total", &self.stats_requests_total),
+            ("metricsz_requests_total", &self.metricsz_requests_total),
+            ("errors_total", &self.errors_total),
+            ("busy_rejections_total", &self.busy_rejections_total),
+            ("deadline_exceeded_total", &self.deadline_exceeded_total),
+            ("cache_hits_total", &self.cache_hits_total),
+            ("cache_misses_total", &self.cache_misses_total),
+            ("cache_evictions_total", &self.cache_evictions_total),
+            ("cache_expirations_total", &self.cache_expirations_total),
+            ("cache_entries", &self.cache_entries),
+            ("streamed_bytes_total", &self.streamed_bytes_total),
+            ("streamed_requests_total", &self.streamed_requests_total),
+        ] {
+            let _ = writeln!(out, "{name} {}", counter.load(Ordering::SeqCst));
+        }
+        self.queue_wait_micros.render_into("queue_wait", &mut out);
+        self.fit_latency_micros.render_into("fit_latency", &mut out);
+        self.synth_latency_micros
+            .render_into("synth_latency", &mut out);
+        let _ = writeln!(out, "uptime_micros {now_micros}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        clock.advance(250);
+        clock.advance(250);
+        assert_eq!(clock.now_micros(), 500);
+        clock.set(42);
+        assert_eq!(clock.now_micros(), 42);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = Histogram::new();
+        h.observe(50); // first bucket
+        h.observe(100); // still first (inclusive)
+        h.observe(101); // second
+        h.observe(u64::MAX); // overflow bucket
+        assert_eq!(h.count(), 4);
+        let mut text = String::new();
+        h.render_into("t", &mut text);
+        assert!(text.contains("t_bucket{le=\"100\"} 2"), "{text}");
+        assert!(text.contains("t_bucket{le=\"400\"} 1"), "{text}");
+        assert!(text.contains("t_bucket{le=\"+inf\"} 1"), "{text}");
+        assert!(text.contains("t_count 4"), "{text}");
+    }
+
+    #[test]
+    fn render_is_deterministic_under_frozen_clock() {
+        let m = ServeMetrics::new();
+        m.requests_total.fetch_add(3, Ordering::SeqCst);
+        m.cache_hits_total.fetch_add(1, Ordering::SeqCst);
+        m.fit_latency_micros.observe(1234);
+        assert_eq!(m.render(777), m.render(777));
+        assert_ne!(m.render(777), m.render(778));
+    }
+
+    #[test]
+    fn render_lists_every_counter_once() {
+        let text = ServeMetrics::new().render(0);
+        for name in [
+            "connections_total",
+            "requests_total",
+            "fit_requests_total",
+            "synth_requests_total",
+            "stats_requests_total",
+            "metricsz_requests_total",
+            "errors_total",
+            "busy_rejections_total",
+            "deadline_exceeded_total",
+            "cache_hits_total",
+            "cache_misses_total",
+            "cache_evictions_total",
+            "cache_expirations_total",
+            "cache_entries",
+            "streamed_bytes_total",
+            "streamed_requests_total",
+            "uptime_micros",
+        ] {
+            assert_eq!(
+                text.lines().filter(|l| l.starts_with(name)).count(),
+                1,
+                "{name} missing or duplicated in:\n{text}"
+            );
+        }
+        assert!(text.contains("queue_wait_count 0"));
+        assert!(text.contains("fit_latency_count 0"));
+        assert!(text.contains("synth_latency_count 0"));
+    }
+}

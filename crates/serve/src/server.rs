@@ -1,0 +1,831 @@
+//! The streaming synthesis server.
+//!
+//! One accept loop, one OS thread per connection, and a bounded
+//! [`WorkerPool`] for the compute requests (fit, synthesize, stats).
+//! Connection threads never compute: they decode frames, answer the
+//! cheap requests inline (`Metricsz`, `Shutdown`), submit the rest to
+//! the pool, and pump `Ack`/`Cancel` frames to the in-flight streaming
+//! job. Every failure path answers with a typed error frame before the
+//! connection is ever closed.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mocktails_core::{fit_key, HierarchyConfig, LayerSpec, Profile, ProfileError};
+use mocktails_pool::bounded::{SubmitError, WorkerPool};
+use mocktails_pool::Parallelism;
+use mocktails_trace::codec::RecordEncoder;
+use mocktails_trace::{fnv1a, DecodeOptions, Fingerprinter, TraceError};
+
+use crate::cache::ProfileCache;
+use crate::error::{ErrorCode, ServeError};
+use crate::frame::{read_frame, write_frame};
+use crate::metrics::{Clock, ServeMetrics};
+use crate::protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing compute requests.
+    pub workers: usize,
+    /// Jobs admitted beyond the running ones; over-cap submissions get a
+    /// `Busy` error frame (see [`WorkerPool`]).
+    pub queue_cap: usize,
+    /// Profiles the cache retains (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Cache entry lifetime in microseconds (0 = never expires).
+    pub cache_ttl_micros: u64,
+    /// Maximum accepted frame payload length in bytes.
+    pub max_frame_len: usize,
+    /// Per-request deadline in microseconds: bounds the queue wait and
+    /// each backpressure (ack) wait of a streaming response.
+    pub deadline_micros: u64,
+    /// Decode hardening applied to uploaded traces and profiles.
+    pub decode: DecodeOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 16,
+            cache_capacity: 64,
+            cache_ttl_micros: 0,
+            max_frame_len: 64 << 20,
+            deadline_micros: 30_000_000,
+            decode: DecodeOptions::default(),
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and worker jobs.
+struct Shared {
+    config: ServerConfig,
+    cache: Mutex<ProfileCache>,
+    metrics: Arc<ServeMetrics>,
+    pool: WorkerPool,
+    clock: Arc<dyn Clock>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    /// Read halves of live connections, shut down after drain so blocked
+    /// reads unblock and connection threads can be joined.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn cache(&self) -> std::sync::MutexGuard<'_, ProfileCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mirrors the cache's internal tallies into the metric registry.
+    fn sync_cache_metrics(&self, cache: &ProfileCache) {
+        let m = &self.metrics;
+        m.cache_entries.store(cache.len() as u64, Ordering::SeqCst);
+        m.cache_evictions_total
+            .store(cache.evictions(), Ordering::SeqCst);
+        m.cache_expirations_total
+            .store(cache.expirations(), Ordering::SeqCst);
+    }
+}
+
+/// The server: a bound listener plus everything requests share.
+///
+/// [`Server::bind`] then [`Server::run`]; `run` returns after a
+/// `Shutdown` frame has been honored — in-flight requests drained,
+/// mid-stream clients given their clean end-of-stream frames — so the
+/// caller can flush final metrics and exit 0.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.addr)
+            .field("workers", &self.shared.config.workers)
+            .finish()
+    }
+}
+
+/// The hierarchy every server-side fit uses: the paper's 2L-TS shape with
+/// a caller-chosen temporal window — identical to the CLI's offline
+/// `profile` command, so server and offline outputs byte-compare equal.
+fn fit_config(cycles: u64) -> Result<HierarchyConfig, String> {
+    HierarchyConfig::builder()
+        .layer(LayerSpec::TemporalCycleCount(cycles))
+        .layer(LayerSpec::SpatialDynamic)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares the worker pool, cache and metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: &str,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            pool: WorkerPool::new(config.workers, config.queue_cap),
+            cache: Mutex::new(ProfileCache::new(
+                config.cache_capacity,
+                config.cache_ttl_micros,
+            )),
+            config,
+            metrics: Arc::new(ServeMetrics::new()),
+            clock,
+            shutting_down: AtomicBool::new(false),
+            addr: local,
+            conns: Mutex::new(Vec::new()),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live metric registry (shared with all request handlers).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Serves until a `Shutdown` frame arrives, then drains: stops
+    /// accepting, completes in-flight work, closes connections, joins
+    /// every thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures; per-connection failures are
+    /// answered on that connection and never abort the server.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ServeError::Io(e)),
+            };
+            self.shared
+                .metrics
+                .connections_total
+                .fetch_add(1, Ordering::SeqCst);
+            if let Ok(clone) = stream.try_clone() {
+                self.shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(clone);
+            }
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || {
+                // Failures inside a connection are answered on that
+                // connection; nothing propagates to the accept loop.
+                let _ = serve_connection(&shared, stream);
+            }));
+        }
+        // Complete everything already admitted (mid-stream clients get
+        // their SynthEnd), then unblock any idle connection reads.
+        self.shared.pool.drain();
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// The streaming job a connection currently has in flight.
+struct ActiveJob {
+    /// Forwards client `Ack` frames to the worker.
+    ack_tx: mpsc::Sender<()>,
+    /// Signals job completion (by closing).
+    done_rx: mpsc::Receiver<()>,
+}
+
+impl ActiveJob {
+    /// Cancels (by dropping the ack channel) and waits for the worker to
+    /// finish its final frames.
+    fn cancel_and_wait(self) {
+        drop(self.ack_tx);
+        let _ = self.done_rx.recv();
+    }
+}
+
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+fn send_response(writer: &SharedWriter, response: &Response) -> Result<(), ServeError> {
+    let payload = response.encode();
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    write_frame(&mut *w, &payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn send_error(
+    shared: &Shared,
+    writer: &SharedWriter,
+    code: ErrorCode,
+    message: String,
+) -> Result<(), ServeError> {
+    let m = &shared.metrics;
+    m.errors_total.fetch_add(1, Ordering::SeqCst);
+    match code {
+        ErrorCode::Busy => {
+            m.busy_rejections_total.fetch_add(1, Ordering::SeqCst);
+        }
+        ErrorCode::DeadlineExceeded => {
+            m.deadline_exceeded_total.fetch_add(1, Ordering::SeqCst);
+        }
+        _ => {}
+    }
+    send_response(writer, &Response::Error { code, message })
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), ServeError> {
+    let _ = stream.set_nodelay(true);
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
+    let mut reader = BufReader::new(stream);
+    let max_len = shared.config.max_frame_len;
+
+    // Handshake: the first frame must be a version-compatible Hello.
+    match read_frame(&mut reader, max_len)? {
+        None => return Ok(()),
+        Some(payload) => match Request::decode(&payload) {
+            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+                send_response(
+                    &writer,
+                    &Response::HelloOk {
+                        version: PROTOCOL_VERSION,
+                    },
+                )?;
+            }
+            Ok(Request::Hello { version }) => {
+                return send_error(
+                    shared,
+                    &writer,
+                    ErrorCode::UnsupportedVersion,
+                    format!("protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"),
+                );
+            }
+            Ok(other) => {
+                return send_error(
+                    shared,
+                    &writer,
+                    ErrorCode::Malformed,
+                    format!("expected hello, got {other:?}"),
+                );
+            }
+            Err(e) => {
+                return send_error(shared, &writer, ErrorCode::Malformed, e.to_string());
+            }
+        },
+    }
+
+    let mut active: Option<ActiveJob> = None;
+    loop {
+        let payload = match read_frame(&mut reader, max_len) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                // Client closed; cancel any in-flight stream and finish.
+                if let Some(job) = active.take() {
+                    job.cancel_and_wait();
+                }
+                return Ok(());
+            }
+            Err(ServeError::Frame(msg)) => {
+                // Frame sync is lost; answer with a typed error frame and
+                // close — the contract is "typed error, never a silent
+                // drop", not "resynchronize a corrupt stream".
+                if let Some(job) = active.take() {
+                    job.cancel_and_wait();
+                }
+                let code = if msg.contains("exceeds maximum") {
+                    ErrorCode::LimitExceeded
+                } else {
+                    ErrorCode::Malformed
+                };
+                return send_error(shared, &writer, code, msg);
+            }
+            Err(e) => {
+                if let Some(job) = active.take() {
+                    job.cancel_and_wait();
+                }
+                return Err(e);
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame boundary held, so the stream is still in
+                // sync; report and keep serving.
+                send_error(shared, &writer, ErrorCode::Malformed, e.to_string())?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ack => {
+                if let Some(job) = &active {
+                    // A send failure only means the job already finished.
+                    let _ = job.ack_tx.send(());
+                } else {
+                    send_error(
+                        shared,
+                        &writer,
+                        ErrorCode::Malformed,
+                        "ack with no stream in progress".into(),
+                    )?;
+                }
+            }
+            Request::Cancel => {
+                if let Some(job) = active.take() {
+                    job.cancel_and_wait();
+                } else {
+                    send_error(
+                        shared,
+                        &writer,
+                        ErrorCode::Malformed,
+                        "cancel with no stream in progress".into(),
+                    )?;
+                }
+            }
+            other => {
+                // A new request implicitly ends any finished stream; an
+                // unfinished one is cancelled (the protocol requires the
+                // client to wait for SynthEnd before its next request).
+                if let Some(job) = active.take() {
+                    job.cancel_and_wait();
+                }
+                active = dispatch(shared, &writer, other)?;
+            }
+        }
+    }
+}
+
+/// Routes one non-stream-control request. Returns the new in-flight
+/// streaming job, if the request started one.
+fn dispatch(
+    shared: &Arc<Shared>,
+    writer: &SharedWriter,
+    request: Request,
+) -> Result<Option<ActiveJob>, ServeError> {
+    let metrics = &shared.metrics;
+    metrics.requests_total.fetch_add(1, Ordering::SeqCst);
+    match request {
+        Request::Hello { .. } => {
+            send_error(
+                shared,
+                writer,
+                ErrorCode::Malformed,
+                "duplicate hello".into(),
+            )?;
+            Ok(None)
+        }
+        Request::Metricsz => {
+            metrics
+                .metricsz_requests_total
+                .fetch_add(1, Ordering::SeqCst);
+            let text = metrics.render(shared.clock.now_micros());
+            send_response(writer, &Response::MetricsText { text })?;
+            Ok(None)
+        }
+        Request::Shutdown => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            send_response(writer, &Response::ShutdownOk)?;
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+            Ok(None)
+        }
+        Request::FitProfile {
+            cycles,
+            trace_bytes,
+        } => {
+            submit_job(shared, writer, move |shared, writer| {
+                fit_job(shared, writer, cycles, &trace_bytes)
+            })?;
+            Ok(None)
+        }
+        Request::Synthesize {
+            seed,
+            chunk_len,
+            source,
+        } => {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            let (done_tx, done_rx) = mpsc::channel();
+            let admitted = submit_streaming_job(shared, writer, move |shared, writer| {
+                let result = synth_job(shared, writer, seed, chunk_len, &source, &ack_rx);
+                drop(done_tx);
+                result
+            })?;
+            Ok(admitted.then_some(ActiveJob { ack_tx, done_rx }))
+        }
+        Request::Stats { source } => {
+            submit_job(shared, writer, move |shared, writer| {
+                stats_job(shared, writer, &source)
+            })?;
+            Ok(None)
+        }
+        Request::Ack | Request::Cancel => unreachable!("handled by the caller"), // lint: allow(L001, serve_connection routes these before dispatch)
+    }
+}
+
+/// Submits a compute job and blocks the connection thread until it
+/// finishes, translating pool refusal into `Busy`/`ShuttingDown` frames.
+fn submit_job<F>(shared: &Arc<Shared>, writer: &SharedWriter, job: F) -> Result<(), ServeError>
+where
+    F: FnOnce(&Shared, &SharedWriter) -> Result<(), ServeError> + Send + 'static,
+{
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let admitted = submit_streaming_job(shared, writer, move |shared, writer| {
+        let result = job(shared, writer);
+        drop(done_tx);
+        result
+    })?;
+    if admitted {
+        let _ = done_rx.recv();
+    }
+    Ok(())
+}
+
+/// Submits a job to the pool; `false` means it was refused (and the
+/// refusal already answered with a typed error frame).
+fn submit_streaming_job<F>(
+    shared: &Arc<Shared>,
+    writer: &SharedWriter,
+    job: F,
+) -> Result<bool, ServeError>
+where
+    F: FnOnce(&Shared, &SharedWriter) -> Result<(), ServeError> + Send + 'static,
+{
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        send_error(
+            shared,
+            writer,
+            ErrorCode::ShuttingDown,
+            "server is draining".into(),
+        )?;
+        return Ok(false);
+    }
+    let job_shared = Arc::clone(shared);
+    let job_writer = Arc::clone(writer);
+    let submitted_micros = shared.clock.now_micros();
+    let submitted = shared.pool.submit(move || {
+        let waited = job_shared
+            .clock
+            .now_micros()
+            .saturating_sub(submitted_micros);
+        job_shared.metrics.queue_wait_micros.observe(waited);
+        if waited > job_shared.config.deadline_micros {
+            let _ = send_error(
+                &job_shared,
+                &job_writer,
+                ErrorCode::DeadlineExceeded,
+                format!(
+                    "queued {waited} µs, deadline {} µs",
+                    job_shared.config.deadline_micros
+                ),
+            );
+            return;
+        }
+        // The job's own failure paths answer on the connection; a
+        // transport failure here means the client is gone, which the
+        // connection thread notices on its next read.
+        let _ = job(&job_shared, &job_writer);
+    });
+    match submitted {
+        Ok(()) => Ok(true),
+        Err(SubmitError::QueueFull { cap }) => {
+            send_error(
+                shared,
+                writer,
+                ErrorCode::Busy,
+                format!("worker queue full (cap {cap}); retry later"),
+            )?;
+            Ok(false)
+        }
+        Err(SubmitError::ShuttingDown) => {
+            send_error(
+                shared,
+                writer,
+                ErrorCode::ShuttingDown,
+                "server is draining".into(),
+            )?;
+            Ok(false)
+        }
+    }
+}
+
+/// Maps a trace decode failure onto a wire error code.
+fn trace_error_frame(e: &TraceError) -> (ErrorCode, String) {
+    match e {
+        TraceError::LimitExceeded { .. } => (ErrorCode::LimitExceeded, e.to_string()),
+        _ => (ErrorCode::Malformed, format!("trace decode: {e}")),
+    }
+}
+
+/// Maps a profile decode failure onto a wire error code.
+fn profile_error_frame(e: &ProfileError) -> (ErrorCode, String) {
+    match e {
+        ProfileError::Codec(TraceError::LimitExceeded { .. }) => {
+            (ErrorCode::LimitExceeded, e.to_string())
+        }
+        _ => (ErrorCode::Malformed, format!("profile decode: {e}")),
+    }
+}
+
+/// Worker-side body of `FitProfile`.
+fn fit_job(
+    shared: &Shared,
+    writer: &SharedWriter,
+    cycles: u64,
+    trace_bytes: &[u8],
+) -> Result<(), ServeError> {
+    let metrics = &shared.metrics;
+    metrics.fit_requests_total.fetch_add(1, Ordering::SeqCst);
+    let started = shared.clock.now_micros();
+    let config = match fit_config(cycles) {
+        Ok(config) => config,
+        Err(msg) => {
+            return send_error(
+                shared,
+                writer,
+                ErrorCode::Malformed,
+                format!("cycles: {msg}"),
+            )
+        }
+    };
+    let key = fit_key(fnv1a(trace_bytes), &config);
+    let now = shared.clock.now_micros();
+    let cached = {
+        let mut cache = shared.cache();
+        let hit = cache.get_by_fit_key(key, now);
+        shared.sync_cache_metrics(&cache);
+        hit
+    };
+    let (fingerprint, profile, cache_hit) = match cached {
+        Some((fingerprint, profile)) => {
+            metrics.cache_hits_total.fetch_add(1, Ordering::SeqCst);
+            (fingerprint, profile, true)
+        }
+        None => {
+            metrics.cache_misses_total.fetch_add(1, Ordering::SeqCst);
+            let trace = match mocktails_trace::codec::read_trace_with(
+                &mut { trace_bytes },
+                &shared.config.decode,
+            ) {
+                Ok(trace) => trace,
+                Err(e) => {
+                    let (code, msg) = trace_error_frame(&e);
+                    return send_error(shared, writer, code, msg);
+                }
+            };
+            // Workers fit sequentially: concurrency comes from the pool,
+            // and the result is bit-identical either way (PR 3 invariant).
+            let profile = Arc::new(Profile::fit_with(
+                &trace,
+                &config,
+                Parallelism::sequential(),
+            ));
+            let fingerprint = profile.content_fingerprint();
+            let now = shared.clock.now_micros();
+            let mut cache = shared.cache();
+            cache.insert(fingerprint, Arc::clone(&profile), Some(key), now);
+            shared.sync_cache_metrics(&cache);
+            drop(cache);
+            (fingerprint, profile, false)
+        }
+    };
+    let mut profile_bytes = Vec::new();
+    if let Err(e) = profile.write(&mut profile_bytes) {
+        return send_error(shared, writer, ErrorCode::Internal, e.to_string());
+    }
+    metrics
+        .fit_latency_micros
+        .observe(shared.clock.now_micros().saturating_sub(started));
+    send_response(
+        writer,
+        &Response::FitResult {
+            fingerprint,
+            cache_hit,
+            profile_bytes,
+        },
+    )
+}
+
+/// Resolves a request's profile source against the cache or an inline
+/// upload (which is validated, then cached under its content fingerprint
+/// so repeats hit).
+fn resolve_profile(
+    shared: &Shared,
+    source: &ProfileSource,
+) -> Result<Arc<Profile>, (ErrorCode, String)> {
+    match source {
+        ProfileSource::Fingerprint(fp) => {
+            let now = shared.clock.now_micros();
+            let mut cache = shared.cache();
+            let found = cache.get(*fp, now);
+            shared.sync_cache_metrics(&cache);
+            drop(cache);
+            match found {
+                Some(profile) => {
+                    shared
+                        .metrics
+                        .cache_hits_total
+                        .fetch_add(1, Ordering::SeqCst);
+                    Ok(profile)
+                }
+                None => {
+                    shared
+                        .metrics
+                        .cache_misses_total
+                        .fetch_add(1, Ordering::SeqCst);
+                    Err((
+                        ErrorCode::NotFound,
+                        format!("no cached profile with fingerprint {fp:#018x}"),
+                    ))
+                }
+            }
+        }
+        ProfileSource::Inline(bytes) => {
+            let profile = Profile::read(&mut bytes.as_slice(), &shared.config.decode)
+                .map_err(|e| profile_error_frame(&e))?;
+            let profile = Arc::new(profile);
+            let fingerprint = fnv1a(bytes);
+            let now = shared.clock.now_micros();
+            let mut cache = shared.cache();
+            cache.insert(fingerprint, Arc::clone(&profile), None, now);
+            shared.sync_cache_metrics(&cache);
+            Ok(profile)
+        }
+    }
+}
+
+/// Worker-side body of `Synthesize`: stream chunks under client acks.
+fn synth_job(
+    shared: &Shared,
+    writer: &SharedWriter,
+    seed: u64,
+    chunk_len: u32,
+    source: &ProfileSource,
+    ack_rx: &mpsc::Receiver<()>,
+) -> Result<(), ServeError> {
+    let metrics = &shared.metrics;
+    metrics.synth_requests_total.fetch_add(1, Ordering::SeqCst);
+    let started = shared.clock.now_micros();
+    if chunk_len == 0 {
+        return send_error(
+            shared,
+            writer,
+            ErrorCode::Malformed,
+            "chunk_len must be positive".into(),
+        );
+    }
+    let profile = match resolve_profile(shared, source) {
+        Ok(profile) => profile,
+        Err((code, msg)) => return send_error(shared, writer, code, msg),
+    };
+    if let Err(e) = profile.validate() {
+        return send_error(shared, writer, ErrorCode::Malformed, e.to_string());
+    }
+    let mut synth = profile.synthesizer(seed);
+    send_response(
+        writer,
+        &Response::SynthStart {
+            total_requests: synth.remaining(),
+        },
+    )?;
+    let ack_timeout = Duration::from_micros(shared.config.deadline_micros);
+    let mut encoder = RecordEncoder::new();
+    let mut fingerprinter = Fingerprinter::new();
+    let mut first = true;
+    loop {
+        if !first {
+            // Client-driven backpressure: the next chunk is not even
+            // encoded until the previous one is acknowledged, so the
+            // end-of-stream totals always reflect what was actually sent.
+            match ack_rx.recv_timeout(ack_timeout) {
+                Ok(()) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    return send_error(
+                        shared,
+                        writer,
+                        ErrorCode::DeadlineExceeded,
+                        format!("no ack within {} µs", shared.config.deadline_micros),
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Cancelled (or client gone): end the stream cleanly
+                    // with what was actually sent.
+                    break;
+                }
+            }
+        }
+        let mut records = Vec::new();
+        let mut count: u32 = 0;
+        while count < chunk_len {
+            let Some(request) = synth.next_request() else {
+                break;
+            };
+            if let Err(e) = encoder.encode(&mut records, &request) {
+                return send_error(shared, writer, ErrorCode::Internal, e.to_string());
+            }
+            fingerprinter.push(&request);
+            count += 1;
+        }
+        if count == 0 {
+            break;
+        }
+        first = false;
+        metrics
+            .streamed_bytes_total
+            .fetch_add(records.len() as u64, Ordering::SeqCst);
+        metrics
+            .streamed_requests_total
+            .fetch_add(u64::from(count), Ordering::SeqCst);
+        send_response(writer, &Response::SynthChunk { count, records })?;
+    }
+    metrics
+        .synth_latency_micros
+        .observe(shared.clock.now_micros().saturating_sub(started));
+    send_response(
+        writer,
+        &Response::SynthEnd {
+            total_requests: fingerprinter.count(),
+            fingerprint: fingerprinter.digest(),
+        },
+    )
+}
+
+/// Worker-side body of `Stats`.
+fn stats_job(
+    shared: &Shared,
+    writer: &SharedWriter,
+    source: &ProfileSource,
+) -> Result<(), ServeError> {
+    shared
+        .metrics
+        .stats_requests_total
+        .fetch_add(1, Ordering::SeqCst);
+    let profile = match resolve_profile(shared, source) {
+        Ok(profile) => profile,
+        Err((code, msg)) => return send_error(shared, writer, code, msg),
+    };
+    let summary = profile.summary();
+    let text = format!(
+        "{summary}\nfingerprint {:#018x}\nmetadata_bytes {}\n",
+        profile.content_fingerprint(),
+        profile.metadata_size(),
+    );
+    send_response(writer, &Response::StatsText { text })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_config_matches_cli_phase_config_shape() {
+        let config = fit_config(500_000).unwrap();
+        assert_eq!(
+            config.layers(),
+            &[
+                LayerSpec::TemporalCycleCount(500_000),
+                LayerSpec::SpatialDynamic
+            ]
+        );
+        assert!(fit_config(0).is_err(), "zero cycles must be rejected");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServerConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.max_frame_len >= 1 << 20);
+        assert!(config.deadline_micros > 0);
+    }
+}

@@ -1,0 +1,512 @@
+//! Loopback integration tests: a real server on an ephemeral port, real
+//! clients, and byte-level comparison against the offline pipeline.
+
+use std::sync::Arc;
+
+use mocktails_core::{HierarchyConfig, LayerSpec, Profile};
+use mocktails_pool::Parallelism;
+use mocktails_serve::{
+    Client, ErrorCode, ManualClock, ProfileSource, ServeError, Server, ServerConfig,
+};
+use mocktails_trace::codec::write_trace;
+use mocktails_trace::{DecodeLimits, DecodeOptions, Trace};
+use mocktails_workloads::spec::generate_n;
+
+const CYCLES: u64 = 50_000;
+const SEED: u64 = 42;
+
+fn small_trace() -> Trace {
+    generate_n("gobmk", 7, 2_000).expect("known benchmark name")
+}
+
+fn trace_bytes(trace: &Trace) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, trace).expect("encoding to memory");
+    bytes
+}
+
+fn offline_config() -> HierarchyConfig {
+    HierarchyConfig::builder()
+        .layer(LayerSpec::TemporalCycleCount(CYCLES))
+        .layer(LayerSpec::SpatialDynamic)
+        .build()
+        .expect("valid config")
+}
+
+/// Fits and synthesizes entirely offline — the reference the server must
+/// match byte-for-byte.
+fn offline_round_trip(trace: &Trace) -> (Vec<u8>, Vec<u8>) {
+    let profile = Profile::fit_with(trace, &offline_config(), Parallelism::sequential());
+    let mut profile_bytes = Vec::new();
+    profile.write(&mut profile_bytes).expect("profile encode");
+    let synth = profile.synthesize(SEED);
+    (profile_bytes, trace_bytes(&synth))
+}
+
+/// Starts a server on an ephemeral loopback port; returns its address and
+/// the thread running it (joined after shutdown).
+fn start_server(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config, Arc::new(ManualClock::new()))
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shut_down(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown handshake");
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn server_output_is_byte_identical_to_offline_at_any_worker_count() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let (offline_profile, offline_synth) = offline_round_trip(&trace);
+
+    for workers in [1usize, 2, 8] {
+        let (addr, handle) = start_server(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(&addr).expect("connect");
+
+        let fit = client.fit(CYCLES, upload.clone()).expect("fit");
+        assert!(!fit.cache_hit, "first fit must miss ({workers} workers)");
+        assert_eq!(
+            fit.profile_bytes, offline_profile,
+            "server profile differs from offline at {workers} workers"
+        );
+
+        // By fingerprint (cache) and by inline upload: same bytes.
+        for source in [
+            ProfileSource::Fingerprint(fit.fingerprint),
+            ProfileSource::Inline(fit.profile_bytes.clone()),
+        ] {
+            let synth = client.synthesize(SEED, 257, source).expect("synthesize");
+            assert_eq!(
+                synth.trace_bytes, offline_synth,
+                "streamed trace differs from offline at {workers} workers"
+            );
+        }
+
+        // A repeat fit of the same bytes is answered from the cache.
+        let refit = client.fit(CYCLES, upload.clone()).expect("refit");
+        assert!(refit.cache_hit, "repeat fit must hit ({workers} workers)");
+        assert_eq!(refit.fingerprint, fit.fingerprint);
+        assert_eq!(refit.profile_bytes, offline_profile);
+
+        shut_down(&addr, handle);
+    }
+}
+
+#[test]
+fn chunk_length_does_not_change_the_bytes() {
+    let trace = small_trace();
+    let (_, offline_synth) = offline_round_trip(&trace);
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fit = client.fit(CYCLES, trace_bytes(&trace)).expect("fit");
+    for chunk_len in [1u32, 64, 1 << 20] {
+        let synth = client
+            .synthesize(SEED, chunk_len, ProfileSource::Fingerprint(fit.fingerprint))
+            .expect("synthesize");
+        assert_eq!(synth.trace_bytes, offline_synth, "chunk_len {chunk_len}");
+    }
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn metrics_text_is_deterministic_under_frozen_clock() {
+    // Two servers, frozen clocks, identical request sequences → identical
+    // metric renderings, byte for byte.
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let render = |addr: &str| {
+        let mut client = Client::connect(addr).expect("connect");
+        let fit = client.fit(CYCLES, upload.clone()).expect("fit");
+        let _ = client.fit(CYCLES, upload.clone()).expect("refit");
+        let _ = client
+            .synthesize(SEED, 512, ProfileSource::Fingerprint(fit.fingerprint))
+            .expect("synthesize");
+        client.metricsz().expect("metricsz")
+    };
+    let (addr_a, handle_a) = start_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let (addr_b, handle_b) = start_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let text_a = render(&addr_a);
+    let text_b = render(&addr_b);
+    assert_eq!(text_a, text_b, "metric renderings diverged");
+    // Two hits: the repeat fit (by fit key) and the synthesize (by
+    // fingerprint); one miss: the first fit.
+    assert!(text_a.contains("cache_hits_total 2"), "{text_a}");
+    assert!(text_a.contains("cache_misses_total 1"), "{text_a}");
+    assert!(text_a.contains("uptime_micros 0"), "{text_a}");
+    shut_down(&addr_a, handle_a);
+    shut_down(&addr_b, handle_b);
+}
+
+#[test]
+fn stats_and_not_found_round_trip() {
+    let trace = small_trace();
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fit = client.fit(CYCLES, trace_bytes(&trace)).expect("fit");
+
+    let text = client
+        .stats(ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("stats");
+    assert!(text.contains("fingerprint"), "{text}");
+
+    let err = client
+        .stats(ProfileSource::Fingerprint(fit.fingerprint ^ 1))
+        .expect_err("unknown fingerprint");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::NotFound,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // The typed error left the connection usable.
+    assert!(client.metricsz().is_ok());
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn malformed_uploads_get_typed_errors_not_dropped_connections() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let err = client
+        .fit(CYCLES, b"not a trace".to_vec())
+        .expect_err("garbage");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let err = client.fit(0, Vec::new()).expect_err("zero cycles");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let err = client
+        .synthesize(SEED, 0, ProfileSource::Fingerprint(1))
+        .expect_err("zero chunk_len");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // Still alive after three typed failures.
+    assert!(client.metricsz().is_ok());
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn oversized_frame_is_limit_exceeded() {
+    let (addr, handle) = start_server(ServerConfig {
+        max_frame_len: 1 << 10,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .fit(CYCLES, vec![0u8; 1 << 12])
+        .expect_err("frame above the server limit");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::LimitExceeded,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn mid_stream_client_survives_shutdown_with_clean_end_of_stream() {
+    let trace = small_trace();
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let fit = client.fit(CYCLES, trace_bytes(&trace)).expect("fit");
+
+    // Open a stream with tiny chunks and read just the first chunk.
+    let mut stream = client
+        .begin_synthesize(SEED, 16, ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("begin stream");
+    let first = stream.next_chunk().expect("first chunk");
+    assert!(first.is_some(), "stream should have at least one chunk");
+
+    // Another client asks the server to shut down while the stream is
+    // mid-flight.
+    let mut other = Client::connect(&addr).expect("second client");
+    other.shutdown().expect("shutdown accepted");
+
+    // The draining server must still complete the stream: ack the chunk
+    // in hand, then keep reading until the clean end-of-stream frame —
+    // never a reset mid-read.
+    stream.ack().expect("ack first chunk");
+    loop {
+        match stream.next_chunk().expect("mid-shutdown chunk") {
+            Some(_) => stream.ack().expect("ack during drain"),
+            None => break,
+        }
+    }
+    let (total, fingerprint) = stream.end().expect("clean end of stream");
+    assert!(total > 0);
+    assert_ne!(fingerprint, 0);
+
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn over_cap_requests_get_deterministic_busy() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    // One worker and zero waiting room: once a job is provably running,
+    // any further submission must be refused with Busy.
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 1,
+        queue_cap: 0,
+        ..ServerConfig::default()
+    });
+    let mut holder = Client::connect(&addr).expect("holder connect");
+    let fit = holder.fit(CYCLES, upload).expect("fit");
+
+    // Pin the only worker: open a stream, read the first chunk, withhold
+    // the ack. The worker is now blocked waiting for it. (The preceding
+    // fit may still be retiring from the pool for an instant after its
+    // response arrived, so a Busy here is retryable, like any Busy.)
+    let mut stream = loop {
+        match holder.begin_synthesize(SEED, 1, ProfileSource::Fingerprint(fit.fingerprint)) {
+            Ok(stream) => break stream,
+            Err(ServeError::Remote {
+                code: ErrorCode::Busy,
+                ..
+            }) => std::thread::yield_now(),
+            Err(e) => panic!("begin stream: {e}"),
+        }
+    };
+    assert!(stream.next_chunk().expect("first chunk").is_some());
+
+    let mut contender = Client::connect(&addr).expect("contender connect");
+    let err = contender
+        .stats(ProfileSource::Fingerprint(fit.fingerprint))
+        .expect_err("worker pinned, no waiting room");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::Busy,
+                ..
+            }
+        ),
+        "{err}"
+    );
+
+    // Release the worker (ack the withheld chunk) and drain the stream;
+    // the contender can then be served on the freed worker.
+    stream.ack().expect("release ack");
+    loop {
+        match stream.next_chunk().expect("chunk") {
+            Some(_) => stream.ack().expect("ack"),
+            None => break,
+        }
+    }
+    drop(stream);
+    let text = loop {
+        match contender.stats(ProfileSource::Fingerprint(fit.fingerprint)) {
+            Ok(text) => break text,
+            Err(ServeError::Remote {
+                code: ErrorCode::Busy,
+                ..
+            }) => std::thread::yield_now(),
+            Err(e) => panic!("served after release: {e}"),
+        }
+    };
+    assert!(text.contains("fingerprint"));
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn thirty_two_concurrent_clients_complete_without_deadlock() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 4,
+        queue_cap: 8,
+        ..ServerConfig::default()
+    });
+
+    // Prime the cache so repeats can hit.
+    let expected_fp = {
+        let mut client = Client::connect(&addr).expect("prime connect");
+        client
+            .fit(CYCLES, upload.clone())
+            .expect("prime fit")
+            .fingerprint
+    };
+
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let addr = addr.clone();
+            let upload = upload.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                // Retry on Busy: the queue cap guarantees some of 32
+                // simultaneous requests are refused; a typed refusal is
+                // retryable by design.
+                let mut busy_seen = 0u32;
+                let fit = loop {
+                    match client.fit(CYCLES, upload.clone()) {
+                        Ok(fit) => break fit,
+                        Err(ServeError::Remote {
+                            code: ErrorCode::Busy,
+                            ..
+                        }) => {
+                            busy_seen += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("client {i}: {e}"),
+                    }
+                };
+                assert_eq!(fit.fingerprint, expected_fp, "client {i}");
+                (fit.cache_hit, busy_seen)
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<(bool, u32)> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    // Every repeat of the primed fit must be a cache hit.
+    assert!(
+        outcomes.iter().all(|&(hit, _)| hit),
+        "all post-prime fits hit the cache: {outcomes:?}"
+    );
+
+    // The hit-rate metric reflects the repeats.
+    let mut client = Client::connect(&addr).expect("metrics connect");
+    let text = client.metricsz().expect("metricsz");
+    let hits: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_hits_total "))
+        .expect("cache_hits_total present")
+        .parse()
+        .expect("numeric");
+    let misses: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_misses_total "))
+        .expect("cache_misses_total present")
+        .parse()
+        .expect("numeric");
+    assert_eq!(hits, 32, "{text}");
+    assert_eq!(misses, 1, "{text}");
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn version_mismatch_is_refused_with_typed_error() {
+    use mocktails_serve::frame::{read_frame, write_frame};
+    use mocktails_serve::{Request, Response};
+    use std::io::Write;
+
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let payload = Request::Hello { version: 9999 }.encode();
+    write_frame(&mut stream, &payload).expect("send");
+    stream.flush().expect("flush");
+    let reply = read_frame(&mut stream, 1 << 20)
+        .expect("read")
+        .expect("a frame, not a drop");
+    match Response::decode(&reply).expect("decodable") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    drop(stream);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn cancel_mid_stream_keeps_the_connection_usable() {
+    let trace = small_trace();
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fit = client.fit(CYCLES, trace_bytes(&trace)).expect("fit");
+
+    let mut stream = client
+        .begin_synthesize(SEED, 8, ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("begin");
+    assert!(stream.next_chunk().expect("first chunk").is_some());
+    let (partial_total, _) = stream.cancel().expect("cancel drains cleanly");
+    assert!(partial_total > 0, "cancelled stream reports what was sent");
+
+    // Follow-up request on the same connection works.
+    let synth = client
+        .synthesize(SEED, 512, ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("full synthesis after cancel");
+    assert!(synth.total_requests >= partial_total);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn decode_limits_apply_to_uploads() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let decode = DecodeOptions::new().with_limits(DecodeLimits {
+        max_requests: 10,
+        ..DecodeLimits::default()
+    });
+    let (addr, handle) = start_server(ServerConfig {
+        decode,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .fit(CYCLES, upload)
+        .expect_err("over the request limit");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Remote {
+                code: ErrorCode::LimitExceeded,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    shut_down(&addr, handle);
+}

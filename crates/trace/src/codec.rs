@@ -158,6 +158,126 @@ impl Write for ByteCounter {
     }
 }
 
+/// Incremental, header-free encoder for the per-request record layout of
+/// [`write_trace`]: time delta varint, zigzag address delta, op bit folded
+/// into the size varint.
+///
+/// The encoder owns the delta state (previous timestamp and address), so a
+/// request stream can be encoded across several output buffers — the
+/// serving layer's chunked synthesis streams do exactly that — and the
+/// concatenation of those buffers is byte-identical to the record section
+/// a single [`write_trace`] call would have produced.
+///
+/// ```
+/// use mocktails_trace::codec::{write_trace, RecordEncoder};
+/// use mocktails_trace::{Request, Trace};
+///
+/// let requests = vec![Request::read(0, 0x1000, 64), Request::read(8, 0x1040, 64)];
+/// let mut whole = Vec::new();
+/// write_trace(&mut whole, &Trace::from_requests(requests.clone()))?;
+///
+/// // Encode the same records one at a time into separate chunks.
+/// let mut encoder = RecordEncoder::new();
+/// let mut chunks = Vec::new();
+/// for r in &requests {
+///     let mut chunk = Vec::new();
+///     encoder.encode(&mut chunk, r)?;
+///     chunks.extend_from_slice(&chunk);
+/// }
+/// // Records start after magic (4) + version (1) + count varint (1).
+/// assert_eq!(&whole[6..], &chunks[..]);
+/// # Ok::<(), mocktails_trace::TraceError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct RecordEncoder {
+    last_time: u64,
+    last_addr: i64,
+}
+
+impl RecordEncoder {
+    /// An encoder positioned before the first record (deltas are taken
+    /// against timestamp 0 and address 0, matching [`write_trace`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one request's record to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] if `request` precedes the previous
+    /// record's timestamp (records must be encoded in stream order), or an
+    /// I/O error from the writer.
+    pub fn encode<W: Write>(&mut self, w: &mut W, request: &Request) -> Result<(), TraceError> {
+        let dt = request
+            .timestamp
+            .checked_sub(self.last_time)
+            .ok_or_else(|| {
+                TraceError::Corrupt("records must be encoded in timestamp order".into())
+            })?;
+        write_u64(w, dt)?;
+        write_i64(w, request.address as i64 - self.last_addr)?;
+        write_u64(
+            w,
+            (u64::from(request.size) << 1) | u64::from(request.op.as_bit()),
+        )?;
+        self.last_time = request.timestamp;
+        self.last_addr = request.address as i64;
+        Ok(())
+    }
+}
+
+/// Incremental decoder for records produced by [`RecordEncoder`] (the
+/// record section of [`write_trace`]'s layout, after the header).
+///
+/// Mirrors [`RecordEncoder`]: the decoder owns the delta state, so records
+/// arriving in separate buffers — e.g. the serving layer's synthesis
+/// chunks — decode to exactly the requests a whole-trace decode would
+/// yield.
+#[derive(Debug, Default, Clone)]
+pub struct RecordDecoder {
+    last_time: u64,
+    last_addr: i64,
+}
+
+impl RecordDecoder {
+    /// A decoder positioned before the first record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes one record from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] for malformed fields (varint or
+    /// timestamp overflow, oversized or zero request size), or an I/O
+    /// error — including `UnexpectedEof` on a truncated record — from the
+    /// reader.
+    pub fn decode<R: Read>(&mut self, r: &mut R) -> Result<Request, TraceError> {
+        let dt = read_u64(r)?;
+        let da = read_i64(r)?;
+        let size_op = read_u64(r)?;
+        let size = u32::try_from(size_op >> 1)
+            .map_err(|_| TraceError::Corrupt("request size overflows u32".into()))?;
+        if size == 0 {
+            return Err(TraceError::Corrupt("zero-size request".into()));
+        }
+        let op = Op::from_bit((size_op & 1) as u8);
+        self.last_time = self
+            .last_time
+            .checked_add(dt)
+            .ok_or_else(|| TraceError::Corrupt("timestamp overflows u64".into()))?;
+        self.last_addr = self.last_addr.wrapping_add(da);
+        Ok(Request::new(
+            self.last_time,
+            self.last_addr as u64,
+            op,
+            size,
+        ))
+    }
+}
+
 /// Encodes a trace to `w`.
 ///
 /// Layout: magic, version, request count, then four delta/varint-encoded
@@ -171,14 +291,9 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError>
     w.write_all(&TRACE_MAGIC)?;
     w.write_all(&[CODEC_VERSION])?;
     write_u64(w, trace.len() as u64)?;
-    let mut last_time = 0u64;
-    let mut last_addr = 0i64;
+    let mut encoder = RecordEncoder::new();
     for r in trace.iter() {
-        write_u64(w, r.timestamp - last_time)?;
-        write_i64(w, r.address as i64 - last_addr)?;
-        write_u64(w, (u64::from(r.size) << 1) | u64::from(r.op.as_bit()))?;
-        last_time = r.timestamp;
-        last_addr = r.address as i64;
+        encoder.encode(w, r)?;
     }
     Ok(())
 }
@@ -224,35 +339,23 @@ pub fn read_trace_with<R: Read>(r: &mut R, options: &DecodeOptions) -> Result<Tr
     }
     let count = limits.check("requests", read_u64(r)?, limits.max_requests)?;
     let mut requests = Vec::with_capacity(count.min(DECODE_CHUNK));
-    let mut last_time = 0u64;
-    let mut last_addr = 0i64;
+    let mut decoder = RecordDecoder::new();
     for _ in 0..count {
-        let dt = read_u64(r)?;
-        let da = read_i64(r)?;
-        let size_op = read_u64(r)?;
-        let size = u32::try_from(size_op >> 1)
-            .map_err(|_| TraceError::Corrupt("request size overflows u32".into()))?;
-        if size == 0 {
-            return Err(TraceError::Corrupt("zero-size request".into()));
-        }
-        let op = Op::from_bit((size_op & 1) as u8);
-        last_time = last_time
-            .checked_add(dt)
-            .ok_or_else(|| TraceError::Corrupt("timestamp overflows u64".into()))?;
-        last_addr = last_addr.wrapping_add(da);
-        requests.push(Request::new(last_time, last_addr as u64, op, size));
+        requests.push(decoder.decode(r)?);
     }
     Ok(Trace::from_sorted_requests(requests))
 }
 
 /// Decodes a trace with explicit resource limits.
 ///
+/// Scheduled for removal in 0.4.0.
+///
 /// # Errors
 ///
 /// See [`read_trace`].
 #[deprecated(
     since = "0.2.0",
-    note = "use `Trace::read` (or `read_trace_with`) with `DecodeOptions`"
+    note = "removed in 0.4.0; use `Trace::read` (or `read_trace_with`) with `DecodeOptions`"
 )]
 pub fn read_trace_with_limits<R: Read>(
     r: &mut R,
@@ -576,6 +679,83 @@ mod tests {
         let text = "timestamp,address,op,size\n\n5,0x40,write,16\n\n";
         let trace = read_csv(&mut text.as_bytes()).unwrap();
         assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn record_encoder_chunks_concatenate_to_whole_trace_bytes() {
+        let trace = sample_trace();
+        let mut whole = Vec::new();
+        write_trace(&mut whole, &trace).unwrap();
+        // Encode each record into its own buffer, as a chunked stream would.
+        let mut encoder = RecordEncoder::new();
+        let mut concat = Vec::new();
+        for r in trace.iter() {
+            let mut chunk = Vec::new();
+            encoder.encode(&mut chunk, r).unwrap();
+            concat.extend_from_slice(&chunk);
+        }
+        let mut header = Vec::new();
+        header.extend_from_slice(&TRACE_MAGIC);
+        header.push(CODEC_VERSION);
+        write_u64(&mut header, trace.len() as u64).unwrap();
+        header.extend_from_slice(&concat);
+        assert_eq!(header, whole);
+    }
+
+    #[test]
+    fn record_decoder_round_trips_across_chunk_boundaries() {
+        let trace = sample_trace();
+        let mut encoder = RecordEncoder::new();
+        let mut chunks: Vec<Vec<u8>> = Vec::new();
+        for r in trace.iter() {
+            let mut chunk = Vec::new();
+            encoder.encode(&mut chunk, r).unwrap();
+            chunks.push(chunk);
+        }
+        // Decode each chunk independently; delta state must carry over.
+        let mut decoder = RecordDecoder::new();
+        let mut back = Vec::new();
+        for chunk in &chunks {
+            let mut slice = chunk.as_slice();
+            while !slice.is_empty() {
+                back.push(decoder.decode(&mut slice).unwrap());
+            }
+        }
+        assert_eq!(back, trace.requests());
+    }
+
+    #[test]
+    fn record_encoder_rejects_timestamp_regression() {
+        let mut encoder = RecordEncoder::new();
+        let mut buf = Vec::new();
+        encoder
+            .encode(&mut buf, &Request::read(100, 0x10, 4))
+            .unwrap();
+        assert!(matches!(
+            encoder.encode(&mut buf, &Request::read(50, 0x20, 4)),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn record_decoder_rejects_zero_size_and_overflow() {
+        let mut bad_size = Vec::new();
+        write_u64(&mut bad_size, 0).unwrap(); // dt
+        write_i64(&mut bad_size, 0).unwrap(); // da
+        write_u64(&mut bad_size, 0).unwrap(); // size 0, read op
+        assert!(matches!(
+            RecordDecoder::new().decode(&mut bad_size.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+
+        let mut huge_size = Vec::new();
+        write_u64(&mut huge_size, 0).unwrap();
+        write_i64(&mut huge_size, 0).unwrap();
+        write_u64(&mut huge_size, (u64::from(u32::MAX) + 1) << 1).unwrap();
+        assert!(matches!(
+            RecordDecoder::new().decode(&mut huge_size.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -7,16 +7,176 @@
 //! FNV-1a, so a single transposed request, flipped op bit or shifted
 //! timestamp changes the digest.
 //!
+//! The serving layer reuses the same primitives in incremental form:
+//! [`Fingerprinter`] digests a request stream one record at a time (so a
+//! server can fingerprint what it streams without buffering the trace),
+//! [`fnv1a`] hashes raw encoded bytes for cache keys, and [`FnvWriter`]
+//! hashes an encoding as it is written.
+//!
 //! The algorithm (including the field mix order) is pinned by the golden
 //! regression tests in `crates/workloads/tests/golden.rs`; changing it
 //! invalidates every recorded fingerprint in the repository.
 
-use crate::{Op, Trace};
+use std::io::Write;
+
+use crate::{Op, Request, Trace};
 
 /// FNV-1a 64-bit offset basis.
 const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a 64-bit prime.
 const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over an arbitrary byte string.
+///
+/// Used by the serving layer to derive cache keys from encoded trace and
+/// profile bytes: equal byte strings — and therefore, by the determinism
+/// invariant, equal inputs — always map to the same key.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Incremental form of [`fingerprint`]: push requests one at a time and
+/// read the digest at any point.
+///
+/// Pushing the requests of a trace in order yields exactly
+/// `fingerprint(&trace)`, so a streaming producer and a whole-trace
+/// consumer agree on the digest without either materializing the other's
+/// view.
+///
+/// ```
+/// use mocktails_trace::{fingerprint, Fingerprinter, Request, Trace};
+///
+/// let requests = vec![Request::read(0, 0x1000, 64), Request::write(4, 0x2000, 32)];
+/// let mut f = Fingerprinter::new();
+/// for r in &requests {
+///     f.push(r);
+/// }
+/// assert_eq!(f.digest(), fingerprint(&Trace::from_requests(requests)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// A fingerprinter over the empty stream (digest = FNV offset basis).
+    pub fn new() -> Self {
+        Self {
+            hash: OFFSET,
+            count: 0,
+        }
+    }
+
+    /// Mixes one request into the digest, in the pinned field order
+    /// (timestamp, address, size, op).
+    pub fn push(&mut self, request: &Request) {
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                self.hash ^= u64::from(byte);
+                self.hash = self.hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(request.timestamp);
+        mix(request.address);
+        mix(u64::from(request.size));
+        mix(match request.op {
+            Op::Read => 0,
+            Op::Write => 1,
+        });
+        self.count += 1;
+    }
+
+    /// Digest of everything pushed so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of requests pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// An `io::Write` adapter that FNV-1a-hashes every byte it forwards (or
+/// discards, when constructed over [`sink`](std::io::sink)-like usage via
+/// [`FnvWriter::hashing`]), so an encoding can be fingerprinted as it is
+/// produced without a second pass over the bytes.
+///
+/// ```
+/// use std::io::Write;
+/// use mocktails_trace::{fnv1a, FnvWriter};
+///
+/// let mut w = FnvWriter::hashing();
+/// w.write_all(b"mocktails").unwrap();
+/// assert_eq!(w.digest(), fnv1a(b"mocktails"));
+/// ```
+#[derive(Debug)]
+pub struct FnvWriter<W> {
+    inner: W,
+    hash: u64,
+    bytes: u64,
+}
+
+impl FnvWriter<std::io::Sink> {
+    /// A hashing writer that discards the bytes, keeping only the digest.
+    pub fn hashing() -> Self {
+        Self::new(std::io::sink())
+    }
+}
+
+impl<W: Write> FnvWriter<W> {
+    /// Wraps `inner`, hashing every byte written through it.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: OFFSET,
+            bytes: 0,
+        }
+    }
+
+    /// FNV-1a digest of every byte written so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FnvWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(PRIME);
+        }
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// FNV-1a over every field of every request, in trace order.
 ///
@@ -34,23 +194,11 @@ const PRIME: u64 = 0x0000_0100_0000_01b3;
 /// assert_ne!(fingerprint(&a), fingerprint(&b));
 /// ```
 pub fn fingerprint(trace: &Trace) -> u64 {
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
+    let mut f = Fingerprinter::new();
     for r in trace.iter() {
-        mix(r.timestamp);
-        mix(r.address);
-        mix(u64::from(r.size));
-        mix(match r.op {
-            Op::Read => 0,
-            Op::Write => 1,
-        });
+        f.push(r);
     }
-    h
+    f.digest()
 }
 
 #[cfg(test)]
@@ -88,5 +236,37 @@ mod tests {
         for variant in &variants {
             assert_ne!(fingerprint(&base), fingerprint(variant));
         }
+    }
+
+    #[test]
+    fn incremental_fingerprinter_matches_whole_trace() {
+        let requests = vec![
+            Request::read(0, 0x8100_2eb8, 128),
+            Request::read(8, 0x8100_2ec0, 64),
+            Request::write(16, 0x8100_2f00, 64),
+        ];
+        let mut f = Fingerprinter::new();
+        for r in &requests {
+            f.push(r);
+        }
+        assert_eq!(f.count(), 3);
+        assert_eq!(f.digest(), fingerprint(&Trace::from_requests(requests)));
+    }
+
+    #[test]
+    fn fnv1a_empty_is_offset_basis_and_input_sensitive() {
+        assert_eq!(fnv1a(&[]), OFFSET);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn fnv_writer_matches_fnv1a_over_split_writes() {
+        let mut w = FnvWriter::new(Vec::new());
+        w.write_all(b"mock").unwrap();
+        w.write_all(b"tails").unwrap();
+        assert_eq!(w.digest(), fnv1a(b"mocktails"));
+        assert_eq!(w.bytes(), 9);
+        assert_eq!(w.into_inner(), b"mocktails");
     }
 }

@@ -24,7 +24,7 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 
-use crate::codec::{read_i64, read_u64, write_i64, write_u64, CODEC_VERSION, TRACE_MAGIC};
+use crate::codec::{read_i64, read_u64, write_u64, RecordEncoder, CODEC_VERSION, TRACE_MAGIC};
 use crate::{Op, Request, TraceError};
 
 /// Placeholder request count written while streaming; [`StreamWriter`]
@@ -39,8 +39,8 @@ const COUNT_UNKNOWN: u64 = u64::MAX;
 #[derive(Debug)]
 pub struct StreamWriter<W: Write> {
     sink: W,
+    encoder: RecordEncoder,
     last_time: u64,
-    last_addr: i64,
     written: u64,
     finished: bool,
 }
@@ -59,8 +59,8 @@ impl<W: Write> StreamWriter<W> {
         write_u64(&mut sink, COUNT_UNKNOWN)?;
         Ok(Self {
             sink,
+            encoder: RecordEncoder::new(),
             last_time: 0,
-            last_addr: 0,
             written: 0,
             finished: false,
         })
@@ -82,14 +82,8 @@ impl<W: Write> StreamWriter<W> {
             request.timestamp >= self.last_time,
             "requests must be written in timestamp order"
         );
-        write_u64(&mut self.sink, request.timestamp - self.last_time)?;
-        write_i64(&mut self.sink, request.address as i64 - self.last_addr)?;
-        write_u64(
-            &mut self.sink,
-            (u64::from(request.size) << 1) | u64::from(request.op.as_bit()),
-        )?;
+        self.encoder.encode(&mut self.sink, request)?;
         self.last_time = request.timestamp;
-        self.last_addr = request.address as i64;
         self.written += 1;
         Ok(())
     }

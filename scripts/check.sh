@@ -19,6 +19,12 @@ echo "==> cargo test (offline, parallel: MOCKTAILS_THREADS=4)"
 # so any scheduling-order dependence fails the gate here.
 MOCKTAILS_THREADS=4 cargo test -q --offline --workspace
 
+echo "==> serve loopback smoke (server vs offline, byte-compared)"
+# A live fit + synthesize through `mocktails serve` must produce the
+# same bytes as the offline CLI, at one worker thread and at four.
+MOCKTAILS_THREADS=1 ./scripts/serve-smoke.sh
+MOCKTAILS_THREADS=4 ./scripts/serve-smoke.sh
+
 echo "==> fuzz smoke (seeded mutation campaigns)"
 cargo test -q --offline -p mocktails-trace --test fuzz_trace
 cargo test -q --offline -p mocktails-core --test fuzz_profile

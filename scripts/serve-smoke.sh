@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Loopback serving smoke: a live `mocktails serve` round-trip must be
+# byte-identical to the offline pipeline. Fits and synthesizes one
+# catalog workload twice — once through the CLI's offline commands, once
+# through a server on an ephemeral loopback port — and byte-compares the
+# artifacts. Honours MOCKTAILS_THREADS like every other gate, so running
+# it at 1 and 4 threads proves the serving layer preserves the
+# workspace's determinism invariant.
+# Run from the repository root:  ./scripts/serve-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/mocktails
+if [[ ! -x "$BIN" ]]; then
+  cargo build -q --release --offline -p mocktails-cli
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+WORKLOAD=HEVC1
+CYCLES=200000
+SEED=7
+
+echo "--- offline reference pipeline ($WORKLOAD)"
+"$BIN" trace "$WORKLOAD" -o "$WORK/ref.mtrace"
+"$BIN" profile "$WORK/ref.mtrace" -o "$WORK/ref.mprofile" --cycles "$CYCLES"
+"$BIN" synth "$WORK/ref.mprofile" -o "$WORK/ref-synth.mtrace" --seed "$SEED"
+
+echo "--- live server on an ephemeral loopback port"
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --port-file "$WORK/port" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$WORK/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$WORK/port" ]] || { echo "server never published its port" >&2; exit 1; }
+ADDR="$(cat "$WORK/port")"
+
+"$BIN" client fit "$WORK/ref.mtrace" --addr "$ADDR" \
+  -o "$WORK/srv.mprofile" --cycles "$CYCLES"
+"$BIN" client synth "$WORK/srv.mprofile" --addr "$ADDR" \
+  -o "$WORK/srv-synth.mtrace" --seed "$SEED"
+"$BIN" client metricsz --addr "$ADDR" >"$WORK/metrics.txt"
+"$BIN" client shutdown --addr "$ADDR"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "--- byte comparison (server vs offline)"
+cmp "$WORK/ref.mprofile" "$WORK/srv.mprofile"
+cmp "$WORK/ref-synth.mtrace" "$WORK/srv-synth.mtrace"
+grep -q '^requests_total ' "$WORK/metrics.txt" || {
+  echo "metricsz output missing requests_total" >&2
+  exit 1
+}
+echo "serve loopback smoke passed: profile and synthesized trace byte-identical"

@@ -1,0 +1,112 @@
+//! The pinned perf baseline: measures the hot paths the ROADMAP's speed
+//! campaign will optimize and writes `BENCH_1.json` at the repository
+//! root, so every future optimization PR has a number to move.
+//!
+//! Three figures are pinned:
+//!
+//! * synthesis throughput (records/sec) — the paper's core loop;
+//! * trace codec throughput (encode and decode MB/s);
+//! * lint wall-clock over the workspace, as both the signature-only v2
+//!   rule set (`--rules` L001–L011) and the full v3 run with the
+//!   body-level lock rules — asserting v3 stays under 2× v2, the bound
+//!   the static-analysis design budgeted for CFG construction and the
+//!   lock pass.
+//!
+//! Hand-rolled harness like the other benches (no external bench crate,
+//! so the workspace builds hermetically); medians over a fixed iteration
+//! count keep single-run noise out of the pinned file.
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use mocktails_core::{HierarchyConfig, Profile};
+use mocktails_lint::{run_with, RunOptions};
+use mocktails_trace::codec::{read_trace, write_trace};
+use mocktails_workloads::catalog;
+
+const TIMED_ITERS: usize = 5;
+
+/// Median wall-clock seconds of `f` over [`TIMED_ITERS`] runs, after one
+/// warm-up run.
+fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..TIMED_ITERS)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let trace = catalog::by_name("FBC-Linear1")
+        .expect("catalog trace")
+        .generate()
+        .truncate_to(20_000);
+    let config = HierarchyConfig::two_level_ts(500_000);
+    let profile = Profile::fit(&trace, &config);
+
+    // Synthesis records/sec.
+    let records = profile.synthesize(1).len();
+    let synth_secs = median_secs(|| profile.synthesize(1));
+    let records_per_sec = records as f64 / synth_secs;
+
+    // Codec MB/s over the generated trace's encoded form.
+    let mut encoded = Vec::new();
+    write_trace(&mut encoded, &trace).expect("encoding to memory");
+    let mb = encoded.len() as f64 / (1024.0 * 1024.0);
+    let encode_secs = median_secs(|| {
+        let mut buf = Vec::with_capacity(encoded.len());
+        write_trace(&mut buf, &trace).expect("encoding to memory");
+        buf
+    });
+    let decode_secs = median_secs(|| read_trace(&mut encoded.as_slice()).expect("round trip"));
+
+    // Lint wall-clock: v2 rule set (signature-level only, skips CFG
+    // construction and the lock pass) against the full v3 run.
+    let crates_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let v2_rules: BTreeSet<String> = (1..=11).map(|n| format!("L{n:03}")).collect();
+    let files_checked = run_with(&crates_root, &RunOptions::default())
+        .expect("workspace is readable")
+        .files_checked;
+    let lint_v2_secs = median_secs(|| {
+        let options = RunOptions {
+            rules: Some(v2_rules.clone()),
+            ..RunOptions::default()
+        };
+        run_with(&crates_root, &options).expect("workspace is readable")
+    });
+    let lint_v3_secs = median_secs(|| {
+        run_with(&crates_root, &RunOptions::default()).expect("workspace is readable")
+    });
+    let ratio = lint_v3_secs / lint_v2_secs;
+
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"perf_baseline\",\n  \
+         \"timed_iters\": {TIMED_ITERS},\n  \"synthesis\": {{\n    \
+         \"records\": {records},\n    \"seconds\": {synth_secs:.6},\n    \
+         \"records_per_sec\": {records_per_sec:.0}\n  }},\n  \"codec\": {{\n    \
+         \"encoded_bytes\": {},\n    \"encode_mb_per_sec\": {:.1},\n    \
+         \"decode_mb_per_sec\": {:.1}\n  }},\n  \"lint\": {{\n    \
+         \"files_checked\": {files_checked},\n    \"v2_seconds\": {lint_v2_secs:.4},\n    \
+         \"v3_seconds\": {lint_v3_secs:.4},\n    \"v3_over_v2\": {ratio:.3}\n  }}\n}}\n",
+        encoded.len(),
+        mb / encode_secs,
+        mb / decode_secs,
+    );
+    print!("{json}");
+
+    let out = crates_root.join("..").join("BENCH_1.json");
+    std::fs::write(&out, &json).expect("write BENCH_1.json");
+    println!("wrote {}", out.display());
+
+    assert!(
+        ratio < 2.0,
+        "lint v3 ({lint_v3_secs:.4}s) must stay under 2x v2 ({lint_v2_secs:.4}s); got {ratio:.3}x"
+    );
+}

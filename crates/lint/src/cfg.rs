@@ -1,0 +1,566 @@
+//! Per-function control-flow graphs over the body statement grammar.
+//!
+//! [`crate::parser::parse_body`] recovers statements and blocks; this
+//! module lowers them into a small CFG the dataflow framework
+//! ([`crate::dataflow`]) can iterate: basic blocks of statements, `Seq`
+//! and branch edges, explicitly marked loop back-edges, and a lexical
+//! scope tree so an analysis can tell when a binding (e.g. a lock guard)
+//! goes out of scope.
+//!
+//! Design choices, shared with the rest of the linter:
+//!
+//! * **Total** — lowering cannot fail; unrecognized statements become
+//!   opaque straight-line statements.
+//! * **Deterministic** — block and scope ids are a pure function of the
+//!   statement tree (source order).
+//! * **Conservative** — `break` ignores labels (it targets the innermost
+//!   loop) and a `loop` without `break` simply has an unreachable exit
+//!   block; analyses must treat unreachable blocks as "no state".
+
+use crate::lexer::Token;
+use crate::parser::{self, Ast, Block, Item, ItemKind, StmtKind};
+
+/// A lexical scope id; scope `0` is the function body.
+pub type ScopeId = u32;
+
+/// One statement placed in a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgStmt {
+    /// 1-based source line.
+    pub line: usize,
+    /// Token range `[start, end)` the analysis scans for events. For a
+    /// `let` this is the initializer; for a `for` head the iterator
+    /// expression; otherwise the whole statement.
+    pub range: (usize, usize),
+    /// The innermost lexical scope the statement executes in.
+    pub scope: ScopeId,
+    /// What shape of statement this is.
+    pub kind: CfgStmtKind,
+}
+
+/// The statement shapes the lock analysis distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgStmtKind {
+    /// `let NAME = INIT;` with a plain binding; `range` covers `INIT`.
+    Let {
+        /// The bound variable name.
+        name: String,
+    },
+    /// The once-evaluated iterator expression of a `for` loop. Rust
+    /// extends temporaries born here to the end of the whole loop, so
+    /// the statement's scope is the loop scope, not the body scope.
+    ForIter,
+    /// A condition, scrutinee, or plain expression statement.
+    Expr,
+}
+
+/// An edge between basic blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Target block index.
+    pub to: usize,
+    /// `Some(body_scope)` marks a loop back-edge, carrying the scope of
+    /// the loop body it closes (used to tell guards acquired inside the
+    /// iteration from guards held across it).
+    pub back: Option<ScopeId>,
+}
+
+/// A basic block: straight-line statements plus outgoing edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Statements executed in order.
+    pub stmts: Vec<CfgStmt>,
+    /// Successor edges.
+    pub succs: Vec<Edge>,
+}
+
+/// The control-flow graph of one function body. Block `0` is the entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cfg {
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: Vec<BasicBlock>,
+    /// Parent of each scope id; `scope_parent[0]` is `None`.
+    pub scope_parent: Vec<Option<ScopeId>>,
+}
+
+impl Cfg {
+    /// True if `outer` is `inner` or one of its ancestors — i.e. a
+    /// binding made in `outer` is still live at a statement in `inner`.
+    pub fn scope_contains(&self, outer: ScopeId, inner: ScopeId) -> bool {
+        let mut cur = Some(inner);
+        while let Some(s) = cur {
+            if s == outer {
+                return true;
+            }
+            cur = self.scope_parent.get(s as usize).copied().flatten();
+        }
+        false
+    }
+}
+
+/// Lowers a parsed body into its CFG.
+pub fn build(block: &Block) -> Cfg {
+    let mut b = Builder {
+        blocks: vec![BasicBlock::default()],
+        scope_parent: vec![None],
+        cur: 0,
+        loops: Vec::new(),
+    };
+    b.lower_block(block, 0);
+    Cfg {
+        blocks: b.blocks,
+        scope_parent: b.scope_parent,
+    }
+}
+
+/// One function's CFG with enough identity to resolve calls against it.
+#[derive(Debug, Clone)]
+pub struct FnCfg {
+    /// The function name.
+    pub name: String,
+    /// Enclosing `impl` self type, if the function is a method.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Signature token range (for guard-returning detection).
+    pub sig: (usize, usize),
+    /// Body token range.
+    pub body: (usize, usize),
+    /// The lowered control-flow graph.
+    pub cfg: Cfg,
+}
+
+/// Builds CFGs for every non-test function with a body in the file,
+/// recursing through mods, impls and traits.
+pub fn build_fn_cfgs(tokens: &[Token], ast: &Ast) -> Vec<FnCfg> {
+    let mut out = Vec::new();
+    collect(tokens, &ast.items, None, &mut out);
+    out
+}
+
+fn collect(tokens: &[Token], items: &[Item], self_type: Option<&str>, out: &mut Vec<FnCfg>) {
+    for item in items {
+        if item.in_test {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Fn => {
+                if let Some(body) = item.body {
+                    let block = parser::parse_body(tokens, body);
+                    out.push(FnCfg {
+                        name: item.name.clone(),
+                        self_type: self_type.map(str::to_string),
+                        line: item.line,
+                        sig: item.sig,
+                        body,
+                        cfg: build(&block),
+                    });
+                }
+            }
+            ItemKind::Mod => collect(tokens, &item.children, None, out),
+            ItemKind::Impl => {
+                collect(tokens, &item.children, item.self_type.as_deref(), out);
+            }
+            ItemKind::Trait => {
+                // Default trait-method bodies, resolved like inherent
+                // methods of the trait's name.
+                collect(tokens, &item.children, Some(item.name.as_str()), out);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct LoopCtx {
+    /// Block continue jumps back to.
+    head: usize,
+    /// Scope of the loop body (carried on back-edges).
+    body_scope: ScopeId,
+    /// Blocks whose control flow exits the loop via `break`.
+    breaks: Vec<usize>,
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    scope_parent: Vec<Option<ScopeId>>,
+    cur: usize,
+    loops: Vec<LoopCtx>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn new_scope(&mut self, parent: ScopeId) -> ScopeId {
+        self.scope_parent.push(Some(parent));
+        (self.scope_parent.len() - 1) as ScopeId
+    }
+
+    fn edge(&mut self, from: usize, to: usize, back: Option<ScopeId>) {
+        self.blocks[from].succs.push(Edge { to, back });
+    }
+
+    fn push(&mut self, line: usize, range: (usize, usize), scope: ScopeId, kind: CfgStmtKind) {
+        self.blocks[self.cur].stmts.push(CfgStmt {
+            line,
+            range,
+            scope,
+            kind,
+        });
+    }
+
+    fn lower_block(&mut self, block: &Block, scope: ScopeId) {
+        for stmt in &block.stmts {
+            match &stmt.kind {
+                StmtKind::Let {
+                    name,
+                    init,
+                    init_block,
+                } => {
+                    if let Some(ib) = init_block {
+                        // `let x = { ... };` — the inner statements run in
+                        // their own scope; the binding itself can never be
+                        // a guard (the block's guards died at its end), so
+                        // no binding statement is emitted.
+                        let child = self.new_scope(scope);
+                        self.lower_block(ib, child);
+                    } else {
+                        let kind = match name {
+                            Some(n) => CfgStmtKind::Let { name: n.clone() },
+                            None => CfgStmtKind::Expr,
+                        };
+                        self.push(stmt.line, *init, scope, kind);
+                    }
+                }
+                StmtKind::If {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
+                    self.push(stmt.line, *cond, scope, CfgStmtKind::Expr);
+                    let cond_block = self.cur;
+                    let then_entry = self.new_block();
+                    self.edge(cond_block, then_entry, None);
+                    self.cur = then_entry;
+                    let then_scope = self.new_scope(scope);
+                    self.lower_block(then_block, then_scope);
+                    let then_exit = self.cur;
+                    let else_exit = else_block.as_ref().map(|eb| {
+                        let else_entry = self.new_block();
+                        self.edge(cond_block, else_entry, None);
+                        self.cur = else_entry;
+                        let else_scope = self.new_scope(scope);
+                        self.lower_block(eb, else_scope);
+                        self.cur
+                    });
+                    let join = self.new_block();
+                    self.edge(then_exit, join, None);
+                    match else_exit {
+                        Some(e) => self.edge(e, join, None),
+                        None => self.edge(cond_block, join, None),
+                    }
+                    self.cur = join;
+                }
+                StmtKind::Match { scrutinee, arms } => {
+                    self.push(stmt.line, *scrutinee, scope, CfgStmtKind::Expr);
+                    let entry = self.cur;
+                    let join = self.new_block();
+                    if arms.is_empty() {
+                        self.edge(entry, join, None);
+                    }
+                    for arm in arms {
+                        let arm_entry = self.new_block();
+                        self.edge(entry, arm_entry, None);
+                        self.cur = arm_entry;
+                        let arm_scope = self.new_scope(scope);
+                        self.lower_block(arm, arm_scope);
+                        self.edge(self.cur, join, None);
+                    }
+                    self.cur = join;
+                }
+                StmtKind::Loop { body } => {
+                    let loop_scope = self.new_scope(scope);
+                    let body_scope = self.new_scope(loop_scope);
+                    let head = self.new_block();
+                    self.edge(self.cur, head, None);
+                    self.cur = head;
+                    self.loops.push(LoopCtx {
+                        head,
+                        body_scope,
+                        breaks: Vec::new(),
+                    });
+                    self.lower_block(body, body_scope);
+                    self.edge(self.cur, head, Some(body_scope));
+                    let breaks = self.loops.pop().map(|c| c.breaks).unwrap_or_default();
+                    // A `loop` exits only via `break`; without one the
+                    // exit block is simply unreachable.
+                    let exit = self.new_block();
+                    for b in breaks {
+                        self.edge(b, exit, None);
+                    }
+                    self.cur = exit;
+                }
+                StmtKind::While { cond, body } => {
+                    let loop_scope = self.new_scope(scope);
+                    let body_scope = self.new_scope(loop_scope);
+                    let head = self.new_block();
+                    self.edge(self.cur, head, None);
+                    self.cur = head;
+                    // The condition re-evaluates every iteration.
+                    self.push(stmt.line, *cond, loop_scope, CfgStmtKind::Expr);
+                    let body_entry = self.new_block();
+                    self.edge(head, body_entry, None);
+                    self.cur = body_entry;
+                    self.loops.push(LoopCtx {
+                        head,
+                        body_scope,
+                        breaks: Vec::new(),
+                    });
+                    self.lower_block(body, body_scope);
+                    self.edge(self.cur, head, Some(body_scope));
+                    let breaks = self.loops.pop().map(|c| c.breaks).unwrap_or_default();
+                    let exit = self.new_block();
+                    self.edge(head, exit, None);
+                    for b in breaks {
+                        self.edge(b, exit, None);
+                    }
+                    self.cur = exit;
+                }
+                StmtKind::For { iter, body } => {
+                    let loop_scope = self.new_scope(scope);
+                    let body_scope = self.new_scope(loop_scope);
+                    // The iterator expression runs once, before the loop;
+                    // its temporaries live until the loop ends, which the
+                    // loop scope models exactly.
+                    self.push(stmt.line, *iter, loop_scope, CfgStmtKind::ForIter);
+                    let head = self.new_block();
+                    self.edge(self.cur, head, None);
+                    self.cur = head;
+                    let body_entry = self.new_block();
+                    self.edge(head, body_entry, None);
+                    self.cur = body_entry;
+                    self.loops.push(LoopCtx {
+                        head,
+                        body_scope,
+                        breaks: Vec::new(),
+                    });
+                    self.lower_block(body, body_scope);
+                    self.edge(self.cur, head, Some(body_scope));
+                    let breaks = self.loops.pop().map(|c| c.breaks).unwrap_or_default();
+                    let exit = self.new_block();
+                    self.edge(head, exit, None);
+                    for b in breaks {
+                        self.edge(b, exit, None);
+                    }
+                    self.cur = exit;
+                }
+                StmtKind::Return => {
+                    self.push(stmt.line, stmt.range, scope, CfgStmtKind::Expr);
+                    // Control leaves the function: whatever follows starts
+                    // a fresh, unreachable block.
+                    self.cur = self.new_block();
+                }
+                StmtKind::Break => {
+                    self.push(stmt.line, stmt.range, scope, CfgStmtKind::Expr);
+                    let from = self.cur;
+                    if let Some(ctx) = self.loops.last_mut() {
+                        ctx.breaks.push(from);
+                    }
+                    self.cur = self.new_block();
+                }
+                StmtKind::Continue => {
+                    self.push(stmt.line, stmt.range, scope, CfgStmtKind::Expr);
+                    if let Some(ctx) = self.loops.last() {
+                        let (head, body_scope) = (ctx.head, ctx.body_scope);
+                        self.edge(self.cur, head, Some(body_scope));
+                    }
+                    self.cur = self.new_block();
+                }
+                StmtKind::BlockStmt { body } => {
+                    let child = self.new_scope(scope);
+                    self.lower_block(body, child);
+                }
+                StmtKind::Expr => {
+                    self.push(stmt.line, stmt.range, scope, CfgStmtKind::Expr);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let toks = lex(src).tokens;
+        let ast = parse(&toks);
+        let body = ast.items[0].body.expect("fn body");
+        build(&parser::parse_body(&toks, body))
+    }
+
+    /// All statements of the CFG in (block, index) order.
+    fn stmt_count(cfg: &Cfg) -> usize {
+        cfg.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of("fn f() { a(); b(); let c = d(); }");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].stmts.len(), 3);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(matches!(
+            cfg.blocks[0].stmts[2].kind,
+            CfgStmtKind::Let { ref name } if name == "c"
+        ));
+    }
+
+    #[test]
+    fn branches_split_and_join() {
+        let cfg = cfg_of("fn f(x: bool) { if x { a(); } else { b(); } c(); }");
+        // entry(cond), then, else, join — and both arms reach the join.
+        assert_eq!(cfg.blocks.len(), 4);
+        let cond = &cfg.blocks[0];
+        assert_eq!(cond.succs.len(), 2);
+        let join = cond.succs[0].to;
+        let join = cfg.blocks[join].succs[0].to;
+        assert_eq!(
+            cfg.blocks
+                .iter()
+                .filter(|b| b.succs.iter().any(|e| e.to == join))
+                .count(),
+            2,
+            "then and else both join"
+        );
+        assert!(cfg.blocks[join].stmts.iter().any(|s| s.line == 1));
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let cfg = cfg_of("fn f(x: bool) { if x { a(); } b(); }");
+        let cond = &cfg.blocks[0];
+        // cond → then and cond → join.
+        assert_eq!(cond.succs.len(), 2);
+    }
+
+    #[test]
+    fn while_loop_has_a_marked_back_edge() {
+        let cfg = cfg_of("fn f() { while c() { body(); } after(); }");
+        let back: Vec<&Edge> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.succs)
+            .filter(|e| e.back.is_some())
+            .collect();
+        assert_eq!(back.len(), 1);
+        let body_scope = back[0].back.expect("back edge carries body scope");
+        // The body scope descends from the loop scope, which descends
+        // from the function scope.
+        assert!(cfg.scope_contains(0, body_scope));
+        assert!(!cfg.scope_contains(body_scope, 0));
+    }
+
+    #[test]
+    fn for_iter_is_evaluated_once_outside_the_loop() {
+        let cfg = cfg_of("fn f() { for x in iter() { body(x); } }");
+        let entry = &cfg.blocks[0];
+        assert!(matches!(entry.stmts[0].kind, CfgStmtKind::ForIter));
+        // The iter statement's scope encloses the body scope (temporaries
+        // live across the whole loop) but is not the function scope.
+        let back_scope = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.succs)
+            .find_map(|e| e.back)
+            .expect("for loop has a back edge");
+        assert!(cfg.scope_contains(entry.stmts[0].scope, back_scope));
+        assert_ne!(entry.stmts[0].scope, 0);
+    }
+
+    #[test]
+    fn early_return_ends_the_block() {
+        let cfg = cfg_of("fn f(x: bool) { if x { return; } tail(); }");
+        let ret_block = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.iter().any(|s| s.line == 1 && b.succs.is_empty()))
+            .map(|i| &cfg.blocks[i]);
+        assert!(
+            ret_block.is_some(),
+            "the returning block has no successors: {cfg:?}"
+        );
+        // Nothing is lost: all three statements exist somewhere.
+        assert_eq!(stmt_count(&cfg), 3);
+    }
+
+    #[test]
+    fn break_exits_and_loop_without_break_has_unreachable_exit() {
+        let cfg = cfg_of("fn f() { loop { if done() { break; } step(); } after(); }");
+        let back = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.succs)
+            .filter(|e| e.back.is_some())
+            .count();
+        assert_eq!(back, 1);
+        // `after()` is reachable from the break.
+        let after_block = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.iter().any(|s| s.line == 1 && s.scope == 0))
+            .expect("after() exists");
+        assert!(
+            cfg.blocks
+                .iter()
+                .any(|b| b.succs.iter().any(|e| e.to == after_block)),
+            "break wires to the loop exit"
+        );
+    }
+
+    #[test]
+    fn match_arms_fan_out_and_join() {
+        let cfg = cfg_of("fn f(x: u8) { match x { 0 => a(), 1 => { b(); } _ => c(), } d(); }");
+        let entry = &cfg.blocks[0];
+        assert_eq!(entry.succs.len(), 3, "one edge per arm");
+        assert_eq!(stmt_count(&cfg), 5);
+    }
+
+    #[test]
+    fn nested_scopes_nest() {
+        let cfg = cfg_of("fn f() { let a = x(); { let b = y(); } let c = z(); }");
+        let stmts = &cfg.blocks[0].stmts;
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0].scope, 0);
+        assert_ne!(stmts[1].scope, 0);
+        assert_eq!(stmts[2].scope, 0);
+        assert!(cfg.scope_contains(0, stmts[1].scope));
+        assert!(!cfg.scope_contains(stmts[1].scope, 0));
+    }
+
+    #[test]
+    fn fn_cfgs_skip_tests_and_carry_impl_type() {
+        let src = "\
+            impl Server {\n\
+                fn run(&self) { work(); }\n\
+            }\n\
+            fn free() {}\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                #[test]\n\
+                fn t() { helper(); }\n\
+            }\n";
+        let toks = lex(src).tokens;
+        let ast = parse(&toks);
+        let fns = build_fn_cfgs(&toks, &ast);
+        let names: Vec<(&str, Option<&str>)> = fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref()))
+            .collect();
+        assert_eq!(names, vec![("run", Some("Server")), ("free", None)]);
+    }
+}

@@ -1,0 +1,186 @@
+//! A small intraprocedural forward-dataflow framework over [`crate::cfg`].
+//!
+//! An [`Analysis`] supplies a boundary state, a per-statement transfer
+//! function and a join; [`fixpoint`] iterates block entry states to a
+//! fixed point in deterministic block order. The framework is
+//! deliberately minimal — finite lattices, forward direction only —
+//! which is all the lock-discipline analysis needs.
+//!
+//! Termination: joins must only grow states (set-union-like) and
+//! transfer must be deterministic. As a belt-and-braces guarantee the
+//! iteration is also capped; hitting the cap under-approximates, which
+//! for a linter means missing a diagnostic, never inventing one.
+
+use crate::cfg::{Cfg, CfgStmt, Edge};
+
+/// One forward dataflow analysis over a function CFG.
+pub trait Analysis {
+    /// The abstract state attached to each block entry.
+    type State: Clone + PartialEq;
+
+    /// State on entry to the function.
+    fn boundary(&self) -> Self::State;
+
+    /// Applies one statement's effect to the state in place.
+    fn transfer(&self, stmt: &CfgStmt, block: usize, idx: usize, state: &mut Self::State);
+
+    /// Adjusts the state flowing along one CFG edge, before the join at
+    /// its target. The default keeps it unchanged; the lock analysis
+    /// uses the loop-body scope a back edge carries to kill bindings
+    /// whose lexical life ends with the iteration.
+    fn edge(&self, _edge: &Edge, _state: &mut Self::State) {}
+
+    /// Merges `other` into `into`; returns true if `into` changed.
+    fn join(&self, into: &mut Self::State, other: &Self::State) -> bool;
+}
+
+/// Runs `analysis` to a fixed point, returning the entry state of every
+/// block (`None` for blocks control flow cannot reach).
+pub fn fixpoint<A: Analysis>(cfg: &Cfg, analysis: &A) -> Vec<Option<A::State>> {
+    let mut entries: Vec<Option<A::State>> = vec![None; cfg.blocks.len()];
+    if cfg.blocks.is_empty() {
+        return entries;
+    }
+    entries[0] = Some(analysis.boundary());
+    // Blocks are created in roughly topological order, so index-order
+    // sweeps converge in very few rounds; the cap only guards against a
+    // non-monotone Analysis implementation.
+    let max_rounds = 4 * cfg.blocks.len() + 16;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for b in 0..cfg.blocks.len() {
+            let Some(entry) = entries[b].clone() else {
+                continue;
+            };
+            let exit = block_exit(cfg, analysis, b, entry);
+            for edge in &cfg.blocks[b].succs {
+                let mut flowed = exit.clone();
+                analysis.edge(edge, &mut flowed);
+                match &mut entries[edge.to] {
+                    Some(existing) => changed |= analysis.join(existing, &flowed),
+                    slot @ None => {
+                        *slot = Some(flowed);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    entries
+}
+
+/// Replays a block's statements from its entry state, returning the state
+/// at the block's exit.
+pub fn block_exit<A: Analysis>(cfg: &Cfg, analysis: &A, block: usize, entry: A::State) -> A::State {
+    let mut state = entry;
+    for (i, stmt) in cfg.blocks[block].stmts.iter().enumerate() {
+        analysis.transfer(stmt, block, i, &mut state);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build, CfgStmtKind};
+    use crate::lexer::lex;
+    use crate::parser::{parse, parse_body};
+    use std::collections::BTreeSet;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let toks = lex(src).tokens;
+        let ast = parse(&toks);
+        build(&parse_body(&toks, ast.items[0].body.expect("body")))
+    }
+
+    /// Collects the set of `let` names bound on any path so far — a toy
+    /// may-analysis exercising join and loop convergence.
+    struct Bindings;
+
+    impl Analysis for Bindings {
+        type State = BTreeSet<String>;
+
+        fn boundary(&self) -> Self::State {
+            BTreeSet::new()
+        }
+
+        fn transfer(&self, stmt: &CfgStmt, _b: usize, _i: usize, state: &mut Self::State) {
+            if let CfgStmtKind::Let { name } = &stmt.kind {
+                state.insert(name.clone());
+            }
+        }
+
+        fn join(&self, into: &mut Self::State, other: &Self::State) -> bool {
+            let before = into.len();
+            into.extend(other.iter().cloned());
+            into.len() != before
+        }
+    }
+
+    #[test]
+    fn straight_line_accumulates() {
+        let cfg = cfg_of("fn f() { let a = x(); let b = y(); }");
+        let entries = fixpoint(&cfg, &Bindings);
+        let exit = block_exit(&cfg, &Bindings, 0, entries[0].clone().unwrap());
+        assert_eq!(
+            exit.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn branches_join_as_union() {
+        let cfg = cfg_of("fn f(c: bool) { if c { let a = x(); } else { let b = y(); } tail(); }");
+        let entries = fixpoint(&cfg, &Bindings);
+        // Find the join block (the one holding `tail()` on line 1 with
+        // two predecessors): its entry has both names.
+        let join = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .find(|(i, b)| {
+                !b.stmts.is_empty()
+                    && cfg
+                        .blocks
+                        .iter()
+                        .flat_map(|p| &p.succs)
+                        .filter(|e| e.to == *i)
+                        .count()
+                        == 2
+            })
+            .map(|(i, _)| i)
+            .expect("join block");
+        let st = entries[join].as_ref().expect("join reachable");
+        assert!(st.contains("a") && st.contains("b"));
+    }
+
+    #[test]
+    fn loops_converge() {
+        let cfg = cfg_of("fn f() { loop { let a = x(); if done() { break; } } after(); }");
+        let entries = fixpoint(&cfg, &Bindings);
+        // The loop head sees `a` via the back edge.
+        let head = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.succs)
+            .find(|e| e.back.is_some())
+            .map(|e| e.to)
+            .expect("back edge");
+        assert!(entries[head]
+            .as_ref()
+            .expect("head reachable")
+            .contains("a"));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_state() {
+        let cfg = cfg_of("fn f() { return; }");
+        let entries = fixpoint(&cfg, &Bindings);
+        assert!(entries[0].is_some());
+        // The block after `return` is unreachable.
+        assert!(entries.iter().skip(1).all(Option::is_none));
+    }
+}

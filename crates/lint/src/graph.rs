@@ -29,6 +29,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
+use crate::cfg::FnCfg;
 use crate::lexer::{lex, Directive, Token, TokenKind};
 use crate::parser::{self, Ast, Item, ItemKind, Visibility};
 use crate::rules::{self, Diagnostic, L008Site};
@@ -60,18 +61,39 @@ pub struct FileAnalysis {
     pub tokens: Vec<Token>,
     /// `// lint: allow` directives by line.
     pub directives: BTreeMap<usize, Vec<Directive>>,
+    /// File-scoped `// lint: allow-file` directives.
+    pub file_directives: Vec<Directive>,
     /// The item AST.
     pub ast: Ast,
     /// Per-token test-scope flags.
     pub in_test: Vec<bool>,
-    /// Per-file diagnostics (L001–L008 direct, L011), directive-filtered.
+    /// Per-file diagnostics (L001–L008 direct, L011, L015),
+    /// directive-filtered.
     pub diagnostics: Vec<Diagnostic>,
     /// Surviving (unsuppressed) L008 direct sites, for taint seeding.
     pub l008_sites: Vec<L008Site>,
+    /// Per-function control-flow graphs for the body-level lock rules;
+    /// empty for reference files and when body analysis is disabled.
+    pub fn_cfgs: Vec<FnCfg>,
 }
 
-/// Lexes, parses and per-file-lints one source file.
+/// Lexes, parses and per-file-lints one source file, with body-level
+/// (CFG) analysis enabled.
 pub fn analyze_source(path: &Path, src: &str, role: FileRole) -> FileAnalysis {
+    analyze_source_opts(path, src, role, true)
+}
+
+/// Like [`analyze_source`], but `body_analysis: false` skips control-flow
+/// graph construction, leaving [`FileAnalysis::fn_cfgs`] empty — the lint
+/// CLI uses this when a `--rules` filter excludes every body-level rule
+/// (L012–L014), so a signature-only run costs what it did before those
+/// rules existed.
+pub fn analyze_source_opts(
+    path: &Path,
+    src: &str,
+    role: FileRole,
+    body_analysis: bool,
+) -> FileAnalysis {
     let lexed = lex(src);
     let ast = parser::parse(&lexed.tokens);
     let in_test = rules::test_flags(&lexed.tokens);
@@ -82,15 +104,21 @@ pub fn analyze_source(path: &Path, src: &str, role: FileRole) -> FileAnalysis {
     let mut l008_sites = Vec::new();
     if role == FileRole::Lint {
         diagnostics = rules::file_diagnostics(path, &lexed);
-        rules::apply_directives(&mut diagnostics, &lexed.directives);
+        rules::apply_directives(&mut diagnostics, &lexed.directives, &lexed.file_directives);
         diagnostics.sort();
         if scope.wants_determinism() {
             l008_sites = rules::l008_sites(&lexed.tokens, &in_test)
                 .into_iter()
-                .filter(|s| !suppressed(&lexed.directives, s.line, "L008"))
+                .filter(|s| !suppressed(&lexed.directives, &lexed.file_directives, s.line, "L008"))
                 .collect();
         }
     }
+
+    let fn_cfgs = if role == FileRole::Lint && body_analysis {
+        crate::cfg::build_fn_cfgs(&lexed.tokens, &ast)
+    } else {
+        Vec::new()
+    };
 
     FileAnalysis {
         crate_name: crate_of(&norm),
@@ -99,10 +127,12 @@ pub fn analyze_source(path: &Path, src: &str, role: FileRole) -> FileAnalysis {
         role,
         tokens: lexed.tokens,
         directives: lexed.directives,
+        file_directives: lexed.file_directives,
         ast,
         in_test,
         diagnostics,
         l008_sites,
+        fn_cfgs,
     }
 }
 
@@ -113,11 +143,15 @@ pub struct CrossFileOptions<'a> {
     pub baselines_dir: &'a Path,
     /// When true, L010 rewrites the baselines instead of diffing them.
     pub update_baselines: bool,
+    /// When true, runs the lock-discipline rules (L012–L014) over the
+    /// per-function CFGs; pointless without body analysis in
+    /// [`analyze_source_opts`].
+    pub lock_rules: bool,
 }
 
-/// Runs the cross-file analyses (L008 transitive, L009, L010) over the
-/// analyzed workspace. Returned diagnostics are directive-filtered and
-/// sorted.
+/// Runs the cross-file analyses (L008 transitive, L009, L010, and the
+/// L012–L014 lock discipline) over the analyzed workspace. Returned
+/// diagnostics are directive-filtered and sorted.
 ///
 /// # Errors
 ///
@@ -131,28 +165,37 @@ pub fn cross_file(
     diags.extend(taint_analysis(files));
     diags.extend(dead_pub_surface(files));
     diags.extend(api_snapshots(files, opts)?);
+    if opts.lock_rules {
+        diags.extend(crate::locks::lock_analysis(files));
+    }
 
     // Cross-file diagnostics honor the same `// lint: allow` directives at
     // the line they point at.
-    let directives: BTreeMap<&str, &BTreeMap<usize, Vec<Directive>>> = files
-        .iter()
-        .map(|f| (f.path.as_str(), &f.directives))
-        .collect();
+    let directives: BTreeMap<&str, &FileAnalysis> =
+        files.iter().map(|f| (f.path.as_str(), f)).collect();
     diags.retain(|d| {
         directives
             .get(d.file.as_str())
-            .map(|ds| !suppressed(ds, d.line, d.rule))
+            .map(|f| !suppressed(&f.directives, &f.file_directives, d.line, d.rule))
             .unwrap_or(true)
     });
     diags.sort();
     Ok(diags)
 }
 
-fn suppressed(directives: &BTreeMap<usize, Vec<Directive>>, line: usize, rule: &str) -> bool {
+fn suppressed(
+    directives: &BTreeMap<usize, Vec<Directive>>,
+    file_directives: &[Directive],
+    line: usize,
+    rule: &str,
+) -> bool {
+    if file_directives.iter().any(|dir| dir.covers(rule)) {
+        return true;
+    }
     [line, line.saturating_sub(1)].iter().any(|l| {
         directives
             .get(l)
-            .map(|ds| ds.iter().any(|dir| dir.rule == rule))
+            .map(|ds| ds.iter().any(|dir| dir.covers(rule)))
             .unwrap_or(false)
     })
 }
@@ -873,6 +916,7 @@ mod tests {
         let opts = CrossFileOptions {
             baselines_dir: &dir,
             update_baselines: false,
+            lock_rules: true,
         };
         cross_file(files, &opts)
             .expect("cross-file pass")
@@ -1078,11 +1122,13 @@ mod tests {
         let update = CrossFileOptions {
             baselines_dir: &dir,
             update_baselines: true,
+            lock_rules: true,
         };
         cross_file(&files, &update).expect("baseline write");
         let check = CrossFileOptions {
             baselines_dir: &dir,
             update_baselines: false,
+            lock_rules: true,
         };
         // Unchanged surface: clean.
         let diags = cross_file(&files, &check).expect("diff");

@@ -70,13 +70,25 @@ impl TokenKind {
     }
 }
 
-/// A parsed `// lint: allow(RULE, reason)` suppression directive.
+/// A parsed `// lint: allow(RULES, reason)` suppression directive.
+///
+/// `RULES` is one or more comma-separated rule selectors, each either a
+/// single rule (`L001`) or an inclusive range (`L012-L015`); the list is
+/// expanded at parse time so consumers only ever see concrete rule ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Directive {
-    /// The rule identifier being suppressed, e.g. `L001`.
-    pub rule: String,
+    /// The expanded rule identifiers being suppressed, e.g. `["L012",
+    /// "L013"]`. Always non-empty and sorted.
+    pub rules: Vec<String>,
     /// The mandatory human-readable justification.
     pub reason: String,
+}
+
+impl Directive {
+    /// True if this directive suppresses the given rule.
+    pub fn covers(&self, rule: &str) -> bool {
+        self.rules.iter().any(|r| r == rule)
+    }
 }
 
 /// The result of lexing one source file.
@@ -86,6 +98,9 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Allow directives keyed by the line the comment appears on.
     pub directives: BTreeMap<usize, Vec<Directive>>,
+    /// Module-scoped `// lint: allow-file(RULES, reason)` directives,
+    /// which suppress their rules anywhere in the file.
+    pub file_directives: Vec<Directive>,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -96,26 +111,64 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Parses a `lint: allow(RULE, reason)` directive out of a comment's text.
-/// Returns `None` for ordinary comments, for directives without a reason,
-/// and for malformed directives (those are simply not suppressions, so the
-/// underlying diagnostic stays visible).
-fn parse_directive(comment: &str) -> Option<Directive> {
-    let rest = comment.split_once("lint:")?.1.trim_start();
-    let rest = rest.strip_prefix("allow")?.trim_start();
-    let rest = rest.strip_prefix('(')?;
-    let inner = rest.split_once(')')?.0;
-    let (rule, reason) = inner.split_once(',')?;
-    let rule = rule.trim();
-    let reason = reason.trim();
-    if rule.len() == 4 && rule.starts_with('L') && !reason.is_empty() {
-        Some(Directive {
-            rule: rule.to_string(),
-            reason: reason.to_string(),
-        })
+/// A single rule selector: `L001` parses to itself, `L012-L015` expands
+/// to the inclusive range. Returns `None` for anything else.
+fn parse_rule_selector(sel: &str) -> Option<Vec<String>> {
+    let parse_id = |s: &str| -> Option<u32> {
+        let digits = s.strip_prefix('L')?;
+        if digits.len() != 3 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    };
+    if let Some((lo, hi)) = sel.split_once('-') {
+        let (lo, hi) = (parse_id(lo.trim())?, parse_id(hi.trim())?);
+        // A backwards or absurdly wide range is malformed, not "allow
+        // everything": refuse it so the diagnostics stay visible.
+        if lo > hi || hi - lo >= 100 {
+            return None;
+        }
+        Some((lo..=hi).map(|n| format!("L{n:03}")).collect())
     } else {
-        None
+        parse_id(sel).map(|n| vec![format!("L{n:03}")])
     }
+}
+
+/// Parses a `lint: allow(RULES, reason)` or `lint: allow-file(RULES,
+/// reason)` directive out of a comment's text. `RULES` is a comma-separated
+/// list of rule ids and ranges; everything after the last selector is the
+/// reason. Returns `None` for ordinary comments, for directives without a
+/// reason, and for malformed directives (those are simply not suppressions,
+/// so the underlying diagnostic stays visible). The bool is true for the
+/// file-scoped form.
+fn parse_directive(comment: &str) -> Option<(Directive, bool)> {
+    let rest = comment.split_once("lint:")?.1.trim_start();
+    let (rest, file_scope) = match rest.strip_prefix("allow-file") {
+        Some(r) => (r, true),
+        None => (rest.strip_prefix("allow")?, false),
+    };
+    let rest = rest.trim_start().strip_prefix('(')?;
+    let inner = rest.split_once(')')?.0;
+    let mut rules: Vec<String> = Vec::new();
+    let mut pieces = inner.split(',').peekable();
+    while let Some(piece) = pieces.peek() {
+        match parse_rule_selector(piece.trim()) {
+            Some(expanded) => {
+                rules.extend(expanded);
+                pieces.next();
+            }
+            None => break,
+        }
+    }
+    // Whatever follows the selectors is the reason; rejoin it in case the
+    // justification itself contains commas.
+    let reason = pieces.collect::<Vec<_>>().join(",").trim().to_string();
+    if rules.is_empty() || reason.is_empty() {
+        return None;
+    }
+    rules.sort();
+    rules.dedup();
+    Some((Directive { rules, reason }, file_scope))
 }
 
 /// Lexes one Rust source file into its token skeleton.
@@ -197,8 +250,12 @@ impl Lexer {
             (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
         if is_doc {
             self.push(line, TokenKind::DocComment);
-        } else if let Some(d) = parse_directive(&text) {
-            self.out.directives.entry(line).or_default().push(d);
+        } else if let Some((d, file_scope)) = parse_directive(&text) {
+            if file_scope {
+                self.out.file_directives.push(d);
+            } else {
+                self.out.directives.entry(line).or_default().push(d);
+            }
         }
     }
 
@@ -578,14 +635,51 @@ mod tests {
     fn directives_are_harvested() {
         let lexed = lex("x(); // lint: allow(L001, the reason)\ny();");
         let d = &lexed.directives[&1][0];
-        assert_eq!(d.rule, "L001");
+        assert_eq!(d.rules, vec!["L001"]);
         assert_eq!(d.reason, "the reason");
+        assert!(d.covers("L001") && !d.covers("L002"));
     }
 
     #[test]
     fn directive_without_reason_is_ignored() {
         let lexed = lex("// lint: allow(L001)\n// lint: allow(L001, )\n");
         assert!(lexed.directives.is_empty());
+    }
+
+    #[test]
+    fn directive_rule_lists_and_ranges_expand() {
+        let lexed = lex("x(); // lint: allow(L001, L012-L014, shared justification)");
+        let d = &lexed.directives[&1][0];
+        assert_eq!(d.rules, vec!["L001", "L012", "L013", "L014"]);
+        assert_eq!(d.reason, "shared justification");
+    }
+
+    #[test]
+    fn directive_reason_may_contain_commas() {
+        let lexed = lex("x(); // lint: allow(L013, by design, see DESIGN.md)");
+        let d = &lexed.directives[&1][0];
+        assert_eq!(d.rules, vec!["L013"]);
+        assert_eq!(d.reason, "by design, see DESIGN.md");
+    }
+
+    #[test]
+    fn malformed_ranges_are_not_suppressions() {
+        // Backwards, unbounded-looking, or non-rule selectors must not
+        // silently suppress anything.
+        let lexed = lex(concat!(
+            "// lint: allow(L015-L012, backwards)\n",
+            "// lint: allow(L01-L99, short ids)\n",
+            "// lint: allow(LXXX, not digits)\n",
+        ));
+        assert!(lexed.directives.is_empty());
+    }
+
+    #[test]
+    fn file_scoped_directives_are_separated() {
+        let lexed = lex("// lint: allow-file(L013-L014, whole-module waiver)\nx();");
+        assert!(lexed.directives.is_empty());
+        assert_eq!(lexed.file_directives.len(), 1);
+        assert_eq!(lexed.file_directives[0].rules, vec!["L013", "L014"]);
     }
 
     #[test]

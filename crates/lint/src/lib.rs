@@ -43,9 +43,28 @@
 //! * **L011** — escape-hatch audit: every `unsafe` and blanket
 //!   `#[allow(...)]` carries a reasoned `// lint: allow(L011, ...)`
 //!   companion.
+//! * **L012** — lock-order cycles: two code paths that acquire the same
+//!   locks in opposite orders are a potential deadlock; the diagnostic
+//!   lists every acquisition edge of the cycle with its `file:line`.
+//! * **L013** — no blocking call (I/O, channel `recv`, `thread::sleep`,
+//!   `WorkerPool::submit`/`join`/`drain`) while holding a lock guard,
+//!   directly or through any name-resolved call chain.
+//! * **L014** — no guard held across a loop back-edge on the
+//!   streaming/synthesis crates; collect under the lock, release, then
+//!   iterate.
+//! * **L015** — no `.unwrap()`/`.expect(..)` directly on a
+//!   `lock()`/`read()`/`write()` result; recover poisoned locks with
+//!   `unwrap_or_else(PoisonError::into_inner)`.
+//!
+//! L012–L014 are body-level: [`cfg`] lowers every non-test function into
+//! a control-flow graph, [`dataflow`] runs a guard-region analysis over
+//! it, and the lock pass combines both with the symbol graph's call
+//! edges.
 //!
 //! Escape hatch: `// lint: allow(L001, reason)` on the violating line or
-//! the line above. The reason is mandatory and is itself reviewed.
+//! the line above. The reason is mandatory and is itself reviewed. Rule
+//! lists and ranges (`allow(L012-L014, reason)`) and a file-scoped form
+//! (`// lint: allow-file(L013, reason)`) are accepted.
 //!
 //! The binary exits 0 on a clean tree, 1 on violations, 2 on I/O errors:
 //!
@@ -54,8 +73,11 @@
 //! cargo run -p mocktails-lint -- --format json crates/
 //! ```
 
+pub mod cfg;
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
+mod locks;
 pub mod parser;
 pub mod report;
 pub mod rules;
@@ -111,9 +133,10 @@ pub fn run(crates_root: &Path) -> io::Result<Report> {
 
 /// Lints the workspace under `crates_root` with explicit options.
 ///
-/// The per-file stage (lex, parse, per-file rules) runs on the configured
-/// [`Parallelism`]; the cross-file stage (L008 taint, L009, L010) is a
-/// pure sequential function of the per-file results. Both stages are
+/// The per-file stage (lex, parse, per-file rules, CFG lowering) runs on
+/// the configured [`Parallelism`]; the cross-file stage (L008 taint,
+/// L009, L010, the L012–L014 lock pass) is a pure sequential function of
+/// the per-file results. Both stages are
 /// deterministic, so the returned report is byte-identical across runs
 /// and thread counts.
 ///
@@ -132,8 +155,16 @@ pub fn run_with(crates_root: &Path, options: &RunOptions) -> io::Result<Report> 
         inputs.push((path, src, FileRole::Reference));
     }
 
+    // Body-level analysis (CFG lowering + the lock pass) only pays for
+    // itself when one of L012–L014 is actually requested; a `--rules`
+    // run restricted to the v2 rule set costs v2 time.
+    let body_rules = options
+        .rules
+        .as_ref()
+        .is_none_or(|r| ["L012", "L013", "L014"].iter().any(|x| r.contains(*x)));
+
     let analyses = options.parallelism.map(&inputs, |(path, src, role)| {
-        graph::analyze_source(path, src, *role)
+        graph::analyze_source_opts(path, src, *role, body_rules)
     });
 
     let files_checked = analyses.iter().filter(|a| a.role == FileRole::Lint).count();
@@ -149,6 +180,7 @@ pub fn run_with(crates_root: &Path, options: &RunOptions) -> io::Result<Report> 
         &CrossFileOptions {
             baselines_dir,
             update_baselines: options.update_baselines,
+            lock_rules: body_rules,
         },
     )?);
 

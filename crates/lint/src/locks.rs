@@ -1,0 +1,1029 @@
+//! The workspace lock-discipline analysis: rules L012–L014.
+//!
+//! Three layers stack up to make these rules cheap and deterministic:
+//!
+//! * [`crate::cfg`] gives every non-test function a control-flow graph
+//!   with marked loop back-edges and a lexical scope tree.
+//! * [`crate::dataflow`] iterates a guard-region analysis over it: which
+//!   lock guards are live at each statement, where they were acquired,
+//!   and whether a condvar `wait` sanctions them.
+//! * The same conservative name resolution the L008 taint pass uses
+//!   turns bare, qualified and method calls into workspace call edges,
+//!   so blocking behaviour and lock acquisitions propagate through real
+//!   call chains only — ambiguity never produces an edge.
+//!
+//! The rules:
+//!
+//! * **L012** — a cycle in the workspace lock-order graph (lock A held
+//!   while B is acquired, and elsewhere B while A) is a potential
+//!   deadlock; the diagnostic lists every acquisition edge of the cycle
+//!   with its `file:line` site.
+//! * **L013** — a blocking call (socket/file I/O, channel `recv`,
+//!   `thread::sleep`, `WorkerPool::submit`/`join`/`drain`) while holding
+//!   a guard, directly or through any resolved call chain, stalls every
+//!   thread behind that lock.
+//! * **L014** — a guard held across a loop back-edge on the
+//!   streaming/synthesis crates pins the lock for the whole iteration;
+//!   collect under the lock, release, then iterate.
+//!
+//! Deliberate approximations (see DESIGN.md "Static analysis v3"):
+//!
+//! * A lock's identity is `{crate}::{receiver}` where the receiver is
+//!   the last field/variable name before `.lock()`/`.read()`/`.write()`.
+//!   That identifies locks by their storage site, which is how this
+//!   workspace names them consistently; two different fields with one
+//!   name in one crate would alias.
+//! * Methods *named* `lock`/`read`/`write`/`wait`/`wait_timeout` are
+//!   always treated as the std primitives, even when a workspace type
+//!   wraps them (the pool's `Shared::lock` does); the wrapper's callers
+//!   then acquire under the wrapper's receiver name, which stays
+//!   consistent per crate.
+//! * A `let` binds a guard only when everything after the acquisition is
+//!   a poison adapter (`unwrap`/`expect`/`unwrap_or_else`) or `?`; any
+//!   other adaptor chain is assumed to consume the guard. Guards that
+//!   escape through returns or closures are not tracked — wrapper
+//!   functions whose signature names a guard type are resolved to the
+//!   lock they acquire instead.
+//! * Condvar `wait(guard)` sanctions the guard: it is the one legitimate
+//!   way to sleep holding a lock, so a sanctioned guard is exempt from
+//!   L013 and L014 (the wait releases the lock while sleeping).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{Cfg, CfgStmt, CfgStmtKind, FnCfg, ScopeId};
+use crate::dataflow::{fixpoint, Analysis};
+use crate::graph::{FileAnalysis, FileRole};
+use crate::lexer::{Token, TokenKind};
+use crate::parser;
+use crate::rules::Diagnostic;
+
+/// Crates whose loops L014 polices: the streaming/synthesis path, where
+/// holding a lock across an iteration stalls the pipeline. The pool is
+/// exempt by design — its condvar loops are the implementation of
+/// waiting, and its guards are wait-sanctioned anyway.
+const L014_CRATES: [&str; 5] = ["core", "trace", "workloads", "baselines", "serve"];
+
+/// Call names treated as blocking regardless of argument shape.
+const BLOCKING_ANY: [&str; 10] = [
+    "sleep",
+    "recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+    "read_exact",
+    "read_to_end",
+    "write_all",
+    "flush",
+    "submit",
+];
+
+/// Method names treated as blocking only with an empty argument list:
+/// `handle.join()` and `pool.drain()` block, `Vec::drain(..)` and
+/// `Path::join(x)` do not.
+const BLOCKING_EMPTY: [&str; 2] = ["join", "drain"];
+
+/// Guard type names whose appearance in a signature marks a function as
+/// guard-returning (a lock-acquisition wrapper).
+const GUARD_TYPES: [&str; 3] = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// Adapters that keep a lock guard alive when chained onto the
+/// acquisition call.
+const POISON_ADAPTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// One live guard in the dataflow state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Guard {
+    /// The `{crate}::{receiver}` lock identity.
+    lock: String,
+    /// 1-based source line of the acquisition.
+    line: usize,
+    /// Lexical scope the binding lives in (killed on scope exit).
+    scope: ScopeId,
+    /// True once a condvar `wait(guard)` has blessed this guard.
+    sanctioned: bool,
+}
+
+/// One lock-relevant event inside a statement, in token order.
+#[derive(Debug)]
+enum Event {
+    /// A std `.lock()`/`.read()`/`.write()` or a resolved call to a
+    /// guard-returning wrapper.
+    Acquire {
+        /// The acquired lock's identity.
+        lock: String,
+        /// Token index of the call name (keys the bind table).
+        tok: usize,
+        /// 1-based line of the acquisition.
+        line: usize,
+    },
+    /// `drop(name)` — kills the named guard.
+    Drop {
+        /// The dropped binding.
+        name: String,
+    },
+    /// `cv.wait(name)` / `cv.wait_timeout(name, ..)` — sanctions `name`.
+    Wait {
+        /// The guard passed to the condvar.
+        name: String,
+    },
+    /// A direct blocking call by marker name.
+    Blocking {
+        /// The marker (`flush`, `recv`, ...), for the diagnostic.
+        what: &'static str,
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// A name-resolved call to another workspace function.
+    Call {
+        /// Index into the function table.
+        callee: usize,
+        /// 1-based line of the call.
+        line: usize,
+    },
+}
+
+/// The precomputed event script of one statement: the dataflow transfer
+/// and the reporting walk replay exactly this, so their states agree.
+#[derive(Debug, Default)]
+struct StmtFacts {
+    /// Events in token order.
+    events: Vec<Event>,
+    /// Acquire token index → binding name, for acquisitions whose guard
+    /// outlives the statement (`let` bindings and `for`-iterator
+    /// temporaries).
+    binds: BTreeMap<usize, String>,
+}
+
+/// Why a function transitively blocks, mirroring the L008 taint causes.
+#[derive(Debug, Clone)]
+enum BlockCause {
+    /// The body contains the marker itself.
+    Direct(&'static str),
+    /// The function calls `qual`, whose root marker is the second field.
+    Via(String, &'static str),
+}
+
+/// One function in the lock analysis: its CFG plus workspace identity.
+struct FnInfo<'a> {
+    /// Index of the defining file in the input slice.
+    file: usize,
+    /// The function's CFG and token ranges.
+    fc: &'a FnCfg,
+    /// Display name: `Type::name` or `name`.
+    qual: String,
+}
+
+/// Runs the whole lock-discipline analysis over the analyzed workspace.
+/// Returned diagnostics are sorted and deduplicated; directive filtering
+/// happens in [`crate::graph::cross_file`] like every cross-file rule.
+pub(crate) fn lock_analysis(files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    // 1. The function table, in deterministic (file, body-start) order.
+    let mut fns: Vec<FnInfo<'_>> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.role != FileRole::Lint {
+            continue;
+        }
+        for fc in &f.fn_cfgs {
+            let qual = match &fc.self_type {
+                Some(ty) => format!("{ty}::{}", fc.name),
+                None => fc.name.clone(),
+            };
+            fns.push(FnInfo { file: fi, fc, qual });
+        }
+    }
+    fns.sort_by_key(|i| (i.file, i.fc.body.0));
+
+    // 2. Name-resolution indexes, mirroring the L008 taint pass.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (id, info) in fns.iter().enumerate() {
+        match &info.fc.self_type {
+            Some(ty) => {
+                method_by_name.entry(&info.fc.name).or_default().push(id);
+                by_qual.entry((ty, &info.fc.name)).or_default().push(id);
+            }
+            None => free_by_name.entry(&info.fc.name).or_default().push(id),
+        }
+    }
+
+    // 3. Guard-returning wrappers: a signature naming a guard type plus
+    // the first direct acquisition in the body gives the lock the
+    // wrapper hands out.
+    let wrapper_lock: Vec<Option<String>> = fns
+        .iter()
+        .map(|info| {
+            let f = &files[info.file];
+            let sig = parser::render(&f.tokens, info.fc.sig);
+            if !GUARD_TYPES.iter().any(|g| sig.contains(g)) {
+                return None;
+            }
+            first_direct_acquire(&f.tokens, info.fc.body, &f.crate_name)
+        })
+        .collect();
+
+    // 4. Per-statement event scripts plus each function's direct facts.
+    let mut all_facts: Vec<BTreeMap<(usize, usize), StmtFacts>> = Vec::with_capacity(fns.len());
+    let mut direct_block: Vec<Option<&'static str>> = vec![None; fns.len()];
+    let mut acq_all: Vec<BTreeSet<String>> = vec![BTreeSet::new(); fns.len()];
+    let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+    for (id, info) in fns.iter().enumerate() {
+        let f = &files[info.file];
+        let mut facts: BTreeMap<(usize, usize), StmtFacts> = BTreeMap::new();
+        let mut first_marker: Option<(usize, &'static str)> = None;
+        for (b, block) in info.fc.cfg.blocks.iter().enumerate() {
+            for (i, stmt) in block.stmts.iter().enumerate() {
+                let sf = stmt_facts(
+                    &f.tokens,
+                    stmt,
+                    id,
+                    info.file,
+                    &f.crate_name,
+                    &fns,
+                    &free_by_name,
+                    &method_by_name,
+                    &by_qual,
+                    &wrapper_lock,
+                );
+                for ev in &sf.events {
+                    match ev {
+                        Event::Acquire { lock, .. } => {
+                            acq_all[id].insert(lock.clone());
+                        }
+                        Event::Blocking { what, line } => {
+                            let key = (*line, *what);
+                            if first_marker.map(|m| key < m).unwrap_or(true) {
+                                first_marker = Some(key);
+                            }
+                        }
+                        Event::Call { callee, .. } if *callee != id => {
+                            callees[id].insert(*callee);
+                        }
+                        _ => {}
+                    }
+                }
+                facts.insert((b, i), sf);
+            }
+        }
+        direct_block[id] = first_marker.map(|(_, what)| what);
+        all_facts.push(facts);
+    }
+
+    // 5a. Transitive acquisition sets, to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..fns.len() {
+            let callee_ids: Vec<usize> = callees[id].iter().copied().collect();
+            for c in callee_ids {
+                let extra: Vec<String> = acq_all[c]
+                    .iter()
+                    .filter(|l| !acq_all[id].contains(*l))
+                    .cloned()
+                    .collect();
+                for l in extra {
+                    acq_all[id].insert(l);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // 5b. Transitive blocking causes, with the same deterministic
+    // smallest-callee tie-break the taint pass uses.
+    let mut bcause: Vec<Option<BlockCause>> = direct_block
+        .iter()
+        .map(|d| d.map(BlockCause::Direct))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..fns.len() {
+            if bcause[id].is_some() {
+                continue;
+            }
+            let blocking_callee = callees[id]
+                .iter()
+                .filter_map(|&c| bcause[c].as_ref().map(|why| (c, why)))
+                .min_by_key(|&(c, _)| (&fns[c].qual, c));
+            if let Some((c, why)) = blocking_callee {
+                let root = match why {
+                    BlockCause::Direct(what) => what,
+                    BlockCause::Via(_, root) => root,
+                };
+                bcause[id] = Some(BlockCause::Via(fns[c].qual.clone(), root));
+                changed = true;
+            }
+        }
+    }
+
+    // 6. The reporting walk: per-function dataflow, then per-statement
+    // replay collecting observations, then the global cycle check.
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for (id, info) in fns.iter().enumerate() {
+        let f = &files[info.file];
+        let analysis = GuardAnalysis {
+            cfg: &info.fc.cfg,
+            facts: &all_facts[id],
+        };
+        let entries = fixpoint(&info.fc.cfg, &analysis);
+        for (b, entry) in entries.iter().enumerate() {
+            let Some(entry) = entry else {
+                continue;
+            };
+            let mut state = entry.clone();
+            for (i, stmt) in info.fc.cfg.blocks[b].stmts.iter().enumerate() {
+                let mut obs = Vec::new();
+                step(
+                    &info.fc.cfg,
+                    stmt,
+                    all_facts[id].get(&(b, i)),
+                    &mut state,
+                    Some(&mut obs),
+                );
+                for o in obs {
+                    report(o, f, &fns, &acq_all, &bcause, &mut diags, &mut edges);
+                }
+            }
+            // L014: a guard live at a loop back-edge whose scope strictly
+            // encloses the loop body was acquired outside the iteration.
+            if !L014_CRATES.contains(&f.crate_name.as_str()) {
+                continue;
+            }
+            for edge in &info.fc.cfg.blocks[b].succs {
+                let Some(body_scope) = edge.back else {
+                    continue;
+                };
+                for (name, g) in &state {
+                    if g.sanctioned
+                        || g.scope == body_scope
+                        || !info.fc.cfg.scope_contains(g.scope, body_scope)
+                    {
+                        continue;
+                    }
+                    diags.push(Diagnostic {
+                        file: f.path.clone(),
+                        line: g.line,
+                        rule: "L014",
+                        message: format!(
+                            "guard `{}` on `{}` (acquired line {}) is held across a loop back-edge in `{}`; collect under the lock, release it, then iterate",
+                            display_name(name), g.lock, g.line, info.qual
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags.extend(cycle_diagnostics(&edges));
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// Converts one observation into diagnostics and lock-order edges.
+fn report(
+    o: Obs,
+    f: &FileAnalysis,
+    fns: &[FnInfo<'_>],
+    acq_all: &[BTreeSet<String>],
+    bcause: &[Option<BlockCause>],
+    diags: &mut Vec<Diagnostic>,
+    edges: &mut BTreeMap<(String, String), (String, usize)>,
+) {
+    match o {
+        Obs::Acquire { lock, line, held } => {
+            for (_, g) in &held {
+                edges
+                    .entry((g.lock.clone(), lock.clone()))
+                    .or_insert_with(|| (f.path.clone(), line));
+            }
+        }
+        Obs::Blocking { what, line, held } => {
+            if let Some((name, g)) = held.iter().find(|(_, g)| !g.sanctioned) {
+                diags.push(Diagnostic {
+                    file: f.path.clone(),
+                    line,
+                    rule: "L013",
+                    message: format!(
+                        "blocking call `{what}` while holding guard `{}` on `{}` (acquired line {}); release the guard before blocking or allowlist with a reason",
+                        display_name(name), g.lock, g.line
+                    ),
+                });
+            }
+        }
+        Obs::Call { callee, line, held } => {
+            for (_, g) in &held {
+                for lock in &acq_all[callee] {
+                    edges
+                        .entry((g.lock.clone(), lock.clone()))
+                        .or_insert_with(|| (f.path.clone(), line));
+                }
+            }
+            if let Some((name, g)) = held.iter().find(|(_, g)| !g.sanctioned) {
+                if let Some(cause) = &bcause[callee] {
+                    let (root, hop) = match cause {
+                        BlockCause::Direct(what) => (what, String::new()),
+                        BlockCause::Via(next, root) => (root, format!(" through `{next}`")),
+                    };
+                    diags.push(Diagnostic {
+                        file: f.path.clone(),
+                        line,
+                        rule: "L013",
+                        message: format!(
+                            "call to `{}` reaches blocking `{root}`{hop} while holding guard `{}` on `{}` (acquired line {}); release the guard before blocking or allowlist with a reason",
+                            fns[callee].qual, display_name(name), g.lock, g.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// L012: strongly-connected components of the lock-order graph. Two
+/// locks in one component (or a self-edge) mean two code paths acquire
+/// them in opposite orders.
+fn cycle_diagnostics(edges: &BTreeMap<(String, String), (String, usize)>) -> Vec<Diagnostic> {
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        nodes.insert(a.clone());
+        nodes.insert(b.clone());
+        adj.entry(a).or_default().insert(b);
+    }
+    // Path-of-length-≥1 reachability; the graphs here are tiny (one node
+    // per lock in the workspace), so BFS per query is plenty.
+    let reach = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue: Vec<&str> = adj
+            .get(from)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        while let Some(n) = queue.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adj.get(n) {
+                    queue.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    let mut assigned: BTreeSet<String> = BTreeSet::new();
+    for n in &nodes {
+        if assigned.contains(n) {
+            continue;
+        }
+        let group: Vec<&String> = nodes
+            .iter()
+            .filter(|m| *m == n || (reach(n, m) && reach(m, n)))
+            .collect();
+        for m in &group {
+            assigned.insert((*m).clone());
+        }
+        let cyclic = group.len() > 1 || edges.contains_key(&(n.clone(), n.clone()));
+        if !cyclic {
+            continue;
+        }
+        let cycle_edges: Vec<_> = edges
+            .iter()
+            .filter(|((a, b), _)| group.contains(&a) && group.contains(&b))
+            .collect();
+        let segs: Vec<String> = cycle_edges
+            .iter()
+            .map(|((a, b), (file, line))| format!("`{a}` -> `{b}` ({file}:{line})"))
+            .collect();
+        let Some((_, (file, line))) = cycle_edges.first() else {
+            continue;
+        };
+        out.push(Diagnostic {
+            file: file.clone(),
+            line: *line,
+            rule: "L012",
+            message: format!(
+                "lock-order cycle (potential deadlock): {}; acquire locks in one global order",
+                segs.join(", ")
+            ),
+        });
+    }
+    out
+}
+
+/// What the reporting walk observed while replaying one statement. Each
+/// observation snapshots the guards live at that exact event, in
+/// deterministic (bound names first, then temporaries) order.
+enum Obs {
+    /// A lock was acquired with `held` guards live.
+    Acquire {
+        /// The acquired lock.
+        lock: String,
+        /// 1-based line of the acquisition.
+        line: usize,
+        /// Live guards at the event.
+        held: Vec<(String, Guard)>,
+    },
+    /// A direct blocking marker ran with `held` guards live.
+    Blocking {
+        /// The marker name.
+        what: &'static str,
+        /// 1-based line of the call.
+        line: usize,
+        /// Live guards at the event.
+        held: Vec<(String, Guard)>,
+    },
+    /// A resolved workspace call ran with `held` guards live.
+    Call {
+        /// Index into the function table.
+        callee: usize,
+        /// 1-based line of the call.
+        line: usize,
+        /// Live guards at the event.
+        held: Vec<(String, Guard)>,
+    },
+}
+
+/// The guard-region dataflow: state maps binding name → [`Guard`].
+struct GuardAnalysis<'a> {
+    cfg: &'a Cfg,
+    facts: &'a BTreeMap<(usize, usize), StmtFacts>,
+}
+
+impl Analysis for GuardAnalysis<'_> {
+    type State = BTreeMap<String, Guard>;
+
+    fn boundary(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn transfer(&self, stmt: &CfgStmt, block: usize, idx: usize, state: &mut Self::State) {
+        step(self.cfg, stmt, self.facts.get(&(block, idx)), state, None);
+    }
+
+    fn edge(&self, edge: &crate::cfg::Edge, state: &mut Self::State) {
+        // A back edge ends the iteration: bindings made inside the loop
+        // body die at its closing brace before control re-enters the
+        // head, so only guards from enclosing scopes (the L014 targets)
+        // survive the trip around.
+        if let Some(body_scope) = edge.back {
+            state.retain(|_, g| !self.cfg.scope_contains(body_scope, g.scope));
+        }
+    }
+
+    fn join(&self, into: &mut Self::State, other: &Self::State) -> bool {
+        let mut changed = false;
+        for (k, g) in other {
+            match into.get_mut(k) {
+                None => {
+                    into.insert(k.clone(), g.clone());
+                    changed = true;
+                }
+                Some(cur) => {
+                    // Keep the smaller Guard: deterministic, and since
+                    // `sanctioned: false < true`, a guard unsanctioned on
+                    // any path joins as unsanctioned (pessimistic).
+                    if *g < *cur {
+                        *cur = g.clone();
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Applies one statement to the guard state; with `obs` set, also records
+/// what the lock rules need to see. Used by both the dataflow transfer
+/// (silently) and the reporting walk, so their states evolve identically.
+fn step(
+    cfg: &Cfg,
+    stmt: &CfgStmt,
+    facts: Option<&StmtFacts>,
+    state: &mut BTreeMap<String, Guard>,
+    mut obs: Option<&mut Vec<Obs>>,
+) {
+    // Lexical death: a binding made in a scope that does not enclose this
+    // statement has been dropped on the way here.
+    state.retain(|_, g| cfg.scope_contains(g.scope, stmt.scope));
+    let Some(facts) = facts else {
+        return;
+    };
+    // Temporaries live to the end of their statement only.
+    let mut temps: BTreeMap<String, Guard> = BTreeMap::new();
+    for ev in &facts.events {
+        match ev {
+            Event::Acquire { lock, tok, line } => {
+                if let Some(out) = obs.as_deref_mut() {
+                    out.push(Obs::Acquire {
+                        lock: lock.clone(),
+                        line: *line,
+                        held: snapshot(state, &temps),
+                    });
+                }
+                let guard = Guard {
+                    lock: lock.clone(),
+                    line: *line,
+                    scope: stmt.scope,
+                    sanctioned: false,
+                };
+                match facts.binds.get(tok) {
+                    Some(name) => {
+                        state.insert(name.clone(), guard);
+                    }
+                    None => {
+                        temps.insert(format!("<temporary@{tok}>"), guard);
+                    }
+                }
+            }
+            Event::Drop { name } => {
+                state.remove(name);
+                temps.remove(name);
+            }
+            Event::Wait { name } => {
+                if let Some(g) = state.get_mut(name) {
+                    g.sanctioned = true;
+                }
+            }
+            Event::Blocking { what, line } => {
+                if let Some(out) = obs.as_deref_mut() {
+                    out.push(Obs::Blocking {
+                        what,
+                        line: *line,
+                        held: snapshot(state, &temps),
+                    });
+                }
+            }
+            Event::Call { callee, line } => {
+                if let Some(out) = obs.as_deref_mut() {
+                    out.push(Obs::Call {
+                        callee: *callee,
+                        line: *line,
+                        held: snapshot(state, &temps),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// How a binding name reads in a diagnostic: `for`-iterator temporaries
+/// carry a token index internally (to stay unique per acquisition) that
+/// would only confuse the reader.
+fn display_name(name: &str) -> &str {
+    if name.starts_with("<temporary@") {
+        "<temporary>"
+    } else {
+        name
+    }
+}
+
+/// The live guards at an event: bound guards, then statement-local
+/// temporaries, each in name order.
+fn snapshot(
+    state: &BTreeMap<String, Guard>,
+    temps: &BTreeMap<String, Guard>,
+) -> Vec<(String, Guard)> {
+    let mut held: Vec<(String, Guard)> =
+        state.iter().map(|(n, g)| (n.clone(), g.clone())).collect();
+    held.extend(
+        temps
+            .values()
+            .map(|g| ("<temporary>".to_string(), g.clone())),
+    );
+    held
+}
+
+/// Extracts one statement's event script.
+#[allow(clippy::too_many_arguments)] // lint: allow(L011, one internal call site; bundling the resolution indexes into a struct would just rename the arguments)
+fn stmt_facts(
+    tokens: &[Token],
+    stmt: &CfgStmt,
+    self_id: usize,
+    file: usize,
+    crate_name: &str,
+    fns: &[FnInfo<'_>],
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    method_by_name: &BTreeMap<&str, Vec<usize>>,
+    by_qual: &BTreeMap<(&str, &str), Vec<usize>>,
+    wrapper_lock: &[Option<String>],
+) -> StmtFacts {
+    let mut facts = StmtFacts::default();
+    let (start, end) = stmt.range;
+    let end = end.min(tokens.len());
+    let mut i = start;
+    while i < end {
+        let Some(name) = tokens[i].kind.ident() else {
+            i += 1;
+            continue;
+        };
+        if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(k) if k.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
+        let is_method = matches!(prev, Some(k) if k.is_punct('.'));
+        let empty = matches!(tokens.get(i + 2).map(|t| &t.kind), Some(k) if k.is_punct(')'));
+
+        // The std lock vocabulary always means std, never a workspace
+        // wrapper — resolving `self.cache.lock()` to some unrelated
+        // method named `lock` would mis-seed every rule downstream.
+        if is_method && matches!(name, "lock" | "read" | "write") {
+            if empty {
+                facts.events.push(Event::Acquire {
+                    lock: lock_identity(tokens, i, crate_name),
+                    tok: i,
+                    line,
+                });
+            }
+            // `.read(buf)` and friends are I/O calls; the explicit
+            // markers (`read_exact`, ...) cover the blocking ones.
+            i += 1;
+            continue;
+        }
+        if is_method && matches!(name, "wait" | "wait_timeout") {
+            if let Some(arg) = tokens.get(i + 2).and_then(|t| t.kind.ident()) {
+                facts.events.push(Event::Wait {
+                    name: arg.to_string(),
+                });
+            }
+            i += 1;
+            continue;
+        }
+        if name == "drop"
+            && !is_method
+            && !matches!(prev, Some(k) if k.is_op("::"))
+            && matches!(tokens.get(i + 3).map(|t| &t.kind), Some(k) if k.is_punct(')'))
+        {
+            if let Some(arg) = tokens.get(i + 2).and_then(|t| t.kind.ident()) {
+                facts.events.push(Event::Drop {
+                    name: arg.to_string(),
+                });
+                i += 1;
+                continue;
+            }
+        }
+        if matches!(prev, Some(TokenKind::Ident(kw)) if kw == "fn") {
+            i += 1;
+            continue; // a nested definition, not a call
+        }
+        if let Some(what) = BLOCKING_ANY.iter().copied().find(|m| *m == name) {
+            facts.events.push(Event::Blocking { what, line });
+        } else if is_method && empty {
+            if let Some(what) = BLOCKING_EMPTY.iter().copied().find(|m| *m == name) {
+                facts.events.push(Event::Blocking { what, line });
+            }
+        }
+        for callee in resolve(
+            tokens,
+            i,
+            name,
+            file,
+            fns,
+            free_by_name,
+            method_by_name,
+            by_qual,
+        ) {
+            if let Some(lock) = &wrapper_lock[callee] {
+                // Calling a guard-returning wrapper IS acquiring its lock.
+                facts.events.push(Event::Acquire {
+                    lock: lock.clone(),
+                    tok: i,
+                    line,
+                });
+            } else if callee != self_id {
+                facts.events.push(Event::Call { callee, line });
+            }
+        }
+        i += 1;
+    }
+
+    // Which acquisitions bind a guard that outlives the statement?
+    match &stmt.kind {
+        CfgStmtKind::Let { name } => {
+            let last_acquire = facts.events.iter().rev().find_map(|e| match e {
+                Event::Acquire { tok, .. } => Some(*tok),
+                _ => None,
+            });
+            if let Some(tok) = last_acquire {
+                let after = skip_call(tokens, tok);
+                if guard_survives(tokens, after, end) {
+                    facts.binds.insert(tok, name.clone());
+                }
+            }
+        }
+        CfgStmtKind::ForIter => {
+            // Every temporary born in a `for` iterator expression lives
+            // until the loop ends (Rust extends their lifetime), so every
+            // acquisition here binds an anonymous loop-scoped guard.
+            let toks: Vec<usize> = facts
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Acquire { tok, .. } => Some(*tok),
+                    _ => None,
+                })
+                .collect();
+            for tok in toks {
+                facts.binds.insert(tok, format!("<temporary@{tok}>"));
+            }
+        }
+        CfgStmtKind::Expr => {}
+    }
+    facts
+}
+
+/// Resolves one call site to workspace function ids, mirroring the L008
+/// taint resolution: qualified calls bind to the named type's impl, bare
+/// calls prefer the defining file and otherwise need a unique workspace
+/// definition, and method calls bind only when exactly one impl defines
+/// the name.
+#[allow(clippy::too_many_arguments)] // lint: allow(L011, shares the resolution indexes with stmt_facts; a struct would only rename them)
+fn resolve(
+    tokens: &[Token],
+    i: usize,
+    name: &str,
+    file: usize,
+    fns: &[FnInfo<'_>],
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    method_by_name: &BTreeMap<&str, Vec<usize>>,
+    by_qual: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
+    match prev {
+        Some(TokenKind::Punct('.')) => {
+            let all = method_by_name.get(name).cloned().unwrap_or_default();
+            if all.len() == 1 {
+                all
+            } else {
+                Vec::new()
+            }
+        }
+        Some(k) if k.is_op("::") => match i.checked_sub(2).map(|j| &tokens[j].kind) {
+            Some(TokenKind::Ident(ty)) => by_qual
+                .get(&(ty.as_str(), name))
+                .cloned()
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        },
+        _ => {
+            let all = free_by_name.get(name).cloned().unwrap_or_default();
+            let same_file: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].file == file)
+                .collect();
+            if !same_file.is_empty() {
+                same_file
+            } else if all.len() == 1 {
+                all
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// The `{crate}::{receiver}` identity of the lock acquired at token `i`
+/// (the `lock`/`read`/`write` name). The receiver is the identifier
+/// directly before the dot — the field or variable storing the lock —
+/// or `<expr>` when the receiver is a computed expression.
+fn lock_identity(tokens: &[Token], i: usize, crate_name: &str) -> String {
+    let recv = i
+        .checked_sub(2)
+        .and_then(|j| tokens[j].kind.ident())
+        .unwrap_or("<expr>");
+    let krate = if crate_name.is_empty() {
+        "ws"
+    } else {
+        crate_name
+    };
+    format!("{krate}::{recv}")
+}
+
+/// The first direct std lock acquisition in a body's token range, as a
+/// lock identity — how a guard-returning wrapper declares which lock its
+/// guard protects.
+fn first_direct_acquire(
+    tokens: &[Token],
+    body: (usize, usize),
+    crate_name: &str,
+) -> Option<String> {
+    let end = body.1.min(tokens.len());
+    for i in body.0..end {
+        let Some(name) = tokens[i].kind.ident() else {
+            continue;
+        };
+        if !matches!(name, "lock" | "read" | "write") {
+            continue;
+        }
+        let is_method = i
+            .checked_sub(1)
+            .map(|j| tokens[j].kind.is_punct('.'))
+            .unwrap_or(false);
+        let empty = matches!(tokens.get(i + 1).map(|t| &t.kind), Some(k) if k.is_punct('('))
+            && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(k) if k.is_punct(')'));
+        if is_method && empty {
+            return Some(lock_identity(tokens, i, crate_name));
+        }
+    }
+    None
+}
+
+/// Index just past the call's closing parenthesis, where the call name is
+/// at `i` and its argument list opens at `i + 1`.
+fn skip_call(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        if tokens[j].kind.is_punct('(') {
+            depth += 1;
+        } else if tokens[j].kind.is_punct(')') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// True when everything from `i` to `end` is a guard-preserving adapter
+/// chain: `?` and `.unwrap()`/`.expect(..)`/`.unwrap_or_else(..)` only.
+/// Anything else (a field projection, a map, a method on the protected
+/// data) consumes the guard expression into some other value.
+fn guard_survives(tokens: &[Token], mut i: usize, end: usize) -> bool {
+    let end = end.min(tokens.len());
+    while i < end {
+        let k = &tokens[i].kind;
+        if k.is_punct('?') || k.is_op("?") {
+            i += 1;
+            continue;
+        }
+        if k.is_punct('.') {
+            let adapter = tokens.get(i + 1).and_then(|t| t.kind.ident());
+            if !matches!(adapter, Some(a) if POISON_ADAPTERS.contains(&a)) {
+                return false;
+            }
+            if !matches!(tokens.get(i + 2).map(|t| &t.kind), Some(k) if k.is_punct('(')) {
+                return false;
+            }
+            i = skip_call(tokens, i + 1);
+            continue;
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn lock_identity_uses_the_last_receiver_segment() {
+        let toks = lex("self.shared.conns.lock()").tokens;
+        let at = toks
+            .iter()
+            .position(|t| t.kind.ident() == Some("lock"))
+            .expect("lock token");
+        assert_eq!(lock_identity(&toks, at, "serve"), "serve::conns");
+    }
+
+    #[test]
+    fn guard_survives_poison_adapters_only() {
+        let ok = lex("m.lock().unwrap_or_else(PoisonError::into_inner)").tokens;
+        let at = ok
+            .iter()
+            .position(|t| t.kind.ident() == Some("lock"))
+            .expect("lock token");
+        let after = skip_call(&ok, at);
+        assert!(guard_survives(&ok, after, ok.len()));
+
+        let consumed = lex("m.lock().unwrap().clone()").tokens;
+        let at = consumed
+            .iter()
+            .position(|t| t.kind.ident() == Some("lock"))
+            .expect("lock token");
+        let after = skip_call(&consumed, at);
+        assert!(!guard_survives(&consumed, after, consumed.len()));
+    }
+
+    #[test]
+    fn wrapper_bodies_reveal_their_lock() {
+        let toks =
+            lex("fn cache(&self) { self.cache.lock().unwrap_or_else(PoisonError::into_inner) }")
+                .tokens;
+        assert_eq!(
+            first_direct_acquire(&toks, (0, toks.len()), "serve"),
+            Some("serve::cache".to_string())
+        );
+    }
+}

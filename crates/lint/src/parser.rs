@@ -702,6 +702,502 @@ fn is_test_attr(attr: &Attr) -> bool {
     attr.name == "test" || (attr.name == "cfg" && attr.args.iter().any(|a| a == "test"))
 }
 
+// ---------------------------------------------------------------------------
+// Function-body statement grammar (static analysis v3).
+//
+// The item parser above deliberately keeps bodies as opaque token ranges;
+// the lock-discipline analyses ([`crate::cfg`], [`crate::locks`]) need one
+// more level of structure: statements, blocks, and the control-flow
+// keywords between them. This grammar recovers exactly that and nothing
+// more — expressions stay opaque ranges, closures stay embedded in their
+// statement, and anything unrecognized degrades to an `Expr` statement.
+// Like the item parser it is total: it cannot fail, only lose precision.
+// ---------------------------------------------------------------------------
+
+/// A brace-delimited sequence of parsed statements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement of a parsed function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// 1-based line the statement starts on.
+    pub line: usize,
+    /// Token range `[start, end)` of the whole statement, nested blocks
+    /// included.
+    pub range: (usize, usize),
+    /// The statement's shape.
+    pub kind: StmtKind,
+}
+
+/// The statement shapes the control-flow graph distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let PAT = INIT;`. `name` is set for plain `let [mut] name`
+    /// bindings (destructuring patterns bind nothing the lock analysis can
+    /// track). When the initializer is a bare `{ ... }` block it is parsed
+    /// recursively into `init_block` so bindings inside it get their own
+    /// lexical scope.
+    Let {
+        /// The bound identifier for plain bindings.
+        name: Option<String>,
+        /// Token range of the initializer expression.
+        init: (usize, usize),
+        /// Recursively parsed initializer for `let x = { ... };`.
+        init_block: Option<Block>,
+    },
+    /// `if COND { THEN } [else ...]`; an `else if` chain nests as a single
+    /// `If` statement inside `else_block`.
+    If {
+        /// Token range of the condition (including `let` patterns).
+        cond: (usize, usize),
+        /// The `then` branch.
+        then_block: Block,
+        /// The `else` branch, when present.
+        else_block: Option<Block>,
+    },
+    /// `match SCRUTINEE { ARMS }`; every arm body is a block (expression
+    /// arms become single-statement blocks).
+    Match {
+        /// Token range of the scrutinee expression.
+        scrutinee: (usize, usize),
+        /// One parsed body per arm, in source order.
+        arms: Vec<Block>,
+    },
+    /// `loop { ... }`.
+    Loop {
+        /// The loop body.
+        body: Block,
+    },
+    /// `while COND { ... }` (including `while let`).
+    While {
+        /// Token range of the condition.
+        cond: (usize, usize),
+        /// The loop body.
+        body: Block,
+    },
+    /// `for PAT in ITER { ... }`.
+    For {
+        /// Token range of the iterator expression (evaluated once; Rust
+        /// extends its temporaries to the end of the whole loop).
+        iter: (usize, usize),
+        /// The loop body.
+        body: Block,
+    },
+    /// `return [EXPR];`.
+    Return,
+    /// `break [LABEL] [EXPR];`.
+    Break,
+    /// `continue [LABEL];`.
+    Continue,
+    /// A bare `{ ... }` or `unsafe { ... }` block statement.
+    BlockStmt {
+        /// The nested block.
+        body: Block,
+    },
+    /// Anything else: one opaque expression statement.
+    Expr,
+}
+
+/// Parses the token range of a function body into its statement tree.
+/// Total like the item parser: malformed input degrades to opaque
+/// [`StmtKind::Expr`] statements, never an error.
+pub fn parse_body(tokens: &[Token], range: (usize, usize)) -> Block {
+    let mut p = BodyParser {
+        toks: tokens,
+        i: range.0,
+    };
+    p.block(range.1.min(tokens.len()))
+}
+
+struct BodyParser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> BodyParser<'a> {
+    fn kind(&self, at: usize) -> Option<&'a TokenKind> {
+        self.toks.get(at).map(|t| &t.kind)
+    }
+
+    fn ident(&self, at: usize) -> Option<&'a str> {
+        self.kind(at).and_then(|k| k.ident())
+    }
+
+    fn line(&self, at: usize) -> usize {
+        self.toks.get(at).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn is_punct(&self, at: usize, c: char) -> bool {
+        matches!(self.kind(at), Some(k) if k.is_punct(c))
+    }
+
+    fn block(&mut self, end: usize) -> Block {
+        let mut stmts = Vec::new();
+        while self.i < end {
+            let before = self.i;
+            if let Some(s) = self.stmt(end) {
+                stmts.push(s);
+            }
+            if self.i <= before {
+                // Progress guarantee: never loop in place.
+                self.i = before + 1;
+            }
+        }
+        Block { stmts }
+    }
+
+    /// Advances past one statement, returning it (or `None` for trivia:
+    /// doc comments, attributes, stray semicolons).
+    fn stmt(&mut self, end: usize) -> Option<Stmt> {
+        match self.kind(self.i) {
+            Some(TokenKind::DocComment) => {
+                self.i += 1;
+                return None;
+            }
+            Some(k) if k.is_punct(';') => {
+                self.i += 1;
+                return None;
+            }
+            Some(k) if k.is_punct('#') => {
+                // A statement attribute: skip `#[...]` and let the next
+                // round parse the statement it decorates.
+                self.i += 1;
+                if self.is_punct(self.i, '!') {
+                    self.i += 1;
+                }
+                if self.is_punct(self.i, '[') {
+                    self.skip_balanced('[', ']', end);
+                }
+                return None;
+            }
+            _ => {}
+        }
+        let start = self.i;
+        let line = self.line(start);
+        // Loop labels: `'outer: loop { ... }`.
+        if matches!(self.kind(self.i), Some(TokenKind::Lifetime(_)))
+            && self.is_punct(self.i + 1, ':')
+            && matches!(self.ident(self.i + 2), Some("loop" | "while" | "for"))
+        {
+            self.i += 2;
+        }
+        let kind = match self.ident(self.i) {
+            Some("let") => self.let_stmt(end),
+            Some("if") => self.if_stmt(end),
+            Some("match") => self.match_stmt(end),
+            Some("loop") => {
+                self.i += 1;
+                StmtKind::Loop {
+                    body: self.braced_block(end),
+                }
+            }
+            Some("while") => {
+                self.i += 1;
+                let cond = self.scan_until_brace(end);
+                StmtKind::While {
+                    cond,
+                    body: self.braced_block(end),
+                }
+            }
+            Some("for") => self.for_stmt(end),
+            Some("return") => {
+                self.scan_past_semicolon(end);
+                StmtKind::Return
+            }
+            Some("break") => {
+                self.scan_past_semicolon(end);
+                StmtKind::Break
+            }
+            Some("continue") => {
+                self.scan_past_semicolon(end);
+                StmtKind::Continue
+            }
+            Some("unsafe") if self.is_punct(self.i + 1, '{') => {
+                self.i += 1;
+                StmtKind::BlockStmt {
+                    body: self.braced_block(end),
+                }
+            }
+            _ if self.is_punct(self.i, '{') => StmtKind::BlockStmt {
+                body: self.braced_block(end),
+            },
+            _ => {
+                self.scan_past_semicolon(end);
+                StmtKind::Expr
+            }
+        };
+        // `}`-terminated statements may carry a trailing `;`.
+        if self.is_punct(self.i, ';') {
+            self.i += 1;
+        }
+        Some(Stmt {
+            line,
+            range: (start, self.i),
+            kind,
+        })
+    }
+
+    fn let_stmt(&mut self, end: usize) -> StmtKind {
+        self.i += 1; // `let`
+        if self.ident(self.i) == Some("mut") {
+            self.i += 1;
+        }
+        // A plain binding is an identifier whose next token is `=` or `:`;
+        // anything else is a destructuring pattern.
+        let name = match (self.ident(self.i), self.kind(self.i + 1)) {
+            (Some(id), Some(k)) if k.is_punct('=') || k.is_punct(':') => Some(id.to_string()),
+            _ => None,
+        };
+        // Find the `=` that starts the initializer. Angle brackets are
+        // tracked here because we are in pattern/type position, where `<`
+        // cannot be a comparison.
+        let mut depth = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(' | '[' | '{' | '<')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']' | '}' | '>')) => depth -= 1,
+                Some(TokenKind::Punct('=')) if depth <= 0 => break,
+                Some(TokenKind::Punct(';')) if depth <= 0 => {
+                    // `let x;` — no initializer.
+                    self.i += 1;
+                    return StmtKind::Let {
+                        name,
+                        init: (self.i - 1, self.i - 1),
+                        init_block: None,
+                    };
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        self.i += 1; // `=`
+        let init_start = self.i;
+        let init_block = if self.is_punct(self.i, '{') {
+            let (bs, be) = self.skip_balanced('{', '}', end);
+            Some(self.sub_block(bs, be))
+        } else {
+            None
+        };
+        let init_end = self.scan_past_semicolon(end);
+        StmtKind::Let {
+            name,
+            init: (init_start, init_end.max(init_start)),
+            init_block,
+        }
+    }
+
+    fn if_stmt(&mut self, end: usize) -> StmtKind {
+        self.i += 1; // `if`
+        let cond = self.scan_until_brace(end);
+        let then_block = self.braced_block(end);
+        let mut else_block = None;
+        if self.ident(self.i) == Some("else") {
+            self.i += 1;
+            if self.ident(self.i) == Some("if") {
+                // `else if`: nest the chain as a one-statement block.
+                let start = self.i;
+                let line = self.line(start);
+                let kind = self.if_stmt(end);
+                else_block = Some(Block {
+                    stmts: vec![Stmt {
+                        line,
+                        range: (start, self.i),
+                        kind,
+                    }],
+                });
+            } else if self.is_punct(self.i, '{') {
+                else_block = Some(self.braced_block(end));
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        }
+    }
+
+    fn match_stmt(&mut self, end: usize) -> StmtKind {
+        self.i += 1; // `match`
+        let scrutinee = self.scan_until_brace(end);
+        let mut arms = Vec::new();
+        if self.is_punct(self.i, '{') {
+            let (bs, be) = self.skip_balanced('{', '}', end);
+            let saved = self.i;
+            self.i = bs;
+            while self.i < be {
+                let before = self.i;
+                if let Some(arm) = self.match_arm(be) {
+                    arms.push(arm);
+                }
+                if self.i <= before {
+                    self.i = before + 1;
+                }
+            }
+            self.i = saved;
+        }
+        StmtKind::Match { scrutinee, arms }
+    }
+
+    /// One `PAT => BODY,` arm; the body becomes a block either way.
+    fn match_arm(&mut self, end: usize) -> Option<Block> {
+        // Trivia before the pattern.
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::DocComment) => self.i += 1,
+                Some(k) if k.is_punct('#') => {
+                    self.i += 1;
+                    if self.is_punct(self.i, '[') {
+                        self.skip_balanced('[', ']', end);
+                    }
+                }
+                Some(k) if k.is_punct(',') => self.i += 1,
+                _ => break,
+            }
+        }
+        if self.i >= end {
+            return None;
+        }
+        // Pattern (including any `if` guard) up to `=>`.
+        let mut depth = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(' | '[' | '{')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']' | '}')) => depth -= 1,
+                Some(TokenKind::Op("=>")) if depth <= 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        if self.i >= end {
+            return None;
+        }
+        self.i += 1; // `=>`
+        if self.is_punct(self.i, '{') {
+            let (bs, be) = self.skip_balanced('{', '}', end);
+            return Some(self.sub_block(bs, be));
+        }
+        // Expression arm: runs to the `,` at depth zero (or the end).
+        let arm_start = self.i;
+        let mut depth = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(' | '[' | '{')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']' | '}')) => depth -= 1,
+                Some(TokenKind::Punct(',')) if depth <= 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        Some(self.sub_block(arm_start, self.i))
+    }
+
+    fn for_stmt(&mut self, end: usize) -> StmtKind {
+        self.i += 1; // `for`
+                     // Pattern up to `in` at depth zero.
+        let mut depth = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(' | '[' | '{')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']' | '}')) => depth -= 1,
+                Some(TokenKind::Ident(id)) if id == "in" && depth <= 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        self.i += 1; // `in`
+        let iter = self.scan_until_brace(end);
+        StmtKind::For {
+            iter,
+            body: self.braced_block(end),
+        }
+    }
+
+    /// Scans to the next `{` at depth zero, returning the tokens before it
+    /// (a condition, scrutinee, or iterator expression).
+    fn scan_until_brace(&mut self, end: usize) -> (usize, usize) {
+        let start = self.i;
+        let mut depth = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(' | '[')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']')) => depth -= 1,
+                Some(TokenKind::Punct('{')) if depth <= 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        (start, self.i)
+    }
+
+    /// Parses the `{ ... }` at the cursor into a block (empty if absent).
+    fn braced_block(&mut self, end: usize) -> Block {
+        if !self.is_punct(self.i, '{') {
+            return Block::default();
+        }
+        let (bs, be) = self.skip_balanced('{', '}', end);
+        self.sub_block(bs, be)
+    }
+
+    /// Parses a sub-range as a block, restoring the cursor.
+    fn sub_block(&mut self, start: usize, end: usize) -> Block {
+        let saved = self.i;
+        self.i = start;
+        let b = self.block(end);
+        self.i = saved;
+        b
+    }
+
+    /// Advances past the statement-terminating `;` at depth zero (or to
+    /// `end`), counting every bracket kind so block expressions, closures
+    /// and struct literals stay inside the statement. Returns the index of
+    /// the `;` itself (or `end`), i.e. the exclusive end of the expression.
+    fn scan_past_semicolon(&mut self, end: usize) -> usize {
+        let mut depth = 0i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(TokenKind::Punct('(' | '[' | '{')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']' | '}')) => depth -= 1,
+                Some(TokenKind::Punct(';')) if depth <= 0 => {
+                    let at = self.i;
+                    self.i += 1;
+                    return at;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        end
+    }
+
+    /// Skips a balanced pair at the cursor, returning the inner range.
+    fn skip_balanced(&mut self, open: char, close: char, end: usize) -> (usize, usize) {
+        debug_assert!(self.is_punct(self.i, open));
+        self.i += 1;
+        let start = self.i;
+        let mut depth = 1i64;
+        while self.i < end {
+            match self.kind(self.i) {
+                Some(k) if k.is_punct(open) => depth += 1,
+                Some(k) if k.is_punct(close) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner_end = self.i;
+                        self.i += 1;
+                        return (start, inner_end);
+                    }
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        (start, self.i)
+    }
+}
+
 /// Renders a token range back to deterministic, compact source text.
 ///
 /// The output is a pure function of the tokens: one canonical spacing, no
@@ -960,5 +1456,153 @@ mod tests {
         let ast = parse_src("pub unsafe fn danger() {}\n");
         assert!(ast.items[0].is_unsafe);
         assert_eq!(ast.items[0].kind, ItemKind::Fn);
+    }
+
+    fn body_of(src: &str) -> (Vec<Token>, Block) {
+        let toks = lex(src).tokens;
+        let ast = parse(&toks);
+        let body = ast.items[0].body.expect("fn has a body");
+        let block = parse_body(&toks, body);
+        (toks, block)
+    }
+
+    #[test]
+    fn body_let_bindings_and_shapes() {
+        let (toks, b) = body_of(
+            "fn f() {\n\
+                 let mut g = m.lock().unwrap();\n\
+                 let (a, b) = pair();\n\
+                 let scoped = { inner(); 4 };\n\
+                 g.push(1);\n\
+             }",
+        );
+        assert_eq!(b.stmts.len(), 4);
+        match &b.stmts[0].kind {
+            StmtKind::Let {
+                name,
+                init,
+                init_block,
+            } => {
+                assert_eq!(name.as_deref(), Some("g"));
+                assert!(init_block.is_none());
+                assert_eq!(render(&toks, *init), "m.lock().unwrap()");
+            }
+            k => panic!("expected let, got {k:?}"),
+        }
+        match &b.stmts[1].kind {
+            StmtKind::Let { name, .. } => assert_eq!(*name, None),
+            k => panic!("expected let, got {k:?}"),
+        }
+        match &b.stmts[2].kind {
+            StmtKind::Let {
+                name, init_block, ..
+            } => {
+                assert_eq!(name.as_deref(), Some("scoped"));
+                assert_eq!(init_block.as_ref().map(|ib| ib.stmts.len()), Some(2));
+            }
+            k => panic!("expected let with block init, got {k:?}"),
+        }
+        assert_eq!(b.stmts[3].kind, StmtKind::Expr);
+        assert_eq!(b.stmts[3].line, 5);
+    }
+
+    #[test]
+    fn body_if_else_chain_nests() {
+        let (toks, b) = body_of(
+            "fn f(x: u8) {\n\
+                 if x == 0 { zero(); } else if x == 1 { one(); } else { many(); }\n\
+             }",
+        );
+        let StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } = &b.stmts[0].kind
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(render(&toks, *cond), "x == 0");
+        assert_eq!(then_block.stmts.len(), 1);
+        let chain = else_block.as_ref().expect("else present");
+        let StmtKind::If { else_block, .. } = &chain.stmts[0].kind else {
+            panic!("else-if nests as an If statement");
+        };
+        assert!(else_block.is_some());
+    }
+
+    #[test]
+    fn body_match_arms_become_blocks() {
+        let (_, b) = body_of(
+            "fn f(x: Option<u8>) {\n\
+                 match x {\n\
+                     Some(0) | None => {}\n\
+                     Some(n) if n > 3 => big(n),\n\
+                     Some(_) => return,\n\
+                 }\n\
+             }",
+        );
+        let StmtKind::Match { arms, .. } = &b.stmts[0].kind else {
+            panic!("expected match");
+        };
+        assert_eq!(arms.len(), 3);
+        assert!(arms[0].stmts.is_empty());
+        assert_eq!(arms[1].stmts.len(), 1);
+        assert_eq!(arms[2].stmts[0].kind, StmtKind::Return);
+    }
+
+    #[test]
+    fn body_loops_and_labels() {
+        let (toks, b) = body_of(
+            "fn f() {\n\
+                 'outer: loop { break 'outer; }\n\
+                 while x < 4 { x += 1; }\n\
+                 for conn in conns.drain(..) { close(conn); }\n\
+             }",
+        );
+        let StmtKind::Loop { body } = &b.stmts[0].kind else {
+            panic!("expected loop");
+        };
+        assert_eq!(body.stmts[0].kind, StmtKind::Break);
+        let StmtKind::While { cond, body } = &b.stmts[1].kind else {
+            panic!("expected while");
+        };
+        assert_eq!(render(&toks, *cond), "x<4");
+        assert_eq!(body.stmts.len(), 1);
+        let StmtKind::For { iter, body } = &b.stmts[2].kind else {
+            panic!("expected for");
+        };
+        assert_eq!(render(&toks, *iter), "conns.drain(.. )");
+        assert_eq!(body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn body_closures_stay_inside_their_statement() {
+        let (_, b) = body_of(
+            "fn f() {\n\
+                 pool.submit(move || { job(); done(); }).unwrap();\n\
+                 after();\n\
+             }",
+        );
+        // The closure's inner statements must not leak out as siblings.
+        assert_eq!(b.stmts.len(), 2);
+        assert_eq!(b.stmts[0].kind, StmtKind::Expr);
+    }
+
+    #[test]
+    fn body_parser_survives_malformed_input() {
+        for src in [
+            "fn f() { let = ; }",
+            "fn f() { if { } }",
+            "fn f() { match }",
+            "fn f() { for in { } }",
+            "fn f() { { { }",
+            "fn f() { 'a: }",
+        ] {
+            let toks = lex(src).tokens;
+            let ast = parse(&toks);
+            if let Some(body) = ast.items.first().and_then(|i| i.body) {
+                let _ = parse_body(&toks, body);
+            }
+        }
     }
 }

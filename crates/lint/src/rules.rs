@@ -11,10 +11,14 @@
 //! | L007 | library code except `crates/pool`/`crates/serve`, non-test | no direct `std::thread`/`std::net` use |
 //! | L008 | synthesis crates except `rng` modules, non-test | no nondeterministic iteration (`HashMap`/`HashSet`), no `env::var` |
 //! | L011 | library code, non-test | every `unsafe` and blanket `#[allow(...)]` carries a reasoned companion |
+//! | L015 | library code, non-test | no `.unwrap()`/`.expect(..)` directly on a `lock()`/`read()`/`write()` result |
 //!
 //! L008 and L011 are the per-file halves of the cross-file analyses in
 //! [`crate::graph`]: L008's *direct* sites seed the determinism-taint
-//! propagation, and L011 audits the escape hatches themselves.
+//! propagation, and L011 audits the escape hatches themselves. The other
+//! body-level lock rules (L012–L014) live in [`crate::locks`], because
+//! they need the workspace call graph; L015 stays here because a
+//! poisoned-lock unwrap is visible in one token window.
 //!
 //! Any diagnostic can be suppressed with a `// lint: allow(RULE, reason)`
 //! comment on the same line or the line directly above; the reason is
@@ -122,22 +126,27 @@ impl Scope {
 pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
     let lexed = lex(src);
     let mut diags = file_diagnostics(path, &lexed);
-    apply_directives(&mut diags, &lexed.directives);
+    apply_directives(&mut diags, &lexed.directives, &lexed.file_directives);
     diags.sort();
     diags
 }
 
 /// Removes every diagnostic suppressed by a reasoned directive on its own
-/// line or the line directly above.
+/// line or the line directly above, or by a file-scoped
+/// `// lint: allow-file(...)` directive anywhere in the file.
 pub(crate) fn apply_directives(
     diags: &mut Vec<Diagnostic>,
     directives: &BTreeMap<usize, Vec<Directive>>,
+    file_directives: &[Directive],
 ) {
     diags.retain(|d| {
+        if file_directives.iter().any(|dir| dir.covers(d.rule)) {
+            return false;
+        }
         ![d.line, d.line.saturating_sub(1)].iter().any(|l| {
             directives
                 .get(l)
-                .map(|ds| ds.iter().any(|dir| dir.rule == d.rule))
+                .map(|ds| ds.iter().any(|dir| dir.covers(d.rule)))
                 .unwrap_or(false)
         })
     });
@@ -179,6 +188,30 @@ pub(crate) fn file_diagnostics(path: &Path, lexed: &Lexed) -> Vec<Diagnostic> {
             {
                 push(t.line, "L001", format!("`{ident}!` in library code; return a typed error or allowlist with a reason"));
             }
+        }
+
+        // L015: unwrapping a lock acquisition propagates a panic on one
+        // thread into panics on every thread that touches the lock next.
+        // `.lock()`/`.read()`/`.write()` with empty parens is a std lock
+        // primitive (io `read(buf)` calls carry arguments), and the only
+        // poison-safe adapters are the recovering ones.
+        if scope.is_lib
+            && !in_test[i]
+            && (ident == "lock" || ident == "read" || ident == "write")
+            && matches!(prev, Some(k) if k.is_punct('.'))
+            && matches!(next, Some(k) if k.is_punct('('))
+            && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(k) if k.is_punct(')'))
+            && matches!(tokens.get(i + 3).map(|t| &t.kind), Some(k) if k.is_punct('.'))
+            && matches!(
+                tokens.get(i + 4).and_then(|t| t.kind.ident()),
+                Some("unwrap" | "expect")
+            )
+        {
+            push(
+                t.line,
+                "L015",
+                format!("`.{ident}()` result unwrapped; recover the guard with `unwrap_or_else(PoisonError::into_inner)` so a poisoned lock cannot cascade panics"),
+            );
         }
 
         // L002: hermetic imports — std facade and workspace crates only.

@@ -152,6 +152,28 @@ fn l008_fixture_is_silent_off_the_synthesis_path_and_in_rng() {
 }
 
 #[test]
+fn l015_fixture_reports_each_unwrapped_lock_result() {
+    let got: Vec<(usize, &'static str)> = lint_fixture("l015.rs", "crates/sim/src/fixture.rs")
+        .into_iter()
+        .filter(|(_, rule)| *rule == "L015")
+        .collect();
+    assert_eq!(
+        got,
+        vec![(8, "L015"), (13, "L015"), (18, "L015")],
+        "poison recovery, the range-waived site and test code must not fire"
+    );
+}
+
+#[test]
+fn l015_range_directive_waives_every_rule_it_spans() {
+    let got = lint_fixture("l015.rs", "crates/sim/src/fixture.rs");
+    assert!(
+        got.iter().all(|(line, _)| *line != 29),
+        "`allow(L001-L015, ...)` must cover both L001 and L015 on line 29: {got:?}"
+    );
+}
+
+#[test]
 fn l011_fixture_reports_unreasoned_unsafe_and_blanket_allows() {
     let got = lint_fixture("l011.rs", "crates/trace/src/fixture.rs");
     assert_eq!(

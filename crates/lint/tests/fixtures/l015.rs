@@ -1,0 +1,41 @@
+//! L015 fixture: unwrapping a lock result panics the whole process the
+//! moment any other thread panicked while holding the lock.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+/// Panics on poison: both L015 and L001.
+pub fn bad_mutex(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+/// `expect` on a read guard is the same mistake.
+pub fn bad_read(r: &RwLock<u64>) -> u64 {
+    *r.read().expect("poisoned")
+}
+
+/// And on a write guard.
+pub fn bad_write(r: &RwLock<u64>) {
+    *r.write().unwrap() += 1;
+}
+
+/// Poison recovery keeps the data (a plain counter) usable.
+pub fn good_mutex(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A reviewed waiver can cover a whole rule range at once.
+pub fn waived(m: &Mutex<u64>) -> u64 {
+    // lint: allow(L001-L015, fixture: exercises a range directive through the pipeline)
+    *m.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let m = Mutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

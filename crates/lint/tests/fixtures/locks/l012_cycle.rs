@@ -1,0 +1,25 @@
+//! Two methods acquire the pair's locks in opposite orders.
+
+use std::sync::{Mutex, PoisonError};
+
+/// A pair of counters behind separate locks.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Alpha first, then beta.
+    pub fn sum_ab(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    /// Beta first, then alpha: the reverse order closes the cycle.
+    pub fn sum_ba(&self) -> u64 {
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+}

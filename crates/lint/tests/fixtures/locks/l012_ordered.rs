@@ -1,0 +1,39 @@
+//! Consistent order plus the worker-loop shape: both are cycle-free.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Same pair, one global order.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Alpha then beta.
+    pub fn sum(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    /// Alpha then beta again: same order, no cycle.
+    pub fn add(&self, v: u64) {
+        let mut a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        *a += v;
+        let mut b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *b += v;
+    }
+}
+
+/// The pool's worker-loop shape: the guard is rebound every iteration,
+/// so the next acquisition never happens "while holding" the last one.
+pub fn pump(work: &Mutex<Vec<u64>>) -> u64 {
+    let mut total = 0;
+    loop {
+        let mut queue = work.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.is_empty() {
+            return total;
+        }
+        total += queue.pop().unwrap_or(0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Blocking while holding a guard, directly and through a call chain.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, PoisonError};
+
+/// Direct: blocks on the channel with the queue locked.
+pub fn pull_into(queue: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
+    q.push(rx.recv().unwrap_or(0));
+}
+
+/// Transitive: `fetch` is the one that blocks.
+pub fn forward(queue: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
+    q.push(fetch(rx));
+}
+
+fn fetch(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap_or(0)
+}

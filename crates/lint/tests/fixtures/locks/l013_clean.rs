@@ -1,0 +1,22 @@
+//! The sanctioned ways to block: after release, or inside a condvar wait.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Take the value out under the lock, then block with it released.
+pub fn pop_then_pull(queue: &Mutex<Vec<u64>>, rx: &Receiver<u64>) -> u64 {
+    let head = {
+        let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.pop()
+    };
+    head.unwrap_or_default() + rx.recv().unwrap_or(0)
+}
+
+/// A condvar wait is the one legitimate sleep-holding-a-lock.
+pub fn wait_nonempty(queue: &Mutex<Vec<u64>>, ready: &Condvar) -> u64 {
+    let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
+    while q.is_empty() {
+        q = ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+    }
+    q.pop().unwrap_or(0)
+}

@@ -1,0 +1,27 @@
+//! The fixed shapes: collect under the lock, release, then iterate —
+//! or rebind the guard inside each iteration.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Take the data out first; the loop runs with the lock released.
+pub fn drain_released(hist: &Mutex<Vec<u64>>) -> u64 {
+    let drained = {
+        let mut g = hist.lock().unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *g)
+    };
+    let mut total = 0;
+    for v in drained {
+        total += v;
+    }
+    total
+}
+
+/// Reacquire per iteration: the guard dies at every back edge.
+pub fn poll(hist: &Mutex<Vec<u64>>, rounds: usize) -> u64 {
+    let mut total = 0;
+    for _ in 0..rounds {
+        let g = hist.lock().unwrap_or_else(PoisonError::into_inner);
+        total += g.iter().sum::<u64>();
+    }
+    total
+}

@@ -1,0 +1,23 @@
+//! Guards held across loop iterations on the synthesis path.
+
+use std::sync::{Mutex, PoisonError};
+
+/// The named-binding form: `g` outlives every iteration.
+pub fn sum_rounds(hist: &Mutex<Vec<u64>>, rounds: usize) -> u64 {
+    let g = hist.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut total = 0;
+    for _ in 0..rounds {
+        total += g.iter().sum::<u64>();
+    }
+    total
+}
+
+/// The temporary form: the iterator expression pins the guard until the
+/// loop finishes (Rust extends the temporary's lifetime).
+pub fn drain_pinned(hist: &Mutex<Vec<u64>>) -> u64 {
+    let mut total = 0;
+    for v in hist.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
+        total += v;
+    }
+    total
+}

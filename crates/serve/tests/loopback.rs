@@ -278,11 +278,8 @@ fn mid_stream_client_survives_shutdown_with_clean_end_of_stream() {
     // in hand, then keep reading until the clean end-of-stream frame —
     // never a reset mid-read.
     stream.ack().expect("ack first chunk");
-    loop {
-        match stream.next_chunk().expect("mid-shutdown chunk") {
-            Some(_) => stream.ack().expect("ack during drain"),
-            None => break,
-        }
+    while stream.next_chunk().expect("mid-shutdown chunk").is_some() {
+        stream.ack().expect("ack during drain");
     }
     let (total, fingerprint) = stream.end().expect("clean end of stream");
     assert!(total > 0);
@@ -339,13 +336,9 @@ fn over_cap_requests_get_deterministic_busy() {
     // Release the worker (ack the withheld chunk) and drain the stream;
     // the contender can then be served on the freed worker.
     stream.ack().expect("release ack");
-    loop {
-        match stream.next_chunk().expect("chunk") {
-            Some(_) => stream.ack().expect("ack"),
-            None => break,
-        }
+    while stream.next_chunk().expect("chunk").is_some() {
+        stream.ack().expect("ack");
     }
-    drop(stream);
     let text = loop {
         match contender.stats(ProfileSource::Fingerprint(fit.fingerprint)) {
             Ok(text) => break text,
@@ -509,4 +502,28 @@ fn decode_limits_apply_to_uploads() {
         "{err}"
     );
     shut_down(&addr, handle);
+}
+
+#[test]
+fn shutdown_with_idle_connections_completes_and_closes_their_sockets() {
+    // Regression: the shutdown sweep used to hold the connection
+    // registry's lock while shutting each socket down, which could wedge
+    // against a connection thread trying to deregister itself (it needs
+    // that same lock to make progress). The sweep now takes the sockets
+    // out under the lock and shuts them down after releasing it, so
+    // shutdown must complete — promptly — with idle clients attached.
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut idle: Vec<Client> = (0..3)
+        .map(|i| Client::connect(&addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}")))
+        .collect();
+    shut_down(&addr, handle);
+
+    // The sweep shut the idle sockets down; a request on one must fail
+    // instead of hanging on a half-open connection.
+    let upload = trace_bytes(&small_trace());
+    let mut client = idle.pop().expect("has idle clients");
+    assert!(
+        client.fit(CYCLES, upload).is_err(),
+        "a swept socket cannot serve a fit"
+    );
 }

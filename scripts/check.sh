@@ -37,4 +37,10 @@ cargo run -q --offline --release -p mocktails-lint -- --format json crates/
 echo "==> mocktails-lint --rules L010 crates/ (API baseline diff)"
 cargo run -q --offline --release -p mocktails-lint -- --rules L010 crates/
 
+# The lock-discipline rules as their own named step: a deadlock-shaped
+# finding (ordering cycle, blocking under a guard, guard pinned across a
+# loop, unwrapped lock result) should be attributable at a glance.
+echo "==> mocktails-lint --rules L012,L013,L014,L015 crates/ (lock discipline)"
+cargo run -q --offline --release -p mocktails-lint -- --rules L012,L013,L014,L015 crates/
+
 echo "All gates passed."

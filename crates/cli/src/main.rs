@@ -118,13 +118,17 @@ const USAGE: &str = "usage:
                        [--quick]
   mocktails serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                   [--cache-cap N] [--cache-ttl-micros N] [--port-file FILE]
+                  [--store DIR]   (crash-recoverable profile store)
   mocktails client fit <FILE.mtrace> --addr HOST:PORT -o <FILE.mprofile>
                    [--cycles N]
   mocktails client synth <FILE.mprofile> --addr HOST:PORT -o <FILE.mtrace>
                    [--seed N] [--chunk N] [--fingerprint HEX (instead of FILE)]
   mocktails client stats <FILE.mprofile|--fingerprint HEX> --addr HOST:PORT
   mocktails client metricsz --addr HOST:PORT
+  mocktails client compact --addr HOST:PORT   (checkpoint the server's store)
   mocktails client shutdown --addr HOST:PORT
+  mocktails store inspect <DIR>   (recover and describe a profile store)
+  mocktails store compact <DIR>   (checkpoint + truncate its log offline)
 
 Every command also accepts --threads N (worker threads; default: all cores,
 or the MOCKTAILS_THREADS environment variable). Results are bit-identical
@@ -152,6 +156,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "experiment" => cmd_experiment(&rest),
         "serve" => cmd_serve(&rest),
         "client" => cmd_client(&rest),
+        "store" => cmd_store(&rest),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
@@ -498,6 +503,7 @@ fn cmd_serve(args: &[&String]) -> Result<(), CliError> {
         queue_cap: parse_u64(args, "--queue-cap", 16)? as usize,
         cache_capacity: parse_u64(args, "--cache-cap", 64)? as usize,
         cache_ttl_micros: parse_u64(args, "--cache-ttl-micros", 0)?,
+        store_dir: flag_value(args, "--store").map(std::path::PathBuf::from),
         ..mocktails_serve::ServerConfig::default()
     };
     let clock = std::sync::Arc::new(mocktails_serve::MonotonicClock::new());
@@ -616,6 +622,17 @@ fn cmd_client(args: &[&String]) -> Result<(), CliError> {
             print!("{text}");
             Ok(())
         }
+        "compact" => {
+            let mut client = client_connect(args)?;
+            let stats = client
+                .compact()
+                .map_err(|e| classify_serve_error("compact", e))?;
+            println!(
+                "compacted: generation {}, {} profiles, checkpoint {} bytes, {} log bytes dropped",
+                stats.generation, stats.profiles, stats.checkpoint_bytes, stats.wal_bytes_dropped,
+            );
+            Ok(())
+        }
         "shutdown" => {
             let mut client = client_connect(args)?;
             client
@@ -625,5 +642,75 @@ fn cmd_client(args: &[&String]) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(usage(format!("unknown client subcommand {other:?}"))),
+    }
+}
+
+fn classify_store_error(context: &str, e: mocktails_store::StoreError) -> CliError {
+    match e {
+        mocktails_store::StoreError::Io(io) => io_error(context, io),
+        other => CliError::Corrupt(format!("{context}: {other}")),
+    }
+}
+
+/// Offline store maintenance: `inspect` recovers a store directory and
+/// describes what recovery found; `compact` additionally checkpoints the
+/// live set and truncates the write-ahead log.
+fn cmd_store(args: &[&String]) -> Result<(), CliError> {
+    let sub = positional(args, 0)?;
+    let dir = positional(args, 1).map_err(|_| usage("expected a store directory"))?;
+    // `ProfileStore::open` creates missing directories (the right call for
+    // `serve --store`); maintenance commands must not conjure an empty
+    // store out of a typo'd path.
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(io_error(
+            dir,
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no store directory"),
+        ));
+    }
+    let mut store =
+        mocktails_store::ProfileStore::open(dir).map_err(|e| classify_store_error(dir, e))?;
+    match sub {
+        "inspect" => {
+            let r = *store.recovery();
+            let mut t = TextTable::new(vec!["Metric", "Value"]);
+            t.row(vec!["Generation".into(), store.generation().to_string()]);
+            t.row(vec!["Profiles".into(), store.len().to_string()]);
+            t.row(vec!["Log bytes".into(), store.wal_bytes().to_string()]);
+            t.row(vec!["Log records".into(), store.wal_records().to_string()]);
+            t.row(vec![
+                "Checkpoint profiles".into(),
+                r.checkpoint_profiles.to_string(),
+            ]);
+            t.row(vec![
+                "Log records replayed".into(),
+                r.wal_records_replayed.to_string(),
+            ]);
+            t.row(vec![
+                "Log bytes truncated".into(),
+                r.wal_bytes_truncated.to_string(),
+            ]);
+            t.row(vec!["Log reset".into(), r.wal_reset.to_string()]);
+            println!("{dir}\n{t}");
+            for (fingerprint, entry) in store.iter() {
+                println!(
+                    "  {fingerprint:#018x}  fit-key {}  {}",
+                    entry
+                        .fit_key
+                        .map(|k| format!("{k:#018x}"))
+                        .unwrap_or_else(|| "-".into()),
+                    entry.profile.summary(),
+                );
+            }
+            Ok(())
+        }
+        "compact" => {
+            let stats = store.compact().map_err(|e| classify_store_error(dir, e))?;
+            println!(
+                "compacted {dir}: generation {}, {} profiles, checkpoint {} bytes, {} log bytes dropped",
+                store.generation(), stats.profiles, stats.checkpoint_bytes, stats.wal_bytes_dropped,
+            );
+            Ok(())
+        }
+        other => Err(usage(format!("unknown store subcommand {other:?}"))),
     }
 }

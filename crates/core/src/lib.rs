@@ -65,5 +65,5 @@ pub use partition::Partition;
 // lint: allow(L011, re-exporting the deprecated shim keeps PR 3 callers compiling)
 #[allow(deprecated)]
 pub use profile::read_profile_with_limits;
-pub use profile::{fit_key, Profile, ProfileSummary};
+pub use profile::{fit_key, Profile, ProfileRecord, ProfileSummary};
 pub use synth::{InjectionFeedback, Synthesizer};

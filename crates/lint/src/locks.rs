@@ -61,7 +61,7 @@ use crate::rules::Diagnostic;
 /// holding a lock across an iteration stalls the pipeline. The pool is
 /// exempt by design — its condvar loops are the implementation of
 /// waiting, and its guards are wait-sanctioned anyway.
-const L014_CRATES: [&str; 5] = ["core", "trace", "workloads", "baselines", "serve"];
+const L014_CRATES: [&str; 6] = ["core", "trace", "workloads", "baselines", "serve", "store"];
 
 /// Call names treated as blocking regardless of argument shape.
 const BLOCKING_ANY: [&str; 10] = [

@@ -48,6 +48,20 @@ pub struct SynthOutcome {
     pub fingerprint: u64,
 }
 
+/// Result of a `Compact` request: the store checkpointed and truncated
+/// its write-ahead log.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactOutcome {
+    /// Store generation after the compaction.
+    pub generation: u64,
+    /// Live profiles captured in the checkpoint.
+    pub profiles: u64,
+    /// Size of the checkpoint file, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Log bytes reclaimed by the truncation.
+    pub wal_bytes_dropped: u64,
+}
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -132,6 +146,27 @@ impl Client {
             }),
             other => Err(unexpected("fit-result", &other)),
         }
+    }
+
+    /// Like [`Client::fit`], but retries `Busy` rejections under
+    /// `policy`'s jittered exponential backoff, sleeping for real
+    /// between attempts. Any other error returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, the final `Busy` once retries are exhausted,
+    /// or the server's first non-`Busy` typed error.
+    pub fn fit_with_retry(
+        &mut self,
+        cycles: u64,
+        trace_bytes: Vec<u8>,
+        policy: &crate::retry::RetryPolicy,
+    ) -> Result<FitOutcome, ServeError> {
+        crate::retry::retry_busy(
+            policy,
+            |micros| std::thread::sleep(std::time::Duration::from_micros(micros)),
+            || self.fit(cycles, trace_bytes.clone()),
+        )
     }
 
     /// Streams a full synthesis, acking every chunk, and returns the
@@ -243,6 +278,31 @@ impl Client {
         match self.recv()? {
             Response::MetricsText { text } => Ok(text),
             other => Err(unexpected("metrics-text", &other)),
+        }
+    }
+
+    /// Asks the server to checkpoint its profile store and truncate the
+    /// write-ahead log.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, `NotFound` when the server runs without a
+    /// store, or the server's typed error.
+    pub fn compact(&mut self) -> Result<CompactOutcome, ServeError> {
+        self.send(&Request::Compact)?;
+        match self.recv()? {
+            Response::CompactOk {
+                generation,
+                profiles,
+                checkpoint_bytes,
+                wal_bytes_dropped,
+            } => Ok(CompactOutcome {
+                generation,
+                profiles,
+                checkpoint_bytes,
+                wal_bytes_dropped,
+            }),
+            other => Err(unexpected("compact-ok", &other)),
         }
     }
 

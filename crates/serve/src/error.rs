@@ -91,6 +91,8 @@ pub enum ServeError {
         /// The human-readable message from the frame.
         message: String,
     },
+    /// The server's persistent profile store failed to open or append.
+    Store(mocktails_store::StoreError),
 }
 
 impl fmt::Display for ServeError {
@@ -100,6 +102,7 @@ impl fmt::Display for ServeError {
             Self::Frame(msg) => write!(f, "bad frame: {msg}"),
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
             Self::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+            Self::Store(e) => write!(f, "profile store: {e}"),
         }
     }
 }
@@ -108,6 +111,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
+            Self::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -116,6 +120,12 @@ impl std::error::Error for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         Self::Io(e)
+    }
+}
+
+impl From<mocktails_store::StoreError> for ServeError {
+    fn from(e: mocktails_store::StoreError) -> Self {
+        Self::Store(e)
     }
 }
 

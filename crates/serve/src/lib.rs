@@ -31,10 +31,12 @@ pub mod error;
 pub mod frame;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
-pub use client::{Client, FitOutcome, SynthOutcome, SynthStream};
+pub use client::{Client, CompactOutcome, FitOutcome, SynthOutcome, SynthStream};
 pub use error::{ErrorCode, ServeError};
 pub use metrics::{Clock, ManualClock, MonotonicClock, ServeMetrics};
 pub use protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};
+pub use retry::{retry_busy, RetryPolicy};
 pub use server::{Server, ServerConfig};

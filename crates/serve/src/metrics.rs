@@ -185,6 +185,24 @@ pub struct ServeMetrics {
     pub streamed_bytes_total: AtomicU64,
     /// Requests streamed across all `Synthesize` responses.
     pub streamed_requests_total: AtomicU64,
+    /// Profiles live in the persistent store (gauge; 0 without a store).
+    pub store_profiles: AtomicU64,
+    /// Persistent store write-ahead-log size in bytes (gauge).
+    pub store_wal_bytes: AtomicU64,
+    /// Records appended to the store's write-ahead log.
+    pub store_wal_appends_total: AtomicU64,
+    /// Store opens that found state to recover (replayed records,
+    /// truncated a torn tail, or discarded a stale log).
+    pub store_recoveries_total: AtomicU64,
+    /// Profiles recovered from disk (checkpoint + log replay) at open.
+    pub store_recovered_profiles_total: AtomicU64,
+    /// Duration of the last store open's recovery replay (gauge).
+    pub store_replay_micros: AtomicU64,
+    /// Store compactions (checkpoint + log truncation) performed.
+    pub store_checkpoints_total: AtomicU64,
+    /// Clock reading at the last checkpoint (or store open); rendered as
+    /// `store_last_checkpoint_age_micros`, the gap to "now".
+    pub store_last_checkpoint_micros: AtomicU64,
     /// Submit-to-job-start wait.
     pub queue_wait_micros: Histogram,
     /// Fit job duration.
@@ -223,9 +241,24 @@ impl ServeMetrics {
             ("cache_entries", &self.cache_entries),
             ("streamed_bytes_total", &self.streamed_bytes_total),
             ("streamed_requests_total", &self.streamed_requests_total),
+            ("store_profiles", &self.store_profiles),
+            ("store_wal_bytes", &self.store_wal_bytes),
+            ("store_wal_appends_total", &self.store_wal_appends_total),
+            ("store_recoveries_total", &self.store_recoveries_total),
+            (
+                "store_recovered_profiles_total",
+                &self.store_recovered_profiles_total,
+            ),
+            ("store_replay_micros", &self.store_replay_micros),
+            ("store_checkpoints_total", &self.store_checkpoints_total),
         ] {
             let _ = writeln!(out, "{name} {}", counter.load(Ordering::SeqCst));
         }
+        let _ = writeln!(
+            out,
+            "store_last_checkpoint_age_micros {}",
+            now_micros.saturating_sub(self.store_last_checkpoint_micros.load(Ordering::SeqCst))
+        );
         self.queue_wait_micros.render_into("queue_wait", &mut out);
         self.fit_latency_micros.render_into("fit_latency", &mut out);
         self.synth_latency_micros
@@ -304,6 +337,14 @@ mod tests {
             "cache_entries",
             "streamed_bytes_total",
             "streamed_requests_total",
+            "store_profiles",
+            "store_wal_bytes",
+            "store_wal_appends_total",
+            "store_recoveries_total",
+            "store_recovered_profiles_total",
+            "store_replay_micros",
+            "store_checkpoints_total",
+            "store_last_checkpoint_age_micros",
             "uptime_micros",
         ] {
             assert_eq!(

@@ -18,7 +18,11 @@
 //! 6 Shutdown                            6 StatsText  { text* }
 //! 7 Ack                                 7 MetricsText{ text* }
 //! 8 Cancel                              8 ShutdownOk
-//!                                       9 Error      { code u8, message* }
+//! 9 Compact                             9 Error      { code u8, message* }
+//!                                      10 CompactOk  { generation u64,
+//!                                                      profiles u64,
+//!                                                      checkpoint_bytes u64,
+//!                                                      wal_bytes_dropped u64 }
 //! ```
 //!
 //! `source` is `0` + fingerprint u64 (cache reference) or `1` + profile
@@ -30,7 +34,7 @@ use crate::error::{ErrorCode, ServeError};
 
 /// Version of the message set defined in this module; negotiated by
 /// `Hello`/`HelloOk` before anything else is processed.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Where a `Synthesize`/`Stats` request finds its profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +83,10 @@ pub enum Request {
     Ack,
     /// Abandon the in-flight streaming request on this connection.
     Cancel,
+    /// Admin: checkpoint the persistent store and truncate its
+    /// write-ahead log. Answered `CompactOk`, or `NotFound` when the
+    /// server runs without a store.
+    Compact,
 }
 
 /// A server-to-client message.
@@ -132,6 +140,17 @@ pub enum Response {
     },
     /// Shutdown acknowledged; the server is draining.
     ShutdownOk,
+    /// A completed store compaction.
+    CompactOk {
+        /// The store's new checkpoint/log generation.
+        generation: u64,
+        /// Profiles snapshotted into the checkpoint.
+        profiles: u64,
+        /// Size of the new checkpoint file in bytes.
+        checkpoint_bytes: u64,
+        /// Write-ahead-log payload bytes dropped by the truncation.
+        wal_bytes_dropped: u64,
+    },
     /// A typed failure; the connection stays usable unless the transport
     /// itself broke.
     Error {
@@ -273,6 +292,7 @@ impl Request {
             Self::Shutdown => buf.push(6),
             Self::Ack => buf.push(7),
             Self::Cancel => buf.push(8),
+            Self::Compact => buf.push(9),
         }
         buf
     }
@@ -319,6 +339,10 @@ impl Request {
             8 => {
                 c.finish("cancel")?;
                 Self::Cancel
+            }
+            9 => {
+                c.finish("compact")?;
+                Self::Compact
             }
             t => return Err(ServeError::Protocol(format!("unknown request tag {t}"))),
         };
@@ -375,6 +399,18 @@ impl Response {
                 buf.push(9);
                 buf.push(code.as_byte());
                 buf.extend_from_slice(message.as_bytes());
+            }
+            Self::CompactOk {
+                generation,
+                profiles,
+                checkpoint_bytes,
+                wal_bytes_dropped,
+            } => {
+                buf.push(10);
+                put_u64(&mut buf, *generation);
+                put_u64(&mut buf, *profiles);
+                put_u64(&mut buf, *checkpoint_bytes);
+                put_u64(&mut buf, *wal_bytes_dropped);
             }
         }
         buf
@@ -438,6 +474,19 @@ impl Response {
                     message: c.rest_utf8("error message")?,
                 }
             }
+            10 => {
+                let generation = c.u64("compact generation")?;
+                let profiles = c.u64("compact profile count")?;
+                let checkpoint_bytes = c.u64("compact checkpoint bytes")?;
+                let wal_bytes_dropped = c.u64("compact dropped bytes")?;
+                c.finish("compact-ok")?;
+                Self::CompactOk {
+                    generation,
+                    profiles,
+                    checkpoint_bytes,
+                    wal_bytes_dropped,
+                }
+            }
             t => return Err(ServeError::Protocol(format!("unknown response tag {t}"))),
         };
         Ok(response)
@@ -481,6 +530,7 @@ mod tests {
             Request::Shutdown,
             Request::Ack,
             Request::Cancel,
+            Request::Compact,
         ]
     }
 
@@ -513,6 +563,12 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "queue full".into(),
+            },
+            Response::CompactOk {
+                generation: 2,
+                profiles: 5,
+                checkpoint_bytes: 4096,
+                wal_bytes_dropped: 1024,
             },
         ]
     }
@@ -562,6 +618,7 @@ mod tests {
             Request::Shutdown,
             Request::Ack,
             Request::Cancel,
+            Request::Compact,
         ] {
             let mut payload = fixed.encode();
             payload.push(0);

@@ -10,6 +10,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -19,6 +20,7 @@ use std::time::Duration;
 use mocktails_core::{fit_key, HierarchyConfig, LayerSpec, Profile, ProfileError};
 use mocktails_pool::bounded::{SubmitError, WorkerPool};
 use mocktails_pool::Parallelism;
+use mocktails_store::{ProfileStore, StoreOptions};
 use mocktails_trace::codec::RecordEncoder;
 use mocktails_trace::{fnv1a, DecodeOptions, Fingerprinter, TraceError};
 
@@ -47,6 +49,11 @@ pub struct ServerConfig {
     pub deadline_micros: u64,
     /// Decode hardening applied to uploaded traces and profiles.
     pub decode: DecodeOptions,
+    /// Directory of the crash-recoverable profile store; `None` runs
+    /// memory-only. With a store, every fitted profile is appended to
+    /// its write-ahead log *before* the `FitResult` ack, and a restart
+    /// warms the cache from the recovered state.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +66,7 @@ impl Default for ServerConfig {
             max_frame_len: 64 << 20,
             deadline_micros: 30_000_000,
             decode: DecodeOptions::default(),
+            store_dir: None,
         }
     }
 }
@@ -70,6 +78,10 @@ struct Shared {
     metrics: Arc<ServeMetrics>,
     pool: WorkerPool,
     clock: Arc<dyn Clock>,
+    /// The durable tier behind the cache, if configured. Its mutex is
+    /// never held together with the cache's: fit persistence locks the
+    /// cache, releases it, then locks the store.
+    store: Option<Mutex<ProfileStore>>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
     /// Read halves of live connections, shut down after drain so blocked
@@ -90,6 +102,13 @@ impl Shared {
             .store(cache.evictions(), Ordering::SeqCst);
         m.cache_expirations_total
             .store(cache.expirations(), Ordering::SeqCst);
+    }
+
+    /// Mirrors the store's size gauges into the metric registry.
+    fn sync_store_metrics(&self, store: &ProfileStore) {
+        let m = &self.metrics;
+        m.store_profiles.store(store.len() as u64, Ordering::SeqCst);
+        m.store_wal_bytes.store(store.wal_bytes(), Ordering::SeqCst);
     }
 }
 
@@ -124,6 +143,35 @@ fn fit_config(cycles: u64) -> Result<HierarchyConfig, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Opens (recovering) the profile store and records what recovery did in
+/// the metric registry.
+fn shared_store_open(
+    dir: &std::path::Path,
+    config: &ServerConfig,
+    clock: &dyn Clock,
+    metrics: &ServeMetrics,
+) -> Result<ProfileStore, ServeError> {
+    let options = StoreOptions {
+        decode: config.decode,
+        ..StoreOptions::default()
+    };
+    let started = clock.now_micros();
+    let store = ProfileStore::open_with(dir, options)?;
+    let replay = clock.now_micros().saturating_sub(started);
+    let report = *store.recovery();
+    metrics.store_replay_micros.store(replay, Ordering::SeqCst);
+    metrics.store_recovered_profiles_total.fetch_add(
+        (report.checkpoint_profiles + report.wal_records_replayed) as u64,
+        Ordering::SeqCst,
+    );
+    if report.wal_records_replayed > 0 || report.wal_bytes_truncated > 0 || report.wal_reset {
+        metrics
+            .store_recoveries_total
+            .fetch_add(1, Ordering::SeqCst);
+    }
+    Ok(store)
+}
+
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
     /// prepares the worker pool, cache and metrics registry.
@@ -138,15 +186,41 @@ impl Server {
     ) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let mut cache = ProfileCache::new(config.cache_capacity, config.cache_ttl_micros);
+
+        // Cold start: recover the persistent store and warm the cache
+        // from it, so a restarted server answers fits it already paid for.
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let opened = shared_store_open(dir, &config, clock.as_ref(), &metrics)?;
+                let now = clock.now_micros();
+                for (fingerprint, entry) in opened.iter() {
+                    cache.insert(fingerprint, Arc::clone(&entry.profile), entry.fit_key, now);
+                }
+                metrics
+                    .store_profiles
+                    .store(opened.len() as u64, Ordering::SeqCst);
+                metrics
+                    .store_wal_bytes
+                    .store(opened.wal_bytes(), Ordering::SeqCst);
+                Some(Mutex::new(opened))
+            }
+        };
+        metrics
+            .cache_entries
+            .store(cache.len() as u64, Ordering::SeqCst);
+        metrics
+            .store_last_checkpoint_micros
+            .store(clock.now_micros(), Ordering::SeqCst);
         let shared = Arc::new(Shared {
             pool: WorkerPool::new(config.workers, config.queue_cap),
-            cache: Mutex::new(ProfileCache::new(
-                config.cache_capacity,
-                config.cache_ttl_micros,
-            )),
+            cache: Mutex::new(cache),
             config,
-            metrics: Arc::new(ServeMetrics::new()),
+            metrics,
             clock,
+            store,
             shutting_down: AtomicBool::new(false),
             addr: local,
             conns: Mutex::new(Vec::new()),
@@ -432,6 +506,48 @@ fn dispatch(
             let _ = TcpStream::connect(shared.addr);
             Ok(None)
         }
+        Request::Compact => {
+            let Some(store) = shared.store.as_ref() else {
+                send_error(
+                    shared,
+                    writer,
+                    ErrorCode::NotFound,
+                    "server has no store configured".into(),
+                )?;
+                return Ok(None);
+            };
+            let compacted = {
+                let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+                let stats = store.compact();
+                if stats.is_ok() {
+                    shared.sync_store_metrics(&store);
+                }
+                (stats, store.generation())
+            };
+            match compacted {
+                (Err(e), _) => {
+                    send_error(shared, writer, ErrorCode::Internal, e.to_string())?;
+                }
+                (Ok(stats), generation) => {
+                    metrics
+                        .store_checkpoints_total
+                        .fetch_add(1, Ordering::SeqCst);
+                    metrics
+                        .store_last_checkpoint_micros
+                        .store(shared.clock.now_micros(), Ordering::SeqCst);
+                    send_response(
+                        writer,
+                        &Response::CompactOk {
+                            generation,
+                            profiles: stats.profiles,
+                            checkpoint_bytes: stats.checkpoint_bytes,
+                            wal_bytes_dropped: stats.wal_bytes_dropped,
+                        },
+                    )?;
+                }
+            }
+            Ok(None)
+        }
         Request::FitProfile {
             cycles,
             trace_bytes,
@@ -631,6 +747,32 @@ fn fit_job(
             (fingerprint, profile, false)
         }
     };
+    // Durability before acknowledgement: a freshly fitted record must be
+    // in the write-ahead log (fsynced) before the FitResult goes out, so
+    // a crash after the ack can always replay it.
+    if !cache_hit {
+        if let Some(store) = shared.store.as_ref() {
+            let persisted = {
+                let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+                let result = store.put_profile(&profile, Some(key)); // lint: allow(L013, the WAL append must serialize under the store lock — durability-before-ack is the point)
+                if result.is_ok() {
+                    shared.sync_store_metrics(&store);
+                }
+                result
+            };
+            if let Err(e) = persisted {
+                return send_error(
+                    shared,
+                    writer,
+                    ErrorCode::Internal,
+                    format!("profile store: {e}"),
+                );
+            }
+            metrics
+                .store_wal_appends_total
+                .fetch_add(1, Ordering::SeqCst);
+        }
+    }
     let mut profile_bytes = Vec::new();
     if let Err(e) = profile.write(&mut profile_bytes) {
         return send_error(shared, writer, ErrorCode::Internal, e.to_string());

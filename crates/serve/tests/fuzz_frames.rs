@@ -178,7 +178,7 @@ fn oversized_frame_is_rejected_before_allocation() {
 
 #[test]
 fn unknown_request_tag_is_typed_error() {
-    for tag in [0u8, 9, 100, 255] {
+    for tag in [0u8, 10, 100, 255] {
         let err = Request::decode(&[tag]).unwrap_err();
         assert!(
             matches!(err, ServeError::Protocol(_)),
@@ -189,7 +189,7 @@ fn unknown_request_tag_is_typed_error() {
 
 #[test]
 fn unknown_response_tag_is_typed_error() {
-    for tag in [0u8, 10, 200, 255] {
+    for tag in [0u8, 11, 200, 255] {
         let err = Response::decode(&[tag]).unwrap_err();
         assert!(matches!(err, ServeError::Protocol(_)), "tag {tag}");
     }

@@ -527,3 +527,78 @@ fn shutdown_with_idle_connections_completes_and_closes_their_sockets() {
         "a swept socket cannot serve a fit"
     );
 }
+
+#[test]
+fn store_backed_server_survives_restart_and_compaction() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let (offline_profile, offline_synth) = offline_round_trip(&trace);
+    let dir = std::env::temp_dir().join(format!("mocktails-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = || ServerConfig {
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First life: the fit is appended to the write-ahead log (and fsynced)
+    // before the FitResult ack, so everything below survives the restart.
+    let (addr, handle) = start_server(config());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fit = client.fit(CYCLES, upload.clone()).expect("fit");
+    assert!(!fit.cache_hit);
+    assert_eq!(fit.profile_bytes, offline_profile);
+    shut_down(&addr, handle);
+
+    // Second life: the cache warms from the recovered store, so both the
+    // fingerprint lookup and a repeat fit are answered without refitting.
+    let (addr, handle) = start_server(config());
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let synth = client
+        .synthesize(SEED, 509, ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("synthesize after restart");
+    assert_eq!(
+        synth.trace_bytes, offline_synth,
+        "restart changed the bytes"
+    );
+    let refit = client.fit(CYCLES, upload.clone()).expect("refit");
+    assert!(refit.cache_hit, "warmed cache must answer the refit");
+    assert_eq!(refit.profile_bytes, offline_profile);
+
+    // Compaction checkpoints the store and truncates the log, and the
+    // metric registry reflects the store's health.
+    let compacted = client.compact().expect("compact");
+    assert_eq!(compacted.profiles, 1);
+    assert!(compacted.checkpoint_bytes > 0);
+    assert!(compacted.wal_bytes_dropped > 0, "the log held one record");
+    let metrics = client.metricsz().expect("metricsz");
+    for line in ["store_profiles 1", "store_checkpoints_total 1"] {
+        assert!(metrics.contains(line), "{line} missing from:\n{metrics}");
+    }
+    shut_down(&addr, handle);
+
+    // Third life: a cold start from the checkpoint alone still serves the
+    // profile, byte-identical to offline.
+    let (addr, handle) = start_server(config());
+    let mut client = Client::connect(&addr).expect("third connect");
+    let synth = client
+        .synthesize(SEED, 1 << 12, ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("synthesize from checkpoint");
+    assert_eq!(
+        synth.trace_bytes, offline_synth,
+        "checkpoint changed the bytes"
+    );
+    shut_down(&addr, handle);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compact_without_a_store_is_not_found() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.compact().expect_err("no store configured") {
+        ServeError::Remote { code, .. } => assert_eq!(code, ErrorCode::NotFound),
+        other => panic!("unexpected error: {other}"),
+    }
+    shut_down(&addr, handle);
+}

@@ -1,0 +1,64 @@
+//! Store error type.
+
+use std::fmt;
+use std::io;
+
+use mocktails_core::ProfileError;
+
+/// Everything that can go wrong opening or mutating a [`ProfileStore`].
+///
+/// [`ProfileStore`]: crate::ProfileStore
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure (open, write, fsync, rename, ...).
+    Io(io::Error),
+    /// On-disk state that a crash cannot produce: a checkpoint whose
+    /// digest does not verify, a write-ahead log from a future
+    /// generation, a foreign magic number. Recovery refuses to guess and
+    /// surfaces the inconsistency instead.
+    Corrupt(String),
+    /// A record's carried profile failed to decode or validate.
+    Profile(ProfileError),
+    /// The write-ahead log writer failed mid-append earlier, so the
+    /// on-disk tail may be torn; further appends are refused until the
+    /// store is compacted (which rewrites the log) or reopened (which
+    /// replays and truncates it).
+    Wedged,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "store I/O error: {err}"),
+            Self::Corrupt(what) => write!(f, "store corrupt: {what}"),
+            Self::Profile(err) => write!(f, "store record invalid: {err}"),
+            Self::Wedged => write!(
+                f,
+                "store wedged: a write-ahead-log append failed earlier; \
+                 compact or reopen the store to recover"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            Self::Profile(err) => Some(err),
+            Self::Corrupt(_) | Self::Wedged => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+impl From<ProfileError> for StoreError {
+    fn from(err: ProfileError) -> Self {
+        Self::Profile(err)
+    }
+}

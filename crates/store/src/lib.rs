@@ -1,0 +1,51 @@
+//! Crash-recoverable on-disk store for Mocktails profiles.
+//!
+//! Fitted profiles are expensive (the full McC fitting pass) but small;
+//! this crate makes them durable so a serve-layer restart warms its cache
+//! from disk instead of re-fitting. The design is a classic write-ahead
+//! log plus checkpoint pair with three load-bearing properties:
+//!
+//! * **Durability before acknowledgement** — [`ProfileStore::put_profile`]
+//!   returns only after the record is framed, written, and fsynced.
+//! * **Prefix consistency** — a crash (`kill -9`, power loss, torn write,
+//!   failed fsync) at *any* byte boundary recovers to the longest valid
+//!   log prefix, deterministically: the same files recover to the same
+//!   state at any thread count, proven by a kill-point sweep test.
+//! * **No silent salvage** — states a crash cannot produce (checkpoint
+//!   digest mismatch, a log generation ahead of its checkpoint, foreign
+//!   magic) refuse to load with [`StoreError::Corrupt`] instead of being
+//!   guessed around.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mocktails_core::{HierarchyConfig, Profile};
+//! use mocktails_store::ProfileStore;
+//! use mocktails_trace::{Request, Trace};
+//!
+//! let trace = Trace::from_requests(
+//!     (0..100u64).map(|i| Request::read(i * 10, 0x1000 + (i % 50) * 64, 64)).collect(),
+//! );
+//! let profile = Arc::new(Profile::fit(&trace, &HierarchyConfig::two_level_ts(500_000)));
+//!
+//! let mut store = ProfileStore::open("profiles.store")?;
+//! let fingerprint = store.put_profile(&profile, None)?; // durable once returned
+//! store.compact()?;                                     // checkpoint + truncate the log
+//! assert!(store.get(fingerprint).is_some());
+//! # Ok::<(), mocktails_store::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+mod error;
+mod store;
+pub mod wal;
+
+pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
+pub use error::StoreError;
+pub use store::{
+    CompactStats, ProfileStore, RecoveryReport, StoreOptions, StoredEntry, CHECKPOINT_FILE,
+    WAL_FILE,
+};
+pub use wal::{WalAppender, WalFrame, WalHeader, WalScan};

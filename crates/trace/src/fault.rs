@@ -61,6 +61,16 @@ pub struct FaultPlan {
     pub truncate_at: Option<u64>,
     /// Byte offset at which a writer starts failing permanently.
     pub fail_at: Option<u64>,
+    /// Byte offset at which a write is torn: the write crossing this
+    /// offset persists only a seeded-random prefix of the bytes that fit
+    /// below the boundary (possibly none), and every later write or sync
+    /// fails permanently — the crash model for a `kill -9` mid-append.
+    pub torn_at: Option<u64>,
+    /// 0-based [`FaultyWriter::sync`] call index from which every sync
+    /// reports failure. A failed sync means durability is unknown: bytes
+    /// already accepted may or may not survive, so callers must treat the
+    /// tail as lost (the write-ahead-log discipline the store proves).
+    pub fsync_fail_after: Option<u64>,
 }
 
 impl FaultPlan {
@@ -73,6 +83,8 @@ impl FaultPlan {
             bit_flip: 0.0,
             truncate_at: None,
             fail_at: None,
+            torn_at: None,
+            fsync_fail_after: None,
         }
     }
 
@@ -107,6 +119,45 @@ fn would_block() -> io::Error {
 /// Builds the injected hard write failure.
 fn write_failure(offset: u64) -> io::Error {
     io::Error::other(format!("injected write failure at byte {offset}"))
+}
+
+/// Builds the injected post-torn-write failure.
+fn torn_dead(offset: u64) -> io::Error {
+    io::Error::other(format!("injected torn write: writer died at byte {offset}"))
+}
+
+/// Builds the injected fsync failure.
+fn fsync_failure(index: u64) -> io::Error {
+    io::Error::other(format!("injected fsync failure at sync call {index}"))
+}
+
+/// A writer with an explicit durability point: [`SyncWrite::sync`] returns
+/// only once previously written bytes are on stable storage (an
+/// `fsync`/`fdatasync` for files, a no-op for memory). The store's
+/// write-ahead log is generic over this trait, so the same append path
+/// runs against a real [`File`] in production and a [`FaultyWriter`]
+/// injecting fsync failures under test.
+pub trait SyncWrite: Write {
+    /// Flushes written bytes to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying fsync failure; after an error the caller
+    /// must assume none of the unsynced tail is durable.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl SyncWrite for File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// Memory is always "durable": sync is a no-op.
+impl SyncWrite for Vec<u8> {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// A `Read` adapter that deterministically injects faults per its
@@ -178,13 +229,17 @@ impl<R: Read> Read for FaultyReader<R> {
 
 /// A `Write` adapter that deterministically injects faults per its
 /// [`FaultPlan`]. Bit flips do not apply to writers; `fail_at` turns into
-/// a permanent hard error once reached.
+/// a permanent hard error once reached; `torn_at` persists a seeded
+/// partial final block and then kills the writer for good.
 #[derive(Debug)]
 pub struct FaultyWriter<W> {
     inner: W,
     plan: FaultPlan,
     rng: Prng,
     offset: u64,
+    syncs: u64,
+    /// Set once a torn write fired: every later write/sync fails.
+    dead: bool,
 }
 
 impl<W: Write> FaultyWriter<W> {
@@ -196,12 +251,19 @@ impl<W: Write> FaultyWriter<W> {
             plan,
             rng: Prng::seed_from_u64(seed),
             offset: 0,
+            syncs: 0,
+            dead: false,
         }
     }
 
     /// Bytes successfully accepted so far.
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// Sync calls attempted so far (successful or injected-failed).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 
     /// Unwraps the adapter, returning the inner writer.
@@ -212,6 +274,29 @@ impl<W: Write> FaultyWriter<W> {
 
 impl<W: Write> Write for FaultyWriter<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(torn_dead(self.offset));
+        }
+        if let Some(boundary) = self.plan.torn_at {
+            if self.offset >= boundary {
+                self.dead = true;
+                return Err(torn_dead(self.offset));
+            }
+            if self.offset + buf.len() as u64 > boundary {
+                // The block crossing the boundary is torn: a seeded prefix
+                // of the bytes below the boundary persists, then the
+                // writer is dead. Zero persisted bytes is a valid tear.
+                let room = boundary - self.offset;
+                let keep = self.rng.gen_range(0..room + 1) as usize;
+                self.dead = true;
+                if keep == 0 {
+                    return Err(torn_dead(self.offset));
+                }
+                let n = self.inner.write(&buf[..keep])?;
+                self.offset += n as u64;
+                return Ok(n);
+            }
+        }
         if let Some(limit) = self.plan.fail_at {
             if self.offset >= limit {
                 return Err(write_failure(self.offset));
@@ -236,7 +321,51 @@ impl<W: Write> Write for FaultyWriter<W> {
     }
 
     fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(torn_dead(self.offset));
+        }
         self.inner.flush()
+    }
+}
+
+impl<W: SyncWrite> SyncWrite for FaultyWriter<W> {
+    /// Counts the sync call, injects a failure per
+    /// [`FaultPlan::fsync_fail_after`] (or if a torn write already killed
+    /// the writer), otherwise delegates to the inner writer's sync.
+    fn sync(&mut self) -> io::Result<()> {
+        let index = self.syncs;
+        self.syncs += 1;
+        if self.dead {
+            return Err(torn_dead(self.offset));
+        }
+        if let Some(from) = self.plan.fsync_fail_after {
+            if index >= from {
+                return Err(fsync_failure(index));
+            }
+        }
+        self.inner.sync()
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed or
+/// just-created directory entry itself durable. POSIX only guarantees a
+/// rename survives a crash once the *parent directory* is synced; without
+/// this, an "atomic" commit can vanish on power loss.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    // Directories cannot be opened for sync on every platform; where they
+    // can (unix), the sync must succeed for the commit to count.
+    #[cfg(unix)]
+    {
+        File::open(parent)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = parent;
+        Ok(())
     }
 }
 
@@ -290,14 +419,16 @@ impl AtomicFileWriter {
         &self.dest
     }
 
-    /// Flushes, fsyncs and renames the temporary over the destination.
+    /// Flushes, fsyncs and renames the temporary over the destination,
+    /// then fsyncs the parent directory so the rename itself is durable.
     /// After `commit` returns `Ok`, the destination holds the complete
-    /// contents; on any error the destination is untouched.
+    /// contents even across a crash or power loss; on any error the
+    /// destination is untouched.
     ///
     /// # Errors
     ///
-    /// Propagates flush/fsync/rename errors; the temporary is removed
-    /// best-effort on failure.
+    /// Propagates flush/fsync/rename/directory-sync errors; the temporary
+    /// is removed best-effort on failure.
     pub fn commit(mut self) -> io::Result<()> {
         let Some(mut file) = self.file.take() else {
             return Ok(());
@@ -306,7 +437,10 @@ impl AtomicFileWriter {
             file.flush()?;
             file.sync_all()?;
             drop(file);
-            std::fs::rename(&self.tmp, &self.dest)
+            std::fs::rename(&self.tmp, &self.dest)?;
+            // The rename is only crash-durable once the directory entry
+            // itself is on disk.
+            sync_parent_dir(&self.dest)
         })();
         if finish.is_err() {
             let _ = std::fs::remove_file(&self.tmp);
@@ -456,6 +590,74 @@ mod tests {
         assert!(w.write_all(&data).is_err());
         assert!(w.write_all(&data).is_err(), "failure must persist");
         assert_eq!(w.offset(), 40);
+    }
+
+    #[test]
+    fn torn_write_persists_partial_final_block_then_kills_writer() {
+        let data = payload(256);
+        let plan = FaultPlan {
+            torn_at: Some(100),
+            ..FaultPlan::none()
+        };
+        let mut w = FaultyWriter::new(Vec::new(), plan, 9);
+        let err = w.write_all(&data).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let torn_len = w.offset();
+        assert!(torn_len <= 100, "tear must stop below the boundary");
+        // Dead for good: later writes, flushes and syncs all fail.
+        assert!(w.write_all(b"x").is_err());
+        assert!(w.flush().is_err());
+        assert!(w.sync().is_err());
+        let inner = w.into_inner();
+        assert_eq!(inner.len() as u64, torn_len);
+        assert_eq!(inner.as_slice(), &data[..torn_len as usize]);
+    }
+
+    #[test]
+    fn torn_write_prefix_is_seed_deterministic() {
+        let data = payload(512);
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                torn_at: Some(200),
+                ..FaultPlan::none()
+            };
+            let mut w = FaultyWriter::new(Vec::new(), plan, seed);
+            let _ = w.write_all(&data);
+            w.into_inner()
+        };
+        assert_eq!(run(3), run(3));
+        // Across many seeds the tear point must actually vary.
+        let lengths: std::collections::BTreeSet<usize> = (0..32).map(|s| run(s).len()).collect();
+        assert!(lengths.len() > 1, "tear point must depend on the seed");
+    }
+
+    #[test]
+    fn fsync_fails_from_the_configured_call_onwards() {
+        let plan = FaultPlan {
+            fsync_fail_after: Some(2),
+            ..FaultPlan::none()
+        };
+        let mut w = FaultyWriter::new(Vec::new(), plan, 0);
+        w.write_all(b"abc").unwrap();
+        w.sync().unwrap();
+        w.sync().unwrap();
+        let err = w.sync().unwrap_err();
+        assert!(err.to_string().contains("fsync failure"), "{err}");
+        assert!(w.sync().is_err(), "fsync failure must persist");
+        assert_eq!(w.syncs(), 4);
+        // Writes themselves still work: only durability is failing.
+        w.write_all(b"def").unwrap();
+        assert_eq!(w.into_inner(), b"abcdef");
+    }
+
+    #[test]
+    fn sync_write_is_transparent_without_faults() {
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::none(), 0);
+        w.write_all(b"payload").unwrap();
+        w.sync().unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.syncs(), 2);
+        assert_eq!(w.into_inner(), b"payload");
     }
 
     fn temp_path(name: &str) -> PathBuf {

@@ -25,6 +25,13 @@ echo "==> serve loopback smoke (server vs offline, byte-compared)"
 MOCKTAILS_THREADS=1 ./scripts/serve-smoke.sh
 MOCKTAILS_THREADS=4 ./scripts/serve-smoke.sh
 
+echo "==> store recovery smoke (kill -9 + torn log tail, byte-compared)"
+# A store-backed server killed mid-flight must restart from its WAL,
+# serve the same bytes as the offline pipeline, and survive a further
+# restart from its checkpoint alone.
+MOCKTAILS_THREADS=1 ./scripts/store-smoke.sh
+MOCKTAILS_THREADS=4 ./scripts/store-smoke.sh
+
 echo "==> fuzz smoke (seeded mutation campaigns)"
 cargo test -q --offline -p mocktails-trace --test fuzz_trace
 cargo test -q --offline -p mocktails-core --test fuzz_profile

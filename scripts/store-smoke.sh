@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Store recovery smoke: a server killed with SIGKILL mid-flight must
+# restart from its crash-recoverable store and serve the same bytes the
+# offline pipeline produces. The sequence:
+#
+#   1. fit a profile through a store-backed server (durable before ack),
+#   2. kill -9 the server — no drain, no checkpoint,
+#   3. corrupt the write-ahead log's tail with garbage bytes, modelling a
+#      torn final append,
+#   4. restart on the same store directory, synthesize by fingerprint
+#      from the warmed cache, and byte-compare against the offline CLI,
+#   5. compact, restart once more, and prove the checkpoint alone still
+#      serves the same bytes.
+#
+# Honours MOCKTAILS_THREADS like every other gate.
+# Run from the repository root:  ./scripts/store-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/mocktails
+if [[ ! -x "$BIN" ]]; then
+  cargo build -q --release --offline -p mocktails-cli
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+WORKLOAD=HEVC1
+CYCLES=200000
+SEED=7
+STORE="$WORK/store"
+
+start_server() {
+  rm -f "$WORK/port"
+  "$BIN" serve --addr 127.0.0.1:0 --workers 2 --store "$STORE" \
+    --port-file "$WORK/port" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$WORK/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$WORK/port" ]] || { echo "server never published its port" >&2; exit 1; }
+  ADDR="$(cat "$WORK/port")"
+}
+
+echo "--- offline reference pipeline ($WORKLOAD)"
+"$BIN" trace "$WORKLOAD" -o "$WORK/ref.mtrace"
+"$BIN" profile "$WORK/ref.mtrace" -o "$WORK/ref.mprofile" --cycles "$CYCLES"
+"$BIN" synth "$WORK/ref.mprofile" -o "$WORK/ref-synth.mtrace" --seed "$SEED"
+
+echo "--- life 1: fit through a store-backed server, then kill -9"
+start_server
+"$BIN" client fit "$WORK/ref.mtrace" --addr "$ADDR" \
+  -o "$WORK/srv.mprofile" --cycles "$CYCLES"
+cmp "$WORK/ref.mprofile" "$WORK/srv.mprofile"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "--- crash damage: garbage bytes on the log tail (torn final append)"
+head -c 17 /dev/urandom >>"$STORE/wal.mlog"
+
+echo "--- life 2: restart recovers the durable prefix and serves it"
+start_server
+"$BIN" client fit "$WORK/ref.mtrace" --addr "$ADDR" \
+  -o "$WORK/srv2.mprofile" --cycles "$CYCLES" | tee "$WORK/refit.txt"
+grep -q 'cache hit' "$WORK/refit.txt" || {
+  echo "restarted server refit missed its warmed cache" >&2
+  exit 1
+}
+cmp "$WORK/ref.mprofile" "$WORK/srv2.mprofile"
+FINGERPRINT="$(sed -n 's/.*fingerprint \(0x[0-9a-f]*\).*/\1/p' "$WORK/refit.txt")"
+"$BIN" client synth --fingerprint "$FINGERPRINT" --addr "$ADDR" \
+  -o "$WORK/srv-synth.mtrace" --seed "$SEED"
+cmp "$WORK/ref-synth.mtrace" "$WORK/srv-synth.mtrace"
+"$BIN" client metricsz --addr "$ADDR" >"$WORK/metrics.txt"
+grep -q '^store_recoveries_total 1$' "$WORK/metrics.txt" || {
+  echo "metrics did not count the recovery" >&2
+  exit 1
+}
+"$BIN" client compact --addr "$ADDR"
+"$BIN" client shutdown --addr "$ADDR"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "--- life 3: cold start from the checkpoint alone"
+start_server
+"$BIN" client synth --fingerprint "$FINGERPRINT" --addr "$ADDR" \
+  -o "$WORK/ckpt-synth.mtrace" --seed "$SEED"
+cmp "$WORK/ref-synth.mtrace" "$WORK/ckpt-synth.mtrace"
+"$BIN" client shutdown --addr "$ADDR"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "store recovery smoke passed: kill -9 + torn log tail recovered, bytes identical"

@@ -22,6 +22,7 @@
 //! | [`dram`] | `mocktails-dram` | FR-FCFS DRAM controller + crossbar simulator |
 //! | [`cache`] | `mocktails-cache` | L1/L2 write-back cache simulator |
 //! | [`sim`] | `mocktails-sim` | Validation harness + per-figure experiments |
+//! | [`store`] | `mocktails-store` | Crash-recoverable on-disk profile store (WAL + checkpoints) |
 //! | [`serve`] | `mocktails-serve` | Streaming synthesis server, client, profile cache |
 //!
 //! The most common flow is also re-exported at the top level:
@@ -48,6 +49,7 @@ pub use mocktails_dram as dram;
 pub use mocktails_pool as pool;
 pub use mocktails_serve as serve;
 pub use mocktails_sim as sim;
+pub use mocktails_store as store;
 pub use mocktails_trace as trace;
 pub use mocktails_workloads as workloads;
 

@@ -32,12 +32,15 @@ use mocktails_workloads::catalog;
 /// * `3` — corrupt or hostile input file (includes unexpected EOF)
 /// * `4` — environmental I/O failure (permissions, missing file, full disk)
 /// * `5` — serving-layer failure (connection refused, typed server error)
+/// * `6` — the server shed the request (`Busy`); transient by contract,
+///   so a script should back off and retry rather than fail the run
 #[derive(Debug)]
 enum CliError {
     Usage(String),
     Corrupt(String),
     Io(String),
     Server(String),
+    Busy(String),
 }
 
 impl CliError {
@@ -47,18 +50,31 @@ impl CliError {
             CliError::Corrupt(_) => 3,
             CliError::Io(_) => 4,
             CliError::Server(_) => 5,
+            CliError::Busy(_) => 6,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Corrupt(m) | CliError::Io(m) | CliError::Server(m) => m,
+            CliError::Usage(m)
+            | CliError::Corrupt(m)
+            | CliError::Io(m)
+            | CliError::Server(m)
+            | CliError::Busy(m) => m,
         }
     }
 }
 
 fn classify_serve_error(context: &str, e: mocktails_serve::ServeError) -> CliError {
-    CliError::Server(format!("{context}: {e}"))
+    match &e {
+        mocktails_serve::ServeError::Remote {
+            code: mocktails_serve::ErrorCode::Busy,
+            message,
+        } => CliError::Busy(format!(
+            "{context}: server busy: {message} (transient — back off and retry; exit code 6)"
+        )),
+        _ => CliError::Server(format!("{context}: {e}")),
+    }
 }
 
 /// Classifies a trace codec error: decode-level failures (including a
@@ -118,6 +134,7 @@ const USAGE: &str = "usage:
                        [--quick]
   mocktails serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                   [--cache-cap N] [--cache-ttl-micros N] [--port-file FILE]
+                  [--shards N] [--max-conns N] [--shard-budget N]
                   [--store DIR]   (crash-recoverable profile store)
   mocktails client fit <FILE.mtrace> --addr HOST:PORT -o <FILE.mprofile>
                    [--cycles N]
@@ -494,18 +511,19 @@ fn cmd_experiment(args: &[&String]) -> Result<(), CliError> {
 /// `shutdown` frame (graceful: in-flight requests drain, then exit 0).
 fn cmd_serve(args: &[&String]) -> Result<(), CliError> {
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
-    let workers = parse_u64(args, "--workers", 4)?;
-    if workers == 0 {
-        return Err(usage("--workers must be at least 1"));
+    let defaults = mocktails_serve::ServerConfig::default();
+    let mut builder = mocktails_serve::ServerConfig::builder()
+        .workers(parse_u64(args, "--workers", 4)? as usize)
+        .queue_cap(parse_u64(args, "--queue-cap", 16)? as usize)
+        .cache_capacity(parse_u64(args, "--cache-cap", 64)? as usize)
+        .cache_ttl_micros(parse_u64(args, "--cache-ttl-micros", 0)?)
+        .shards(parse_u64(args, "--shards", defaults.shards as u64)? as usize)
+        .max_conns(parse_u64(args, "--max-conns", defaults.max_conns as u64)? as usize)
+        .shard_budget(parse_u64(args, "--shard-budget", defaults.shard_budget as u64)? as usize);
+    if let Some(dir) = flag_value(args, "--store") {
+        builder = builder.store_dir(dir);
     }
-    let config = mocktails_serve::ServerConfig {
-        workers: workers as usize,
-        queue_cap: parse_u64(args, "--queue-cap", 16)? as usize,
-        cache_capacity: parse_u64(args, "--cache-cap", 64)? as usize,
-        cache_ttl_micros: parse_u64(args, "--cache-ttl-micros", 0)?,
-        store_dir: flag_value(args, "--store").map(std::path::PathBuf::from),
-        ..mocktails_serve::ServerConfig::default()
-    };
+    let config = builder.build().map_err(|e| usage(e.to_string()))?;
     let clock = std::sync::Arc::new(mocktails_serve::MonotonicClock::new());
     let server = mocktails_serve::Server::bind(&addr, config, clock)
         .map_err(|e| classify_serve_error(&addr, e))?;
@@ -712,5 +730,32 @@ fn cmd_store(args: &[&String]) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(usage(format!("unknown store subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_serve::{ErrorCode, ServeError};
+
+    #[test]
+    fn busy_responses_map_to_their_own_exit_code() {
+        let shed = ServeError::Remote {
+            code: ErrorCode::Busy,
+            message: "shard 3 at budget (32 in flight); retry later".into(),
+        };
+        let err = classify_serve_error("synth", shed);
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.message().contains("back off and retry"));
+        assert!(err.message().contains("shard 3 at budget"));
+    }
+
+    #[test]
+    fn non_busy_server_errors_keep_exit_code_five() {
+        let fatal = ServeError::Remote {
+            code: ErrorCode::Malformed,
+            message: "duplicate hello".into(),
+        };
+        assert_eq!(classify_serve_error("fit", fatal).exit_code(), 5);
     }
 }

@@ -62,8 +62,5 @@ pub use config::{ConfigBuilder, ConfigError, HierarchyConfig, LayerSpec, ModelOp
 pub use error::{ProfileError, ValueError};
 pub use model::{LeafGenerator, LeafModel, MarkovChain, MarkovSampler, McC, McCSampler};
 pub use partition::Partition;
-// lint: allow(L011, re-exporting the deprecated shim keeps PR 3 callers compiling)
-#[allow(deprecated)]
-pub use profile::read_profile_with_limits;
 pub use profile::{fit_key, Profile, ProfileRecord, ProfileSummary};
 pub use synth::{InjectionFeedback, Synthesizer};

@@ -238,24 +238,6 @@ pub fn read_profile_with<R: Read>(
     Ok(profile)
 }
 
-/// Decodes a profile with explicit resource limits.
-///
-/// Scheduled for removal in 0.4.0.
-///
-/// # Errors
-///
-/// See [`read_profile`].
-#[deprecated(
-    since = "0.2.0",
-    note = "removed in 0.4.0; use `Profile::read` (or `read_profile_with`) with `DecodeOptions`"
-)]
-pub fn read_profile_with_limits<R: Read>(
-    r: &mut R,
-    limits: &DecodeLimits,
-) -> Result<Profile, ProfileError> {
-    read_profile_with(r, &DecodeOptions::default().with_limits(*limits))
-}
-
 fn read_mcc<R: Read>(r: &mut R, limits: &DecodeLimits) -> Result<McC, ProfileError> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
@@ -456,16 +438,6 @@ mod tests {
         );
         // Trusted options accept the same input the defaults do.
         let back = read_profile_with(&mut buf.as_slice(), &DecodeOptions::trusted()).unwrap();
-        assert_eq!(back, profile);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_limits_shim_still_decodes() {
-        let profile = profile_with_variety();
-        let mut buf = Vec::new();
-        write_profile(&mut buf, &profile).unwrap();
-        let back = read_profile_with_limits(&mut buf.as_slice(), &DecodeLimits::default()).unwrap();
         assert_eq!(back, profile);
     }
 

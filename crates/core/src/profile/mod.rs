@@ -10,9 +10,6 @@ mod codec;
 mod record;
 mod summary;
 
-// lint: allow(L011, re-exporting the deprecated shim keeps PR 3 callers compiling)
-#[allow(deprecated)]
-pub use codec::read_profile_with_limits;
 pub use codec::{read_profile, read_profile_with, write_profile};
 pub use record::{ProfileRecord, RECORD_TAG_PROFILE};
 pub use summary::ProfileSummary;

@@ -192,6 +192,39 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// Enqueues a *continuation* of already-admitted work, bypassing the
+    /// queue-depth cap.
+    ///
+    /// The admission bound exists to shed new requests; a continuation
+    /// (say, the next chunk of a streaming response that was admitted
+    /// long ago) must never be refused for queue pressure, or the stream
+    /// it belongs to wedges with its resources held. Continuations are
+    /// still bounded in aggregate — each admitted stream keeps at most
+    /// one in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] after [`WorkerPool::drain`].
+    pub fn submit_continuation<F>(&self, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.lock();
+        if state.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs running or queued.
+    pub fn outstanding(&self) -> usize {
+        let state = self.shared.lock();
+        state.queue.len() + state.in_flight
+    }
+
     /// Stops accepting work, runs every already-admitted job to
     /// completion, and returns once the pool is idle. Workers stay alive
     /// (and exit on `Drop`); calling `drain` twice is harmless.
@@ -314,6 +347,35 @@ mod tests {
         assert_eq!(pool.submit(|| {}), Err(SubmitError::QueueFull { cap: 0 }));
         release_tx.send(()).unwrap();
         pool.drain();
+    }
+
+    #[test]
+    fn continuation_bypasses_the_cap_but_not_drain() {
+        let pool = WorkerPool::new(1, 0);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            running_tx.send(()).ok();
+            release_rx.recv().ok();
+        })
+        .unwrap();
+        running_rx.recv().unwrap();
+        // Zero waiting room: a fresh submit sheds, a continuation lands.
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::QueueFull { cap: 0 }));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        pool.submit_continuation(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(pool.outstanding(), 2, "blocked job + queued continuation");
+        release_tx.send(()).unwrap();
+        pool.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            pool.submit_continuation(|| {}),
+            Err(SubmitError::ShuttingDown)
+        );
     }
 
     #[test]

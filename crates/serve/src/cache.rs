@@ -17,7 +17,8 @@
 //! expiry testable with a frozen clock.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use mocktails_core::Profile;
 
@@ -194,6 +195,227 @@ impl ProfileCache {
     }
 }
 
+/// Aggregate tallies across every shard of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Profiles currently resident (all shards).
+    pub entries: u64,
+    /// Capacity evictions so far (all shards).
+    pub evictions: u64,
+    /// TTL expirations so far (all shards).
+    pub expirations: u64,
+}
+
+/// [`ProfileCache`] sharded N ways by content fingerprint, one lock per
+/// shard, so concurrent lookups on different profiles never contend.
+///
+/// Fingerprints route to entry shards by `fingerprint % shards`; fit-key
+/// aliases live in their own shard array keyed by `fit_key % shards`
+/// (the alias's fingerprint may live in any entry shard). No operation
+/// ever holds two shard locks at once: alias resolution copies the
+/// fingerprint out, releases the alias shard, then takes the entry
+/// shard. The price is that an alias can briefly outlive its entry —
+/// stale aliases are dropped lazily on lookup and bounded by a
+/// deterministic per-shard cap.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<ProfileCache>>,
+    aliases: Vec<Mutex<BTreeMap<u64, u64>>>,
+    /// Fit-key aliases one alias shard retains at most (oldest key
+    /// evicted first — deterministic, not LRU).
+    alias_cap: usize,
+}
+
+impl ShardedCache {
+    /// A cache of `capacity` profiles total, split over `shards` locks
+    /// (clamped to at least 1), each entry expiring `ttl_micros` after
+    /// insertion (0 = never).
+    pub fn new(shards: usize, capacity: usize, ttl_micros: u64) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ProfileCache::new(per_shard, ttl_micros)))
+                .collect(),
+            aliases: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            alias_cap: (per_shard * 4).max(16),
+        }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The entry shard `fingerprint` routes to.
+    pub fn shard_of(&self, fingerprint: u64) -> usize {
+        (fingerprint % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, fingerprint: u64) -> MutexGuard<'_, ProfileCache> {
+        let shard = &self.shards[self.shard_of(fingerprint)];
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn alias_shard(&self, fit_key: u64) -> MutexGuard<'_, BTreeMap<u64, u64>> {
+        let alias = &self.aliases[(fit_key % self.aliases.len() as u64) as usize];
+        alias.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a profile by content fingerprint, refreshing its recency
+    /// within its shard.
+    pub fn get(&self, fingerprint: u64, now_micros: u64) -> Option<Arc<Profile>> {
+        let mut shard = self.shard(fingerprint);
+        shard.get(fingerprint, now_micros)
+    }
+
+    /// Looks up a profile by fit key. A stale alias (its profile was
+    /// evicted or expired) is removed and reported as a miss.
+    pub fn get_by_fit_key(&self, fit_key: u64, now_micros: u64) -> Option<(u64, Arc<Profile>)> {
+        let fingerprint = {
+            let alias = self.alias_shard(fit_key);
+            *alias.get(&fit_key)?
+        };
+        let found = {
+            let mut shard = self.shard(fingerprint);
+            shard.get(fingerprint, now_micros)
+        };
+        match found {
+            Some(profile) => Some((fingerprint, profile)),
+            None => {
+                let mut alias = self.alias_shard(fit_key);
+                // Only clear the alias if it still points at the entry
+                // that just missed (an insert may have raced it forward).
+                if alias.get(&fit_key) == Some(&fingerprint) {
+                    alias.remove(&fit_key);
+                }
+                None
+            }
+        }
+    }
+
+    /// Inserts a profile under its content fingerprint, optionally
+    /// aliasing `fit_key` to it.
+    pub fn insert(
+        &self,
+        fingerprint: u64,
+        profile: Arc<Profile>,
+        fit_key: Option<u64>,
+        now_micros: u64,
+    ) {
+        {
+            let mut shard = self.shard(fingerprint);
+            // Aliases are managed at this level; the per-shard cache
+            // never sees fit keys.
+            shard.insert(fingerprint, profile, None, now_micros);
+        }
+        if let Some(key) = fit_key {
+            let mut alias = self.alias_shard(key);
+            // One insert adds at most one entry, so one eviction keeps
+            // the map at its cap — no loop, no guard held across one.
+            if alias.len() >= self.alias_cap && !alias.contains_key(&key) {
+                alias.pop_first();
+            }
+            alias.insert(key, fingerprint);
+        }
+    }
+
+    /// Profiles currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate entry/eviction/expiration tallies, summed shard by
+    /// shard (one lock at a time).
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            entries: 0,
+            evictions: 0,
+            expirations: 0,
+        };
+        for locked in &self.shards {
+            let shard = locked.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.entries += shard.len() as u64;
+            stats.evictions += shard.evictions();
+            stats.expirations += shard.expirations();
+        }
+        stats
+    }
+}
+
+/// Per-shard admission budget: a fixed number of in-flight requests per
+/// shard, acquired lock-free. Holding a [`ShardSlot`] is holding the
+/// budget; dropping it releases the slot.
+#[derive(Debug)]
+pub(crate) struct ShardAdmission {
+    counters: Arc<Vec<AtomicU64>>,
+    budget: u64,
+}
+
+impl ShardAdmission {
+    pub(crate) fn new(shards: usize, budget: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            counters: Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect()),
+            budget: budget as u64,
+        }
+    }
+
+    /// The shard an admission key routes to (same modulus as the cache).
+    pub(crate) fn shard_of(&self, key: u64) -> usize {
+        (key % self.counters.len() as u64) as usize
+    }
+
+    /// Tries to take one slot on `key`'s shard; `None` means the shard
+    /// is at budget and the request must be shed with `Busy`.
+    pub(crate) fn try_acquire(&self, key: u64) -> Option<ShardSlot> {
+        let shard = self.shard_of(key);
+        let counter = &self.counters[shard];
+        let mut current = counter.load(Ordering::SeqCst);
+        loop {
+            if current >= self.budget {
+                return None;
+            }
+            match counter.compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    return Some(ShardSlot {
+                        counters: Arc::clone(&self.counters),
+                        shard,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Requests currently admitted across all shards.
+    pub(crate) fn total_inflight(&self) -> u64 {
+        self.counters.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+    }
+}
+
+/// One admitted request's slot in its shard budget; releases on drop.
+#[derive(Debug)]
+pub(crate) struct ShardSlot {
+    counters: Arc<Vec<AtomicU64>>,
+    shard: usize,
+}
+
+impl Drop for ShardSlot {
+    fn drop(&mut self) {
+        self.counters[self.shard].fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +503,109 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.evictions(), 0);
         assert!(cache.get_by_fit_key(5, 0).is_none());
+    }
+
+    #[test]
+    fn sharded_fingerprints_distribute_by_modulus() {
+        let cache = ShardedCache::new(8, 64, 0);
+        assert_eq!(cache.shards(), 8);
+        let mut hit = [false; 8];
+        for fp in 0..64u64 {
+            let shard = cache.shard_of(fp);
+            assert_eq!(shard, (fp % 8) as usize);
+            hit[shard] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "every shard must receive keys");
+        // Zero shards is clamped, not a panic.
+        assert_eq!(ShardedCache::new(0, 4, 0).shards(), 1);
+    }
+
+    #[test]
+    fn sharded_get_and_fit_key_alias_cross_shards() {
+        let cache = ShardedCache::new(4, 16, 0);
+        let p = profile(1);
+        // Fingerprint 6 lives in shard 2; alias key 9 lives in alias
+        // shard 1 — the lookup must bridge them.
+        cache.insert(6, Arc::clone(&p), Some(9), 0);
+        assert_eq!(cache.get(6, 0).as_deref(), Some(p.as_ref()));
+        let (fp, _) = cache.get_by_fit_key(9, 0).unwrap();
+        assert_eq!(fp, 6);
+        assert!(cache.get(7, 0).is_none());
+        assert!(cache.get_by_fit_key(10, 0).is_none());
+    }
+
+    #[test]
+    fn sharded_ttl_expires_per_shard_under_manual_clock() {
+        use crate::metrics::{Clock, ManualClock};
+        let clock = ManualClock::new();
+        let cache = ShardedCache::new(4, 16, 1000);
+        cache.insert(0, profile(1), None, clock.now_micros()); // shard 0
+        clock.advance(600);
+        cache.insert(1, profile(2), None, clock.now_micros()); // shard 1
+        clock.advance(600); // now 1200: entry 0 is 1200 old, entry 1 is 600 old
+        assert!(
+            cache.get(0, clock.now_micros()).is_none(),
+            "shard 0 expired"
+        );
+        assert!(cache.get(1, clock.now_micros()).is_some(), "shard 1 alive");
+        let stats = cache.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn sharded_stale_alias_is_dropped_on_miss() {
+        let cache = ShardedCache::new(2, 2, 1000);
+        cache.insert(4, profile(1), Some(8), 0);
+        // Let the entry expire; the alias briefly outlives it.
+        assert!(cache.get_by_fit_key(8, 5000).is_none());
+        // A second lookup misses in the alias map itself.
+        assert!(cache.get_by_fit_key(8, 0).is_none());
+    }
+
+    #[test]
+    fn sharded_stats_are_deterministic_at_any_thread_count() {
+        // The same disjoint work split over 1, 2 and 8 threads must
+        // leave identical aggregate stats: shard state only depends on
+        // which keys hit which shard, never on interleaving.
+        let run = |threads: usize| {
+            let cache = Arc::new(ShardedCache::new(8, 16, 1000));
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let cache = Arc::clone(&cache);
+                    scope.spawn(move || {
+                        for key in (t as u64..64).step_by(threads) {
+                            cache.insert(key, profile(key), Some(key + 1000), 0);
+                            assert!(cache.get(key, 0).is_some());
+                        }
+                    });
+                }
+            });
+            // Everything inserted at t=0 expires at once.
+            for key in 0..64u64 {
+                let _ = cache.get(key, 5000);
+            }
+            cache.stats()
+        };
+        let baseline = run(1);
+        assert_eq!(run(2), baseline);
+        assert_eq!(run(8), baseline);
+        assert_eq!(baseline.entries, 0, "all expired or evicted");
+        assert_eq!(
+            baseline.evictions + baseline.expirations,
+            64,
+            "every inserted profile left by eviction or expiry"
+        );
+    }
+
+    #[test]
+    fn admission_budget_is_per_shard_and_released_on_drop() {
+        let admission = ShardAdmission::new(2, 1);
+        let slot = admission.try_acquire(0).unwrap();
+        assert!(admission.try_acquire(2).is_none(), "same shard: at budget");
+        assert!(admission.try_acquire(1).is_some(), "other shard: admitted");
+        assert_eq!(admission.total_inflight(), 1, "shard 1 slot was dropped");
+        drop(slot);
+        assert!(admission.try_acquire(0).is_some(), "released on drop");
     }
 }

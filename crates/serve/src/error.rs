@@ -93,6 +93,8 @@ pub enum ServeError {
     },
     /// The server's persistent profile store failed to open or append.
     Store(mocktails_store::StoreError),
+    /// A [`crate::server::ServerConfig`] failed validation.
+    Config(crate::server::ServerConfigError),
 }
 
 impl fmt::Display for ServeError {
@@ -103,6 +105,7 @@ impl fmt::Display for ServeError {
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
             Self::Remote { code, message } => write!(f, "server error ({code}): {message}"),
             Self::Store(e) => write!(f, "profile store: {e}"),
+            Self::Config(e) => write!(f, "server config: {e}"),
         }
     }
 }
@@ -112,8 +115,15 @@ impl std::error::Error for ServeError {
         match self {
             Self::Io(e) => Some(e),
             Self::Store(e) => Some(e),
+            Self::Config(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::server::ServerConfigError> for ServeError {
+    fn from(e: crate::server::ServerConfigError) -> Self {
+        Self::Config(e)
     }
 }
 

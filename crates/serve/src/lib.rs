@@ -15,10 +15,17 @@
 //! * [`protocol`] — versioned request/response messages over frames.
 //! * [`error`] — [`error::ErrorCode`] (the wire-level failure taxonomy)
 //!   and [`error::ServeError`].
-//! * [`cache`] — the content-fingerprint-keyed LRU/TTL profile cache.
+//! * [`cache`] — the content-fingerprint-keyed LRU/TTL profile cache and
+//!   its N-way sharding ([`cache::ShardedCache`]) with per-shard
+//!   admission budgets.
 //! * [`metrics`] — atomic counters and histograms with a deterministic
 //!   text rendering, timed by an injectable [`metrics::Clock`].
+//! * `conn` / `reactor` (private) — the readiness-driven event loop: one
+//!   thread owns every socket; compute runs on the worker pool and
+//!   responses flow back through per-connection outboxes.
 //! * [`server`] / [`client`] — the two endpoints.
+//!   [`server::ServerConfig::builder`] is the validated way to configure
+//!   the server.
 //!
 //! Determinism carries through the wire: a `Synthesize` stream's
 //! reassembled bytes are byte-identical to offline
@@ -27,16 +34,19 @@
 
 pub mod cache;
 pub mod client;
+mod conn;
 pub mod error;
 pub mod frame;
 pub mod metrics;
 pub mod protocol;
+mod reactor;
 pub mod retry;
 pub mod server;
 
+pub use cache::{CacheStats, ShardedCache};
 pub use client::{Client, CompactOutcome, FitOutcome, SynthOutcome, SynthStream};
 pub use error::{ErrorCode, ServeError};
 pub use metrics::{Clock, ManualClock, MonotonicClock, ServeMetrics};
 pub use protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};
 pub use retry::{retry_busy, RetryPolicy};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerConfigBuilder, ServerConfigError};

@@ -125,6 +125,26 @@ impl Histogram {
         self.sum.load(Ordering::SeqCst)
     }
 
+    /// The upper bound of the bucket holding the `q`-quantile
+    /// observation (0 for an empty histogram, `u64::MAX` when the rank
+    /// lands in the unbounded overflow bucket). Bucket-resolution, like
+    /// any fixed-bucket histogram — good enough to watch a p99 move.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+            seen += self.buckets[i].load(Ordering::SeqCst);
+            if seen >= rank {
+                return bound;
+            }
+        }
+        u64::MAX
+    }
+
     fn render_into(&self, name: &str, out: &mut String) {
         use std::fmt::Write;
         for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
@@ -141,6 +161,8 @@ impl Histogram {
         );
         let _ = writeln!(out, "{name}_sum_micros {}", self.sum_micros());
         let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_p50_micros {}", self.quantile(0.50));
+        let _ = writeln!(out, "{name}_p99_micros {}", self.quantile(0.99));
     }
 }
 
@@ -203,12 +225,31 @@ pub struct ServeMetrics {
     /// Clock reading at the last checkpoint (or store open); rendered as
     /// `store_last_checkpoint_age_micros`, the gap to "now".
     pub store_last_checkpoint_micros: AtomicU64,
+    /// Connections the reactor currently owns (gauge).
+    pub reactor_open_conns: AtomicU64,
+    /// Connections refused at accept because `max_conns` was reached.
+    pub reactor_conns_rejected_total: AtomicU64,
+    /// Reactor sweep iterations. Scheduling-dependent by nature (how
+    /// often the loop wakes depends on socket and worker timing), so
+    /// determinism tests exclude exactly this one line.
+    pub reactor_wakeups_total: AtomicU64,
+    /// Response frames queued on sockets, not yet fully written (gauge).
+    pub reactor_write_queue_frames: AtomicU64,
+    /// Requests currently holding a shard admission slot (gauge).
+    pub shard_inflight: AtomicU64,
+    /// Requests shed with `Busy` because their shard was at budget.
+    pub shard_shed_total: AtomicU64,
+    /// Jobs waiting in the worker pool's queue (gauge).
+    pub pool_queue_depth: AtomicU64,
     /// Submit-to-job-start wait.
     pub queue_wait_micros: Histogram,
     /// Fit job duration.
     pub fit_latency_micros: Histogram,
     /// Synthesis stream duration (start to end frame).
     pub synth_latency_micros: Histogram,
+    /// Queue-to-wire latency of each response frame (enqueue on the
+    /// connection's write queue until its last byte hits the socket).
+    pub frame_latency_micros: Histogram,
 }
 
 impl ServeMetrics {
@@ -259,10 +300,29 @@ impl ServeMetrics {
             "store_last_checkpoint_age_micros {}",
             now_micros.saturating_sub(self.store_last_checkpoint_micros.load(Ordering::SeqCst))
         );
+        for (name, counter) in [
+            ("reactor_open_conns", &self.reactor_open_conns),
+            (
+                "reactor_conns_rejected_total",
+                &self.reactor_conns_rejected_total,
+            ),
+            ("reactor_wakeups_total", &self.reactor_wakeups_total),
+            (
+                "reactor_write_queue_frames",
+                &self.reactor_write_queue_frames,
+            ),
+            ("shard_inflight", &self.shard_inflight),
+            ("shard_shed_total", &self.shard_shed_total),
+            ("pool_queue_depth", &self.pool_queue_depth),
+        ] {
+            let _ = writeln!(out, "{name} {}", counter.load(Ordering::SeqCst));
+        }
         self.queue_wait_micros.render_into("queue_wait", &mut out);
         self.fit_latency_micros.render_into("fit_latency", &mut out);
         self.synth_latency_micros
             .render_into("synth_latency", &mut out);
+        self.frame_latency_micros
+            .render_into("frame_latency", &mut out);
         let _ = writeln!(out, "uptime_micros {now_micros}");
         out
     }
@@ -345,6 +405,13 @@ mod tests {
             "store_replay_micros",
             "store_checkpoints_total",
             "store_last_checkpoint_age_micros",
+            "reactor_open_conns",
+            "reactor_conns_rejected_total",
+            "reactor_wakeups_total",
+            "reactor_write_queue_frames",
+            "shard_inflight",
+            "shard_shed_total",
+            "pool_queue_depth",
             "uptime_micros",
         ] {
             assert_eq!(
@@ -356,5 +423,25 @@ mod tests {
         assert!(text.contains("queue_wait_count 0"));
         assert!(text.contains("fit_latency_count 0"));
         assert!(text.contains("synth_latency_count 0"));
+        assert!(text.contains("frame_latency_count 0"));
+        assert!(text.contains("frame_latency_p50_micros 0"));
+        assert!(text.contains("frame_latency_p99_micros 0"));
+    }
+
+    #[test]
+    fn quantile_returns_bucket_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.observe(50); // le="100"
+        }
+        h.observe(200_000_000); // overflow bucket
+        assert_eq!(h.quantile(0.50), 100);
+        assert_eq!(h.quantile(0.99), 100, "rank 99 is still in le=100");
+        assert_eq!(h.quantile(1.0), u64::MAX, "the max landed past all bounds");
+        let h = Histogram::new();
+        h.observe(500); // le="1600"
+        assert_eq!(h.quantile(0.50), 1_600);
+        assert_eq!(h.quantile(0.99), 1_600);
     }
 }

@@ -1,21 +1,27 @@
 //! The streaming synthesis server.
 //!
-//! One accept loop, one OS thread per connection, and a bounded
-//! [`WorkerPool`] for the compute requests (fit, synthesize, stats).
-//! Connection threads never compute: they decode frames, answer the
-//! cheap requests inline (`Metricsz`, `Shutdown`), submit the rest to
-//! the pool, and pump `Ack`/`Cancel` frames to the in-flight streaming
-//! job. Every failure path answers with a typed error frame before the
+//! One readiness-driven reactor thread owns every connection (see
+//! [`crate::reactor`]): nonblocking accept, read, frame reassembly and
+//! write backpressure all happen there, and no socket is ever touched by
+//! more than one thread. Compute — fit, synthesize, stats, compact —
+//! runs on a bounded [`WorkerPool`]; jobs hand their responses back
+//! through a per-connection outbox ([`crate::conn::ConnTx`]) and the
+//! reactor writes them out. A streaming synthesis never pins a worker:
+//! each client ack schedules one short chunk job against the stream's
+//! parked [`crate::conn::SynthState`], so thousands of concurrent
+//! streams need only as many workers as there are chunks in flight.
+//!
+//! Admission is sharded: the profile cache is a [`ShardedCache`] keyed
+//! by content fingerprint, and each shard has a bounded in-flight budget
+//! ([`ServerConfig::shard_budget`]). A request for a shard at budget is
+//! shed with a typed `Busy` frame the client retries with backoff.
+//! Every failure path still answers with a typed error frame before the
 //! connection is ever closed.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 use mocktails_core::{fit_key, HierarchyConfig, LayerSpec, Profile, ProfileError};
 use mocktails_pool::bounded::{SubmitError, WorkerPool};
@@ -24,21 +30,70 @@ use mocktails_store::{ProfileStore, StoreOptions};
 use mocktails_trace::codec::RecordEncoder;
 use mocktails_trace::{fnv1a, DecodeOptions, Fingerprinter, TraceError};
 
-use crate::cache::ProfileCache;
+use crate::cache::{ShardAdmission, ShardedCache};
+use crate::conn::{ConnTx, SynthState, WakeFlag};
 use crate::error::{ErrorCode, ServeError};
-use crate::frame::{read_frame, write_frame};
 use crate::metrics::{Clock, ServeMetrics};
-use crate::protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{ProfileSource, Response};
+
+/// Bytes of an upload hashed for *admission routing* (which shard's
+/// budget a fit consumes). The true fit key still hashes the whole
+/// trace — in a worker, never on the reactor thread.
+const ADMISSION_HASH_PREFIX: usize = 4096;
+
+/// Why a [`ServerConfig`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerConfigError {
+    /// `workers` was 0; the pool needs at least one thread.
+    ZeroWorkers,
+    /// `shards` was 0; the cache needs at least one shard.
+    ZeroShards,
+    /// `max_conns` was 0; the server could accept nothing.
+    ZeroMaxConns,
+    /// `shard_budget` was 0; every request would be shed.
+    ZeroShardBudget,
+    /// `deadline_micros` was 0; every queued request would miss it.
+    ZeroDeadline,
+    /// `max_frame_len` is below the smallest useful frame.
+    FrameLimitTooSmall {
+        /// The minimum accepted value.
+        min: usize,
+    },
+}
+
+impl std::fmt::Display for ServerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroWorkers => write!(f, "workers must be at least 1"),
+            Self::ZeroShards => write!(f, "shards must be at least 1"),
+            Self::ZeroMaxConns => write!(f, "max_conns must be at least 1"),
+            Self::ZeroShardBudget => write!(f, "shard_budget must be at least 1"),
+            Self::ZeroDeadline => write!(f, "deadline_micros must be positive"),
+            Self::FrameLimitTooSmall { min } => {
+                write!(f, "max_frame_len must be at least {min} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerConfigError {}
 
 /// Tuning knobs for [`Server`].
-#[derive(Debug, Clone)]
+///
+/// Construct through [`ServerConfig::builder`], which validates on
+/// `build()`. Plain struct-literal construction (the pre-0.4 path) still
+/// works and is validated by [`Server::bind`], but is deprecated in
+/// favor of the builder and may lose field-level access in a future
+/// breaking release.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Worker threads executing compute requests.
     pub workers: usize,
     /// Jobs admitted beyond the running ones; over-cap submissions get a
     /// `Busy` error frame (see [`WorkerPool`]).
     pub queue_cap: usize,
-    /// Profiles the cache retains (LRU beyond this).
+    /// Profiles the cache retains across all shards (LRU per shard
+    /// beyond `cache_capacity / shards`).
     pub cache_capacity: usize,
     /// Cache entry lifetime in microseconds (0 = never expires).
     pub cache_ttl_micros: u64,
@@ -54,6 +109,14 @@ pub struct ServerConfig {
     /// its write-ahead log *before* the `FitResult` ack, and a restart
     /// warms the cache from the recovered state.
     pub store_dir: Option<PathBuf>,
+    /// Cache/admission shards; requests route by content fingerprint.
+    pub shards: usize,
+    /// Connections the reactor will hold open at once; excess accepts
+    /// are answered with a `Busy` frame and closed.
+    pub max_conns: usize,
+    /// In-flight requests (including open streams) one shard admits
+    /// before shedding with `Busy`.
+    pub shard_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,48 +130,198 @@ impl Default for ServerConfig {
             deadline_micros: 30_000_000,
             decode: DecodeOptions::default(),
             store_dir: None,
+            shards: 8,
+            max_conns: 1024,
+            shard_budget: 32,
         }
     }
 }
 
-/// State shared by the accept loop, connection threads and worker jobs.
-struct Shared {
+impl ServerConfig {
+    /// A builder starting from [`ServerConfig::default`], in the style
+    /// of `HierarchyConfig::builder()`.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Checks the knobs for values the server cannot run with.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ServerConfigError`] found, in field order.
+    pub fn validate(&self) -> Result<(), ServerConfigError> {
+        if self.workers == 0 {
+            return Err(ServerConfigError::ZeroWorkers);
+        }
+        if self.shards == 0 {
+            return Err(ServerConfigError::ZeroShards);
+        }
+        if self.max_conns == 0 {
+            return Err(ServerConfigError::ZeroMaxConns);
+        }
+        if self.shard_budget == 0 {
+            return Err(ServerConfigError::ZeroShardBudget);
+        }
+        if self.deadline_micros == 0 {
+            return Err(ServerConfigError::ZeroDeadline);
+        }
+        if self.max_frame_len < 1024 {
+            return Err(ServerConfigError::FrameLimitTooSmall { min: 1024 });
+        }
+        Ok(())
+    }
+}
+
+/// Builds a validated [`ServerConfig`]; see [`ServerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
     config: ServerConfig,
-    cache: Mutex<ProfileCache>,
-    metrics: Arc<ServeMetrics>,
-    pool: WorkerPool,
-    clock: Arc<dyn Clock>,
+}
+
+impl ServerConfigBuilder {
+    /// Worker threads executing compute requests.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Jobs admitted beyond the running ones.
+    #[must_use]
+    pub fn queue_cap(mut self, queue_cap: usize) -> Self {
+        self.config.queue_cap = queue_cap;
+        self
+    }
+
+    /// Profiles the cache retains across all shards.
+    #[must_use]
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.config.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Cache entry lifetime in microseconds (0 = never expires).
+    #[must_use]
+    pub fn cache_ttl_micros(mut self, cache_ttl_micros: u64) -> Self {
+        self.config.cache_ttl_micros = cache_ttl_micros;
+        self
+    }
+
+    /// Maximum accepted frame payload length in bytes.
+    #[must_use]
+    pub fn max_frame_len(mut self, max_frame_len: usize) -> Self {
+        self.config.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// Per-request deadline in microseconds.
+    #[must_use]
+    pub fn deadline_micros(mut self, deadline_micros: u64) -> Self {
+        self.config.deadline_micros = deadline_micros;
+        self
+    }
+
+    /// Decode hardening applied to uploaded traces and profiles.
+    #[must_use]
+    pub fn decode(mut self, decode: DecodeOptions) -> Self {
+        self.config.decode = decode;
+        self
+    }
+
+    /// Directory of the crash-recoverable profile store.
+    #[must_use]
+    pub fn store_dir(mut self, store_dir: impl Into<PathBuf>) -> Self {
+        self.config.store_dir = Some(store_dir.into());
+        self
+    }
+
+    /// Cache/admission shards.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Connections the reactor will hold open at once.
+    #[must_use]
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.config.max_conns = max_conns;
+        self
+    }
+
+    /// In-flight requests one shard admits before shedding.
+    #[must_use]
+    pub fn shard_budget(mut self, shard_budget: usize) -> Self {
+        self.config.shard_budget = shard_budget;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerConfig::validate`].
+    pub fn build(self) -> Result<ServerConfig, ServerConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// State shared by the reactor and worker jobs.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) cache: ShardedCache,
+    pub(crate) metrics: Arc<ServeMetrics>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) clock: Arc<dyn Clock>,
     /// The durable tier behind the cache, if configured. Its mutex is
-    /// never held together with the cache's: fit persistence locks the
-    /// cache, releases it, then locks the store.
-    store: Option<Mutex<ProfileStore>>,
-    shutting_down: AtomicBool,
-    addr: SocketAddr,
-    /// Read halves of live connections, shut down after drain so blocked
-    /// reads unblock and connection threads can be joined.
-    conns: Mutex<Vec<TcpStream>>,
+    /// never held together with a cache shard's: fit persistence
+    /// releases the cache shard, then locks the store.
+    pub(crate) store: Option<Mutex<ProfileStore>>,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    /// The reactor's park/wake condvar; worker jobs wake it through
+    /// their outbox pushes and once more when they finish.
+    pub(crate) wake: Arc<WakeFlag>,
+    /// Per-shard in-flight budgets.
+    pub(crate) admission: ShardAdmission,
 }
 
 impl Shared {
-    fn cache(&self) -> std::sync::MutexGuard<'_, ProfileCache> {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Mirrors the cache's internal tallies into the metric registry.
-    fn sync_cache_metrics(&self, cache: &ProfileCache) {
+    /// Mirrors the cache's aggregate tallies into the metric registry.
+    pub(crate) fn sync_cache_metrics(&self) {
+        let stats = self.cache.stats();
         let m = &self.metrics;
-        m.cache_entries.store(cache.len() as u64, Ordering::SeqCst);
+        m.cache_entries.store(stats.entries, Ordering::SeqCst);
         m.cache_evictions_total
-            .store(cache.evictions(), Ordering::SeqCst);
+            .store(stats.evictions, Ordering::SeqCst);
         m.cache_expirations_total
-            .store(cache.expirations(), Ordering::SeqCst);
+            .store(stats.expirations, Ordering::SeqCst);
     }
 
     /// Mirrors the store's size gauges into the metric registry.
-    fn sync_store_metrics(&self, store: &ProfileStore) {
+    pub(crate) fn sync_store_metrics(&self, store: &ProfileStore) {
         let m = &self.metrics;
         m.store_profiles.store(store.len() as u64, Ordering::SeqCst);
         m.store_wal_bytes.store(store.wal_bytes(), Ordering::SeqCst);
+    }
+
+    /// The shard-admission routing key for a request: which shard's
+    /// budget it consumes. Fingerprint sources route exactly like the
+    /// cache; uploads hash a bounded prefix (cheap enough for the
+    /// reactor thread — the real content hash happens in a worker).
+    pub(crate) fn admission_key(&self, source: &ProfileSource) -> u64 {
+        match source {
+            ProfileSource::Fingerprint(fp) => *fp,
+            ProfileSource::Inline(bytes) => Self::upload_admission_key(bytes),
+        }
+    }
+
+    /// Admission key for raw uploaded bytes (trace or profile).
+    pub(crate) fn upload_admission_key(bytes: &[u8]) -> u64 {
+        fnv1a(&bytes[..bytes.len().min(ADMISSION_HASH_PREFIX)])
     }
 }
 
@@ -128,6 +341,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("addr", &self.shared.addr)
             .field("workers", &self.shared.config.workers)
+            .field("shards", &self.shared.config.shards)
             .finish()
     }
 }
@@ -174,20 +388,27 @@ fn shared_store_open(
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// prepares the worker pool, cache and metrics registry.
+    /// prepares the worker pool, sharded cache and metrics registry.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// [`ServeError::Config`] for an invalid `config`; otherwise the
+    /// bind or store-recovery failure.
     pub fn bind(
         addr: &str,
         config: ServerConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Self, ServeError> {
+        config.validate()?;
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let metrics = Arc::new(ServeMetrics::new());
-        let mut cache = ProfileCache::new(config.cache_capacity, config.cache_ttl_micros);
+        let cache = ShardedCache::new(
+            config.shards,
+            config.cache_capacity,
+            config.cache_ttl_micros,
+        );
 
         // Cold start: recover the persistent store and warm the cache
         // from it, so a restarted server answers fits it already paid for.
@@ -216,14 +437,15 @@ impl Server {
             .store(clock.now_micros(), Ordering::SeqCst);
         let shared = Arc::new(Shared {
             pool: WorkerPool::new(config.workers, config.queue_cap),
-            cache: Mutex::new(cache),
+            admission: ShardAdmission::new(config.shards, config.shard_budget),
+            cache,
             config,
             metrics,
             clock,
             store,
             shutting_down: AtomicBool::new(false),
             addr: local,
-            conns: Mutex::new(Vec::new()),
+            wake: Arc::new(WakeFlag::new()),
         });
         Ok(Self { listener, shared })
     }
@@ -239,105 +461,31 @@ impl Server {
     }
 
     /// Serves until a `Shutdown` frame arrives, then drains: stops
-    /// accepting, completes in-flight work, closes connections, joins
-    /// every thread.
+    /// accepting, completes in-flight work (mid-stream clients get their
+    /// `SynthEnd`), closes connections, and returns.
     ///
     /// # Errors
     ///
     /// Propagates accept-loop I/O failures; per-connection failures are
     /// answered on that connection and never abort the server.
     pub fn run(self) -> Result<(), ServeError> {
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shared.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(ServeError::Io(e)),
-            };
-            self.shared
-                .metrics
-                .connections_total
-                .fetch_add(1, Ordering::SeqCst);
-            if let Ok(clone) = stream.try_clone() {
-                self.shared
-                    .conns
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(clone);
-            }
-            let shared = Arc::clone(&self.shared);
-            handles.push(std::thread::spawn(move || {
-                // Failures inside a connection are answered on that
-                // connection; nothing propagates to the accept loop.
-                let _ = serve_connection(&shared, stream);
-            }));
-        }
-        // Complete everything already admitted (mid-stream clients get
-        // their SynthEnd), then unblock any idle connection reads. Take
-        // the sockets out under the lock and shut them down after
-        // releasing it: `shutdown` can block on the peer, and a
-        // connection thread racing to deregister itself needs the
-        // registry lock to make progress.
+        let result = crate::reactor::run(&self.listener, &self.shared);
+        // The reactor only exits once no job is outstanding, so this
+        // drain is a formality that also flips the pool to rejecting.
         self.shared.pool.drain();
-        let conns = {
-            let mut guard = self
-                .shared
-                .conns
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            std::mem::take(&mut *guard)
-        };
-        for conn in conns {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
-        for handle in handles {
-            let _ = handle.join();
-        }
-        Ok(())
+        result
     }
 }
 
-/// The streaming job a connection currently has in flight.
-struct ActiveJob {
-    /// Forwards client `Ack` frames to the worker.
-    ack_tx: mpsc::Sender<()>,
-    /// Signals job completion (by closing).
-    done_rx: mpsc::Receiver<()>,
+/// Queues a typed error frame on `tx`, counting it exactly like the
+/// reactor's own error path.
+pub(crate) fn send_error_tx(shared: &Shared, tx: &ConnTx, code: ErrorCode, message: String) {
+    count_error(shared, code);
+    tx.send(&Response::Error { code, message });
 }
 
-impl ActiveJob {
-    /// Cancels (by dropping the ack channel) and waits for the worker to
-    /// finish its final frames.
-    fn cancel_and_wait(self) {
-        drop(self.ack_tx);
-        let _ = self.done_rx.recv();
-    }
-}
-
-type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
-
-fn send_response(writer: &SharedWriter, response: &Response) -> Result<(), ServeError> {
-    let payload = response.encode();
-    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    // The per-connection writer mutex exists precisely to serialize
-    // whole frames onto the socket; blocking on a slow client here IS
-    // the backpressure, and only that client's worker is behind it.
-    // lint: allow(L013, per-connection writer mutex serializes frames; blocking on the client socket is the intended backpressure)
-    write_frame(&mut *w, &payload)?;
-    // lint: allow(L013, same frame-serialization mutex; flush completes the frame before the lock is released)
-    w.flush()?;
-    Ok(())
-}
-
-fn send_error(
-    shared: &Shared,
-    writer: &SharedWriter,
-    code: ErrorCode,
-    message: String,
-) -> Result<(), ServeError> {
+/// Bumps the error counters for one typed error frame.
+pub(crate) fn count_error(shared: &Shared, code: ErrorCode) {
     let m = &shared.metrics;
     m.errors_total.fetch_add(1, Ordering::SeqCst);
     match code {
@@ -349,322 +497,69 @@ fn send_error(
         }
         _ => {}
     }
-    send_response(writer, &Response::Error { code, message })
 }
 
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), ServeError> {
-    let _ = stream.set_nodelay(true);
-    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
-    let mut reader = BufReader::new(stream);
-    let max_len = shared.config.max_frame_len;
-
-    // Handshake: the first frame must be a version-compatible Hello.
-    match read_frame(&mut reader, max_len)? {
-        None => return Ok(()),
-        Some(payload) => match Request::decode(&payload) {
-            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
-                send_response(
-                    &writer,
-                    &Response::HelloOk {
-                        version: PROTOCOL_VERSION,
-                    },
-                )?;
-            }
-            Ok(Request::Hello { version }) => {
-                return send_error(
-                    shared,
-                    &writer,
-                    ErrorCode::UnsupportedVersion,
-                    format!("protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"),
-                );
-            }
-            Ok(other) => {
-                return send_error(
-                    shared,
-                    &writer,
-                    ErrorCode::Malformed,
-                    format!("expected hello, got {other:?}"),
-                );
-            }
-            Err(e) => {
-                return send_error(shared, &writer, ErrorCode::Malformed, e.to_string());
-            }
-        },
-    }
-
-    let mut active: Option<ActiveJob> = None;
-    loop {
-        let payload = match read_frame(&mut reader, max_len) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => {
-                // Client closed; cancel any in-flight stream and finish.
-                if let Some(job) = active.take() {
-                    job.cancel_and_wait();
-                }
-                return Ok(());
-            }
-            Err(ServeError::Frame(msg)) => {
-                // Frame sync is lost; answer with a typed error frame and
-                // close — the contract is "typed error, never a silent
-                // drop", not "resynchronize a corrupt stream".
-                if let Some(job) = active.take() {
-                    job.cancel_and_wait();
-                }
-                let code = if msg.contains("exceeds maximum") {
-                    ErrorCode::LimitExceeded
-                } else {
-                    ErrorCode::Malformed
-                };
-                return send_error(shared, &writer, code, msg);
-            }
-            Err(e) => {
-                if let Some(job) = active.take() {
-                    job.cancel_and_wait();
-                }
-                return Err(e);
-            }
-        };
-        let request = match Request::decode(&payload) {
-            Ok(request) => request,
-            Err(e) => {
-                // The frame boundary held, so the stream is still in
-                // sync; report and keep serving.
-                send_error(shared, &writer, ErrorCode::Malformed, e.to_string())?;
-                continue;
-            }
-        };
-        match request {
-            Request::Ack => {
-                if let Some(job) = &active {
-                    // A send failure only means the job already finished.
-                    let _ = job.ack_tx.send(());
-                } else {
-                    send_error(
-                        shared,
-                        &writer,
-                        ErrorCode::Malformed,
-                        "ack with no stream in progress".into(),
-                    )?;
-                }
-            }
-            Request::Cancel => {
-                if let Some(job) = active.take() {
-                    job.cancel_and_wait();
-                } else {
-                    send_error(
-                        shared,
-                        &writer,
-                        ErrorCode::Malformed,
-                        "cancel with no stream in progress".into(),
-                    )?;
-                }
-            }
-            other => {
-                // A new request implicitly ends any finished stream; an
-                // unfinished one is cancelled (the protocol requires the
-                // client to wait for SynthEnd before its next request).
-                if let Some(job) = active.take() {
-                    job.cancel_and_wait();
-                }
-                active = dispatch(shared, &writer, other)?;
-            }
-        }
-    }
-}
-
-/// Routes one non-stream-control request. Returns the new in-flight
-/// streaming job, if the request started one.
-fn dispatch(
+/// Submits a request-scoped job: observes its queue wait, enforces the
+/// deadline, then runs `job`. The job must finish with `tx.done()` or
+/// `tx.stream_started(..)`.
+///
+/// # Errors
+///
+/// Pool refusal propagates; the caller answers with `Busy`.
+pub(crate) fn submit_request_job<F>(
     shared: &Arc<Shared>,
-    writer: &SharedWriter,
-    request: Request,
-) -> Result<Option<ActiveJob>, ServeError> {
-    let metrics = &shared.metrics;
-    metrics.requests_total.fetch_add(1, Ordering::SeqCst);
-    match request {
-        Request::Hello { .. } => {
-            send_error(
-                shared,
-                writer,
-                ErrorCode::Malformed,
-                "duplicate hello".into(),
-            )?;
-            Ok(None)
-        }
-        Request::Metricsz => {
-            metrics
-                .metricsz_requests_total
-                .fetch_add(1, Ordering::SeqCst);
-            let text = metrics.render(shared.clock.now_micros());
-            send_response(writer, &Response::MetricsText { text })?;
-            Ok(None)
-        }
-        Request::Shutdown => {
-            shared.shutting_down.store(true, Ordering::SeqCst);
-            send_response(writer, &Response::ShutdownOk)?;
-            // Wake the accept loop so it observes the flag.
-            let _ = TcpStream::connect(shared.addr);
-            Ok(None)
-        }
-        Request::Compact => {
-            let Some(store) = shared.store.as_ref() else {
-                send_error(
-                    shared,
-                    writer,
-                    ErrorCode::NotFound,
-                    "server has no store configured".into(),
-                )?;
-                return Ok(None);
-            };
-            let compacted = {
-                let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
-                let stats = store.compact();
-                if stats.is_ok() {
-                    shared.sync_store_metrics(&store);
-                }
-                (stats, store.generation())
-            };
-            match compacted {
-                (Err(e), _) => {
-                    send_error(shared, writer, ErrorCode::Internal, e.to_string())?;
-                }
-                (Ok(stats), generation) => {
-                    metrics
-                        .store_checkpoints_total
-                        .fetch_add(1, Ordering::SeqCst);
-                    metrics
-                        .store_last_checkpoint_micros
-                        .store(shared.clock.now_micros(), Ordering::SeqCst);
-                    send_response(
-                        writer,
-                        &Response::CompactOk {
-                            generation,
-                            profiles: stats.profiles,
-                            checkpoint_bytes: stats.checkpoint_bytes,
-                            wal_bytes_dropped: stats.wal_bytes_dropped,
-                        },
-                    )?;
-                }
-            }
-            Ok(None)
-        }
-        Request::FitProfile {
-            cycles,
-            trace_bytes,
-        } => {
-            submit_job(shared, writer, move |shared, writer| {
-                fit_job(shared, writer, cycles, &trace_bytes)
-            })?;
-            Ok(None)
-        }
-        Request::Synthesize {
-            seed,
-            chunk_len,
-            source,
-        } => {
-            let (ack_tx, ack_rx) = mpsc::channel();
-            let (done_tx, done_rx) = mpsc::channel();
-            let admitted = submit_streaming_job(shared, writer, move |shared, writer| {
-                let result = synth_job(shared, writer, seed, chunk_len, &source, &ack_rx);
-                drop(done_tx);
-                result
-            })?;
-            Ok(admitted.then_some(ActiveJob { ack_tx, done_rx }))
-        }
-        Request::Stats { source } => {
-            submit_job(shared, writer, move |shared, writer| {
-                stats_job(shared, writer, &source)
-            })?;
-            Ok(None)
-        }
-        Request::Ack | Request::Cancel => unreachable!("handled by the caller"), // lint: allow(L001, serve_connection routes these before dispatch)
-    }
-}
-
-/// Submits a compute job and blocks the connection thread until it
-/// finishes, translating pool refusal into `Busy`/`ShuttingDown` frames.
-fn submit_job<F>(shared: &Arc<Shared>, writer: &SharedWriter, job: F) -> Result<(), ServeError>
-where
-    F: FnOnce(&Shared, &SharedWriter) -> Result<(), ServeError> + Send + 'static,
-{
-    let (done_tx, done_rx) = mpsc::channel::<()>();
-    let admitted = submit_streaming_job(shared, writer, move |shared, writer| {
-        let result = job(shared, writer);
-        drop(done_tx);
-        result
-    })?;
-    if admitted {
-        let _ = done_rx.recv();
-    }
-    Ok(())
-}
-
-/// Submits a job to the pool; `false` means it was refused (and the
-/// refusal already answered with a typed error frame).
-fn submit_streaming_job<F>(
-    shared: &Arc<Shared>,
-    writer: &SharedWriter,
+    tx: ConnTx,
     job: F,
-) -> Result<bool, ServeError>
+) -> Result<(), SubmitError>
 where
-    F: FnOnce(&Shared, &SharedWriter) -> Result<(), ServeError> + Send + 'static,
+    F: FnOnce(&Shared, &ConnTx) + Send + 'static,
 {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        send_error(
-            shared,
-            writer,
-            ErrorCode::ShuttingDown,
-            "server is draining".into(),
-        )?;
-        return Ok(false);
-    }
     let job_shared = Arc::clone(shared);
-    let job_writer = Arc::clone(writer);
     let submitted_micros = shared.clock.now_micros();
-    let submitted = shared.pool.submit(move || {
+    shared.pool.submit(move || {
         let waited = job_shared
             .clock
             .now_micros()
             .saturating_sub(submitted_micros);
         job_shared.metrics.queue_wait_micros.observe(waited);
         if waited > job_shared.config.deadline_micros {
-            let _ = send_error(
+            send_error_tx(
                 &job_shared,
-                &job_writer,
+                &tx,
                 ErrorCode::DeadlineExceeded,
                 format!(
                     "queued {waited} µs, deadline {} µs",
                     job_shared.config.deadline_micros
                 ),
             );
-            return;
+            tx.done();
+        } else {
+            job(&job_shared, &tx);
         }
-        // The job's own failure paths answer on the connection; a
-        // transport failure here means the client is gone, which the
-        // connection thread notices on its next read.
-        let _ = job(&job_shared, &job_writer);
-    });
-    match submitted {
-        Ok(()) => Ok(true),
-        Err(SubmitError::QueueFull { cap }) => {
-            send_error(
-                shared,
-                writer,
-                ErrorCode::Busy,
-                format!("worker queue full (cap {cap}); retry later"),
-            )?;
-            Ok(false)
-        }
-        Err(SubmitError::ShuttingDown) => {
-            send_error(
-                shared,
-                writer,
-                ErrorCode::ShuttingDown,
-                "server is draining".into(),
-            )?;
-            Ok(false)
-        }
-    }
+        job_shared.wake.wake();
+    })
+}
+
+/// Submits a continuation of an admitted stream (a chunk or finalize
+/// job); bypasses the queue cap so an open stream can never be wedged
+/// by fresh load.
+///
+/// # Errors
+///
+/// Only pool drain refuses, which cannot happen while the reactor runs.
+pub(crate) fn submit_stream_job<F>(
+    shared: &Arc<Shared>,
+    tx: ConnTx,
+    job: F,
+) -> Result<(), SubmitError>
+where
+    F: FnOnce(&Shared, &ConnTx) + Send + 'static,
+{
+    let job_shared = Arc::clone(shared);
+    shared.pool.submit_continuation(move || {
+        job(&job_shared, &tx);
+        job_shared.wake.wake();
+    })
 }
 
 /// Maps a trace decode failure onto a wire error code.
@@ -686,34 +581,22 @@ fn profile_error_frame(e: &ProfileError) -> (ErrorCode, String) {
 }
 
 /// Worker-side body of `FitProfile`.
-fn fit_job(
-    shared: &Shared,
-    writer: &SharedWriter,
-    cycles: u64,
-    trace_bytes: &[u8],
-) -> Result<(), ServeError> {
+pub(crate) fn fit_job(shared: &Shared, tx: &ConnTx, cycles: u64, trace_bytes: &[u8]) {
     let metrics = &shared.metrics;
     metrics.fit_requests_total.fetch_add(1, Ordering::SeqCst);
     let started = shared.clock.now_micros();
     let config = match fit_config(cycles) {
         Ok(config) => config,
         Err(msg) => {
-            return send_error(
-                shared,
-                writer,
-                ErrorCode::Malformed,
-                format!("cycles: {msg}"),
-            )
+            send_error_tx(shared, tx, ErrorCode::Malformed, format!("cycles: {msg}"));
+            tx.done();
+            return;
         }
     };
     let key = fit_key(fnv1a(trace_bytes), &config);
     let now = shared.clock.now_micros();
-    let cached = {
-        let mut cache = shared.cache();
-        let hit = cache.get_by_fit_key(key, now);
-        shared.sync_cache_metrics(&cache);
-        hit
-    };
+    let cached = shared.cache.get_by_fit_key(key, now);
+    shared.sync_cache_metrics();
     let (fingerprint, profile, cache_hit) = match cached {
         Some((fingerprint, profile)) => {
             metrics.cache_hits_total.fetch_add(1, Ordering::SeqCst);
@@ -728,7 +611,9 @@ fn fit_job(
                 Ok(trace) => trace,
                 Err(e) => {
                     let (code, msg) = trace_error_frame(&e);
-                    return send_error(shared, writer, code, msg);
+                    send_error_tx(shared, tx, code, msg);
+                    tx.done();
+                    return;
                 }
             };
             // Workers fit sequentially: concurrency comes from the pool,
@@ -740,10 +625,10 @@ fn fit_job(
             ));
             let fingerprint = profile.content_fingerprint();
             let now = shared.clock.now_micros();
-            let mut cache = shared.cache();
-            cache.insert(fingerprint, Arc::clone(&profile), Some(key), now);
-            shared.sync_cache_metrics(&cache);
-            drop(cache);
+            shared
+                .cache
+                .insert(fingerprint, Arc::clone(&profile), Some(key), now);
+            shared.sync_cache_metrics();
             (fingerprint, profile, false)
         }
     };
@@ -761,12 +646,14 @@ fn fit_job(
                 result
             };
             if let Err(e) = persisted {
-                return send_error(
+                send_error_tx(
                     shared,
-                    writer,
+                    tx,
                     ErrorCode::Internal,
                     format!("profile store: {e}"),
                 );
+                tx.done();
+                return;
             }
             metrics
                 .store_wal_appends_total
@@ -775,19 +662,19 @@ fn fit_job(
     }
     let mut profile_bytes = Vec::new();
     if let Err(e) = profile.write(&mut profile_bytes) {
-        return send_error(shared, writer, ErrorCode::Internal, e.to_string());
+        send_error_tx(shared, tx, ErrorCode::Internal, e.to_string());
+        tx.done();
+        return;
     }
     metrics
         .fit_latency_micros
         .observe(shared.clock.now_micros().saturating_sub(started));
-    send_response(
-        writer,
-        &Response::FitResult {
-            fingerprint,
-            cache_hit,
-            profile_bytes,
-        },
-    )
+    tx.send(&Response::FitResult {
+        fingerprint,
+        cache_hit,
+        profile_bytes,
+    });
+    tx.done();
 }
 
 /// Resolves a request's profile source against the cache or an inline
@@ -800,10 +687,8 @@ fn resolve_profile(
     match source {
         ProfileSource::Fingerprint(fp) => {
             let now = shared.clock.now_micros();
-            let mut cache = shared.cache();
-            let found = cache.get(*fp, now);
-            shared.sync_cache_metrics(&cache);
-            drop(cache);
+            let found = shared.cache.get(*fp, now);
+            shared.sync_cache_metrics();
             match found {
                 Some(profile) => {
                     shared
@@ -830,123 +715,199 @@ fn resolve_profile(
             let profile = Arc::new(profile);
             let fingerprint = fnv1a(bytes);
             let now = shared.clock.now_micros();
-            let mut cache = shared.cache();
-            cache.insert(fingerprint, Arc::clone(&profile), None, now);
-            shared.sync_cache_metrics(&cache);
+            shared
+                .cache
+                .insert(fingerprint, Arc::clone(&profile), None, now);
+            shared.sync_cache_metrics();
             Ok(profile)
         }
     }
 }
 
-/// Worker-side body of `Synthesize`: stream chunks under client acks.
-fn synth_job(
+/// What one chunk-encode step produced.
+enum ChunkStep {
+    /// A chunk frame; the stream continues after the client's ack.
+    Chunk(Response),
+    /// The stream is exhausted: the clean end-of-stream frame.
+    End(Response),
+    /// Encoding failed; send the typed error and end the stream.
+    Failed(ErrorCode, String),
+}
+
+/// Encodes the next chunk (or end-of-stream) from a parked synthesis.
+/// Pure compute on `state` — callers send the resulting frame *after*
+/// releasing the state lock.
+fn encode_next(shared: &Shared, state: &mut SynthState) -> ChunkStep {
+    let metrics = &shared.metrics;
+    let mut records = Vec::new();
+    let mut count: u32 = 0;
+    while count < state.chunk_len {
+        let Some(request) = state.synth.next_request() else {
+            break;
+        };
+        if let Err(e) = state.encoder.encode(&mut records, &request) {
+            state.finished = true;
+            return ChunkStep::Failed(ErrorCode::Internal, e.to_string());
+        }
+        state.fingerprinter.push(&request);
+        count += 1;
+    }
+    if count == 0 {
+        state.finished = true;
+        metrics.synth_latency_micros.observe(
+            shared
+                .clock
+                .now_micros()
+                .saturating_sub(state.started_micros),
+        );
+        return ChunkStep::End(Response::SynthEnd {
+            total_requests: state.fingerprinter.count(),
+            fingerprint: state.fingerprinter.digest(),
+        });
+    }
+    metrics
+        .streamed_bytes_total
+        .fetch_add(records.len() as u64, Ordering::SeqCst);
+    metrics
+        .streamed_requests_total
+        .fetch_add(u64::from(count), Ordering::SeqCst);
+    ChunkStep::Chunk(Response::SynthChunk { count, records })
+}
+
+/// Worker-side opening of `Synthesize`: resolve, validate, `SynthStart`,
+/// first chunk. Ends with `stream_started` (stream parked, reactor takes
+/// over pacing) or `done` (error, or the stream was empty).
+pub(crate) fn synth_open_job(
     shared: &Shared,
-    writer: &SharedWriter,
+    tx: &ConnTx,
     seed: u64,
     chunk_len: u32,
     source: &ProfileSource,
-    ack_rx: &mpsc::Receiver<()>,
-) -> Result<(), ServeError> {
+) {
     let metrics = &shared.metrics;
     metrics.synth_requests_total.fetch_add(1, Ordering::SeqCst);
     let started = shared.clock.now_micros();
     if chunk_len == 0 {
-        return send_error(
+        send_error_tx(
             shared,
-            writer,
+            tx,
             ErrorCode::Malformed,
             "chunk_len must be positive".into(),
         );
+        tx.done();
+        return;
     }
     let profile = match resolve_profile(shared, source) {
         Ok(profile) => profile,
-        Err((code, msg)) => return send_error(shared, writer, code, msg),
+        Err((code, msg)) => {
+            send_error_tx(shared, tx, code, msg);
+            tx.done();
+            return;
+        }
     };
     if let Err(e) = profile.validate() {
-        return send_error(shared, writer, ErrorCode::Malformed, e.to_string());
+        send_error_tx(shared, tx, ErrorCode::Malformed, e.to_string());
+        tx.done();
+        return;
     }
-    let mut synth = profile.synthesizer(seed);
-    send_response(
-        writer,
-        &Response::SynthStart {
-            total_requests: synth.remaining(),
-        },
-    )?;
-    let ack_timeout = Duration::from_micros(shared.config.deadline_micros);
-    let mut encoder = RecordEncoder::new();
-    let mut fingerprinter = Fingerprinter::new();
-    let mut first = true;
-    loop {
-        if !first {
-            // Client-driven backpressure: the next chunk is not even
-            // encoded until the previous one is acknowledged, so the
-            // end-of-stream totals always reflect what was actually sent.
-            match ack_rx.recv_timeout(ack_timeout) {
-                Ok(()) => {}
-                Err(RecvTimeoutError::Timeout) => {
-                    return send_error(
-                        shared,
-                        writer,
-                        ErrorCode::DeadlineExceeded,
-                        format!("no ack within {} µs", shared.config.deadline_micros),
-                    );
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Cancelled (or client gone): end the stream cleanly
-                    // with what was actually sent.
-                    break;
-                }
-            }
+    let synth = profile.synthesizer(seed);
+    tx.send(&Response::SynthStart {
+        total_requests: synth.remaining(),
+    });
+    let mut state = SynthState {
+        synth,
+        encoder: RecordEncoder::new(),
+        fingerprinter: Fingerprinter::new(),
+        chunk_len,
+        started_micros: started,
+        finished: false,
+    };
+    match encode_next(shared, &mut state) {
+        ChunkStep::Chunk(response) => {
+            tx.send(&response);
+            tx.stream_started(Arc::new(Mutex::new(state)));
         }
-        let mut records = Vec::new();
-        let mut count: u32 = 0;
-        while count < chunk_len {
-            let Some(request) = synth.next_request() else {
-                break;
-            };
-            if let Err(e) = encoder.encode(&mut records, &request) {
-                return send_error(shared, writer, ErrorCode::Internal, e.to_string());
-            }
-            fingerprinter.push(&request);
-            count += 1;
+        ChunkStep::End(response) => {
+            tx.send(&response);
+            tx.done();
         }
-        if count == 0 {
-            break;
+        ChunkStep::Failed(code, msg) => {
+            send_error_tx(shared, tx, code, msg);
+            tx.done();
         }
-        first = false;
-        metrics
-            .streamed_bytes_total
-            .fetch_add(records.len() as u64, Ordering::SeqCst);
-        metrics
-            .streamed_requests_total
-            .fetch_add(u64::from(count), Ordering::SeqCst);
-        send_response(writer, &Response::SynthChunk { count, records })?;
     }
-    metrics
-        .synth_latency_micros
-        .observe(shared.clock.now_micros().saturating_sub(started));
-    send_response(
-        writer,
-        &Response::SynthEnd {
-            total_requests: fingerprinter.count(),
-            fingerprint: fingerprinter.digest(),
-        },
-    )
+}
+
+/// Worker-side continuation of a stream: one acked chunk.
+pub(crate) fn synth_chunk_job(shared: &Shared, tx: &ConnTx, state: &Arc<Mutex<SynthState>>) {
+    let step = {
+        let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.finished {
+            None
+        } else {
+            // Pure compute under the stream's own lock (no other thread
+            // touches this stream while its one job runs); the frame is
+            // sent after release.
+            Some(encode_next(shared, &mut state))
+        }
+    };
+    match step {
+        None => tx.stream_progress(true),
+        Some(ChunkStep::Chunk(response)) => {
+            tx.send(&response);
+            tx.stream_progress(false);
+        }
+        Some(ChunkStep::End(response)) => {
+            tx.send(&response);
+            tx.stream_progress(true);
+        }
+        Some(ChunkStep::Failed(code, msg)) => {
+            send_error_tx(shared, tx, code, msg);
+            tx.stream_progress(true);
+        }
+    }
+}
+
+/// Worker-side finalize of a cancelled (or superseded, or abandoned)
+/// stream: the clean `SynthEnd` carrying what was actually sent.
+pub(crate) fn synth_finalize_job(shared: &Shared, tx: &ConnTx, state: &Arc<Mutex<SynthState>>) {
+    let response = {
+        let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.finished {
+            None
+        } else {
+            state.finished = true;
+            shared.metrics.synth_latency_micros.observe(
+                shared
+                    .clock
+                    .now_micros()
+                    .saturating_sub(state.started_micros),
+            );
+            Some(Response::SynthEnd {
+                total_requests: state.fingerprinter.count(),
+                fingerprint: state.fingerprinter.digest(),
+            })
+        }
+    };
+    if let Some(response) = response {
+        tx.send(&response);
+    }
+    tx.stream_progress(true);
 }
 
 /// Worker-side body of `Stats`.
-fn stats_job(
-    shared: &Shared,
-    writer: &SharedWriter,
-    source: &ProfileSource,
-) -> Result<(), ServeError> {
+pub(crate) fn stats_job(shared: &Shared, tx: &ConnTx, source: &ProfileSource) {
     shared
         .metrics
         .stats_requests_total
         .fetch_add(1, Ordering::SeqCst);
     let profile = match resolve_profile(shared, source) {
         Ok(profile) => profile,
-        Err((code, msg)) => return send_error(shared, writer, code, msg),
+        Err((code, msg)) => {
+            send_error_tx(shared, tx, code, msg);
+            tx.done();
+            return;
+        }
     };
     let summary = profile.summary();
     let text = format!(
@@ -954,7 +915,53 @@ fn stats_job(
         profile.content_fingerprint(),
         profile.metadata_size(),
     );
-    send_response(writer, &Response::StatsText { text })
+    tx.send(&Response::StatsText { text });
+    tx.done();
+}
+
+/// Worker-side body of `Compact` (moved off the reactor thread: a
+/// checkpoint fsyncs, which must never stall the event loop).
+pub(crate) fn compact_job(shared: &Shared, tx: &ConnTx) {
+    let Some(store) = shared.store.as_ref() else {
+        send_error_tx(
+            shared,
+            tx,
+            ErrorCode::NotFound,
+            "server has no store configured".into(),
+        );
+        tx.done();
+        return;
+    };
+    let compacted = {
+        let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+        let stats = store.compact();
+        if stats.is_ok() {
+            shared.sync_store_metrics(&store);
+        }
+        (stats, store.generation())
+    };
+    match compacted {
+        (Err(e), _) => {
+            send_error_tx(shared, tx, ErrorCode::Internal, e.to_string());
+        }
+        (Ok(stats), generation) => {
+            shared
+                .metrics
+                .store_checkpoints_total
+                .fetch_add(1, Ordering::SeqCst);
+            shared
+                .metrics
+                .store_last_checkpoint_micros
+                .store(shared.clock.now_micros(), Ordering::SeqCst);
+            tx.send(&Response::CompactOk {
+                generation,
+                profiles: stats.profiles,
+                checkpoint_bytes: stats.checkpoint_bytes,
+                wal_bytes_dropped: stats.wal_bytes_dropped,
+            });
+        }
+    }
+    tx.done();
 }
 
 #[cfg(test)]
@@ -980,5 +987,29 @@ mod tests {
         assert!(config.workers >= 1);
         assert!(config.max_frame_len >= 1 << 20);
         assert!(config.deadline_micros > 0);
+        assert!(config.shards >= 1);
+        assert!(config.max_conns >= 1);
+        assert!(config.shard_budget >= 1);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_each_zero_knob() {
+        let cases: [(fn(&mut ServerConfig), ServerConfigError); 6] = [
+            (|c| c.workers = 0, ServerConfigError::ZeroWorkers),
+            (|c| c.shards = 0, ServerConfigError::ZeroShards),
+            (|c| c.max_conns = 0, ServerConfigError::ZeroMaxConns),
+            (|c| c.shard_budget = 0, ServerConfigError::ZeroShardBudget),
+            (|c| c.deadline_micros = 0, ServerConfigError::ZeroDeadline),
+            (
+                |c| c.max_frame_len = 512,
+                ServerConfigError::FrameLimitTooSmall { min: 1024 },
+            ),
+        ];
+        for (mutate, expected) in cases {
+            let mut config = ServerConfig::default();
+            mutate(&mut config);
+            assert_eq!(config.validate(), Err(expected));
+        }
     }
 }

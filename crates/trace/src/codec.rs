@@ -28,7 +28,7 @@
 
 use std::io::{Read, Write};
 
-use crate::{DecodeLimits, DecodeOptions, Op, Request, Trace, TraceError};
+use crate::{DecodeOptions, Op, Request, Trace, TraceError};
 
 /// Requests decoded per allocation chunk. Capacity grows with bytes
 /// actually consumed, never with the attacker-declared count, so a tiny
@@ -346,24 +346,6 @@ pub fn read_trace_with<R: Read>(r: &mut R, options: &DecodeOptions) -> Result<Tr
     Ok(Trace::from_sorted_requests(requests))
 }
 
-/// Decodes a trace with explicit resource limits.
-///
-/// Scheduled for removal in 0.4.0.
-///
-/// # Errors
-///
-/// See [`read_trace`].
-#[deprecated(
-    since = "0.2.0",
-    note = "removed in 0.4.0; use `Trace::read` (or `read_trace_with`) with `DecodeOptions`"
-)]
-pub fn read_trace_with_limits<R: Read>(
-    r: &mut R,
-    limits: &DecodeLimits,
-) -> Result<Trace, TraceError> {
-    read_trace_with(r, &DecodeOptions::default().with_limits(*limits))
-}
-
 /// Writes a trace as CSV (`timestamp,address,op,size`, addresses in hex)
 /// for interoperability with external tools and spreadsheets.
 ///
@@ -440,6 +422,7 @@ pub fn trace_encoded_size(trace: &Trace) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DecodeLimits;
 
     #[test]
     fn varint_round_trip_edges() {
@@ -599,26 +582,6 @@ mod tests {
         ));
         assert_eq!(
             read_trace_with(&mut buf.as_slice(), &DecodeOptions::trusted()).unwrap(),
-            trace
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_limits_shim_still_decodes() {
-        let trace = sample_trace();
-        let mut buf = Vec::new();
-        write_trace(&mut buf, &trace).unwrap();
-        let tight = DecodeLimits {
-            max_requests: 2,
-            ..DecodeLimits::default()
-        };
-        assert!(matches!(
-            read_trace_with_limits(&mut buf.as_slice(), &tight),
-            Err(TraceError::LimitExceeded { .. })
-        ));
-        assert_eq!(
-            read_trace_with_limits(&mut buf.as_slice(), &DecodeLimits::unchecked()).unwrap(),
             trace
         );
     }

@@ -99,7 +99,7 @@ impl DecodeLimits {
 /// `mocktails_core`'s `Profile::read`.
 ///
 /// This is the single options value that replaced the PR 2 pair of entry
-/// points (`read_*` / `read_*_with_limits`). Build it fluently:
+/// points (the removed `read_*_with_limits` shims). Build it fluently:
 ///
 /// ```
 /// use mocktails_trace::{DecodeLimits, DecodeOptions};

@@ -25,6 +25,32 @@ echo "==> serve loopback smoke (server vs offline, byte-compared)"
 MOCKTAILS_THREADS=1 ./scripts/serve-smoke.sh
 MOCKTAILS_THREADS=4 ./scripts/serve-smoke.sh
 
+echo "==> reactor soak smoke (200 concurrent streaming clients)"
+# The serve crate's loopback soak at a CI-sized client count, at one
+# worker thread and at four: byte-identical streams, zero frame errors,
+# bounded tail. The ≥1k-client contract runs inside the test suite above.
+MOCKTAILS_THREADS=1 ./scripts/soak-smoke.sh
+MOCKTAILS_THREADS=4 ./scripts/soak-smoke.sh
+
+echo "==> serve_scale bench (BENCH_3.json regression check)"
+# Re-pins the serving-layer baseline and fails on structural regressions:
+# all three worker counts present, nonzero connection rate, and a
+# streaming tail that stays under ten seconds.
+cargo bench -q --offline -p mocktails-bench --bench serve_scale >/dev/null
+grep -q '"schema_version": 1' BENCH_3.json
+for w in 1 2 8; do
+  grep -q "\"workers\": $w" BENCH_3.json || {
+    echo "BENCH_3.json missing workers=$w point" >&2
+    exit 1
+  }
+done
+awk -F': ' '/conns_per_sec/ { if ($2 + 0 <= 0) exit 1 }
+            /stream_p99_micros/ { v = $2 + 0; if (v <= 0 || v > 10000000) exit 1 }' \
+  BENCH_3.json || {
+  echo "BENCH_3.json regression: zero connection rate or p99 over 10s" >&2
+  exit 1
+}
+
 echo "==> store recovery smoke (kill -9 + torn log tail, byte-compared)"
 # A store-backed server killed mid-flight must restart from its WAL,
 # serve the same bytes as the offline pipeline, and survive a further

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Reactor soak smoke: the serve crate's loopback soak test at a CI-sized
+# client count. Two hundred concurrent streaming clients hammer one
+# event-loop thread; every reassembled stream must be byte-identical to
+# the offline pipeline with zero frame errors and a bounded tail. The
+# full ≥1k-client contract runs via the same test with its default count
+# (`cargo test -p mocktails-serve --test soak`).
+# Honours MOCKTAILS_THREADS like every other gate.
+# Run from the repository root:  ./scripts/soak-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIENTS="${MOCKTAILS_SOAK_CLIENTS:-200}"
+echo "--- reactor soak smoke ($CLIENTS concurrent streaming clients)"
+MOCKTAILS_SOAK_CLIENTS="$CLIENTS" \
+  cargo test -q --release --offline -p mocktails-serve --test soak -- --nocapture
+echo "soak smoke passed: $CLIENTS clients byte-identical, zero frame errors"

@@ -35,6 +35,15 @@ pub enum ProfileError {
     /// (see [`crate::Profile::validate`]); synthesizing from it could
     /// panic, loop or produce garbage, so it is rejected up front.
     Invalid(String),
+    /// A decoded tag byte is outside the format's vocabulary. Typed —
+    /// not a formatted [`ProfileError::Corrupt`] string — so the per-item
+    /// decode loops reject bad input without allocating.
+    UnknownTag {
+        /// Which tag vocabulary was violated (`"layer"`, `"McC"`).
+        what: &'static str,
+        /// The unrecognized byte.
+        tag: u8,
+    },
 }
 
 impl std::fmt::Display for ProfileError {
@@ -43,6 +52,9 @@ impl std::fmt::Display for ProfileError {
             ProfileError::Codec(e) => write!(f, "codec error: {e}"),
             ProfileError::Corrupt(msg) => write!(f, "corrupt profile: {msg}"),
             ProfileError::Invalid(msg) => write!(f, "invalid profile: {msg}"),
+            ProfileError::UnknownTag { what, tag } => {
+                write!(f, "corrupt profile: unknown {what} tag {tag}")
+            }
         }
     }
 }
@@ -51,7 +63,9 @@ impl std::error::Error for ProfileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfileError::Codec(e) => Some(e),
-            ProfileError::Corrupt(_) | ProfileError::Invalid(_) => None,
+            ProfileError::Corrupt(_)
+            | ProfileError::Invalid(_)
+            | ProfileError::UnknownTag { .. } => None,
         }
     }
 }

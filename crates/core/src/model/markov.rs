@@ -102,23 +102,28 @@ impl MarkovChain {
         let mut grand_total: u64 = 0;
         for (from, edges) in &self.transitions {
             if edges.is_empty() {
+                // lint: allow(L018, cold error branch: allocates once for the failing row, then aborts validation)
                 return Err(format!("markov state {from} has no out-edges"));
             }
             let mut row_total: u64 = 0;
             for &(to, count) in edges {
                 if count == 0 {
+                    // lint: allow(L018, cold error branch: allocates once for the failing edge, then aborts validation)
                     return Err(format!("markov edge {from} -> {to} has zero count"));
                 }
                 row_total = row_total
                     .checked_add(count)
+                    // lint: allow(L018, lazy ok_or_else closure: runs only on u64 overflow, never on the success path)
                     .ok_or_else(|| format!("markov row {from} transition counts overflow u64"))?;
             }
             grand_total = grand_total
                 .checked_add(row_total)
+                // lint: allow(L018, lazy ok_or_else closure: runs only on u64 overflow, never on the success path)
                 .ok_or_else(|| "markov chain total transition count overflows u64".to_string())?;
             let denom = row_total as f64;
             let prob_sum: f64 = edges.iter().map(|&(_, c)| c as f64 / denom).sum();
             if !prob_sum.is_finite() || (prob_sum - 1.0).abs() > 1e-9 {
+                // lint: allow(L018, cold error branch: allocates once for the failing row, then aborts validation)
                 return Err(format!(
                     "markov row {from} probabilities sum to {prob_sum}, expected 1"
                 ));

@@ -180,12 +180,19 @@ pub fn read_profile_with<R: Read>(
             return Err(ProfileError::Corrupt("zero layer parameter".into()));
         }
         let layer = match tag[0] {
+            // lint: allow(L018, checked_usize formats lazily and only when a u64 cannot narrow to usize on a 32-bit host)
             0 => LayerSpec::TemporalRequestCount(checked_usize(param, "layer parameter")?),
             1 => LayerSpec::TemporalCycleCount(param),
+            // lint: allow(L018, checked_usize formats lazily and only when a u64 cannot narrow to usize on a 32-bit host)
             2 => LayerSpec::TemporalIntervalCount(checked_usize(param, "layer parameter")?),
             3 => LayerSpec::SpatialDynamic,
             4 => LayerSpec::SpatialFixed(param),
-            t => return Err(ProfileError::Corrupt(format!("unknown layer tag {t}"))),
+            t => {
+                return Err(ProfileError::UnknownTag {
+                    what: "layer",
+                    tag: t,
+                })
+            }
         };
         layers.push(layer);
     }
@@ -214,10 +221,15 @@ pub fn read_profile_with<R: Read>(
         let range_len = read_u64(r)?;
         let count = read_u64(r)?;
         let range = AddrRange::from_start_size(range_start, range_len);
+        // lint: allow(L018, decode output construction: the McC tables ARE the decoded profile, not loop scratch)
         let delta_time = read_mcc(r, limits)?;
+        // lint: allow(L018, decode output construction: the McC tables ARE the decoded profile, not loop scratch)
         let stride = read_mcc(r, limits)?;
+        // lint: allow(L018, decode output construction: the McC tables ARE the decoded profile, not loop scratch)
         let op = read_mcc(r, limits)?;
+        // lint: allow(L018, decode output construction: the McC tables ARE the decoded profile, not loop scratch)
         let size = read_mcc(r, limits)?;
+        // lint: allow(L018, try_from_parts allocates only in its rejection branch, never for a well-formed leaf)
         let leaf = LeafModel::try_from_parts(
             start_time,
             start_address,
@@ -252,6 +264,7 @@ fn read_mcc<R: Read>(r: &mut R, limits: &DecodeLimits) -> Result<McC, ProfileErr
                 let from = read_i64(r)?;
                 let edge_count =
                     limits.check("markov edges", read_u64(r)?, limits.max_markov_edges)?;
+                // lint: allow(L018, decode output construction: the edge list is the decoded row itself, capacity capped by DECODE_CHUNK)
                 let mut edges = Vec::with_capacity(edge_count.min(DECODE_CHUNK));
                 for _ in 0..edge_count {
                     let to = read_i64(r)?;
@@ -262,6 +275,7 @@ fn read_mcc<R: Read>(r: &mut R, limits: &DecodeLimits) -> Result<McC, ProfileErr
                     edges.push((to, count));
                 }
                 if transitions.insert(from, edges).is_some() {
+                    // lint: allow(L018, cold error branch: allocates once for the duplicate state, then aborts the decode)
                     return Err(ProfileError::Corrupt(format!(
                         "duplicate markov state {from}"
                     )));
@@ -271,7 +285,10 @@ fn read_mcc<R: Read>(r: &mut R, limits: &DecodeLimits) -> Result<McC, ProfileErr
                 MarkovChain::try_from_parts(initial, transitions).map_err(ProfileError::Corrupt)?;
             Ok(McC::Markov(chain))
         }
-        t => Err(ProfileError::Corrupt(format!("unknown McC tag {t}"))),
+        t => Err(ProfileError::UnknownTag {
+            what: "McC",
+            tag: t,
+        }),
     }
 }
 

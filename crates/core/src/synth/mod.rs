@@ -123,7 +123,14 @@ impl Synthesizer {
     pub fn next_request(&mut self) -> Option<Request> {
         let Reverse(pending) = self.heap.pop()?;
         let leaf_index = pending.leaf_index;
-        if let Some(next) = self.generators[leaf_index].next_request(&mut self.rng) {
+        // Heap entries only ever carry indices minted in `new`, but the
+        // refill stays panic-free regardless: an out-of-range index would
+        // simply not refill rather than poison the whole synthesis.
+        let refill = self
+            .generators
+            .get_mut(leaf_index)
+            .and_then(|g| g.next_request(&mut self.rng));
+        if let Some(next) = refill {
             self.heap.push(Reverse(Pending {
                 timestamp: next.timestamp,
                 leaf_index,
@@ -337,6 +344,32 @@ mod tests {
     fn empty_synthesizer() {
         let mut synth = Synthesizer::new(vec![], true, 0);
         assert!(synth.next_request().is_none());
+        assert_eq!(synth.remaining(), 0);
+    }
+
+    #[test]
+    fn exhausted_synthesizer_stays_exhausted() {
+        // The heap refill must drain every generator without panicking
+        // and then hold at None — repeated pulls after exhaustion must
+        // not attempt a refill from a retired generator index.
+        let leaves: Vec<LeafModel> = (0..4u64)
+            .map(|k| {
+                leaf(
+                    (0..6u64)
+                        .map(|i| Request::read(k * 7 + i * 11, 0x2000 * (k + 1) + i * 64, 64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut synth = Synthesizer::new(leaves, true, 5);
+        let mut emitted = 0u64;
+        while synth.next_request().is_some() {
+            emitted += 1;
+        }
+        assert_eq!(emitted, 24);
+        for _ in 0..8 {
+            assert!(synth.next_request().is_none());
+        }
         assert_eq!(synth.remaining(), 0);
     }
 

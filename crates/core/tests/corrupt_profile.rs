@@ -199,7 +199,13 @@ fn unknown_mcc_tag_is_corrupt() {
     bytes.push(9); // no such model tag
     let err = decode(&bytes).unwrap_err();
     assert!(
-        matches!(&err, ProfileError::Corrupt(m) if m.contains("unknown McC tag 9")),
+        matches!(
+            &err,
+            ProfileError::UnknownTag {
+                what: "McC",
+                tag: 9
+            }
+        ),
         "{err:?}"
     );
 }
@@ -212,7 +218,13 @@ fn unknown_layer_tag_is_corrupt() {
     write_u64(&mut bytes, 1).unwrap();
     let err = decode(&bytes).unwrap_err();
     assert!(
-        matches!(&err, ProfileError::Corrupt(m) if m.contains("unknown layer tag 200")),
+        matches!(
+            &err,
+            ProfileError::UnknownTag {
+                what: "layer",
+                tag: 200
+            }
+        ),
         "{err:?}"
     );
 }

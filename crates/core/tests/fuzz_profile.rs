@@ -92,9 +92,12 @@ fn mutated_profiles_decode_cleanly_or_fail_typed() {
                 }
                 true
             }
-            Err(ProfileError::Codec(_) | ProfileError::Corrupt(_) | ProfileError::Invalid(_)) => {
-                false
-            }
+            Err(
+                ProfileError::Codec(_)
+                | ProfileError::Corrupt(_)
+                | ProfileError::Invalid(_)
+                | ProfileError::UnknownTag { .. },
+            ) => false,
         },
     );
     assert!(report.cases >= 2000, "only {} cases ran", report.cases);

@@ -25,9 +25,12 @@
 //! Everything here is a pure function of the analyzed files, so reports
 //! are byte-identical across runs and thread counts.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
+
+use mocktails_pool::Parallelism;
 
 use crate::cfg::FnCfg;
 use crate::lexer::{lex, Directive, Token, TokenKind};
@@ -147,6 +150,13 @@ pub struct CrossFileOptions<'a> {
     /// per-function CFGs; pointless without body analysis in
     /// [`analyze_source_opts`].
     pub lock_rules: bool,
+    /// When true, runs the effect-summary rules (L016–L019); like the
+    /// lock rules, these need body analysis.
+    pub effect_rules: bool,
+    /// Thread configuration for the per-SCC effect-summary stage. The
+    /// merge is in submission order, so the report stays byte-identical
+    /// at any thread count.
+    pub parallelism: Parallelism,
 }
 
 /// Runs the cross-file analyses (L008 transitive, L009, L010, and the
@@ -167,6 +177,9 @@ pub fn cross_file(
     diags.extend(api_snapshots(files, opts)?);
     if opts.lock_rules {
         diags.extend(crate::locks::lock_analysis(files));
+    }
+    if opts.effect_rules {
+        diags.extend(crate::effects::effects_analysis(files, opts.parallelism));
     }
 
     // Cross-file diagnostics honor the same `// lint: allow` directives at
@@ -209,6 +222,176 @@ fn crate_of(path: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Shared conservative call resolution
+// ---------------------------------------------------------------------------
+
+/// Conservative name resolution over a workspace function table, shared by
+/// every interprocedural pass (L008 taint, L012–L014 locks, L016–L019
+/// effects) so the rules agree on what the call graph is.
+///
+/// The resolution policy:
+///
+/// * `Type::name(...)` binds to the functions the named type's impls (or
+///   the trait of that name) define.
+/// * `name(...)` bare calls prefer same-file definitions and otherwise
+///   require a unique workspace definition.
+/// * `.name(...)` method calls bind only when exactly one impl anywhere
+///   defines the name.
+///
+/// Ambiguity never produces an edge, so the passes only follow call
+/// chains they can actually prove. Results are memoised per (call shape,
+/// caller file), which makes repeated resolution of the same hot names —
+/// every pass re-walks the same bodies — a map lookup.
+pub(crate) struct CallResolver<'a> {
+    /// Free functions by name.
+    free_by_name: BTreeMap<&'a str, Vec<usize>>,
+    /// Methods by bare name, across all impls.
+    method_by_name: BTreeMap<&'a str, Vec<usize>>,
+    /// Methods by (self type, name).
+    by_qual: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    /// Defining file of each function id, for same-file preference.
+    files: Vec<usize>,
+    /// Memoised resolutions. Interior mutability keeps the public surface
+    /// `&self`; resolution runs on the sequential cross-file stage, so a
+    /// `RefCell` suffices.
+    memo: RefCell<BTreeMap<MemoKey, Vec<usize>>>,
+}
+
+/// A memo key: the call shape plus (for bare calls) the caller's file.
+type MemoKey = (u8, String, String, usize);
+
+/// A call site, as specifically as the tokens identify the callee.
+#[derive(Debug)]
+pub(crate) enum Call {
+    /// `name(...)` — a bare call.
+    Bare(String),
+    /// `Type::name(...)` — a qualified call.
+    Qualified(String, String),
+    /// `.name(...)` — a method call with unknown receiver type.
+    Method(String),
+}
+
+impl<'a> CallResolver<'a> {
+    /// Builds the resolver over `(name, self_type, file)` triples in
+    /// function-id order — the id of a triple is its position.
+    pub(crate) fn new(fns: impl Iterator<Item = (&'a str, Option<&'a str>, usize)>) -> Self {
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut files = Vec::new();
+        for (id, (name, self_type, file)) in fns.enumerate() {
+            match self_type {
+                Some(ty) => {
+                    method_by_name.entry(name).or_default().push(id);
+                    by_qual.entry((ty, name)).or_default().push(id);
+                }
+                None => free_by_name.entry(name).or_default().push(id),
+            }
+            files.push(file);
+        }
+        CallResolver {
+            free_by_name,
+            method_by_name,
+            by_qual,
+            files,
+            memo: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Classifies the call at token `i` (an identifier followed by `(`)
+    /// from its token context and resolves it. Returns no ids for nested
+    /// `fn` definitions and for qualified calls whose type token is not a
+    /// plain identifier.
+    pub(crate) fn resolve_callees(
+        &self,
+        tokens: &[Token],
+        i: usize,
+        name: &str,
+        caller_file: usize,
+    ) -> Vec<usize> {
+        let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
+        let call = match prev {
+            Some(TokenKind::Punct('.')) => Call::Method(name.to_string()),
+            Some(k) if k.is_op("::") => match i.checked_sub(2).map(|j| &tokens[j].kind) {
+                Some(TokenKind::Ident(ty)) => Call::Qualified(ty.clone(), name.to_string()),
+                _ => return Vec::new(),
+            },
+            Some(TokenKind::Ident(kw)) if kw == "fn" => return Vec::new(), // a definition
+            _ => Call::Bare(name.to_string()),
+        };
+        self.resolve(&call, caller_file)
+    }
+
+    /// Resolves a classified call from `caller_file` to function ids.
+    pub(crate) fn resolve(&self, call: &Call, caller_file: usize) -> Vec<usize> {
+        let key: MemoKey = match call {
+            Call::Bare(name) => (0, String::new(), name.clone(), caller_file),
+            Call::Qualified(ty, name) => (1, ty.clone(), name.clone(), 0),
+            Call::Method(name) => (2, String::new(), name.clone(), 0),
+        };
+        if let Some(hit) = self.memo.borrow().get(&key) {
+            return hit.clone();
+        }
+        let resolved = match call {
+            Call::Qualified(ty, name) => self
+                .by_qual
+                .get(&(ty.as_str(), name.as_str()))
+                .cloned()
+                .unwrap_or_default(),
+            Call::Bare(name) => {
+                let all = self
+                    .free_by_name
+                    .get(name.as_str())
+                    .cloned()
+                    .unwrap_or_default();
+                let same_file: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.files[c] == caller_file)
+                    .collect();
+                if !same_file.is_empty() {
+                    same_file
+                } else if all.len() == 1 {
+                    all
+                } else {
+                    Vec::new()
+                }
+            }
+            Call::Method(name) => {
+                let all = self
+                    .method_by_name
+                    .get(name.as_str())
+                    .cloned()
+                    .unwrap_or_default();
+                if all.len() == 1 {
+                    all
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        self.memo.borrow_mut().insert(key, resolved.clone());
+        resolved
+    }
+}
+
+/// The call sites of a body token range: each `(token index, name)` where
+/// an identifier is followed by `(`.
+pub(crate) fn call_sites(tokens: &[Token], body: (usize, usize)) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    for i in body.0..body.1.min(tokens.len()) {
+        let name = match tokens[i].kind.ident() {
+            Some(s) => s,
+            None => continue,
+        };
+        if matches!(tokens.get(i + 1).map(|t| &t.kind), Some(k) if k.is_punct('(')) {
+            out.push((i, name));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // L008: determinism taint
 // ---------------------------------------------------------------------------
 
@@ -223,17 +406,6 @@ struct FnDef {
     line: usize,
     /// Display name: `Type::name` or `name`.
     qual: String,
-}
-
-/// A call site, as specifically as the tokens identify the callee.
-#[derive(Debug)]
-enum Call {
-    /// `name(...)` — a bare call.
-    Bare(String),
-    /// `Type::name(...)` — a qualified call.
-    Qualified(String, String),
-    /// `.name(...)` — a method call with unknown receiver type.
-    Method(String),
 }
 
 /// Why a function is tainted, for the diagnostic message.
@@ -257,19 +429,11 @@ fn taint_analysis(files: &[FileAnalysis]) -> Vec<Diagnostic> {
     // Deterministic order regardless of collection details.
     fns.sort_by_key(|a| (a.file, a.body.0));
 
-    // Name-resolution indexes.
-    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    for (id, fd) in fns.iter().enumerate() {
-        match &fd.self_type {
-            Some(ty) => {
-                method_by_name.entry(&fd.name).or_default().push(id);
-                by_qual.entry((ty, &fd.name)).or_default().push(id);
-            }
-            None => free_by_name.entry(&fd.name).or_default().push(id),
-        }
-    }
+    // The shared conservative resolver over the function table.
+    let resolver = CallResolver::new(
+        fns.iter()
+            .map(|fd| (fd.name.as_str(), fd.self_type.as_deref(), fd.file)),
+    );
 
     // Seed taint from surviving direct sites.
     let mut cause: Vec<Option<Cause>> = vec![None; fns.len()];
@@ -285,40 +449,9 @@ fn taint_analysis(files: &[FileAnalysis]) -> Vec<Diagnostic> {
     // Resolve call edges: caller -> callees.
     let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
     for (id, fd) in fns.iter().enumerate() {
-        for call in calls_in(&files[fd.file].tokens, fd.body) {
-            let resolved: Vec<usize> = match &call {
-                Call::Qualified(ty, name) => by_qual
-                    .get(&(ty.as_str(), name.as_str()))
-                    .cloned()
-                    .unwrap_or_default(),
-                Call::Bare(name) => {
-                    let all = free_by_name.get(name.as_str()).cloned().unwrap_or_default();
-                    let same_file: Vec<usize> = all
-                        .iter()
-                        .copied()
-                        .filter(|&c| fns[c].file == fd.file)
-                        .collect();
-                    if !same_file.is_empty() {
-                        same_file
-                    } else if all.len() == 1 {
-                        all
-                    } else {
-                        Vec::new()
-                    }
-                }
-                Call::Method(name) => {
-                    let all = method_by_name
-                        .get(name.as_str())
-                        .cloned()
-                        .unwrap_or_default();
-                    if all.len() == 1 {
-                        all
-                    } else {
-                        Vec::new()
-                    }
-                }
-            };
-            for c in resolved {
+        let tokens = &files[fd.file].tokens;
+        for (i, name) in call_sites(tokens, fd.body) {
+            for c in resolver.resolve_callees(tokens, i, name, fd.file) {
                 if c != id {
                     callees[id].insert(c);
                 }
@@ -409,32 +542,6 @@ fn collect_fns(items: &[Item], file: usize, self_type: Option<&str>, out: &mut V
             _ => {}
         }
     }
-}
-
-/// Extracts the call sites of a body token range.
-fn calls_in(tokens: &[Token], body: (usize, usize)) -> Vec<Call> {
-    let mut out = Vec::new();
-    for i in body.0..body.1.min(tokens.len()) {
-        let name = match tokens[i].kind.ident() {
-            Some(s) => s,
-            None => continue,
-        };
-        if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(k) if k.is_punct('(')) {
-            continue;
-        }
-        let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
-        match prev {
-            Some(TokenKind::Punct('.')) => out.push(Call::Method(name.to_string())),
-            Some(TokenKind::Op("::")) => {
-                if let Some(TokenKind::Ident(ty)) = i.checked_sub(2).map(|j| &tokens[j].kind) {
-                    out.push(Call::Qualified(ty.clone(), name.to_string()));
-                }
-            }
-            Some(TokenKind::Ident(kw)) if kw == "fn" => {} // a definition
-            _ => out.push(Call::Bare(name.to_string())),
-        }
-    }
-    out
 }
 
 // ---------------------------------------------------------------------------
@@ -917,12 +1024,60 @@ mod tests {
             baselines_dir: &dir,
             update_baselines: false,
             lock_rules: true,
+            effect_rules: false,
+            parallelism: Parallelism::sequential(),
         };
         cross_file(files, &opts)
             .expect("cross-file pass")
             .into_iter()
             .filter(|d| d.rule != "L010")
             .collect()
+    }
+
+    #[test]
+    fn resolver_pins_two_impl_ambiguity() {
+        // Two impls defining the same method name: `.step()` must resolve
+        // to nothing (ambiguous), `A::step` / `B::step` to exactly their
+        // impl, and a bare call must prefer the same file before falling
+        // back to a unique workspace definition.
+        let table = [
+            ("step", Some("A"), 0), // 0: A::step in file 0
+            ("step", Some("B"), 1), // 1: B::step in file 1
+            ("only", Some("A"), 0), // 2: A::only — the one impl of `only`
+            ("helper", None, 0),    // 3: free helper in file 0
+            ("helper", None, 1),    // 4: free helper in file 1
+            ("unique_fn", None, 0), // 5: the only free fn of that name
+        ];
+        let r = CallResolver::new(table.iter().map(|&(n, t, f)| (n, t, f)));
+
+        assert_eq!(
+            r.resolve(&Call::Method("step".into()), 0),
+            Vec::<usize>::new()
+        );
+        assert_eq!(r.resolve(&Call::Method("only".into()), 1), vec![2]);
+        assert_eq!(
+            r.resolve(&Call::Qualified("A".into(), "step".into()), 1),
+            vec![0]
+        );
+        assert_eq!(
+            r.resolve(&Call::Qualified("B".into(), "step".into()), 0),
+            vec![1]
+        );
+        assert_eq!(
+            r.resolve(&Call::Qualified("C".into(), "step".into()), 0),
+            Vec::<usize>::new()
+        );
+        // Bare calls: same file wins; ambiguity across files yields nothing
+        // unless the definition is unique workspace-wide.
+        assert_eq!(r.resolve(&Call::Bare("helper".into()), 0), vec![3]);
+        assert_eq!(r.resolve(&Call::Bare("helper".into()), 1), vec![4]);
+        assert_eq!(
+            r.resolve(&Call::Bare("helper".into()), 2),
+            Vec::<usize>::new()
+        );
+        assert_eq!(r.resolve(&Call::Bare("unique_fn".into()), 2), vec![5]);
+        // Memoised: a second identical query returns the same answer.
+        assert_eq!(r.resolve(&Call::Bare("helper".into()), 0), vec![3]);
     }
 
     #[test]
@@ -1123,12 +1278,16 @@ mod tests {
             baselines_dir: &dir,
             update_baselines: true,
             lock_rules: true,
+            effect_rules: false,
+            parallelism: Parallelism::sequential(),
         };
         cross_file(&files, &update).expect("baseline write");
         let check = CrossFileOptions {
             baselines_dir: &dir,
             update_baselines: false,
             lock_rules: true,
+            effect_rules: false,
+            parallelism: Parallelism::sequential(),
         };
         // Unchanged surface: clean.
         let diags = cross_file(&files, &check).expect("diff");

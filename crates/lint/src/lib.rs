@@ -55,11 +55,25 @@
 //! * **L015** — no `.unwrap()`/`.expect(..)` directly on a
 //!   `lock()`/`read()`/`write()` result; recover poisoned locks with
 //!   `unwrap_or_else(PoisonError::into_inner)`.
+//! * **L016** — panic-reachability: no panic source (unwrap/expect,
+//!   panic-family macros, non-constant indexing, division by a
+//!   non-constant divisor) reachable from `Synthesizer::next`, the codec
+//!   decode paths, or the reactor sweep loop; findings carry the full
+//!   `file:line → file:line` call chain.
+//! * **L017** — reactor-blocking: no blocking effect reachable from the
+//!   reactor sweep loop except the allowlisted nonblocking-socket
+//!   helpers and the `WakeFlag` idle park.
+//! * **L018** — hot-loop allocation: no allocation effect (direct or
+//!   via a resolved call) inside a loop on the synthesis/codec hot path.
+//! * **L019** — unbounded growth: no `self`-rooted collection growth in
+//!   the serve crate without same-file cap/evict/truncate evidence.
 //!
 //! L012–L014 are body-level: [`cfg`] lowers every non-test function into
 //! a control-flow graph, [`dataflow`] runs a guard-region analysis over
 //! it, and the lock pass combines both with the symbol graph's call
-//! edges.
+//! edges. L016–L019 are interprocedural: a bottom-up pass over
+//! call-graph SCCs computes per-function panic/blocking/allocation
+//! effect summaries, parallelized per-SCC with deterministic merging.
 //!
 //! Escape hatch: `// lint: allow(L001, reason)` on the violating line or
 //! the line above. The reason is mandatory and is itself reviewed. Rule
@@ -75,6 +89,8 @@
 
 pub mod cfg;
 pub mod dataflow;
+mod effects;
+pub mod explain;
 pub mod graph;
 pub mod lexer;
 mod locks;
@@ -155,13 +171,20 @@ pub fn run_with(crates_root: &Path, options: &RunOptions) -> io::Result<Report> 
         inputs.push((path, src, FileRole::Reference));
     }
 
-    // Body-level analysis (CFG lowering + the lock pass) only pays for
-    // itself when one of L012–L014 is actually requested; a `--rules`
-    // run restricted to the v2 rule set costs v2 time.
-    let body_rules = options
+    // Body-level analysis (CFG lowering + the lock and effects passes)
+    // only pays for itself when one of L012–L014 or L016–L019 is
+    // actually requested; a `--rules` run restricted to the v2 rule set
+    // costs v2 time.
+    let lock_rules = options
         .rules
         .as_ref()
         .is_none_or(|r| ["L012", "L013", "L014"].iter().any(|x| r.contains(*x)));
+    let effect_rules = options.rules.as_ref().is_none_or(|r| {
+        ["L016", "L017", "L018", "L019"]
+            .iter()
+            .any(|x| r.contains(*x))
+    });
+    let body_rules = lock_rules || effect_rules;
 
     let analyses = options.parallelism.map(&inputs, |(path, src, role)| {
         graph::analyze_source_opts(path, src, *role, body_rules)
@@ -180,7 +203,9 @@ pub fn run_with(crates_root: &Path, options: &RunOptions) -> io::Result<Report> 
         &CrossFileOptions {
             baselines_dir,
             update_baselines: options.update_baselines,
-            lock_rules: body_rules,
+            lock_rules,
+            effect_rules,
+            parallelism: options.parallelism,
         },
     )?);
 

@@ -52,7 +52,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cfg::{Cfg, CfgStmt, CfgStmtKind, FnCfg, ScopeId};
 use crate::dataflow::{fixpoint, Analysis};
-use crate::graph::{FileAnalysis, FileRole};
+use crate::graph::{CallResolver, FileAnalysis, FileRole};
 use crate::lexer::{Token, TokenKind};
 use crate::parser;
 use crate::rules::Diagnostic;
@@ -63,8 +63,10 @@ use crate::rules::Diagnostic;
 /// waiting, and its guards are wait-sanctioned anyway.
 const L014_CRATES: [&str; 6] = ["core", "trace", "workloads", "baselines", "serve", "store"];
 
-/// Call names treated as blocking regardless of argument shape.
-const BLOCKING_ANY: [&str; 10] = [
+/// Call names treated as blocking regardless of argument shape. Shared
+/// with the L016–L019 effects pass, so "blocking" means the same thing to
+/// both analyses.
+pub(crate) const BLOCKING_ANY: [&str; 10] = [
     "sleep",
     "recv",
     "recv_timeout",
@@ -79,8 +81,9 @@ const BLOCKING_ANY: [&str; 10] = [
 
 /// Method names treated as blocking only with an empty argument list:
 /// `handle.join()` and `pool.drain()` block, `Vec::drain(..)` and
-/// `Path::join(x)` do not.
-const BLOCKING_EMPTY: [&str; 2] = ["join", "drain"];
+/// `Path::join(x)` do not. Shared with the effects pass like
+/// [`BLOCKING_ANY`].
+pub(crate) const BLOCKING_EMPTY: [&str; 2] = ["join", "drain"];
 
 /// Guard type names whose appearance in a signature marks a function as
 /// guard-returning (a lock-acquisition wrapper).
@@ -193,19 +196,15 @@ pub(crate) fn lock_analysis(files: &[FileAnalysis]) -> Vec<Diagnostic> {
     }
     fns.sort_by_key(|i| (i.file, i.fc.body.0));
 
-    // 2. Name-resolution indexes, mirroring the L008 taint pass.
-    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    for (id, info) in fns.iter().enumerate() {
-        match &info.fc.self_type {
-            Some(ty) => {
-                method_by_name.entry(&info.fc.name).or_default().push(id);
-                by_qual.entry((ty, &info.fc.name)).or_default().push(id);
-            }
-            None => free_by_name.entry(&info.fc.name).or_default().push(id),
-        }
-    }
+    // 2. The shared conservative resolver, the same one the L008 taint
+    // pass and the L016–L019 effects pass use.
+    let resolver = CallResolver::new(fns.iter().map(|info| {
+        (
+            info.fc.name.as_str(),
+            info.fc.self_type.as_deref(),
+            info.file,
+        )
+    }));
 
     // 3. Guard-returning wrappers: a signature naming a guard type plus
     // the first direct acquisition in the body gives the lock the
@@ -239,10 +238,7 @@ pub(crate) fn lock_analysis(files: &[FileAnalysis]) -> Vec<Diagnostic> {
                     id,
                     info.file,
                     &f.crate_name,
-                    &fns,
-                    &free_by_name,
-                    &method_by_name,
-                    &by_qual,
+                    &resolver,
                     &wrapper_lock,
                 );
                 for ev in &sf.events {
@@ -699,17 +695,13 @@ fn snapshot(
 }
 
 /// Extracts one statement's event script.
-#[allow(clippy::too_many_arguments)] // lint: allow(L011, one internal call site; bundling the resolution indexes into a struct would just rename the arguments)
 fn stmt_facts(
     tokens: &[Token],
     stmt: &CfgStmt,
     self_id: usize,
     file: usize,
     crate_name: &str,
-    fns: &[FnInfo<'_>],
-    free_by_name: &BTreeMap<&str, Vec<usize>>,
-    method_by_name: &BTreeMap<&str, Vec<usize>>,
-    by_qual: &BTreeMap<(&str, &str), Vec<usize>>,
+    resolver: &CallResolver<'_>,
     wrapper_lock: &[Option<String>],
 ) -> StmtFacts {
     let mut facts = StmtFacts::default();
@@ -779,16 +771,7 @@ fn stmt_facts(
                 facts.events.push(Event::Blocking { what, line });
             }
         }
-        for callee in resolve(
-            tokens,
-            i,
-            name,
-            file,
-            fns,
-            free_by_name,
-            method_by_name,
-            by_qual,
-        ) {
+        for callee in resolver.resolve_callees(tokens, i, name, file) {
             if let Some(lock) = &wrapper_lock[callee] {
                 // Calling a guard-returning wrapper IS acquiring its lock.
                 facts.events.push(Event::Acquire {
@@ -836,57 +819,6 @@ fn stmt_facts(
         CfgStmtKind::Expr => {}
     }
     facts
-}
-
-/// Resolves one call site to workspace function ids, mirroring the L008
-/// taint resolution: qualified calls bind to the named type's impl, bare
-/// calls prefer the defining file and otherwise need a unique workspace
-/// definition, and method calls bind only when exactly one impl defines
-/// the name.
-#[allow(clippy::too_many_arguments)] // lint: allow(L011, shares the resolution indexes with stmt_facts; a struct would only rename them)
-fn resolve(
-    tokens: &[Token],
-    i: usize,
-    name: &str,
-    file: usize,
-    fns: &[FnInfo<'_>],
-    free_by_name: &BTreeMap<&str, Vec<usize>>,
-    method_by_name: &BTreeMap<&str, Vec<usize>>,
-    by_qual: &BTreeMap<(&str, &str), Vec<usize>>,
-) -> Vec<usize> {
-    let prev = i.checked_sub(1).map(|j| &tokens[j].kind);
-    match prev {
-        Some(TokenKind::Punct('.')) => {
-            let all = method_by_name.get(name).cloned().unwrap_or_default();
-            if all.len() == 1 {
-                all
-            } else {
-                Vec::new()
-            }
-        }
-        Some(k) if k.is_op("::") => match i.checked_sub(2).map(|j| &tokens[j].kind) {
-            Some(TokenKind::Ident(ty)) => by_qual
-                .get(&(ty.as_str(), name))
-                .cloned()
-                .unwrap_or_default(),
-            _ => Vec::new(),
-        },
-        _ => {
-            let all = free_by_name.get(name).cloned().unwrap_or_default();
-            let same_file: Vec<usize> = all
-                .iter()
-                .copied()
-                .filter(|&c| fns[c].file == file)
-                .collect();
-            if !same_file.is_empty() {
-                same_file
-            } else if all.len() == 1 {
-                all
-            } else {
-                Vec::new()
-            }
-        }
-    }
 }
 
 /// The `{crate}::{receiver}` identity of the lock acquired at token `i`

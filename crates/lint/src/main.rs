@@ -10,6 +10,9 @@
 //!                          process-wide MOCKTAILS_THREADS setting)
 //!   --update-baselines     rewrite crates/lint/baselines/*.api instead of
 //!                          diffing against them
+//!   --explain <L0NN>       print one rule's documentation (invariant,
+//!                          rationale, example finding, waiver shape) and
+//!                          exit without linting
 //! ```
 //!
 //! Exits 0 on a clean tree, 1 on violations, 2 on usage or I/O errors.
@@ -33,7 +36,14 @@ struct Args {
     options: RunOptions,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// What the command line asked for: a lint run, or a `--explain` page
+/// (already printed by the parser, nothing left to do).
+enum Parsed {
+    Lint(Box<Args>),
+    Explained,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut args = std::env::args().skip(1);
     let mut root: Option<String> = None;
     let mut format = Format::Text;
@@ -67,6 +77,18 @@ fn parse_args() -> Result<Args, String> {
                 options.parallelism = Parallelism::new(n);
             }
             "--update-baselines" => options.update_baselines = true,
+            "--explain" => {
+                let id = args.next().ok_or("--explain expects a rule id like L016")?;
+                return match mocktails_lint::explain::rule_doc(id.trim()) {
+                    Some(doc) => {
+                        print!("{}", mocktails_lint::explain::render(doc));
+                        Ok(Parsed::Explained)
+                    }
+                    None => Err(format!(
+                        "--explain: unknown rule `{id}`; rules run L001 through L019"
+                    )),
+                };
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -77,16 +99,17 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    Ok(Args {
+    Ok(Parsed::Lint(Box::new(Args {
         root: root.unwrap_or_else(|| "crates".to_string()),
         format,
         options,
-    })
+    })))
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(args) => args,
+        Ok(Parsed::Lint(args)) => args,
+        Ok(Parsed::Explained) => return ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("mocktails-lint: usage error: {msg}");
             return ExitCode::from(2);

@@ -7,11 +7,16 @@
 //! the JSON report is a machine-readable artifact with a versioned
 //! schema, not a log.
 //!
-//! # JSON schema (version 1)
+//! # JSON schema (version 2)
+//!
+//! Version 2 is shape-identical to version 1; the bump marks the rule
+//! vocabulary extension to L016–L019 (the interprocedural effect rules),
+//! whose messages embed `file:line → file:line` call chains consumers
+//! may want to parse.
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "tool": "mocktails-lint",
 //!   "files_checked": 58,
 //!   "violations": 0,
@@ -31,7 +36,7 @@
 use crate::rules::Diagnostic;
 
 /// The version of the JSON report schema this build emits.
-pub const JSON_SCHEMA_VERSION: u32 = 1;
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// The outcome of linting a source tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,7 +145,7 @@ mod tests {
     #[test]
     fn json_has_stable_shape_and_flags() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\n  \"schema_version\": 1,\n  \"tool\": \"mocktails-lint\""));
+        assert!(json.starts_with("{\n  \"schema_version\": 2,\n  \"tool\": \"mocktails-lint\""));
         assert!(json.contains("\"files_checked\": 2"));
         assert!(json.contains("\"violations\": 2"));
         assert!(json.contains("\"clean\": false"));

@@ -49,9 +49,38 @@ fn reports_are_byte_identical_across_thread_counts() {
 fn json_report_of_the_workspace_is_versioned_and_clean() {
     let report = run(&crates_root()).expect("workspace is readable");
     let json = report.to_json();
-    assert!(json.starts_with("{\n  \"schema_version\": 1,\n  \"tool\": \"mocktails-lint\""));
+    assert!(json.starts_with("{\n  \"schema_version\": 2,\n  \"tool\": \"mocktails-lint\""));
     assert!(json.ends_with("\n"), "document ends with a newline");
     assert!(json.contains("\"clean\": true"));
+}
+
+#[test]
+fn effects_pass_is_byte_identical_across_thread_counts() {
+    // The effects pass has its own second level of parallelism (per-SCC
+    // within a topological level), so it gets its own 1/2/8-thread pin
+    // with every other rule filtered out.
+    let report_at = |threads: usize| {
+        let options = RunOptions {
+            parallelism: Parallelism::new(threads),
+            rules: Some(
+                ["L016", "L017", "L018", "L019"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            ),
+            ..RunOptions::default()
+        };
+        run_with(&crates_root(), &options).expect("workspace is readable")
+    };
+    let sequential = report_at(1);
+    for threads in [2, 8] {
+        let parallel = report_at(threads);
+        assert_eq!(
+            sequential.to_json().into_bytes(),
+            parallel.to_json().into_bytes(),
+            "effects JSON report differs at {threads} threads"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Regression coverage for directives on the last line of a file.
+//!
+//! A `// lint: allow(...)` comment on a file's final line — with no
+//! trailing newline — must still be harvested and must still suppress,
+//! both in the same-line and line-above positions, and in the
+//! file-scoped `allow-file` form.
+
+use std::path::PathBuf;
+
+use mocktails_lint::rules::lint_source;
+
+fn lint(src: &str) -> Vec<(usize, &'static str)> {
+    lint_source(&PathBuf::from("crates/sim/src/lib.rs"), src)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn same_line_directive_at_eof_suppresses() {
+    let src = "fn f() { x.unwrap() } // lint: allow(L001, caller upholds the invariant)";
+    assert!(!src.ends_with('\n'));
+    assert_eq!(lint(src), vec![]);
+}
+
+#[test]
+fn line_above_directive_with_code_at_eof_suppresses() {
+    let src = "fn f() {\n// lint: allow(L001, caller upholds the invariant)\nx.unwrap() }";
+    assert!(!src.ends_with('\n'));
+    assert_eq!(lint(src), vec![]);
+}
+
+#[test]
+fn allow_file_directive_at_eof_suppresses() {
+    let src = "fn f() { x.unwrap() }\n// lint: allow-file(L001, fixture exercises panics)";
+    assert!(!src.ends_with('\n'));
+    assert_eq!(lint(src), vec![]);
+}
+
+#[test]
+fn eof_directive_still_requires_a_reason() {
+    let src = "fn f() { x.unwrap() } // lint: allow(L001)";
+    assert_eq!(lint(src), vec![(1, "L001")]);
+}
+
+#[test]
+fn crlf_terminated_directive_suppresses() {
+    let src = "fn f() { x.unwrap() } // lint: allow(L001, caller upholds the invariant)\r\n";
+    assert_eq!(lint(src), vec![]);
+}
+
+#[test]
+fn unclosed_directive_at_eof_is_not_a_suppression() {
+    // The closing paren is mandatory even at EOF: a truncated directive
+    // is malformed, not an allow-everything.
+    let src = "fn f() { x.unwrap() } // lint: allow(L001, cut off";
+    assert_eq!(lint(src), vec![(1, "L001")]);
+}

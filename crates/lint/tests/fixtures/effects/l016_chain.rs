@@ -1,0 +1,24 @@
+//! L016 fixture: a three-hop panic chain from the synthesis iterator.
+
+pub struct Synthesizer {
+    cursor: u64,
+}
+
+impl Synthesizer {
+    pub fn next(&mut self) -> Option<u64> {
+        refill(self.cursor)
+    }
+}
+
+fn refill(cursor: u64) -> Option<u64> {
+    pick(cursor)
+}
+
+fn pick(cursor: u64) -> Option<u64> {
+    let bonus = best(cursor);
+    Some(bonus.unwrap() + cursor)
+}
+
+fn best(cursor: u64) -> Option<u64> {
+    Some(cursor)
+}

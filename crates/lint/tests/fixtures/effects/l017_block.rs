@@ -1,0 +1,14 @@
+//! L017 fixture: blocking two calls behind the reactor sweep loop.
+
+pub fn run(tick: u64) -> u64 {
+    pump(tick)
+}
+
+fn pump(tick: u64) -> u64 {
+    fetch(tick)
+}
+
+fn fetch(tick: u64) -> u64 {
+    sleep(tick);
+    tick
+}

@@ -1,0 +1,16 @@
+//! L018 fixture: an allocation buried in a nested loop, with a clean
+//! sibling that allocates only outside loops.
+
+pub fn render_rows(rows: &[u64]) -> Vec<String> {
+    let mut out = Vec::new();
+    for &row in rows {
+        for bit in 0..row {
+            out.push(format!("{row}:{bit}"));
+        }
+    }
+    out
+}
+
+pub fn render_once(total: u64) -> String {
+    format!("{total}")
+}

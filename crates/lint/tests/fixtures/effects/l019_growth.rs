@@ -1,0 +1,16 @@
+//! L019 fixture: a capped queue stays clean; an uncapped log is flagged.
+
+pub struct Outbox {
+    queue: Vec<u64>,
+    log: Vec<u64>,
+}
+
+impl Outbox {
+    pub fn enqueue(&mut self, v: u64) {
+        self.queue.push(v);
+        if self.queue.len() > 64 {
+            self.queue.truncate(64);
+        }
+        self.log.push(v);
+    }
+}

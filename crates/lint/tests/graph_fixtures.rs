@@ -6,6 +6,7 @@
 use std::path::{Path, PathBuf};
 
 use mocktails_lint::graph::{analyze_source, cross_file, CrossFileOptions, FileRole};
+use mocktails_pool::Parallelism;
 
 fn fixture(name: &str) -> String {
     let p = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -33,6 +34,8 @@ fn lock_diags(fixture_name: &str, scope: &str, tag: &str) -> Vec<(usize, &'stati
         baselines_dir: &dir,
         update_baselines: true,
         lock_rules: true,
+        effect_rules: false,
+        parallelism: Parallelism::sequential(),
     };
     let diags = cross_file(&files, &opts).expect("cross-file pass");
     let _ = std::fs::remove_dir_all(&dir);
@@ -149,6 +152,8 @@ fn lock_rules_can_be_switched_off() {
         baselines_dir: &dir,
         update_baselines: true,
         lock_rules: false,
+        effect_rules: false,
+        parallelism: Parallelism::sequential(),
     };
     let diags = cross_file(&files, &opts).expect("cross-file pass");
     let _ = std::fs::remove_dir_all(&dir);
@@ -177,6 +182,8 @@ fn l009_fixture_flags_dead_surface_only() {
         baselines_dir: &dir,
         update_baselines: true,
         lock_rules: true,
+        effect_rules: false,
+        parallelism: Parallelism::sequential(),
     };
     let diags = cross_file(&files, &opts).expect("cross-file pass");
     let l009: Vec<String> = diags
@@ -216,6 +223,8 @@ fn l010_fixture_render_is_pinned_and_breaks_are_caught() {
             baselines_dir: dir,
             update_baselines: update,
             lock_rules: true,
+            effect_rules: false,
+            parallelism: Parallelism::sequential(),
         };
         cross_file(&files, &opts).expect("cross-file pass")
     };

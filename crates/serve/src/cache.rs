@@ -378,6 +378,7 @@ impl ShardAdmission {
     /// is at budget and the request must be shed with `Busy`.
     pub(crate) fn try_acquire(&self, key: u64) -> Option<ShardSlot> {
         let shard = self.shard_of(key);
+        // lint: allow(L016, shard_of reduces the key modulo counters.len, so the index is always in range)
         let counter = &self.counters[shard];
         let mut current = counter.load(Ordering::SeqCst);
         loop {

@@ -499,6 +499,7 @@ impl Conn {
                 Ok(n) => {
                     progressed = true;
                     let mut frames = std::mem::take(&mut self.inbound);
+                    // lint: allow(L019, completed frames are drained by process_inbound every sweep and the partial-payload buffer is bounded by max_len)
                     let pushed = self.assembler.push(&buf[..n], &mut frames);
                     self.inbound = frames;
                     if let Err(msg) = pushed {

@@ -106,11 +106,18 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&self, micros: u64) {
-        let idx = BUCKET_BOUNDS
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(BUCKET_BOUNDS.len());
-        self.buckets[idx].fetch_add(1, Ordering::SeqCst);
+        // Pair each bound with its bucket so no index arithmetic can go
+        // out of range; the unpaired final bucket is the overflow bucket.
+        let mut chosen = self.buckets.last();
+        for (&bound, bucket) in BUCKET_BOUNDS.iter().zip(self.buckets.iter()) {
+            if micros <= bound {
+                chosen = Some(bucket);
+                break;
+            }
+        }
+        if let Some(bucket) = chosen {
+            bucket.fetch_add(1, Ordering::SeqCst);
+        }
         self.sum.fetch_add(micros, Ordering::SeqCst);
         self.count.fetch_add(1, Ordering::SeqCst);
     }
@@ -365,6 +372,31 @@ mod tests {
         assert!(text.contains("t_bucket{le=\"400\"} 1"), "{text}");
         assert!(text.contains("t_bucket{le=\"+inf\"} 1"), "{text}");
         assert!(text.contains("t_count 4"), "{text}");
+    }
+
+    #[test]
+    fn histogram_every_boundary_lands_in_its_own_bucket() {
+        // Each bound is inclusive on its own bucket, bound+1 spills into
+        // the next, and anything past the last bound reaches the overflow
+        // bucket. Pins the bound/bucket pairing so a counting rewrite
+        // cannot silently shift observations by one bucket.
+        let h = Histogram::new();
+        for &bound in &BUCKET_BOUNDS {
+            h.observe(bound);
+            h.observe(bound + 1);
+        }
+        assert_eq!(h.count(), 2 * BUCKET_BOUNDS.len() as u64);
+        let mut text = String::new();
+        h.render_into("b", &mut text);
+        // Buckets report per-bucket counts: bucket 0 holds only its own
+        // bound, every later bucket holds its own bound plus the previous
+        // bound's +1 spillover, and the overflow bucket has the final
+        // bound+1.
+        for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+            let want = format!("b_bucket{{le=\"{bound}\"}} {}", if i == 0 { 1 } else { 2 });
+            assert!(text.contains(&want), "missing {want} in {text}");
+        }
+        assert!(text.contains("b_bucket{le=\"+inf\"} 1"), "{text}");
     }
 
     #[test]

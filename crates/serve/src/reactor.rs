@@ -147,6 +147,7 @@ fn reject_connection(shared: &Shared, mut stream: TcpStream) {
 /// One full pass over one connection. Returns whether anything moved.
 fn sweep_conn(shared: &Arc<Shared>, conn: &mut Conn, now: u64, open_conns: usize) -> bool {
     let mut progress = false;
+    // lint: allow(L017, Outbox::drain is a nonblocking mem::take behind a brief mutex hop, not a WorkerPool drain)
     for event in conn.outbox.drain() {
         progress = true;
         handle_event(shared, conn, event, now, open_conns);
@@ -561,7 +562,7 @@ fn route_request(
                 server::stats_job(shared, tx, &source);
             });
         }
-        Request::Ack | Request::Cancel => unreachable!("handled by process_inbound"), // lint: allow(L001, stream-control frames are routed before route_request)
+        Request::Ack | Request::Cancel => unreachable!("handled by process_inbound"), // lint: allow(L001, L016, stream-control frames are routed before route_request)
     }
 }
 

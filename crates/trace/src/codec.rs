@@ -378,6 +378,7 @@ pub fn read_csv<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
             continue;
         }
         let mut fields = line.split(',').map(str::trim);
+        // lint: allow(L018, the closure body formats only when a field fails to parse; the happy path never calls it)
         let bad = |what: &str| TraceError::Corrupt(format!("line {}: {what}", lineno + 1));
         let timestamp: u64 = fields
             .next()
@@ -393,10 +394,11 @@ pub fn read_csv<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
             "read" | "r" | "R" => Op::Read,
             "write" | "w" | "W" => Op::Write,
             other => {
+                // lint: allow(L018, cold error branch: allocates once for the malformed line, then aborts the parse)
                 return Err(TraceError::Corrupt(format!(
                     "line {}: unknown op {other:?}",
                     lineno + 1
-                )))
+                )));
             }
         };
         let size: u32 = fields

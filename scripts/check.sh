@@ -76,4 +76,11 @@ cargo run -q --offline --release -p mocktails-lint -- --rules L010 crates/
 echo "==> mocktails-lint --rules L012,L013,L014,L015 crates/ (lock discipline)"
 cargo run -q --offline --release -p mocktails-lint -- --rules L012,L013,L014,L015 crates/
 
+# The interprocedural effect-summary rules as their own named step: a
+# panic newly reachable from the synthesis/decode/reactor entries, a
+# blocking call behind the sweep, a hot-loop allocation, or unbounded
+# serve-path growth should be attributable at a glance.
+echo "==> mocktails-lint --rules L016,L017,L018,L019 crates/ (effect summaries)"
+cargo run -q --offline --release -p mocktails-lint -- --rules L016,L017,L018,L019 crates/
+
 echo "All gates passed."

@@ -1,0 +1,187 @@
+//! The pinned sampled-fidelity baseline: measures `mocktails-sample`'s
+//! clustering and fit costs against the full fit, plus the closed-loop
+//! coupled-stream tail through a live server, and writes `BENCH_4.json`
+//! at the repository root alongside `BENCH_1.json` (compute),
+//! `BENCH_2.json` (store), and `BENCH_3.json` (serving).
+//!
+//! Three figures are pinned:
+//!
+//! * clustering time — behaviour vectors + seeded k-means over every leaf
+//!   partition, the overhead sampling adds before it saves anything;
+//! * sampled-vs-full fit cost — the deterministic requests-modeled
+//!   reduction from the frontier report (the gated figure; the wall-clock
+//!   speedup is recorded alongside as an informational number) and the
+//!   member-weighted similarity error it costs;
+//! * coupled-stream p50/p99 — `CoupledSynthesize` round trips against a
+//!   live server pacing every chunk through the DRAM model, reassembled
+//!   bytes compared across runs for determinism.
+//!
+//! Hand-rolled harness like the other benches (no external bench crate,
+//! so the workspace builds hermetically); medians over a fixed iteration
+//! count keep single-run noise out of the pinned file.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mocktails_core::partition::hierarchy;
+use mocktails_core::{HierarchyConfig, LayerSpec, Profile};
+use mocktails_pool::Parallelism;
+use mocktails_sample::{kmeans, sampled_fit, vector, BehaviourVector, SampleConfig};
+use mocktails_serve::{Client, MonotonicClock, ProfileSource, Server, ServerConfig};
+use mocktails_trace::codec::write_trace;
+use mocktails_trace::Trace;
+use mocktails_workloads::catalog;
+
+const TIMED_ITERS: usize = 5;
+const CYCLES: u64 = 50_000;
+const CLUSTERS: usize = 16;
+const SAMPLE_SEED: u64 = 0;
+const COUPLE_SEED: u64 = 0xbe7c;
+const COUPLE_CHUNK: u32 = 512;
+const COUPLE_STREAMS: usize = 12;
+
+/// Median wall-clock seconds of `f` over [`TIMED_ITERS`] runs, after one
+/// warm-up run.
+fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..TIMED_ITERS)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn trace_bytes(trace: &Trace) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, trace).expect("encoding to memory");
+    bytes
+}
+
+fn offline_config() -> HierarchyConfig {
+    HierarchyConfig::builder()
+        .layer(LayerSpec::TemporalCycleCount(CYCLES))
+        .layer(LayerSpec::SpatialDynamic)
+        .build()
+        .expect("valid config")
+}
+
+fn main() {
+    let trace = catalog::by_name("HEVC1").expect("catalog trace").generate();
+    let config = offline_config();
+    let sample = SampleConfig {
+        clusters: CLUSTERS,
+        seed: SAMPLE_SEED,
+    };
+
+    // Clustering time: vectors + k-means only, the pure sampling overhead.
+    let partitions = hierarchy::partition(&trace, &config);
+    let cluster_secs = median_secs(|| {
+        let vectors = Parallelism::sequential().map(&partitions, BehaviourVector::of);
+        let points = vector::normalized(&vectors);
+        kmeans::cluster(&points, CLUSTERS, SAMPLE_SEED, Parallelism::sequential())
+    });
+
+    // Fit cost: the gated figure is the deterministic requests-modeled
+    // reduction; wall-clock speedup rides along informationally (it is
+    // machine-dependent and bounded below the cost reduction because
+    // partitioning and assembly are paid either way).
+    let full_secs = median_secs(|| Profile::fit_with(&trace, &config, Parallelism::sequential()));
+    let sampled_secs =
+        median_secs(|| sampled_fit(&trace, &config, &sample, Parallelism::sequential()));
+    let fit = sampled_fit(&trace, &config, &sample, Parallelism::sequential());
+    let report = &fit.report;
+    assert!(
+        report.cost_reduction() >= 5.0,
+        "sampled fit must model at least 5x fewer requests (got {:.2}x)",
+        report.cost_reduction(),
+    );
+
+    // Coupled-stream tail: a live server paces every chunk through the
+    // DRAM model; reassembled bytes must agree across streams.
+    let server_config = ServerConfig::builder()
+        .workers(2)
+        .queue_cap(64)
+        .cache_capacity(16)
+        .deadline_micros(120_000_000)
+        .build()
+        .expect("valid bench config");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        server_config,
+        Arc::new(MonotonicClock::new()),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let fingerprint = client
+        .fit_clustered(CYCLES, CLUSTERS as u32, trace_bytes(&trace))
+        .expect("sampled fit over the wire")
+        .fingerprint;
+
+    let mut reference: Option<Vec<u8>> = None;
+    let mut latencies: Vec<Duration> = (0..COUPLE_STREAMS)
+        .map(|_| {
+            let started = Instant::now();
+            let outcome = client
+                .couple(
+                    COUPLE_SEED,
+                    COUPLE_CHUNK,
+                    ProfileSource::Fingerprint(fingerprint),
+                )
+                .expect("coupled stream");
+            let elapsed = started.elapsed();
+            match &reference {
+                Some(bytes) => assert_eq!(
+                    &outcome.trace_bytes, bytes,
+                    "coupled stream diverged between runs"
+                ),
+                None => reference = Some(outcome.trace_bytes),
+            }
+            elapsed
+        })
+        .collect();
+    latencies.sort();
+    let coupled_p50 = latencies[latencies.len() / 2];
+    let coupled_p99 = latencies[(latencies.len() * 99) / 100];
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server exits cleanly");
+
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"sample_baseline\",\n  \
+         \"timed_iters\": {TIMED_ITERS},\n  \"clustering\": {{\n    \
+         \"partitions\": {},\n    \"clusters\": {},\n    \
+         \"seconds\": {cluster_secs:.6}\n  }},\n  \"fit\": {{\n    \
+         \"full_seconds\": {full_secs:.6},\n    \
+         \"sampled_seconds\": {sampled_secs:.6},\n    \
+         \"wall_speedup\": {:.2},\n    \
+         \"fit_cost_reduction\": {:.2},\n    \
+         \"mean_error\": {:.4},\n    \
+         \"max_error\": {:.4}\n  }},\n  \"coupled\": {{\n    \
+         \"streams\": {COUPLE_STREAMS},\n    \
+         \"chunk_len\": {COUPLE_CHUNK},\n    \
+         \"paced_p50_micros\": {},\n    \
+         \"paced_p99_micros\": {}\n  }}\n}}\n",
+        report.partitions(),
+        report.clusters().len(),
+        full_secs / sampled_secs,
+        report.cost_reduction(),
+        report.mean_error(),
+        report.max_error(),
+        coupled_p50.as_micros(),
+        coupled_p99.as_micros(),
+    );
+    print!("{json}");
+
+    let crates_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let out = crates_root.join("..").join("BENCH_4.json");
+    std::fs::write(&out, &json).expect("write BENCH_4.json");
+    println!("wrote {}", out.display());
+}

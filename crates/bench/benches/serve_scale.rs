@@ -193,12 +193,25 @@ fn main() {
             )
         })
         .collect();
+    // Worker-scaling summary: streaming p50 at 1 worker over p50 at 8
+    // workers. Above 1.0 means adding workers helps; the structural gate
+    // only requires the field to exist and be positive, because the
+    // magnitude is machine- and load-dependent.
+    let p50_of = |workers: usize| {
+        points
+            .iter()
+            .find(|p| p.workers == workers)
+            .map(|p| p.stream_p50.as_secs_f64())
+            .expect("measured worker count")
+    };
+    let scaling_8_over_1 = p50_of(1) / p50_of(8).max(f64::EPSILON);
     let json = format!(
         "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve_scale\",\n  \
          \"timed_iters\": {TIMED_ITERS},\n  \
          \"conns_per_iter\": {CONNS_PER_ITER},\n  \
          \"stream_clients\": {STREAM_CLIENTS},\n  \
-         \"streams_per_client\": {STREAMS_PER_CLIENT},\n  \"points\": [\n{}\n  ]\n}}\n",
+         \"streams_per_client\": {STREAMS_PER_CLIENT},\n  \
+         \"scaling_8_over_1\": {scaling_8_over_1:.3},\n  \"points\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
     );
     print!("{json}");

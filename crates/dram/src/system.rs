@@ -80,9 +80,23 @@ impl MemorySystem {
         stall_total + link_wait
     }
 
-    /// Injects one untagged request (port 0).
-    fn inject(&mut self, request: &Request) -> u64 {
+    /// Injects one untagged request (port 0); returns the backpressure
+    /// stall in cycles.
+    ///
+    /// This is the incremental entry point for closed-loop drivers that
+    /// interleave synthesis and injection themselves (e.g. a serving
+    /// stream pacing chunks against simulator occupancy). Batch callers
+    /// should prefer [`MemorySystem::run_trace`] /
+    /// [`MemorySystem::run_synthesizer`], which also drain the queues and
+    /// extract statistics.
+    pub fn inject(&mut self, request: &Request) -> u64 {
         self.inject_from(request, 0)
+    }
+
+    /// Total backpressure stall cycles accumulated so far across all
+    /// injected requests.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
     }
 
     /// Replays a complete trace (Fig. 1, Option A) and returns the final
@@ -263,6 +277,35 @@ mod tests {
         let stats = MemorySystem::new(DramConfig::default()).run_synthesizer(&mut synth);
         assert_eq!(stats.total_read_bursts(), 3000);
         assert!(synth.accumulated_delay() > 0);
+    }
+
+    #[test]
+    fn incremental_inject_matches_run_synthesizer() {
+        // The public per-request API, driven by hand with the same
+        // feedback rule, must leave simulator and synthesizer in exactly
+        // the state the batch Option B loop produces.
+        let trace = Trace::from_requests(
+            (0..3000u64)
+                .map(|i| Request::read(i, (i % 512) * 32, 32))
+                .collect(),
+        );
+        let profile = Profile::fit(&trace, &HierarchyConfig::two_level_ts(100_000));
+        let mut batch_synth = profile.synthesizer(7);
+        let batch = MemorySystem::new(DramConfig::default()).run_synthesizer(&mut batch_synth);
+        let mut synth = profile.synthesizer(7);
+        let mut mem = MemorySystem::new(DramConfig::default());
+        while let Some(request) = synth.next_request() {
+            let stall = mem.inject(&request);
+            if stall > 0 {
+                synth.add_delay(stall);
+            }
+        }
+        assert_eq!(mem.stall_cycles(), batch.stall_cycles);
+        assert_eq!(synth.accumulated_delay(), batch_synth.accumulated_delay());
+        assert!(
+            synth.accumulated_delay() > 0,
+            "saturating profile must stall"
+        );
     }
 
     #[test]

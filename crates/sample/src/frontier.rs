@@ -1,0 +1,203 @@
+//! The accuracy/cost frontier of a sampled fit.
+//!
+//! Cost is measured deterministically as *requests modeled*: a full fit
+//! runs the model generator over every partition's requests, a sampled
+//! fit only over the representatives'. Accuracy is the total-variation
+//! distance (via `mocktails_sim::similarity`) between each member
+//! partition and its cluster representative, worst feature of four. Both
+//! sides are bit-stable, so the rendered report is byte-identical at any
+//! thread count — the property the closed-loop smoke test pins.
+
+use std::fmt::Write as _;
+
+/// One cluster's point on the accuracy/cost frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPoint {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Number of member partitions (including the representative).
+    pub members: usize,
+    /// Partition index of the representative that was actually fitted.
+    pub representative: usize,
+    /// Requests covered by this cluster's members.
+    pub requests: u64,
+    /// Mean worst-feature total-variation distance of members to the
+    /// representative (the representative itself contributes 0).
+    pub mean_error: f64,
+    /// Largest member-to-representative distance in the cluster.
+    pub max_error: f64,
+}
+
+/// Frontier summary of one sampled fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierReport {
+    clusters: Vec<ClusterPoint>,
+    partitions: usize,
+    full_cost: u64,
+    sampled_cost: u64,
+}
+
+impl FrontierReport {
+    /// Assembles a report from per-cluster points and the two costs.
+    pub fn new(
+        clusters: Vec<ClusterPoint>,
+        partitions: usize,
+        full_cost: u64,
+        sampled_cost: u64,
+    ) -> Self {
+        Self {
+            clusters,
+            partitions,
+            full_cost,
+            sampled_cost,
+        }
+    }
+
+    /// Per-cluster frontier points, in cluster order.
+    pub fn clusters(&self) -> &[ClusterPoint] {
+        &self.clusters
+    }
+
+    /// Leaf partitions the hierarchy produced.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Requests a full fit would model.
+    pub fn full_cost(&self) -> u64 {
+        self.full_cost
+    }
+
+    /// Requests the sampled fit actually modeled (representatives only).
+    pub fn sampled_cost(&self) -> u64 {
+        self.sampled_cost
+    }
+
+    /// Fit-time reduction factor: full cost over sampled cost (1.0 when
+    /// nothing was sampled away).
+    pub fn cost_reduction(&self) -> f64 {
+        if self.sampled_cost == 0 {
+            1.0
+        } else {
+            self.full_cost as f64 / self.sampled_cost as f64
+        }
+    }
+
+    /// Member-weighted mean of the per-cluster mean errors.
+    pub fn mean_error(&self) -> f64 {
+        let members: usize = self.clusters.iter().map(|c| c.members).sum();
+        if members == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .clusters
+            .iter()
+            .map(|c| c.mean_error * c.members as f64)
+            .sum();
+        weighted / members as f64
+    }
+
+    /// Largest member-to-representative error across all clusters.
+    pub fn max_error(&self) -> f64 {
+        self.clusters
+            .iter()
+            .map(|c| c.max_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the frontier as a fixed-format text table. Equal reports
+    /// render to identical bytes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sampled-fidelity frontier: {} clusters over {} partitions",
+            self.clusters.len(),
+            self.partitions
+        );
+        let _ = writeln!(
+            out,
+            "fit cost: full {} requests, sampled {} ({:.2}x reduction)",
+            self.full_cost,
+            self.sampled_cost,
+            self.cost_reduction()
+        );
+        let _ = writeln!(
+            out,
+            "cluster  members  representative  requests  mean_error  max_error"
+        );
+        for c in &self.clusters {
+            let _ = writeln!(
+                out,
+                "{:>7}  {:>7}  {:>14}  {:>8}  {:>10.4}  {:>9.4}",
+                c.cluster, c.members, c.representative, c.requests, c.mean_error, c.max_error
+            );
+        }
+        let _ = writeln!(
+            out,
+            "member-weighted mean error {:.4}, worst {:.4}",
+            self.mean_error(),
+            self.max_error()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FrontierReport {
+        FrontierReport::new(
+            vec![
+                ClusterPoint {
+                    cluster: 0,
+                    members: 3,
+                    representative: 1,
+                    requests: 300,
+                    mean_error: 0.02,
+                    max_error: 0.05,
+                },
+                ClusterPoint {
+                    cluster: 1,
+                    members: 1,
+                    representative: 3,
+                    requests: 100,
+                    mean_error: 0.0,
+                    max_error: 0.0,
+                },
+            ],
+            4,
+            400,
+            200,
+        )
+    }
+
+    #[test]
+    fn aggregates_are_weighted_and_bounded() {
+        let r = report();
+        assert_eq!(r.cost_reduction(), 2.0);
+        assert!((r.mean_error() - 0.015).abs() < 1e-12);
+        assert_eq!(r.max_error(), 0.05);
+        assert_eq!(r.partitions(), 4);
+    }
+
+    #[test]
+    fn render_is_stable_and_lists_every_cluster() {
+        let r = report();
+        let text = r.render();
+        assert_eq!(text, r.render());
+        assert!(text.contains("2 clusters over 4 partitions"), "{text}");
+        assert!(text.contains("(2.00x reduction)"), "{text}");
+        assert_eq!(text.lines().count(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let r = FrontierReport::new(Vec::new(), 0, 0, 0);
+        assert_eq!(r.cost_reduction(), 1.0);
+        assert_eq!(r.mean_error(), 0.0);
+        assert_eq!(r.max_error(), 0.0);
+        assert!(r.render().contains("0 clusters over 0 partitions"));
+    }
+}

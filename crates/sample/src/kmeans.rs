@@ -1,0 +1,229 @@
+//! Seeded k-means over normalized behaviour vectors.
+//!
+//! Determinism is the design constraint, not a side effect: the anchor
+//! centre comes from the workspace PRNG, later centres are chosen by a
+//! farthest-point sweep (ties to the lowest index), assignment fans out
+//! through [`Parallelism::map`] (per-point, merged in index order), and
+//! centroid updates fold member coordinates sequentially in index order.
+//! The resulting clustering is bit-identical at any `--threads` value.
+
+use mocktails_pool::Parallelism;
+use mocktails_trace::rng::{Prng, Rng};
+
+use crate::vector::DIMS;
+
+/// Upper bound on Lloyd iterations; clustering stops earlier as soon as
+/// an assignment pass changes nothing.
+const MAX_ITERATIONS: usize = 32;
+
+/// The outcome of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    centroids: Vec<[f64; DIMS]>,
+    iterations: usize,
+}
+
+impl Clustering {
+    /// Cluster index of each input point, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Final cluster centroids.
+    pub fn centroids(&self) -> &[[f64; DIMS]] {
+        &self.centroids
+    }
+
+    /// Number of clusters (≤ the requested k, never more than points).
+    pub fn clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Lloyd iterations performed before convergence (or the cap).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Squared Euclidean distance between two feature points.
+pub fn distance_sq(a: &[f64; DIMS], b: &[f64; DIMS]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the centroid nearest to `point` (ties → lowest index).
+fn nearest(point: &[f64; DIMS], centroids: &[[f64; DIMS]]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = distance_sq(point, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Clusters `points` into at most `k` groups with a seeded, deterministic
+/// k-means. `k` is clamped to `[1, points.len()]`; an empty input yields
+/// an empty clustering.
+pub fn cluster(
+    points: &[[f64; DIMS]],
+    k: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Clustering {
+    if points.is_empty() {
+        return Clustering {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let k = k.clamp(1, points.len());
+    if k == points.len() {
+        // The exact zero-inertia solution: every point its own cluster.
+        // Lloyd iterations cannot separate duplicate points (ties route
+        // to the lowest centroid), so this case is closed-form instead —
+        // it is what makes `clusters >= partitions` reproduce a full fit.
+        return Clustering {
+            assignments: (0..points.len()).collect(),
+            centroids: points.to_vec(),
+            iterations: 0,
+        };
+    }
+    let mut rng = Prng::seed_from_u64(seed);
+
+    // Seeded farthest-point initialization: the PRNG picks the anchor,
+    // every later centre maximizes distance to the chosen set.
+    let anchor = rng.gen_range(0..points.len() as u64) as usize;
+    let mut chosen = vec![anchor];
+    let mut nearest_sq: Vec<f64> = points
+        .iter()
+        .map(|p| distance_sq(p, &points[anchor]))
+        .collect();
+    while chosen.len() < k {
+        let mut best = 0usize;
+        let mut best_d = -1.0f64;
+        for (i, &d) in nearest_sq.iter().enumerate() {
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        chosen.push(best);
+        for (i, p) in points.iter().enumerate() {
+            let d = distance_sq(p, &points[best]);
+            if d < nearest_sq[i] {
+                nearest_sq[i] = d;
+            }
+        }
+    }
+    let mut centroids: Vec<[f64; DIMS]> = chosen.iter().map(|&i| points[i]).collect();
+
+    let mut assignments: Vec<usize> = parallelism.map(points, |p| nearest(p, &centroids));
+    let mut iterations = 0usize;
+    while iterations < MAX_ITERATIONS {
+        iterations += 1;
+        // Centroid update: sequential fold in index order (bit-stable).
+        let mut sums = vec![[0.0f64; DIMS]; centroids.len()];
+        let mut counts = vec![0u64; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (acc, &x) in sums[c].iter_mut().zip(p.iter()) {
+                *acc += x;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (slot, &sum) in centroid.iter_mut().zip(sums[c].iter()) {
+                    *slot = sum / counts[c] as f64;
+                }
+            }
+        }
+        let next: Vec<usize> = parallelism.map(points, |p| nearest(p, &centroids));
+        let converged = next == assignments;
+        assignments = next;
+        if converged {
+            break;
+        }
+    }
+    Clustering {
+        assignments,
+        centroids,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize) -> Vec<[f64; DIMS]> {
+        (0..n)
+            .map(|i| {
+                let mut p = [center; DIMS];
+                p[0] += (i as f64) * 1e-3;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separated_blobs_cluster_apart() {
+        let mut points = blob(0.1, 10);
+        points.extend(blob(0.9, 10));
+        let c = cluster(&points, 2, 0, Parallelism::sequential());
+        assert_eq!(c.clusters(), 2);
+        let first = c.assignments()[0];
+        assert!(c.assignments()[..10].iter().all(|&a| a == first));
+        assert!(c.assignments()[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn deterministic_at_any_thread_count() {
+        let mut points = blob(0.2, 17);
+        points.extend(blob(0.5, 13));
+        points.extend(blob(0.8, 23));
+        let base = cluster(&points, 3, 42, Parallelism::new(1));
+        assert_eq!(cluster(&points, 3, 42, Parallelism::new(2)), base);
+        assert_eq!(cluster(&points, 3, 42, Parallelism::new(8)), base);
+    }
+
+    #[test]
+    fn k_clamps_to_point_count() {
+        let points = blob(0.5, 3);
+        let c = cluster(&points, 100, 0, Parallelism::sequential());
+        assert_eq!(c.clusters(), 3);
+        assert!(cluster(&points, 0, 0, Parallelism::sequential()).clusters() == 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let c = cluster(&[], 4, 0, Parallelism::sequential());
+        assert!(c.assignments().is_empty());
+        assert_eq!(c.clusters(), 0);
+        assert_eq!(c.iterations(), 0);
+    }
+
+    #[test]
+    fn assignments_stay_in_range() {
+        let mut points = blob(0.3, 40);
+        points.extend(blob(0.6, 15));
+        let c = cluster(&points, 5, 9, Parallelism::sequential());
+        assert_eq!(c.assignments().len(), 55);
+        assert!(c.assignments().iter().all(|&a| a < c.clusters()));
+        assert!(c.iterations() >= 1 && c.iterations() <= 32);
+    }
+
+    #[test]
+    fn same_seed_same_clustering() {
+        let mut points = blob(0.25, 12);
+        points.extend(blob(0.75, 12));
+        let a = cluster(&points, 4, 7, Parallelism::sequential());
+        let b = cluster(&points, 4, 7, Parallelism::sequential());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,344 @@
+//! Sampled-fidelity fitting: cluster leaf partitions, fit representatives.
+//!
+//! The paper's model generator fits every leaf partition. That is exact
+//! but linear in the trace; profiles of traces 100× larger need most of
+//! that work to be redundant. Following the Memory Access Vectors idea
+//! (cluster per-region behaviour vectors and simulate only cluster
+//! representatives), this crate:
+//!
+//! 1. reduces every leaf partition to a deterministic
+//!    [`BehaviourVector`] (reuse-distance, stride, timing, op-mix and
+//!    size features built on `ValueStats`),
+//! 2. clusters the vectors with a seeded k-means
+//!    ([`kmeans::cluster`]) that is bit-identical at any `--threads`
+//!    setting,
+//! 3. fits the McC models of **only** each cluster's representative
+//!    partition and grafts them onto every member's own metadata (start
+//!    time, start address, range, count), producing a complete
+//!    [`Profile`] that synthesizes the full request count, and
+//! 4. reports the accuracy/cost frontier ([`FrontierReport`]): per
+//!    cluster, the total-variation distance members would have to the
+//!    representative, against the fit work saved.
+//!
+//! Everything here inherits the workspace determinism invariant: equal
+//! inputs produce bit-identical profiles *and* bit-identical rendered
+//! frontier reports at any thread count.
+
+pub mod frontier;
+pub mod kmeans;
+pub mod vector;
+
+pub use frontier::{ClusterPoint, FrontierReport};
+pub use kmeans::Clustering;
+pub use vector::{BehaviourVector, DIMS};
+
+use mocktails_core::partition::hierarchy;
+use mocktails_core::{HierarchyConfig, LeafModel, Profile};
+use mocktails_pool::Parallelism;
+use mocktails_sim::similarity::FeatureDistances;
+use mocktails_trace::Trace;
+
+/// Configuration of a sampled fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Requested cluster count (clamped to `[1, partitions]`).
+    pub clusters: usize,
+    /// Seed for the k-means PRNG.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a sampled fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledFit {
+    /// The assembled profile: one leaf per partition, feature models
+    /// shared within each cluster. Synthesizes the full request count.
+    pub profile: Profile,
+    /// The accuracy/cost frontier of this fit.
+    pub report: FrontierReport,
+}
+
+/// Fits a profile by clustering leaf partitions and modeling only each
+/// cluster's representative (see the crate docs for the pipeline).
+///
+/// Equivalent to [`Profile::fit_with`] when `sample.clusters` is at least
+/// the partition count — every partition then represents itself.
+pub fn sampled_fit(
+    trace: &Trace,
+    config: &HierarchyConfig,
+    sample: &SampleConfig,
+    parallelism: Parallelism,
+) -> SampledFit {
+    let partitions = hierarchy::partition(trace, config);
+    if partitions.is_empty() {
+        return SampledFit {
+            profile: Profile::from_parts(config.clone(), Vec::new()),
+            report: FrontierReport::new(Vec::new(), 0, 0, 0),
+        };
+    }
+
+    let vectors = parallelism.map(&partitions, BehaviourVector::of);
+    let points = vector::normalized(&vectors);
+    let clustering = kmeans::cluster(&points, sample.clusters, sample.seed, parallelism);
+    let k = clustering.clusters();
+    let assignments = clustering.assignments();
+
+    // Representative per cluster: the member nearest its centroid
+    // (strict `<` keeps the lowest index on ties).
+    let mut representative: Vec<Option<(usize, f64)>> = vec![None; k];
+    for (i, point) in points.iter().enumerate() {
+        let c = assignments[i];
+        let d = kmeans::distance_sq(point, &clustering.centroids()[c]);
+        match representative[c] {
+            Some((_, best)) if d >= best => {}
+            _ => representative[c] = Some((i, d)),
+        }
+    }
+    let rep_indices: Vec<usize> = representative
+        .iter()
+        .filter_map(|r| r.map(|(i, _)| i))
+        .collect();
+    let mut rep_slot_of_cluster = vec![usize::MAX; k];
+    for (slot, &i) in rep_indices.iter().enumerate() {
+        rep_slot_of_cluster[assignments[i]] = slot;
+    }
+
+    // The expensive part, now over representatives only.
+    let rep_models: Vec<LeafModel> =
+        parallelism.map(&rep_indices, |&i| LeafModel::fit(&partitions[i]));
+
+    // Graft each representative's four feature models onto every
+    // member's own metadata; the representative keeps its fitted model.
+    let leaves: Vec<LeafModel> = partitions
+        .iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let slot = rep_slot_of_cluster[assignments[i]];
+            let model = &rep_models[slot];
+            if rep_indices[slot] == i {
+                model.clone()
+            } else {
+                LeafModel::from_parts(
+                    part.start_time(),
+                    part.start_address(),
+                    part.addr_range(),
+                    part.len() as u64,
+                    model.delta_time_model().clone(),
+                    model.stride_model().clone(),
+                    model.op_model().clone(),
+                    model.size_model().clone(),
+                )
+            }
+        })
+        .collect();
+
+    // Frontier accuracy: each member's feature distance to its cluster's
+    // representative, worst feature of four.
+    let rep_traces: Vec<Trace> = parallelism.map(&rep_indices, |&i| {
+        Trace::from_sorted_requests(partitions[i].requests().to_vec())
+    });
+    let indices: Vec<usize> = (0..partitions.len()).collect();
+    let errors: Vec<f64> = parallelism.map(&indices, |&i| {
+        let slot = rep_slot_of_cluster[assignments[i]];
+        if rep_indices[slot] == i {
+            0.0
+        } else {
+            let member = Trace::from_sorted_requests(partitions[i].requests().to_vec());
+            FeatureDistances::between(&member, &rep_traces[slot]).worst()
+        }
+    });
+
+    let mut cluster_points = Vec::with_capacity(k);
+    for (c, rep) in representative.iter().enumerate() {
+        let Some((rep_index, _)) = *rep else {
+            continue; // no members routed here
+        };
+        let mut members = 0usize;
+        let mut requests = 0u64;
+        let mut sum_error = 0.0f64;
+        let mut max_error = 0.0f64;
+        for (i, part) in partitions.iter().enumerate() {
+            if assignments[i] != c {
+                continue;
+            }
+            members += 1;
+            requests += part.len() as u64;
+            sum_error += errors[i];
+            max_error = max_error.max(errors[i]);
+        }
+        cluster_points.push(ClusterPoint {
+            cluster: c,
+            members,
+            representative: rep_index,
+            requests,
+            mean_error: sum_error / members as f64,
+            max_error,
+        });
+    }
+
+    let full_cost: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    let sampled_cost: u64 = rep_indices
+        .iter()
+        .map(|&i| partitions[i].len() as u64)
+        .sum();
+    SampledFit {
+        profile: Profile::from_parts(config.clone(), leaves),
+        report: FrontierReport::new(cluster_points, partitions.len(), full_cost, sampled_cost),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_trace::Request;
+
+    /// 40 phases of 100 requests, cycling through 4 distinct behaviours:
+    /// a clustered workload the hierarchy splits into ≥ 40 partitions.
+    fn phased_trace() -> Trace {
+        let mut reqs = Vec::new();
+        for phase in 0..40u64 {
+            let kind = phase % 4;
+            for i in 0..100u64 {
+                let t = phase * 1000 + i * 10;
+                let base = 0x10_0000 * (kind + 1);
+                let r = match kind {
+                    0 => Request::read(t, base + i * 64, 64),
+                    1 => Request::write(t, base + i * 128, 128),
+                    2 => Request::read(t, base + (i % 8) * 64, 64),
+                    _ => Request::write(t, base + (i % 16) * 32, 32),
+                };
+                reqs.push(r);
+            }
+        }
+        Trace::from_requests(reqs)
+    }
+
+    fn config() -> HierarchyConfig {
+        HierarchyConfig::two_level_ts(1000)
+    }
+
+    #[test]
+    fn sampled_profile_covers_every_request_and_validates() {
+        let trace = phased_trace();
+        let fit = sampled_fit(
+            &trace,
+            &config(),
+            &SampleConfig::default(),
+            Parallelism::sequential(),
+        );
+        fit.profile.validate().unwrap();
+        assert_eq!(fit.profile.total_requests(), trace.len() as u64);
+        assert_eq!(fit.profile.synthesize(3).len(), trace.len());
+    }
+
+    #[test]
+    fn bit_identical_at_any_thread_count() {
+        let trace = phased_trace();
+        let sample = SampleConfig {
+            clusters: 4,
+            seed: 7,
+        };
+        let fit = |threads| sampled_fit(&trace, &config(), &sample, Parallelism::new(threads));
+        let base = fit(1);
+        for threads in [2, 8] {
+            let other = fit(threads);
+            assert_eq!(other.profile, base.profile, "{threads} threads");
+            assert_eq!(other.report.render(), base.report.render());
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        base.profile.write(&mut a).unwrap();
+        fit(8).profile.write(&mut b).unwrap();
+        assert_eq!(a, b, "encoded profile bytes must match");
+    }
+
+    #[test]
+    fn enough_clusters_reproduces_the_full_fit() {
+        let trace = phased_trace();
+        let sample = SampleConfig {
+            clusters: usize::MAX,
+            seed: 0,
+        };
+        let fit = sampled_fit(&trace, &config(), &sample, Parallelism::sequential());
+        let full = Profile::fit_with(&trace, &config(), Parallelism::sequential());
+        assert_eq!(fit.profile, full);
+        assert_eq!(fit.report.cost_reduction(), 1.0);
+        assert_eq!(fit.report.max_error(), 0.0);
+    }
+
+    #[test]
+    fn few_clusters_cut_fit_cost_at_bounded_error() {
+        let trace = phased_trace();
+        let sample = SampleConfig {
+            clusters: 4,
+            seed: 0,
+        };
+        let fit = sampled_fit(&trace, &config(), &sample, Parallelism::sequential());
+        assert!(
+            fit.report.cost_reduction() >= 5.0,
+            "reduction {}",
+            fit.report.cost_reduction()
+        );
+        assert!(
+            fit.report.mean_error() < 0.5,
+            "mean error {}",
+            fit.report.mean_error()
+        );
+        let text = fit.report.render();
+        assert!(text.contains("x reduction"), "{text}");
+        assert_eq!(
+            fit.report
+                .clusters()
+                .iter()
+                .map(|c| c.members)
+                .sum::<usize>(),
+            fit.report.partitions()
+        );
+        assert_eq!(
+            fit.report
+                .clusters()
+                .iter()
+                .map(|c| c.requests)
+                .sum::<u64>(),
+            trace.len() as u64
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_fit() {
+        let fit = sampled_fit(
+            &Trace::new(),
+            &config(),
+            &SampleConfig::default(),
+            Parallelism::sequential(),
+        );
+        assert_eq!(fit.profile.total_requests(), 0);
+        assert_eq!(fit.report.partitions(), 0);
+        assert_eq!(fit.report.cost_reduction(), 1.0);
+    }
+
+    #[test]
+    fn seed_changes_clustering_deterministically() {
+        let trace = phased_trace();
+        let fit = |seed| {
+            sampled_fit(
+                &trace,
+                &config(),
+                &SampleConfig { clusters: 4, seed },
+                Parallelism::sequential(),
+            )
+        };
+        assert_eq!(fit(1).profile, fit(1).profile);
+        // Different seeds are allowed to pick different anchors; both
+        // must still cover the whole trace.
+        assert_eq!(fit(2).profile.total_requests(), trace.len() as u64);
+    }
+}

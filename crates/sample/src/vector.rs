@@ -1,0 +1,212 @@
+//! Deterministic behaviour vectors summarizing one leaf partition.
+//!
+//! Each partition is reduced to a fixed-length vector of reuse-distance,
+//! stride, timing, op-mix and size features. Every feature is computed in
+//! a fixed order from integer counts (via [`ValueStats`], whose `BTreeMap`
+//! accumulation keeps `f64` summation order stable), so the vector is
+//! bit-identical across runs and thread counts — the property the seeded
+//! clustering on top of it inherits.
+
+use std::collections::BTreeMap;
+
+use mocktails_core::value::ValueStats;
+use mocktails_core::Partition;
+
+/// Number of features in a behaviour vector.
+pub const DIMS: usize = 10;
+
+/// Cache-line shift used for the reuse-distance features (64-byte lines).
+const LINE_SHIFT: u32 = 6;
+
+/// A fixed-length feature summary of one leaf partition.
+///
+/// Feature order (indices into [`BehaviourVector::features`]):
+///
+/// 0. `log2` of the request count
+/// 1. stride entropy (bits)
+/// 2. stride repetition (fraction of consecutive equal strides)
+/// 3. stride distinct ratio
+/// 4. cache-line reuse fraction
+/// 5. mean `log2` reuse gap (in requests)
+/// 6. delta-time entropy (bits)
+/// 7. delta-time repetition
+/// 8. write fraction
+/// 9. size entropy (bits)
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviourVector {
+    features: [f64; DIMS],
+}
+
+impl BehaviourVector {
+    /// Computes the behaviour vector of one partition.
+    pub fn of(partition: &Partition) -> Self {
+        let strides: Vec<u64> = partition.strides().iter().map(|&s| s as u64).collect();
+        let stride_stats = ValueStats::from_values(&strides);
+        let delta_stats = ValueStats::from_values(&partition.delta_times());
+        let sizes: Vec<u64> = partition.size_states().iter().map(|&s| s as u64).collect();
+        let size_stats = ValueStats::from_values(&sizes);
+        let writes = partition.op_states().iter().filter(|&&op| op == 1).count();
+
+        // Reuse features over 64-byte lines: how often a line is
+        // re-touched, and how far apart (in requests) the touches are.
+        let mut last_seen: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut reuses = 0usize;
+        let mut gap_log_sum = 0.0f64;
+        for (i, request) in partition.iter().enumerate() {
+            let line = request.address >> LINE_SHIFT;
+            if let Some(&prev) = last_seen.get(&line) {
+                reuses += 1;
+                gap_log_sum += ((i - prev) as f64).log2();
+            }
+            last_seen.insert(line, i);
+        }
+
+        let count = partition.len() as f64;
+        let distinct_ratio = if stride_stats.count == 0 {
+            0.0
+        } else {
+            stride_stats.distinct as f64 / stride_stats.count as f64
+        };
+        Self {
+            features: [
+                count.log2(),
+                stride_stats.entropy_bits,
+                stride_stats.zero_delta_fraction,
+                distinct_ratio,
+                reuses as f64 / count,
+                if reuses == 0 {
+                    0.0
+                } else {
+                    gap_log_sum / reuses as f64
+                },
+                delta_stats.entropy_bits,
+                delta_stats.zero_delta_fraction,
+                writes as f64 / count,
+                size_stats.entropy_bits,
+            ],
+        }
+    }
+
+    /// The raw (unnormalized) feature values.
+    pub fn features(&self) -> &[f64; DIMS] {
+        &self.features
+    }
+}
+
+/// Min-max normalizes every dimension to `[0, 1]` over the whole set, so
+/// no single feature's scale dominates the clustering distance. A
+/// dimension with no spread collapses to 0. Bounds are folded in index
+/// order, keeping the result bit-stable.
+pub fn normalized(vectors: &[BehaviourVector]) -> Vec<[f64; DIMS]> {
+    let mut lo = [f64::INFINITY; DIMS];
+    let mut hi = [f64::NEG_INFINITY; DIMS];
+    for v in vectors {
+        for (d, &x) in v.features.iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+    vectors
+        .iter()
+        .map(|v| {
+            let mut out = [0.0f64; DIMS];
+            for (d, slot) in out.iter_mut().enumerate() {
+                let span = hi[d] - lo[d];
+                if span > 0.0 {
+                    *slot = (v.features[d] - lo[d]) / span;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocktails_trace::Request;
+
+    fn partition(reqs: Vec<Request>) -> Partition {
+        Partition::new(reqs)
+    }
+
+    #[test]
+    fn linear_stream_has_regular_features() {
+        let part = partition(
+            (0..64u64)
+                .map(|i| Request::read(i * 10, 0x1000 + i * 64, 64))
+                .collect(),
+        );
+        let v = BehaviourVector::of(&part);
+        let f = v.features();
+        assert_eq!(f[0], 6.0, "log2(64)");
+        assert_eq!(f[1], 0.0, "single stride value: zero entropy");
+        assert_eq!(f[2], 1.0, "every consecutive stride equal");
+        assert_eq!(f[4], 0.0, "no line revisited");
+        assert_eq!(f[8], 0.0, "all reads");
+        assert_eq!(f[9], 0.0, "single size");
+    }
+
+    #[test]
+    fn reuse_features_detect_line_revisits() {
+        // Ping-pong over two lines: every access after the first two is a
+        // reuse at gap 2.
+        let part = partition(
+            (0..32u64)
+                .map(|i| Request::read(i * 5, 0x2000 + (i % 2) * 64, 64))
+                .collect(),
+        );
+        let f = *BehaviourVector::of(&part).features();
+        assert!(
+            (f[4] - 30.0 / 32.0).abs() < 1e-12,
+            "reuse fraction {}",
+            f[4]
+        );
+        assert_eq!(f[5], 1.0, "log2 gap of 2");
+    }
+
+    #[test]
+    fn vectors_are_deterministic() {
+        let part = partition(
+            (0..100u64)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Request::write(i * 7, 0x4000 + (i % 16) * 64, 128)
+                    } else {
+                        Request::read(i * 7, 0x4000 + (i % 16) * 64, 64)
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(BehaviourVector::of(&part), BehaviourVector::of(&part));
+    }
+
+    #[test]
+    fn normalization_bounds_every_dimension() {
+        let parts: Vec<Partition> = (0..8u64)
+            .map(|k| {
+                partition(
+                    (0..(10 + k * 17))
+                        .map(|i| Request::read(i * (k + 1), 0x1000 * (k + 1) + i * 32, 32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let vectors: Vec<BehaviourVector> = parts.iter().map(BehaviourVector::of).collect();
+        let points = normalized(&vectors);
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            for &x in p {
+                assert!((0.0..=1.0).contains(&x), "out of bounds: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_request_partition_is_finite() {
+        let f = *BehaviourVector::of(&partition(vec![Request::read(0, 0x100, 64)])).features();
+        for &x in &f {
+            assert!(x.is_finite(), "non-finite feature {x}");
+        }
+    }
+}

@@ -599,6 +599,99 @@ mod tests {
         );
     }
 
+    /// The eviction boundary where TTL expiry and LRU eviction race on a
+    /// full shard: expiry is lazy (charged on the access that discovers
+    /// it), so a stale entry that capacity pressure claims first is
+    /// counted as an *eviction*, never double-counted as both.
+    #[test]
+    fn ttl_expiry_races_lru_eviction_at_the_shard_boundary() {
+        use crate::metrics::{Clock, ManualClock};
+        let clock = ManualClock::new();
+        // 2 shards × 2 slots; even fingerprints route to shard 0.
+        let cache = ShardedCache::new(2, 4, 1_000);
+        cache.insert(0, profile(1), None, clock.now_micros());
+        cache.insert(2, profile(2), None, clock.now_micros());
+        cache.insert(1, profile(3), None, clock.now_micros());
+        clock.advance(1_500); // every entry is now past its TTL
+
+        // Access discovers expiry: entry 0 leaves as an expiration,
+        // freeing its slot before any capacity pressure.
+        assert!(cache.get(0, clock.now_micros()).is_none());
+
+        // Refill shard 0. The first insert lands in the freed slot; the
+        // second finds the shard full and LRU-evicts the *stale* entry 2
+        // — capacity got there before any access could expire it.
+        cache.insert(4, profile(4), None, clock.now_micros());
+        cache.insert(6, profile(5), None, clock.now_micros());
+        assert!(cache.get(4, clock.now_micros()).is_some());
+        assert!(cache.get(6, clock.now_micros()).is_some());
+
+        // Per-shard tallies under the manual clock: shard 0 saw exactly
+        // one expiration and one eviction; untouched shard 1 saw
+        // neither, and still counts its stale entry as resident because
+        // nothing has looked at it yet.
+        let shard0 = cache.shards[0].lock().unwrap();
+        assert_eq!(shard0.expirations(), 1, "entry 0, charged on access");
+        assert_eq!(shard0.evictions(), 1, "entry 2, claimed by capacity");
+        assert_eq!(shard0.len(), 2);
+        drop(shard0);
+        let shard1 = cache.shards[1].lock().unwrap();
+        assert_eq!(shard1.expirations(), 0);
+        assert_eq!(shard1.evictions(), 0);
+        assert_eq!(shard1.len(), 1, "stale entry 1 is resident until read");
+        drop(shard1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 3,
+                evictions: 1,
+                expirations: 1
+            }
+        );
+
+        // Touching shard 1 finally charges its expiration there.
+        assert!(cache.get(1, clock.now_micros()).is_none());
+        let shard1 = cache.shards[1].lock().unwrap();
+        assert_eq!(shard1.expirations(), 1);
+        assert_eq!(shard1.len(), 0);
+    }
+
+    /// A `get` that lands exactly at the TTL bound refreshes recency
+    /// without expiring, which redirects the following capacity eviction
+    /// to the other resident — the refresh and the eviction race in
+    /// recency order, not insertion order.
+    #[test]
+    fn boundary_get_refreshes_recency_and_redirects_the_eviction() {
+        use crate::metrics::{Clock, ManualClock};
+        let clock = ManualClock::new();
+        // One shard, two slots: a pure LRU boundary.
+        let cache = ShardedCache::new(1, 2, 1_000);
+        cache.insert(10, profile(1), Some(100), clock.now_micros());
+        clock.advance(500);
+        cache.insert(20, profile(2), Some(200), clock.now_micros());
+        clock.advance(500);
+        // Entry 10 is exactly 1000 old — at the bound is alive, and the
+        // hit makes the *younger* entry 20 the LRU victim.
+        assert!(cache.get(10, clock.now_micros()).is_some());
+        cache.insert(30, profile(3), Some(300), clock.now_micros());
+        assert!(cache.get(10, clock.now_micros()).is_some());
+        assert!(cache.get(30, clock.now_micros()).is_some());
+        assert!(cache.get(20, clock.now_micros()).is_none());
+        // The evicted entry's fit-key alias dies with it (reported as a
+        // miss and dropped); the survivors' aliases still resolve.
+        assert!(cache.get_by_fit_key(200, clock.now_micros()).is_none());
+        assert!(cache.get_by_fit_key(100, clock.now_micros()).is_some());
+        assert!(cache.get_by_fit_key(300, clock.now_micros()).is_some());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 2,
+                evictions: 1,
+                expirations: 0
+            }
+        );
+    }
+
     #[test]
     fn admission_budget_is_per_shard_and_released_on_drop() {
         let admission = ShardAdmission::new(2, 1);

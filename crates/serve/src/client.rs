@@ -48,6 +48,38 @@ pub struct SynthOutcome {
     pub fingerprint: u64,
 }
 
+/// Result of a fully-consumed `CoupledSynthesize` request.
+#[derive(Debug, Clone)]
+pub struct CoupledOutcome {
+    /// A complete whole-trace encoding (header + records) whose
+    /// timestamps carry the DRAM model's fed-back stalls — byte-identical
+    /// to the offline `MemorySystem::run_synthesizer` path's trace.
+    pub trace_bytes: Vec<u8>,
+    /// Requests in the trace.
+    pub total_requests: u64,
+    /// The server's order-sensitive request fingerprint (verified against
+    /// a local replay before this outcome is returned).
+    pub fingerprint: u64,
+    /// Simulated cycle count the stream reached (last request's issue
+    /// timestamp, including stalls).
+    pub simulated_cycles: u64,
+    /// Total stall cycles the DRAM model fed back into the generator.
+    pub stall_cycles: u64,
+}
+
+/// One chunk of a coupled stream, as received by [`CoupledStream`].
+#[derive(Debug, Clone)]
+pub struct CoupledChunk {
+    /// Requests encoded in `records`.
+    pub count: u32,
+    /// Simulated cycles reached by the last request in the chunk.
+    pub simulated_cycles: u64,
+    /// Cumulative stall cycles fed back so far.
+    pub stall_cycles: u64,
+    /// The chunk's record bytes.
+    pub records: Vec<u8>,
+}
+
 /// Result of a `Compact` request: the store checkpointed and truncated
 /// its write-ahead log.
 #[derive(Debug, Clone, Copy)]
@@ -130,8 +162,25 @@ impl Client {
     /// Transport failures, or the server's typed error as
     /// [`ServeError::Remote`].
     pub fn fit(&mut self, cycles: u64, trace_bytes: Vec<u8>) -> Result<FitOutcome, ServeError> {
+        self.fit_clustered(cycles, 0, trace_bytes)
+    }
+
+    /// Like [`Client::fit`], but asks the server for a sampled-fidelity
+    /// fit with `clusters` k-means clusters (`0` = full fit): only each
+    /// cluster's representative partition is modeled server-side.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::fit`].
+    pub fn fit_clustered(
+        &mut self,
+        cycles: u64,
+        clusters: u32,
+        trace_bytes: Vec<u8>,
+    ) -> Result<FitOutcome, ServeError> {
         self.send(&Request::FitProfile {
             cycles,
+            clusters,
             trace_bytes,
         })?;
         match self.recv()? {
@@ -190,42 +239,76 @@ impl Client {
             stream.ack()?;
         }
         let (total_requests, fingerprint) = stream.end()?;
-
-        // Integrity: replay the records through the codec and compare the
-        // order-sensitive fingerprint with the server's.
-        let mut decoder = RecordDecoder::new();
-        let mut replay = Fingerprinter::new();
-        let mut cursor = records.as_slice();
-        for i in 0..total_requests {
-            let request = decoder.decode(&mut cursor).map_err(|e| {
-                ServeError::Protocol(format!("streamed record {i} undecodable: {e}"))
-            })?;
-            replay.push(&request);
-        }
-        if !cursor.is_empty() {
-            return Err(ServeError::Protocol(format!(
-                "{} trailing record bytes after {total_requests} requests",
-                cursor.len()
-            )));
-        }
-        if replay.digest() != fingerprint {
-            return Err(ServeError::Protocol(format!(
-                "stream fingerprint mismatch: server {fingerprint:#018x}, replay {:#018x}",
-                replay.digest()
-            )));
-        }
-
-        // Reassemble the whole-trace encoding: header + record section.
-        let mut trace_bytes = Vec::with_capacity(records.len() + 16);
-        trace_bytes.extend_from_slice(&TRACE_MAGIC);
-        trace_bytes.push(CODEC_VERSION);
-        write_u64(&mut trace_bytes, total_requests)?;
-        trace_bytes.extend_from_slice(&records);
+        let trace_bytes = verify_and_assemble(records, total_requests, fingerprint)?;
         Ok(SynthOutcome {
             trace_bytes,
             total_requests,
             fingerprint,
         })
+    }
+
+    /// Streams a full coupled (Option B) synthesis, acking every chunk,
+    /// and returns the reassembled paced trace plus the simulated-time
+    /// totals the DRAM model reported.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, the server's typed error, or
+    /// [`ServeError::Protocol`] if the fingerprint check fails.
+    pub fn couple(
+        &mut self,
+        seed: u64,
+        chunk_len: u32,
+        source: ProfileSource,
+    ) -> Result<CoupledOutcome, ServeError> {
+        let mut stream = self.begin_couple(seed, chunk_len, source)?;
+        let mut records = Vec::new();
+        let mut simulated_cycles = 0u64;
+        let mut stall_cycles = 0u64;
+        while let Some(chunk) = stream.next_chunk()? {
+            records.extend_from_slice(&chunk.records);
+            simulated_cycles = chunk.simulated_cycles;
+            stall_cycles = chunk.stall_cycles;
+            stream.ack()?;
+        }
+        let (total_requests, fingerprint) = stream.end()?;
+        let trace_bytes = verify_and_assemble(records, total_requests, fingerprint)?;
+        Ok(CoupledOutcome {
+            trace_bytes,
+            total_requests,
+            fingerprint,
+            simulated_cycles,
+            stall_cycles,
+        })
+    }
+
+    /// Starts a coupled stream whose acks the caller controls. Each
+    /// chunk carries the simulated-time backpressure alongside the
+    /// records (see [`CoupledChunk`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's typed error as
+    /// [`ServeError::Remote`].
+    pub fn begin_couple(
+        &mut self,
+        seed: u64,
+        chunk_len: u32,
+        source: ProfileSource,
+    ) -> Result<CoupledStream<'_>, ServeError> {
+        self.send(&Request::CoupledSynthesize {
+            seed,
+            chunk_len,
+            source,
+        })?;
+        match self.recv()? {
+            Response::SynthStart { total_requests } => Ok(CoupledStream {
+                client: self,
+                declared_total: total_requests,
+                end: None,
+            }),
+            other => Err(unexpected("synth-start", &other)),
+        }
     }
 
     /// Starts a synthesis stream whose acks the caller controls.
@@ -398,6 +481,125 @@ impl SynthStream<'_> {
         self.end
             .ok_or_else(|| ServeError::Protocol("stream has not reached its end frame".into()))
     }
+}
+
+/// An in-progress coupled stream with caller-controlled acks.
+///
+/// The coupled analogue of [`SynthStream`]: call
+/// [`CoupledStream::next_chunk`] until `None`, acking between chunks,
+/// then read the clean end-of-stream totals with [`CoupledStream::end`].
+#[derive(Debug)]
+pub struct CoupledStream<'a> {
+    client: &'a mut Client,
+    declared_total: u64,
+    end: Option<(u64, u64)>,
+}
+
+impl CoupledStream<'_> {
+    /// Total requests the server announced for this stream.
+    pub fn declared_total(&self) -> u64 {
+        self.declared_total
+    }
+
+    /// Receives the next coupled chunk, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the server's typed error.
+    pub fn next_chunk(&mut self) -> Result<Option<CoupledChunk>, ServeError> {
+        if self.end.is_some() {
+            return Ok(None);
+        }
+        match self.client.recv()? {
+            Response::CoupledChunk {
+                count,
+                simulated_cycles,
+                stall_cycles,
+                records,
+            } => Ok(Some(CoupledChunk {
+                count,
+                simulated_cycles,
+                stall_cycles,
+                records,
+            })),
+            Response::SynthEnd {
+                total_requests,
+                fingerprint,
+            } => {
+                self.end = Some((total_requests, fingerprint));
+                Ok(None)
+            }
+            other => Err(unexpected("coupled-chunk", &other)),
+        }
+    }
+
+    /// Acknowledges the chunk just received, releasing the next one.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ack(&mut self) -> Result<(), ServeError> {
+        self.client.send(&Request::Ack)
+    }
+
+    /// Cancels the stream and drains it to its (clean) end-of-stream
+    /// frame, so the connection is reusable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn cancel(mut self) -> Result<(u64, u64), ServeError> {
+        self.client.send_cancel()?;
+        while self.next_chunk()?.is_some() {}
+        self.end()
+    }
+
+    /// The end-of-stream `(total_requests, fingerprint)` pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] if the stream has not ended yet.
+    pub fn end(&self) -> Result<(u64, u64), ServeError> {
+        self.end
+            .ok_or_else(|| ServeError::Protocol("stream has not reached its end frame".into()))
+    }
+}
+
+/// Verifies streamed record bytes against the server's order-sensitive
+/// fingerprint (by replaying them through the codec) and reassembles the
+/// whole-trace encoding: header + record section.
+fn verify_and_assemble(
+    records: Vec<u8>,
+    total_requests: u64,
+    fingerprint: u64,
+) -> Result<Vec<u8>, ServeError> {
+    let mut decoder = RecordDecoder::new();
+    let mut replay = Fingerprinter::new();
+    let mut cursor = records.as_slice();
+    for i in 0..total_requests {
+        let request = decoder
+            .decode(&mut cursor)
+            .map_err(|e| ServeError::Protocol(format!("streamed record {i} undecodable: {e}")))?;
+        replay.push(&request);
+    }
+    if !cursor.is_empty() {
+        return Err(ServeError::Protocol(format!(
+            "{} trailing record bytes after {total_requests} requests",
+            cursor.len()
+        )));
+    }
+    if replay.digest() != fingerprint {
+        return Err(ServeError::Protocol(format!(
+            "stream fingerprint mismatch: server {fingerprint:#018x}, replay {:#018x}",
+            replay.digest()
+        )));
+    }
+    let mut trace_bytes = Vec::with_capacity(records.len() + 16);
+    trace_bytes.extend_from_slice(&TRACE_MAGIC);
+    trace_bytes.push(CODEC_VERSION);
+    write_u64(&mut trace_bytes, total_requests)?;
+    trace_bytes.extend_from_slice(&records);
+    Ok(trace_bytes)
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ServeError {

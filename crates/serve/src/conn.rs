@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use mocktails_core::Synthesizer;
+use mocktails_dram::MemorySystem;
 use mocktails_trace::codec::RecordEncoder;
 use mocktails_trace::Fingerprinter;
 
@@ -172,6 +173,18 @@ impl FrameAssembler {
     }
 }
 
+/// The DRAM model a coupled (Option B) stream paces against. Chunk jobs
+/// inject every synthesized request into it and feed the resulting
+/// stalls back into the generator before encoding the request, exactly
+/// like `MemorySystem::run_synthesizer` but one chunk at a time.
+pub(crate) struct Coupling {
+    /// The simulator exerting backpressure on the stream.
+    pub(crate) mem: MemorySystem,
+    /// Issue timestamp of the last synthesized request: simulated cycles
+    /// reached, including every stall fed back so far.
+    pub(crate) simulated_cycles: u64,
+}
+
 /// A streaming synthesis parked between chunk jobs. Chunk jobs lock it,
 /// encode one chunk, and release; the reactor never computes on it.
 pub(crate) struct SynthState {
@@ -185,6 +198,9 @@ pub(crate) struct SynthState {
     /// Set once `SynthEnd` has been produced; later chunk/finalize jobs
     /// become no-ops.
     pub(crate) finished: bool,
+    /// `Some` for a coupled (Option B) stream; `None` for the open-loop
+    /// `Synthesize` stream.
+    pub(crate) coupling: Option<Coupling>,
 }
 
 /// One event a worker job hands back to the reactor.

@@ -31,6 +31,14 @@
 //! reassembled bytes are byte-identical to offline
 //! [`mocktails_core::Profile::synthesize`] output for the same profile
 //! and seed, at any worker-thread count.
+//!
+//! Two closed-loop additions ride the same machinery (protocol v3):
+//! `FitProfile` can request a *sampled-fidelity* fit
+//! ([`mocktails_sample`]) that clusters leaf partitions and models only
+//! representatives, and `CoupledSynthesize` streams a synthesis paced
+//! chunk-by-chunk against the [`mocktails_dram`] simulator — the paper's
+//! Fig. 1 Option B against a live server, with each `CoupledChunk`
+//! carrying the simulated time reached and the stalls fed back.
 
 pub mod cache;
 pub mod client;
@@ -44,7 +52,10 @@ pub mod retry;
 pub mod server;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use client::{Client, CompactOutcome, FitOutcome, SynthOutcome, SynthStream};
+pub use client::{
+    Client, CompactOutcome, CoupledChunk, CoupledOutcome, CoupledStream, FitOutcome, SynthOutcome,
+    SynthStream,
+};
 pub use error::{ErrorCode, ServeError};
 pub use metrics::{Clock, ManualClock, MonotonicClock, ServeMetrics};
 pub use protocol::{ProfileSource, Request, Response, PROTOCOL_VERSION};

@@ -9,20 +9,24 @@
 //! requests                              responses
 //! 1 Hello      { version u32 }          1 HelloOk    { version u32 }
 //! 2 FitProfile { cycles u64,            2 FitResult  { fingerprint u64,
-//!                trace bytes* }                        cache_hit u8,
-//! 3 Synthesize { seed u64,                             profile bytes* }
-//!                chunk_len u32,         3 SynthStart { total u64 }
-//!                source }               4 SynthChunk { count u32, records* }
-//! 4 Stats      { source }               5 SynthEnd   { total u64,
-//! 5 Metricsz                                           fingerprint u64 }
-//! 6 Shutdown                            6 StatsText  { text* }
-//! 7 Ack                                 7 MetricsText{ text* }
-//! 8 Cancel                              8 ShutdownOk
-//! 9 Compact                             9 Error      { code u8, message* }
-//!                                      10 CompactOk  { generation u64,
-//!                                                      profiles u64,
-//!                                                      checkpoint_bytes u64,
-//!                                                      wal_bytes_dropped u64 }
+//!                clusters u32,                         cache_hit u8,
+//!                trace bytes* }                        profile bytes* }
+//! 3 Synthesize { seed u64,              3 SynthStart { total u64 }
+//!                chunk_len u32,         4 SynthChunk { count u32, records* }
+//!                source }               5 SynthEnd   { total u64,
+//! 4 Stats      { source }                              fingerprint u64 }
+//! 5 Metricsz                            6 StatsText  { text* }
+//! 6 Shutdown                            7 MetricsText{ text* }
+//! 7 Ack                                 8 ShutdownOk
+//! 8 Cancel                              9 Error      { code u8, message* }
+//! 9 Compact                            10 CompactOk  { generation u64,
+//! 10 CoupledSynthesize                                 profiles u64,
+//!              { seed u64,                             checkpoint_bytes u64,
+//!                chunk_len u32,                        wal_bytes_dropped u64 }
+//!                source }              11 CoupledChunk { count u32,
+//!                                                       simulated_cycles u64,
+//!                                                       stall_cycles u64,
+//!                                                       records* }
 //! ```
 //!
 //! `source` is `0` + fingerprint u64 (cache reference) or `1` + profile
@@ -34,7 +38,7 @@ use crate::error::{ErrorCode, ServeError};
 
 /// Version of the message set defined in this module; negotiated by
 /// `Hello`/`HelloOk` before anything else is processed.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Where a `Synthesize`/`Stats` request finds its profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +62,9 @@ pub enum Request {
     FitProfile {
         /// Temporal window (cycles) for the hierarchy's first layer.
         cycles: u64,
+        /// Cluster count for a sampled-fidelity fit (`mocktails-sample`),
+        /// or `0` for a full fit of every leaf partition.
+        clusters: u32,
         /// The encoded trace (`mocktails_trace::codec` format).
         trace_bytes: Vec<u8>,
     },
@@ -87,6 +94,19 @@ pub enum Request {
     /// write-ahead log. Answered `CompactOk`, or `NotFound` when the
     /// server runs without a store.
     Compact,
+    /// Stream a synthesized trace with the generator coupled to the DRAM
+    /// simulator (the paper's Fig. 1 Option B): the server injects every
+    /// request into `mocktails-dram` as it is synthesized, feeds stalls
+    /// back into the generator's timestamps, and each chunk reports the
+    /// simulated time reached.
+    CoupledSynthesize {
+        /// Synthesis seed.
+        seed: u64,
+        /// Requests per `CoupledChunk` frame (0 is rejected).
+        chunk_len: u32,
+        /// The profile to synthesize from.
+        source: ProfileSource,
+    },
 }
 
 /// A server-to-client message.
@@ -158,6 +178,19 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// One chunk of a coupled (Option B) stream: the records plus the
+    /// simulated-time backpressure the DRAM model exerted on them.
+    CoupledChunk {
+        /// Requests encoded in this chunk.
+        count: u32,
+        /// Simulated cycle count reached by the last request in the
+        /// chunk (its issue timestamp including fed-back stalls).
+        simulated_cycles: u64,
+        /// Cumulative stall cycles the generator has absorbed so far.
+        stall_cycles: u64,
+        /// The records, `mocktails_trace::codec::RecordEncoder` format.
+        records: Vec<u8>,
     },
 }
 
@@ -268,10 +301,12 @@ impl Request {
             }
             Self::FitProfile {
                 cycles,
+                clusters,
                 trace_bytes,
             } => {
                 buf.push(2);
                 put_u64(&mut buf, *cycles);
+                put_u32(&mut buf, *clusters);
                 buf.extend_from_slice(trace_bytes);
             }
             Self::Synthesize {
@@ -293,6 +328,16 @@ impl Request {
             Self::Ack => buf.push(7),
             Self::Cancel => buf.push(8),
             Self::Compact => buf.push(9),
+            Self::CoupledSynthesize {
+                seed,
+                chunk_len,
+                source,
+            } => {
+                buf.push(10);
+                put_u64(&mut buf, *seed);
+                put_u32(&mut buf, *chunk_len);
+                source.encode_into(&mut buf);
+            }
         }
         buf
     }
@@ -314,6 +359,7 @@ impl Request {
             }
             2 => Self::FitProfile {
                 cycles: c.u64("fit cycles")?,
+                clusters: c.u32("fit cluster count")?,
                 trace_bytes: c.rest(),
             },
             3 => Self::Synthesize {
@@ -344,6 +390,11 @@ impl Request {
                 c.finish("compact")?;
                 Self::Compact
             }
+            10 => Self::CoupledSynthesize {
+                seed: c.u64("coupled seed")?,
+                chunk_len: c.u32("coupled chunk length")?,
+                source: ProfileSource::decode_from(&mut c)?,
+            },
             t => return Err(ServeError::Protocol(format!("unknown request tag {t}"))),
         };
         Ok(request)
@@ -411,6 +462,18 @@ impl Response {
                 put_u64(&mut buf, *profiles);
                 put_u64(&mut buf, *checkpoint_bytes);
                 put_u64(&mut buf, *wal_bytes_dropped);
+            }
+            Self::CoupledChunk {
+                count,
+                simulated_cycles,
+                stall_cycles,
+                records,
+            } => {
+                buf.push(11);
+                put_u32(&mut buf, *count);
+                put_u64(&mut buf, *simulated_cycles);
+                put_u64(&mut buf, *stall_cycles);
+                buf.extend_from_slice(records);
             }
         }
         buf
@@ -487,6 +550,12 @@ impl Response {
                     wal_bytes_dropped,
                 }
             }
+            11 => Self::CoupledChunk {
+                count: c.u32("coupled chunk count")?,
+                simulated_cycles: c.u64("coupled simulated cycles")?,
+                stall_cycles: c.u64("coupled stall cycles")?,
+                records: c.rest(),
+            },
             t => return Err(ServeError::Protocol(format!("unknown response tag {t}"))),
         };
         Ok(response)
@@ -504,10 +573,12 @@ mod tests {
             },
             Request::FitProfile {
                 cycles: 500_000,
+                clusters: 0,
                 trace_bytes: vec![1, 2, 3, 4, 5],
             },
             Request::FitProfile {
                 cycles: 0,
+                clusters: 16,
                 trace_bytes: Vec::new(),
             },
             Request::Synthesize {
@@ -531,6 +602,16 @@ mod tests {
             Request::Ack,
             Request::Cancel,
             Request::Compact,
+            Request::CoupledSynthesize {
+                seed: 11,
+                chunk_len: 256,
+                source: ProfileSource::Fingerprint(0xfeed),
+            },
+            Request::CoupledSynthesize {
+                seed: 0,
+                chunk_len: u32::MAX,
+                source: ProfileSource::Inline(vec![3; 12]),
+            },
         ]
     }
 
@@ -569,6 +650,18 @@ mod tests {
                 profiles: 5,
                 checkpoint_bytes: 4096,
                 wal_bytes_dropped: 1024,
+            },
+            Response::CoupledChunk {
+                count: 3,
+                simulated_cycles: 70_000,
+                stall_cycles: 1200,
+                records: vec![4, 5, 6],
+            },
+            Response::CoupledChunk {
+                count: 0,
+                simulated_cycles: 0,
+                stall_cycles: 0,
+                records: Vec::new(),
             },
         ]
     }
@@ -635,6 +728,12 @@ mod tests {
         assert!(Request::decode(&[3, 1, 2]).is_err());
         // Stats with a fingerprint source cut inside the fingerprint.
         assert!(Request::decode(&[4, 0, 1, 2, 3]).is_err());
+        // FitProfile cut inside the cluster count.
+        assert!(Request::decode(&[2, 0, 0, 0, 0, 0, 0, 0, 0, 9]).is_err());
+        // CoupledSynthesize cut inside the seed.
+        assert!(Request::decode(&[10, 1, 2]).is_err());
+        // CoupledChunk cut inside the simulated-cycle counter.
+        assert!(Response::decode(&[11, 1, 0, 0, 0, 5]).is_err());
         // Error response with an unknown code byte.
         assert!(Response::decode(&[9, 0]).is_err());
     }

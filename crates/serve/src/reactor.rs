@@ -521,6 +521,7 @@ fn route_request(
         }
         Request::FitProfile {
             cycles,
+            clusters,
             trace_bytes,
         } => {
             if reject_if_draining(shared, conn, now) {
@@ -531,7 +532,7 @@ fn route_request(
                 return;
             };
             submit_one_shot(shared, conn, now, Some(slot), move |shared, tx| {
-                server::fit_job(shared, tx, cycles, &trace_bytes);
+                server::fit_job(shared, tx, cycles, clusters, &trace_bytes);
             });
         }
         Request::Synthesize {
@@ -548,6 +549,22 @@ fn route_request(
             };
             submit_one_shot(shared, conn, now, Some(slot), move |shared, tx| {
                 server::synth_open_job(shared, tx, seed, chunk_len, &source);
+            });
+        }
+        Request::CoupledSynthesize {
+            seed,
+            chunk_len,
+            source,
+        } => {
+            if reject_if_draining(shared, conn, now) {
+                return;
+            }
+            let key = shared.admission_key(&source);
+            let Some(slot) = try_admit(shared, conn, key, now) else {
+                return;
+            };
+            submit_one_shot(shared, conn, now, Some(slot), move |shared, tx| {
+                server::coupled_open_job(shared, tx, seed, chunk_len, &source);
             });
         }
         Request::Stats { source } => {

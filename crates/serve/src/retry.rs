@@ -138,6 +138,72 @@ mod tests {
         assert_ne!(schedule, other.schedule(), "seeds decorrelate clients");
     }
 
+    /// Golden schedule: the exact microsecond delays for two fixed
+    /// policies. Any change to the PRNG, the draw order, or the window
+    /// arithmetic shows up here as a literal diff — the contract is that
+    /// recorded experiments replay the same backoff forever.
+    #[test]
+    fn golden_schedules_are_pinned_to_the_exact_delays() {
+        let policy = RetryPolicy {
+            base_delay_micros: 2_000,
+            max_delay_micros: 500_000,
+            max_retries: 8,
+            jitter_seed: 0xc0ffee,
+        };
+        assert_eq!(
+            policy.schedule(),
+            [1_070, 3_121, 7_759, 10_523, 31_461, 41_848, 84_823, 253_898],
+        );
+
+        // A tight cap: windows clamp to [200, 400) from retry 2 onward,
+        // but the draws keep advancing the jitter stream, so the capped
+        // tail still varies draw to draw.
+        let capped = RetryPolicy {
+            base_delay_micros: 100,
+            max_delay_micros: 400,
+            max_retries: 6,
+            jitter_seed: 1,
+        };
+        let schedule = capped.schedule();
+        assert_eq!(schedule, [85, 152, 314, 278, 339, 228]);
+        for &delay in &schedule[2..] {
+            assert!(
+                (200..400).contains(&delay),
+                "capped draws must stay in [cap/2, cap): {delay}"
+            );
+        }
+    }
+
+    /// `retry_busy` must consume the same jitter stream `schedule()`
+    /// describes: the sleeps a retrying call records are a prefix of the
+    /// pinned schedule, and only `Busy` consumes a draw.
+    #[test]
+    fn injected_sleeps_replay_the_pinned_schedule_prefix() {
+        let policy = RetryPolicy {
+            base_delay_micros: 2_000,
+            max_delay_micros: 500_000,
+            max_retries: 8,
+            jitter_seed: 0xc0ffee,
+        };
+        let mut sleeps = Vec::new();
+        let mut calls = 0;
+        let result = retry_busy(
+            &policy,
+            |micros| sleeps.push(micros),
+            || {
+                calls += 1;
+                if calls <= 3 {
+                    Err(busy())
+                } else {
+                    Ok("served")
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(result, "served");
+        assert_eq!(sleeps, [1_070, 3_121, 7_759], "golden prefix, in order");
+    }
+
     #[test]
     fn retries_busy_until_success_recording_the_sleeps() {
         let policy = RetryPolicy {

@@ -23,15 +23,19 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-use mocktails_core::{fit_key, HierarchyConfig, LayerSpec, Profile, ProfileError};
+use mocktails_core::{
+    fit_key, HierarchyConfig, InjectionFeedback, LayerSpec, Profile, ProfileError,
+};
+use mocktails_dram::{DramConfig, MemorySystem};
 use mocktails_pool::bounded::{SubmitError, WorkerPool};
 use mocktails_pool::Parallelism;
+use mocktails_sample::{sampled_fit, SampleConfig};
 use mocktails_store::{ProfileStore, StoreOptions};
 use mocktails_trace::codec::RecordEncoder;
 use mocktails_trace::{fnv1a, DecodeOptions, Fingerprinter, TraceError};
 
 use crate::cache::{ShardAdmission, ShardedCache};
-use crate::conn::{ConnTx, SynthState, WakeFlag};
+use crate::conn::{ConnTx, Coupling, SynthState, WakeFlag};
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::{Clock, ServeMetrics};
 use crate::protocol::{ProfileSource, Response};
@@ -580,10 +584,23 @@ fn profile_error_frame(e: &ProfileError) -> (ErrorCode, String) {
     }
 }
 
-/// Worker-side body of `FitProfile`.
-pub(crate) fn fit_job(shared: &Shared, tx: &ConnTx, cycles: u64, trace_bytes: &[u8]) {
+/// Worker-side body of `FitProfile`. `clusters == 0` fits every leaf
+/// partition; a positive value runs the sampled-fidelity fit
+/// ([`mocktails_sample::sampled_fit`]) with that many clusters.
+pub(crate) fn fit_job(
+    shared: &Shared,
+    tx: &ConnTx,
+    cycles: u64,
+    clusters: u32,
+    trace_bytes: &[u8],
+) {
     let metrics = &shared.metrics;
     metrics.fit_requests_total.fetch_add(1, Ordering::SeqCst);
+    if clusters > 0 {
+        metrics
+            .sample_fit_requests_total
+            .fetch_add(1, Ordering::SeqCst);
+    }
     let started = shared.clock.now_micros();
     let config = match fit_config(cycles) {
         Ok(config) => config,
@@ -593,7 +610,11 @@ pub(crate) fn fit_job(shared: &Shared, tx: &ConnTx, cycles: u64, trace_bytes: &[
             return;
         }
     };
-    let key = fit_key(fnv1a(trace_bytes), &config);
+    // A sampled fit keys separately from the full fit of the same trace:
+    // the cluster count is folded into the fit key so neither aliases
+    // the other in the cache or the store.
+    let key = fit_key(fnv1a(trace_bytes), &config)
+        ^ u64::from(clusters).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let now = shared.clock.now_micros();
     let cached = shared.cache.get_by_fit_key(key, now);
     shared.sync_cache_metrics();
@@ -618,11 +639,34 @@ pub(crate) fn fit_job(shared: &Shared, tx: &ConnTx, cycles: u64, trace_bytes: &[
             };
             // Workers fit sequentially: concurrency comes from the pool,
             // and the result is bit-identical either way (PR 3 invariant).
-            let profile = Arc::new(Profile::fit_with(
-                &trace,
-                &config,
-                Parallelism::sequential(),
-            ));
+            let profile = if clusters > 0 {
+                let fit = sampled_fit(
+                    &trace,
+                    &config,
+                    &SampleConfig {
+                        clusters: clusters as usize,
+                        seed: 0,
+                    },
+                    Parallelism::sequential(),
+                );
+                metrics
+                    .sample_clusters_total
+                    .fetch_add(fit.report.clusters().len() as u64, Ordering::SeqCst);
+                for cluster in fit.report.clusters() {
+                    // Per-cluster mean similarity error in parts per
+                    // million, so the integer histogram resolves it.
+                    metrics
+                        .sample_frontier_error_ppm
+                        .observe((cluster.mean_error * 1_000_000.0) as u64);
+                }
+                Arc::new(fit.profile)
+            } else {
+                Arc::new(Profile::fit_with(
+                    &trace,
+                    &config,
+                    Parallelism::sequential(),
+                ))
+            };
             let fingerprint = profile.content_fingerprint();
             let now = shared.clock.now_micros();
             shared
@@ -737,6 +781,12 @@ enum ChunkStep {
 /// Encodes the next chunk (or end-of-stream) from a parked synthesis.
 /// Pure compute on `state` — callers send the resulting frame *after*
 /// releasing the state lock.
+///
+/// A coupled stream injects every request into its DRAM model as it is
+/// synthesized and feeds the stall back into the generator before the
+/// next request — the per-request loop of
+/// `MemorySystem::run_synthesizer`, one chunk at a time — so the encoded
+/// timestamps already carry the simulated-time backpressure.
 fn encode_next(shared: &Shared, state: &mut SynthState) -> ChunkStep {
     let metrics = &shared.metrics;
     let mut records = Vec::new();
@@ -745,6 +795,16 @@ fn encode_next(shared: &Shared, state: &mut SynthState) -> ChunkStep {
         let Some(request) = state.synth.next_request() else {
             break;
         };
+        if let Some(coupling) = state.coupling.as_mut() {
+            let stall = coupling.mem.inject(&request);
+            if stall > 0 {
+                state.synth.add_delay(stall);
+                metrics
+                    .coupled_stall_cycles_total
+                    .fetch_add(stall, Ordering::SeqCst);
+            }
+            coupling.simulated_cycles = request.timestamp;
+        }
         if let Err(e) = state.encoder.encode(&mut records, &request) {
             state.finished = true;
             return ChunkStep::Failed(ErrorCode::Internal, e.to_string());
@@ -771,6 +831,18 @@ fn encode_next(shared: &Shared, state: &mut SynthState) -> ChunkStep {
     metrics
         .streamed_requests_total
         .fetch_add(u64::from(count), Ordering::SeqCst);
+    if let Some(coupling) = state.coupling.as_ref() {
+        metrics.coupled_chunks_total.fetch_add(1, Ordering::SeqCst);
+        metrics
+            .coupled_streamed_requests_total
+            .fetch_add(u64::from(count), Ordering::SeqCst);
+        return ChunkStep::Chunk(Response::CoupledChunk {
+            count,
+            simulated_cycles: coupling.simulated_cycles,
+            stall_cycles: state.synth.accumulated_delay(),
+            records,
+        });
+    }
     ChunkStep::Chunk(Response::SynthChunk { count, records })
 }
 
@@ -784,8 +856,43 @@ pub(crate) fn synth_open_job(
     chunk_len: u32,
     source: &ProfileSource,
 ) {
-    let metrics = &shared.metrics;
-    metrics.synth_requests_total.fetch_add(1, Ordering::SeqCst);
+    shared
+        .metrics
+        .synth_requests_total
+        .fetch_add(1, Ordering::SeqCst);
+    open_stream_job(shared, tx, seed, chunk_len, source, None);
+}
+
+/// Worker-side opening of `CoupledSynthesize`: like [`synth_open_job`]
+/// but every chunk is paced against a fresh DRAM model (the paper's
+/// Fig. 1 Option B against a live server).
+pub(crate) fn coupled_open_job(
+    shared: &Shared,
+    tx: &ConnTx,
+    seed: u64,
+    chunk_len: u32,
+    source: &ProfileSource,
+) {
+    shared
+        .metrics
+        .coupled_requests_total
+        .fetch_add(1, Ordering::SeqCst);
+    let coupling = Coupling {
+        mem: MemorySystem::new(DramConfig::default()),
+        simulated_cycles: 0,
+    };
+    open_stream_job(shared, tx, seed, chunk_len, source, Some(coupling));
+}
+
+/// Shared body of the two stream-opening jobs.
+fn open_stream_job(
+    shared: &Shared,
+    tx: &ConnTx,
+    seed: u64,
+    chunk_len: u32,
+    source: &ProfileSource,
+    coupling: Option<Coupling>,
+) {
     let started = shared.clock.now_micros();
     if chunk_len == 0 {
         send_error_tx(
@@ -821,6 +928,7 @@ pub(crate) fn synth_open_job(
         chunk_len,
         started_micros: started,
         finished: false,
+        coupling,
     };
     match encode_next(shared, &mut state) {
         ChunkStep::Chunk(response) => {
@@ -848,7 +956,7 @@ pub(crate) fn synth_chunk_job(shared: &Shared, tx: &ConnTx, state: &Arc<Mutex<Sy
             // Pure compute under the stream's own lock (no other thread
             // touches this stream while its one job runs); the frame is
             // sent after release.
-            Some(encode_next(shared, &mut state))
+            Some(encode_next(shared, &mut state)) // lint: allow(L013, the coupled path's MemorySystem::inject is in-memory simulation, not blocking I/O — the stream's lock is held by exactly this one job)
         }
     };
     match step {

@@ -605,3 +605,158 @@ fn compact_without_a_store_is_not_found() {
     }
     shut_down(&addr, handle);
 }
+
+/// The offline Option B reference: fit, then run the paper's coupled
+/// loop by hand — inject each synthesized request into the DRAM model
+/// and feed stalls back — collecting the paced trace plus the
+/// backpressure totals the server must reproduce over the wire.
+fn offline_coupled(trace: &Trace) -> (Vec<u8>, u64, u64) {
+    use mocktails_core::InjectionFeedback;
+    use mocktails_dram::{DramConfig, MemorySystem};
+    let profile = Profile::fit_with(trace, &offline_config(), Parallelism::sequential());
+    let mut synth = profile.synthesizer(SEED);
+    let mut mem = MemorySystem::new(DramConfig::default());
+    let mut paced = Vec::new();
+    while let Some(request) = synth.next_request() {
+        let stall = mem.inject(&request);
+        if stall > 0 {
+            synth.add_delay(stall);
+        }
+        paced.push(request);
+    }
+    let stall_cycles = synth.accumulated_delay();
+    let simulated_cycles = paced.last().expect("non-empty").timestamp;
+    let paced = Trace::from_sorted_requests(paced);
+    (trace_bytes(&paced), simulated_cycles, stall_cycles)
+}
+
+#[test]
+fn coupled_stream_matches_offline_option_b_at_any_worker_count() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let (paced_bytes, simulated_cycles, stall_cycles) = offline_coupled(&trace);
+    // Guard against a vacuous comparison: the DRAM model must actually
+    // push back on this trace, or pacing is indistinguishable from the
+    // open-loop stream.
+    assert!(stall_cycles > 0, "reference run produced no backpressure");
+
+    for workers in [1usize, 2, 8] {
+        let (addr, handle) = start_server(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(&addr).expect("connect");
+        let fit = client.fit(CYCLES, upload.clone()).expect("fit");
+
+        let outcome = client
+            .couple(SEED, 256, ProfileSource::Fingerprint(fit.fingerprint))
+            .expect("coupled stream");
+        assert_eq!(
+            outcome.trace_bytes, paced_bytes,
+            "coupled stream differs from offline run_synthesizer at {workers} workers"
+        );
+        assert_eq!(outcome.simulated_cycles, simulated_cycles);
+        assert_eq!(outcome.stall_cycles, stall_cycles);
+        assert_eq!(outcome.total_requests, trace.len() as u64);
+        shut_down(&addr, handle);
+    }
+}
+
+#[test]
+fn coupled_chunks_report_monotonic_simulated_time_and_end_cleanly() {
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fit = client.fit(CYCLES, upload).expect("fit");
+
+    let mut stream = client
+        .begin_couple(SEED, 128, ProfileSource::Fingerprint(fit.fingerprint))
+        .expect("begin couple");
+    assert_eq!(stream.declared_total(), trace.len() as u64);
+    let mut last_simulated = 0u64;
+    let mut last_stall = 0u64;
+    let mut chunks = 0usize;
+    let mut total = 0u64;
+    while let Some(chunk) = stream.next_chunk().expect("next chunk") {
+        assert!(chunk.count > 0, "empty chunk frame");
+        assert!(
+            chunk.simulated_cycles >= last_simulated,
+            "simulated time went backwards: {} then {}",
+            last_simulated,
+            chunk.simulated_cycles
+        );
+        assert!(chunk.stall_cycles >= last_stall, "cumulative stalls shrank");
+        last_simulated = chunk.simulated_cycles;
+        last_stall = chunk.stall_cycles;
+        total += u64::from(chunk.count);
+        chunks += 1;
+        stream.ack().expect("ack");
+    }
+    // The terminator is a clean SynthEnd carrying the full totals.
+    let (total_requests, fingerprint) = stream.end().expect("clean end of stream");
+    assert_eq!(total_requests, trace.len() as u64);
+    assert_eq!(total, total_requests);
+    assert!(chunks > 1, "expected multiple chunks at chunk_len=128");
+    assert_ne!(fingerprint, 0, "fingerprint must be real");
+
+    // The connection stays usable after the coupled stream.
+    let text = client.metricsz().expect("metricsz after stream");
+    assert!(text.contains("coupled_requests_total 1"), "{text}");
+    assert!(text.contains("coupled_chunks_total"), "{text}");
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn sampled_fit_over_the_wire_matches_offline_and_keys_separately() {
+    use mocktails_sample::{sampled_fit, SampleConfig};
+    let trace = small_trace();
+    let upload = trace_bytes(&trace);
+
+    let offline = sampled_fit(
+        &trace,
+        &offline_config(),
+        &SampleConfig {
+            clusters: 4,
+            seed: 0,
+        },
+        Parallelism::sequential(),
+    );
+    let mut offline_bytes = Vec::new();
+    offline.profile.write(&mut offline_bytes).expect("encode");
+
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let sampled = client
+        .fit_clustered(CYCLES, 4, upload.clone())
+        .expect("sampled fit");
+    assert!(!sampled.cache_hit, "first sampled fit must miss");
+    assert_eq!(
+        sampled.profile_bytes, offline_bytes,
+        "server sampled fit differs from offline sampled_fit"
+    );
+
+    // The same request repeats as a cache hit; the full fit of the same
+    // trace keys separately and produces a different profile.
+    let again = client
+        .fit_clustered(CYCLES, 4, upload.clone())
+        .expect("repeat sampled fit");
+    assert!(again.cache_hit, "identical sampled fit must hit");
+    assert_eq!(again.fingerprint, sampled.fingerprint);
+
+    let full = client.fit(CYCLES, upload).expect("full fit");
+    assert!(!full.cache_hit, "full fit must not alias the sampled fit");
+    assert_ne!(full.fingerprint, sampled.fingerprint);
+
+    // Both profiles synthesize the whole trace.
+    let synth = client
+        .synthesize(SEED, 512, ProfileSource::Fingerprint(sampled.fingerprint))
+        .expect("synthesize from sampled profile");
+    assert_eq!(synth.total_requests, trace.len() as u64);
+
+    let text = client.metricsz().expect("metricsz");
+    assert!(text.contains("sample_fit_requests_total 2"), "{text}");
+    assert!(text.contains("sample_clusters_total 4"), "{text}");
+    shut_down(&addr, handle);
+}

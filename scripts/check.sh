@@ -50,6 +50,39 @@ awk -F': ' '/conns_per_sec/ { if ($2 + 0 <= 0) exit 1 }
   echo "BENCH_3.json regression: zero connection rate or p99 over 10s" >&2
   exit 1
 }
+# Worker-scaling summary: the 8-worker streaming p50 relative to 1 worker
+# must be present and positive (a wall-clock ratio, so only its existence
+# and sign are gated — the magnitude is machine-dependent).
+grep -q '"scaling_8_over_1"' BENCH_3.json || {
+  echo "BENCH_3.json missing the scaling_8_over_1 summary" >&2
+  exit 1
+}
+awk -F': ' '/scaling_8_over_1/ { if ($2 + 0 <= 0) exit 1 }' BENCH_3.json || {
+  echo "BENCH_3.json regression: non-positive worker-scaling ratio" >&2
+  exit 1
+}
+
+echo "==> sample_baseline bench (BENCH_4.json regression check)"
+# Re-pins the sampled-fidelity baseline and fails on structural
+# regressions: the deterministic fit-cost reduction must stay at least
+# 5x, the member-weighted similarity error bounded, and the coupled
+# closed-loop stream tail under ten seconds.
+cargo bench -q --offline -p mocktails-bench --bench sample_baseline >/dev/null
+grep -q '"schema_version": 1' BENCH_4.json
+awk -F': ' '/fit_cost_reduction/ { if ($2 + 0 < 5) exit 1 }
+            /"mean_error"/ { if ($2 + 0 > 0.25) exit 1 }
+            /paced_p99_micros/ { v = $2 + 0; if (v <= 0 || v > 10000000) exit 1 }' \
+  BENCH_4.json || {
+  echo "BENCH_4.json regression: fit-cost reduction under 5x, unbounded error, or paced p99 over 10s" >&2
+  exit 1
+}
+
+echo "==> closed-loop smoke (sampled fit + coupled stream, byte-compared)"
+# The sampled-fidelity fit must be byte-identical at 1/2/8 threads, a
+# live server's sampled fit must match the offline bytes, and a coupled
+# (Option B) stream must reassemble identically at any chunk size.
+MOCKTAILS_THREADS=1 ./scripts/closedloop-smoke.sh
+MOCKTAILS_THREADS=4 ./scripts/closedloop-smoke.sh
 
 echo "==> store recovery smoke (kill -9 + torn log tail, byte-compared)"
 # A store-backed server killed mid-flight must restart from its WAL,

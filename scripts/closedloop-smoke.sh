@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Closed-loop fidelity smoke: the sampled-fidelity fit and the coupled
+# (Fig. 1 Option B) stream must both uphold the workspace's determinism
+# invariant end to end. Three proofs, byte-compared:
+#
+#  1. the offline sampled fit — profile bytes AND the accuracy/cost
+#     frontier report — is identical at --threads 1, 2 and 8;
+#  2. a live server's `client fit --sampled` returns the same profile
+#     bytes as the offline sampled fit;
+#  3. `client couple` — every chunk paced through the server's DRAM
+#     model — reassembles to the same bytes regardless of chunk size,
+#     and the server's coupled_*/sample_* metrics account for the work.
+#
+# Honours MOCKTAILS_THREADS like every other gate.
+# Run from the repository root:  ./scripts/closedloop-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/mocktails
+if [[ ! -x "$BIN" ]]; then
+  cargo build -q --release --offline -p mocktails-cli
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+WORKLOAD=HEVC1
+CYCLES=50000
+CLUSTERS=16
+SEED=7
+
+echo "--- offline sampled fit at 1, 2 and 8 threads (byte-compared)"
+"$BIN" trace "$WORKLOAD" -o "$WORK/ref.mtrace"
+for t in 1 2 8; do
+  "$BIN" profile "$WORK/ref.mtrace" -o "$WORK/samp-$t.mprofile" \
+    --cycles "$CYCLES" --sampled --clusters "$CLUSTERS" \
+    --frontier "$WORK/frontier-$t.txt" --threads "$t"
+done
+cmp "$WORK/samp-1.mprofile" "$WORK/samp-2.mprofile"
+cmp "$WORK/samp-1.mprofile" "$WORK/samp-8.mprofile"
+cmp "$WORK/frontier-1.txt" "$WORK/frontier-2.txt"
+cmp "$WORK/frontier-1.txt" "$WORK/frontier-8.txt"
+grep -q 'reduction' "$WORK/frontier-1.txt" || {
+  echo "frontier report missing its cost-reduction line" >&2
+  exit 1
+}
+
+echo "--- live server on an ephemeral loopback port"
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --port-file "$WORK/port" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$WORK/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$WORK/port" ]] || { echo "server never published its port" >&2; exit 1; }
+ADDR="$(cat "$WORK/port")"
+
+echo "--- sampled fit over the wire (byte-compared against offline)"
+"$BIN" client fit "$WORK/ref.mtrace" --addr "$ADDR" \
+  -o "$WORK/srv-samp.mprofile" --cycles "$CYCLES" --sampled --clusters "$CLUSTERS"
+cmp "$WORK/samp-1.mprofile" "$WORK/srv-samp.mprofile"
+
+echo "--- coupled stream: chunk-size-independent, clean completion"
+"$BIN" client couple "$WORK/srv-samp.mprofile" --addr "$ADDR" \
+  -o "$WORK/coupled-a.mtrace" --seed "$SEED" --chunk 512
+"$BIN" client couple "$WORK/srv-samp.mprofile" --addr "$ADDR" \
+  -o "$WORK/coupled-b.mtrace" --seed "$SEED" --chunk 64
+cmp "$WORK/coupled-a.mtrace" "$WORK/coupled-b.mtrace"
+
+"$BIN" client metricsz --addr "$ADDR" >"$WORK/metrics.txt"
+"$BIN" client shutdown --addr "$ADDR"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "--- metrics account for the closed-loop work"
+grep -q '^coupled_requests_total 2' "$WORK/metrics.txt" || {
+  echo "metricsz missing coupled_requests_total=2" >&2
+  exit 1
+}
+grep -q "^sample_fit_requests_total 1" "$WORK/metrics.txt" || {
+  echo "metricsz missing sample_fit_requests_total=1" >&2
+  exit 1
+}
+grep -q "^sample_clusters_total $CLUSTERS" "$WORK/metrics.txt" || {
+  echo "metricsz missing sample_clusters_total=$CLUSTERS" >&2
+  exit 1
+}
+grep -q '^sample_frontier_error_ppm_count ' "$WORK/metrics.txt" || {
+  echo "metricsz missing the frontier error histogram" >&2
+  exit 1
+}
+echo "closed-loop smoke passed: sampled fit and coupled stream byte-identical"
